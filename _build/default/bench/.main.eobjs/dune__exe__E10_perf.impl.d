@@ -1,0 +1,1 @@
+bench/e10_perf.ml: Analyze Bechamel Benchmark Chc Geometry Hashtbl Instance List Measure Numeric Printf Runtime Staged Test Time Toolkit Util

@@ -1,0 +1,1 @@
+bench/e1_convergence.ml: Array Chc Fun Geometry Hashtbl List Numeric Printf Runtime Stdlib String Util

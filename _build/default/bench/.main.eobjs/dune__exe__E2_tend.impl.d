@@ -1,0 +1,1 @@
+bench/e2_tend.ml: Chc E1_convergence List Numeric Util

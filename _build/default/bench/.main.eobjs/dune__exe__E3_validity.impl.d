@@ -1,0 +1,1 @@
+bench/e3_validity.ml: Chc List Numeric Printf Runtime Util

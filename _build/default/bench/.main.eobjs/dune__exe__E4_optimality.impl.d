@@ -1,0 +1,1 @@
+bench/e4_optimality.ml: Chc List Numeric Printf Util

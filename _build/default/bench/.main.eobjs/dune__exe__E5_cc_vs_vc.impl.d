@@ -1,0 +1,1 @@
+bench/e5_cc_vs_vc.ml: Array Chc Codec Fun Geometry List Numeric Printf Runtime Stdlib Util

@@ -1,0 +1,1 @@
+bench/e6_ablation.ml: Array Chc Numeric Printf Runtime Util

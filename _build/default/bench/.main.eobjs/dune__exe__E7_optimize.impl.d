@@ -1,0 +1,1 @@
+bench/e7_optimize.ml: Array Chc Geometry List Numeric Option Printf Stdlib Util

@@ -1,0 +1,1 @@
+bench/e8_matrix.ml: Array Chc List Numeric Printf Util

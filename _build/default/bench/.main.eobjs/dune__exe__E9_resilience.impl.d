@@ -1,0 +1,1 @@
+bench/e9_resilience.ml: Array Chc Geometry List Numeric Printf Util

@@ -1,0 +1,1 @@
+bench/main.ml: Array E10_perf E1_convergence E2_tend E3_validity E4_optimality E5_cc_vs_vc E6_ablation E7_optimize E8_matrix E9_resilience List Printf Sys Unix Util

@@ -1,0 +1,1 @@
+bench/util.ml: Array List Numeric Printf Stdlib String Sys

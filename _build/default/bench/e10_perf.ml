@@ -1,0 +1,90 @@
+(* E10 — Implementation performance (bechamel micro-benchmarks).
+
+   Wall-clock cost of the geometric primitives and of full executions,
+   plus the 2-d Minkowski ablation (linear edge-merge vs quadratic
+   pairwise-sum) that justifies the fast path. All arithmetic is exact
+   rationals, so these numbers characterize the exact-arithmetic cost
+   profile, not float geometry. *)
+
+open Bechamel
+open Toolkit
+
+module Q = Numeric.Q
+module Vec = Geometry.Vec
+module Hull2d = Geometry.Hull2d
+module Polytope = Geometry.Polytope
+module Rng = Runtime.Rng
+
+let mk_points rng m =
+  List.init m (fun _ ->
+      Vec.make [Q.of_ints (Rng.int rng 2001 - 1000) 997;
+                Q.of_ints (Rng.int rng 2001 - 1000) 991])
+
+let tests () =
+  let rng = Rng.create 2014 in
+  let pts100 = mk_points rng 100 in
+  let polyA = Hull2d.hull (mk_points rng 40) in
+  let polyB = Hull2d.hull (mk_points rng 40) in
+  let pA = Polytope.of_points ~dim:2 (mk_points rng 30) in
+  let pB = Polytope.of_points ~dim:2 (mk_points rng 30) in
+  let config =
+    Chc.Config.make ~n:5 ~f:1 ~d:2 ~eps:(Q.of_ints 1 2) ~lo:Q.zero ~hi:Q.one
+  in
+  let spec = Chc.Executor.default_spec ~config ~seed:5 () in
+  [ Test.make ~name:"hull2d/monotone-chain-100pts"
+      (Staged.stage (fun () -> ignore (Hull2d.hull pts100)));
+    Test.make ~name:"minkowski/edge-merge"
+      (Staged.stage (fun () -> ignore (Hull2d.minkowski_sum polyA polyB)));
+    Test.make ~name:"minkowski/pairwise-naive"
+      (Staged.stage (fun () ->
+           ignore
+             (Hull2d.hull
+                (List.concat_map (fun a -> List.map (Vec.add a) polyB) polyA))));
+    Test.make ~name:"polytope/intersect-2d"
+      (Staged.stage (fun () -> ignore (Polytope.intersect [pA; pB])));
+    Test.make ~name:"polytope/hausdorff2-exact"
+      (Staged.stage (fun () -> ignore (Polytope.hausdorff2 pA pB)));
+    Test.make ~name:"lp/membership-30pts"
+      (Staged.stage
+         (let q = Vec.make [Q.of_ints 1 7; Q.of_ints 2 7] in
+          fun () -> ignore (Geometry.Lp.in_convex_hull (Polytope.vertices pA) q)));
+    Test.make ~name:"cc/full-execution-n5-d2"
+      (Staged.stage (fun () -> ignore (Chc.Executor.run spec))) ]
+
+let run () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200
+      ~quota:(Time.second (if Util.fast then 0.25 else 1.0))
+      ~kde:None ()
+  in
+  let raw =
+    Benchmark.all cfg instances
+      (Test.make_grouped ~name:"chc" ~fmt:"%s %s" (tests ()))
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+       let ns =
+         match Analyze.OLS.estimates ols_result with
+         | Some (est :: _) -> est
+         | _ -> nan
+       in
+       let cell =
+         if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+         else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+         else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+         else Printf.sprintf "%.0f ns" ns
+       in
+       rows := [name; cell] :: !rows)
+    results;
+  let rows = List.sort compare !rows in
+  Util.print_table
+    ~title:"E10: exact-arithmetic cost profile (bechamel, monotonic clock)"
+    ~header:["operation"; "time/run"]
+    ~widths:[36; 10]
+    rows

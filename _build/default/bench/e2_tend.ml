@@ -1,0 +1,52 @@
+(* E2 — The round bound t_end (equation 19) vs measured rounds-to-ε.
+
+   One execution per n with a tiny ε; then for each larger ε we read
+   off the first round whose measured max-pairwise Hausdorff distance
+   dropped below that ε, and compare with the analytic t_end. Shape:
+   the formula is an over-approximation (it uses the coarse Ω bound),
+   measured convergence is faster, and both grow as ε shrinks —
+   linearly in log(1/ε) with slope ≈ 1/ln(n/(n−1)). *)
+
+module Q = Numeric.Q
+module Executor = Chc.Executor
+module Cc = Chc.Cc
+
+let run () =
+  let eps_list =
+    [ Q.one; Q.of_ints 1 2; Q.of_ints 1 5; Q.of_ints 1 10 ]
+  in
+  let eps_min = Q.of_ints 1 10 in
+  let ns = [9; 11] in
+  let rows =
+    List.concat_map
+      (fun n ->
+         let config = Chc.Config.make ~n ~f:2 ~d:2 ~eps:eps_min ~lo:Q.zero ~hi:Q.one in
+         let (faulty, result) = E1_convergence.spread_run ~config in
+         let dh_at t =
+           E1_convergence.max_pairwise_dh ~faulty result.Cc.history t
+         in
+         List.map
+           (fun eps ->
+              let cfg_eps = Chc.Config.make ~n ~f:2 ~d:2 ~eps ~lo:Q.zero ~hi:Q.one in
+              let formula = Chc.Bounds.t_end cfg_eps in
+              let measured =
+                let target = Q.to_float eps in
+                let rec find t =
+                  if t > result.Cc.t_end then None
+                  else
+                    match dh_at t with
+                    | Some d when d < target -> Some t
+                    | _ -> find (t + 1)
+                in
+                find 0
+              in
+              [ string_of_int n; Q.to_string eps; string_of_int formula;
+                (match measured with Some t -> string_of_int t | None -> ">t_end") ])
+           eps_list)
+      ns
+  in
+  Util.print_table
+    ~title:"E2: analytic t_end (eq. 19) vs measured rounds-to-eps (d=2, f=2)"
+    ~header:["n"; "eps"; "t_end formula"; "measured"]
+    ~widths:[4; 8; 14; 10]
+    rows

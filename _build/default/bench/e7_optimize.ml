@@ -1,0 +1,114 @@
+(* E7 — Function optimization over the consensus hull (Section 7).
+
+   The 2-step algorithm with ε = β/b must keep the spread of cost
+   values below β (weak β-optimality part (i)); with 2f+1 identical
+   inputs x_star every process must learn a value at most c(x_star); and
+   the Theorem-4 cost exhibits argmin disagreement — the impossibility
+   is real, not an artifact. *)
+
+module Q = Numeric.Q
+module Vec = Geometry.Vec
+module Executor = Chc.Executor
+module Opt = Chc.Optimize
+
+let run () =
+  let runs = Util.sweep_size 15 in
+  let beta = Q.of_ints 1 2 in
+  let costs =
+    [ ("linear x+y", Opt.linear ~name:"x+y" (Vec.of_ints [1; 1]));
+      ("linear x-2y", Opt.linear ~name:"x-2y" (Vec.of_ints [1; -2]));
+      ("dist2 to (1,1)", Opt.quadratic_distance ~name:"d2"
+         (Vec.make [Q.one; Q.one]) ~lipschitz_hint:4.0) ]
+  in
+  let rows =
+    List.map
+      (fun (label, cost) ->
+         let eps = Opt.eps_for_beta ~beta ~lipschitz_hint:cost.Opt.lipschitz_hint in
+         let config = Chc.Config.make ~n:5 ~f:1 ~d:2 ~eps ~lo:Q.zero ~hi:Q.one in
+         let worst = ref 0.0 and ok = ref 0 in
+         for seed = 0 to runs - 1 do
+           let r = Executor.run (Executor.default_spec ~config ~seed:(seed * 911 + 1) ()) in
+           let rep =
+             Opt.two_step ~config ~faulty:r.Executor.faulty
+               ~result:r.Executor.result ~cost
+           in
+           match rep.Opt.beta_spread with
+           | Some s ->
+             worst := Stdlib.max !worst (Q.to_float s);
+             if Q.leq s beta then incr ok
+           | None -> ()
+         done;
+         [ label; Q.to_string eps; Util.f6 !worst; Q.to_string beta;
+           Util.pct !ok runs ])
+      costs
+  in
+  Util.print_table
+    ~title:
+      (Printf.sprintf
+         "E7a: weak beta-optimality, spread of c(y_i) vs beta (%d runs each)" runs)
+    ~header:["cost"; "eps=beta/b"; "worst spread"; "beta"; "within beta"]
+    ~widths:[16; 10; 12; 6; 11]
+    rows;
+
+  (* Part (ii): 2f+1 identical inputs pin the learned minimum. *)
+  let config = Chc.Config.make ~n:5 ~f:1 ~d:2 ~eps:(Q.of_ints 1 8) ~lo:Q.zero ~hi:Q.one in
+  let xstar = Vec.make [Q.of_ints 4 5; Q.of_ints 4 5] in
+  let cost = Opt.quadratic_distance ~name:"d2-origin" (Vec.make [Q.zero; Q.zero]) ~lipschitz_hint:4.0 in
+  let cstar = cost.Opt.eval xstar in
+  let ok = ref 0 in
+  let total = Util.sweep_size 15 in
+  for seed = 0 to total - 1 do
+    let spec = Executor.default_spec ~config ~seed:(seed * 13007 + 5) () in
+    let inputs = Array.copy spec.Executor.inputs in
+    inputs.(1) <- xstar; inputs.(2) <- xstar; inputs.(3) <- xstar;
+    let r = Executor.run { spec with Executor.inputs = inputs } in
+    let rep = Opt.two_step ~config ~faulty:r.Executor.faulty ~result:r.Executor.result ~cost in
+    let all_le =
+      Array.to_list rep.Opt.outputs
+      |> List.mapi (fun i o -> (i, o))
+      |> List.for_all (fun (i, o) ->
+          List.mem i r.Executor.faulty
+          || match o with Some (_, v) -> Q.leq v cstar | None -> false)
+    in
+    if all_le then incr ok
+  done;
+  Util.print_table
+    ~title:"E7b: weak beta-optimality part (ii) — 2f+1 identical inputs x*"
+    ~header:["property"; "holds"]
+    ~widths:[34; 8]
+    [ ["c(y_i) <= c(x*) at every process"; Util.pct !ok total] ];
+
+  (* The paper's closing conjecture (Section 7): for D-strongly convex
+     differentiable costs the two-step algorithm's argmins should also
+     be close (not just their values). Measured: max pairwise distance
+     between the y_i across seeds for the strongly convex quadratic —
+     versus the concave Theorem-4 cost where the spread is 1. *)
+  let config = Chc.Config.make ~n:5 ~f:1 ~d:2 ~eps:(Q.of_ints 1 8) ~lo:Q.zero ~hi:Q.one in
+  let cost = Opt.quadratic_distance ~name:"d2" (Vec.make [Q.half; Q.half]) ~lipschitz_hint:3.0 in
+  let worst_argmin_spread = ref 0.0 in
+  let rounds2 = Util.sweep_size 12 in
+  for seed = 0 to rounds2 - 1 do
+    let r = Executor.run (Executor.default_spec ~config ~seed:(seed * 433 + 11) ()) in
+    let rep = Opt.two_step ~config ~faulty:r.Executor.faulty ~result:r.Executor.result ~cost in
+    let ys = Array.to_list rep.Opt.outputs |> List.filter_map (Option.map fst) in
+    List.iter (fun a -> List.iter (fun b ->
+        worst_argmin_spread := Stdlib.max !worst_argmin_spread (Vec.dist a b)) ys) ys
+  done;
+  Util.print_table
+    ~title:"E7d: argmin spread d(y_i, y_j) — strongly convex vs concave cost"
+    ~header:["cost"; "worst argmin spread"]
+    ~widths:[26; 20]
+    [ ["quadratic (strongly convex)"; Util.f6 !worst_argmin_spread];
+      ["theorem-4 (concave)"; "1.000000 (see E7c)"] ];
+
+  (* Theorem 4 engine: argmin disagreement under the two-valley cost. *)
+  let p0 = Geometry.Polytope.of_points ~dim:1 [Vec.make [Q.zero]; Vec.make [Q.of_ints 2 5]] in
+  let p1 = Geometry.Polytope.of_points ~dim:1 [Vec.make [Q.of_ints 3 5]; Vec.make [Q.one]] in
+  let y0 = Opt.theorem4_cost.Opt.minimize p0 in
+  let y1 = Opt.theorem4_cost.Opt.minimize p1 in
+  Util.print_table
+    ~title:"E7c: Theorem-4 cost — equal values, distant argmins"
+    ~header:["polytope"; "argmin"; "c(argmin)"]
+    ~widths:[12; 8; 10]
+    [ ["[0, 2/5]"; Q.to_string y0.(0); Q.to_string (Opt.theorem4_cost.Opt.eval y0)];
+      ["[3/5, 1]"; Q.to_string y1.(0); Q.to_string (Opt.theorem4_cost.Opt.eval y1)] ]

@@ -1,0 +1,63 @@
+(* E9 — The resilience frontier n >= (d+2)f + 1 and degenerate cases.
+
+   At the exact lower bound (n = (d+2)f+1) the decided polytope often
+   degenerates toward a single point; as n grows past the bound the
+   output region's volume grows — Section 6's "degenerate cases"
+   discussion made quantitative. Lemma 2 guarantees non-emptiness
+   everywhere. Identical inputs must always collapse to that point. *)
+
+module Q = Numeric.Q
+module Vec = Geometry.Vec
+module Executor = Chc.Executor
+
+let run () =
+  let runs = Util.sweep_size 15 in
+  let rows =
+    List.map
+      (fun n ->
+         let config =
+           Chc.Config.make ~n ~f:1 ~d:2 ~eps:(Q.of_ints 1 10) ~lo:Q.zero ~hi:Q.one
+         in
+         let vol_sum = ref 0.0 and degenerate = ref 0 and nonempty = ref 0 in
+         for seed = 0 to runs - 1 do
+           let r = Executor.run (Executor.default_spec ~config ~seed:(seed * 52361 + n) ()) in
+           (match r.Executor.min_output_volume with
+            | Some v ->
+              incr nonempty;
+              vol_sum := !vol_sum +. Q.to_float v;
+              if Q.is_zero v then incr degenerate
+            | None -> ())
+         done;
+         [ string_of_int n;
+           (if n = 5 then "= (d+2)f+1" else Printf.sprintf "+%d" (n - 5));
+           Util.pct !nonempty runs;
+           Util.pct !degenerate runs;
+           Util.f6 (!vol_sum /. float_of_int runs) ])
+      [5; 6; 7; 8; 9]
+  in
+  Util.print_table
+    ~title:
+      (Printf.sprintf
+         "E9: output region vs n at the resilience frontier (d=2, f=1, %d runs)"
+         runs)
+    ~header:["n"; "slack"; "non-empty"; "degenerate"; "mean volume"]
+    ~widths:[3; 11; 10; 10; 12]
+    rows;
+
+  (* Identical inputs: the output must be exactly that point. *)
+  let config = Chc.Config.make ~n:5 ~f:1 ~d:2 ~eps:(Q.of_ints 1 10) ~lo:Q.zero ~hi:Q.one in
+  let x = Vec.make [Q.of_ints 1 3; Q.of_ints 2 3] in
+  let spec = { (Executor.default_spec ~config ~seed:77 ()) with
+               Executor.inputs = Array.make 5 x } in
+  let r = Executor.run spec in
+  let all_point =
+    Array.for_all
+      (function
+        | Some h ->
+          Geometry.Polytope.is_point h
+          && Vec.equal (List.hd (Geometry.Polytope.vertices h)) x
+        | None -> true)
+      r.Executor.result.Chc.Cc.outputs
+  in
+  Printf.printf "  identical-input degenerate case decides exactly that point: %b\n"
+    all_point

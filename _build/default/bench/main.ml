@@ -1,0 +1,47 @@
+(* The experiment harness: regenerates every table of the evaluation
+   (the paper is a theory contribution with no tables/figures of its
+   own; E1–E10 operationalize each theorem/lemma — see DESIGN.md §4
+   and EXPERIMENTS.md for the recorded results).
+
+   Run everything:       dune exec bench/main.exe
+   Quick pass:           dune exec bench/main.exe -- --fast
+   One experiment:       dune exec bench/main.exe -- e4 e6 *)
+
+let experiments =
+  [ ("e1", "convergence envelope (Thm 2/Lemma 3)", E1_convergence.run);
+    ("e2", "t_end bound vs measured (eq. 19)", E2_tend.run);
+    ("e3", "validity / agreement / termination (Thm 2)", E3_validity.run);
+    ("e4", "optimality I_Z containment (Lemma 6/Thm 3)", E4_optimality.run);
+    ("e5", "CC vs vector-consensus baseline", E5_cc_vs_vc.run);
+    ("e6", "round-0 ablation: stable vector vs naive", E6_ablation.run);
+    ("e7", "function optimization (Sec 7/Thm 4)", E7_optimize.run);
+    ("e8", "matrix certificates (Thm 1/Claim 1/Lemma 3)", E8_matrix.run);
+    ("e9", "resilience frontier and degenerate cases", E9_resilience.run);
+    ("e10", "performance microbenchmarks (bechamel)", E10_perf.run) ]
+
+let () =
+  let selected =
+    Array.to_list Sys.argv |> List.tl
+    |> List.filter (fun a -> a <> "--fast")
+  in
+  let chosen =
+    if selected = [] then experiments
+    else
+      List.filter (fun (id, _, _) -> List.mem id selected) experiments
+  in
+  if chosen = [] then begin
+    print_endline "unknown experiment id; available:";
+    List.iter (fun (id, desc, _) -> Printf.printf "  %-4s %s\n" id desc)
+      experiments;
+    exit 1
+  end;
+  Printf.printf "chc experiment harness%s — %d experiment(s)\n"
+    (if Util.fast then " (fast mode)" else "")
+    (List.length chosen);
+  List.iter
+    (fun (id, desc, f) ->
+       Printf.printf "\n######## %s: %s\n%!" id desc;
+       let t0 = Unix.gettimeofday () in
+       f ();
+       Printf.printf "  [%s done in %.1fs]\n%!" id (Unix.gettimeofday () -. t0))
+    chosen

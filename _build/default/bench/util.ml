@@ -1,0 +1,37 @@
+(* Shared helpers for the experiment harness: fixed-width table
+   printing and spec construction. Every experiment prints a paper-
+   style table; EXPERIMENTS.md records one canonical run of each. *)
+
+module Q = Numeric.Q
+
+let hrule widths =
+  String.concat "-+-" (List.map (fun w -> String.make w '-') widths)
+
+let row widths cells =
+  String.concat " | "
+    (List.map2
+       (fun w c ->
+          if String.length c >= w then c
+          else c ^ String.make (w - String.length c) ' ')
+       widths cells)
+
+let print_table ~title ~header ~widths rows =
+  Printf.printf "\n== %s ==\n" title;
+  print_endline (row widths header);
+  print_endline (hrule widths);
+  List.iter (fun r -> print_endline (row widths r)) rows;
+  print_newline ()
+
+let f3 x = Printf.sprintf "%.3f" x
+let f4 x = Printf.sprintf "%.4f" x
+let f6 x = Printf.sprintf "%.6f" x
+let qf x = f6 (Q.to_float x)
+
+let pct num den =
+  if den = 0 then "n/a" else Printf.sprintf "%d/%d" num den
+
+(* Fast mode trims seed sweeps so the whole harness stays snappy;
+   the full mode is what EXPERIMENTS.md records. *)
+let fast = Array.exists (fun a -> a = "--fast") Sys.argv
+
+let sweep_size full = if fast then Stdlib.max 3 (full / 5) else full

@@ -1,0 +1,209 @@
+(* chc_sim — command-line driver for single executions of Algorithm CC.
+
+   Examples:
+     dune exec bin/chc_sim.exe -- run -n 5 -f 1 -d 2 --eps 0.1 --seed 7
+     dune exec bin/chc_sim.exe -- run -n 7 -f 2 -d 1 --scheduler lag --verbose
+     dune exec bin/chc_sim.exe -- run --inputs "0.1,0.2;0.3,0.4;0.5,0.1;0.9,0.9;0.2,0.8"
+     dune exec bin/chc_sim.exe -- bound -n 9 -f 2 -d 2 --eps 0.01 *)
+
+open Cmdliner
+
+module Q = Numeric.Q
+module Vec = Geometry.Vec
+module Polytope = Geometry.Polytope
+
+(* --- shared arguments ------------------------------------------------ *)
+
+let n_arg =
+  Arg.(value & opt int 5 & info ["n"] ~docv:"N" ~doc:"Number of processes.")
+
+let f_arg =
+  Arg.(value & opt int 1 & info ["f"] ~docv:"F" ~doc:"Max faulty processes.")
+
+let d_arg =
+  Arg.(value & opt int 2 & info ["d"] ~docv:"D" ~doc:"Input dimension.")
+
+let eps_arg =
+  Arg.(value & opt string "0.1"
+       & info ["eps"] ~docv:"EPS"
+           ~doc:"Agreement parameter (decimal or rational a/b).")
+
+let lo_arg =
+  Arg.(value & opt string "0" & info ["lo"] ~doc:"Input lower bound (mu).")
+
+let hi_arg =
+  Arg.(value & opt string "1" & info ["hi"] ~doc:"Input upper bound (U).")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info ["seed"] ~doc:"Deterministic seed.")
+
+let scheduler_arg =
+  let sched_conv =
+    Arg.enum
+      [ ("random", `Random); ("round-robin", `Rr); ("lifo", `Lifo);
+        ("lag", `Lag) ]
+  in
+  Arg.(value & opt sched_conv `Random
+       & info ["scheduler"] ~doc:"Adversary: $(b,random), $(b,round-robin), \
+                                  $(b,lifo) or $(b,lag) (starves the faulty set).")
+
+let naive_arg =
+  Arg.(value & flag
+       & info ["naive-round0"]
+           ~doc:"Ablation: replace stable vector by naive first-(n-f) collection.")
+
+let inputs_arg =
+  Arg.(value & opt (some string) None
+       & info ["inputs"] ~docv:"P1;P2;..."
+           ~doc:"Explicit inputs: points separated by ';', coordinates by ','. \
+                 Default: random on the configured box.")
+
+let faulty_arg =
+  Arg.(value & opt (some string) None
+       & info ["faulty"] ~docv:"I,J,..."
+           ~doc:"Faulty process ids (default: 0..f-1).")
+
+let verbose_arg =
+  Arg.(value & flag & info ["verbose"; "v"] ~doc:"Print per-round history.")
+
+let svg_arg =
+  Arg.(value & opt (some string) None
+       & info ["svg"] ~docv:"FILE"
+           ~doc:"Write an SVG rendering of the execution (d = 2 only).")
+
+(* --- helpers --------------------------------------------------------- *)
+
+let parse_point d s =
+  let coords = String.split_on_char ',' s |> List.map String.trim in
+  if List.length coords <> d then
+    failwith (Printf.sprintf "point %S has %d coordinates, expected %d" s
+                (List.length coords) d)
+  else Vec.make (List.map Q.of_string coords)
+
+let parse_ids s =
+  String.split_on_char ',' s |> List.map String.trim
+  |> List.filter (fun x -> x <> "")
+  |> List.map int_of_string
+
+let config_of ~n ~f ~d ~eps ~lo ~hi =
+  Chc.Config.make ~n ~f ~d ~eps:(Q.of_string eps) ~lo:(Q.of_string lo)
+    ~hi:(Q.of_string hi)
+
+(* --- run command ------------------------------------------------------ *)
+
+let run_cmd n f d eps lo hi seed scheduler naive inputs faulty verbose svg =
+  try
+    let config = config_of ~n ~f ~d ~eps ~lo ~hi in
+    let faulty =
+      match faulty with
+      | Some s -> parse_ids s
+      | None -> List.init f Fun.id
+    in
+    let scheduler =
+      match scheduler with
+      | `Random -> Runtime.Scheduler.Random_uniform
+      | `Rr -> Runtime.Scheduler.Round_robin
+      | `Lifo -> Runtime.Scheduler.Lifo_bias
+      | `Lag -> Runtime.Scheduler.Lag_sources faulty
+    in
+    let round0 = if naive then `Naive else `Stable_vector in
+    let spec =
+      Chc.Executor.default_spec ~config ~seed ~faulty ~scheduler ~round0 ()
+    in
+    let spec =
+      match inputs with
+      | None -> spec
+      | Some s ->
+        let pts =
+          String.split_on_char ';' s |> List.map (parse_point d)
+        in
+        if List.length pts <> n then
+          failwith (Printf.sprintf "expected %d inputs, got %d" n
+                      (List.length pts))
+        else { spec with Chc.Executor.inputs = Array.of_list pts }
+    in
+    let r = Chc.Executor.run spec in
+    Printf.printf "config: n=%d f=%d d=%d eps=%s  t_end=%d  seed=%d\n"
+      n f d eps r.Chc.Executor.result.Chc.Cc.t_end seed;
+    Printf.printf "faulty set: {%s}\n"
+      (String.concat "," (List.map string_of_int r.Chc.Executor.faulty));
+    Array.iteri
+      (fun i o ->
+         match o with
+         | Some h ->
+           Printf.printf "process %d decided (%d vertices)%s\n" i
+             (List.length (Polytope.vertices h))
+             (if verbose then ": " ^ Polytope.to_string h else "")
+         | None -> Printf.printf "process %d crashed before deciding\n" i)
+      r.Chc.Executor.result.Chc.Cc.outputs;
+    if verbose then
+      Array.iteri
+        (fun i hist ->
+           Printf.printf "history of process %d:\n" i;
+           List.iter
+             (fun (t, h) ->
+                Printf.printf "  h[%d] = %s\n" t (Polytope.to_string h))
+             hist)
+        r.Chc.Executor.result.Chc.Cc.history;
+    Printf.printf "\nterminated   %b\nvalidity     %b\nagreement    %b"
+      r.Chc.Executor.terminated r.Chc.Executor.valid r.Chc.Executor.agreement_ok;
+    (match r.Chc.Executor.agreement2 with
+     | Some a -> Printf.printf "  (max dH = %.6f)\n" (sqrt (Q.to_float a))
+     | None -> print_newline ());
+    Printf.printf "optimality   %b\n" r.Chc.Executor.optimal;
+    (match r.Chc.Executor.min_output_volume with
+     | Some v -> Printf.printf "min volume   %.6f\n" (Q.to_float v)
+     | None -> ());
+    let m = r.Chc.Executor.result.Chc.Cc.metrics in
+    Printf.printf "messages     sent=%d delivered=%d dropped-by-crash=%d\n"
+      m.Runtime.Sim.sent m.Runtime.Sim.delivered m.Runtime.Sim.dropped;
+    (match svg with
+     | Some path when d = 2 ->
+       Viz.Svg.render_to_file ~path ~report:r;
+       Printf.printf "svg          written to %s\n" path
+     | Some _ -> prerr_endline "warning: --svg only supported for d = 2"
+     | None -> ());
+    if r.Chc.Executor.terminated && r.Chc.Executor.valid
+       && r.Chc.Executor.agreement_ok
+    then `Ok ()
+    else `Error (false, "a correctness property failed")
+  with
+  | Failure msg | Invalid_argument msg -> `Error (false, msg)
+
+let run_term =
+  Term.(ret
+          (const run_cmd $ n_arg $ f_arg $ d_arg $ eps_arg $ lo_arg $ hi_arg
+           $ seed_arg $ scheduler_arg $ naive_arg $ inputs_arg $ faulty_arg
+           $ verbose_arg $ svg_arg))
+
+let run_cmd_info =
+  Cmd.info "run" ~doc:"Execute Algorithm CC once and grade the run."
+
+(* --- bound command ---------------------------------------------------- *)
+
+let bound_cmd n f d eps lo hi =
+  try
+    let config = config_of ~n ~f ~d ~eps ~lo ~hi in
+    Printf.printf "n=%d f=%d d=%d eps=%s range=[%s,%s]\n" n f d eps lo hi;
+    Printf.printf "resilience: n >= (d+2)f+1 = %d  (ok)\n" (((d + 2) * f) + 1);
+    Printf.printf "t_end (eq. 19) = %d rounds\n" (Chc.Bounds.t_end config);
+    `Ok ()
+  with Invalid_argument msg -> `Error (false, msg)
+
+let bound_term =
+  Term.(ret (const bound_cmd $ n_arg $ f_arg $ d_arg $ eps_arg $ lo_arg $ hi_arg))
+
+let bound_cmd_info =
+  Cmd.info "bound" ~doc:"Print the analytic round bound t_end (equation 19)."
+
+(* --- entry ------------------------------------------------------------ *)
+
+let () =
+  let info =
+    Cmd.info "chc_sim" ~version:"1.0"
+      ~doc:"Asynchronous convex hull consensus simulator (Tseng-Vaidya, PODC'14)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ Cmd.v run_cmd_info run_term; Cmd.v bound_cmd_info bound_term ]))

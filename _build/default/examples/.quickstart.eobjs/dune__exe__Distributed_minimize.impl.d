@@ -1,0 +1,1 @@
+examples/distributed_minimize.ml: Array Chc Geometry Numeric Printf Runtime

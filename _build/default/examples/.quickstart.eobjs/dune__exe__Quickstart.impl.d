@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Chc Geometry Numeric Printf Runtime

@@ -1,0 +1,1 @@
+examples/rendezvous.ml: Array Chc Geometry Numeric Printf Runtime

@@ -1,0 +1,1 @@
+examples/sensor_fusion.ml: Array Chc Geometry List Numeric Printf Runtime

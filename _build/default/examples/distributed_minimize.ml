@@ -1,0 +1,89 @@
+(* Distributed function optimization (Section 7 of the paper).
+
+   A fleet of delivery robots must pick a staging point that minimizes
+   the squared distance to the depot, but the staging point has to be
+   inside the region all honest robots consider reachable — the convex
+   hull of their (correct) position inputs. The 2-step algorithm runs
+   convex hull consensus first and then minimizes the cost over the
+   decided polytope. The paper proves this achieves validity,
+   termination and weak β-optimality, but NOT ε-agreement on the chosen
+   points — and Theorem 4 shows that is inherent. This example
+   demonstrates both halves.
+
+   Run with:  dune exec examples/distributed_minimize.exe *)
+
+module Q = Numeric.Q
+module Vec = Geometry.Vec
+module Polytope = Geometry.Polytope
+module Opt = Chc.Optimize
+
+let q = Q.of_string
+
+let () =
+  let n = 5 and f = 1 in
+  (* Target spread β = 1/2 for a cost that is at most 6-Lipschitz on
+     the input box: run consensus with ε = β / b. *)
+  let beta = Q.half in
+  let lipschitz_hint = 6.0 in
+  let eps = Opt.eps_for_beta ~beta ~lipschitz_hint in
+  let config =
+    Chc.Config.make ~n ~f ~d:2 ~eps ~lo:Q.zero ~hi:(Q.of_int 2)
+  in
+  Printf.printf "Step 1: convex hull consensus with ε = %s (t_end = %d)\n"
+    (Q.to_string eps) (Chc.Bounds.t_end config);
+
+  let inputs =
+    [| Vec.make [q "1.9"; q "0.1"];  (* faulty robot, wrong position *)
+       Vec.make [q "0.3"; q "0.4"];
+       Vec.make [q "0.8"; q "1.1"];
+       Vec.make [q "0.5"; q "0.9"];
+       Vec.make [q "1.1"; q "0.6"] |]
+  in
+  let crash = Array.make n Runtime.Crash.Never in
+  crash.(0) <- Runtime.Crash.After_sends 40;
+  let spec =
+    { Chc.Executor.config; inputs; crash;
+      scheduler = Runtime.Scheduler.Random_uniform; seed = 99;
+      round0 = `Stable_vector }
+  in
+  let report = Chc.Executor.run spec in
+  assert report.Chc.Executor.terminated;
+
+  (* Step 2: minimize the cost over each robot's decided polytope. *)
+  let depot = Vec.make [Q.zero; Q.zero] in
+  let cost = Opt.quadratic_distance ~name:"dist² to depot" depot ~lipschitz_hint in
+  let rep =
+    Opt.two_step ~config ~faulty:report.Chc.Executor.faulty
+      ~result:report.Chc.Executor.result ~cost
+  in
+  Printf.printf "\nStep 2: each robot minimizes %s over its polytope:\n"
+    cost.Opt.name;
+  Array.iteri
+    (fun i o ->
+       match o with
+       | Some (y, v) ->
+         Printf.printf "  robot %d: staging point (%.4f, %.4f), cost %.5f\n"
+           i (Q.to_float y.(0)) (Q.to_float y.(1)) (Q.to_float v)
+       | None -> Printf.printf "  robot %d: crashed\n" i)
+    rep.Opt.outputs;
+  (match rep.Opt.beta_spread with
+   | Some s ->
+     Printf.printf "\nweak β-optimality: cost spread %.6f <= β = %.2f  (%b)\n"
+       (Q.to_float s) (Q.to_float beta) (Q.leq s beta)
+   | None -> ());
+
+  (* The inherent limitation (Theorem 4): for the concave "two valleys"
+     cost of the impossibility proof, nearly identical polytopes can
+     yield argmins at opposite ends — agreement on cost VALUES, not on
+     the points. *)
+  print_endline "\nTheorem-4 counterexample cost, c(x) = 4 - (2x-1)² on [0,1]:";
+  let near0 = Polytope.of_points ~dim:1 [Vec.make [Q.zero]; Vec.make [q "0.45"]] in
+  let near1 = Polytope.of_points ~dim:1 [Vec.make [q "0.55"]; Vec.make [Q.one]] in
+  let y0 = Opt.theorem4_cost.Opt.minimize near0 in
+  let y1 = Opt.theorem4_cost.Opt.minimize near1 in
+  Printf.printf "  polytope [0,0.45]   -> argmin %s (cost %s)\n"
+    (Q.to_string y0.(0)) (Q.to_string (Opt.theorem4_cost.Opt.eval y0));
+  Printf.printf "  polytope [0.55,1]   -> argmin %s (cost %s)\n"
+    (Q.to_string y1.(0)) (Q.to_string (Opt.theorem4_cost.Opt.eval y1));
+  print_endline "  equal costs, but the chosen points are 1 apart: ε-agreement on";
+  print_endline "  the argmin is impossible in general (Theorem 4 / FLP)."

@@ -1,0 +1,67 @@
+(* Quickstart: five processes agree on a convex polytope inside the
+   hull of the fault-free inputs, tolerating one crash fault with an
+   incorrect input.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Q = Numeric.Q
+module Vec = Geometry.Vec
+module Polytope = Geometry.Polytope
+
+let () =
+  (* n = 5 processes, f = 1 fault, inputs in the unit square (d = 2),
+     agreement parameter ε = 1/10. n = (d+2)f + 1 is exactly the
+     paper's resilience bound. *)
+  let config =
+    Chc.Config.make ~n:5 ~f:1 ~d:2 ~eps:(Q.of_ints 1 10)
+      ~lo:Q.zero ~hi:Q.one
+  in
+  Printf.printf "configuration: n=5 f=1 d=2 eps=0.1  (t_end = %d rounds)\n\n"
+    (Chc.Bounds.t_end config);
+
+  (* Four correct processes hold estimates of some quantity; process 0
+     is faulty: its input is garbage and it will crash mid-protocol
+     (after 20 sends). *)
+  let q = Q.of_string in
+  let inputs =
+    [| Vec.make [q "0.9"; q "0.9"];   (* faulty / incorrect *)
+       Vec.make [q "0.10"; q "0.20"];
+       Vec.make [q "0.30"; q "0.05"];
+       Vec.make [q "0.25"; q "0.40"];
+       Vec.make [q "0.05"; q "0.35"] |]
+  in
+  let crash = Array.make 5 Runtime.Crash.Never in
+  crash.(0) <- Runtime.Crash.After_sends 20;
+
+  let spec =
+    { Chc.Executor.config; inputs; crash;
+      scheduler = Runtime.Scheduler.Random_uniform;
+      seed = 2014;                       (* executions are deterministic *)
+      round0 = `Stable_vector }
+  in
+  let report = Chc.Executor.run spec in
+
+  Array.iteri
+    (fun i output ->
+       match output with
+       | Some h ->
+         Printf.printf "process %d decides %s\n" i (Polytope.to_string h)
+       | None -> Printf.printf "process %d crashed before deciding\n" i)
+    report.Chc.Executor.result.Chc.Cc.outputs;
+
+  Printf.printf "\nproperties (checked exactly, in rational arithmetic):\n";
+  Printf.printf "  termination : %b\n" report.Chc.Executor.terminated;
+  Printf.printf "  validity    : %b   (outputs inside hull of correct inputs)\n"
+    report.Chc.Executor.valid;
+  Printf.printf "  ε-agreement : %b   (max pairwise d_H = %.6f < 0.1)\n"
+    report.Chc.Executor.agreement_ok
+    (match report.Chc.Executor.agreement2 with
+     | Some a2 -> sqrt (Q.to_float a2)
+     | None -> 0.0);
+  Printf.printf "  optimality  : %b   (I_Z contained in every decision)\n"
+    report.Chc.Executor.optimal;
+  (match report.Chc.Executor.min_output_volume with
+   | Some v ->
+     Printf.printf "\nthe decision is a genuine region: area >= %.6f\n"
+       (Q.to_float v)
+   | None -> ())

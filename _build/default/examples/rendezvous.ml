@@ -1,0 +1,82 @@
+(* Rendezvous: drones agree on a meeting POINT via two routes and
+   compare what they get.
+
+   (a) Vector consensus derived from convex hull consensus: run
+       Algorithm CC, then take the Steiner point of the decided
+       polytope — the paper's "convex hull consensus trivially yields
+       vector consensus" reduction.
+   (b) The standalone point-valued baseline (Algorithm VC): identical
+       round structure, but the state collapses to a point after
+       round 0.
+
+   Both satisfy validity and ε-agreement; the difference is what else
+   you know at the end. Route (a) also hands every drone the whole
+   certified region — useful if the rendezvous must be re-planned —
+   while (b) only ever knows a point. The example quantifies that gap
+   (region area vs. zero) and the message-size economics.
+
+   Run with:  dune exec examples/rendezvous.exe *)
+
+module Q = Numeric.Q
+module Vec = Geometry.Vec
+module Polytope = Geometry.Polytope
+module VC = Chc.Vector_consensus
+
+let q = Q.of_string
+
+let () =
+  let n = 6 and f = 1 in
+  let config =
+    Chc.Config.make ~n ~f ~d:2 ~eps:(Q.of_ints 1 10) ~lo:Q.zero ~hi:(Q.of_int 4)
+  in
+  let inputs =
+    [| Vec.make [q "0.5"; q "0.5"];
+       Vec.make [q "3.5"; q "0.5"];
+       Vec.make [q "3.5"; q "3.5"];
+       Vec.make [q "0.5"; q "3.5"];
+       Vec.make [q "1.9"; q "2.2"];
+       Vec.make [q "3.9"; q "0.1"] |] (* faulty drone, bogus position *)
+  in
+  let crash = Array.make n Runtime.Crash.Never in
+  crash.(5) <- Runtime.Crash.After_sends 15;
+  let scheduler = Runtime.Scheduler.Random_uniform in
+
+  (* Route (a): convex hull consensus, then Steiner points. *)
+  let spec = { Chc.Executor.config; inputs; crash; scheduler; seed = 3; round0 = `Stable_vector } in
+  let report = Chc.Executor.run spec in
+  let points_a = VC.derived_outputs report.Chc.Executor.result in
+  let metrics_a = report.Chc.Executor.result.Chc.Cc.metrics in
+
+  (* Route (b): the point-valued baseline on the same inputs/faults. *)
+  let res_b = VC.execute_baseline ~config ~inputs ~crash ~scheduler ~seed:3 () in
+
+  print_endline "route (a): convex hull consensus + Steiner point";
+  Array.iteri
+    (fun i p ->
+       match p with
+       | Some y ->
+         Printf.printf "  drone %d meets at (%.4f, %.4f)\n"
+           i (Q.to_float y.(0)) (Q.to_float y.(1))
+       | None -> Printf.printf "  drone %d crashed\n" i)
+    points_a;
+  (match report.Chc.Executor.min_output_volume with
+   | Some v ->
+     Printf.printf "  ...and also knows a certified region of area %.4f\n"
+       (Q.to_float v)
+   | None -> ());
+
+  print_endline "\nroute (b): point-valued baseline (Algorithm VC)";
+  Array.iteri
+    (fun i p ->
+       match p with
+       | Some y ->
+         Printf.printf "  drone %d meets at (%.4f, %.4f)\n"
+           i (Q.to_float y.(0)) (Q.to_float y.(1))
+       | None -> Printf.printf "  drone %d crashed\n" i)
+    res_b.VC.outputs;
+  print_endline "  ...and knows nothing beyond that point.";
+
+  Printf.printf "\nmessage counts: CC %d vs VC %d (same round structure;\n"
+    metrics_a.Runtime.Sim.sent res_b.VC.metrics.Runtime.Sim.sent;
+  print_endline "CC messages carry polytopes, VC messages carry single points —";
+  print_endline "the information advantage is paid for in bandwidth, not rounds)"

@@ -1,0 +1,1 @@
+lib/chc/analysis.ml: Array Cc Config Fun Geometry List Numeric Printf

@@ -1,0 +1,1 @@
+lib/chc/analysis.mli: Cc Config Geometry Numeric

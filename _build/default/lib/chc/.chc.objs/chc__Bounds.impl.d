@@ -1,0 +1,1 @@
+lib/chc/bounds.ml: Config Float Numeric

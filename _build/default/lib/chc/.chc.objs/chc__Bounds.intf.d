@@ -1,0 +1,1 @@
+lib/chc/bounds.mli: Config Numeric

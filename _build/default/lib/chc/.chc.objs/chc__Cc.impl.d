@@ -1,0 +1,1 @@
+lib/chc/cc.ml: Array Bounds Config Geometry List Numeric Option Protocol Runtime

@@ -1,0 +1,1 @@
+lib/chc/cc.mli: Config Geometry Numeric Runtime

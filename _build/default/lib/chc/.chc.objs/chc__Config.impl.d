@@ -1,0 +1,1 @@
+lib/chc/config.ml: Array Format Geometry Numeric

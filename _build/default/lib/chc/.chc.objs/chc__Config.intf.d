@@ -1,0 +1,1 @@
+lib/chc/config.mli: Format Geometry Numeric

@@ -1,0 +1,1 @@
+lib/chc/executor.ml: Array Cc Config Fun Geometry Iz List Numeric Option Runtime

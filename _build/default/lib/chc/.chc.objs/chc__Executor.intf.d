@@ -1,0 +1,1 @@
+lib/chc/executor.mli: Cc Config Geometry Numeric Runtime

@@ -1,0 +1,1 @@
+lib/chc/iz.mli: Cc Config Geometry Numeric

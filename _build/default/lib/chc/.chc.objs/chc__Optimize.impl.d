@@ -1,0 +1,1 @@
+lib/chc/optimize.ml: Array Cc Float Geometry List Numeric Option

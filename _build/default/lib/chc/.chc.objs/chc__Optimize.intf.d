@@ -1,0 +1,1 @@
+lib/chc/optimize.mli: Cc Config Geometry Numeric

@@ -1,0 +1,1 @@
+lib/chc/vector_consensus.ml: Array Bounds Cc Config Geometry List Numeric Option Protocol Runtime

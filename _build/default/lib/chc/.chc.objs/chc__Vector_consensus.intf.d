@@ -1,0 +1,1 @@
+lib/chc/vector_consensus.mli: Cc Config Geometry Numeric Runtime

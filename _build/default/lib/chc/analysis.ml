@@ -1,0 +1,172 @@
+module Q = Numeric.Q
+module Polytope = Geometry.Polytope
+
+type matrix = Q.t array array
+
+type t = {
+  n : int;
+  t_end : int;
+  faulty : int list;
+  f_sets : int list array;
+  matrices : matrix array;
+  v0 : Geometry.Polytope.t array;
+}
+
+let sent_round_of (result : Cc.result) i t =
+  match List.assoc_opt t result.Cc.sent_round.(i) with
+  | Some b -> b
+  | None -> false
+
+let build ~config ~faulty ~(result : Cc.result) =
+  let n = config.Config.n in
+  let t_end = result.Cc.t_end in
+  (* F[t]: processes that sent no round-t message; F[t_end+1] := F[t_end]. *)
+  let f_sets =
+    Array.init (t_end + 2) (fun t ->
+        let t = if t > t_end then t_end else t in
+        List.init n Fun.id
+        |> List.filter (fun i -> not (sent_round_of result i t)))
+  in
+  let h_at i t =
+    match List.assoc_opt t result.Cc.history.(i) with
+    | Some h -> h
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Analysis.build: process %d has no h[%d]" i t)
+  in
+  (* Initialization (I1)/(I2): crashed-before-round-1 processes get an
+     arbitrary fault-free process's h[0]. *)
+  let fault_free = List.filter (fun i -> not (List.mem i faulty)) (List.init n Fun.id) in
+  let m0 =
+    match fault_free with
+    | m :: _ -> m
+    | [] -> invalid_arg "Analysis.build: no fault-free process"
+  in
+  let v0 =
+    Array.init n (fun i ->
+        if List.mem i f_sets.(1) then h_at m0 0 else h_at i 0)
+  in
+  (* Transition matrices, Rules 1 and 2. *)
+  let matrices =
+    Array.init t_end (fun idx ->
+        let t = idx + 1 in
+        Array.init n (fun i ->
+            if List.mem i f_sets.(t + 1) then
+              Array.make n (Q.of_ints 1 n)
+            else begin
+              match List.assoc_opt t result.Cc.senders.(i) with
+              | None ->
+                invalid_arg
+                  (Printf.sprintf
+                     "Analysis.build: %d not in F[%d] but no MSG[%d]" i (t + 1) t)
+              | Some senders ->
+                let w = Q.of_ints 1 (List.length senders) in
+                let row = Array.make n Q.zero in
+                List.iter (fun k -> row.(k) <- w) senders;
+                row
+            end))
+  in
+  { n; t_end; faulty; f_sets; matrices; v0 }
+
+let mat_mul a b =
+  let n = Array.length a in
+  Array.init n (fun i ->
+      Array.init n (fun j ->
+          let acc = ref Q.zero in
+          for k = 0 to n - 1 do
+            acc := Q.add !acc (Q.mul a.(i).(k) b.(k).(j))
+          done;
+          !acc))
+
+let products t =
+  let acc = ref None in
+  Array.map
+    (fun m ->
+       let p = match !acc with None -> m | Some prev -> mat_mul m prev in
+       acc := Some p;
+       p)
+    t.matrices
+
+let is_row_stochastic m =
+  Array.for_all
+    (fun row ->
+       Array.for_all (fun x -> Q.sign x >= 0) row
+       && Q.equal Q.one (Array.fold_left Q.add Q.zero row))
+    m
+
+(* Row application of the paper's equation (5): M_i v as the linear
+   combination L(v; M_i), skipping zero weights (a zero-weight polytope
+   contributes the single point 0, which is what L prescribes, but
+   skipping is equivalent and cheaper: weights still sum to 1 only over
+   the support — the L definition with zero weights degenerates to the
+   same set). *)
+let apply_row row v =
+  let terms =
+    Array.to_list (Array.mapi (fun k w -> (w, v.(k))) row)
+    |> List.filter (fun (w, _) -> not (Q.is_zero w))
+  in
+  Polytope.linear_combination terms
+
+let apply m v = Array.map (fun row -> apply_row row v) m
+
+let check_theorem1 t ~(result : Cc.result) =
+  let ok = ref true in
+  let v = ref t.v0 in
+  Array.iteri
+    (fun idx m ->
+       let round = idx + 1 in
+       v := apply m !v;
+       for i = 0 to t.n - 1 do
+         if not (List.mem i t.f_sets.(round + 1)) then begin
+           match List.assoc_opt round result.Cc.history.(i) with
+           | Some h -> if not (Polytope.equal h (!v).(i)) then ok := false
+           | None -> ok := false
+         end
+       done)
+    t.matrices;
+  !ok
+
+let check_claim1 t =
+  let ps = products t in
+  let ok = ref true in
+  Array.iteri
+    (fun idx p ->
+       let round = idx + 1 in
+       for j = 0 to t.n - 1 do
+         if not (List.mem j t.f_sets.(round + 1)) then
+           List.iter
+             (fun k -> if not (Q.is_zero p.(j).(k)) then ok := false)
+             t.f_sets.(1)
+       done)
+    ps;
+  !ok
+
+let ergodicity_gap t p =
+  let fault_free =
+    List.filter (fun i -> not (List.mem i t.faulty)) (List.init t.n Fun.id)
+  in
+  let gap = ref Q.zero in
+  List.iter
+    (fun i ->
+       List.iter
+         (fun j ->
+            if i < j then
+              for k = 0 to t.n - 1 do
+                gap := Q.max !gap (Q.abs (Q.sub p.(i).(k) p.(j).(k)))
+              done)
+         fault_free)
+    fault_free;
+  !gap
+
+let check_lemma3 t =
+  let ratio = Q.of_ints (t.n - 1) t.n in
+  let ps = products t in
+  let ok = ref true in
+  let bound = ref Q.one in
+  Array.iter
+    (fun p ->
+       bound := Q.mul !bound ratio;
+       if not (is_row_stochastic p) then ok := false;
+       if Q.gt (ergodicity_gap t p) !bound then ok := false)
+    ps;
+  !ok

@@ -1,0 +1,53 @@
+(** Offline matrix-form analysis of a recorded execution — the
+    machinery of Section 5 turned into machine-checkable certificates.
+
+    From the execution trace we rebuild the transition matrices [M[t]]
+    (Rules 1 and 2), the crash sets [F[t]], and the initial state
+    vector [v[0]], and then verify, all in exact arithmetic:
+
+    - {b Theorem 1}: [v[t] = M[t] v[t-1]] reproduces each live
+      process's polytope [h_i[t]] {e exactly} (polytope equality);
+    - {b row stochasticity} of every [M[t]] and product [P[t]];
+    - {b Claim 1}: [P_jk[t] = 0] for live [j] and [k ∈ F[1]];
+    - {b Lemma 3}: [max_k |P_ik[t] - P_jk[t]| <= (1 - 1/n)^t] for
+      fault-free [i, j]. *)
+
+module Q = Numeric.Q
+
+type matrix = Q.t array array
+
+type t = {
+  n : int;
+  t_end : int;
+  faulty : int list;
+  f_sets : int list array;
+    (** [f_sets.(t)] is the paper's [F[t]] (processes that sent no
+        round-[t] message), for [t = 0 .. t_end + 1] with
+        [F[t_end + 1] = F[t_end]]. *)
+  matrices : matrix array;
+    (** [matrices.(t-1)] is [M[t]], for [t = 1 .. t_end]. *)
+  v0 : Geometry.Polytope.t array;
+    (** initial state vector per initialization rules (I1)/(I2). *)
+}
+
+val build : config:Config.t -> faulty:int list -> result:Cc.result -> t
+(** @raise Invalid_argument when the execution is too incomplete to
+    reconstruct (e.g. no fault-free process exists). *)
+
+val products : t -> matrix array
+(** [P[t] = M[t] ··· M[1]] for [t = 1 .. t_end] (backward convention,
+    equation (4)). *)
+
+val is_row_stochastic : matrix -> bool
+
+val check_theorem1 : t -> result:Cc.result -> bool
+(** Exact per-round polytope equality [v_i[t] = h_i[t]] for all
+    [i ∈ V - F[t+1]]. *)
+
+val check_claim1 : t -> bool
+
+val ergodicity_gap : t -> matrix -> Q.t
+(** [max_{i,j fault-free, k} |P_ik - P_jk|]. *)
+
+val check_lemma3 : t -> bool
+(** The gap of every [P[t]] is at most [(1 - 1/n)^t], exactly. *)

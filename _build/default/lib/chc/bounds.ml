@@ -1,0 +1,21 @@
+module Q = Numeric.Q
+
+let omega2_bound (c : Config.t) =
+  let m2 = Q.max (Q.square c.Config.lo) (Q.square c.Config.hi) in
+  Q.mul (Q.of_int (c.Config.d * c.Config.n * c.Config.n)) m2
+
+let t_end (c : Config.t) =
+  let ratio2 =
+    (* (1 - 1/n)² *)
+    Q.square (Q.of_ints (c.Config.n - 1) c.Config.n)
+  in
+  let eps2 = Q.square c.Config.eps in
+  let rec go t lhs2 =
+    (* lhs2 = (1 - 1/n)^{2t} · Ω²_bound *)
+    if t >= 1 && Q.lt lhs2 eps2 then t
+    else go (t + 1) (Q.mul lhs2 ratio2)
+  in
+  go 0 (omega2_bound c)
+
+let contraction_at (c : Config.t) t =
+  Float.pow (1.0 -. (1.0 /. float_of_int c.Config.n)) (float_of_int t)

@@ -1,0 +1,189 @@
+module Q = Numeric.Q
+module Combin = Numeric.Combin
+module Sim = Runtime.Sim
+module SV = Protocol.Stable_vector
+module Rounds = Protocol.Rounds
+
+type round0_mode = [ `Stable_vector | `Naive ]
+
+type msg =
+  | Sv of Geometry.Vec.t SV.msg
+  | Input0 of Geometry.Vec.t
+  | Round of int * Geometry.Polytope.t
+
+type result = {
+  t_end : int;
+  outputs : Geometry.Polytope.t option array;
+  round0_views : (int * Geometry.Vec.t) list option array;
+  history : (int * Geometry.Polytope.t) list array;
+  senders : (int * int list) list array;
+  sent_round : (int * bool) list array;
+  crashed : bool array;
+  metrics : Runtime.Sim.metrics;
+}
+
+let fault_set crash =
+  Array.to_list crash
+  |> List.mapi (fun i plan -> (i, plan))
+  |> List.filter_map (fun (i, plan) ->
+      match plan with
+      | Runtime.Crash.Never -> None
+      | Runtime.Crash.After_sends _ -> Some i)
+
+(* Line 5 of Algorithm CC: intersection over all multisets obtained by
+   dropping f elements of X_i. Non-emptiness is Lemma 2 (Tverberg):
+   any multiset of >= (d+1)f + 1 points admits the required common
+   point, and |X_i| >= n - f >= (d+1)f + 1 by the resilience bound. *)
+let round0_polytope ~dim ~f pts =
+  let keep = List.length pts - f in
+  if keep < 1 then invalid_arg "Cc.round0_polytope: not enough points";
+  let hulls =
+    List.map (Geometry.Polytope.of_points ~dim) (Combin.subsets_of_size keep pts)
+  in
+  match Geometry.Polytope.intersect hulls with
+  | Some h -> h
+  | None -> failwith "Cc: round-0 intersection empty — Lemma 2 violated"
+
+(* Mutable per-process protocol state, captured by the handler
+   closures. *)
+type proc = {
+  id : int;
+  mutable sv : Geometry.Vec.t SV.state option;
+  rounds : Geometry.Polytope.t Rounds.t;
+  naive0 : Geometry.Vec.t Rounds.t;
+  mutable current : int;       (* 0 while in round 0; t_end+1 once decided *)
+  mutable h : Geometry.Polytope.t option;
+  mutable view : (int * Geometry.Vec.t) list option;
+  mutable hist : (int * Geometry.Polytope.t) list;     (* reverse order *)
+  mutable snd_log : (int * int list) list;    (* reverse order *)
+  mutable sent_log : (int * bool) list;       (* reverse order *)
+}
+
+let execute ?(round0 = `Stable_vector) ~config ~inputs ~crash ~scheduler ~seed () =
+  let { Config.n; f; d; _ } = config in
+  if Array.length inputs <> n then invalid_arg "Cc.execute: need n inputs";
+  Array.iter (Config.validate_input config) inputs;
+  if Array.length crash <> n then invalid_arg "Cc.execute: need n crash plans";
+  let t_end = Bounds.t_end config in
+  let threshold = n - f in
+  let outputs = Array.make n None in
+
+  let procs =
+    Array.init n (fun i ->
+        { id = i;
+          sv = None;
+          rounds = Rounds.create ~threshold;
+          naive0 = Rounds.create ~threshold;
+          current = 0;
+          h = None;
+          view = None;
+          hist = [];
+          snd_log = [];
+          sent_log = [] })
+  in
+
+  (* Broadcast while recording whether any copy reached a channel —
+     this drives the F[t] sets of the matrix analysis. *)
+  let broadcast_tracked ctx p ~round msg =
+    let before = Sim.sends ctx in
+    Sim.broadcast ctx msg;
+    p.sent_log <- (round, Sim.sends ctx > before) :: p.sent_log
+  in
+
+  let rec enter_round ctx p t =
+    p.current <- t;
+    let h = Option.get p.h in
+    Rounds.add p.rounds ~round:t ~src:p.id h;
+    broadcast_tracked ctx p ~round:t (Round (t, h));
+    try_advance ctx p
+
+  and try_advance ctx p =
+    if p.current >= 1 && p.current <= t_end
+       && Rounds.ready p.rounds ~round:p.current
+    then begin
+      let y = Rounds.freeze p.rounds ~round:p.current in
+      let h = Geometry.Polytope.average (List.map snd y) in
+      p.h <- Some h;
+      p.hist <- (p.current, h) :: p.hist;
+      p.snd_log <- (p.current, List.map fst y) :: p.snd_log;
+      if p.current = t_end then begin
+        outputs.(p.id) <- Some h;
+        p.current <- t_end + 1
+      end
+      else enter_round ctx p (p.current + 1)
+    end
+  in
+
+  let complete_round0 ctx p entries =
+    p.view <- Some entries;
+    let h0 = round0_polytope ~dim:d ~f (List.map snd entries) in
+    p.h <- Some h0;
+    p.hist <- (0, h0) :: p.hist;
+    enter_round ctx p 1
+  in
+
+  let check_stable ctx p =
+    if p.current = 0 && p.view = None then begin
+      match p.sv with
+      | None -> ()
+      | Some st ->
+        (match SV.result st with
+         | Some entries ->
+           complete_round0 ctx p
+             (List.map (fun e -> (e.SV.origin, e.SV.value)) entries)
+         | None -> ())
+    end
+  in
+
+  let check_naive ctx p =
+    if p.current = 0 && p.view = None
+       && Rounds.ready p.naive0 ~round:0
+    then complete_round0 ctx p (Rounds.freeze p.naive0 ~round:0)
+  in
+
+  let make i =
+    let p = procs.(i) in
+    { Sim.on_start =
+        (fun ctx ->
+           match round0 with
+           | `Stable_vector ->
+             let before = Sim.sends ctx in
+             let st =
+               SV.create ~n ~f ~me:i ~value:inputs.(i)
+                 ~broadcast:(fun m -> Sim.broadcast ctx (Sv m))
+             in
+             p.sent_log <- (0, Sim.sends ctx > before) :: p.sent_log;
+             p.sv <- Some st;
+             check_stable ctx p
+           | `Naive ->
+             Rounds.add p.naive0 ~round:0 ~src:i inputs.(i);
+             broadcast_tracked ctx p ~round:0 (Input0 inputs.(i));
+             check_naive ctx p);
+      on_receive =
+        (fun ctx src msg ->
+           match msg with
+           | Sv m ->
+             (match p.sv with
+              | Some st ->
+                SV.on_receive st ~src m;
+                check_stable ctx p
+              | None -> ())
+           | Input0 x ->
+             Rounds.add p.naive0 ~round:0 ~src x;
+             check_naive ctx p
+           | Round (t, h) ->
+             Rounds.add p.rounds ~round:t ~src h;
+             if t = p.current then try_advance ctx p) }
+  in
+
+  let sys = Sim.create ~n ~seed ~scheduler ~crash ~make in
+  Sim.run sys;
+
+  { t_end;
+    outputs;
+    round0_views = Array.map (fun p -> p.view) procs;
+    history = Array.map (fun p -> List.rev p.hist) procs;
+    senders = Array.map (fun p -> List.rev p.snd_log) procs;
+    sent_round = Array.map (fun p -> List.rev p.sent_log) procs;
+    crashed = Array.init n (Sim.crashed sys);
+    metrics = Sim.metrics sys }

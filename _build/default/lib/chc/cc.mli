@@ -1,0 +1,69 @@
+(** Algorithm CC — the paper's asynchronous approximate convex hull
+    consensus protocol (Section 4).
+
+    Round 0: every process broadcasts its input through the
+    {!Protocol.Stable_vector} primitive, waits for a stable view [R_i],
+    forms the input multiset [X_i], and computes
+
+    {[ h_i[0] = ∩_{C ⊆ X_i, |C| = |X_i| - f} H(C) ]}
+
+    Rounds [1 .. t_end]: broadcast [h_i[t-1]]; on first hearing [n - f]
+    round-[t] polytopes (own included), set [h_i[t]] to their equal-
+    weight linear combination [L] and advance. [h_i[t_end]] is the
+    decision.
+
+    The [round0] parameter selects the ablation of experiment E6:
+    [`Naive] replaces stable vector by "first [n - f] inputs heard",
+    which is still safe (validity holds) but forfeits the containment
+    property and hence the optimality guarantee of Theorem 3.
+
+    Every execution is deterministic in (config, inputs, crash plans,
+    scheduler, seed). *)
+
+module Q = Numeric.Q
+
+type round0_mode = [ `Stable_vector | `Naive ]
+
+type result = {
+  t_end : int;
+  outputs : Geometry.Polytope.t option array;
+    (** decision per process; [None] when it crashed before deciding *)
+  round0_views : (int * Geometry.Vec.t) list option array;
+    (** [R_i] as (origin, input) pairs, sorted by origin; [None] when
+        round 0 never completed at that process *)
+  history : (int * Geometry.Polytope.t) list array;
+    (** per process: [(t, h_i[t])] for every completed round, ascending *)
+  senders : (int * int list) list array;
+    (** per process: [(t, senders of the frozen MSG_i[t])] for rounds
+        [t >= 1], ascending; sender lists in arrival order *)
+  sent_round : (int * bool) list array;
+    (** per process: did at least one round-[t] message reach a
+        channel? (drives the paper's [F[t]] sets) *)
+  crashed : bool array;
+  metrics : Runtime.Sim.metrics;
+}
+
+val execute :
+  ?round0:round0_mode ->
+  config:Config.t ->
+  inputs:Geometry.Vec.t array ->
+  crash:Runtime.Crash.plan array ->
+  scheduler:Runtime.Scheduler.t ->
+  seed:int ->
+  unit ->
+  result
+(** Run one complete execution to quiescence.
+    @raise Invalid_argument on malformed inputs (wrong count,
+    dimension, or out-of-range coordinates). *)
+
+val fault_set : Runtime.Crash.plan array -> int list
+(** Indices with a non-[Never] plan — the model's faulty set [F]
+    (faulty processes have incorrect inputs and may crash). *)
+
+val round0_polytope :
+  dim:int -> f:int -> Geometry.Vec.t list -> Geometry.Polytope.t
+(** Line 5 of Algorithm CC on an explicit input multiset:
+    [∩_{C ⊆ X, |C| = |X|-f} H(C)]. Non-empty whenever
+    [|X| >= (d+1)f + 1] (Lemma 2, via Tverberg's theorem).
+    @raise Failure if the intersection is empty (fewer points than the
+    Tverberg guarantee requires). *)

@@ -1,0 +1,31 @@
+module Q = Numeric.Q
+
+type t = {
+  n : int;
+  f : int;
+  d : int;
+  eps : Q.t;
+  lo : Q.t;
+  hi : Q.t;
+}
+
+let make ~n ~f ~d ~eps ~lo ~hi =
+  if d < 1 then invalid_arg "Config.make: d must be >= 1";
+  if f < 0 then invalid_arg "Config.make: f must be >= 0";
+  if n < ((d + 2) * f) + 1 then
+    invalid_arg "Config.make: resilience requires n >= (d+2)f + 1";
+  if Q.sign eps <= 0 then invalid_arg "Config.make: eps must be positive";
+  if Q.gt lo hi then invalid_arg "Config.make: lo must be <= hi";
+  { n; f; d; eps; lo; hi }
+
+let validate_input t x =
+  if Geometry.Vec.dim x <> t.d then invalid_arg "Config.validate_input: dimension";
+  Array.iter
+    (fun c ->
+       if Q.lt c t.lo || Q.gt c t.hi then
+         invalid_arg "Config.validate_input: coordinate out of range")
+    x
+
+let pp fmt t =
+  Format.fprintf fmt "{n=%d; f=%d; d=%d; eps=%a; range=[%a,%a]}"
+    t.n t.f t.d Q.pp t.eps Q.pp t.lo Q.pp t.hi

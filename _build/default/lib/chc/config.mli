@@ -1,0 +1,28 @@
+(** Problem parameters for approximate convex hull consensus.
+
+    Carries the system size [n], the fault bound [f], the input
+    dimension [d], the agreement parameter [ε], and the global input
+    range [\[lo, hi\]] that every input coordinate is promised to lie
+    in (the paper's [μ] and [U], which the round bound (19) needs). *)
+
+module Q = Numeric.Q
+
+type t = private {
+  n : int;
+  f : int;
+  d : int;
+  eps : Q.t;
+  lo : Q.t;
+  hi : Q.t;
+}
+
+val make : n:int -> f:int -> d:int -> eps:Q.t -> lo:Q.t -> hi:Q.t -> t
+(** @raise Invalid_argument unless [n >= (d+2)f + 1] (the paper's
+    necessary-and-sufficient resilience bound), [f >= 0], [d >= 1],
+    [eps > 0] and [lo <= hi]. *)
+
+val validate_input : t -> Geometry.Vec.t -> unit
+(** @raise Invalid_argument if a coordinate leaves [\[lo, hi\]] or the
+    dimension is wrong. *)
+
+val pp : Format.formatter -> t -> unit

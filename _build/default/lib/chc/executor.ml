@@ -1,0 +1,114 @@
+module Q = Numeric.Q
+module Vec = Geometry.Vec
+module Polytope = Geometry.Polytope
+module Rng = Runtime.Rng
+module Crash = Runtime.Crash
+
+type spec = {
+  config : Config.t;
+  inputs : Vec.t array;
+  crash : Crash.plan array;
+  scheduler : Runtime.Scheduler.t;
+  seed : int;
+  round0 : Cc.round0_mode;
+}
+
+type report = {
+  spec : spec;
+  result : Cc.result;
+  faulty : int list;
+  correct_hull : Polytope.t;
+  terminated : bool;
+  valid : bool;
+  valid_all_inputs : bool;
+  agreement2 : Q.t option;
+  agreement_ok : bool;
+  iz : Polytope.t option;
+  optimal : bool;
+  min_output_volume : Q.t option;
+  iz_volume : Q.t option;
+}
+
+let random_inputs ~config ~rng ?(grid = 1000) () =
+  let { Config.n; d; lo; hi; _ } = config in
+  let span = Q.sub hi lo in
+  let coord () =
+    Q.add lo (Q.mul span (Q.of_ints (Rng.int rng (grid + 1)) grid))
+  in
+  Array.init n (fun _ -> Array.init d (fun _ -> coord ()))
+
+let default_spec ~config ~seed ?faulty ?(scheduler = Runtime.Scheduler.Random_uniform)
+    ?(round0 = `Stable_vector) ?(max_budget = 60) () =
+  let rng = Rng.create seed in
+  let faulty =
+    match faulty with
+    | Some l -> l
+    | None -> List.init config.Config.f Fun.id
+  in
+  let inputs = random_inputs ~config ~rng () in
+  let crash =
+    Crash.random_for ~rng ~n:config.Config.n ~faulty ~max_sends:max_budget
+  in
+  { config; inputs; crash; scheduler; seed; round0 }
+
+let min_opt acc v =
+  match acc with
+  | None -> Some v
+  | Some a -> Some (Q.min a v)
+
+let run spec =
+  let { config; inputs; crash; scheduler; seed; round0 } = spec in
+  let result =
+    Cc.execute ~round0 ~config ~inputs ~crash ~scheduler ~seed ()
+  in
+  let n = config.Config.n in
+  let faulty = Cc.fault_set crash in
+  let fault_free =
+    List.filter (fun i -> not (List.mem i faulty)) (List.init n Fun.id)
+  in
+  let correct_inputs = List.map (fun i -> inputs.(i)) fault_free in
+  let correct_hull = Polytope.of_points ~dim:config.Config.d correct_inputs in
+  let ff_outputs =
+    List.filter_map (fun i -> result.Cc.outputs.(i)) fault_free
+  in
+  let terminated = List.length ff_outputs = List.length fault_free in
+  let valid =
+    List.for_all (fun h -> Polytope.subset h correct_hull) ff_outputs
+  in
+  let all_hull = Polytope.of_points ~dim:config.Config.d (Array.to_list inputs) in
+  let valid_all_inputs =
+    List.for_all (fun h -> Polytope.subset h all_hull) ff_outputs
+  in
+  let agreement2 =
+    let rec pairs acc = function
+      | [] -> acc
+      | h :: rest ->
+        let acc =
+          List.fold_left
+            (fun acc h' -> Q.max acc (Polytope.hausdorff2 h h'))
+            acc rest
+        in
+        pairs acc rest
+    in
+    match ff_outputs with
+    | [] | [_] -> None
+    | _ -> Some (pairs Q.zero ff_outputs)
+  in
+  let agreement_ok =
+    match agreement2 with
+    | None -> terminated
+    | Some a2 -> Q.lt a2 (Q.square config.Config.eps)
+  in
+  let iz = Iz.compute ~config ~faulty ~result in
+  let optimal = Iz.contained_in_all_rounds ~config ~faulty ~result in
+  let min_output_volume =
+    List.fold_left
+      (fun acc h ->
+         match Polytope.volume h with
+         | Some v -> min_opt acc v
+         | None -> acc)
+      None ff_outputs
+  in
+  let iz_volume = Option.bind iz Polytope.volume in
+  { spec; result; faulty; correct_hull; terminated; valid; valid_all_inputs;
+    agreement2; agreement_ok; iz; optimal; min_output_volume; iz_volume }

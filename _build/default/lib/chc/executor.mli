@@ -1,0 +1,64 @@
+(** One-call experiment runner: execute Algorithm CC and grade the
+    execution against every property the paper proves.
+
+    All checks are exact except where noted:
+    - {b termination}: every fault-free process decided;
+    - {b validity}: every fault-free output is contained in the convex
+      hull of the {e correct} inputs (faulty processes' inputs are
+      "incorrect" in this fault model and excluded);
+    - {b ε-agreement}: the max pairwise Hausdorff distance between
+      fault-free outputs, certified as [d_H² < ε²] in rationals;
+    - {b optimality}: [I_Z ⊆ h_i[t]] for all fault-free [i] and rounds
+      [t] (Lemma 6 / Theorem 3). *)
+
+module Q = Numeric.Q
+
+type spec = {
+  config : Config.t;
+  inputs : Geometry.Vec.t array;
+  crash : Runtime.Crash.plan array;
+  scheduler : Runtime.Scheduler.t;
+  seed : int;
+  round0 : Cc.round0_mode;
+}
+
+type report = {
+  spec : spec;
+  result : Cc.result;
+  faulty : int list;
+  correct_hull : Geometry.Polytope.t;
+  terminated : bool;
+  valid : bool;
+  valid_all_inputs : bool;
+  (** validity against the hull of {e all} inputs — the weaker
+      requirement of the paper's companion "crash faults with correct
+      inputs" model (tech report arXiv:1403.3455), where faulty
+      processes hold correct inputs too. Implied by [valid]. *)
+  agreement2 : Q.t option;   (** max pairwise [d_H²]; [None] if < 2 outputs *)
+  agreement_ok : bool;
+  iz : Geometry.Polytope.t option;
+  optimal : bool;
+  min_output_volume : Q.t option;  (** min fault-free output volume, d ≤ 3 *)
+  iz_volume : Q.t option;
+}
+
+val run : spec -> report
+
+val random_inputs :
+  config:Config.t -> rng:Runtime.Rng.t -> ?grid:int -> unit ->
+  Geometry.Vec.t array
+(** [n] random rational inputs on a uniform [grid × … × grid] lattice
+    spanning the configured input box (default [grid = 1000]). *)
+
+val default_spec :
+  config:Config.t ->
+  seed:int ->
+  ?faulty:int list ->
+  ?scheduler:Runtime.Scheduler.t ->
+  ?round0:Cc.round0_mode ->
+  ?max_budget:int ->
+  unit ->
+  spec
+(** A randomized spec: random inputs, random crash budgets for the
+    given faulty set (default: processes [0 .. f-1]), random-uniform
+    scheduler. Deterministic in [seed]. *)

@@ -1,0 +1,110 @@
+module Q = Numeric.Q
+module Vec = Geometry.Vec
+module Polytope = Geometry.Polytope
+module Distance = Geometry.Distance
+
+type cost = {
+  name : string;
+  eval : Vec.t -> Q.t;
+  minimize : Polytope.t -> Vec.t;
+  lipschitz_hint : float;
+}
+
+(* Deterministic tie-break: smallest minimizing candidate in the
+   lexicographic order. *)
+let argmin_by eval candidates =
+  match candidates with
+  | [] -> invalid_arg "Optimize.argmin_by: no candidates"
+  | first :: rest ->
+    List.fold_left
+      (fun (bx, bv) x ->
+         let v = eval x in
+         let c = Q.compare v bv in
+         if c < 0 || (c = 0 && Vec.compare x bx < 0) then (x, v) else (bx, bv))
+      (first, eval first) rest
+    |> fst
+
+let linear ~name a =
+  { name;
+    eval = (fun x -> Vec.dot a x);
+    minimize = (fun p -> argmin_by (Vec.dot a) (Polytope.vertices p));
+    lipschitz_hint = sqrt (Q.to_float (Vec.norm2 a)) }
+
+let quadratic_distance ~name target ~lipschitz_hint =
+  { name;
+    eval = (fun x -> Vec.dist2 target x);
+    minimize =
+      (fun p ->
+         let (_, proj) =
+           Distance.project_point_hull ~dim:(Polytope.dim p) target
+             (Polytope.vertices p)
+         in
+         proj);
+    lipschitz_hint }
+
+let theorem4_eval x =
+  let v = x.(0) in
+  if Q.lt v Q.zero || Q.gt v Q.one then Q.of_int 3
+  else begin
+    (* 4 - (2v - 1)² *)
+    Q.sub (Q.of_int 4) (Q.square (Q.sub (Q.mul Q.two v) Q.one))
+  end
+
+let theorem4_cost =
+  { name = "theorem4";
+    eval = theorem4_eval;
+    minimize =
+      (fun p ->
+         if Polytope.dim p <> 1 then
+           invalid_arg "theorem4_cost: 1-dimensional only"
+         else begin
+           let (lo, hi) = (Polytope.bounding_box p).(0) in
+           let inside c = Q.leq lo c && Q.leq c hi in
+           let candidates =
+             [Vec.make [lo]; Vec.make [hi]]
+             @ (if inside Q.zero then [Vec.make [Q.zero]] else [])
+             @ (if inside Q.one then [Vec.make [Q.one]] else [])
+           in
+           argmin_by theorem4_eval candidates
+         end);
+    (* |dc/dx| = |4(2x-1)| <= 4 on [0,1]; the function is
+       discontinuous at the box edge only in a measure-zero sense —
+       within [0,1] inputs the bound 4 is what matters. *)
+    lipschitz_hint = 4.0 }
+
+type report = {
+  cost_name : string;
+  outputs : (Vec.t * Q.t) option array;
+  beta_spread : Q.t option;
+}
+
+let two_step ~config ~faulty ~(result : Cc.result) ~cost =
+  ignore config;
+  let outputs =
+    Array.map
+      (Option.map (fun h ->
+           let y = cost.minimize h in
+           (y, cost.eval y)))
+      result.Cc.outputs
+  in
+  let fault_free_values =
+    Array.to_list outputs
+    |> List.mapi (fun i o -> (i, o))
+    |> List.filter_map (fun (i, o) ->
+        if List.mem i faulty then None else Option.map snd o)
+  in
+  let beta_spread =
+    match fault_free_values with
+    | [] -> None
+    | first :: _ ->
+      let lo = List.fold_left Q.min first fault_free_values in
+      let hi = List.fold_left Q.max first fault_free_values in
+      Some (Q.sub hi lo)
+  in
+  { cost_name = cost.name; outputs; beta_spread }
+
+let eps_for_beta ~beta ~lipschitz_hint =
+  if Q.sign beta <= 0 then invalid_arg "Optimize.eps_for_beta: beta <= 0";
+  (* Conservative rational upper bound for b, then ε = β / b. *)
+  let b_ceil = Q.of_int (int_of_float (Float.ceil lipschitz_hint) + 1) in
+  Q.div beta b_ceil

@@ -1,0 +1,60 @@
+(** Convex hull function optimization — Section 7 of the paper.
+
+    The 2-step algorithm: run convex hull consensus with parameter
+    [ε = β / b] (where [b] is the cost's Lipschitz constant), then
+    output [y_i = argmin_{x ∈ h_i} c(x)]. This satisfies Validity,
+    Termination and Weak β-Optimality, but {e not} ε-agreement on the
+    points — Theorem 4 proves that no algorithm achieves all four
+    properties, and {!theorem4_cost} is the witness cost function from
+    its proof. *)
+
+module Q = Numeric.Q
+
+type cost = {
+  name : string;
+  eval : Geometry.Vec.t -> Q.t;
+  (** exact cost evaluation *)
+  minimize : Geometry.Polytope.t -> Geometry.Vec.t;
+  (** a minimizer of the cost over a polytope; ties broken
+      deterministically but otherwise arbitrarily (as in the paper's
+      Step 2) *)
+  lipschitz_hint : float;
+  (** an upper bound on the Lipschitz constant [b] on the input box —
+      used to pick [ε = β / b] *)
+}
+
+val linear : name:string -> Geometry.Vec.t -> cost
+(** [c(x) = a·x]; minimized exactly by a vertex scan. *)
+
+val quadratic_distance : name:string -> Geometry.Vec.t -> lipschitz_hint:float -> cost
+(** [c(x) = |x - target|²]; minimized exactly by projection of the
+    target onto the polytope ({!Geometry.Distance.project_point_hull}).
+    The hint should bound [2·sup|x - target|] over the input box. *)
+
+val theorem4_cost : cost
+(** The 1-d cost of the impossibility proof:
+    [c(x) = 4 - (2x-1)²] on [\[0,1\]] and [3] elsewhere. Its minimum
+    over an interval is attained at 0, 1, or an interval endpoint;
+    ties break toward the smaller abscissa. With binary inputs it
+    forces optimizing processes to pick 0 or 1 — so ε-agreement would
+    imply exact consensus, contradicting FLP. *)
+
+type report = {
+  cost_name : string;
+  outputs : (Geometry.Vec.t * Q.t) option array;
+  (** per process: (y_i, c(y_i)); [None] for processes that crashed *)
+  beta_spread : Q.t option;
+  (** max |c(y_i) - c(y_j)| over fault-free pairs, when any decided *)
+}
+
+val two_step :
+  config:Config.t ->
+  faulty:int list ->
+  result:Cc.result ->
+  cost:cost ->
+  report
+(** Step 2 applied to a finished CC execution (Step 1). *)
+
+val eps_for_beta : beta:Q.t -> lipschitz_hint:float -> Q.t
+(** [ε = β / b] (conservatively rounded down), the Step-1 parameter
+    that makes the weak β-optimality spread bound hold. *)

@@ -1,0 +1,102 @@
+module Q = Numeric.Q
+module Vec = Geometry.Vec
+module Polytope = Geometry.Polytope
+module Sim = Runtime.Sim
+module SV = Protocol.Stable_vector
+module Rounds = Protocol.Rounds
+
+let derived_outputs (result : Cc.result) =
+  Array.map (Option.map Polytope.steiner_point) result.Cc.outputs
+
+type result = {
+  t_end : int;
+  outputs : Vec.t option array;
+  crashed : bool array;
+  metrics : Runtime.Sim.metrics;
+}
+
+type msg =
+  | Sv of Vec.t SV.msg
+  | Round of int * Vec.t
+
+type proc = {
+  id : int;
+  mutable sv : Vec.t SV.state option;
+  rounds : Vec.t Rounds.t;
+  mutable current : int;
+  mutable x : Vec.t option;
+}
+
+let execute_baseline ~config ~inputs ~crash ~scheduler ~seed () =
+  let { Config.n; f; d; _ } = config in
+  if Array.length inputs <> n then invalid_arg "Vector_consensus: need n inputs";
+  Array.iter (Config.validate_input config) inputs;
+  let t_end = Bounds.t_end config in
+  let threshold = n - f in
+  let outputs = Array.make n None in
+  let procs =
+    Array.init n (fun i ->
+        { id = i; sv = None; rounds = Rounds.create ~threshold;
+          current = 0; x = None })
+  in
+
+  let rec enter_round ctx p t =
+    p.current <- t;
+    let x = Option.get p.x in
+    Rounds.add p.rounds ~round:t ~src:p.id x;
+    Sim.broadcast ctx (Round (t, x));
+    try_advance ctx p
+  and try_advance ctx p =
+    if p.current >= 1 && p.current <= t_end
+       && Rounds.ready p.rounds ~round:p.current
+    then begin
+      let y = Rounds.freeze p.rounds ~round:p.current in
+      let x = Vec.average (List.map snd y) in
+      p.x <- Some x;
+      if p.current = t_end then begin
+        outputs.(p.id) <- Some x;
+        p.current <- t_end + 1
+      end
+      else enter_round ctx p (p.current + 1)
+    end
+  in
+
+  let check_stable ctx p =
+    if p.current = 0 && p.x = None then begin
+      match Option.bind p.sv SV.result with
+      | Some entries ->
+        let pts = List.map (fun e -> e.SV.value) entries in
+        let h0 = Cc.round0_polytope ~dim:d ~f pts in
+        p.x <- Some (Polytope.steiner_point h0);
+        enter_round ctx p 1
+      | None -> ()
+    end
+  in
+
+  let make i =
+    let p = procs.(i) in
+    { Sim.on_start =
+        (fun ctx ->
+           let st =
+             SV.create ~n ~f ~me:i ~value:inputs.(i)
+               ~broadcast:(fun m -> Sim.broadcast ctx (Sv m))
+           in
+           p.sv <- Some st;
+           check_stable ctx p);
+      on_receive =
+        (fun ctx src msg ->
+           match msg with
+           | Sv m ->
+             (match p.sv with
+              | Some st -> SV.on_receive st ~src m; check_stable ctx p
+              | None -> ())
+           | Round (t, x) ->
+             Rounds.add p.rounds ~round:t ~src x;
+             if t = p.current then try_advance ctx p) }
+  in
+  let sys = Sim.create ~n ~seed ~scheduler ~crash ~make in
+  Sim.run sys;
+  { t_end;
+    outputs;
+    crashed = Array.init n (Sim.crashed sys);
+    metrics = Sim.metrics sys }

@@ -1,0 +1,40 @@
+(** Approximate vector (multidimensional) consensus — both the paper's
+    reduction from convex hull consensus ("a solution for convex hull
+    consensus trivially yields a solution for vector consensus") and a
+    standalone point-valued baseline used by experiment E5.
+
+    The baseline, Algorithm VC, runs the same round structure as
+    Algorithm CC but carries a single point: round 0 computes the
+    round-0 polytope and immediately collapses it to its Steiner point;
+    rounds [1 .. t_end] average the first [n-f] points heard. Its
+    correctness argument is the scalar specialization of Section 5
+    (row-stochastic products contract each coordinate by the same
+    [(1-1/n)^t] envelope), so the same [t_end] applies. Its decision
+    carries strictly less information than CC's polytope — quantified
+    by the output-volume comparison in E5. *)
+
+module Q = Numeric.Q
+
+val derived_outputs : Cc.result -> Geometry.Vec.t option array
+(** Point decisions extracted from a CC run: the Steiner point of each
+    output polytope. Exactly inside the polytope (hence valid); the
+    d=1/d=2 selections are Hausdorff-Lipschitz (approximately for d=2,
+    see {!Geometry.Polytope.steiner_point}), so ε-agreement of the
+    polytopes transfers to the points up to the Lipschitz factor. *)
+
+type result = {
+  t_end : int;
+  outputs : Geometry.Vec.t option array;
+  crashed : bool array;
+  metrics : Runtime.Sim.metrics;
+}
+
+val execute_baseline :
+  config:Config.t ->
+  inputs:Geometry.Vec.t array ->
+  crash:Runtime.Crash.plan array ->
+  scheduler:Runtime.Scheduler.t ->
+  seed:int ->
+  unit ->
+  result
+(** One deterministic execution of the baseline Algorithm VC. *)

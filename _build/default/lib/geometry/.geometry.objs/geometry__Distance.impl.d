@@ -1,0 +1,1 @@
+lib/geometry/distance.ml: Array Hull2d Hullnd Linsys List Lp Numeric Stdlib Vec

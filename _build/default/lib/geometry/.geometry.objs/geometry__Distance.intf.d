@@ -1,0 +1,1 @@
+lib/geometry/distance.mli: Numeric Vec

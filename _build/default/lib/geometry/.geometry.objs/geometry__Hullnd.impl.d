@@ -1,0 +1,1 @@
+lib/geometry/hullnd.ml: Array Fun Linsys List Lp Numeric Vec

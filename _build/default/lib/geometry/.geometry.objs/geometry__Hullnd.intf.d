@@ -1,0 +1,1 @@
+lib/geometry/hullnd.mli: Numeric Vec

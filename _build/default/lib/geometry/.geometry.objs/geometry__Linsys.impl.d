@@ -1,0 +1,1 @@
+lib/geometry/linsys.ml: Array Fun List Numeric

@@ -1,0 +1,1 @@
+lib/geometry/linsys.mli: Numeric

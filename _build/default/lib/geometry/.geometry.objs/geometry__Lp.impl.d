@@ -1,0 +1,1 @@
+lib/geometry/lp.ml: Array List Numeric Vec

@@ -1,0 +1,1 @@
+lib/geometry/lp.mli: Numeric Vec

@@ -1,0 +1,1 @@
+lib/geometry/polytope.ml: Array Distance Float Format Hull2d Hullnd List Lp Numeric Printf String Vec Volume3d

@@ -1,0 +1,1 @@
+lib/geometry/polytope.mli: Format Numeric Vec

@@ -1,0 +1,1 @@
+lib/geometry/tverberg.ml: List Numeric Polytope

@@ -1,0 +1,1 @@
+lib/geometry/tverberg.mli: Polytope Vec

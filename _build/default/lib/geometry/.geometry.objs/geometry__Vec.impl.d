@@ -1,0 +1,1 @@
+lib/geometry/vec.ml: Array Format List Numeric Printf Stdlib String

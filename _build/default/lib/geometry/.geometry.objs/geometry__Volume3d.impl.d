@@ -1,0 +1,1 @@
+lib/geometry/volume3d.ml: Array Hull2d Hullnd List Numeric Vec

@@ -1,0 +1,1 @@
+lib/geometry/volume3d.mli: Numeric Vec

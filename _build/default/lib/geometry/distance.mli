@@ -1,0 +1,35 @@
+(** Exact Euclidean and Hausdorff distances between convex polytopes.
+
+    Squared distances are computed exactly over rationals; callers take
+    a float square root only at the reporting boundary. Exactness lets
+    the ε-agreement experiments *certify* [d_H < ε] by comparing
+    [d_H² < ε²] in rationals.
+
+    The directed Hausdorff distance from a convex polytope is attained
+    at a vertex (the point-to-convex-set distance is convex, and a
+    convex function attains its maximum over a polytope at a vertex),
+    so both directions reduce to point-to-polytope queries. *)
+
+module Q = Numeric.Q
+
+val dist2_point_segment : Vec.t -> Vec.t -> Vec.t -> Q.t
+(** [dist2_point_segment p a b]: exact squared distance from [p] to the
+    segment [ab]. *)
+
+val dist2_point_hull : dim:int -> Vec.t -> Vec.t list -> Q.t
+(** Exact squared distance from a point to the convex hull of a
+    non-empty point list. 2-d uses edge projections on the canonical
+    polygon; other dimensions enumerate vertex subsets and project by
+    exact least squares. @raise Invalid_argument on the empty list. *)
+
+val project_point_hull : dim:int -> Vec.t -> Vec.t list -> Q.t * Vec.t
+(** Exact nearest point of the hull to the query, with its squared
+    distance. The projection onto a convex set is unique, so the result
+    is deterministic. @raise Invalid_argument on the empty list. *)
+
+val hausdorff2 : dim:int -> Vec.t list -> Vec.t list -> Q.t
+(** Exact squared Hausdorff distance between the hulls of two
+    non-empty point lists. @raise Invalid_argument if either is empty. *)
+
+val hausdorff : dim:int -> Vec.t list -> Vec.t list -> float
+(** [sqrt] of {!hausdorff2} as a float. *)

@@ -1,0 +1,233 @@
+module Q = Numeric.Q
+
+let cross o a b =
+  let ax = Q.sub a.(0) o.(0) and ay = Q.sub a.(1) o.(1) in
+  let bx = Q.sub b.(0) o.(0) and by = Q.sub b.(1) o.(1) in
+  Q.sub (Q.mul ax by) (Q.mul ay bx)
+
+let dedupe_sorted pts =
+  let rec go = function
+    | a :: (b :: _ as rest) ->
+      if Vec.equal a b then go rest else a :: go rest
+    | short -> short
+  in
+  go pts
+
+(* Andrew's monotone chain. Strict turns only (non-left turns are
+   popped), so collinear interior points are dropped and the result is
+   a strictly convex CCW cycle starting at the lex-smallest vertex. *)
+let hull pts =
+  let pts = dedupe_sorted (List.sort Vec.compare pts) in
+  match pts with
+  | [] | [_] | [_; _] -> pts
+  | _ ->
+    (* Build a chain over [side]; the returned list is in traversal
+       order. Pops while the last turn is not strictly CCW. *)
+    let chain side =
+      let stack =
+        List.fold_left
+          (fun stack p ->
+             let rec pop = function
+               | b :: a :: rest when Q.sign (cross a b p) <= 0 -> pop (a :: rest)
+               | s -> s
+             in
+             p :: pop stack)
+          [] side
+      in
+      List.rev stack
+    in
+    let drop_last l = List.filteri (fun i _ -> i < List.length l - 1) l in
+    let lower = chain pts in
+    let upper = chain (List.rev pts) in
+    let ccw = drop_last lower @ drop_last upper in
+    (match ccw with
+     | [] | [_] | [_; _] ->
+       (* All points collinear: the hull is the extreme segment. *)
+       [List.hd pts; List.nth pts (List.length pts - 1)]
+     | _ -> ccw)
+
+let is_canonical poly =
+  match poly with
+  | [] | [_] -> true
+  | [a; b] -> Vec.compare a b < 0
+  | v0 :: _ ->
+    let arr = Array.of_list poly in
+    let n = Array.length arr in
+    let ok = ref true in
+    for i = 0 to n - 1 do
+      let a = arr.(i) and b = arr.((i + 1) mod n) and c = arr.((i + 2) mod n) in
+      if Q.sign (cross a b c) <= 0 then ok := false
+    done;
+    Array.iter (fun v -> if Vec.compare v v0 < 0 then ok := false) arr;
+    !ok
+
+let area2 poly =
+  match poly with
+  | [] | [_] | [_; _] -> Q.zero
+  | _ ->
+    let arr = Array.of_list poly in
+    let n = Array.length arr in
+    let acc = ref Q.zero in
+    for i = 0 to n - 1 do
+      let a = arr.(i) and b = arr.((i + 1) mod n) in
+      acc := Q.add !acc (Q.sub (Q.mul a.(0) b.(1)) (Q.mul a.(1) b.(0)))
+    done;
+    !acc
+
+let on_segment a b p =
+  Q.is_zero (cross a b p)
+  && Q.leq (Q.min a.(0) b.(0)) p.(0) && Q.leq p.(0) (Q.max a.(0) b.(0))
+  && Q.leq (Q.min a.(1) b.(1)) p.(1) && Q.leq p.(1) (Q.max a.(1) b.(1))
+
+let contains poly p =
+  match poly with
+  | [] -> false
+  | [a] -> Vec.equal a p
+  | [a; b] -> on_segment a b p
+  | _ ->
+    let arr = Array.of_list poly in
+    let n = Array.length arr in
+    let ok = ref true in
+    for i = 0 to n - 1 do
+      if Q.sign (cross arr.(i) arr.((i + 1) mod n) p) < 0 then ok := false
+    done;
+    !ok
+
+(* Intersection of segment [a,b] with the line n·x = c, when the
+   endpoints straddle it strictly. *)
+let line_hit a b ~normal ~offset =
+  let fa = Q.sub (Vec.dot normal a) offset in
+  let fb = Q.sub (Vec.dot normal b) offset in
+  (* t such that f(a) + t (f(b) - f(a)) = 0 *)
+  let t = Q.div fa (Q.sub fa fb) in
+  Vec.add a (Vec.scale t (Vec.sub b a))
+
+let clip poly ~normal ~offset =
+  match poly with
+  | [] -> []
+  | [a] -> if Q.leq (Vec.dot normal a) offset then [a] else []
+  | _ ->
+    let arr = Array.of_list poly in
+    let n = Array.length arr in
+    let out = ref [] in
+    for i = 0 to n - 1 do
+      let a = arr.(i) and b = arr.((i + 1) mod n) in
+      let fa = Q.sub (Vec.dot normal a) offset in
+      let fb = Q.sub (Vec.dot normal b) offset in
+      let sa = Q.sign fa and sb = Q.sign fb in
+      if sa <= 0 then out := a :: !out;
+      if (sa < 0 && sb > 0) || (sa > 0 && sb < 0) then
+        out := line_hit a b ~normal ~offset :: !out
+    done;
+    hull !out
+
+let halfplanes poly =
+  let perp v = Vec.make [Q.neg v.(1); v.(0)] in
+  match poly with
+  | [] -> invalid_arg "Hull2d.halfplanes: empty polytope"
+  | [a] ->
+    let ex = Vec.make [Q.one; Q.zero] and ey = Vec.make [Q.zero; Q.one] in
+    [ (ex, a.(0)); (Vec.neg ex, Q.neg a.(0));
+      (ey, a.(1)); (Vec.neg ey, Q.neg a.(1)) ]
+  | [a; b] ->
+    let dirv = Vec.sub b a in
+    let n = perp dirv in
+    [ (n, Vec.dot n a); (Vec.neg n, Q.neg (Vec.dot n a));
+      (dirv, Vec.dot dirv b); (Vec.neg dirv, Q.neg (Vec.dot dirv a)) ]
+  | _ ->
+    let arr = Array.of_list poly in
+    let n = Array.length arr in
+    List.init n (fun i ->
+        let a = arr.(i) and b = arr.((i + 1) mod n) in
+        (* Outward normal of a CCW edge is the clockwise perpendicular. *)
+        let e = Vec.sub b a in
+        let nrm = Vec.make [e.(1); Q.neg e.(0)] in
+        (nrm, Vec.dot nrm a))
+
+let intersect p q =
+  match p, q with
+  | [], _ | _, [] -> []
+  | _ ->
+    let smaller, larger =
+      if List.length p <= List.length q then p, q else q, p
+    in
+    (* Clip the larger polytope by every halfplane of the smaller. *)
+    List.fold_left
+      (fun acc (normal, offset) ->
+         match acc with [] -> [] | _ -> clip acc ~normal ~offset)
+      larger (halfplanes smaller)
+
+(* --- Minkowski sum --------------------------------------------------- *)
+
+let translate v poly = List.map (Vec.add v) poly
+
+let pairwise_sum p q =
+  hull (List.concat_map (fun a -> List.map (Vec.add a) q) p)
+
+(* Rotate a CCW polygon so it starts at its bottom-most (then
+   left-most) vertex. *)
+let rotate_to_bottom poly =
+  let arr = Array.of_list poly in
+  let n = Array.length arr in
+  let key v = (v.(1), v.(0)) in
+  let lt a b =
+    let (ay, ax) = key a and (by, bx) = key b in
+    let c = Q.compare ay by in
+    if c <> 0 then c < 0 else Q.compare ax bx < 0
+  in
+  let best = ref 0 in
+  for i = 1 to n - 1 do
+    if lt arr.(i) arr.(!best) then best := i
+  done;
+  List.init n (fun i -> arr.((i + !best) mod n))
+
+(* Angular comparison of edge vectors over the full turn [0, 2π),
+   implemented with the half-plane trick so only exact signs are used. *)
+let angle_half v =
+  (* 0 for angles in [0, π), 1 for [π, 2π). *)
+  let sy = Q.sign v.(1) in
+  if sy > 0 || (sy = 0 && Q.sign v.(0) > 0) then 0 else 1
+
+let angle_compare u v =
+  let hu = angle_half u and hv = angle_half v in
+  if hu <> hv then compare hu hv
+  else begin
+    let c = Q.sub (Q.mul u.(0) v.(1)) (Q.mul u.(1) v.(0)) in
+    - (Q.sign c)  (* positive cross (u before v) sorts u first *)
+  end
+
+let edges poly =
+  let arr = Array.of_list poly in
+  let n = Array.length arr in
+  List.init n (fun i -> Vec.sub arr.((i + 1) mod n) arr.(i))
+
+let edge_merge p q =
+  let p = rotate_to_bottom p and q = rotate_to_bottom q in
+  let ep = Array.of_list (edges p) and eq = Array.of_list (edges q) in
+  let start = Vec.add (List.hd p) (List.hd q) in
+  let np = Array.length ep and nq = Array.length eq in
+  let verts = ref [start] in
+  let cur = ref start in
+  let i = ref 0 and j = ref 0 in
+  while !i < np || !j < nq do
+    let step e = cur := Vec.add !cur e; verts := !cur :: !verts in
+    if !i >= np then begin step eq.(!j); incr j end
+    else if !j >= nq then begin step ep.(!i); incr i end
+    else begin
+      let c = angle_compare ep.(!i) eq.(!j) in
+      if c < 0 then begin step ep.(!i); incr i end
+      else if c > 0 then begin step eq.(!j); incr j end
+      else begin step (Vec.add ep.(!i) eq.(!j)); incr i; incr j end
+    end
+  done;
+  (* The walk returns to the start; canonicalize (cheap: ≤ np+nq+1
+     points, already convex). *)
+  hull !verts
+
+let minkowski_sum p q =
+  match p, q with
+  | [], _ | _, [] -> []
+  | [a], poly | poly, [a] -> translate a poly
+  | _ ->
+    if List.length p >= 3 && List.length q >= 3 then edge_merge p q
+    else pairwise_sum p q

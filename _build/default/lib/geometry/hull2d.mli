@@ -1,0 +1,46 @@
+(** Exact planar convex-polytope operations.
+
+    A polytope is represented by its canonical vertex list:
+    - [[]] — empty,
+    - [[p]] — a single point,
+    - [[a; b]] with [a < b] lexicographically — a segment,
+    - [v0; v1; …] — a strictly convex polygon in counter-clockwise
+      order starting from the lexicographically smallest vertex.
+
+    All predicates and constructions are exact over rationals. *)
+
+module Q = Numeric.Q
+
+val cross : Vec.t -> Vec.t -> Vec.t -> Q.t
+(** [cross o a b] is the z-component of [(a-o) × (b-o)]: positive for a
+    counter-clockwise turn. *)
+
+val hull : Vec.t list -> Vec.t list
+(** Canonical convex hull (Andrew's monotone chain); collinear
+    non-extreme points are dropped. *)
+
+val is_canonical : Vec.t list -> bool
+(** Whether a vertex list is in the canonical form described above. *)
+
+val area2 : Vec.t list -> Q.t
+(** Twice the polygon area (shoelace); [0] for points and segments. *)
+
+val contains : Vec.t list -> Vec.t -> bool
+(** Exact membership of a point in the polytope. *)
+
+val clip : Vec.t list -> normal:Vec.t -> offset:Q.t -> Vec.t list
+(** [clip poly ~normal ~offset] intersects with the halfplane
+    [{x | normal·x <= offset}]; result is canonical (possibly empty). *)
+
+val intersect : Vec.t list -> Vec.t list -> Vec.t list
+(** Intersection of two convex polytopes, canonical. *)
+
+val minkowski_sum : Vec.t list -> Vec.t list -> Vec.t list
+(** Minkowski sum; uses the linear-time convex edge-merge when both
+    operands are genuine polygons, pairwise sums otherwise. *)
+
+val halfplanes : Vec.t list -> (Vec.t * Q.t) list
+(** A complete H-representation [{x | n·x <= c}] of the polytope: edge
+    halfplanes for a polygon; line + end-cap constraints for a segment;
+    coordinate box constraints for a point.
+    @raise Invalid_argument on the empty polytope. *)

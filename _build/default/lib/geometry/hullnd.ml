@@ -1,0 +1,262 @@
+module Q = Numeric.Q
+module Combin = Numeric.Combin
+
+type hrep = {
+  dim : int;
+  eqs : (Vec.t * Q.t) list;
+  ineqs : (Vec.t * Q.t) list;
+}
+
+(* Canonical form of a constraint row: scaled so the first non-zero
+   coefficient has absolute value 1. Positive scaling preserves the
+   inequality direction. *)
+let normalize_ineq (a, b) =
+  let d = Vec.dim a in
+  let rec first i = if i = d then None
+    else if Q.is_zero a.(i) then first (i + 1) else Some a.(i)
+  in
+  match first 0 with
+  | None -> (a, b) (* trivial constraint 0 <= b; kept as-is *)
+  | Some lead ->
+    let s = Q.inv (Q.abs lead) in
+    (Vec.scale s a, Q.mul s b)
+
+(* Equalities additionally fix the sign of the leading coefficient. *)
+let normalize_eq (a, b) =
+  let d = Vec.dim a in
+  let rec first i = if i = d then None
+    else if Q.is_zero a.(i) then first (i + 1) else Some a.(i)
+  in
+  match first 0 with
+  | None -> (a, b)
+  | Some lead ->
+    let s = Q.inv lead in
+    (Vec.scale s a, Q.mul s b)
+
+let compare_constraint (a1, b1) (a2, b2) =
+  let c = Vec.compare a1 a2 in
+  if c <> 0 then c else Q.compare b1 b2
+
+let dedupe_constraints cs =
+  let sorted = List.sort compare_constraint cs in
+  let rec go = function
+    | x :: (y :: _ as rest) ->
+      if compare_constraint x y = 0 then go rest else x :: go rest
+    | short -> short
+  in
+  go sorted
+
+let dedupe_points pts =
+  let sorted = List.sort Vec.compare pts in
+  let rec go = function
+    | x :: (y :: _ as rest) ->
+      if Vec.equal x y then go rest else x :: go rest
+    | short -> short
+  in
+  go sorted
+
+let standard_basis d = List.init d (fun i ->
+    Array.init d (fun j -> if i = j then Q.one else Q.zero))
+
+(* Facets of a FULL-DIMENSIONAL point set in k-space: brute force over
+   k-subsets defining candidate hyperplanes. *)
+let enumerate_facets ~dim:k pts =
+  let pts = dedupe_points pts in
+  if k = 1 then begin
+    let xs = List.map (fun p -> p.(0)) pts in
+    let lo = List.fold_left Q.min (List.hd xs) xs in
+    let hi = List.fold_left Q.max (List.hd xs) xs in
+    [ (Vec.make [Q.one], hi); (Vec.make [Q.minus_one], Q.neg lo) ]
+  end
+  else begin
+    let candidates = Combin.subsets_of_size k pts in
+    let facet_of subset =
+      match subset with
+      | [] -> []
+      | s0 :: rest ->
+        let rows = Array.of_list (List.map (fun s -> Vec.sub s s0) rest) in
+        (match Linsys.nullspace rows with
+         | [a] ->
+           let b = Vec.dot a s0 in
+           let signs = List.map (fun p -> Q.sign (Q.sub (Vec.dot a p) b)) pts in
+           let has_pos = List.exists (fun s -> s > 0) signs in
+           let has_neg = List.exists (fun s -> s < 0) signs in
+           if has_pos && has_neg then []
+           else if has_pos then [normalize_ineq (Vec.neg a, Q.neg b)]
+           else [normalize_ineq (a, b)]
+         | _ -> [] (* affinely dependent subset, or not a hyperplane *))
+    in
+    dedupe_constraints (List.concat_map facet_of candidates)
+  end
+
+let of_points ~dim pts =
+  match dedupe_points pts with
+  | [] -> invalid_arg "Hullnd.of_points: empty point set"
+  | [p0] ->
+    let eqs =
+      List.map (fun e -> normalize_eq (e, Vec.dot e p0)) (standard_basis dim)
+    in
+    { dim; eqs; ineqs = [] }
+  | (p0 :: _) as pts ->
+    let dirs = List.filter_map
+        (fun p -> let v = Vec.sub p p0 in
+          if Vec.equal v (Vec.zero dim) then None else Some v)
+        pts
+    in
+    let idx = Linsys.independent_rows dirs in
+    let basis = List.map (List.nth dirs) idx in
+    let k = List.length basis in
+    assert (k >= 1);
+    let normals =
+      if k = dim then []
+      else Linsys.nullspace (Array.of_list basis)
+    in
+    let eqs = List.map (fun n -> normalize_eq (n, Vec.dot n p0)) normals in
+    if k = dim then
+      { dim; eqs = []; ineqs = enumerate_facets ~dim pts }
+    else begin
+      (* Work in subspace coordinates x = p0 + B y, B the d×k matrix
+         with the basis directions as columns. *)
+      let bmat = Array.init dim (fun i ->
+          Array.of_list (List.map (fun b -> b.(i)) basis))
+      in
+      let to_y p =
+        match Linsys.solve_any bmat (Vec.sub p p0) with
+        | Some y -> y
+        | None -> assert false (* p lies in the affine hull by construction *)
+      in
+      let ypts = List.map to_y pts in
+      let facets_y = enumerate_facets ~dim:k ypts in
+      (* Lift a subspace inequality a·y <= b back to ambient space:
+         pick k independent rows R of B, so y = B_R⁻¹ (x_R − p0_R);
+         then w solving B_Rᵀ w = a gives the ambient functional. *)
+      let brows = Array.to_list bmat in
+      let rsel = Linsys.independent_rows brows in
+      assert (List.length rsel = k);
+      let bsub = Array.of_list (List.map (fun i -> bmat.(i)) rsel) in
+      let bsub_t = Array.init k (fun i -> Array.init k (fun j -> bsub.(j).(i))) in
+      let lift (a, b) =
+        match Linsys.solve bsub_t a with
+        | None -> assert false (* B_Rᵀ is invertible *)
+        | Some w ->
+          let n = Vec.zero dim in
+          let n = Array.copy n in
+          List.iteri (fun i r -> n.(r) <- w.(i)) rsel;
+          let offset =
+            List.fold_left
+              (fun acc (wi, r) -> Q.add acc (Q.mul wi p0.(r)))
+              b
+              (List.combine (Array.to_list w) rsel)
+          in
+          normalize_ineq (n, offset)
+      in
+      { dim; eqs; ineqs = List.map lift facets_y }
+    end
+
+let combine hreps =
+  match hreps with
+  | [] -> invalid_arg "Hullnd.combine: empty list"
+  | { dim; _ } :: _ ->
+    List.iter (fun h -> if h.dim <> dim then
+                  invalid_arg "Hullnd.combine: dimension mismatch") hreps;
+    { dim;
+      eqs = dedupe_constraints (List.concat_map (fun h -> h.eqs) hreps);
+      ineqs = dedupe_constraints (List.concat_map (fun h -> h.ineqs) hreps) }
+
+let satisfies_ineqs ineqs x =
+  List.for_all (fun (a, b) -> Q.leq (Vec.dot a x) b) ineqs
+
+let satisfies_eqs eqs x =
+  List.for_all (fun (a, b) -> Q.equal (Vec.dot a x) b) eqs
+
+let mem_hrep h x = satisfies_eqs h.eqs x && satisfies_ineqs h.ineqs x
+
+let vertices h =
+  let d = h.dim in
+  let eq_rows = List.map fst h.eqs and eq_rhs = List.map snd h.eqs in
+  let r = if h.eqs = [] then 0 else Linsys.rank (Array.of_list eq_rows) in
+  let need = d - r in
+  let candidates =
+    if need = 0 then begin
+      match Linsys.solve_unique (Array.of_list eq_rows) (Array.of_list eq_rhs) with
+      | Some x -> [x]
+      | None -> []
+    end
+    else
+      Combin.subsets_of_size need h.ineqs
+      |> List.filter_map (fun subset ->
+          let rows = Array.of_list (eq_rows @ List.map fst subset) in
+          let rhs = Array.of_list (eq_rhs @ List.map snd subset) in
+          Linsys.solve_unique rows rhs)
+  in
+  dedupe_points
+    (List.filter
+       (fun x -> satisfies_eqs h.eqs x && satisfies_ineqs h.ineqs x)
+       candidates)
+
+(* Support directions for the interior-point pre-filter: the full
+   {-1,0,1}^d grid in low dimension, axes and diagonals otherwise. *)
+let filter_directions d =
+  if d <= 3 then begin
+    let rec grid k =
+      if k = 0 then [ [] ]
+      else
+        List.concat_map
+          (fun tail -> List.map (fun c -> c :: tail) [-1; 0; 1])
+          (grid (k - 1))
+    in
+    grid d
+    |> List.filter (fun v -> List.exists (fun c -> c <> 0) v)
+    |> List.map Vec.of_ints
+  end
+  else begin
+    let axis i s = Array.init d (fun j -> if i = j then Q.of_int s else Q.zero) in
+    let axes = List.concat_map (fun i -> [axis i 1; axis i (-1)]) (List.init d Fun.id) in
+    let ones s = Array.make d (Q.of_int s) in
+    ones 1 :: ones (-1) :: axes
+  end
+
+(* Candidate points strictly inside the hull of the support "core"
+   (the per-direction maximizers) cannot be extreme; discarding them
+   first turns the quadratic LP-pruning pass into one over a small
+   boundary set. Soundness: a point in the relative interior of
+   conv(core) is a convex combination of other points of the input. *)
+let support_filter ~dim pts =
+  match pts with
+  | [] | [_] | [_; _] -> pts
+  | p0 :: _ ->
+    let argmax dir =
+      List.fold_left
+        (fun best p -> if Q.gt (Vec.dot dir p) (Vec.dot dir best) then p else best)
+        p0 pts
+    in
+    let core = dedupe_points (List.map argmax (filter_directions dim)) in
+    if List.length core < 2 then pts
+    else begin
+      let h = of_points ~dim core in
+      let strictly_inside p =
+        satisfies_eqs h.eqs p
+        && List.for_all (fun (a, b) -> Q.lt (Vec.dot a p) b) h.ineqs
+      in
+      List.filter (fun p -> not (strictly_inside p)) pts
+    end
+
+let extreme_points pts =
+  let pts = dedupe_points pts in
+  match pts with
+  | [] | [_] -> pts
+  | p0 :: _ ->
+    let dim = Vec.dim p0 in
+    let pts = support_filter ~dim pts in
+    (* One LP per surviving candidate. Confirmed-interior points are
+       dropped from the column set of subsequent tests — sound, because
+       a dropped point lies in the hull of the remaining ones — which
+       shrinks the tableaus as the scan proceeds. *)
+    let rec prune confirmed = function
+      | [] -> List.rev confirmed
+      | p :: todo ->
+        let others = List.rev_append confirmed todo in
+        if Lp.in_convex_hull others p then prune confirmed todo
+        else prune (p :: confirmed) todo
+    in
+    dedupe_points (prune [] pts)

@@ -1,0 +1,42 @@
+(** Convex polytopes in arbitrary dimension, via exact H-representations.
+
+    This module backs the general-dimension code paths of {!Polytope}
+    (dimensions other than 1 and 2, and anything the fast planar paths
+    cannot express). Everything is brute force over exact rationals:
+    facet enumeration tries every d-subset of points, vertex enumeration
+    tries every complementary subset of constraints. Instances in this
+    project are small (the paper's resilience bound [n >= (d+2)f+1]
+    keeps point sets near a dozen), so clarity wins over asymptotics.
+
+    Lower-dimensional polytopes (points, segments, flat polygons
+    embedded in d-space) are fully supported: the H-representation
+    carries the affine-hull equalities alongside facet inequalities. *)
+
+module Q = Numeric.Q
+
+type hrep = {
+  dim : int;                       (** ambient dimension *)
+  eqs : (Vec.t * Q.t) list;        (** [n·x = c] affine-hull constraints *)
+  ineqs : (Vec.t * Q.t) list;      (** [n·x <= c] facet constraints *)
+}
+
+val of_points : dim:int -> Vec.t list -> hrep
+(** H-representation of the convex hull of a non-empty point multiset.
+    @raise Invalid_argument on an empty list. *)
+
+val combine : hrep list -> hrep
+(** H-representation of the intersection (constraint union), with
+    duplicate constraints removed. All inputs must share [dim]. *)
+
+val vertices : hrep -> Vec.t list
+(** All extreme points of the (necessarily bounded, in this project)
+    polytope; the empty list iff the polytope is empty. Results are
+    deduplicated but not pruned — combine with {!extreme_points} for a
+    canonical V-representation. *)
+
+val extreme_points : Vec.t list -> Vec.t list
+(** Subset of points that are vertices of the hull of the input
+    (LP-based pruning), sorted lexicographically. *)
+
+val mem_hrep : hrep -> Vec.t -> bool
+(** Exact membership test against an H-representation. *)

@@ -1,0 +1,199 @@
+module Q = Numeric.Q
+
+type matrix = Q.t array array
+
+let copy_matrix a = Array.map Array.copy a
+
+let rref a0 =
+  let a = copy_matrix a0 in
+  let rows = Array.length a in
+  if rows = 0 then (a, [])
+  else begin
+    let cols = Array.length a.(0) in
+    let pivots = ref [] in
+    let r = ref 0 in
+    let c = ref 0 in
+    while !r < rows && !c < cols do
+      (* Find a non-zero pivot in column c at or below row r. *)
+      let pivot_row = ref (-1) in
+      (try
+         for i = !r to rows - 1 do
+           if not (Q.is_zero a.(i).(!c)) then begin pivot_row := i; raise Exit end
+         done
+       with Exit -> ());
+      if !pivot_row < 0 then incr c
+      else begin
+        let p = !pivot_row in
+        if p <> !r then begin
+          let tmp = a.(p) in a.(p) <- a.(!r); a.(!r) <- tmp
+        end;
+        (* Scale pivot row to make the pivot 1. *)
+        let inv = Q.inv a.(!r).(!c) in
+        for j = !c to cols - 1 do a.(!r).(j) <- Q.mul inv a.(!r).(j) done;
+        (* Eliminate the column everywhere else. *)
+        for i = 0 to rows - 1 do
+          if i <> !r && not (Q.is_zero a.(i).(!c)) then begin
+            let factor = a.(i).(!c) in
+            for j = !c to cols - 1 do
+              a.(i).(j) <- Q.sub a.(i).(j) (Q.mul factor a.(!r).(j))
+            done
+          end
+        done;
+        pivots := (!r, !c) :: !pivots;
+        incr r;
+        incr c
+      end
+    done;
+    (a, List.rev !pivots)
+  end
+
+let rank a = List.length (snd (rref a))
+
+let augment a b =
+  Array.mapi (fun i row -> Array.append row [| b.(i) |]) a
+
+let solve a b =
+  let n = Array.length a in
+  if n = 0 then Some [||]
+  else if Array.length a.(0) <> n || Array.length b <> n then
+    invalid_arg "Linsys.solve: not square / size mismatch"
+  else begin
+    let r, pivots = rref (augment a b) in
+    if List.length pivots = n
+       && List.for_all (fun (_, c) -> c < n) pivots
+    then Some (Array.init n (fun i -> r.(i).(n)))
+    else None
+  end
+
+let solve_any a b =
+  let m = Array.length a in
+  if m = 0 then Some [||]
+  else begin
+    let n = Array.length a.(0) in
+    if Array.length b <> m then invalid_arg "Linsys.solve_any: size mismatch"
+    else begin
+      let r, pivots = rref (augment a b) in
+      if List.exists (fun (_, c) -> c = n) pivots then None
+      else begin
+        let x = Array.make n Q.zero in
+        List.iter (fun (row, col) -> x.(col) <- r.(row).(n)) pivots;
+        Some x
+      end
+    end
+  end
+
+let solve_unique a b =
+  let m = Array.length a in
+  if m = 0 then None
+  else begin
+    let n = Array.length a.(0) in
+    if Array.length b <> m then invalid_arg "Linsys.solve_unique: size mismatch"
+    else begin
+      let r, pivots = rref (augment a b) in
+      if List.exists (fun (_, c) -> c = n) pivots then None (* inconsistent *)
+      else if List.length pivots <> n then None (* underdetermined *)
+      else begin
+        let x = Array.make n Q.zero in
+        List.iter (fun (row, col) -> x.(col) <- r.(row).(n)) pivots;
+        Some x
+      end
+    end
+  end
+
+let nullspace a =
+  let m = Array.length a in
+  if m = 0 then []
+  else begin
+    let n = Array.length a.(0) in
+    let r, pivots = rref a in
+    let pivot_cols = List.map snd pivots in
+    let is_pivot c = List.mem c pivot_cols in
+    let free_cols = List.filter (fun c -> not (is_pivot c)) (List.init n Fun.id) in
+    let basis_for fc =
+      let x = Array.make n Q.zero in
+      x.(fc) <- Q.one;
+      List.iter (fun (row, col) -> x.(col) <- Q.neg r.(row).(fc)) pivots;
+      x
+    in
+    List.map basis_for free_cols
+  end
+
+let independent_rows rows =
+  match rows with
+  | [] -> []
+  | first :: _ ->
+    let n = Array.length first in
+    (* Incremental: keep a row iff it increases the rank so far. *)
+    let kept = ref [] and kept_idx = ref [] in
+    List.iteri
+      (fun i row ->
+         if Array.length row <> n then invalid_arg "Linsys.independent_rows"
+         else begin
+           let candidate = Array.of_list (List.rev (row :: !kept)) in
+           if rank candidate > List.length !kept then begin
+             kept := row :: !kept;
+             kept_idx := i :: !kept_idx
+           end
+         end)
+      rows;
+    List.rev !kept_idx
+
+let det a =
+  let n = Array.length a in
+  if n = 0 then Q.one
+  else begin
+    let m = copy_matrix a in
+    let sign = ref 1 in
+    let d = ref Q.one in
+    (try
+       for c = 0 to n - 1 do
+         let pivot_row = ref (-1) in
+         (try
+            for i = c to n - 1 do
+              if not (Q.is_zero m.(i).(c)) then begin pivot_row := i; raise Exit end
+            done
+          with Exit -> ());
+         if !pivot_row < 0 then begin d := Q.zero; raise Exit end;
+         if !pivot_row <> c then begin
+           let tmp = m.(!pivot_row) in
+           m.(!pivot_row) <- m.(c);
+           m.(c) <- tmp;
+           sign := - !sign
+         end;
+         d := Q.mul !d m.(c).(c);
+         let inv = Q.inv m.(c).(c) in
+         for i = c + 1 to n - 1 do
+           if not (Q.is_zero m.(i).(c)) then begin
+             let f = Q.mul inv m.(i).(c) in
+             for j = c to n - 1 do
+               m.(i).(j) <- Q.sub m.(i).(j) (Q.mul f m.(c).(j))
+             done
+           end
+         done
+       done
+     with Exit -> ());
+    if !sign < 0 then Q.neg !d else !d
+  end
+
+let mat_vec a x =
+  Array.map (fun row ->
+      let acc = ref Q.zero in
+      Array.iteri (fun j v -> acc := Q.add !acc (Q.mul v x.(j))) row;
+      !acc)
+    a
+
+let mat_mul a b =
+  let n = Array.length b in
+  if n = 0 then Array.map (fun _ -> [||]) a
+  else begin
+    let p = Array.length b.(0) in
+    Array.map
+      (fun row ->
+         Array.init p (fun j ->
+             let acc = ref Q.zero in
+             for k = 0 to n - 1 do
+               acc := Q.add !acc (Q.mul row.(k) b.(k).(j))
+             done;
+             !acc))
+      a
+  end

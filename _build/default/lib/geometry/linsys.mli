@@ -1,0 +1,42 @@
+(** Exact rational linear algebra (dense, small systems).
+
+    Everything here runs Gauss–Jordan elimination over {!Numeric.Q};
+    sizes are tiny (at most a few dozen rows) so no fraction-free or
+    sparse tricks are needed. Matrices are arrays of row arrays and are
+    never mutated by these functions. *)
+
+module Q = Numeric.Q
+
+type matrix = Q.t array array
+
+val rref : matrix -> matrix * (int * int) list
+(** Reduced row-echelon form and the list of (row, column) pivot
+    positions, in row order. *)
+
+val rank : matrix -> int
+
+val solve : matrix -> Q.t array -> Q.t array option
+(** [solve a b] solves the square system [a x = b]. [None] when [a] is
+    singular. @raise Invalid_argument if [a] is not square or sizes
+    mismatch. *)
+
+val solve_any : matrix -> Q.t array -> Q.t array option
+(** Any one solution of the (possibly rectangular) system [a x = b],
+    with free variables set to zero; [None] when inconsistent. *)
+
+val solve_unique : matrix -> Q.t array -> Q.t array option
+(** The solution of the (possibly rectangular) system [a x = b] when it
+    exists and is unique; [None] when inconsistent or underdetermined. *)
+
+val nullspace : matrix -> Q.t array list
+(** A basis of [{x | a x = 0}]. *)
+
+val independent_rows : Q.t array list -> int list
+(** Indices of a maximal linearly independent subset of the given row
+    vectors, in increasing order. *)
+
+val det : matrix -> Q.t
+(** Determinant of a square matrix. *)
+
+val mat_mul : matrix -> matrix -> matrix
+val mat_vec : matrix -> Q.t array -> Q.t array

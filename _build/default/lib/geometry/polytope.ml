@@ -1,0 +1,250 @@
+module Q = Numeric.Q
+
+type t = { dim : int; verts : Vec.t list }
+
+(* ------------------------------------------------------------------ *)
+(* Canonicalization. *)
+
+let canon_1d pts =
+  let xs = List.map (fun p -> p.(0)) pts in
+  let lo = List.fold_left Q.min (List.hd xs) xs in
+  let hi = List.fold_left Q.max (List.hd xs) xs in
+  if Q.equal lo hi then [Vec.make [lo]] else [Vec.make [lo]; Vec.make [hi]]
+
+let canonicalize ~dim pts =
+  match dim with
+  | 1 -> canon_1d pts
+  | 2 -> Hull2d.hull pts
+  | _ -> Hullnd.extreme_points pts
+
+let of_points ~dim pts =
+  match pts with
+  | [] -> invalid_arg "Polytope.of_points: empty point set"
+  | p :: _ ->
+    if Vec.dim p <> dim || dim < 1 then
+      invalid_arg "Polytope.of_points: dimension mismatch"
+    else begin
+      List.iter
+        (fun q -> if Vec.dim q <> dim then
+            invalid_arg "Polytope.of_points: inconsistent dimensions")
+        pts;
+      { dim; verts = canonicalize ~dim pts }
+    end
+
+let singleton p = { dim = Vec.dim p; verts = [p] }
+
+let vertices p = p.verts
+let dim p = p.dim
+let is_point p = match p.verts with [_] -> true | _ -> false
+
+let equal p q =
+  p.dim = q.dim
+  && List.length p.verts = List.length q.verts
+  && List.for_all2 Vec.equal p.verts q.verts
+
+let contains p x =
+  match p.dim with
+  | 1 ->
+    (match p.verts with
+     | [a] -> Q.equal x.(0) a.(0)
+     | [a; b] -> Q.leq a.(0) x.(0) && Q.leq x.(0) b.(0)
+     | _ -> assert false)
+  | 2 -> Hull2d.contains p.verts x
+  | _ -> Lp.in_convex_hull p.verts x
+
+let subset p q =
+  if p.dim <> q.dim then invalid_arg "Polytope.subset: dimension mismatch"
+  else List.for_all (contains q) p.verts
+
+(* ------------------------------------------------------------------ *)
+(* The paper's L operator: weighted Minkowski sum. *)
+
+let scale_poly c p =
+  if Q.is_zero c then { dim = p.dim; verts = [Vec.zero p.dim] }
+  else { dim = p.dim; verts = canonicalize ~dim:p.dim (List.map (Vec.scale c) p.verts) }
+
+let minkowski_pair a b =
+  match a.dim with
+  | 1 ->
+    (match a.verts, b.verts with
+     | (la :: _), (lb :: _) ->
+       let ha = List.nth a.verts (List.length a.verts - 1) in
+       let hb = List.nth b.verts (List.length b.verts - 1) in
+       { dim = 1;
+         verts = canon_1d [Vec.add la lb; Vec.add ha hb] }
+     | _ -> assert false)
+  | 2 -> { dim = 2; verts = Hull2d.minkowski_sum a.verts b.verts }
+  | d ->
+    let sums =
+      List.concat_map (fun u -> List.map (Vec.add u) b.verts) a.verts
+    in
+    { dim = d; verts = canonicalize ~dim:d sums }
+
+let linear_combination terms =
+  match terms with
+  | [] -> invalid_arg "Polytope.linear_combination: empty"
+  | (_, p0) :: _ ->
+    let d = p0.dim in
+    List.iter
+      (fun (c, p) ->
+         if p.dim <> d then
+           invalid_arg "Polytope.linear_combination: dimension mismatch";
+         if Q.sign c < 0 then
+           invalid_arg "Polytope.linear_combination: negative weight")
+      terms;
+    let total = Numeric.Q.sum (List.map fst terms) in
+    if not (Q.equal total Q.one) then
+      invalid_arg "Polytope.linear_combination: weights must sum to 1";
+    let scaled = List.map (fun (c, p) -> scale_poly c p) terms in
+    (match scaled with
+     | [] -> assert false
+     | first :: rest -> List.fold_left minkowski_pair first rest)
+
+let average polys =
+  match polys with
+  | [] -> invalid_arg "Polytope.average: empty"
+  | _ ->
+    let w = Q.inv (Q.of_int (List.length polys)) in
+    linear_combination (List.map (fun p -> (w, p)) polys)
+
+(* ------------------------------------------------------------------ *)
+(* Intersection. *)
+
+let intersect_1d polys =
+  let lo_hi p =
+    match p.verts with
+    | [a] -> (a.(0), a.(0))
+    | [a; b] -> (a.(0), b.(0))
+    | _ -> assert false
+  in
+  let bounds = List.map lo_hi polys in
+  let lo = List.fold_left (fun acc (l, _) -> Q.max acc l)
+      (fst (List.hd bounds)) bounds
+  in
+  let hi = List.fold_left (fun acc (_, h) -> Q.min acc h)
+      (snd (List.hd bounds)) bounds
+  in
+  if Q.gt lo hi then None
+  else Some { dim = 1; verts = canon_1d [Vec.make [lo]; Vec.make [hi]] }
+
+let intersect polys =
+  match polys with
+  | [] -> invalid_arg "Polytope.intersect: empty list"
+  | first :: rest ->
+    let d = first.dim in
+    List.iter
+      (fun p -> if p.dim <> d then
+          invalid_arg "Polytope.intersect: dimension mismatch")
+      rest;
+    (match d with
+     | 1 -> intersect_1d polys
+     | 2 ->
+       let result =
+         List.fold_left
+           (fun acc p ->
+              match acc with
+              | [] -> []
+              | _ -> Hull2d.intersect acc p.verts)
+           first.verts rest
+       in
+       (match result with
+        | [] -> None
+        | verts -> Some { dim = 2; verts })
+     | _ ->
+       let hreps = List.map (fun p -> Hullnd.of_points ~dim:d p.verts) polys in
+       let combined = Hullnd.combine hreps in
+       (match Hullnd.vertices combined with
+        | [] -> None
+        | vs -> Some { dim = d; verts = Hullnd.extreme_points vs }))
+
+(* ------------------------------------------------------------------ *)
+(* Measures. *)
+
+let hausdorff2 p q =
+  if p.dim <> q.dim then invalid_arg "Polytope.hausdorff2: dimension mismatch"
+  else Distance.hausdorff2 ~dim:p.dim p.verts q.verts
+
+let hausdorff p q = sqrt (Q.to_float (hausdorff2 p q))
+
+let volume p =
+  match p.dim with
+  | 1 ->
+    (match p.verts with
+     | [_] -> Some Q.zero
+     | [a; b] -> Some (Q.sub b.(0) a.(0))
+     | _ -> assert false)
+  | 2 -> Some (Q.div (Hull2d.area2 p.verts) Q.two)
+  | 3 -> Some (Volume3d.volume p.verts)
+  | _ -> None
+
+let diameter2 p =
+  let vs = Array.of_list p.verts in
+  let best = ref Q.zero in
+  Array.iteri
+    (fun i u ->
+       Array.iteri
+         (fun j v -> if j > i then best := Q.max !best (Vec.dist2 u v))
+         vs)
+    vs;
+  !best
+
+(* ------------------------------------------------------------------ *)
+(* Helpers. *)
+
+let translate v p =
+  { dim = p.dim; verts = canonicalize ~dim:p.dim (List.map (Vec.add v) p.verts) }
+
+let support p dir =
+  match p.verts with
+  | [] -> assert false
+  | v0 :: rest ->
+    List.fold_left
+      (fun (best, arg) v ->
+         let s = Vec.dot dir v in
+         if Q.gt s best then (s, v) else (best, arg))
+      (Vec.dot dir v0, v0) rest
+
+let bounding_box p =
+  Array.init p.dim (fun j ->
+      let xs = List.map (fun v -> v.(j)) p.verts in
+      ( List.fold_left Q.min (List.hd xs) xs,
+        List.fold_left Q.max (List.hd xs) xs ))
+
+let centroid p = Vec.average p.verts
+
+let steiner_point p =
+  match p.dim, p.verts with
+  | 1, [a] -> a
+  | 1, [a; b] -> Vec.scale Q.half (Vec.add a b)
+  | 2, verts when List.length verts >= 3 ->
+    (* Exterior-angle weights, computed in floats and rationalized.
+       The weights stay non-negative and are renormalized to sum to 1
+       exactly, so the result is an exact convex combination (hence a
+       point of the polytope) within float-rounding of the true
+       Steiner point. *)
+    let arr = Array.of_list verts in
+    let n = Array.length arr in
+    let angle i =
+      let prev = arr.((i + n - 1) mod n) and cur = arr.(i)
+      and next = arr.((i + 1) mod n) in
+      let v1 = Vec.to_floats (Vec.sub cur prev) in
+      let v2 = Vec.to_floats (Vec.sub next cur) in
+      let a1 = atan2 v1.(1) v1.(0) and a2 = atan2 v2.(1) v2.(0) in
+      let d = a2 -. a1 in
+      let d = if d < 0.0 then d +. (2.0 *. Float.pi) else d in
+      d
+    in
+    let weights =
+      Array.init n (fun i ->
+          let w = angle i /. (2.0 *. Float.pi) in
+          Q.of_string (Printf.sprintf "%.12f" (Float.max 0.0 w)))
+    in
+    let total = Array.fold_left Q.add Q.zero weights in
+    let weights = Array.map (fun w -> Q.div w total) weights in
+    Vec.lincomb (List.mapi (fun i v -> (weights.(i), v)) verts)
+  | _ -> centroid p
+
+let to_string p =
+  "{" ^ String.concat "; " (List.map Vec.to_string p.verts) ^ "}"
+
+let pp fmt p = Format.pp_print_string fmt (to_string p)

@@ -1,0 +1,11 @@
+module Combin = Numeric.Combin
+
+let common_point ~dim blocks =
+  let hulls = List.map (fun b -> Polytope.of_points ~dim b) blocks in
+  Polytope.intersect hulls
+
+let partition ~dim ~parts pts =
+  let candidates = Combin.partitions_into parts pts in
+  List.find_opt
+    (fun blocks -> common_point ~dim blocks <> None)
+    candidates

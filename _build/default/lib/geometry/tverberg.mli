@@ -1,0 +1,15 @@
+(** Tverberg partitions (exhaustive search).
+
+    Tverberg's theorem: any multiset of at least [(d+1)f + 1] points in
+    d-space can be partitioned into [f+1] non-empty blocks whose convex
+    hulls share a common point. The paper's Lemma 2 uses exactly this
+    to show that the round-0 polytope [h_i(0)] is non-empty. This
+    module finds a witness partition by exhaustive search — exponential,
+    intended for the test suite's small instances. *)
+
+val partition : dim:int -> parts:int -> Vec.t list -> Vec.t list list option
+(** [partition ~dim ~parts pts] is a partition of [pts] into [parts]
+    non-empty blocks with intersecting hulls, if one exists. *)
+
+val common_point : dim:int -> Vec.t list list -> Polytope.t option
+(** The (polytope of) common points of the blocks' hulls. *)

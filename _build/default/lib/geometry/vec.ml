@@ -1,0 +1,70 @@
+module Q = Numeric.Q
+
+type t = Q.t array
+
+let dim = Array.length
+
+let make coords = Array.of_list coords
+let of_ints ns = Array.of_list (List.map Q.of_int ns)
+
+let of_floats fs =
+  Array.of_list (List.map (fun f -> Q.of_string (Printf.sprintf "%.12g" f)) fs)
+
+let zero d = Array.make d Q.zero
+
+let equal a b =
+  dim a = dim b && Array.for_all2 Q.equal a b
+
+let compare a b =
+  let da = dim a and db = dim b in
+  if da <> db then Stdlib.compare da db
+  else begin
+    let rec go i =
+      if i = da then 0
+      else
+        let c = Q.compare a.(i) b.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+  end
+
+let map2 f a b =
+  if dim a <> dim b then invalid_arg "Vec: dimension mismatch"
+  else Array.init (dim a) (fun i -> f a.(i) b.(i))
+
+let add a b = map2 Q.add a b
+let sub a b = map2 Q.sub a b
+let neg a = Array.map Q.neg a
+let scale c a = Array.map (Q.mul c) a
+
+let dot a b =
+  if dim a <> dim b then invalid_arg "Vec.dot: dimension mismatch"
+  else begin
+    let acc = ref Q.zero in
+    for i = 0 to dim a - 1 do acc := Q.add !acc (Q.mul a.(i) b.(i)) done;
+    !acc
+  end
+
+let norm2 a = dot a a
+let dist2 a b = norm2 (sub a b)
+let dist a b = sqrt (Q.to_float (dist2 a b))
+
+let lincomb terms =
+  match terms with
+  | [] -> invalid_arg "Vec.lincomb: empty"
+  | (c0, p0) :: rest ->
+    List.fold_left (fun acc (c, p) -> add acc (scale c p)) (scale c0 p0) rest
+
+let average pts =
+  match pts with
+  | [] -> invalid_arg "Vec.average: empty"
+  | p0 :: rest ->
+    let n = Q.of_int (List.length pts) in
+    scale (Q.inv n) (List.fold_left add p0 rest)
+
+let to_floats a = Array.map Q.to_float a
+
+let to_string a =
+  "(" ^ String.concat ", " (Array.to_list (Array.map Q.to_string a)) ^ ")"
+
+let pp fmt a = Format.pp_print_string fmt (to_string a)

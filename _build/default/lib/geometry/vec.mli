@@ -1,0 +1,54 @@
+(** Points/vectors of the d-dimensional Euclidean space with exact
+    rational coordinates.
+
+    A value is an immutable array of {!Numeric.Q} coordinates. The
+    paper identifies a d-dimensional input vector with a point of the
+    d-dimensional Euclidean space; this module is that identification. *)
+
+module Q = Numeric.Q
+
+type t = Q.t array
+
+val dim : t -> int
+
+val make : Q.t list -> t
+val of_ints : int list -> t
+(** Integer coordinates, exact. *)
+
+val of_floats : float list -> t
+(** Decimal-exact embedding of floats that are short decimals is not
+    attempted; coordinates are converted via [Q.of_string] on the
+    ["%.12g"] rendering, which is exact enough for test inputs. *)
+
+val zero : int -> t
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Lexicographic; a total order used for canonical vertex lists. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val scale : Q.t -> t -> t
+val dot : t -> t -> Q.t
+
+val norm2 : t -> Q.t
+(** Squared Euclidean norm, exact. *)
+
+val dist2 : t -> t -> Q.t
+(** Squared Euclidean distance, exact. *)
+
+val dist : t -> t -> float
+(** Euclidean distance as a float (needs a square root). *)
+
+val lincomb : (Q.t * t) list -> t
+(** [lincomb [(c1,p1);…]] is [Σ ci·pi]. All points must share a
+    dimension. @raise Invalid_argument on the empty list. *)
+
+val average : t list -> t
+(** Unweighted barycenter. @raise Invalid_argument on the empty list. *)
+
+val to_floats : t -> float array
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

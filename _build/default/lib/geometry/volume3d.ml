@@ -1,0 +1,93 @@
+(* Exact volume of a 3-d convex polytope in V-representation, by the
+   divergence theorem: orient every facet outward, fan-triangulate it,
+   and sum the signed tetrahedron volumes det(w0, wi, wi+1)/6. The sum
+   telescopes to the enclosed volume regardless of where the origin
+   lies. Degenerate (lower-dimensional) polytopes have volume 0. *)
+
+module Q = Numeric.Q
+
+let det3 a b c =
+  let open Q in
+  let m i j = (match i with 0 -> a | 1 -> b | _ -> c).(j) in
+  sub
+    (add
+       (mul (m 0 0) (sub (mul (m 1 1) (m 2 2)) (mul (m 1 2) (m 2 1))))
+       (mul (m 0 2) (sub (mul (m 1 0) (m 2 1)) (mul (m 1 1) (m 2 0)))))
+    (mul (m 0 1) (sub (mul (m 1 0) (m 2 2)) (mul (m 1 2) (m 2 0))))
+
+let cross3 u v =
+  Vec.make
+    [ Q.sub (Q.mul u.(1) v.(2)) (Q.mul u.(2) v.(1));
+      Q.sub (Q.mul u.(2) v.(0)) (Q.mul u.(0) v.(2));
+      Q.sub (Q.mul u.(0) v.(1)) (Q.mul u.(1) v.(0)) ]
+
+(* Order the vertices of a (planar, convex-position) facet cyclically,
+   counter-clockwise w.r.t. the outward normal [nrm]. *)
+let order_facet nrm verts =
+  match verts with
+  | [] | [_] | [_; _] -> None (* degenerate facet: contributes nothing *)
+  | w0 :: _ ->
+    (* Build 2-d coordinates in the facet plane from two independent
+       edge directions; convex position and cyclic order survive the
+       affine map. *)
+    let dirs = List.map (fun w -> Vec.sub w w0) verts in
+    let nonzero = List.filter (fun v -> not (Vec.equal v (Vec.zero 3))) dirs in
+    (match nonzero with
+     | [] -> None
+     | e1 :: rest ->
+       let e2_opt =
+         List.find_opt
+           (fun v -> not (Vec.equal (cross3 e1 v) (Vec.zero 3)))
+           rest
+       in
+       (match e2_opt with
+        | None -> None
+        | Some e2 ->
+          let coord w =
+            let d = Vec.sub w w0 in
+            Vec.make [Vec.dot d e1; Vec.dot d e2]
+          in
+          let pairs = List.map (fun w -> (coord w, w)) verts in
+          let poly2 = Hull2d.hull (List.map fst pairs) in
+          let back c =
+            match List.find_opt (fun (c', _) -> Vec.equal c c') pairs with
+            | Some (_, w) -> w
+            | None -> assert false
+          in
+          let ring = List.map back poly2 in
+          (* Flip if the ring's orientation disagrees with the outward
+             normal. *)
+          (match ring with
+           | a :: b :: c :: _ ->
+             let o = Vec.dot (cross3 (Vec.sub b a) (Vec.sub c a)) nrm in
+             if Q.sign o >= 0 then Some ring else Some (List.rev ring)
+           | _ -> None)))
+
+let volume verts =
+  match verts with
+  | [] -> Q.zero
+  | v0 :: _ ->
+    if Vec.dim v0 <> 3 then invalid_arg "Volume3d.volume: dimension must be 3"
+    else begin
+      let h = Hullnd.of_points ~dim:3 verts in
+      if h.Hullnd.eqs <> [] then Q.zero (* lower-dimensional *)
+      else begin
+        let facet_vol (a, b) =
+          let on_facet = List.filter (fun v -> Q.equal (Vec.dot a v) b) verts in
+          match order_facet a (Hullnd.extreme_points on_facet) with
+          | None -> Q.zero
+          | Some (w0 :: rest) ->
+            let rec fan acc = function
+              | wi :: (wj :: _ as tl) ->
+                fan (Q.add acc (det3 w0 wi wj)) tl
+              | _ -> acc
+            in
+            fan Q.zero rest
+          | Some [] -> Q.zero
+        in
+        let six_v =
+          List.fold_left (fun acc f -> Q.add acc (facet_vol f)) Q.zero h.Hullnd.ineqs
+        in
+        Q.div six_v (Q.of_int 6)
+      end
+    end

@@ -1,0 +1,9 @@
+(** Exact volume of 3-d convex polytopes (divergence theorem over an
+    outward-oriented facet triangulation). *)
+
+module Q = Numeric.Q
+
+val volume : Vec.t list -> Q.t
+(** Volume of the convex hull of the given points; [0] for
+    lower-dimensional hulls. @raise Invalid_argument unless the points
+    are 3-dimensional. *)

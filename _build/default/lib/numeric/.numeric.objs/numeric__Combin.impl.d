@@ -1,0 +1,1 @@
+lib/numeric/combin.ml: List Stdlib

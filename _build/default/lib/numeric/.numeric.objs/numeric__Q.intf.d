@@ -1,0 +1,1 @@
+lib/numeric/q.mli: Bigint Format

@@ -1,0 +1,52 @@
+(* Small combinatorial enumerators used by the geometry layer (facet
+   and vertex enumeration) and by Algorithm CC's round-0 intersection
+   (all subsets obtained by removing f elements). Inputs are tiny, so
+   these are written for clarity. *)
+
+(* All subsets of [l] of size exactly [k], each in input order. *)
+let rec subsets_of_size k l =
+  if k = 0 then [[]]
+  else
+    match l with
+    | [] -> []
+    | x :: rest ->
+      let with_x = List.map (fun s -> x :: s) (subsets_of_size (k - 1) rest) in
+      let without_x = subsets_of_size k rest in
+      with_x @ without_x
+
+(* All ways to split [l] into exactly [k] non-empty unordered parts
+   (set partitions into k blocks). Used to search for Tverberg
+   partitions. *)
+let partitions_into k l =
+  match l with
+  | [] -> if k = 0 then [[]] else []
+  | first :: rest ->
+    (* Place elements one by one; the first element pins block 1 to
+       break the symmetry between blocks. *)
+    let rec place acc = function
+      | [] -> if List.length acc = k then [List.map List.rev acc] else []
+      | x :: tl ->
+        let into_existing =
+          List.concat
+            (List.mapi
+               (fun i _ ->
+                  let acc' =
+                    List.mapi (fun j block -> if i = j then x :: block else block) acc
+                  in
+                  place acc' tl)
+               acc)
+        in
+        let into_new =
+          if List.length acc < k then place (acc @ [[x]]) tl else []
+        in
+        into_existing @ into_new
+    in
+    place [[first]] rest
+
+let choose n k =
+  if k < 0 || k > n then 0
+  else begin
+    let k = Stdlib.min k (n - k) in
+    let rec go acc i = if i > k then acc else go (acc * (n - k + i) / i) (i + 1) in
+    go 1 1
+  end

@@ -1,0 +1,12 @@
+(** Small combinatorial enumerators (exhaustive, for tiny inputs). *)
+
+val subsets_of_size : int -> 'a list -> 'a list list
+(** All subsets of the given size, elements in input order. Treats the
+    input as a multiset: duplicates yield distinct subsets. *)
+
+val partitions_into : int -> 'a list -> 'a list list list
+(** All partitions of the input into exactly that many non-empty
+    blocks (blocks unordered, elements kept in input order). *)
+
+val choose : int -> int -> int
+(** Binomial coefficient [C(n, k)]; [0] outside the valid range. *)

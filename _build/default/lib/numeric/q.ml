@@ -1,0 +1,134 @@
+(* Normalized rationals: den > 0, gcd(|num|, den) = 1, zero is 0/1. *)
+
+type t = { num : Bigint.t; den : Bigint.t }
+
+let make num den =
+  let s = Bigint.sign den in
+  if s = 0 then raise Division_by_zero
+  else begin
+    let num, den = if s < 0 then (Bigint.neg num, Bigint.neg den) else (num, den) in
+    if Bigint.is_zero num then { num = Bigint.zero; den = Bigint.one }
+    else begin
+      let g = Bigint.gcd num den in
+      if Bigint.equal g Bigint.one then { num; den }
+      else { num = Bigint.div num g; den = Bigint.div den g }
+    end
+  end
+
+let of_bigint n = { num = n; den = Bigint.one }
+let of_int n = of_bigint (Bigint.of_int n)
+let of_ints a b = make (Bigint.of_int a) (Bigint.of_int b)
+
+let zero = of_int 0
+let one = of_int 1
+let two = of_int 2
+let minus_one = of_int (-1)
+let half = of_ints 1 2
+
+let sign x = Bigint.sign x.num
+let is_zero x = Bigint.is_zero x.num
+
+(* a/b ? c/d  <=>  a*d ? c*b  (b, d > 0). *)
+let compare a b =
+  Bigint.compare (Bigint.mul a.num b.den) (Bigint.mul b.num a.den)
+
+let equal a b = Bigint.equal a.num b.num && Bigint.equal a.den b.den
+let leq a b = compare a b <= 0
+let lt a b = compare a b < 0
+let geq a b = compare a b >= 0
+let gt a b = compare a b > 0
+
+let hash x = (Bigint.hash x.num * 31 + Bigint.hash x.den) land max_int
+
+let neg x = { x with num = Bigint.neg x.num }
+let abs x = { x with num = Bigint.abs x.num }
+
+let add a b =
+  make
+    (Bigint.add (Bigint.mul a.num b.den) (Bigint.mul b.num a.den))
+    (Bigint.mul a.den b.den)
+
+let sub a b = add a (neg b)
+
+let mul a b = make (Bigint.mul a.num b.num) (Bigint.mul a.den b.den)
+
+let inv x =
+  if is_zero x then raise Division_by_zero
+  else make x.den x.num
+
+let div a b = mul a (inv b)
+
+let min a b = if leq a b then a else b
+let max a b = if geq a b then a else b
+
+let square x = mul x x
+
+let pow x k =
+  if k >= 0 then make (Bigint.pow x.num k) (Bigint.pow x.den k)
+  else inv (make (Bigint.pow x.num (-k)) (Bigint.pow x.den (-k)))
+
+let sum xs = List.fold_left add zero xs
+
+let average xs =
+  match xs with
+  | [] -> invalid_arg "Q.average: empty list"
+  | _ -> div (sum xs) (of_int (List.length xs))
+
+let mul_int x n = mul x (of_int n)
+let div_int x n = div x (of_int n)
+
+let to_float x =
+  (* Scale down so both parts fit a float exponent comfortably. *)
+  let nb = Bigint.num_bits x.num and db = Bigint.num_bits x.den in
+  let shift = Stdlib.max 0 (Stdlib.max nb db - 900) in
+  let n = Bigint.shift_right x.num shift in
+  let d = Bigint.shift_right x.den shift in
+  if Bigint.is_zero d then
+    (* Denominator underflowed the shift: the value is astronomically
+       large; saturate. *)
+    (if sign x >= 0 then infinity else neg_infinity)
+  else Bigint.to_float n /. Bigint.to_float d
+
+let to_string x =
+  if Bigint.equal x.den Bigint.one then Bigint.to_string x.num
+  else Bigint.to_string x.num ^ "/" ^ Bigint.to_string x.den
+
+let of_string s =
+  match String.index_opt s '/' with
+  | Some i ->
+    let num = Bigint.of_string (String.sub s 0 i) in
+    let den = Bigint.of_string (String.sub s (i + 1) (String.length s - i - 1)) in
+    make num den
+  | None ->
+    (match String.index_opt s '.' with
+     | None -> of_bigint (Bigint.of_string s)
+     | Some i ->
+       let int_part = String.sub s 0 i in
+       let frac = String.sub s (i + 1) (String.length s - i - 1) in
+       if frac = "" then invalid_arg "Q.of_string: trailing dot"
+       else begin
+         let negative = String.length int_part > 0 && int_part.[0] = '-' in
+         let ip = if int_part = "" || int_part = "-" || int_part = "+"
+           then Bigint.zero else Bigint.of_string int_part in
+         let fp = Bigint.of_string frac in
+         let scale = Bigint.pow (Bigint.of_int 10) (String.length frac) in
+         let mag =
+           Bigint.add (Bigint.mul (Bigint.abs ip) scale) fp
+         in
+         let mag = if negative then Bigint.neg mag else mag in
+         make mag scale
+       end)
+
+let pp fmt x = Format.pp_print_string fmt (to_string x)
+
+module Infix = struct
+  let ( +/ ) = add
+  let ( -/ ) = sub
+  let ( */ ) = mul
+  let ( // ) = div
+  let ( =/ ) = equal
+  let ( </ ) = lt
+  let ( <=/ ) = leq
+  let ( >/ ) = gt
+  let ( >=/ ) = geq
+end

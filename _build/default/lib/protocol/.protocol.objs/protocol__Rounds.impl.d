@@ -1,0 +1,1 @@
+lib/protocol/rounds.ml: Hashtbl List

@@ -1,0 +1,1 @@
+lib/protocol/stable_vector.ml: Format List

@@ -1,0 +1,1 @@
+lib/protocol/stable_vector.mli: Format

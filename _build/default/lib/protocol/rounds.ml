@@ -1,0 +1,51 @@
+type 'a per_round = {
+  mutable arrivals : (int * 'a) list;  (* reverse arrival order *)
+  mutable frozen : (int * 'a) list option;
+}
+
+type 'a t = {
+  threshold : int;
+  table : (int, 'a per_round) Hashtbl.t;
+}
+
+let create ~threshold =
+  if threshold < 1 then invalid_arg "Rounds.create: threshold must be >= 1";
+  { threshold; table = Hashtbl.create 16 }
+
+let slot t round =
+  match Hashtbl.find_opt t.table round with
+  | Some s -> s
+  | None ->
+    let s = { arrivals = []; frozen = None } in
+    Hashtbl.add t.table round s;
+    s
+
+let add t ~round ~src payload =
+  let s = slot t round in
+  if List.mem_assoc src s.arrivals then
+    invalid_arg "Rounds.add: duplicate (round, sender)"
+  else s.arrivals <- (src, payload) :: s.arrivals
+
+let count t ~round =
+  let s = slot t round in
+  match s.frozen with
+  | Some l -> List.length l
+  | None -> List.length s.arrivals
+
+let ready t ~round =
+  let s = slot t round in
+  s.frozen <> None || List.length s.arrivals >= t.threshold
+
+let freeze t ~round =
+  let s = slot t round in
+  match s.frozen with
+  | Some l -> l
+  | None ->
+    let arrivals = List.rev s.arrivals in
+    if List.length arrivals < t.threshold then
+      invalid_arg "Rounds.freeze: round not ready"
+    else begin
+      let first = List.filteri (fun i _ -> i < t.threshold) arrivals in
+      s.frozen <- Some first;
+      first
+    end

@@ -1,0 +1,30 @@
+(** Asynchronous round bookkeeping for Algorithm CC's rounds [t >= 1].
+
+    A process in round [t] collects round-[t] messages until it has
+    heard from [threshold = n - f] distinct senders {e for the first
+    time} (line 12 of Algorithm CC); the multiset frozen at that moment
+    is [Y_i[t]] — later round-[t] arrivals must not join it. Messages
+    for future rounds arrive early under asynchrony and are buffered
+    here until the process reaches that round. *)
+
+type 'a t
+
+val create : threshold:int -> 'a t
+
+val add : 'a t -> round:int -> src:int -> 'a -> unit
+(** Record a message. Duplicate (round, src) pairs are rejected with
+    [Invalid_argument] — channels deliver exactly once and correct
+    processes send once per round, so a duplicate is a harness bug. *)
+
+val ready : 'a t -> round:int -> bool
+(** Has the round reached its threshold (or already frozen)? *)
+
+val freeze : 'a t -> round:int -> (int * 'a) list
+(** The first [threshold] messages of the round in arrival order, as
+    [(sender, payload)]; freezes the set on first call so the result
+    never changes afterwards. @raise Invalid_argument if the round is
+    not {!ready}. *)
+
+val count : 'a t -> round:int -> int
+(** Messages received so far for a round (frozen rounds report the
+    frozen size). *)

@@ -1,0 +1,102 @@
+type 'a entry = { origin : int; value : 'a }
+
+(* Views are kept sorted by origin; in the crash model a process
+   broadcasts a single input, so [origin] is a key. *)
+type 'a msg = View of 'a entry list
+
+let pp_msg pp_value fmt (View entries) =
+  Format.fprintf fmt "view{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun f () -> Format.pp_print_string f ", ")
+       (fun f e -> Format.fprintf f "%d:%a" e.origin pp_value e.value))
+    entries
+
+type 'a state = {
+  n : int;
+  f : int;
+  me : int;
+  broadcast : 'a msg -> unit;
+  mutable view : 'a entry list;
+  (* Who has sent exactly which view. Association list keyed by view;
+     tiny sizes (each process sends at most n distinct views). *)
+  mutable votes : ('a entry list * int list) list;
+  mutable stable : 'a entry list option;
+}
+
+let view_equal v1 v2 =
+  List.length v1 = List.length v2
+  && List.for_all2 (fun a b -> a.origin = b.origin) v1 v2
+
+let merge v1 v2 =
+  (* Union of origin-keyed sorted lists. *)
+  let rec go a b =
+    match a, b with
+    | [], rest | rest, [] -> rest
+    | x :: xs, y :: ys ->
+      if x.origin = y.origin then x :: go xs ys
+      else if x.origin < y.origin then x :: go xs b
+      else y :: go a ys
+  in
+  go v1 v2
+
+let record_vote t sender view =
+  let rec go = function
+    | [] -> [(view, [sender])]
+    | (v, senders) :: rest when view_equal v view ->
+      let senders =
+        if List.mem sender senders then senders else sender :: senders
+      in
+      (v, senders) :: rest
+    | kv :: rest -> kv :: go rest
+  in
+  t.votes <- go t.votes
+
+(* A process is stable when n - f distinct processes (itself included)
+   have transmitted exactly its OWN current view. Votes for other
+   views are recorded — the view may grow into them — but do not
+   trigger stability: this is the ABDPR semantics, and it matters.
+   (Counting any view would, under FIFO channels, let stale echoes of
+   a smaller view stabilize a process that has already moved past it,
+   collapsing exactly the view splits the containment property is
+   there to discipline.) *)
+let check_stable t =
+  if t.stable = None then begin
+    let threshold = t.n - t.f in
+    match
+      List.find_opt
+        (fun (view, senders) ->
+           view_equal view t.view && List.length senders >= threshold)
+        t.votes
+    with
+    | Some (view, _) -> t.stable <- Some view
+    | None -> ()
+  end
+
+let announce t =
+  (* Our own transmission of the current view counts as a vote. *)
+  record_vote t t.me t.view;
+  t.broadcast (View t.view);
+  check_stable t
+
+let create ~n ~f ~me ~value ~broadcast =
+  if n < (2 * f) + 1 then
+    invalid_arg "Stable_vector.create: requires n >= 2f + 1";
+  let t =
+    { n; f; me; broadcast;
+      view = [ { origin = me; value } ];
+      votes = [];
+      stable = None }
+  in
+  announce t;
+  t
+
+let on_receive t ~src (View incoming) =
+  record_vote t src incoming;
+  let merged = merge t.view incoming in
+  let grew = not (view_equal merged t.view) in
+  t.view <- merged;
+  if grew then announce t else check_stable t
+
+let result t = t.stable
+
+let view_size t = List.length t.view

@@ -1,0 +1,53 @@
+(** The {e stable vector} communication primitive (Attiya et al. [2],
+    as used by Algorithm CC's round 0).
+
+    Every process broadcasts its input; processes merge every view they
+    receive into their own and re-broadcast whenever their view grows.
+    A process is {e stable} once [n - f] distinct processes (itself
+    included) have transmitted exactly its own current view — votes for
+    other views are remembered (the view may grow into them) but do not
+    trigger stability.
+
+    With at most [f] crash faults and [n >= 2f + 1], the returned views
+    [R_i] satisfy the two properties the paper relies on:
+
+    - {b Liveness}: every process that does not crash obtains a stable
+      view with at least [n - f] entries;
+    - {b Containment}: any two stable views are ordered by inclusion
+      ([R_i ⊆ R_j] or [R_j ⊆ R_i]).
+
+    The module is transport-agnostic: callers hand in a [broadcast]
+    callback and feed received messages to {!on_receive}. A process
+    must keep feeding messages {e after} its own view stabilizes — the
+    primitive needs continued participation for others to terminate. *)
+
+type 'a entry = { origin : int; value : 'a }
+(** One process's contribution, tagged with its identity (the paper's
+    [(x_k, k, 0)] tuple, round tag implied). *)
+
+type 'a msg
+(** A view broadcast. *)
+
+val pp_msg :
+  (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a msg -> unit
+
+type 'a state
+
+val create :
+  n:int -> f:int -> me:int -> value:'a ->
+  broadcast:('a msg -> unit) ->
+  'a state
+(** Initialize and send the first view. Pure crash-fault setting
+    requires [n >= 2f + 1]. @raise Invalid_argument otherwise. *)
+
+val on_receive : 'a state -> src:int -> 'a msg -> unit
+(** Merge an incoming view (credited to its sender — stability counts
+    distinct senders of identical views); re-broadcasts via the
+    [broadcast] given at creation when the local view grows. *)
+
+val result : 'a state -> 'a entry list option
+(** The first stable view, once one exists; entries sorted by origin.
+    Stays fixed after first becoming [Some]. *)
+
+val view_size : 'a state -> int
+(** Current (possibly unstable) view size — observability for tests. *)

@@ -1,0 +1,1 @@
+lib/runtime/crash.ml: Array Format List Rng

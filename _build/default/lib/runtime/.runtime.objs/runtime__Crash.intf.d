@@ -1,0 +1,1 @@
+lib/runtime/crash.mli: Format Rng

@@ -1,0 +1,1 @@
+lib/runtime/scheduler.ml: List Rng

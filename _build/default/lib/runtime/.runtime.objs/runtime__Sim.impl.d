@@ -1,0 +1,1 @@
+lib/runtime/sim.ml: Array Crash Queue Rng Scheduler

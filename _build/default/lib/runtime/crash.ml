@@ -1,0 +1,12 @@
+type plan =
+  | Never
+  | After_sends of int
+
+let pp fmt = function
+  | Never -> Format.pp_print_string fmt "never"
+  | After_sends k -> Format.fprintf fmt "after-%d-sends" k
+
+let random_for ~rng ~n ~faulty ~max_sends =
+  Array.init n (fun i ->
+      if List.mem i faulty then After_sends (Rng.int rng (max_sends + 1))
+      else Never)

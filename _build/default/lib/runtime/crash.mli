@@ -1,0 +1,22 @@
+(** Crash plans for the "crash faults with incorrect inputs" model.
+
+    A faulty process follows the algorithm faithfully until it crashes;
+    a crash may land {e between the unit sends of a broadcast}, so some
+    recipients receive the round's message and others never do — the
+    exact behaviour the stable-vector primitive must tolerate. The
+    budget counts individual point-to-point sends, which makes partial
+    broadcasts expressible. *)
+
+type plan =
+  | Never                 (** the process never crashes *)
+  | After_sends of int    (** crashes when it attempts send number
+                              [k+1]; [After_sends 0] crashes before
+                              sending anything *)
+
+val pp : Format.formatter -> plan -> unit
+
+val random_for :
+  rng:Rng.t -> n:int -> faulty:int list -> max_sends:int -> plan array
+(** A crash plan array for [n] processes: non-faulty processes never
+    crash, each faulty process gets a uniformly random send budget in
+    [\[0, max_sends\]]. *)

@@ -1,0 +1,48 @@
+(* SplitMix64 (Steele, Lea, Flood 2014). *)
+
+type t = { mutable state : int64 }
+
+let gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.mul (Int64.of_int (seed + 1)) 0x2545F4914F6CDD1DL }
+
+let copy t = { state = t.state }
+
+let next64 t =
+  t.state <- Int64.add t.state gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive"
+  else begin
+    (* Rejection sampling on the top 62 bits to avoid modulo bias. *)
+    let rec go () =
+      let r = Int64.to_int (Int64.shift_right_logical (next64 t) 2) in
+      let v = r mod bound in
+      if r - v > max_int - bound then go () else v
+    in
+    go ()
+  end
+
+let float t =
+  let r = Int64.to_int (Int64.shift_right_logical (next64 t) 11) in
+  float_of_int r /. 9007199254740992.0 (* 2^53 *)
+
+let bool t = Int64.logand (next64 t) 1L = 1L
+
+let shuffle t l =
+  let a = Array.of_list l in
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a
+
+let split t = { state = next64 t }

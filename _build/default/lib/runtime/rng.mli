@@ -1,0 +1,27 @@
+(** Deterministic pseudo-random numbers (SplitMix64).
+
+    The simulator must be a pure function of (configuration, seed):
+    OCaml's [Random] is global and version-dependent, so executions are
+    driven by this small explicit-state generator instead. *)
+
+type t
+
+val create : int -> t
+(** A generator seeded deterministically. *)
+
+val copy : t -> t
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be
+    positive. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bool : t -> bool
+
+val shuffle : t -> 'a list -> 'a list
+(** Fisher–Yates. *)
+
+val split : t -> t
+(** A fresh generator derived from (and advancing) [t]. *)

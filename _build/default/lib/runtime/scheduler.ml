@@ -1,0 +1,33 @@
+type channel = { src : int; dst : int }
+
+type t =
+  | Random_uniform
+  | Round_robin
+  | Lag_sources of int list
+  | Lifo_bias
+
+let pick policy ~rng ~step ~candidates =
+  match candidates with
+  | [] -> invalid_arg "Scheduler.pick: no candidates"
+  | _ ->
+    (match policy with
+     | Random_uniform ->
+       fst (List.nth candidates (Rng.int rng (List.length candidates)))
+     | Round_robin ->
+       fst (List.nth candidates (step mod List.length candidates))
+     | Lag_sources slow ->
+       let fast =
+         List.filter (fun (c, _) -> not (List.mem c.src slow)) candidates
+       in
+       let pool = if fast = [] then candidates else fast in
+       fst (List.nth pool (Rng.int rng (List.length pool)))
+     | Lifo_bias ->
+       let latest =
+         List.fold_left
+           (fun acc (c, seq) ->
+              match acc with
+              | Some (_, best) when best >= seq -> acc
+              | _ -> Some (c, seq))
+           None candidates
+       in
+       (match latest with Some (c, _) -> c | None -> assert false))

@@ -1,0 +1,30 @@
+(** Adversarial delivery schedulers.
+
+    The system model is fully asynchronous: at every step the adversary
+    chooses any non-empty channel and delivers its head message (FIFO
+    within a channel, reliable, exactly-once). A scheduler is that
+    adversary. All schedulers here are fair in the limit — every sent
+    message is eventually delivered — which is all the model demands. *)
+
+type channel = { src : int; dst : int }
+
+type t =
+  | Random_uniform
+      (** uniform choice among non-empty channels *)
+  | Round_robin
+      (** cycles deterministically over channels *)
+  | Lag_sources of int list
+      (** messages {e from} the given processes are starved: delivered
+          only when nothing else is pending. This is the adversary of
+          the paper's Theorem 3 proof, which makes up to [f] processes
+          "so slow that the other fault-free processes must terminate
+          before receiving any messages" from them. *)
+  | Lifo_bias
+      (** prefers the channel whose head message was sent last —
+          an out-of-order-heavy schedule that stresses round buffering *)
+
+val pick :
+  t -> rng:Rng.t -> step:int -> candidates:(channel * int) list -> channel
+(** Chooses one of the candidate channels; each candidate carries the
+    send sequence number of its head message. [candidates] must be
+    non-empty and is given in deterministic (src, dst) order. *)

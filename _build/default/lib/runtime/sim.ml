@@ -1,0 +1,145 @@
+type pid = int
+
+type 'msg handlers = {
+  on_start : 'msg ctx -> unit;
+  on_receive : 'msg ctx -> pid -> 'msg -> unit;
+}
+
+and 'msg t = {
+  n : int;
+  rng : Rng.t;
+  scheduler : Scheduler.t;
+  channels : (int * 'msg) Queue.t array array; (* channels.(src).(dst) *)
+  crash_plan : Crash.plan array;
+  crashed : bool array;
+  sends_attempted : int array;
+  mutable handlers : 'msg handlers array;
+  mutable seq : int;
+  mutable sent : int;
+  mutable dropped : int;
+  mutable delivered : int;
+  mutable dead_lettered : int;
+  mutable steps : int;
+  mutable started : bool;
+}
+
+and 'msg ctx = { me : pid; sys : 'msg t }
+
+let me ctx = ctx.me
+let n ctx = ctx.sys.n
+
+let crashed t i = t.crashed.(i)
+let sends_of t i = t.sends_attempted.(i)
+let sends ctx = ctx.sys.sends_attempted.(ctx.me)
+
+(* A send consumes one unit of the sender's budget whether or not it is
+   ultimately dropped: the budget marks the crash *point*, and every
+   send at or after that point is lost. *)
+let send ctx dst msg =
+  let t = ctx.sys in
+  let src = ctx.me in
+  if dst < 0 || dst >= t.n then invalid_arg "Sim.send: bad destination"
+  else if t.crashed.(src) then t.dropped <- t.dropped + 1
+  else begin
+    (match t.crash_plan.(src) with
+     | Crash.After_sends budget when t.sends_attempted.(src) >= budget ->
+       t.crashed.(src) <- true;
+       t.dropped <- t.dropped + 1
+     | Crash.After_sends _ | Crash.Never ->
+       t.sends_attempted.(src) <- t.sends_attempted.(src) + 1;
+       t.seq <- t.seq + 1;
+       t.sent <- t.sent + 1;
+       Queue.push (t.seq, msg) t.channels.(src).(dst))
+  end
+
+let broadcast ctx ?(include_self = false) msg =
+  let t = ctx.sys in
+  for k = 1 to t.n - 1 do
+    send ctx ((ctx.me + k) mod t.n) msg
+  done;
+  if include_self then send ctx ctx.me msg
+
+let create ~n ~seed ~scheduler ~crash ~make =
+  if Array.length crash <> n then invalid_arg "Sim.create: crash plan size";
+  let t =
+    { n;
+      rng = Rng.create seed;
+      scheduler;
+      channels = Array.init n (fun _ -> Array.init n (fun _ -> Queue.create ()));
+      crash_plan = crash;
+      crashed = Array.make n false;
+      sends_attempted = Array.make n 0;
+      handlers = [||];
+      seq = 0;
+      sent = 0;
+      dropped = 0;
+      delivered = 0;
+      dead_lettered = 0;
+      steps = 0;
+      started = false }
+  in
+  t.handlers <- Array.init n make;
+  (* Processes with a zero budget are crashed from the outset. *)
+  Array.iteri
+    (fun i plan ->
+       match plan with
+       | Crash.After_sends 0 -> t.crashed.(i) <- true
+       | Crash.After_sends _ | Crash.Never -> ())
+    crash;
+  t
+
+exception Step_limit_exceeded
+
+let nonempty_channels t =
+  let acc = ref [] in
+  for src = t.n - 1 downto 0 do
+    for dst = t.n - 1 downto 0 do
+      let q = t.channels.(src).(dst) in
+      if not (Queue.is_empty q) then begin
+        let (seq, _) = Queue.peek q in
+        acc := ({ Scheduler.src; dst }, seq) :: !acc
+      end
+    done
+  done;
+  !acc
+
+let run ?(max_steps = 2_000_000) t =
+  if not t.started then begin
+    t.started <- true;
+    for i = 0 to t.n - 1 do
+      t.handlers.(i).on_start { me = i; sys = t }
+    done
+  end;
+  let rec loop () =
+    match nonempty_channels t with
+    | [] -> ()
+    | candidates ->
+      if t.steps >= max_steps then raise Step_limit_exceeded;
+      t.steps <- t.steps + 1;
+      let { Scheduler.src; dst } =
+        Scheduler.pick t.scheduler ~rng:t.rng ~step:t.steps ~candidates
+      in
+      let (_, msg) = Queue.pop t.channels.(src).(dst) in
+      if t.crashed.(dst) then t.dead_lettered <- t.dead_lettered + 1
+      else begin
+        t.delivered <- t.delivered + 1;
+        t.handlers.(dst).on_receive { me = dst; sys = t } src msg
+      end;
+      loop ()
+  in
+  loop ()
+
+type metrics = {
+  sent : int;
+  dropped : int;
+  delivered : int;
+  dead_lettered : int;
+  steps : int;
+}
+
+let metrics (t : _ t) =
+  { sent = t.sent;
+    dropped = t.dropped;
+    delivered = t.delivered;
+    dead_lettered = t.dead_lettered;
+    steps = t.steps }

@@ -1,0 +1,82 @@
+(** Deterministic discrete-event simulator of the paper's system model:
+    [n] processes on a complete graph, reliable exactly-once FIFO
+    channels, full asynchrony (an adversarial scheduler picks the next
+    delivery), and crash faults with send budgets (see {!Crash}).
+
+    An execution is a pure function of (handlers, crash plans,
+    scheduler policy, seed): re-running with the same arguments yields
+    the identical schedule, which the property-based tests and the
+    experiment harness rely on.
+
+    Processes are event-driven: [on_start] runs once for every process
+    (including ones that crash immediately — their sends are dropped),
+    then [on_receive] runs for each delivered message. Handlers interact
+    with the world only through {!send} / {!broadcast}. *)
+
+type pid = int
+
+type 'msg ctx
+(** Capability handed to process handlers. *)
+
+val me : 'msg ctx -> pid
+val n : 'msg ctx -> int
+
+val sends : 'msg ctx -> int
+(** Messages this process has successfully placed on channels so far
+    (same counter as {!sends_of}, from inside a handler). *)
+
+val send : 'msg ctx -> pid -> 'msg -> unit
+(** Enqueue a message; silently dropped if the sender has crashed or
+    crashes at this send (budget exhausted). *)
+
+val broadcast : 'msg ctx -> ?include_self:bool -> 'msg -> unit
+(** Unit sends to every process in rotating order starting at
+    [me + 1], so a mid-broadcast crash reaches a contiguous block of
+    recipients that differs per sender. [include_self] defaults to
+    [false]; when [true] the self message also travels through the
+    (adversarially scheduled) channel. *)
+
+type 'msg handlers = {
+  on_start : 'msg ctx -> unit;
+  on_receive : 'msg ctx -> pid -> 'msg -> unit;  (** ctx, source, payload *)
+}
+
+type 'msg t
+
+val create :
+  n:int ->
+  seed:int ->
+  scheduler:Scheduler.t ->
+  crash:Crash.plan array ->
+  make:(pid -> 'msg handlers) ->
+  'msg t
+(** Build a system. [crash] must have length [n]. [make i] constructs
+    process [i]'s handlers (captured state lives in the closure). *)
+
+exception Step_limit_exceeded
+
+val run : ?max_steps:int -> 'msg t -> unit
+(** Deliver messages until quiescence (no channel non-empty).
+    @raise Step_limit_exceeded after [max_steps] deliveries
+    (default [2_000_000]) — a liveness bug guard. *)
+
+val crashed : 'msg t -> pid -> bool
+(** Whether the process has crashed so far (send budget exhausted). *)
+
+val sends_of : 'msg t -> pid -> int
+(** Number of sends by this process that actually entered a channel so
+    far. Protocol layers use before/after deltas to tell whether a
+    broadcast got at least one message out (the paper's
+    ["sent a round-t message"] predicate behind [F[t]]). *)
+
+(** {1 Metrics} *)
+
+type metrics = {
+  sent : int;            (** messages accepted into channels *)
+  dropped : int;         (** sends swallowed by crashes *)
+  delivered : int;       (** messages handed to a live receiver *)
+  dead_lettered : int;   (** deliveries to already-crashed receivers *)
+  steps : int;           (** scheduler decisions taken *)
+}
+
+val metrics : 'msg t -> metrics

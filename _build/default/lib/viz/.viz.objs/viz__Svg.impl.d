@@ -1,0 +1,1 @@
+lib/viz/svg.ml: Array Buffer Chc Fun Geometry List Numeric Printf Stdlib String

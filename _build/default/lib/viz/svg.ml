@@ -1,0 +1,119 @@
+module Q = Numeric.Q
+module Vec = Geometry.Vec
+module Polytope = Geometry.Polytope
+
+let canvas = 640.0
+let margin = 40.0
+
+type transform = { sx : float; sy : float; ox : float; oy : float }
+
+(* Map problem coordinates to canvas pixels, y flipped so the plot
+   reads like mathematics. *)
+let make_transform ~(config : Chc.Config.t) =
+  let lo = Q.to_float config.Chc.Config.lo in
+  let hi = Q.to_float config.Chc.Config.hi in
+  let span = Stdlib.max (hi -. lo) 1e-9 in
+  let s = (canvas -. (2.0 *. margin)) /. span in
+  { sx = s; sy = -.s; ox = margin -. (s *. lo); oy = canvas -. margin +. (s *. lo) }
+
+let px t v =
+  let x = Q.to_float v.(0) and y = Q.to_float v.(1) in
+  ((t.sx *. x) +. t.ox, (t.sy *. y) +. t.oy)
+
+let pt_str t v =
+  let (x, y) = px t v in
+  Printf.sprintf "%.2f,%.2f" x y
+
+let poly_points t p =
+  String.concat " " (List.map (pt_str t) (Polytope.vertices p))
+
+let polygon ?(stroke = "#333") ?(fill = "none") ?(width = 1.0) ?(opacity = 1.0)
+    ?(dash = "") t p =
+  match Polytope.vertices p with
+  | [v] ->
+    let (x, y) = px t v in
+    Printf.sprintf
+      {|<circle cx="%.2f" cy="%.2f" r="3" fill="%s" stroke="%s" opacity="%.3f"/>|}
+      x y (if fill = "none" then stroke else fill) stroke opacity
+  | [_; _] ->
+    Printf.sprintf
+      {|<polyline points="%s" stroke="%s" stroke-width="%.2f" fill="none" opacity="%.3f"%s/>|}
+      (poly_points t p) stroke width opacity
+      (if dash = "" then "" else Printf.sprintf {| stroke-dasharray="%s"|} dash)
+  | _ ->
+    Printf.sprintf
+      {|<polygon points="%s" stroke="%s" stroke-width="%.2f" fill="%s" opacity="%.3f"%s/>|}
+      (poly_points t p) stroke width fill opacity
+      (if dash = "" then "" else Printf.sprintf {| stroke-dasharray="%s"|} dash)
+
+let dot t ?(r = 4.0) ?(fill = "#000") v =
+  let (x, y) = px t v in
+  Printf.sprintf {|<circle cx="%.2f" cy="%.2f" r="%.1f" fill="%s"/>|} x y r fill
+
+let cross t v =
+  let (x, y) = px t v in
+  Printf.sprintf
+    {|<path d="M %.2f %.2f L %.2f %.2f M %.2f %.2f L %.2f %.2f" stroke="#c0392b" stroke-width="2"/>|}
+    (x -. 5.) (y -. 5.) (x +. 5.) (y +. 5.) (x -. 5.) (y +. 5.) (x +. 5.) (y -. 5.)
+
+let process_colors =
+  [| "#1f77b4"; "#ff7f0e"; "#2ca02c"; "#d62728"; "#9467bd"; "#8c564b";
+     "#e377c2"; "#7f7f7f"; "#bcbd22"; "#17becf" |]
+
+let render ~(report : Chc.Executor.report) =
+  let config = report.Chc.Executor.spec.Chc.Executor.config in
+  if config.Chc.Config.d <> 2 then
+    invalid_arg "Svg.render: only 2-dimensional executions";
+  let t = make_transform ~config in
+  let buf = Buffer.create 8192 in
+  let out s = Buffer.add_string buf s; Buffer.add_char buf '\n' in
+  out (Printf.sprintf
+         {|<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">|}
+         canvas canvas canvas canvas);
+  out {|<rect width="100%" height="100%" fill="white"/>|};
+  (* Hull of correct inputs. *)
+  out (polygon ~stroke:"#888" ~width:1.5 ~dash:"6,4" t
+         report.Chc.Executor.correct_hull);
+  (* Per-round history, fading in. *)
+  let t_end = report.Chc.Executor.result.Chc.Cc.t_end in
+  Array.iteri
+    (fun i hist ->
+       let color = process_colors.(i mod Array.length process_colors) in
+       List.iter
+         (fun (round, h) ->
+            let opacity = 0.15 +. (0.75 *. float_of_int round /. float_of_int (Stdlib.max t_end 1)) in
+            out (polygon ~stroke:color ~width:1.0 ~opacity t h))
+         hist)
+    report.Chc.Executor.result.Chc.Cc.history;
+  (* I_Z. *)
+  (match report.Chc.Executor.iz with
+   | Some iz -> out (polygon ~stroke:"#000" ~width:2.0 ~fill:"#00000022" t iz)
+   | None -> ());
+  (* Decisions. *)
+  Array.iteri
+    (fun i o ->
+       match o with
+       | Some h ->
+         let color = process_colors.(i mod Array.length process_colors) in
+         out (polygon ~stroke:color ~width:2.5 t h)
+       | None -> ())
+    report.Chc.Executor.result.Chc.Cc.outputs;
+  (* Inputs. *)
+  Array.iteri
+    (fun i v ->
+       if List.mem i report.Chc.Executor.faulty then out (cross t v)
+       else out (dot t ~fill:"#2c3e50" v))
+    report.Chc.Executor.spec.Chc.Executor.inputs;
+  (* Legend. *)
+  out (Printf.sprintf
+         {|<text x="%.0f" y="20" font-family="monospace" font-size="12">n=%d f=%d eps=%s t_end=%d | dots: correct inputs, crosses: faulty, dashed: correct hull, shaded: I_Z, colored: h_i[t] fading to decision</text>|}
+         margin config.Chc.Config.n config.Chc.Config.f
+         (Q.to_string config.Chc.Config.eps) t_end);
+  out "</svg>";
+  Buffer.contents buf
+
+let render_to_file ~path ~report =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (render ~report))

@@ -1,0 +1,14 @@
+(** SVG rendering of 2-d executions.
+
+    Draws, on one canvas: every input (faulty ones crossed out), the
+    convex hull of the correct inputs, each process's per-round
+    polytope with rounds fading from light to saturated, the optimality
+    witness [I_Z], and the decided polytopes. Purely textual — no
+    graphics dependencies — and only for [d = 2] (the dimension all
+    visual intuition about the algorithm lives in). *)
+
+val render : report:Chc.Executor.report -> string
+(** A complete standalone SVG document.
+    @raise Invalid_argument unless the execution is 2-dimensional. *)
+
+val render_to_file : path:string -> report:Chc.Executor.report -> unit

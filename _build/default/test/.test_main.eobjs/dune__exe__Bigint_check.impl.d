@@ -1,0 +1,1 @@
+test/bigint_check.ml: Numeric

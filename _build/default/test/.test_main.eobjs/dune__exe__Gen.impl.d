@@ -1,0 +1,1 @@
+test/gen.ml: Array Geometry List Numeric QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_bigint.ml: Alcotest Float List Numeric QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_cc.ml: Alcotest Array Chc Gen Geometry List Numeric Printf QCheck Runtime

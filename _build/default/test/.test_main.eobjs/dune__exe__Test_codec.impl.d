@@ -1,0 +1,1 @@
+test/test_codec.ml: Alcotest Buffer Codec Gen Geometry List Numeric QCheck String

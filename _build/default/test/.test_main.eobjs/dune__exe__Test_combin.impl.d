@@ -1,0 +1,1 @@
+test/test_combin.ml: Alcotest Fun Gen List Numeric Printf QCheck

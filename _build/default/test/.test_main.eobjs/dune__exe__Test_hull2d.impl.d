@@ -1,0 +1,1 @@
+test/test_hull2d.ml: Alcotest Gen Geometry List Numeric QCheck

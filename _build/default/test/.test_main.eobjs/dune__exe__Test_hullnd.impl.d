@@ -1,0 +1,1 @@
+test/test_hullnd.ml: Alcotest Gen Geometry List Numeric QCheck

@@ -1,0 +1,1 @@
+test/test_linsys.ml: Alcotest Array Gen Geometry List Numeric QCheck String

@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Gen Geometry List Numeric QCheck

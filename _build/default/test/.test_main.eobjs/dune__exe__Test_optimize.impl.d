@@ -1,0 +1,1 @@
+test/test_optimize.ml: Alcotest Array Chc Gen Geometry List Numeric QCheck Runtime

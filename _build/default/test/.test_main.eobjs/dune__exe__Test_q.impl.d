@@ -1,0 +1,1 @@
+test/test_q.ml: Alcotest Bigint_check List Numeric QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_stable_vector.ml: Alcotest Array Fun Gen List Option Printf Protocol QCheck Runtime String

@@ -1,0 +1,1 @@
+test/test_tverberg.ml: Alcotest Gen Geometry List Printf

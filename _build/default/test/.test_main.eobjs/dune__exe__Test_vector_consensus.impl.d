@@ -1,0 +1,1 @@
+test/test_vector_consensus.ml: Alcotest Array Chc Fun Gen Geometry List Numeric QCheck Runtime

@@ -1,0 +1,1 @@
+test/test_viz.ml: Alcotest Chc Numeric String Viz

@@ -1,0 +1,10 @@
+(* Shared helpers for the numeric test suites. *)
+
+module B = Numeric.Bigint
+
+(* A rational (num, den) is in normal form: positive denominator and
+   coprime parts (den = 1 when num = 0). *)
+let normalized num den =
+  B.sign den > 0
+  && (if B.is_zero num then B.equal den B.one
+      else B.equal (B.gcd num den) B.one)

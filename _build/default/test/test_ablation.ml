@@ -1,0 +1,69 @@
+(* E6 ablation: replacing stable vector with a naive "first n-f inputs"
+   round 0. Safety (validity, agreement, termination) survives — the
+   averaging phase never relied on stable vector — but the containment
+   property is gone, so the I_Z optimality certificate can fail. *)
+
+module Q = Numeric.Q
+module Config = Chc.Config
+module Executor = Chc.Executor
+module Crash = Runtime.Crash
+module Scheduler = Runtime.Scheduler
+
+let cfg = Config.make ~n:5 ~f:1 ~d:2 ~eps:(Q.of_ints 1 4) ~lo:Q.zero ~hi:Q.one
+
+(* A crash plan that bites mid-broadcast in round 0 of the naive
+   variant: the faulty process reaches only a strict prefix of
+   recipients with its input. *)
+let partial_crash n =
+  let crash = Array.make n Crash.Never in
+  crash.(0) <- Crash.After_sends 2;
+  crash
+
+let run ~round0 ~seed =
+  let spec = Executor.default_spec ~config:cfg ~seed ~round0 () in
+  Executor.run { spec with Executor.crash = partial_crash 5 }
+
+let test_naive_still_safe () =
+  let r = run ~round0:`Naive ~seed:61 in
+  Alcotest.(check bool) "termination" true r.Executor.terminated;
+  Alcotest.(check bool) "validity" true r.Executor.valid;
+  Alcotest.(check bool) "agreement" true r.Executor.agreement_ok
+
+let test_stable_vector_always_optimal_on_same_schedules () =
+  (* Any seed: the stable-vector variant must keep the I_Z certificate
+     even under mid-broadcast crashes. *)
+  for seed = 0 to 15 do
+    let r = run ~round0:`Stable_vector ~seed in
+    if not (r.Executor.terminated && r.Executor.valid && r.Executor.optimal)
+    then Alcotest.failf "stable-vector run degraded at seed %d" seed
+  done
+
+let test_naive_loses_optimality_somewhere () =
+  (* The ablation's point: across a modest seed sweep there exists a
+     schedule where the naive variant's views diverge enough that the
+     I_Z certificate fails (either I_Z ⊄ h_i or the witness itself
+     degenerates). If this never fired the ablation would be vacuous. *)
+  let violations = ref 0 in
+  for seed = 0 to 30 do
+    let r = run ~round0:`Naive ~seed in
+    if not r.Executor.optimal then incr violations
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "optimality violations observed (%d/31)" !violations)
+    true (!violations > 0)
+
+let prop_naive_safety =
+  Gen.prop ~count:20 "naive variant keeps Theorem-2 safety"
+    (QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 100000))
+    (fun seed ->
+       let r = run ~round0:`Naive ~seed in
+       r.Executor.terminated && r.Executor.valid && r.Executor.agreement_ok)
+
+let suite =
+  [ ( "ablation",
+      [ Alcotest.test_case "naive variant safety" `Quick test_naive_still_safe;
+        Alcotest.test_case "stable vector keeps optimality" `Quick
+          test_stable_vector_always_optimal_on_same_schedules;
+        Alcotest.test_case "naive variant loses optimality" `Quick
+          test_naive_loses_optimality_somewhere ]
+      @ List.map Gen.qtest [ prop_naive_safety ] ) ]

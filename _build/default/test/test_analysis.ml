@@ -1,0 +1,78 @@
+(* The matrix-form certificates of Section 5: Theorem 1 (exact
+   polytope equality between the simulated states and the matrix
+   recurrence), row stochasticity, Claim 1 and Lemma 3 on products of
+   transition matrices. *)
+
+module Q = Numeric.Q
+module Config = Chc.Config
+module Executor = Chc.Executor
+module Analysis = Chc.Analysis
+
+let run_and_build ~seed ~n ~f ~d =
+  let config =
+    Config.make ~n ~f ~d ~eps:(Q.of_ints 1 4) ~lo:Q.zero ~hi:Q.one
+  in
+  let r = Executor.run (Executor.default_spec ~config ~seed ()) in
+  let a =
+    Analysis.build ~config ~faulty:r.Executor.faulty ~result:r.Executor.result
+  in
+  (a, r)
+
+let test_known_run () =
+  let a, r = run_and_build ~seed:31 ~n:5 ~f:1 ~d:2 in
+  Alcotest.(check int) "t_end recorded" r.Executor.result.Chc.Cc.t_end a.Analysis.t_end;
+  Alcotest.(check bool) "all M row-stochastic" true
+    (Array.for_all Analysis.is_row_stochastic a.Analysis.matrices);
+  Alcotest.(check bool) "all P row-stochastic" true
+    (Array.for_all Analysis.is_row_stochastic (Analysis.products a));
+  Alcotest.(check bool) "theorem 1" true
+    (Analysis.check_theorem1 a ~result:r.Executor.result);
+  Alcotest.(check bool) "claim 1" true (Analysis.check_claim1 a);
+  Alcotest.(check bool) "lemma 3" true (Analysis.check_lemma3 a)
+
+let test_f_sets_monotone () =
+  let a, _ = run_and_build ~seed:32 ~n:5 ~f:1 ~d:2 in
+  let subset l1 l2 = List.for_all (fun x -> List.mem x l2) l1 in
+  for t = 0 to a.Analysis.t_end do
+    Alcotest.(check bool) "F[t] ⊆ F[t+1]" true
+      (subset a.Analysis.f_sets.(t) a.Analysis.f_sets.(t + 1));
+    Alcotest.(check bool) "F[t] ⊆ faulty" true
+      (subset a.Analysis.f_sets.(t) a.Analysis.faulty)
+  done
+
+let test_gap_decreases () =
+  let a, _ = run_and_build ~seed:33 ~n:5 ~f:1 ~d:1 in
+  let ps = Analysis.products a in
+  let gaps = Array.map (Analysis.ergodicity_gap a) ps in
+  (* The Lemma 3 envelope is monotone; the measured gap need not be
+     strictly monotone but must end far below where it started. *)
+  let first = Q.to_float gaps.(0) and last = Q.to_float gaps.(Array.length gaps - 1) in
+  Alcotest.(check bool) "gap shrinks overall" true
+    (last <= first || first = 0.0)
+
+let prop_certificates =
+  Gen.prop ~count:12 "matrix certificates hold on random runs"
+    (QCheck.make
+       ~print:(fun (seed, n) -> Printf.sprintf "seed=%d n=%d" seed n)
+       QCheck.Gen.(pair (0 -- 100000) (5 -- 6)))
+    (fun (seed, n) ->
+       let a, r = run_and_build ~seed ~n ~f:1 ~d:2 in
+       Array.for_all Analysis.is_row_stochastic a.Analysis.matrices
+       && Analysis.check_theorem1 a ~result:r.Executor.result
+       && Analysis.check_claim1 a
+       && Analysis.check_lemma3 a)
+
+let prop_certificates_1d =
+  Gen.prop ~count:12 "matrix certificates hold in 1d with f=2"
+    (QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 100000))
+    (fun seed ->
+       let a, r = run_and_build ~seed ~n:7 ~f:2 ~d:1 in
+       Analysis.check_theorem1 a ~result:r.Executor.result
+       && Analysis.check_claim1 a && Analysis.check_lemma3 a)
+
+let suite =
+  [ ( "analysis",
+      [ Alcotest.test_case "known run" `Quick test_known_run;
+        Alcotest.test_case "F sets monotone" `Quick test_f_sets_monotone;
+        Alcotest.test_case "ergodicity gap shrinks" `Quick test_gap_decreases ]
+      @ List.map Gen.qtest [ prop_certificates; prop_certificates_1d ] ) ]

@@ -1,0 +1,168 @@
+(* Unit and property tests for the hand-rolled bignum layer. The
+   property tests cross-check Knuth-D division against the
+   shift-subtract oracle and against algebraic identities. *)
+
+module B = Numeric.Bigint
+
+let b = Alcotest.testable B.pp B.equal
+
+let check_b = Alcotest.check b
+
+(* --- generators ------------------------------------------------------ *)
+
+(* Random signed bignum with up to [digits] decimal digits. *)
+let gen_bigint ?(digits = 40) () =
+  let open QCheck.Gen in
+  let* len = 1 -- digits in
+  let* ds = list_size (return len) (0 -- 9) in
+  let* negative = bool in
+  let s = String.concat "" (List.map string_of_int ds) in
+  let v = B.of_string s in
+  return (if negative then B.neg v else v)
+
+let arb_bigint ?digits () =
+  QCheck.make ~print:B.to_string (gen_bigint ?digits ())
+
+let arb_nonzero ?digits () =
+  QCheck.make ~print:B.to_string
+    (QCheck.Gen.map
+       (fun x -> if B.is_zero x then B.one else x)
+       (gen_bigint ?digits ()))
+
+let count = 500
+
+let prop name arb f = QCheck.Test.make ~count ~name arb f
+let qtest t = QCheck_alcotest.to_alcotest t
+
+(* --- unit tests ------------------------------------------------------ *)
+
+let test_of_to_int () =
+  List.iter
+    (fun n ->
+       Alcotest.(check (option int)) (string_of_int n)
+         (Some n) (B.to_int_opt (B.of_int n)))
+    [0; 1; -1; 42; -42; max_int; min_int + 1; 1 lsl 40; -(1 lsl 40)]
+
+let test_min_int () =
+  (* min_int has no positive native counterpart; round-trips via string. *)
+  let x = B.of_int min_int in
+  Alcotest.(check string) "min_int decimal" (string_of_int min_int) (B.to_string x)
+
+let test_string_roundtrip () =
+  List.iter
+    (fun s -> Alcotest.(check string) s s (B.to_string (B.of_string s)))
+    ["0"; "1"; "-1"; "123456789012345678901234567890";
+     "-999999999999999999999999999999999999"; "1000000000000000000000000000"]
+
+let test_basic_arith () =
+  let i = B.of_int in
+  check_b "2+3" (i 5) (B.add (i 2) (i 3));
+  check_b "2-3" (i (-1)) (B.sub (i 2) (i 3));
+  check_b "-7*6" (i (-42)) (B.mul (i (-7)) (i 6));
+  check_b "7/2" (i 3) (B.div (i 7) (i 2));
+  check_b "7 mod 2" (i 1) (B.rem (i 7) (i 2));
+  check_b "-7/2" (i (-3)) (B.div (i (-7)) (i 2));
+  check_b "-7 mod 2" (i (-1)) (B.rem (i (-7)) (i 2));
+  check_b "gcd 12 18" (i 6) (B.gcd (i 12) (i 18));
+  check_b "gcd 0 5" (i 5) (B.gcd (i 0) (i 5));
+  check_b "2^100 / 2^50" (B.pow (i 2) 50) (B.div (B.pow (i 2) 100) (B.pow (i 2) 50))
+
+let test_pow () =
+  check_b "3^0" B.one (B.pow (B.of_int 3) 0);
+  check_b "3^4" (B.of_int 81) (B.pow (B.of_int 3) 4);
+  Alcotest.(check string) "2^128"
+    "340282366920938463463374607431768211456"
+    (B.to_string (B.pow B.two 128))
+
+let test_shift () =
+  check_b "1 lsl 100 = 2^100" (B.pow B.two 100) (B.shift_left B.one 100);
+  check_b "shift round trip" (B.of_int 12345)
+    (B.shift_right (B.shift_left (B.of_int 12345) 67) 67)
+
+let test_num_bits () =
+  Alcotest.(check int) "bits 0" 0 (B.num_bits B.zero);
+  Alcotest.(check int) "bits 1" 1 (B.num_bits B.one);
+  Alcotest.(check int) "bits 255" 8 (B.num_bits (B.of_int 255));
+  Alcotest.(check int) "bits 2^100" 101 (B.num_bits (B.pow B.two 100))
+
+let test_division_by_zero () =
+  Alcotest.check_raises "div by zero" Division_by_zero
+    (fun () -> ignore (B.div B.one B.zero))
+
+let test_to_float () =
+  Alcotest.(check (float 1e-9)) "42." 42.0 (B.to_float (B.of_int 42));
+  Alcotest.(check (float 1e6)) "2^64"
+    (Float.pow 2.0 64.0) (B.to_float (B.pow B.two 64))
+
+(* --- property tests -------------------------------------------------- *)
+
+let pair a b = QCheck.pair a b
+
+let props =
+  [ prop "add comm" (pair (arb_bigint ()) (arb_bigint ()))
+      (fun (a, b') -> B.equal (B.add a b') (B.add b' a));
+    prop "add assoc"
+      (QCheck.triple (arb_bigint ()) (arb_bigint ()) (arb_bigint ()))
+      (fun (a, b', c) ->
+         B.equal (B.add (B.add a b') c) (B.add a (B.add b' c)));
+    prop "sub inverse" (pair (arb_bigint ()) (arb_bigint ()))
+      (fun (a, b') -> B.equal a (B.add (B.sub a b') b'));
+    prop "mul comm" (pair (arb_bigint ()) (arb_bigint ()))
+      (fun (a, b') -> B.equal (B.mul a b') (B.mul b' a));
+    prop "mul distributes"
+      (QCheck.triple (arb_bigint ()) (arb_bigint ()) (arb_bigint ()))
+      (fun (a, b', c) ->
+         B.equal (B.mul a (B.add b' c)) (B.add (B.mul a b') (B.mul a c)));
+    prop "divmod identity" (pair (arb_bigint ()) (arb_nonzero ()))
+      (fun (a, b') ->
+         let q, r = B.divmod a b' in
+         B.equal a (B.add (B.mul q b') r)
+         && B.compare (B.abs r) (B.abs b') < 0
+         && (B.is_zero r || B.sign r = B.sign a));
+    prop "knuth matches shift-subtract"
+      (pair (arb_bigint ~digits:60 ()) (arb_nonzero ~digits:25 ()))
+      (fun (a, b') ->
+         let q1, r1 = B.divmod a b' in
+         let q2, r2 = B.divmod_shift_subtract a b' in
+         B.equal q1 q2 && B.equal r1 r2);
+    prop "gcd divides both" (pair (arb_nonzero ()) (arb_nonzero ()))
+      (fun (a, b') ->
+         let g = B.gcd a b' in
+         B.is_zero (B.rem a g) && B.is_zero (B.rem b' g));
+    prop "gcd of multiples" (pair (arb_nonzero ~digits:15 ()) (arb_nonzero ~digits:15 ()))
+      (fun (a, b') ->
+         (* gcd (a*b) b = |b| * gcd(a, 1)-ish: at least |b| divides it. *)
+         let g = B.gcd (B.mul a b') b' in
+         B.is_zero (B.rem g b'));
+    prop "string round trip" (arb_bigint ~digits:80 ())
+      (fun a -> B.equal a (B.of_string (B.to_string a)));
+    prop "compare antisym" (pair (arb_bigint ()) (arb_bigint ()))
+      (fun (a, b') -> B.compare a b' = - (B.compare b' a));
+    prop "neg involutive" (arb_bigint ())
+      (fun a -> B.equal a (B.neg (B.neg a)));
+    prop "abs non-negative" (arb_bigint ())
+      (fun a -> B.sign (B.abs a) >= 0);
+    prop "int agreement" (pair QCheck.int QCheck.int)
+      (fun (x, y) ->
+         (* Avoid overflow: restrict to 30-bit operands for mul. *)
+         let x = x land 0x3FFFFFFF and y = y land 0x3FFFFFFF in
+         B.equal (B.of_int (x * y)) (B.mul (B.of_int x) (B.of_int y))
+         && B.equal (B.of_int (x + y)) (B.add (B.of_int x) (B.of_int y)));
+    prop "shift left is mul by 2^k"
+      (pair (arb_bigint ~digits:20 ()) QCheck.(0 -- 200))
+      (fun (a, k) ->
+         B.equal (B.shift_left a k) (B.mul a (B.pow B.two k)));
+  ]
+
+let suite =
+  [ ( "bigint",
+      [ Alcotest.test_case "of/to int" `Quick test_of_to_int;
+        Alcotest.test_case "min_int" `Quick test_min_int;
+        Alcotest.test_case "string round trip" `Quick test_string_roundtrip;
+        Alcotest.test_case "basic arithmetic" `Quick test_basic_arith;
+        Alcotest.test_case "pow" `Quick test_pow;
+        Alcotest.test_case "shift" `Quick test_shift;
+        Alcotest.test_case "num_bits" `Quick test_num_bits;
+        Alcotest.test_case "division by zero" `Quick test_division_by_zero;
+        Alcotest.test_case "to_float" `Quick test_to_float ]
+      @ List.map qtest props ) ]

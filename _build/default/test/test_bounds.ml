@@ -1,0 +1,65 @@
+module Q = Numeric.Q
+module Config = Chc.Config
+module Bounds = Chc.Bounds
+
+let cfg ~n ~f ~d ~eps =
+  Config.make ~n ~f ~d ~eps ~lo:Q.zero ~hi:Q.one
+
+let test_tightness () =
+  (* t_end is the smallest positive t with (1-1/n)^t·sqrt(Ω²) < ε:
+     check the inequality at t_end and its failure at t_end - 1. *)
+  List.iter
+    (fun (n, f, d, eps) ->
+       let c = cfg ~n ~f ~d ~eps in
+       let t = Bounds.t_end c in
+       Alcotest.(check bool) "t_end >= 1" true (t >= 1);
+       let ratio2 = Q.square (Q.of_ints (n - 1) n) in
+       let lhs2 at = Q.mul (Q.pow ratio2 at) (Bounds.omega2_bound c) in
+       let eps2 = Q.square eps in
+       Alcotest.(check bool) "satisfied at t_end" true (Q.lt (lhs2 t) eps2);
+       if t > 1 then
+         Alcotest.(check bool) "violated at t_end - 1" false
+           (Q.lt (lhs2 (t - 1)) eps2))
+    [ (5, 1, 2, Q.of_ints 1 10);
+      (9, 2, 2, Q.of_ints 1 100);
+      (4, 1, 1, Q.of_ints 1 2);
+      (13, 3, 2, Q.of_ints 1 7);
+      (6, 1, 3, Q.one) ]
+
+let test_monotonic_in_eps () =
+  let t_at eps = Bounds.t_end (cfg ~n:5 ~f:1 ~d:2 ~eps) in
+  Alcotest.(check bool) "smaller eps, more rounds" true
+    (t_at (Q.of_ints 1 1000) > t_at (Q.of_ints 1 10));
+  Alcotest.(check bool) "order preserved" true
+    (t_at (Q.of_ints 1 100) >= t_at (Q.of_ints 1 10))
+
+let test_omega_bound () =
+  let c = cfg ~n:5 ~f:1 ~d:2 ~eps:Q.one in
+  (* d·n²·max(U²,μ²) = 2·25·1 = 50 *)
+  Alcotest.(check bool) "omega²" true
+    (Q.equal (Bounds.omega2_bound c) (Q.of_int 50))
+
+let test_config_validation () =
+  Alcotest.check_raises "resilience bound"
+    (Invalid_argument "Config.make: resilience requires n >= (d+2)f + 1")
+    (fun () -> ignore (cfg ~n:4 ~f:1 ~d:2 ~eps:Q.one));
+  Alcotest.check_raises "eps > 0"
+    (Invalid_argument "Config.make: eps must be positive")
+    (fun () -> ignore (cfg ~n:5 ~f:1 ~d:2 ~eps:Q.zero));
+  (* n = (d+2)f + 1 exactly is allowed. *)
+  ignore (cfg ~n:6 ~f:1 ~d:3 ~eps:Q.one);
+  ignore (cfg ~n:5 ~f:1 ~d:2 ~eps:Q.one)
+
+let test_contraction () =
+  let c = cfg ~n:5 ~f:1 ~d:2 ~eps:Q.one in
+  Alcotest.(check (float 1e-12)) "t=0" 1.0 (Bounds.contraction_at c 0);
+  Alcotest.(check (float 1e-12)) "t=1" 0.8 (Bounds.contraction_at c 1);
+  Alcotest.(check (float 1e-12)) "t=2" 0.64 (Bounds.contraction_at c 2)
+
+let suite =
+  [ ( "bounds",
+      [ Alcotest.test_case "t_end tightness" `Quick test_tightness;
+        Alcotest.test_case "monotone in eps" `Quick test_monotonic_in_eps;
+        Alcotest.test_case "omega bound" `Quick test_omega_bound;
+        Alcotest.test_case "config validation" `Quick test_config_validation;
+        Alcotest.test_case "contraction" `Quick test_contraction ] ) ]

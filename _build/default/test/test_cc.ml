@@ -1,0 +1,223 @@
+(* End-to-end tests of Algorithm CC: the three correctness properties
+   of Theorem 2 (validity, ε-agreement, termination), the optimality
+   certificate of Lemma 6 / Theorem 3, degenerate cases, and
+   determinism. Agreement and containment checks are exact (rational);
+   no tolerances are involved anywhere. *)
+
+module Q = Numeric.Q
+module Vec = Geometry.Vec
+module Polytope = Geometry.Polytope
+module Config = Chc.Config
+module Cc = Chc.Cc
+module Executor = Chc.Executor
+module Scheduler = Runtime.Scheduler
+module Crash = Runtime.Crash
+
+let cfg ?(eps = Q.of_ints 1 4) ~n ~f ~d () =
+  Config.make ~n ~f ~d ~eps ~lo:Q.zero ~hi:Q.one
+
+let check_report (r : Executor.report) =
+  Alcotest.(check bool) "termination" true r.Executor.terminated;
+  Alcotest.(check bool) "validity" true r.Executor.valid;
+  Alcotest.(check bool) "eps-agreement" true r.Executor.agreement_ok;
+  Alcotest.(check bool) "optimality (I_Z containment)" true r.Executor.optimal
+
+let test_basic_2d () =
+  let config = cfg ~n:5 ~f:1 ~d:2 () in
+  check_report (Executor.run (Executor.default_spec ~config ~seed:11 ()))
+
+let test_fault_free () =
+  let config = cfg ~n:5 ~f:1 ~d:2 () in
+  (* f = 1 faults tolerated but nobody actually crashes. *)
+  let spec = Executor.default_spec ~config ~seed:12 ~faulty:[] () in
+  let r = Executor.run spec in
+  check_report r;
+  (* With no faulty process every process decides. *)
+  Alcotest.(check bool) "all decided" true
+    (Array.for_all (fun o -> o <> None) r.Executor.result.Cc.outputs)
+
+let test_f_zero () =
+  let config = cfg ~n:3 ~f:0 ~d:2 () in
+  let r = Executor.run (Executor.default_spec ~config ~seed:13 ()) in
+  check_report r;
+  (* f = 0: the round-0 polytope is the full hull and stays the
+     decision's upper bound; outputs must equal the hull of all inputs
+     eventually contain I_Z = H(X_Z). *)
+  Alcotest.(check bool) "iz exists" true (r.Executor.iz <> None)
+
+let test_identical_inputs () =
+  (* All processes share one input: the decision must be exactly that
+     single point (degenerate case from Section 6). *)
+  let config = cfg ~n:5 ~f:1 ~d:2 () in
+  let x = Vec.make [Q.half; Q.of_ints 1 3] in
+  let spec =
+    { (Executor.default_spec ~config ~seed:14 ()) with
+      Executor.inputs = Array.make 5 x }
+  in
+  let r = Executor.run spec in
+  check_report r;
+  Array.iter
+    (function
+      | None -> ()
+      | Some h ->
+        Alcotest.(check bool) "single point" true (Polytope.is_point h);
+        Alcotest.(check bool) "the shared input" true
+          (Vec.equal (List.hd (Polytope.vertices h)) x))
+    r.Executor.result.Cc.outputs
+
+let test_1d () =
+  let config = cfg ~n:4 ~f:1 ~d:1 ~eps:(Q.of_ints 1 50) () in
+  check_report (Executor.run (Executor.default_spec ~config ~seed:15 ()))
+
+let test_3d () =
+  (* Generic-position rational inputs in d=3 make the exact Minkowski
+     pruning very expensive (see DESIGN.md); a coarse input lattice
+     keeps the polytopes small while still exercising the full 3-d
+     pipeline (hrep intersection, nd L-combination, exact volumes,
+     nd Hausdorff) over 13 genuine rounds. *)
+  let config = cfg ~n:6 ~f:1 ~d:3 ~eps:Q.one () in
+  let rng = Runtime.Rng.create 7 in
+  let inputs = Executor.random_inputs ~config ~rng ~grid:4 () in
+  let spec = { (Executor.default_spec ~config ~seed:16 ()) with
+               Executor.inputs = inputs } in
+  check_report (Executor.run spec)
+
+let test_3d_cube () =
+  (* Structured inputs: the corners of the unit cube. *)
+  let config = cfg ~n:6 ~f:1 ~d:3 ~eps:(Q.of_ints 1 2) () in
+  let inputs =
+    [| Vec.of_ints [0;0;0]; Vec.of_ints [1;0;0]; Vec.of_ints [0;1;0];
+       Vec.of_ints [0;0;1]; Vec.of_ints [1;1;0]; Vec.of_ints [1;1;1] |]
+  in
+  let spec = { (Executor.default_spec ~config ~seed:17 ()) with
+               Executor.inputs = inputs } in
+  let r = Executor.run spec in
+  check_report r;
+  (* The decided polytope may legitimately be lower-dimensional here
+     (the round-0 intersection of corner subsets can be flat); exact
+     3-d volume must still be computable and non-negative. *)
+  match r.Executor.min_output_volume with
+  | Some v -> Alcotest.(check bool) "3d volume computed" true (Q.sign v >= 0)
+  | None -> Alcotest.fail "no 3d volume"
+
+let test_tight_n () =
+  (* n = (d+2)f + 1 exactly — the resilience frontier. *)
+  let config = cfg ~n:5 ~f:1 ~d:2 () in
+  check_report (Executor.run (Executor.default_spec ~config ~seed:17 ()));
+  let config = cfg ~n:7 ~f:2 ~d:1 () in
+  check_report (Executor.run (Executor.default_spec ~config ~seed:18 ()))
+
+let test_immediate_crashes () =
+  let config = cfg ~n:5 ~f:1 ~d:2 () in
+  let spec = Executor.default_spec ~config ~seed:19 () in
+  let crash = Array.make 5 Crash.Never in
+  crash.(0) <- Crash.After_sends 0;
+  check_report (Executor.run { spec with Executor.crash })
+
+let test_lag_adversary () =
+  let config = cfg ~n:5 ~f:1 ~d:2 () in
+  let spec =
+    Executor.default_spec ~config ~seed:20
+      ~scheduler:(Scheduler.Lag_sources [4]) ()
+  in
+  check_report (Executor.run spec)
+
+let test_determinism () =
+  let config = cfg ~n:5 ~f:1 ~d:2 () in
+  let run () =
+    let r = Executor.run (Executor.default_spec ~config ~seed:21 ()) in
+    r.Executor.result.Cc.outputs
+  in
+  let o1 = run () and o2 = run () in
+  Array.iteri
+    (fun i a ->
+       match a, o2.(i) with
+       | None, None -> ()
+       | Some p, Some q ->
+         Alcotest.(check bool) "same polytope" true (Polytope.equal p q)
+       | _ -> Alcotest.fail "determinism broken")
+    o1
+
+let test_output_contains_iz_strictly_useful () =
+  (* The decided polytope is a genuine region (not always a point):
+     with spread-out inputs and n well above the bound, the output
+     volume is positive. *)
+  let config = cfg ~n:7 ~f:1 ~d:2 () in
+  let corners =
+    [| Vec.of_ints [0; 0]; Vec.make [Q.one; Q.zero]; Vec.make [Q.zero; Q.one];
+       Vec.make [Q.one; Q.one]; Vec.make [Q.half; Q.zero];
+       Vec.make [Q.zero; Q.half]; Vec.make [Q.half; Q.one] |]
+  in
+  let spec =
+    { (Executor.default_spec ~config ~seed:22 ()) with
+      Executor.inputs = corners }
+  in
+  let r = Executor.run spec in
+  check_report r;
+  (match r.Executor.min_output_volume with
+   | Some v -> Alcotest.(check bool) "positive volume" true (Q.sign v > 0)
+   | None -> Alcotest.fail "no volume")
+
+(* --- randomized sweeps ----------------------------------------------- *)
+
+let sweep ~name ~count gen_params =
+  Gen.prop ~count name
+    (QCheck.make
+       ~print:(fun (seed, n, f, d) ->
+           Printf.sprintf "seed=%d n=%d f=%d d=%d" seed n f d)
+       gen_params)
+    (fun (seed, n, f, d) ->
+       let config = cfg ~n ~f ~d () in
+       let r = Executor.run (Executor.default_spec ~config ~seed ()) in
+       r.Executor.terminated && r.Executor.valid && r.Executor.agreement_ok
+       && r.Executor.optimal)
+
+let prop_sweep_2d =
+  sweep ~name:"E3/E4 sweep d=2" ~count:25
+    QCheck.Gen.(
+      let* seed = 0 -- 100000 in
+      let* n = 5 -- 7 in
+      return (seed, n, 1, 2))
+
+let prop_sweep_1d =
+  sweep ~name:"E3/E4 sweep d=1" ~count:25
+    QCheck.Gen.(
+      let* seed = 0 -- 100000 in
+      let* n = 4 -- 8 in
+      let f = (n - 1) / 3 in
+      return (seed, n, f, 1))
+
+let prop_schedulers =
+  Gen.prop ~count:20 "properties hold under every scheduler"
+    (QCheck.make
+       ~print:(fun (seed, which) -> Printf.sprintf "seed=%d sched=%d" seed which)
+       QCheck.Gen.(pair (0 -- 100000) (0 -- 3)))
+    (fun (seed, which) ->
+       let scheduler =
+         match which with
+         | 0 -> Scheduler.Random_uniform
+         | 1 -> Scheduler.Round_robin
+         | 2 -> Scheduler.Lifo_bias
+         | _ -> Scheduler.Lag_sources [0]
+       in
+       let config = cfg ~n:5 ~f:1 ~d:2 () in
+       let r = Executor.run (Executor.default_spec ~config ~seed ~scheduler ()) in
+       r.Executor.terminated && r.Executor.valid && r.Executor.agreement_ok
+       && r.Executor.optimal)
+
+let suite =
+  [ ( "algorithm_cc",
+      [ Alcotest.test_case "basic 2d" `Quick test_basic_2d;
+        Alcotest.test_case "fault-free run" `Quick test_fault_free;
+        Alcotest.test_case "f = 0" `Quick test_f_zero;
+        Alcotest.test_case "identical inputs -> point" `Quick test_identical_inputs;
+        Alcotest.test_case "1d" `Quick test_1d;
+        Alcotest.test_case "3d" `Slow test_3d;
+        Alcotest.test_case "3d cube corners" `Quick test_3d_cube;
+        Alcotest.test_case "tight n" `Quick test_tight_n;
+        Alcotest.test_case "immediate crashes" `Quick test_immediate_crashes;
+        Alcotest.test_case "lag adversary" `Quick test_lag_adversary;
+        Alcotest.test_case "determinism" `Quick test_determinism;
+        Alcotest.test_case "positive-volume outputs" `Quick
+          test_output_contains_iz_strictly_useful ]
+      @ List.map Gen.qtest [ prop_sweep_2d; prop_sweep_1d; prop_schedulers ] ) ]

@@ -1,0 +1,66 @@
+module C = Numeric.Combin
+
+let test_subsets_known () =
+  Alcotest.(check (list (list int))) "choose 2 of 3"
+    [[1; 2]; [1; 3]; [2; 3]]
+    (C.subsets_of_size 2 [1; 2; 3]);
+  Alcotest.(check (list (list int))) "choose 0" [[]] (C.subsets_of_size 0 [1; 2]);
+  Alcotest.(check (list (list int))) "choose too many" []
+    (C.subsets_of_size 3 [1; 2]);
+  (* Multiset semantics: duplicates yield distinct subsets. *)
+  Alcotest.(check int) "multiset" 3 (List.length (C.subsets_of_size 2 [7; 7; 7]))
+
+let test_choose () =
+  Alcotest.(check int) "C(5,2)" 10 (C.choose 5 2);
+  Alcotest.(check int) "C(10,0)" 1 (C.choose 10 0);
+  Alcotest.(check int) "C(10,10)" 1 (C.choose 10 10);
+  Alcotest.(check int) "C(4,7)" 0 (C.choose 4 7);
+  Alcotest.(check int) "C(50,3)" 19600 (C.choose 50 3)
+
+let test_partitions_known () =
+  (* Stirling numbers of the second kind: S(3,2) = 3, S(4,2) = 7. *)
+  Alcotest.(check int) "S(3,2)" 3 (List.length (C.partitions_into 2 [1; 2; 3]));
+  Alcotest.(check int) "S(4,2)" 7 (List.length (C.partitions_into 2 [1; 2; 3; 4]));
+  Alcotest.(check int) "S(4,3)" 6 (List.length (C.partitions_into 3 [1; 2; 3; 4]));
+  Alcotest.(check int) "S(n,n)" 1 (List.length (C.partitions_into 3 [1; 2; 3]));
+  Alcotest.(check int) "k > n" 0 (List.length (C.partitions_into 4 [1; 2; 3]))
+
+let prop_subset_count =
+  Gen.prop ~count:100 "subset count is C(n,k)"
+    (QCheck.make
+       ~print:(fun (n, k) -> Printf.sprintf "n=%d k=%d" n k)
+       QCheck.Gen.(pair (0 -- 9) (0 -- 9)))
+    (fun (n, k) ->
+       let l = List.init n Fun.id in
+       List.length (C.subsets_of_size k l) = C.choose n k)
+
+let prop_subsets_are_subsets =
+  Gen.prop ~count:100 "every subset is sorted-in and has the right size"
+    (QCheck.make ~print:string_of_int QCheck.Gen.(1 -- 8))
+    (fun n ->
+       let l = List.init n Fun.id in
+       List.for_all
+         (fun s ->
+            List.length s = 2 && List.for_all (fun x -> List.mem x l) s)
+         (C.subsets_of_size 2 l))
+
+let prop_partitions_cover =
+  Gen.prop ~count:60 "partitions are disjoint covers"
+    (QCheck.make ~print:string_of_int QCheck.Gen.(2 -- 6))
+    (fun n ->
+       let l = List.init n Fun.id in
+       List.for_all
+         (fun blocks ->
+            let all = List.concat blocks in
+            List.length all = n
+            && List.sort compare all = l
+            && List.for_all (fun b -> b <> []) blocks)
+         (C.partitions_into 2 l))
+
+let suite =
+  [ ( "combin",
+      [ Alcotest.test_case "subsets known" `Quick test_subsets_known;
+        Alcotest.test_case "choose" `Quick test_choose;
+        Alcotest.test_case "partitions known" `Quick test_partitions_known ]
+      @ List.map Gen.qtest
+          [ prop_subset_count; prop_subsets_are_subsets; prop_partitions_cover ] ) ]

@@ -1,0 +1,104 @@
+module Q = Numeric.Q
+module Vec = Geometry.Vec
+module Hn = Geometry.Hullnd
+module Lp = Geometry.Lp
+
+let v3 x y z = Vec.of_ints [x; y; z]
+
+let cube_pts =
+  [ v3 0 0 0; v3 1 0 0; v3 0 1 0; v3 0 0 1; v3 1 1 0; v3 1 0 1; v3 0 1 1;
+    v3 1 1 1 ]
+
+let test_cube_hrep () =
+  let h = Hn.of_points ~dim:3 cube_pts in
+  Alcotest.(check int) "no equalities" 0 (List.length h.Hn.eqs);
+  Alcotest.(check int) "six facets" 6 (List.length h.Hn.ineqs);
+  let vs = Hn.vertices h in
+  Alcotest.(check int) "eight vertices" 8 (List.length vs);
+  List.iter
+    (fun p -> Alcotest.(check bool) "original is vertex" true
+        (List.exists (Vec.equal p) vs))
+    cube_pts
+
+let test_lower_dimensional () =
+  (* A flat square living in the z = 2 plane of 3-space. *)
+  let sq = [ v3 0 0 2; v3 1 0 2; v3 1 1 2; v3 0 1 2 ] in
+  let h = Hn.of_points ~dim:3 sq in
+  Alcotest.(check int) "one equality (z = 2)" 1 (List.length h.Hn.eqs);
+  let vs = Hn.vertices h in
+  Alcotest.(check int) "four vertices" 4 (List.length vs);
+  Alcotest.(check bool) "mem center" true
+    (Hn.mem_hrep h (Vec.make [Q.half; Q.half; Q.two]));
+  Alcotest.(check bool) "not above" false
+    (Hn.mem_hrep h (Vec.make [Q.half; Q.half; Q.of_int 3]))
+
+let test_point_hrep () =
+  let h = Hn.of_points ~dim:3 [v3 1 2 3] in
+  Alcotest.(check bool) "mem itself" true (Hn.mem_hrep h (v3 1 2 3));
+  Alcotest.(check bool) "not elsewhere" false (Hn.mem_hrep h (v3 1 2 4));
+  Alcotest.(check int) "single vertex" 1 (List.length (Hn.vertices h))
+
+let test_segment_hrep () =
+  let h = Hn.of_points ~dim:3 [v3 0 0 0; v3 2 2 2] in
+  Alcotest.(check bool) "midpoint" true (Hn.mem_hrep h (v3 1 1 1));
+  Alcotest.(check bool) "beyond endpoint" false (Hn.mem_hrep h (v3 3 3 3));
+  Alcotest.(check bool) "off the line" false (Hn.mem_hrep h (v3 1 1 0));
+  Alcotest.(check int) "two vertices" 2 (List.length (Hn.vertices h))
+
+let test_combine_intersection () =
+  let shifted = List.map (Vec.add (Vec.make [Q.half; Q.half; Q.half])) cube_pts in
+  let h = Hn.combine [ Hn.of_points ~dim:3 cube_pts;
+                       Hn.of_points ~dim:3 shifted ] in
+  let vs = Hn.vertices h in
+  Alcotest.(check int) "intersection cube vertices" 8 (List.length vs);
+  List.iter
+    (fun p ->
+       Alcotest.(check bool) "vertex in both hulls" true
+         (Lp.in_convex_hull cube_pts p && Lp.in_convex_hull shifted p))
+    vs
+
+let test_empty_intersection () =
+  let far = List.map (Vec.add (v3 10 10 10)) cube_pts in
+  let h = Hn.combine [ Hn.of_points ~dim:3 cube_pts;
+                       Hn.of_points ~dim:3 far ] in
+  Alcotest.(check int) "no vertices" 0 (List.length (Hn.vertices h))
+
+(* --- properties ------------------------------------------------------ *)
+
+let arb3 = Gen.arb_int_points ~min_size:1 ~max_size:7 3
+
+let props =
+  [ Gen.prop ~count:60 "hrep membership agrees with LP membership"
+      (QCheck.pair arb3 (QCheck.make ~print:Vec.to_string (Gen.gen_int_vec 3)))
+      (fun (pts, p) ->
+         let h = Hn.of_points ~dim:3 pts in
+         Hn.mem_hrep h p = Lp.in_convex_hull pts p);
+    Gen.prop ~count:60 "vertices round-trip to extreme points" arb3
+      (fun pts ->
+         let h = Hn.of_points ~dim:3 pts in
+         let vs = Hn.vertices h in
+         let ex = Hn.extreme_points pts in
+         List.length vs = List.length ex
+         && List.for_all2 Vec.equal vs ex);
+    Gen.prop ~count:60 "combine = pointwise conjunction"
+      (QCheck.triple arb3 arb3
+         (QCheck.make ~print:Vec.to_string (Gen.gen_int_vec 3)))
+      (fun (p1, p2, x) ->
+         let h1 = Hn.of_points ~dim:3 p1 and h2 = Hn.of_points ~dim:3 p2 in
+         Hn.mem_hrep (Hn.combine [h1; h2]) x
+         = (Hn.mem_hrep h1 x && Hn.mem_hrep h2 x));
+    Gen.prop ~count:60 "extreme points preserve the hull" arb3
+      (fun pts ->
+         let ex = Hn.extreme_points pts in
+         List.for_all (Lp.in_convex_hull ex) pts);
+  ]
+
+let suite =
+  [ ( "hullnd",
+      [ Alcotest.test_case "cube hrep" `Quick test_cube_hrep;
+        Alcotest.test_case "lower-dimensional" `Quick test_lower_dimensional;
+        Alcotest.test_case "point" `Quick test_point_hrep;
+        Alcotest.test_case "segment" `Quick test_segment_hrep;
+        Alcotest.test_case "combine" `Quick test_combine_intersection;
+        Alcotest.test_case "empty intersection" `Quick test_empty_intersection ]
+      @ List.map Gen.qtest props ) ]

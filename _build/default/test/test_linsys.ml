@@ -1,0 +1,117 @@
+module Q = Numeric.Q
+module Vec = Geometry.Vec
+module L = Geometry.Linsys
+
+let qt = Alcotest.testable Q.pp Q.equal
+
+let gen_matrix n m =
+  QCheck.Gen.(list_size (return n)
+                (map Array.of_list (list_size (return m) Gen.gen_small_q)))
+  |> QCheck.Gen.map Array.of_list
+
+let arb_matrix n m =
+  QCheck.make
+    ~print:(fun a ->
+        String.concat "\n"
+          (Array.to_list (Array.map (fun r -> Gen.print_points [r]) a)))
+    (gen_matrix n m)
+
+let test_solve_known () =
+  (* 2x + y = 5; x - y = 1  =>  x = 2, y = 1 *)
+  let a = [| [| Q.of_int 2; Q.one |]; [| Q.one; Q.minus_one |] |] in
+  let b = [| Q.of_int 5; Q.one |] in
+  match L.solve a b with
+  | Some x ->
+    Alcotest.check qt "x" Q.two x.(0);
+    Alcotest.check qt "y" Q.one x.(1)
+  | None -> Alcotest.fail "expected solution"
+
+let test_singular () =
+  let a = [| [| Q.one; Q.one |]; [| Q.two; Q.two |] |] in
+  Alcotest.(check bool) "singular" true (L.solve a [| Q.one; Q.one |] = None)
+
+let test_det () =
+  let a = [| [| Q.one; Q.two |]; [| Q.of_int 3; Q.of_int 4 |] |] in
+  Alcotest.check qt "det" (Q.of_int (-2)) (L.det a);
+  let identity =
+    Array.init 4 (fun i ->
+        Array.init 4 (fun j -> if i = j then Q.one else Q.zero))
+  in
+  Alcotest.check qt "det id" Q.one (L.det identity)
+
+let test_rank () =
+  let a = [| [| Q.one; Q.zero; Q.one |];
+             [| Q.zero; Q.one; Q.one |];
+             [| Q.one; Q.one; Q.two |] |]
+  in
+  Alcotest.(check int) "rank deficient" 2 (L.rank a)
+
+let test_nullspace () =
+  let a = [| [| Q.one; Q.one; Q.one |] |] in
+  let ns = L.nullspace a in
+  Alcotest.(check int) "nullity" 2 (List.length ns);
+  List.iter
+    (fun v -> Alcotest.check qt "a·v = 0" Q.zero (Vec.dot a.(0) v))
+    ns
+
+let test_independent_rows () =
+  let rows = [ Vec.of_ints [1; 0]; Vec.of_ints [2; 0]; Vec.of_ints [0; 1] ] in
+  Alcotest.(check (list int)) "skip dependent" [0; 2] (L.independent_rows rows)
+
+let test_solve_unique_rect () =
+  (* Overdetermined but consistent: x = 3 from two copies. *)
+  let a = [| [| Q.one |]; [| Q.two |] |] in
+  let b = [| Q.of_int 3; Q.of_int 6 |] in
+  (match L.solve_unique a b with
+   | Some x -> Alcotest.check qt "x" (Q.of_int 3) x.(0)
+   | None -> Alcotest.fail "expected unique solution");
+  (* Inconsistent. *)
+  let b' = [| Q.of_int 3; Q.of_int 7 |] in
+  Alcotest.(check bool) "inconsistent" true (L.solve_unique a b' = None);
+  (* Underdetermined. *)
+  let a2 = [| [| Q.one; Q.one |] |] in
+  Alcotest.(check bool) "underdetermined" true
+    (L.solve_unique a2 [| Q.one |] = None)
+
+let props =
+  [ Gen.prop ~count:100 "solve recovers x0"
+      (QCheck.pair (arb_matrix 3 3)
+         (QCheck.make ~print:Vec.to_string (Gen.gen_vec 3)))
+      (fun (a, x0) ->
+         if Q.is_zero (L.det a) then QCheck.assume_fail ()
+         else begin
+           let b = L.mat_vec a x0 in
+           match L.solve a b with
+           | Some x -> Vec.equal x x0
+           | None -> false
+         end);
+    Gen.prop ~count:100 "nullspace vectors are in kernel" (arb_matrix 2 4)
+      (fun a ->
+         List.for_all
+           (fun v -> Array.for_all Q.is_zero (L.mat_vec a v))
+           (L.nullspace a));
+    Gen.prop ~count:100 "rank + nullity = cols" (arb_matrix 3 4)
+      (fun a -> L.rank a + List.length (L.nullspace a) = 4);
+    Gen.prop ~count:100 "solve_any solves" (QCheck.pair (arb_matrix 2 4)
+                                              (QCheck.make ~print:Vec.to_string (Gen.gen_vec 4)))
+      (fun (a, x0) ->
+         let b = L.mat_vec a x0 in
+         match L.solve_any a b with
+         | Some x -> Array.for_all2 Q.equal (L.mat_vec a x) b
+         | None -> false);
+    Gen.prop ~count:50 "det multiplicative"
+      (QCheck.pair (arb_matrix 3 3) (arb_matrix 3 3))
+      (fun (a, b) ->
+         Q.equal (L.det (L.mat_mul a b)) (Q.mul (L.det a) (L.det b)));
+  ]
+
+let suite =
+  [ ( "linsys",
+      [ Alcotest.test_case "solve known" `Quick test_solve_known;
+        Alcotest.test_case "singular" `Quick test_singular;
+        Alcotest.test_case "det" `Quick test_det;
+        Alcotest.test_case "rank" `Quick test_rank;
+        Alcotest.test_case "nullspace" `Quick test_nullspace;
+        Alcotest.test_case "independent rows" `Quick test_independent_rows;
+        Alcotest.test_case "solve_unique rect" `Quick test_solve_unique_rect ]
+      @ List.map Gen.qtest props ) ]

@@ -1,0 +1,118 @@
+module Q = Numeric.Q
+module Vec = Geometry.Vec
+module Lp = Geometry.Lp
+
+let qt = Alcotest.testable Q.pp Q.equal
+
+let test_maximize_known () =
+  (* max x + y  s.t. x + 2y + s1 = 4; 3x + y + s2 = 6; all >= 0.
+     Optimum at the intersection x = 8/5, y = 6/5, value 14/5. *)
+  let eq =
+    [ ([| Q.one; Q.two; Q.one; Q.zero |], Q.of_int 4);
+      ([| Q.of_int 3; Q.one; Q.zero; Q.one |], Q.of_int 6) ]
+  in
+  match Lp.maximize ~objective:[| Q.one; Q.one; Q.zero; Q.zero |] ~eq ~nvars:4 with
+  | Lp.Optimal (x, v) ->
+    Alcotest.check qt "value" (Q.of_ints 14 5) v;
+    Alcotest.check qt "x" (Q.of_ints 8 5) x.(0);
+    Alcotest.check qt "y" (Q.of_ints 6 5) x.(1)
+  | Lp.Unbounded -> Alcotest.fail "unbounded"
+  | Lp.Infeasible -> Alcotest.fail "infeasible"
+
+let test_infeasible () =
+  (* x = -1 with x >= 0 is infeasible. *)
+  let eq = [ ([| Q.one |], Q.minus_one) ] in
+  Alcotest.(check bool) "infeasible" true
+    (Lp.maximize ~objective:[| Q.zero |] ~eq ~nvars:1 = Lp.Infeasible)
+
+let test_unbounded () =
+  (* max x - y  s.t. x - y = x - y (vacuous: x - y free): encode as
+     max x with a single constraint x - y = 0; x can grow forever. *)
+  let eq = [ ([| Q.one; Q.minus_one |], Q.zero) ] in
+  Alcotest.(check bool) "unbounded" true
+    (Lp.maximize ~objective:[| Q.one; Q.zero |] ~eq ~nvars:2 = Lp.Unbounded)
+
+let test_degenerate_redundant () =
+  (* Redundant constraints (duplicated rows) must not confuse phase 1. *)
+  let eq =
+    [ ([| Q.one; Q.one |], Q.one);
+      ([| Q.one; Q.one |], Q.one);
+      ([| Q.two; Q.two |], Q.two) ]
+  in
+  match Lp.maximize ~objective:[| Q.one; Q.zero |] ~eq ~nvars:2 with
+  | Lp.Optimal (_, v) -> Alcotest.check qt "value" Q.one v
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_membership_triangle () =
+  let tri = [ Vec.of_ints [0; 0]; Vec.of_ints [4; 0]; Vec.of_ints [0; 4] ] in
+  Alcotest.(check bool) "inside" true
+    (Lp.in_convex_hull tri (Vec.of_ints [1; 1]));
+  Alcotest.(check bool) "vertex" true
+    (Lp.in_convex_hull tri (Vec.of_ints [4; 0]));
+  Alcotest.(check bool) "edge" true
+    (Lp.in_convex_hull tri (Vec.of_ints [2; 2]));
+  Alcotest.(check bool) "outside" false
+    (Lp.in_convex_hull tri (Vec.of_ints [3; 3]));
+  Alcotest.(check bool) "empty hull" false
+    (Lp.in_convex_hull [] (Vec.of_ints [0; 0]))
+
+let test_feasible_system () =
+  (* Box 0 <= x,y <= 1 intersected with x + y = 3/2. *)
+  let one = Q.one in
+  let ex = Vec.of_ints [1; 0] and ey = Vec.of_ints [0; 1] in
+  let ineqs =
+    [ (ex, one); (ey, one); (Vec.neg ex, Q.zero); (Vec.neg ey, Q.zero) ]
+  in
+  let eqs = [ (Vec.of_ints [1; 1], Q.of_ints 3 2) ] in
+  (match Lp.feasible_system ~dim:2 ~eqs ~ineqs with
+   | Some x ->
+     Alcotest.check qt "on line" (Q.of_ints 3 2) (Q.add x.(0) x.(1));
+     Alcotest.(check bool) "in box" true
+       Q.(leq zero x.(0) && leq x.(0) one && leq zero x.(1) && leq x.(1) one)
+   | None -> Alcotest.fail "expected feasible");
+  (* Now x + y = 3 is out of reach of the box. *)
+  let eqs_bad = [ (Vec.of_ints [1; 1], Q.of_int 3) ] in
+  Alcotest.(check bool) "infeasible" true
+    (Lp.feasible_system ~dim:2 ~eqs:eqs_bad ~ineqs = None)
+
+(* Membership must agree with a direct convex-combination witness. *)
+let prop_membership_of_combination =
+  let gen =
+    let open QCheck.Gen in
+    let* pts = Gen.gen_points ~min_size:1 ~max_size:6 2 in
+    let* raw = list_size (return (List.length pts)) (1 -- 10) in
+    return (pts, raw)
+  in
+  Gen.prop ~count:200 "combination is member"
+    (QCheck.make
+       ~print:(fun (pts, _) -> Gen.print_points pts)
+       gen)
+    (fun (pts, raw) ->
+       let total = Q.of_int (List.fold_left ( + ) 0 raw) in
+       let weights = List.map (fun r -> Q.div (Q.of_int r) total) raw in
+       let p = Vec.lincomb (List.combine weights pts) in
+       Lp.in_convex_hull pts p)
+
+let prop_outside_bbox_not_member =
+  Gen.prop ~count:200 "point beyond the bounding box is not a member"
+    (Gen.arb_points ~min_size:1 ~max_size:6 2)
+    (fun pts ->
+       let far =
+         Vec.add
+           (Vec.of_ints [100; 100])
+           (List.fold_left
+              (fun acc p -> Array.mapi (fun i c -> Q.max c p.(i)) acc)
+              (Vec.of_ints [-100; -100]) pts)
+       in
+       not (Lp.in_convex_hull pts far))
+
+let suite =
+  [ ( "lp",
+      [ Alcotest.test_case "maximize known" `Quick test_maximize_known;
+        Alcotest.test_case "infeasible" `Quick test_infeasible;
+        Alcotest.test_case "unbounded" `Quick test_unbounded;
+        Alcotest.test_case "redundant rows" `Quick test_degenerate_redundant;
+        Alcotest.test_case "triangle membership" `Quick test_membership_triangle;
+        Alcotest.test_case "feasible system" `Quick test_feasible_system ]
+      @ List.map Gen.qtest
+          [ prop_membership_of_combination; prop_outside_bbox_not_member ] ) ]

@@ -1,0 +1,152 @@
+(* Section 7: function optimization over the consensus hull — the
+   2-step algorithm's guarantees (validity, termination, weak
+   β-optimality) and the Theorem-4 counterexample mechanics. *)
+
+module Q = Numeric.Q
+module Vec = Geometry.Vec
+module Polytope = Geometry.Polytope
+module Config = Chc.Config
+module Executor = Chc.Executor
+module Opt = Chc.Optimize
+module Crash = Runtime.Crash
+
+let qt = Alcotest.testable Q.pp Q.equal
+let v2 x y = Vec.of_ints [x; y]
+
+let test_linear_minimize () =
+  let p = Polytope.of_points ~dim:2 [v2 0 0; v2 4 0; v2 0 4; v2 4 4] in
+  let c = Opt.linear ~name:"x+y" (Vec.of_ints [1; 1]) in
+  let y = c.Opt.minimize p in
+  Alcotest.(check bool) "corner" true (Vec.equal y (v2 0 0));
+  Alcotest.check qt "value" Q.zero (c.Opt.eval y);
+  (* Tie between two corners breaks to the lexicographically smaller. *)
+  let c2 = Opt.linear ~name:"y" (Vec.of_ints [0; 1]) in
+  Alcotest.(check bool) "tie-break" true (Vec.equal (c2.Opt.minimize p) (v2 0 0))
+
+let test_quadratic_minimize () =
+  let p = Polytope.of_points ~dim:2 [v2 0 0; v2 2 0; v2 2 2; v2 0 2] in
+  let c = Opt.quadratic_distance ~name:"dist to (3,1)" (v2 3 1) ~lipschitz_hint:10.0 in
+  let y = c.Opt.minimize p in
+  Alcotest.(check bool) "projection (2,1)" true (Vec.equal y (v2 2 1));
+  Alcotest.check qt "value 1" Q.one (c.Opt.eval y);
+  (* Target inside: cost 0 at the target itself. *)
+  let c0 = Opt.quadratic_distance ~name:"inside" (v2 1 1) ~lipschitz_hint:10.0 in
+  Alcotest.check qt "zero" Q.zero (c0.Opt.eval (c0.Opt.minimize p))
+
+let test_theorem4_cost () =
+  let e x = Opt.theorem4_cost.Opt.eval (Vec.make [x]) in
+  Alcotest.check qt "c(0) = 3" (Q.of_int 3) (e Q.zero);
+  Alcotest.check qt "c(1) = 3" (Q.of_int 3) (e Q.one);
+  Alcotest.check qt "c(1/2) = 4" (Q.of_int 4) (e Q.half);
+  Alcotest.check qt "c(2) = 3" (Q.of_int 3) (e Q.two);
+  (* Minimize over [1/4, 3/4]: endpoints tie at 15/4, pick 1/4. *)
+  let p = Polytope.of_points ~dim:1 [Vec.make [Q.of_ints 1 4]; Vec.make [Q.of_ints 3 4]] in
+  let y = Opt.theorem4_cost.Opt.minimize p in
+  Alcotest.check qt "argmin 1/4" (Q.of_ints 1 4) y.(0);
+  (* Over [0, 1/2] the left endpoint 0 wins with value 3. *)
+  let p2 = Polytope.of_points ~dim:1 [Vec.make [Q.zero]; Vec.make [Q.half]] in
+  Alcotest.check qt "argmin 0" Q.zero ((Opt.theorem4_cost.Opt.minimize p2)).(0)
+
+let cfg = Config.make ~n:5 ~f:1 ~d:2 ~eps:(Q.of_ints 1 8) ~lo:Q.zero ~hi:Q.one
+
+let test_two_step_beta () =
+  (* Weak β-optimality part (i): spread of cost values bounded by ε·b.
+     With eps = 1/8 and a 1-Lipschitz linear cost, spread < 1/8. *)
+  let r = Executor.run (Executor.default_spec ~config:cfg ~seed:51 ()) in
+  let cost = Opt.linear ~name:"x" (Vec.of_ints [1; 0]) in
+  let rep =
+    Opt.two_step ~config:cfg ~faulty:r.Executor.faulty
+      ~result:r.Executor.result ~cost
+  in
+  (match rep.Opt.beta_spread with
+   | Some s ->
+     Alcotest.(check bool) "spread <= eps * b" true
+       (Q.leq s (Q.of_ints 1 8))
+   | None -> Alcotest.fail "no outputs");
+  (* Validity of the minimizers: each y_i lies in its own (valid)
+     decision polytope. *)
+  Array.iteri
+    (fun i o ->
+       match o, r.Executor.result.Chc.Cc.outputs.(i) with
+       | Some (y, _), Some h ->
+         Alcotest.(check bool) "y in h" true (Polytope.contains h y)
+       | None, None -> ()
+       | _ -> Alcotest.fail "mismatch")
+    rep.Opt.outputs
+
+let test_weak_optimality_part2 () =
+  (* Part (ii): if 2f+1 processes share input x_star, every fault-free
+     process learns c(y_i) <= c(x_star). Here 3 of 5 processes hold x_star and
+     the cost is distance-to-origin. *)
+  let xstar = Vec.make [Q.of_ints 3 4; Q.of_ints 3 4] in
+  let spec = Executor.default_spec ~config:cfg ~seed:52 () in
+  let inputs = Array.copy spec.Executor.inputs in
+  inputs.(1) <- xstar; inputs.(2) <- xstar; inputs.(3) <- xstar;
+  let r = Executor.run { spec with Executor.inputs = inputs } in
+  let cost = Opt.quadratic_distance ~name:"d2(0)" (v2 0 0) ~lipschitz_hint:4.0 in
+  let rep =
+    Opt.two_step ~config:cfg ~faulty:r.Executor.faulty
+      ~result:r.Executor.result ~cost
+  in
+  let cstar = cost.Opt.eval xstar in
+  Array.iteri
+    (fun i o ->
+       if not (List.mem i r.Executor.faulty) then begin
+         match o with
+         | Some (_, v) ->
+           Alcotest.(check bool) "c(y_i) <= c(x_star)" true (Q.leq v cstar)
+         | None -> Alcotest.fail "fault-free undecided"
+       end)
+    rep.Opt.outputs
+
+let test_theorem4_disagreement_mechanics () =
+  (* The impossibility argument's engine: with binary inputs, the
+     2-step algorithm can output argmin 0 at one process and 1 at
+     another run/polytope — equal cost values (weak optimality holds)
+     but no ε-agreement on the points themselves. We exhibit the two
+     polytopes directly. *)
+  let p01 = Polytope.of_points ~dim:1 [Vec.make [Q.zero]; Vec.make [Q.of_ints 2 5]] in
+  let p11 = Polytope.of_points ~dim:1 [Vec.make [Q.of_ints 3 5]; Vec.make [Q.one]] in
+  let y0 = Opt.theorem4_cost.Opt.minimize p01 in
+  let y1 = Opt.theorem4_cost.Opt.minimize p11 in
+  Alcotest.check qt "y0 = 0" Q.zero y0.(0);
+  Alcotest.check qt "y1 = 1" Q.one y1.(0);
+  Alcotest.check qt "equal cost"
+    (Opt.theorem4_cost.Opt.eval y0) (Opt.theorem4_cost.Opt.eval y1);
+  Alcotest.(check bool) "but points far apart" true
+    (Q.geq (Vec.dist2 y0 y1) Q.one)
+
+let test_eps_for_beta () =
+  let eps = Opt.eps_for_beta ~beta:(Q.of_ints 1 2) ~lipschitz_hint:3.2 in
+  (* b rounded up to 5; eps = 1/10. *)
+  Alcotest.check qt "eps" (Q.of_ints 1 10) eps;
+  Alcotest.check_raises "beta must be positive"
+    (Invalid_argument "Optimize.eps_for_beta: beta <= 0")
+    (fun () -> ignore (Opt.eps_for_beta ~beta:Q.zero ~lipschitz_hint:1.0))
+
+let prop_two_step_spread =
+  Gen.prop ~count:10 "beta spread bounded across seeds"
+    (QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 100000))
+    (fun seed ->
+       let r = Executor.run (Executor.default_spec ~config:cfg ~seed ()) in
+       let cost = Opt.linear ~name:"x+2y" (Vec.of_ints [1; 2]) in
+       let rep =
+         Opt.two_step ~config:cfg ~faulty:r.Executor.faulty
+           ~result:r.Executor.result ~cost
+       in
+       (* b = |(1,2)| = sqrt 5 < 3; eps·b < 3/8. *)
+       match rep.Opt.beta_spread with
+       | Some s -> Q.leq s (Q.of_ints 3 8)
+       | None -> false)
+
+let suite =
+  [ ( "optimize",
+      [ Alcotest.test_case "linear minimize" `Quick test_linear_minimize;
+        Alcotest.test_case "quadratic minimize" `Quick test_quadratic_minimize;
+        Alcotest.test_case "theorem4 cost" `Quick test_theorem4_cost;
+        Alcotest.test_case "two-step beta bound" `Quick test_two_step_beta;
+        Alcotest.test_case "weak optimality (ii)" `Quick test_weak_optimality_part2;
+        Alcotest.test_case "theorem4 disagreement" `Quick
+          test_theorem4_disagreement_mechanics;
+        Alcotest.test_case "eps_for_beta" `Quick test_eps_for_beta ]
+      @ List.map Gen.qtest [ prop_two_step_spread ] ) ]

@@ -1,0 +1,98 @@
+(* Tests for exact rationals: field laws, ordering, parsing. *)
+
+module Q = Numeric.Q
+module B = Numeric.Bigint
+
+let q = Alcotest.testable Q.pp Q.equal
+
+let gen_q =
+  let open QCheck.Gen in
+  let* n = -1000000 -- 1000000 in
+  let* d = 1 -- 1000000 in
+  return (Q.of_ints n d)
+
+let arb_q = QCheck.make ~print:Q.to_string gen_q
+
+let arb_q_nonzero =
+  QCheck.make ~print:Q.to_string
+    (QCheck.Gen.map (fun x -> if Q.is_zero x then Q.one else x) gen_q)
+
+let count = 500
+let prop name arb f = QCheck.Test.make ~count ~name arb f
+let qtest = QCheck_alcotest.to_alcotest
+
+let test_normalization () =
+  Alcotest.check q "2/4 = 1/2" Q.half (Q.of_ints 2 4);
+  Alcotest.check q "-2/-4 = 1/2" Q.half (Q.of_ints (-2) (-4));
+  Alcotest.check q "3/-6 = -1/2" (Q.of_ints (-1) 2) (Q.of_ints 3 (-6));
+  Alcotest.check q "0/7 = 0" Q.zero (Q.of_ints 0 7);
+  let x = Q.of_ints 6 4 in
+  Alcotest.(check string) "normalized repr" "3/2" (Q.to_string x)
+
+let test_parse () =
+  Alcotest.check q "parse a/b" (Q.of_ints 22 7) (Q.of_string "22/7");
+  Alcotest.check q "parse int" (Q.of_int (-5)) (Q.of_string "-5");
+  Alcotest.check q "parse decimal" (Q.of_ints 5 4) (Q.of_string "1.25");
+  Alcotest.check q "parse neg decimal" (Q.of_ints (-51) 4) (Q.of_string "-12.75");
+  Alcotest.check q "parse 0.5" Q.half (Q.of_string "0.5")
+
+let test_arith () =
+  Alcotest.check q "1/2 + 1/3" (Q.of_ints 5 6) (Q.add Q.half (Q.of_ints 1 3));
+  Alcotest.check q "1/2 * 2/3" (Q.of_ints 1 3) (Q.mul Q.half (Q.of_ints 2 3));
+  Alcotest.check q "(1/2) / (3/4)" (Q.of_ints 2 3) (Q.div Q.half (Q.of_ints 3 4));
+  Alcotest.check q "avg" (Q.of_ints 1 2)
+    (Q.average [Q.zero; Q.one; Q.of_ints 1 4; Q.of_ints 3 4])
+
+let test_pow () =
+  Alcotest.check q "(2/3)^3" (Q.of_ints 8 27) (Q.pow (Q.of_ints 2 3) 3);
+  Alcotest.check q "(2/3)^-2" (Q.of_ints 9 4) (Q.pow (Q.of_ints 2 3) (-2));
+  Alcotest.check q "x^0" Q.one (Q.pow (Q.of_ints 17 5) 0)
+
+let test_to_float () =
+  Alcotest.(check (float 1e-12)) "1/4" 0.25 (Q.to_float (Q.of_ints 1 4));
+  Alcotest.(check (float 1e-12)) "-7/2" (-3.5) (Q.to_float (Q.of_ints (-7) 2))
+
+let test_compare () =
+  Alcotest.(check bool) "1/3 < 1/2" true Q.(lt (of_ints 1 3) half);
+  Alcotest.(check bool) "-1 < 0" true Q.(lt minus_one zero);
+  Alcotest.(check int) "eq" 0 (Q.compare (Q.of_ints 2 4) Q.half)
+
+let props =
+  [ prop "add comm" (QCheck.pair arb_q arb_q)
+      (fun (a, b) -> Q.equal (Q.add a b) (Q.add b a));
+    prop "mul assoc" (QCheck.triple arb_q arb_q arb_q)
+      (fun (a, b, c) -> Q.equal (Q.mul (Q.mul a b) c) (Q.mul a (Q.mul b c)));
+    prop "distributivity" (QCheck.triple arb_q arb_q arb_q)
+      (fun (a, b, c) ->
+         Q.equal (Q.mul a (Q.add b c)) (Q.add (Q.mul a b) (Q.mul a c)));
+    prop "additive inverse" arb_q
+      (fun a -> Q.is_zero (Q.add a (Q.neg a)));
+    prop "multiplicative inverse" arb_q_nonzero
+      (fun a -> Q.equal Q.one (Q.mul a (Q.inv a)));
+    prop "div then mul" (QCheck.pair arb_q arb_q_nonzero)
+      (fun (a, b) -> Q.equal a (Q.mul (Q.div a b) b));
+    prop "normalized invariant" (QCheck.pair arb_q arb_q)
+      (fun (a, b) ->
+         let c = Q.add a b in
+         Bigint_check.normalized (c.Q.num) (c.Q.den));
+    prop "order total" (QCheck.pair arb_q arb_q)
+      (fun (a, b) -> Q.leq a b || Q.leq b a);
+    prop "order translation-invariant" (QCheck.triple arb_q arb_q arb_q)
+      (fun (a, b, c) -> Q.leq a b = Q.leq (Q.add a c) (Q.add b c));
+    prop "to_float consistent with compare" (QCheck.pair arb_q arb_q)
+      (fun (a, b) ->
+         (* floats may tie, but strict rational order can't invert floats *)
+         if Q.lt a b then Q.to_float a <= Q.to_float b else true);
+    prop "string round trip" arb_q
+      (fun a -> Q.equal a (Q.of_string (Q.to_string a)));
+  ]
+
+let suite =
+  [ ( "rational",
+      [ Alcotest.test_case "normalization" `Quick test_normalization;
+        Alcotest.test_case "parse" `Quick test_parse;
+        Alcotest.test_case "arith" `Quick test_arith;
+        Alcotest.test_case "pow" `Quick test_pow;
+        Alcotest.test_case "to_float" `Quick test_to_float;
+        Alcotest.test_case "compare" `Quick test_compare ]
+      @ List.map qtest props ) ]

@@ -1,0 +1,224 @@
+(* Tests for the deterministic asynchronous simulator: channel
+   semantics (FIFO, exactly-once), crash budgets (including partial
+   broadcasts), determinism, and scheduler fairness-in-the-limit. *)
+
+module Sim = Runtime.Sim
+module Rng = Runtime.Rng
+module Crash = Runtime.Crash
+module Scheduler = Runtime.Scheduler
+
+let no_crash n = Array.make n Runtime.Crash.Never
+
+(* --- rng ------------------------------------------------------------- *)
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done;
+  let c = Rng.create 43 in
+  let differs = ref false in
+  for _ = 1 to 20 do
+    if Rng.int (Rng.copy c) 1000000 <> Rng.int (Rng.copy a) 1000000 then
+      differs := true;
+    ignore (Rng.int c 10);
+    ignore (Rng.int a 10)
+  done;
+  Alcotest.(check bool) "different seeds differ" true !differs
+
+let test_rng_bounds () =
+  let r = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_shuffle () =
+  let r = Rng.create 9 in
+  let l = List.init 20 Fun.id in
+  let s = Rng.shuffle r l in
+  Alcotest.(check (list int)) "permutation" l (List.sort compare s)
+
+(* --- sim: delivery semantics ---------------------------------------- *)
+
+(* Process 0 sends k tagged messages to process 1; everyone else idle. *)
+let test_fifo_exactly_once () =
+  let received = ref [] in
+  let sys =
+    Sim.create ~n:3 ~seed:5 ~scheduler:Scheduler.Random_uniform
+      ~crash:(no_crash 3)
+      ~make:(fun i ->
+          { Sim.on_start =
+              (fun ctx ->
+                 if i = 0 then
+                   for k = 1 to 50 do Sim.send ctx 1 k done);
+            on_receive =
+              (fun _ctx src msg ->
+                 if src = 0 then received := msg :: !received) })
+  in
+  Sim.run sys;
+  Alcotest.(check (list int)) "FIFO order, exactly once"
+    (List.init 50 (fun k -> k + 1))
+    (List.rev !received)
+
+let test_crash_budget_partial_broadcast () =
+  (* n = 5; process 0 broadcasts with budget 2: exactly the first two
+     recipients in rotating order (1 and 2) receive it. *)
+  let got = Array.make 5 false in
+  let crash = Array.make 5 Crash.Never in
+  crash.(0) <- Crash.After_sends 2;
+  let sys =
+    Sim.create ~n:5 ~seed:1 ~scheduler:Scheduler.Random_uniform ~crash
+      ~make:(fun i ->
+          { Sim.on_start =
+              (fun ctx -> if i = 0 then Sim.broadcast ctx 99);
+            on_receive = (fun ctx _src _msg -> got.(Sim.me ctx) <- true) })
+  in
+  Sim.run sys;
+  Alcotest.(check bool) "p1 got it" true got.(1);
+  Alcotest.(check bool) "p2 got it" true got.(2);
+  Alcotest.(check bool) "p3 missed it" false got.(3);
+  Alcotest.(check bool) "p4 missed it" false got.(4);
+  Alcotest.(check bool) "p0 crashed" true (Sim.crashed sys 0);
+  let m = Sim.metrics sys in
+  Alcotest.(check int) "sent" 2 m.Sim.sent;
+  Alcotest.(check int) "dropped" 2 m.Sim.dropped
+
+let test_crashed_receiver_is_dead () =
+  (* Process 1 crashes before sending anything; deliveries to it are
+     dead-lettered and its handler must not run. *)
+  let ran = ref false in
+  let crash = Array.make 2 Crash.Never in
+  crash.(1) <- Crash.After_sends 0;
+  let sys =
+    Sim.create ~n:2 ~seed:3 ~scheduler:Scheduler.Round_robin ~crash
+      ~make:(fun i ->
+          { Sim.on_start = (fun ctx -> if i = 0 then Sim.send ctx 1 0);
+            on_receive = (fun _ _ _ -> ran := true) })
+  in
+  Sim.run sys;
+  Alcotest.(check bool) "handler did not run" false !ran;
+  Alcotest.(check int) "dead lettered" 1 (Sim.metrics sys).Sim.dead_lettered
+
+(* Ping-pong with a bounded count must quiesce. *)
+let test_quiescence () =
+  let sys =
+    Sim.create ~n:2 ~seed:11 ~scheduler:Scheduler.Lifo_bias
+      ~crash:(no_crash 2)
+      ~make:(fun i ->
+          { Sim.on_start = (fun ctx -> if i = 0 then Sim.send ctx 1 10);
+            on_receive =
+              (fun ctx src k ->
+                 if k > 0 then Sim.send ctx src (k - 1)) })
+  in
+  Sim.run sys;
+  Alcotest.(check int) "exactly 11 deliveries" 11 (Sim.metrics sys).Sim.delivered
+
+let test_step_limit () =
+  (* Infinite ping-pong must hit the step limit. *)
+  let sys =
+    Sim.create ~n:2 ~seed:11 ~scheduler:Scheduler.Random_uniform
+      ~crash:(no_crash 2)
+      ~make:(fun i ->
+          { Sim.on_start = (fun ctx -> if i = 0 then Sim.send ctx 1 0);
+            on_receive = (fun ctx src _ -> Sim.send ctx src 0) })
+  in
+  Alcotest.check_raises "limit" Sim.Step_limit_exceeded
+    (fun () -> Sim.run ~max_steps:1000 sys)
+
+(* Determinism: full broadcast storm; delivery log must be identical
+   across runs with the same seed, and (generically) differ across
+   seeds. *)
+let delivery_log ~seed ~scheduler =
+  let log = ref [] in
+  let sys =
+    Sim.create ~n:4 ~seed ~scheduler ~crash:(no_crash 4)
+      ~make:(fun _ ->
+          { Sim.on_start = (fun ctx -> Sim.broadcast ctx 0);
+            on_receive =
+              (fun ctx src k ->
+                 log := (src, Sim.me ctx, k) :: !log;
+                 if k < 2 then Sim.broadcast ctx (k + 1)) })
+  in
+  Sim.run sys;
+  List.rev !log
+
+let test_determinism () =
+  let l1 = delivery_log ~seed:123 ~scheduler:Scheduler.Random_uniform in
+  let l2 = delivery_log ~seed:123 ~scheduler:Scheduler.Random_uniform in
+  Alcotest.(check bool) "identical logs" true (l1 = l2);
+  let l3 = delivery_log ~seed:124 ~scheduler:Scheduler.Random_uniform in
+  Alcotest.(check bool) "different seed differs" true (l1 <> l3)
+
+let test_lag_scheduler_starves () =
+  (* With Lag_sources [0], messages from 0 arrive only after all other
+     traffic has drained: the last delivery must originate from 0. *)
+  let last_src = ref (-1) in
+  let sys =
+    Sim.create ~n:3 ~seed:2 ~scheduler:(Scheduler.Lag_sources [0])
+      ~crash:(no_crash 3)
+      ~make:(fun _ ->
+          { Sim.on_start = (fun ctx -> Sim.broadcast ctx 0);
+            on_receive = (fun _ src _ -> last_src := src) })
+  in
+  Sim.run sys;
+  Alcotest.(check int) "lagged source delivered last" 0 !last_src
+
+(* --- rounds ---------------------------------------------------------- *)
+
+module Rounds = Protocol.Rounds
+
+let test_rounds_freeze_first () =
+  let r = Rounds.create ~threshold:2 in
+  Rounds.add r ~round:1 ~src:0 "a";
+  Alcotest.(check bool) "not ready" false (Rounds.ready r ~round:1);
+  Rounds.add r ~round:1 ~src:1 "b";
+  Alcotest.(check bool) "ready" true (Rounds.ready r ~round:1);
+  let y = Rounds.freeze r ~round:1 in
+  Rounds.add r ~round:1 ~src:2 "late";
+  Alcotest.(check (list (pair int string))) "frozen multiset fixed"
+    [(0, "a"); (1, "b")]
+    (Rounds.freeze r ~round:1);
+  Alcotest.(check int) "frozen size" 2 (List.length y)
+
+let test_rounds_buffer_future () =
+  let r = Rounds.create ~threshold:2 in
+  Rounds.add r ~round:5 ~src:0 "early";
+  Rounds.add r ~round:5 ~src:3 "early2";
+  Alcotest.(check bool) "future round buffered and ready" true
+    (Rounds.ready r ~round:5);
+  Alcotest.(check int) "count" 2 (Rounds.count r ~round:5)
+
+let test_rounds_duplicate () =
+  let r = Rounds.create ~threshold:3 in
+  Rounds.add r ~round:1 ~src:0 "x";
+  Alcotest.check_raises "duplicate sender"
+    (Invalid_argument "Rounds.add: duplicate (round, sender)")
+    (fun () -> Rounds.add r ~round:1 ~src:0 "y")
+
+let test_rounds_not_ready_freeze () =
+  let r = Rounds.create ~threshold:2 in
+  Rounds.add r ~round:1 ~src:0 "x";
+  Alcotest.check_raises "freeze before ready"
+    (Invalid_argument "Rounds.freeze: round not ready")
+    (fun () -> ignore (Rounds.freeze r ~round:1))
+
+let suite =
+  [ ( "rng",
+      [ Alcotest.test_case "determinism" `Quick test_rng_determinism;
+        Alcotest.test_case "bounds" `Quick test_rng_bounds;
+        Alcotest.test_case "shuffle" `Quick test_rng_shuffle ] );
+    ( "sim",
+      [ Alcotest.test_case "fifo exactly-once" `Quick test_fifo_exactly_once;
+        Alcotest.test_case "partial broadcast crash" `Quick
+          test_crash_budget_partial_broadcast;
+        Alcotest.test_case "crashed receiver" `Quick test_crashed_receiver_is_dead;
+        Alcotest.test_case "quiescence" `Quick test_quiescence;
+        Alcotest.test_case "step limit" `Quick test_step_limit;
+        Alcotest.test_case "determinism" `Quick test_determinism;
+        Alcotest.test_case "lag scheduler" `Quick test_lag_scheduler_starves ] );
+    ( "rounds",
+      [ Alcotest.test_case "freeze first threshold" `Quick test_rounds_freeze_first;
+        Alcotest.test_case "buffer future rounds" `Quick test_rounds_buffer_future;
+        Alcotest.test_case "duplicate rejected" `Quick test_rounds_duplicate;
+        Alcotest.test_case "freeze requires ready" `Quick test_rounds_not_ready_freeze ] ) ]

@@ -1,0 +1,45 @@
+(* Tverberg partitions underpin the paper's Lemma 2 (non-emptiness of
+   the round-0 polytope): any (d+1)f + 1 points admit a partition into
+   f+1 blocks with intersecting hulls. *)
+
+module Vec = Geometry.Vec
+module T = Geometry.Tverberg
+
+let test_known_2d () =
+  (* 7 points in the plane, f = 2 -> 3 blocks. *)
+  let pts =
+    [ Vec.of_ints [0; 0]; Vec.of_ints [4; 0]; Vec.of_ints [0; 4];
+      Vec.of_ints [4; 4]; Vec.of_ints [2; 1]; Vec.of_ints [1; 2];
+      Vec.of_ints [2; 3] ]
+  in
+  match T.partition ~dim:2 ~parts:3 pts with
+  | Some blocks ->
+    Alcotest.(check int) "three blocks" 3 (List.length blocks);
+    Alcotest.(check int) "all points used" 7
+      (List.length (List.concat blocks));
+    Alcotest.(check bool) "hulls intersect" true
+      (T.common_point ~dim:2 blocks <> None)
+  | None -> Alcotest.fail "no partition found"
+
+let test_collinear () =
+  (* Degenerate (collinear) points still satisfy the theorem. *)
+  let pts = List.init 7 (fun i -> Vec.of_ints [i; 0]) in
+  Alcotest.(check bool) "partition exists" true
+    (T.partition ~dim:2 ~parts:3 pts <> None)
+
+let prop_tverberg_guarantee dim f =
+  let m = ((dim + 1) * f) + 1 in
+  Gen.prop ~count:40
+    (Printf.sprintf "tverberg d=%d f=%d" dim f)
+    (Gen.arb_int_points ~min_size:m ~max_size:m dim)
+    (fun pts -> T.partition ~dim ~parts:(f + 1) pts <> None)
+
+let suite =
+  [ ( "tverberg",
+      [ Alcotest.test_case "known 2d instance" `Quick test_known_2d;
+        Alcotest.test_case "collinear points" `Quick test_collinear ]
+      @ List.map Gen.qtest
+          [ prop_tverberg_guarantee 1 1;
+            prop_tverberg_guarantee 1 2;
+            prop_tverberg_guarantee 2 1;
+            prop_tverberg_guarantee 2 2 ] ) ]

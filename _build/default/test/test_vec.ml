@@ -1,0 +1,49 @@
+module Q = Numeric.Q
+module Vec = Geometry.Vec
+
+let qt = Alcotest.testable Q.pp Q.equal
+let vt = Alcotest.testable Vec.pp Vec.equal
+
+let test_basics () =
+  let a = Vec.of_ints [1; 2] and b = Vec.of_ints [3; -1] in
+  Alcotest.check vt "add" (Vec.of_ints [4; 1]) (Vec.add a b);
+  Alcotest.check vt "sub" (Vec.of_ints [-2; 3]) (Vec.sub a b);
+  Alcotest.check qt "dot" (Q.of_int 1) (Vec.dot a b);
+  Alcotest.check qt "norm2" (Q.of_int 5) (Vec.norm2 a);
+  Alcotest.check qt "dist2" (Q.of_int 13) (Vec.dist2 a b);
+  Alcotest.check vt "scale" (Vec.of_ints [2; 4]) (Vec.scale Q.two a)
+
+let test_lincomb () =
+  let a = Vec.of_ints [0; 0] and b = Vec.of_ints [4; 8] in
+  Alcotest.check vt "midpoint" (Vec.of_ints [2; 4])
+    (Vec.lincomb [(Q.half, a); (Q.half, b)]);
+  Alcotest.check vt "average" (Vec.of_ints [2; 4]) (Vec.average [a; b])
+
+let props =
+  [ Gen.prop "dot symmetric" (QCheck.pair (Gen.arb_vec 3) (Gen.arb_vec 3))
+      (fun (a, b) -> Q.equal (Vec.dot a b) (Vec.dot b a));
+    Gen.prop "dot bilinear"
+      (QCheck.triple (Gen.arb_vec 3) (Gen.arb_vec 3) (Gen.arb_vec 3))
+      (fun (a, b, c) ->
+         Q.equal (Vec.dot a (Vec.add b c)) (Q.add (Vec.dot a b) (Vec.dot a c)));
+    Gen.prop "norm2 nonneg" (Gen.arb_vec 4)
+      (fun a -> Q.sign (Vec.norm2 a) >= 0);
+    Gen.prop "dist2 zero iff equal" (QCheck.pair (Gen.arb_vec 2) (Gen.arb_vec 2))
+      (fun (a, b) -> Q.is_zero (Vec.dist2 a b) = Vec.equal a b);
+    Gen.prop "compare total order"
+      (QCheck.triple (Gen.arb_vec 2) (Gen.arb_vec 2) (Gen.arb_vec 2))
+      (fun (a, b, c) ->
+         let ( <= ) x y = Vec.compare x y <= 0 in
+         (a <= b || b <= a)
+         && (not (a <= b && b <= c) || a <= c));
+    Gen.prop "euclidean triangle inequality"
+      (QCheck.triple (Gen.arb_vec 3) (Gen.arb_vec 3) (Gen.arb_vec 3))
+      (fun (a, b, c) ->
+         Vec.dist a c <= Vec.dist a b +. Vec.dist b c +. 1e-9);
+  ]
+
+let suite =
+  [ ( "vec",
+      [ Alcotest.test_case "basics" `Quick test_basics;
+        Alcotest.test_case "lincomb" `Quick test_lincomb ]
+      @ List.map Gen.qtest props ) ]

@@ -1,0 +1,113 @@
+(* Vector consensus: the reduction from CC (Steiner-point selection)
+   and the standalone point-valued baseline Algorithm VC. *)
+
+module Q = Numeric.Q
+module Vec = Geometry.Vec
+module Polytope = Geometry.Polytope
+module Config = Chc.Config
+module Executor = Chc.Executor
+module VC = Chc.Vector_consensus
+module Crash = Runtime.Crash
+module Rng = Runtime.Rng
+
+let cfg ~n ~f ~d = Config.make ~n ~f ~d ~eps:(Q.of_ints 1 4) ~lo:Q.zero ~hi:Q.one
+
+let test_derived_inside_and_valid () =
+  let config = cfg ~n:5 ~f:1 ~d:2 in
+  let r = Executor.run (Executor.default_spec ~config ~seed:41 ()) in
+  let pts = VC.derived_outputs r.Executor.result in
+  Array.iteri
+    (fun i p ->
+       match p, r.Executor.result.Chc.Cc.outputs.(i) with
+       | Some y, Some h ->
+         Alcotest.(check bool) "inside own polytope" true (Polytope.contains h y);
+         if not (List.mem i r.Executor.faulty) then
+           Alcotest.(check bool) "valid point" true
+             (Polytope.contains r.Executor.correct_hull y)
+       | None, None -> ()
+       | _ -> Alcotest.fail "output mismatch")
+    pts
+
+let run_baseline ~seed ~n ~f ~d =
+  let config = cfg ~n ~f ~d in
+  let rng = Rng.create seed in
+  let inputs = Executor.random_inputs ~config ~rng () in
+  let faulty = List.init f Fun.id in
+  let crash = Crash.random_for ~rng ~n ~faulty ~max_sends:40 in
+  let r =
+    VC.execute_baseline ~config ~inputs ~crash
+      ~scheduler:Runtime.Scheduler.Random_uniform ~seed ()
+  in
+  (config, inputs, faulty, r)
+
+let test_baseline_properties () =
+  let config, inputs, faulty, r = run_baseline ~seed:42 ~n:5 ~f:1 ~d:2 in
+  let fault_free =
+    List.filter (fun i -> not (List.mem i faulty)) (List.init 5 Fun.id)
+  in
+  let hull =
+    Polytope.of_points ~dim:2 (List.map (fun i -> inputs.(i)) fault_free)
+  in
+  let outputs = List.filter_map (fun i -> r.VC.outputs.(i)) fault_free in
+  Alcotest.(check int) "all fault-free decide" (List.length fault_free)
+    (List.length outputs);
+  List.iter
+    (fun y ->
+       Alcotest.(check bool) "validity (point in correct hull)" true
+         (Polytope.contains hull y))
+    outputs;
+  (* ε-agreement on points. *)
+  List.iter
+    (fun y1 ->
+       List.iter
+         (fun y2 ->
+            Alcotest.(check bool) "pairwise eps-agreement" true
+              (Q.lt (Vec.dist2 y1 y2) (Q.square config.Config.eps)))
+         outputs)
+    outputs
+
+let prop_baseline_sweep =
+  Gen.prop ~count:15 "baseline validity + agreement across seeds"
+    (QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 100000))
+    (fun seed ->
+       let config, inputs, faulty, r = run_baseline ~seed ~n:5 ~f:1 ~d:2 in
+       let fault_free =
+         List.filter (fun i -> not (List.mem i faulty)) (List.init 5 Fun.id)
+       in
+       let hull =
+         Polytope.of_points ~dim:2 (List.map (fun i -> inputs.(i)) fault_free)
+       in
+       let outputs = List.filter_map (fun i -> r.VC.outputs.(i)) fault_free in
+       List.length outputs = List.length fault_free
+       && List.for_all (Polytope.contains hull) outputs
+       && List.for_all
+            (fun y1 ->
+               List.for_all
+                 (fun y2 ->
+                    Q.lt (Vec.dist2 y1 y2) (Q.square config.Config.eps))
+                 outputs)
+            outputs)
+
+let test_baseline_identical_inputs () =
+  (* Identical inputs collapse to exact agreement on that input. *)
+  let config = cfg ~n:5 ~f:1 ~d:2 in
+  let x = Vec.make [Q.of_ints 2 3; Q.of_ints 1 5] in
+  let inputs = Array.make 5 x in
+  let crash = Array.make 5 Crash.Never in
+  let r =
+    VC.execute_baseline ~config ~inputs ~crash
+      ~scheduler:Runtime.Scheduler.Round_robin ~seed:7 ()
+  in
+  Array.iter
+    (function
+      | Some y -> Alcotest.(check bool) "exactly x" true (Vec.equal y x)
+      | None -> Alcotest.fail "undecided")
+    r.VC.outputs
+
+let suite =
+  [ ( "vector_consensus",
+      [ Alcotest.test_case "derived points" `Quick test_derived_inside_and_valid;
+        Alcotest.test_case "baseline properties" `Quick test_baseline_properties;
+        Alcotest.test_case "baseline identical inputs" `Quick
+          test_baseline_identical_inputs ]
+      @ List.map Gen.qtest [ prop_baseline_sweep ] ) ]

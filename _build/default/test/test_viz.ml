@@ -1,0 +1,44 @@
+(* The SVG renderer: structural sanity of the generated document. *)
+
+module Q = Numeric.Q
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let render_one () =
+  let config =
+    Chc.Config.make ~n:5 ~f:1 ~d:2 ~eps:(Q.of_ints 1 4) ~lo:Q.zero ~hi:Q.one
+  in
+  let report = Chc.Executor.run (Chc.Executor.default_spec ~config ~seed:808 ()) in
+  (report, Viz.Svg.render ~report)
+
+let test_structure () =
+  let report, svg = render_one () in
+  Alcotest.(check bool) "svg root" true (contains ~needle:"<svg" svg);
+  Alcotest.(check bool) "closes" true (contains ~needle:"</svg>" svg);
+  Alcotest.(check bool) "has polygons" true (contains ~needle:"<polygon" svg);
+  Alcotest.(check bool) "marks faulty inputs" true
+    (report.Chc.Executor.faulty = [] || contains ~needle:"<path" svg);
+  Alcotest.(check bool) "legend present" true (contains ~needle:"t_end=" svg)
+
+let test_rejects_non_2d () =
+  let config =
+    Chc.Config.make ~n:4 ~f:1 ~d:1 ~eps:(Q.of_ints 1 4) ~lo:Q.zero ~hi:Q.one
+  in
+  let report = Chc.Executor.run (Chc.Executor.default_spec ~config ~seed:1 ()) in
+  Alcotest.check_raises "d=1 rejected"
+    (Invalid_argument "Svg.render: only 2-dimensional executions")
+    (fun () -> ignore (Viz.Svg.render ~report))
+
+let test_deterministic () =
+  let _, svg1 = render_one () in
+  let _, svg2 = render_one () in
+  Alcotest.(check bool) "byte-identical" true (svg1 = svg2)
+
+let suite =
+  [ ( "viz",
+      [ Alcotest.test_case "structure" `Quick test_structure;
+        Alcotest.test_case "rejects non-2d" `Quick test_rejects_non_2d;
+        Alcotest.test_case "deterministic" `Quick test_deterministic ] ) ]
