@@ -1,10 +1,17 @@
 (* E10 — Implementation performance (bechamel micro-benchmarks).
 
    Wall-clock cost of the geometric primitives and of full executions,
-   plus the 2-d Minkowski ablation (linear edge-merge vs quadratic
-   pairwise-sum) that justifies the fast path. All arithmetic is exact
-   rationals, so these numbers characterize the exact-arithmetic cost
-   profile, not float geometry. *)
+   plus two ablations that justify the fast paths:
+   - the 2-d Minkowski linear edge-merge vs quadratic pairwise-sum;
+   - the d=3 L-operator (weighted Minkowski average) under the pre-PR
+     brute-force pipeline (all-subsets facet sweep + per-point LP
+     pruning) vs the incremental beneath-beyond kernel, with and
+     without the structural memo tables.
+
+   All arithmetic is exact rationals, so these numbers characterize
+   the exact-arithmetic cost profile, not float geometry. Results are
+   also emitted to BENCH_E10.json (ns/op per benchmark) so speedups
+   can be tracked across revisions. *)
 
 open Bechamel
 open Toolkit
@@ -12,6 +19,7 @@ open Toolkit
 module Q = Numeric.Q
 module Vec = Geometry.Vec
 module Hull2d = Geometry.Hull2d
+module Hullnd = Geometry.Hullnd
 module Polytope = Geometry.Polytope
 module Rng = Runtime.Rng
 
@@ -19,6 +27,46 @@ let mk_points rng m =
   List.init m (fun _ ->
       Vec.make [Q.of_ints (Rng.int rng 2001 - 1000) 997;
                 Q.of_ints (Rng.int rng 2001 - 1000) 991])
+
+let mk_points3 rng m =
+  List.init m (fun _ ->
+      Vec.make [Q.of_ints (Rng.int rng 2001 - 1000) 997;
+                Q.of_ints (Rng.int rng 2001 - 1000) 991;
+                Q.of_ints (Rng.int rng 2001 - 1000) 983])
+
+(* Run [f] with the memo tables switched off, so the entry measures
+   algorithmic cost rather than cache hits. *)
+let nocache f () =
+  Parallel.Memo.set_enabled false;
+  Fun.protect ~finally:(fun () -> Parallel.Memo.set_enabled true) f
+
+(* The d=3 L-operator exactly as computed before this PR: scale each
+   polytope, fold binary Minkowski sums, and canonicalize each
+   intermediate with the LP-pruning extreme-point filter. *)
+let average3_lp verts_list =
+  let w = Q.inv (Q.of_int (List.length verts_list)) in
+  let scaled = List.map (List.map (Vec.scale w)) verts_list in
+  match scaled with
+  | [] -> assert false
+  | first :: rest ->
+    List.fold_left
+      (fun acc vs ->
+         Hullnd.extreme_points_lp
+           (List.concat_map (fun u -> List.map (Vec.add u) vs) acc))
+      (Hullnd.extreme_points_lp first) rest
+
+(* Same fold through the incremental beneath-beyond kernel. *)
+let average3_incremental verts_list =
+  let w = Q.inv (Q.of_int (List.length verts_list)) in
+  let scaled = List.map (List.map (Vec.scale w)) verts_list in
+  match scaled with
+  | [] -> assert false
+  | first :: rest ->
+    List.fold_left
+      (fun acc vs ->
+         Hullnd.extreme_points
+           (List.concat_map (fun u -> List.map (Vec.add u) vs) acc))
+      (Hullnd.extreme_points first) rest
 
 let tests () =
   let rng = Rng.create 2014 in
@@ -31,6 +79,17 @@ let tests () =
     Chc.Config.make ~n:5 ~f:1 ~d:2 ~eps:(Q.of_ints 1 2) ~lo:Q.zero ~hi:Q.one
   in
   let spec = Chc.Executor.default_spec ~config ~seed:5 () in
+  let config3 =
+    Chc.Config.make ~n:6 ~f:1 ~d:3 ~eps:(Q.of_ints 1 2) ~lo:Q.zero ~hi:Q.one
+  in
+  let spec3 = Chc.Executor.default_spec ~config:config3 ~seed:42 () in
+  (* d=3 L-operator instance: three hulls of 8 points each, the shape
+     round t of Algorithm CC averages. *)
+  let polys3 =
+    List.init 3 (fun _ -> Polytope.of_points ~dim:3 (mk_points3 rng 8))
+  in
+  let hulls3 = List.map Polytope.vertices polys3 in
+  let pts3 = mk_points3 rng 12 in
   [ Test.make ~name:"hull2d/monotone-chain-100pts"
       (Staged.stage (fun () -> ignore (Hull2d.hull pts100)));
     Test.make ~name:"minkowski/edge-merge"
@@ -47,9 +106,48 @@ let tests () =
     Test.make ~name:"lp/membership-30pts"
       (Staged.stage
          (let q = Vec.make [Q.of_ints 1 7; Q.of_ints 2 7] in
-          fun () -> ignore (Geometry.Lp.in_convex_hull (Polytope.vertices pA) q)));
+          fun () ->
+            ignore (Geometry.Lp.in_convex_hull_uncached (Polytope.vertices pA) q)));
+    Test.make ~name:"hullnd/facets-brute-3d"
+      (Staged.stage
+         (nocache (fun () -> ignore (Hullnd.enumerate_facets_brute ~dim:3 pts3))));
+    Test.make ~name:"hullnd/facets-incremental-3d"
+      (Staged.stage
+         (nocache (fun () -> ignore (Hullnd.facets_incremental_3d pts3))));
+    Test.make ~name:"l3/brute-baseline"
+      (Staged.stage (nocache (fun () -> ignore (average3_lp hulls3))));
+    Test.make ~name:"l3/incremental"
+      (Staged.stage (nocache (fun () -> ignore (average3_incremental hulls3))));
+    Test.make ~name:"l3/incremental-cached"
+      (Staged.stage (fun () -> ignore (Polytope.average polys3)));
     Test.make ~name:"cc/full-execution-n5-d2"
-      (Staged.stage (fun () -> ignore (Chc.Executor.run spec))) ]
+      (Staged.stage (fun () -> ignore (Chc.Executor.run spec)));
+    Test.make ~name:"cc/full-execution-n6-d3"
+      (Staged.stage (fun () -> ignore (Chc.Executor.run spec3))) ]
+
+let json_escape s =
+  String.concat ""
+    (List.map
+       (fun c ->
+          match c with
+          | '"' -> "\\\"" | '\\' -> "\\\\"
+          | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let emit_json rows =
+  let oc = open_out "BENCH_E10.json" in
+  output_string oc "{\n  \"experiment\": \"e10\",\n  \"unit\": \"ns/op\",\n  \"results\": [\n";
+  let n = List.length rows in
+  List.iteri
+    (fun i (name, ns) ->
+       Printf.fprintf oc "    {\"name\": \"%s\", \"ns_per_op\": %s}%s\n"
+         (json_escape name)
+         (if Float.is_nan ns then "null" else Printf.sprintf "%.1f" ns)
+         (if i = n - 1 then "" else ","))
+    rows;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "  wrote BENCH_E10.json (%d entries)\n" n
 
 let run () =
   let ols =
@@ -66,7 +164,7 @@ let run () =
       (Test.make_grouped ~name:"chc" ~fmt:"%s %s" (tests ()))
   in
   let results = Analyze.all ols Instance.monotonic_clock raw in
-  let rows = ref [] in
+  let measured = ref [] in
   Hashtbl.iter
     (fun name ols_result ->
        let ns =
@@ -74,17 +172,31 @@ let run () =
          | Some (est :: _) -> est
          | _ -> nan
        in
-       let cell =
-         if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
-         else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
-         else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
-         else Printf.sprintf "%.0f ns" ns
-       in
-       rows := [name; cell] :: !rows)
+       measured := (name, ns) :: !measured)
     results;
-  let rows = List.sort compare !rows in
+  let measured = List.sort compare !measured in
+  let rows =
+    List.map
+      (fun (name, ns) ->
+         let cell =
+           if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+           else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+           else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+           else Printf.sprintf "%.0f ns" ns
+         in
+         [name; cell])
+      measured
+  in
   Util.print_table
     ~title:"E10: exact-arithmetic cost profile (bechamel, monotonic clock)"
     ~header:["operation"; "time/run"]
     ~widths:[36; 10]
-    rows
+    rows;
+  emit_json measured;
+  (match
+     ( List.assoc_opt "chc l3/brute-baseline" measured,
+       List.assoc_opt "chc l3/incremental" measured )
+   with
+   | Some b, Some i when i > 0.0 && not (Float.is_nan b) ->
+     Printf.printf "  d=3 L-operator speedup (brute/incremental): %.1fx\n" (b /. i)
+   | _ -> ())

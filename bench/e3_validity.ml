@@ -15,16 +15,26 @@ let schedulers =
     ("lag[0]", Scheduler.Lag_sources [0]) ]
 
 let sweep ~config ~runs ~sched_name ~scheduler =
+  (* Each seed is an independent execution: fan the sweep out over the
+     domain pool and fold the per-seed flags back in index order, so
+     the totals are identical whatever the worker interleaving. *)
+  let flags =
+    Parallel.Pool.parallel_map (Parallel.Pool.global ())
+      (fun seed ->
+         let r =
+           Executor.run
+             (Executor.default_spec ~config ~seed:(seed * 7919 + 13) ~scheduler ())
+         in
+         (r.Executor.valid, r.Executor.agreement_ok, r.Executor.terminated))
+      (List.init runs (fun i -> i))
+  in
   let valid = ref 0 and agree = ref 0 and term = ref 0 in
-  for seed = 0 to runs - 1 do
-    let r =
-      Executor.run
-        (Executor.default_spec ~config ~seed:(seed * 7919 + 13) ~scheduler ())
-    in
-    if r.Executor.valid then incr valid;
-    if r.Executor.agreement_ok then incr agree;
-    if r.Executor.terminated then incr term
-  done;
+  List.iter
+    (fun (v, a, t) ->
+       if v then incr valid;
+       if a then incr agree;
+       if t then incr term)
+    flags;
   [ sched_name;
     Printf.sprintf "n=%d f=%d d=%d" config.Chc.Config.n config.Chc.Config.f
       config.Chc.Config.d;

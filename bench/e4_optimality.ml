@@ -19,23 +19,34 @@ let run () =
   let rows =
     List.map
       (fun (label, config) ->
-         let contained = ref 0 and ratios = ref [] in
-         for seed = 0 to runs - 1 do
-           let r =
-             Executor.run (Executor.default_spec ~config ~seed:(seed * 104729 + 7) ())
-           in
-           if r.Executor.optimal then incr contained;
-           (match r.Executor.iz_volume, r.Executor.min_output_volume with
-            | Some vi, Some vo when Q.sign vo > 0 ->
-              ratios := Q.to_float (Q.div vi vo) :: !ratios
-            | _ -> ())
-         done;
+         (* Independent seeds: parallel sweep, merged in seed order so
+            the reported mean is reproducible bit-for-bit. *)
+         let per_seed =
+           Parallel.Pool.parallel_map (Parallel.Pool.global ())
+             (fun seed ->
+                let r =
+                  Executor.run
+                    (Executor.default_spec ~config ~seed:(seed * 104729 + 7) ())
+                in
+                let ratio =
+                  match r.Executor.iz_volume, r.Executor.min_output_volume with
+                  | Some vi, Some vo when Q.sign vo > 0 ->
+                    Some (Q.to_float (Q.div vi vo))
+                  | _ -> None
+                in
+                (r.Executor.optimal, ratio))
+             (List.init runs (fun i -> i))
+         in
+         let contained =
+           List.length (List.filter (fun (o, _) -> o) per_seed)
+         in
+         let ratios = List.filter_map snd per_seed in
          let mean =
-           match !ratios with
+           match ratios with
            | [] -> "n/a (degenerate)"
            | l -> Util.f4 (List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l))
          in
-         [ label; Util.pct !contained runs; mean ])
+         [ label; Util.pct contained runs; mean ])
       configs
   in
   Util.print_table

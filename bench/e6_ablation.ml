@@ -18,19 +18,28 @@ let run () =
     Chc.Config.make ~n:5 ~f:1 ~d:2 ~eps:(Q.of_ints 1 4) ~lo:Q.zero ~hi:Q.one
   in
   let sweep round0 =
-    let optimal = ref 0 and valid = ref 0 and agree = ref 0 in
-    for seed = 0 to runs - 1 do
-      let spec = Executor.default_spec ~config ~seed:(seed * 6151 + 3) ~round0 () in
-      (* Force a mid-broadcast crash: the faulty process reaches only
-         2 of its 4 peers with its round-0 message. *)
-      let crash = Array.make 5 Crash.Never in
-      crash.(0) <- Crash.After_sends 2;
-      let r = Executor.run { spec with Executor.crash } in
-      if r.Executor.optimal then incr optimal;
-      if r.Executor.valid then incr valid;
-      if r.Executor.agreement_ok then incr agree
-    done;
-    (!optimal, !valid, !agree)
+    (* Seeds are independent; sweep them across the domain pool and
+       accumulate the counters from the index-ordered result list. *)
+    let flags =
+      Parallel.Pool.parallel_map (Parallel.Pool.global ())
+        (fun seed ->
+           let spec =
+             Executor.default_spec ~config ~seed:(seed * 6151 + 3) ~round0 ()
+           in
+           (* Force a mid-broadcast crash: the faulty process reaches
+              only 2 of its 4 peers with its round-0 message. *)
+           let crash = Array.make 5 Crash.Never in
+           crash.(0) <- Crash.After_sends 2;
+           let r = Executor.run { spec with Executor.crash } in
+           (r.Executor.optimal, r.Executor.valid, r.Executor.agreement_ok))
+        (List.init runs (fun i -> i))
+    in
+    List.fold_left
+      (fun (o, v, a) (ro, rv, ra) ->
+         ((if ro then o + 1 else o),
+          (if rv then v + 1 else v),
+          (if ra then a + 1 else a)))
+      (0, 0, 0) flags
   in
   let o_sv, v_sv, a_sv = sweep `Stable_vector in
   let o_na, v_na, a_na = sweep `Naive in

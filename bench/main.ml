@@ -17,7 +17,8 @@ let experiments =
     ("e7", "function optimization (Sec 7/Thm 4)", E7_optimize.run);
     ("e8", "matrix certificates (Thm 1/Claim 1/Lemma 3)", E8_matrix.run);
     ("e9", "resilience frontier and degenerate cases", E9_resilience.run);
-    ("e10", "performance microbenchmarks (bechamel)", E10_perf.run) ]
+    ("e10", "performance microbenchmarks (bechamel)", E10_perf.run);
+    ("smoke3d", "fast d=3 execution smoke check", Smoke3d.run) ]
 
 let () =
   let selected =

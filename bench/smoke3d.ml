@@ -1,0 +1,21 @@
+(* A single fast d=3 execution with every Theorem-2/Theorem-3 check —
+   the CI smoke test for the d>=3 geometry kernel (see the bench-smoke
+   alias in bench/dune). Fails loudly so a broken hot path cannot slip
+   through a green build. *)
+
+module Q = Numeric.Q
+module Executor = Chc.Executor
+
+let run () =
+  let config =
+    Chc.Config.make ~n:6 ~f:1 ~d:3 ~eps:(Q.of_ints 1 2) ~lo:Q.zero ~hi:Q.one
+  in
+  let r = Executor.run (Executor.default_spec ~config ~seed:42 ()) in
+  Printf.printf
+    "  smoke3d (n=6 f=1 d=3): terminated=%b valid=%b eps-agree=%b optimal=%b\n"
+    r.Executor.terminated r.Executor.valid r.Executor.agreement_ok
+    r.Executor.optimal;
+  if not
+      (r.Executor.terminated && r.Executor.valid && r.Executor.agreement_ok
+       && r.Executor.optimal)
+  then failwith "smoke3d: d=3 execution lost a Theorem-2/Theorem-3 property"

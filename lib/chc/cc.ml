@@ -37,8 +37,13 @@ let fault_set crash =
 let round0_polytope ~dim ~f pts =
   let keep = List.length pts - f in
   if keep < 1 then invalid_arg "Cc.round0_polytope: not enough points";
+  (* The C(|X_i|, f) per-subset hulls are independent; fan them out
+     over the domain pool (results merged in subset order, so the
+     intersection below sees a scheduling-independent list). *)
   let hulls =
-    List.map (Geometry.Polytope.of_points ~dim) (Combin.subsets_of_size keep pts)
+    Parallel.Pool.parallel_map (Parallel.Pool.global ())
+      (Geometry.Polytope.of_points ~dim)
+      (Combin.subsets_of_size keep pts)
   in
   match Geometry.Polytope.intersect hulls with
   | Some h -> h

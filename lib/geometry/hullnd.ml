@@ -58,8 +58,294 @@ let dedupe_points pts =
 let standard_basis d = List.init d (fun i ->
     Array.init d (fun j -> if i = j then Q.one else Q.zero))
 
-(* Facets of a FULL-DIMENSIONAL point set in k-space: brute force over
-   k-subsets defining candidate hyperplanes. *)
+(* ------------------------------------------------------------------ *)
+(* Incremental (beneath-beyond) hull, d = 3.
+
+   Brute-force facet enumeration tries all C(m,3) candidate planes; on
+   the Minkowski-averaging hot path m reaches the hundreds and the
+   sweep dominates the whole protocol run. The incremental hull
+   inserts points one at a time (in the canonical sorted order, so the
+   construction is deterministic), maintaining a triangulated boundary:
+   per insertion it scans the current triangles for visibility, which
+   is near-linear in the hull size instead of cubic in m.
+
+   Exactness notes (all arithmetic rational, no epsilons):
+   - "visible" means strictly outside a triangle's plane; a point
+     coplanar with a facet is treated as not visible, so a point that
+     satisfies every current constraint is inside the current hull and
+     is skipped soundly.
+   - a horizon edge (u,v) separates a visible from a non-visible
+     triangle; p strictly violates the visible plane while u, v lie on
+     it, so p is never collinear with u, v and every cone triangle
+     (p,u,v) is non-degenerate.
+   - orientation is fixed against an interior point (the centroid of
+     the seed tetrahedron): facet planes support every intermediate
+     hull, which contains the tetrahedron, so the centroid is strictly
+     on the inner side of every plane ever produced.
+   The triangles triangulate each facet, possibly several triangles
+   per coplanar facet; normalizing and deduplicating their planes
+   yields exactly the facet-plane set the brute-force sweep produces
+   (any supporting plane through 3 affinely independent input points
+   meets the hull in a 2-face). Equality with the brute-force output
+   is property-tested in test/test_hullnd.ml. *)
+
+module B = Numeric.Bigint
+
+type tri = { ta : Vec.t; tb : Q.t; corners : Vec.t * Vec.t * Vec.t }
+
+let cross3 u v =
+  [| Q.sub (Q.mul u.(1) v.(2)) (Q.mul u.(2) v.(1));
+     Q.sub (Q.mul u.(2) v.(0)) (Q.mul u.(0) v.(2));
+     Q.sub (Q.mul u.(0) v.(1)) (Q.mul u.(1) v.(0)) |]
+
+(* The construction runs on integer points: hull structure is
+   invariant under the uniform positive scaling x ↦ L·x, so scaling by
+   the lcm L of every coordinate denominator up front turns all the
+   inner-loop arithmetic (cross products, visibility dot products)
+   into gcd-free integer Q operations. Facets map back as
+   (a, b) ↦ (a, b/L). *)
+let denominator_lcm pts =
+  List.fold_left
+    (fun acc p ->
+       Array.fold_left
+         (fun acc (q : Q.t) ->
+            let d = q.Q.den in
+            if B.equal d B.one then acc
+            else B.mul (B.div acc (B.gcd acc d)) d)
+         acc p)
+    B.one pts
+
+(* Plane through p,q,r oriented so the interior point [c4]/4 satisfies
+   a·x < b; [None] if p,q,r are collinear or the interior point lies
+   on the plane. [c4] is 4× the interior point, keeping the
+   orientation test in integers. *)
+let oriented_plane ~c4 p q r =
+  let a = cross3 (Vec.sub q p) (Vec.sub r p) in
+  if Array.for_all Q.is_zero a then None
+  else begin
+    let b = Vec.dot a p in
+    match Q.sign (Q.sub (Vec.dot a c4) (Q.mul_int b 4)) with
+    | s when s < 0 -> Some { ta = a; tb = b; corners = (p, q, r) }
+    | s when s > 0 -> Some { ta = Vec.neg a; tb = Q.neg b; corners = (p, q, r) }
+    | _ -> None
+  end
+
+(* Undirected-edge key, canonically ordered. *)
+let edge u v = if Vec.compare u v <= 0 then (u, v) else (v, u)
+
+let edge_compare (u1, v1) (u2, v2) =
+  let c = Vec.compare u1 u2 in
+  if c <> 0 then c else Vec.compare v1 v2
+
+let tri_edges t =
+  let (u, v, w) = t.corners in
+  [ edge u v; edge v w; edge u w ]
+
+(* Edges used by exactly one triangle of the visible set. The soup
+   invariant (every edge borders exactly two triangles) means an edge
+   can appear at most twice; a third occurrence signals a corrupted
+   surface and aborts to the brute-force path. *)
+let horizon_edges visible =
+  let all = List.sort edge_compare (List.concat_map tri_edges visible) in
+  let rec go = function
+    | [] -> []
+    | [ e ] -> [ e ]
+    | e1 :: (e2 :: rest as tail) ->
+      if edge_compare e1 e2 = 0 then begin
+        (match rest with
+         | e3 :: _ when edge_compare e2 e3 = 0 -> raise Exit
+         | _ -> ());
+        go rest
+      end
+      else e1 :: go tail
+  in
+  go all
+
+(* The insertion step is only sound when the horizon is one simple
+   closed cycle (that is what keeps the triangle soup a closed
+   2-manifold inductively). Degenerate configurations that break this
+   are rare and bail out to brute force via [Exit]. *)
+let check_simple_cycle edges =
+  match edges with
+  | [] -> raise Exit
+  | (start, _) :: _ ->
+    let endpoints =
+      List.sort Vec.compare (List.concat_map (fun (u, v) -> [ u; v ]) edges)
+    in
+    (* Every endpoint must have degree exactly 2. *)
+    let rec degrees = function
+      | [] -> ()
+      | [ _ ] -> raise Exit
+      | a :: b :: rest ->
+        if Vec.equal a b then begin
+          (match rest with
+           | c :: _ when Vec.equal b c -> raise Exit
+           | _ -> ());
+          degrees rest
+        end
+        else raise Exit
+    in
+    degrees endpoints;
+    (* Degree-2 everywhere means disjoint cycles; demand connectivity. *)
+    let nvertices = List.length edges in (* |V| = |E| in a 2-regular graph *)
+    let neighbours x =
+      List.concat_map
+        (fun (u, v) ->
+           if Vec.equal u x then [ v ]
+           else if Vec.equal v x then [ u ]
+           else [])
+        edges
+    in
+    let rec bfs visited = function
+      | [] -> visited
+      | x :: rest ->
+        if List.exists (Vec.equal x) visited then bfs visited rest
+        else bfs (x :: visited) (neighbours x @ rest)
+    in
+    if List.length (bfs [] [ start ]) <> nvertices then raise Exit
+
+(* [incremental_planes_3d pts] for deduped, sorted [pts]: the
+   beneath-beyond construction proper, on integer-scaled points.
+   Returns [(scaled_pts, planes, l)] — one (unnormalized, integer)
+   plane per surface triangle, valid for the scaled points — or [None]
+   when the point set is not full-dimensional in 3-space (no seed
+   tetrahedron exists) or a degenerate horizon aborts the
+   construction; callers fall back to the brute-force sweep. *)
+let incremental_planes_3d pts0 =
+  let l = denominator_lcm pts0 in
+  (* Uniform positive scaling preserves the lexicographic point order,
+     so the scaled list is still deduped and sorted. *)
+  let pts =
+    if B.equal l B.one then pts0
+    else List.map (Vec.scale (Q.of_bigint l)) pts0
+  in
+  let find_seed = function
+    | [] -> None
+    | p0 :: rest0 ->
+      (match List.find_opt (fun p -> not (Vec.equal p p0)) rest0 with
+       | None -> None
+       | Some p1 ->
+         let d1 = Vec.sub p1 p0 in
+         (match
+            List.find_opt
+              (fun p -> not (Array.for_all Q.is_zero (cross3 d1 (Vec.sub p p0))))
+              rest0
+          with
+          | None -> None
+          | Some p2 ->
+            let nrm = cross3 d1 (Vec.sub p2 p0) in
+            (match
+               List.find_opt
+                 (fun p -> not (Q.is_zero (Vec.dot nrm (Vec.sub p p0))))
+                 rest0
+             with
+             | None -> None
+             | Some p3 -> Some (p0, p1, p2, p3))))
+  in
+  match find_seed pts with
+  | None -> None
+  | Some (p0, p1, p2, p3) ->
+    let c4 = Vec.add (Vec.add p0 p1) (Vec.add p2 p3) in
+    let face p q r =
+      match oriented_plane ~c4 p q r with
+      | Some t -> t
+      | None -> assert false (* seed tetrahedron is non-degenerate *)
+    in
+    let seed = [ face p0 p1 p2; face p0 p1 p3; face p0 p2 p3; face p1 p2 p3 ] in
+    let rest =
+      List.filter
+        (fun p ->
+           not (Vec.equal p p0 || Vec.equal p p1 || Vec.equal p p2
+                || Vec.equal p p3))
+        pts
+    in
+    let insert tris p =
+      let visible, hidden =
+        List.partition (fun t -> Q.gt (Vec.dot t.ta p) t.tb) tris
+      in
+      if visible = [] then tris
+      else begin
+        let horizon = horizon_edges visible in
+        check_simple_cycle horizon;
+        let cone =
+          List.map
+            (fun (u, v) ->
+               match oriented_plane ~c4 p u v with
+               | Some t -> t
+               | None -> raise Exit (* unreachable; see module comment *))
+            horizon
+        in
+        hidden @ cone
+      end
+    in
+    (try
+       let tris = List.fold_left insert seed rest in
+       let planes = List.map (fun t -> (t.ta, t.tb)) tris in
+       (* Belt and braces: a corrupted hull would cut off an input
+          point; verify every point against every plane (linear in the
+          output, negligible next to the construction). *)
+       if
+         List.for_all
+           (fun p -> List.for_all (fun (a, b) -> Q.leq (Vec.dot a p) b) planes)
+           pts
+       then Some (pts, planes, l)
+       else None
+     with Exit -> None)
+
+(* Canonical integer representative of an (integer) plane: divide by
+   the content gcd. Positive scaling, so the inequality is unchanged;
+   proportional planes collapse to equal values. *)
+let primitive_plane (a, b) =
+  let g =
+    Array.fold_left
+      (fun acc (q : Q.t) -> B.gcd acc q.Q.num)
+      (B.abs b.Q.num) a
+  in
+  if B.is_zero g || B.equal g B.one then (a, b)
+  else
+    ( Array.map (fun (q : Q.t) -> Q.of_bigint (B.div q.Q.num g)) a,
+      Q.of_bigint (B.div b.Q.num g) )
+
+let facets_incremental_3d pts =
+  let pts = dedupe_points pts in
+  match incremental_planes_3d pts with
+  | None -> None
+  | Some (_, planes, l) ->
+    (* Planes hold for the L-scaled points; b/L maps them back. *)
+    let linv = Q.inv (Q.of_bigint l) in
+    Some
+      (dedupe_constraints
+         (List.map
+            (fun (a, b) -> normalize_ineq (a, Q.mul b linv))
+            planes))
+
+(* Facets of a FULL-DIMENSIONAL point set in k-space. k = 3 runs the
+   incremental hull above; other dimensions (and the unexpected
+   degenerate 3-d corner) brute-force over k-subsets defining
+   candidate hyperplanes, fanned out over the domain pool. *)
+let enumerate_facets_brute ~dim:k pts =
+  let pts = dedupe_points pts in
+  let candidates = Combin.subsets_of_size k pts in
+  let facet_of subset =
+    match subset with
+    | [] -> []
+    | s0 :: rest ->
+      let rows = Array.of_list (List.map (fun s -> Vec.sub s s0) rest) in
+      (match Linsys.nullspace rows with
+       | [a] ->
+         let b = Vec.dot a s0 in
+         let signs = List.map (fun p -> Q.sign (Q.sub (Vec.dot a p) b)) pts in
+         let has_pos = List.exists (fun s -> s > 0) signs in
+         let has_neg = List.exists (fun s -> s < 0) signs in
+         if has_pos && has_neg then []
+         else if has_pos then [normalize_ineq (Vec.neg a, Q.neg b)]
+         else [normalize_ineq (a, b)]
+       | _ -> [] (* affinely dependent subset, or not a hyperplane *))
+  in
+  dedupe_constraints
+    (Parallel.Pool.parallel_concat_map (Parallel.Pool.global ())
+       facet_of candidates)
+
 let enumerate_facets ~dim:k pts =
   let pts = dedupe_points pts in
   if k = 1 then begin
@@ -68,26 +354,11 @@ let enumerate_facets ~dim:k pts =
     let hi = List.fold_left Q.max (List.hd xs) xs in
     [ (Vec.make [Q.one], hi); (Vec.make [Q.minus_one], Q.neg lo) ]
   end
-  else begin
-    let candidates = Combin.subsets_of_size k pts in
-    let facet_of subset =
-      match subset with
-      | [] -> []
-      | s0 :: rest ->
-        let rows = Array.of_list (List.map (fun s -> Vec.sub s s0) rest) in
-        (match Linsys.nullspace rows with
-         | [a] ->
-           let b = Vec.dot a s0 in
-           let signs = List.map (fun p -> Q.sign (Q.sub (Vec.dot a p) b)) pts in
-           let has_pos = List.exists (fun s -> s > 0) signs in
-           let has_neg = List.exists (fun s -> s < 0) signs in
-           if has_pos && has_neg then []
-           else if has_pos then [normalize_ineq (Vec.neg a, Q.neg b)]
-           else [normalize_ineq (a, b)]
-         | _ -> [] (* affinely dependent subset, or not a hyperplane *))
-    in
-    dedupe_constraints (List.concat_map facet_of candidates)
-  end
+  else if k = 3 then
+    match facets_incremental_3d pts with
+    | Some facets -> facets
+    | None -> enumerate_facets_brute ~dim:k pts
+  else enumerate_facets_brute ~dim:k pts
 
 let of_points ~dim pts =
   match dedupe_points pts with
@@ -184,10 +455,11 @@ let vertices h =
     end
     else
       Combin.subsets_of_size need h.ineqs
-      |> List.filter_map (fun subset ->
-          let rows = Array.of_list (eq_rows @ List.map fst subset) in
-          let rhs = Array.of_list (eq_rhs @ List.map snd subset) in
-          Linsys.solve_unique rows rhs)
+      |> Parallel.Pool.parallel_filter_map (Parallel.Pool.global ())
+        (fun subset ->
+           let rows = Array.of_list (eq_rows @ List.map fst subset) in
+           let rhs = Array.of_list (eq_rhs @ List.map snd subset) in
+           Linsys.solve_unique rows rhs)
   in
   dedupe_points
     (List.filter
@@ -241,22 +513,70 @@ let support_filter ~dim pts =
       List.filter (fun p -> not (strictly_inside p)) pts
     end
 
-let extreme_points pts =
+(* LP-based extreme-point pruning: one membership LP per candidate.
+   When the domain pool is sequential, confirmed-interior points are
+   dropped from the column set of subsequent tests — sound, because a
+   dropped point lies in the hull of the remaining ones — which
+   shrinks the tableaus as the scan proceeds. With a multi-domain pool
+   the tests run independently against the full complement (same
+   result: a point is extreme iff it is outside the hull of all the
+   others), fanned out across domains. *)
+let extreme_points_lp pts =
   let pts = dedupe_points pts in
   match pts with
   | [] | [_] -> pts
   | p0 :: _ ->
     let dim = Vec.dim p0 in
     let pts = support_filter ~dim pts in
-    (* One LP per surviving candidate. Confirmed-interior points are
-       dropped from the column set of subsequent tests — sound, because
-       a dropped point lies in the hull of the remaining ones — which
-       shrinks the tableaus as the scan proceeds. *)
-    let rec prune confirmed = function
-      | [] -> List.rev confirmed
-      | p :: todo ->
-        let others = List.rev_append confirmed todo in
-        if Lp.in_convex_hull others p then prune confirmed todo
-        else prune (p :: confirmed) todo
-    in
-    dedupe_points (prune [] pts)
+    let pool = Parallel.Pool.global () in
+    if Parallel.Pool.size pool <= 1 then begin
+      let rec prune confirmed = function
+        | [] -> List.rev confirmed
+        | p :: todo ->
+          let others = List.rev_append confirmed todo in
+          if Lp.in_convex_hull others p then prune confirmed todo
+          else prune (p :: confirmed) todo
+      in
+      dedupe_points (prune [] pts)
+    end
+    else begin
+      let arr = Array.of_list pts in
+      let survivors =
+        Parallel.Pool.parallel_filter_map pool
+          (fun i ->
+             let p = arr.(i) in
+             let others = List.filteri (fun j _ -> j <> i) pts in
+             if Lp.in_convex_hull others p then None else Some p)
+          (List.init (Array.length arr) Fun.id)
+      in
+      dedupe_points survivors
+    end
+
+(* Vertex extraction against a known facet list: a point of the input
+   is a vertex iff its tight constraints span the ambient space.
+   Replaces the per-point LP pass entirely on the d = 3 hot path. *)
+let is_vertex_by_facets ~dim facets p =
+  let tight =
+    List.filter_map
+      (fun (a, b) -> if Q.equal (Vec.dot a p) b then Some a else None)
+      facets
+  in
+  List.length tight >= dim && Linsys.rank (Array.of_list tight) = dim
+
+let extreme_points pts =
+  let pts = dedupe_points pts in
+  match pts with
+  | [] | [_] -> pts
+  | p0 :: _ when Vec.dim p0 = 3 ->
+    (match incremental_planes_3d pts with
+     | None -> extreme_points_lp pts
+     | Some (spts, planes, _) ->
+       (* Tight tests run against the integer-scaled copies; scaling
+          preserves the point order, so the i-th scaled point answers
+          for the i-th original. Proportional duplicate planes are
+          collapsed first — the tight scan is linear in their count. *)
+       let facets = dedupe_constraints (List.map primitive_plane planes) in
+       List.combine pts spts
+       |> List.filter (fun (_, sp) -> is_vertex_by_facets ~dim:3 facets sp)
+       |> List.map fst)
+  | _ -> extreme_points_lp pts

@@ -35,8 +35,37 @@ val vertices : hrep -> Vec.t list
     canonical V-representation. *)
 
 val extreme_points : Vec.t list -> Vec.t list
-(** Subset of points that are vertices of the hull of the input
-    (LP-based pruning), sorted lexicographically. *)
+(** Subset of points that are vertices of the hull of the input,
+    sorted lexicographically. Full-dimensional 3-d inputs go through
+    the incremental hull plus a tight-constraint rank test; everything
+    else falls back to {!extreme_points_lp}. *)
 
 val mem_hrep : hrep -> Vec.t -> bool
 (** Exact membership test against an H-representation. *)
+
+val dedupe_points : Vec.t list -> Vec.t list
+(** Sort lexicographically and drop duplicates — the canonical point
+    order used throughout this module (exposed for cache keys). *)
+
+(** {1 Internals exposed for cross-checking}
+
+    The optimized paths below are property-tested against their
+    brute-force counterparts; both sides stay exported so the test
+    suite (and the bench harness's before/after entries) can run
+    either one explicitly. *)
+
+val facets_incremental_3d : Vec.t list -> (Vec.t * Q.t) list option
+(** Beneath-beyond facet enumeration for a full-dimensional point set
+    in 3-space; input need not be deduplicated. [None] when the set is
+    not full-dimensional or hits a degenerate horizon (callers fall
+    back to {!enumerate_facets_brute}). Output equals the brute-force
+    facet list exactly (same normalization, same order). *)
+
+val enumerate_facets_brute : dim:int -> Vec.t list -> (Vec.t * Q.t) list
+(** Brute-force facet sweep over all [dim]-subsets of the (deduplicated)
+    input — the pre-optimization reference path, parallelized over the
+    domain pool. Input must be full-dimensional in [dim]-space. *)
+
+val extreme_points_lp : Vec.t list -> Vec.t list
+(** Support-filter + per-point LP pruning — the reference extreme-point
+    path used for non-3-d inputs and as the oracle in tests. *)

@@ -17,6 +17,43 @@ let canonicalize ~dim pts =
   | 2 -> Hull2d.hull pts
   | _ -> Hullnd.extreme_points pts
 
+(* ------------------------------------------------------------------ *)
+(* Memo tables for the d >= 3 hot paths. Once ε-agreement kicks in the
+   h_i[t] polytopes coincide across processes, so hull constructions,
+   Minkowski pairs and subset intersections repeat verbatim; keys are
+   canonical vertex lists, so a hit returns the value of a
+   structurally identical computation (see Parallel.Memo). *)
+
+let verts_hash vs =
+  List.fold_left
+    (fun acc v -> ((acc * 1000003) + Vec.hash v) land max_int)
+    17 vs
+
+let verts_equal a b =
+  List.compare_lengths a b = 0 && List.for_all2 Vec.equal a b
+
+let hull_memo : (int * Vec.t list, Vec.t list) Parallel.Memo.t =
+  Parallel.Memo.create ~max_size:4096
+    ~hash:(fun (d, vs) -> (verts_hash vs * 31 + d) land max_int)
+    ~equal:(fun (d1, a) (d2, b) -> d1 = d2 && verts_equal a b)
+    ()
+
+let mink_memo : (Vec.t list * Vec.t list, Vec.t list) Parallel.Memo.t =
+  Parallel.Memo.create ~max_size:4096
+    ~hash:(fun (a, b) -> (verts_hash a * 1000003 + verts_hash b) land max_int)
+    ~equal:(fun (a1, b1) (a2, b2) -> verts_equal a1 a2 && verts_equal b1 b2)
+    ()
+
+let intersect_memo : (int * Vec.t list list, Vec.t list option) Parallel.Memo.t =
+  Parallel.Memo.create ~max_size:4096
+    ~hash:(fun (d, vss) ->
+        List.fold_left
+          (fun acc vs -> ((acc * 1000003) + verts_hash vs) land max_int)
+          d vss)
+    ~equal:(fun (d1, a) (d2, b) ->
+        d1 = d2 && List.compare_lengths a b = 0 && List.for_all2 verts_equal a b)
+    ()
+
 let of_points ~dim pts =
   match pts with
   | [] -> invalid_arg "Polytope.of_points: empty point set"
@@ -28,7 +65,15 @@ let of_points ~dim pts =
         (fun q -> if Vec.dim q <> dim then
             invalid_arg "Polytope.of_points: inconsistent dimensions")
         pts;
-      { dim; verts = canonicalize ~dim pts }
+      if dim <= 2 then { dim; verts = canonicalize ~dim pts }
+      else begin
+        let canon = Hullnd.dedupe_points pts in
+        let verts =
+          Parallel.Memo.find_or_add hull_memo (dim, canon)
+            (fun () -> canonicalize ~dim canon)
+        in
+        { dim; verts }
+      end
     end
 
 let singleton p = { dim = Vec.dim p; verts = [p] }
@@ -61,7 +106,13 @@ let subset p q =
 
 let scale_poly c p =
   if Q.is_zero c then { dim = p.dim; verts = [Vec.zero p.dim] }
-  else { dim = p.dim; verts = canonicalize ~dim:p.dim (List.map (Vec.scale c) p.verts) }
+  else if p.dim >= 3 then
+    (* Positive scaling preserves extremeness and (uniform per
+       coordinate) the lexicographic vertex order, so the canonical
+       V-representation maps through directly — no hull recompute. *)
+    { dim = p.dim; verts = List.map (Vec.scale c) p.verts }
+  else
+    { dim = p.dim; verts = canonicalize ~dim:p.dim (List.map (Vec.scale c) p.verts) }
 
 let minkowski_pair a b =
   match a.dim with
@@ -75,10 +126,15 @@ let minkowski_pair a b =
      | _ -> assert false)
   | 2 -> { dim = 2; verts = Hull2d.minkowski_sum a.verts b.verts }
   | d ->
-    let sums =
-      List.concat_map (fun u -> List.map (Vec.add u) b.verts) a.verts
+    let verts =
+      Parallel.Memo.find_or_add mink_memo (a.verts, b.verts)
+        (fun () ->
+           let sums =
+             List.concat_map (fun u -> List.map (Vec.add u) b.verts) a.verts
+           in
+           canonicalize ~dim:d sums)
     in
-    { dim = d; verts = canonicalize ~dim:d sums }
+    { dim = d; verts }
 
 let linear_combination terms =
   match terms with
@@ -151,11 +207,21 @@ let intersect polys =
         | [] -> None
         | verts -> Some { dim = 2; verts })
      | _ ->
-       let hreps = List.map (fun p -> Hullnd.of_points ~dim:d p.verts) polys in
-       let combined = Hullnd.combine hreps in
-       (match Hullnd.vertices combined with
-        | [] -> None
-        | vs -> Some { dim = d; verts = Hullnd.extreme_points vs }))
+       let key = (d, List.map (fun p -> p.verts) polys) in
+       let verts =
+         Parallel.Memo.find_or_add intersect_memo key
+           (fun () ->
+              let hreps =
+                List.map (fun p -> Hullnd.of_points ~dim:d p.verts) polys
+              in
+              let combined = Hullnd.combine hreps in
+              match Hullnd.vertices combined with
+              | [] -> None
+              | vs -> Some (Hullnd.extreme_points vs))
+       in
+       (match verts with
+        | None -> None
+        | Some verts -> Some { dim = d; verts }))
 
 (* ------------------------------------------------------------------ *)
 (* Measures. *)

@@ -28,6 +28,9 @@ let compare a b =
     go 0
   end
 
+let hash a =
+  Array.fold_left (fun acc q -> ((acc * 131) + Q.hash q) land max_int) (dim a) a
+
 let map2 f a b =
   if dim a <> dim b then invalid_arg "Vec: dimension mismatch"
   else Array.init (dim a) (fun i -> f a.(i) b.(i))

@@ -27,6 +27,10 @@ val equal : t -> t -> bool
 val compare : t -> t -> int
 (** Lexicographic; a total order used for canonical vertex lists. *)
 
+val hash : t -> int
+(** Structural hash, consistent with {!equal}; keys the geometry memo
+    tables. *)
+
 val add : t -> t -> t
 val sub : t -> t -> t
 val neg : t -> t

@@ -43,14 +43,65 @@ let hash x = (Bigint.hash x.num * 31 + Bigint.hash x.den) land max_int
 let neg x = { x with num = Bigint.neg x.num }
 let abs x = { x with num = Bigint.abs x.num }
 
+(* [add] and [mul] avoid the generic [make] (two cross products plus a
+   full-width gcd) whenever a denominator is 1 or both are equal:
+   - int + int and int * int need no gcd at all;
+   - int + a/b stays reduced: gcd(a + k*b, b) = gcd(a, b) = 1;
+   - a/b + c/b only needs a gcd against the (unchanged) denominator;
+   - products cross-reduce with two small gcds — gcd(n1*n2, d1*d2) = 1
+     holds once gcd(n1, d2) = gcd(n2, d1) = 1, because each input was
+     already reduced.
+   Equivalence with the [make]-based slow path is property-tested in
+   test/test_q.ml. *)
+
 let add a b =
-  make
-    (Bigint.add (Bigint.mul a.num b.den) (Bigint.mul b.num a.den))
-    (Bigint.mul a.den b.den)
+  if Bigint.is_zero a.num then b
+  else if Bigint.is_zero b.num then a
+  else begin
+    let da1 = Bigint.equal a.den Bigint.one in
+    let db1 = Bigint.equal b.den Bigint.one in
+    if da1 && db1 then { num = Bigint.add a.num b.num; den = Bigint.one }
+    else if db1 then
+      { num = Bigint.add a.num (Bigint.mul b.num a.den); den = a.den }
+    else if da1 then
+      { num = Bigint.add b.num (Bigint.mul a.num b.den); den = b.den }
+    else if Bigint.equal a.den b.den then begin
+      let num = Bigint.add a.num b.num in
+      if Bigint.is_zero num then zero
+      else begin
+        let g = Bigint.gcd num a.den in
+        if Bigint.equal g Bigint.one then { num; den = a.den }
+        else { num = Bigint.div num g; den = Bigint.div a.den g }
+      end
+    end
+    else
+      make
+        (Bigint.add (Bigint.mul a.num b.den) (Bigint.mul b.num a.den))
+        (Bigint.mul a.den b.den)
+  end
 
 let sub a b = add a (neg b)
 
-let mul a b = make (Bigint.mul a.num b.num) (Bigint.mul a.den b.den)
+let mul a b =
+  if Bigint.is_zero a.num || Bigint.is_zero b.num then zero
+  else begin
+    let da1 = Bigint.equal a.den Bigint.one in
+    let db1 = Bigint.equal b.den Bigint.one in
+    if da1 && db1 then { num = Bigint.mul a.num b.num; den = Bigint.one }
+    else begin
+      let g1 = if db1 then Bigint.one else Bigint.gcd a.num b.den in
+      let g2 = if da1 then Bigint.one else Bigint.gcd b.num a.den in
+      let n1, d2 =
+        if Bigint.equal g1 Bigint.one then (a.num, b.den)
+        else (Bigint.div a.num g1, Bigint.div b.den g1)
+      in
+      let n2, d1 =
+        if Bigint.equal g2 Bigint.one then (b.num, a.den)
+        else (Bigint.div b.num g2, Bigint.div a.den g2)
+      in
+      { num = Bigint.mul n1 n2; den = Bigint.mul d1 d2 }
+    end
+  end
 
 let inv x =
   if is_zero x then raise Division_by_zero

@@ -1,0 +1,72 @@
+(* Bounded memo table: fixed bucket array, per-table mutex, epoch
+   eviction (flush everything when full). Lookups hold the lock only
+   for the chain walk; the memoized function runs unlocked. *)
+
+type ('a, 'b) t = {
+  hash : 'a -> int;
+  equal : 'a -> 'a -> bool;
+  max_size : int;
+  m : Mutex.t;
+  buckets : (int * 'a * 'b) list array;
+  mutable count : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let nbuckets = 1024 (* power of two: index by [hash land (nbuckets-1)] *)
+
+let global_enabled = Atomic.make true
+let set_enabled b = Atomic.set global_enabled b
+let enabled () = Atomic.get global_enabled
+
+let create ?(max_size = 4096) ~hash ~equal () =
+  if max_size < 1 then invalid_arg "Memo.create: max_size must be >= 1";
+  { hash; equal; max_size;
+    m = Mutex.create ();
+    buckets = Array.make nbuckets [];
+    count = 0; hits = 0; misses = 0 }
+
+let clear t =
+  Mutex.lock t.m;
+  Array.fill t.buckets 0 nbuckets [];
+  t.count <- 0;
+  t.hits <- 0;
+  t.misses <- 0;
+  Mutex.unlock t.m
+
+let stats t =
+  Mutex.lock t.m;
+  let s = (t.hits, t.misses) in
+  Mutex.unlock t.m;
+  s
+
+let find_or_add t k f =
+  if not (Atomic.get global_enabled) then f ()
+  else begin
+    let h = (t.hash k) land max_int in
+    let idx = h land (nbuckets - 1) in
+    Mutex.lock t.m;
+    let rec lookup = function
+      | [] -> None
+      | (h', k', v) :: rest ->
+        if h' = h && t.equal k' k then Some v else lookup rest
+    in
+    match lookup t.buckets.(idx) with
+    | Some v ->
+      t.hits <- t.hits + 1;
+      Mutex.unlock t.m;
+      v
+    | None ->
+      t.misses <- t.misses + 1;
+      Mutex.unlock t.m;
+      let v = f () in
+      Mutex.lock t.m;
+      if t.count >= t.max_size then begin
+        Array.fill t.buckets 0 nbuckets [];
+        t.count <- 0
+      end;
+      t.buckets.(idx) <- (h, k, v) :: t.buckets.(idx);
+      t.count <- t.count + 1;
+      Mutex.unlock t.m;
+      v
+  end

@@ -1,0 +1,41 @@
+(** Bounded, domain-safe memo tables for pure functions.
+
+    The geometry kernel recomputes identical hulls and LP membership
+    certificates many times: once ε-agreement kicks in, the [h_i[t]]
+    polytopes coincide across processes, so every process runs the
+    same exact-arithmetic reduction. A memo table keyed on the
+    canonical inputs shortcuts the repeats.
+
+    Caching is invisible to results: tables only ever return a value
+    produced by the memoized function on a structurally equal key, so
+    executions stay pure functions of their inputs. Tables are
+    mutex-protected (the parallel kernel calls them from worker
+    domains) and bounded — when [max_size] entries accumulate, the
+    table is flushed wholesale (epoch eviction; cheap, and fine for
+    the repeat-heavy workloads here).
+
+    [set_enabled false] bypasses every table; the bench harness uses
+    it to measure algorithmic speedups separately from cache hits. *)
+
+type ('a, 'b) t
+
+val create :
+  ?max_size:int -> hash:('a -> int) -> equal:('a -> 'a -> bool) -> unit
+  -> ('a, 'b) t
+(** [max_size] defaults to 4096 entries. *)
+
+val find_or_add : ('a, 'b) t -> 'a -> (unit -> 'b) -> 'b
+(** [find_or_add t k f] returns the cached value for [k], or runs [f]
+    (outside the table lock) and caches its result. Under a race two
+    domains may both run [f]; both results are structurally equal, and
+    one wins the slot. *)
+
+val clear : ('a, 'b) t -> unit
+
+val stats : ('a, 'b) t -> int * int
+(** [(hits, misses)] since creation (or the last [clear]). *)
+
+val set_enabled : bool -> unit
+(** Globally enable/disable all memo tables (default: enabled). *)
+
+val enabled : unit -> bool

@@ -1,0 +1,180 @@
+(* Fixed-size Domain work pool. Tasks are closures pushed to a shared
+   queue; [size - 1] worker domains plus the submitting domain drain
+   it. Combinators write results into index-addressed slots and read
+   them back in index order, so output never depends on scheduling. *)
+
+let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+type t = {
+  size : int;
+  m : Mutex.t;
+  cond : Condition.t;
+  tasks : (unit -> unit) Queue.t;
+  mutable workers : unit Domain.t array;
+  mutable spawned : bool;
+  mutable down : bool;
+}
+
+let create ~size =
+  if size < 1 then invalid_arg "Pool.create: size must be >= 1";
+  { size;
+    m = Mutex.create ();
+    cond = Condition.create ();
+    tasks = Queue.create ();
+    workers = [||];
+    spawned = false;
+    down = false }
+
+let size t = t.size
+
+let worker_loop pool () =
+  Domain.DLS.set in_worker true;
+  let rec loop () =
+    Mutex.lock pool.m;
+    while Queue.is_empty pool.tasks && not pool.down do
+      Condition.wait pool.cond pool.m
+    done;
+    if not (Queue.is_empty pool.tasks) then begin
+      let task = Queue.pop pool.tasks in
+      Mutex.unlock pool.m;
+      task ();
+      loop ()
+    end
+    else Mutex.unlock pool.m (* down && drained *)
+  in
+  loop ()
+
+let shutdown pool =
+  Mutex.lock pool.m;
+  pool.down <- true;
+  Condition.broadcast pool.cond;
+  Mutex.unlock pool.m;
+  let ws = pool.workers in
+  pool.workers <- [||];
+  Array.iter Domain.join ws
+
+let ensure_spawned pool =
+  Mutex.lock pool.m;
+  if (not pool.spawned) && not pool.down then begin
+    pool.spawned <- true;
+    pool.workers <-
+      Array.init (pool.size - 1) (fun _ -> Domain.spawn (worker_loop pool));
+    at_exit (fun () -> shutdown pool)
+  end;
+  Mutex.unlock pool.m
+
+(* Per-batch completion state; the submitter blocks on [bc] until
+   every task of its batch has run. *)
+type batch = {
+  mutable remaining : int;
+  mutable exn : exn option;
+  bm : Mutex.t;
+  bc : Condition.t;
+}
+
+let run_batch pool thunks =
+  let n = Array.length thunks in
+  if n > 0 then begin
+    ensure_spawned pool;
+    let b =
+      { remaining = n; exn = None; bm = Mutex.create (); bc = Condition.create () }
+    in
+    let wrap thunk () =
+      (try thunk () with
+       | e ->
+         Mutex.lock b.bm;
+         if b.exn = None then b.exn <- Some e;
+         Mutex.unlock b.bm);
+      Mutex.lock b.bm;
+      b.remaining <- b.remaining - 1;
+      if b.remaining = 0 then Condition.broadcast b.bc;
+      Mutex.unlock b.bm
+    in
+    Mutex.lock pool.m;
+    Array.iter (fun thunk -> Queue.push (wrap thunk) pool.tasks) thunks;
+    Condition.broadcast pool.cond;
+    Mutex.unlock pool.m;
+    (* The submitting domain helps drain the queue instead of idling. *)
+    let rec help () =
+      Mutex.lock pool.m;
+      if Queue.is_empty pool.tasks then Mutex.unlock pool.m
+      else begin
+        let task = Queue.pop pool.tasks in
+        Mutex.unlock pool.m;
+        task ();
+        help ()
+      end
+    in
+    help ();
+    Mutex.lock b.bm;
+    while b.remaining > 0 do Condition.wait b.bc b.bm done;
+    let failed = b.exn in
+    Mutex.unlock b.bm;
+    match failed with Some e -> raise e | None -> ()
+  end
+
+let sequentialize pool xs =
+  pool.size <= 1 || pool.down || Domain.DLS.get in_worker
+  || (match xs with [] | [ _ ] -> true | _ -> false)
+
+let parallel_map pool f xs =
+  if sequentialize pool xs then List.map f xs
+  else begin
+    let arr = Array.of_list xs in
+    let n = Array.length arr in
+    let out = Array.make n None in
+    let nchunks = min n (pool.size * 4) in
+    let thunks =
+      Array.init nchunks (fun c ->
+          let lo = c * n / nchunks and hi = (c + 1) * n / nchunks in
+          fun () ->
+            for i = lo to hi - 1 do out.(i) <- Some (f arr.(i)) done)
+    in
+    run_batch pool thunks;
+    Array.to_list (Array.map Option.get out)
+  end
+
+let parallel_filter_map pool f xs =
+  if sequentialize pool xs then List.filter_map f xs
+  else List.filter_map Fun.id (parallel_map pool f xs)
+
+let parallel_concat_map pool f xs =
+  if sequentialize pool xs then List.concat_map f xs
+  else List.concat (parallel_map pool f xs)
+
+(* ------------------------------------------------------------------ *)
+(* Global pool. *)
+
+let default_size () =
+  match Sys.getenv_opt "CHC_DOMAINS" with
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some k when k >= 1 -> min k 64
+     | _ -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let global_mutex = Mutex.create ()
+let global_pool : t option ref = ref None
+
+let global () =
+  Mutex.lock global_mutex;
+  let p =
+    match !global_pool with
+    | Some p -> p
+    | None ->
+      let p = create ~size:(default_size ()) in
+      global_pool := Some p;
+      p
+  in
+  Mutex.unlock global_mutex;
+  p
+
+let global_size () = size (global ())
+
+let set_global_size k =
+  if k < 1 then invalid_arg "Pool.set_global_size: size must be >= 1";
+  Mutex.lock global_mutex;
+  let old = !global_pool in
+  global_pool := Some (create ~size:k);
+  Mutex.unlock global_mutex;
+  Option.iter shutdown old

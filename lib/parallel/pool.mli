@@ -1,0 +1,60 @@
+(** Fixed-size domain-based work pool (OCaml 5 stdlib [Domain] only).
+
+    The pool powers the embarrassingly-parallel inner loops of the
+    exact-geometry kernel: facet enumeration, LP vertex pruning, the
+    round-0 subset intersection, and per-seed experiment sweeps.
+    Results are always merged in input (index) order, so every
+    computation is a pure function of its inputs — executions are
+    byte-identical whatever the pool size (see DESIGN.md §2,
+    "Determinism").
+
+    Sizing: the global pool reads the [CHC_DOMAINS] environment
+    variable at first use; absent that it uses
+    [Domain.recommended_domain_count ()]. Size 1 (the default on a
+    single-core host) short-circuits every combinator to its exact
+    sequential equivalent — no domains are ever spawned.
+
+    Nesting: a combinator invoked from inside a worker task runs
+    sequentially rather than re-entering the pool, so nested data
+    parallelism (e.g. LP pruning inside a parallel facet sweep) cannot
+    deadlock the fixed-size pool. *)
+
+type t
+
+val create : size:int -> t
+(** A pool that runs tasks on up to [size] domains ([size - 1] spawned
+    workers plus the submitting domain, which participates). Workers
+    are spawned lazily on first use and shut down via [at_exit].
+    @raise Invalid_argument if [size < 1]. *)
+
+val size : t -> int
+
+val shutdown : t -> unit
+(** Join all workers. Subsequent combinator calls on the pool run
+    sequentially. Idempotent. *)
+
+(** {1 Combinators}
+
+    All combinators preserve input order exactly: [parallel_map p f l]
+    returns the same list as [List.map f l], whatever the pool size or
+    scheduling. Exceptions raised by [f] are re-raised in the calling
+    domain (one representative when several tasks fail). *)
+
+val parallel_map : t -> ('a -> 'b) -> 'a list -> 'b list
+
+val parallel_filter_map : t -> ('a -> 'b option) -> 'a list -> 'b list
+
+val parallel_concat_map : t -> ('a -> 'b list) -> 'a list -> 'b list
+
+(** {1 The global pool} *)
+
+val global : unit -> t
+(** The process-wide pool, created on first use with the size rules
+    above. *)
+
+val global_size : unit -> int
+
+val set_global_size : int -> unit
+(** Replace the global pool (shutting the old one down). Used by tests
+    to compare 1-domain and multi-domain executions in-process, and by
+    [CHC_DOMAINS]-style CLI overrides. *)

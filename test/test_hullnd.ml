@@ -66,6 +66,26 @@ let test_empty_intersection () =
 (* --- properties ------------------------------------------------------ *)
 
 let arb3 = Gen.arb_int_points ~min_size:1 ~max_size:7 3
+let arb3_big = Gen.arb_int_points ~min_size:4 ~max_size:10 3
+
+(* Rank-deficient inputs: all points on the plane z = x + y, so the
+   incremental 3-d kernel must decline and the fallback paths engage. *)
+let arb3_planar =
+  QCheck.make ~print:Gen.print_points
+    (QCheck.Gen.map
+       (List.map (fun v -> Vec.make [v.(0); v.(1); Q.add v.(0) v.(1)]))
+       (Gen.gen_int_points ~min_size:1 ~max_size:8 2))
+
+(* Both sides are canonically sorted (dedupe_points/_constraints), so
+   plain ordered equality is the right comparison. *)
+let points_equal a b =
+  List.compare_lengths a b = 0 && List.for_all2 Vec.equal a b
+
+let constraints_equal a b =
+  List.compare_lengths a b = 0
+  && List.for_all2
+    (fun (a1, b1) (a2, b2) -> Vec.equal a1 a2 && Q.equal b1 b2)
+    a b
 
 let props =
   [ Gen.prop ~count:60 "hrep membership agrees with LP membership"
@@ -91,6 +111,20 @@ let props =
       (fun pts ->
          let ex = Hn.extreme_points pts in
          List.for_all (Lp.in_convex_hull ex) pts);
+    Gen.prop ~count:40 "incremental facets = brute-force facets" arb3_big
+      (fun pts ->
+         match Hn.facets_incremental_3d pts with
+         | None -> true (* degenerate input: enumerate_facets falls back *)
+         | Some inc ->
+           let brute = Hn.enumerate_facets_brute ~dim:3 pts in
+           constraints_equal inc brute);
+    Gen.prop ~count:40 "extreme_points = LP-pruning oracle (integer)" arb3_big
+      (fun pts -> points_equal (Hn.extreme_points pts) (Hn.extreme_points_lp pts));
+    Gen.prop ~count:30 "extreme_points = LP-pruning oracle (rational)"
+      (Gen.arb_points ~min_size:4 ~max_size:8 3)
+      (fun pts -> points_equal (Hn.extreme_points pts) (Hn.extreme_points_lp pts));
+    Gen.prop ~count:40 "extreme_points = LP-pruning oracle (planar)" arb3_planar
+      (fun pts -> points_equal (Hn.extreme_points pts) (Hn.extreme_points_lp pts));
   ]
 
 let suite =

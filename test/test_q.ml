@@ -17,6 +17,35 @@ let arb_q_nonzero =
   QCheck.make ~print:Q.to_string
     (QCheck.Gen.map (fun x -> if Q.is_zero x then Q.one else x) gen_q)
 
+(* Pairs biased toward the add/mul fast paths: integers (den = 1),
+   one-integer mixes, and shared denominators, alongside generic
+   rationals — so every branch of the O(1) shortcuts is exercised
+   against the textbook cross-multiply-then-normalize reference. *)
+let gen_q_fastpath_pair =
+  let open QCheck.Gen in
+  let* a = gen_q in
+  let* b = gen_q in
+  let* k = -1000 -- 1000 in
+  oneof
+    [ return (a, b);
+      return (Q.of_int k, b);
+      return (a, Q.of_int k);
+      return (Q.of_int k, Q.of_int (k - 7));
+      return (a, Q.make (B.of_int k) a.Q.den);
+      return (a, Q.neg a) ]
+
+let arb_q_fastpath_pair =
+  QCheck.make
+    ~print:(fun (a, b) -> Q.to_string a ^ ", " ^ Q.to_string b)
+    gen_q_fastpath_pair
+
+let slow_add a b =
+  Q.make
+    (B.add (B.mul a.Q.num b.Q.den) (B.mul b.Q.num a.Q.den))
+    (B.mul a.Q.den b.Q.den)
+
+let slow_mul a b = Q.make (B.mul a.Q.num b.Q.num) (B.mul a.Q.den b.Q.den)
+
 let count = 500
 let prop name arb f = QCheck.Test.make ~count ~name arb f
 let qtest = QCheck_alcotest.to_alcotest
@@ -85,6 +114,16 @@ let props =
          if Q.lt a b then Q.to_float a <= Q.to_float b else true);
     prop "string round trip" arb_q
       (fun a -> Q.equal a (Q.of_string (Q.to_string a)));
+    prop "add fast path = reference" arb_q_fastpath_pair
+      (fun (a, b) ->
+         let c = Q.add a b in
+         Q.equal c (slow_add a b)
+         && Bigint_check.normalized c.Q.num c.Q.den);
+    prop "mul fast path = reference" arb_q_fastpath_pair
+      (fun (a, b) ->
+         let c = Q.mul a b in
+         Q.equal c (slow_mul a b)
+         && Bigint_check.normalized c.Q.num c.Q.den);
   ]
 
 let suite =
