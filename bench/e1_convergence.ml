@@ -10,29 +10,20 @@ module Q = Numeric.Q
 module Executor = Chc.Executor
 module Cc = Chc.Cc
 
-let max_pairwise_dh ~faulty history round =
-  (* Spread over the first three fault-free processes: exact Hausdorff
-     on the large intermediate polygons is costly, and three witnesses
-     already exhibit the decay shape. *)
-  let polys =
-    Array.to_list history
-    |> List.mapi (fun i h -> (i, h))
-    |> List.filter_map (fun (i, h) ->
-        if List.mem i faulty then None else List.assoc_opt round h)
-    |> (fun l -> List.filteri (fun i _ -> i < 3) l)
-  in
-  let rec pairs acc = function
-    | [] -> acc
-    | p :: rest ->
-      pairs
-        (List.fold_left
-           (fun acc q -> Stdlib.max acc (Geometry.Polytope.hausdorff p q))
-           acc rest)
-        rest
-  in
-  match polys with
-  | [] | [_] -> None
-  | _ -> Some (pairs 0.0 polys)
+(* Per-round spread comes from the observability layer
+   (Executor.round_metrics): the diameter column over the first three
+   fault-free witnesses — exact Hausdorff on the large intermediate
+   polygons is costly, and three witnesses already exhibit the decay
+   shape. *)
+let round_diameters ~faulty result =
+  Executor.round_metrics ~witnesses:3 ~faulty result
+
+let diameter_at metrics round =
+  match
+    List.find_opt (fun r -> r.Obs.Report.round = round) metrics
+  with
+  | Some r -> r.Obs.Report.diameter
+  | None -> None
 
 (* A run whose round-0 polytopes actually differ (positive initial
    spread). Convergence is only visible when they do; under the
@@ -60,8 +51,8 @@ let spread_run ~config =
     crash.(0) <- Runtime.Crash.After_sends 2;
     { spec with Executor.crash }
   in
-  let spread_of_history ~faulty history t =
-    match max_pairwise_dh ~faulty history t with
+  let spread_of_result ~faulty result t =
+    match diameter_at (round_diameters ~faulty result) t with
     | Some d -> d
     | None -> 0.0
   in
@@ -84,8 +75,8 @@ let spread_run ~config =
           ~scheduler:spec.Executor.scheduler ~seed ()
       in
       let faulty = Chc.Cc.fault_set spec.Executor.crash in
-      if spread_of_history ~faulty probe.Cc.history 0 > 0.0
-         && spread_of_history ~faulty probe.Cc.history 2 > 0.0
+      if spread_of_result ~faulty probe 0 > 0.0
+         && spread_of_result ~faulty probe 2 > 0.0
       then begin
         (* Full-depth protocol run, without the (expensive) grading —
            E1/E2 only consume the per-round history. *)
@@ -94,7 +85,7 @@ let spread_run ~config =
             ~inputs:spec.Executor.inputs ~crash:spec.Executor.crash
             ~scheduler:spec.Executor.scheduler ~seed ()
         in
-        if spread_of_history ~faulty result.Cc.history 2 > 0.0
+        if spread_of_result ~faulty result 2 > 0.0
         then (faulty, result)
         else find (seed + 1)
       end
@@ -125,7 +116,7 @@ let run () =
       (fun n ->
          let config = Chc.Config.make ~n ~f:2 ~d:2 ~eps ~lo:Q.zero ~hi:Q.one in
          let (faulty, result) = spread_run ~config in
-         (n, config, faulty, result))
+         (n, config, round_diameters ~faulty result, result))
       ns
   in
   let t_max =
@@ -140,16 +131,15 @@ let run () =
            Some
              (string_of_int t
               :: List.concat_map
-                (fun (_n, config, faulty, result) ->
-                   let dh = max_pairwise_dh ~faulty result.Cc.history t in
+                (fun (_n, config, metrics, result) ->
                    let cell =
-                     match dh with
+                     match diameter_at metrics t with
                      | Some v -> Util.f6 v
                      | None -> if t > result.Cc.t_end then "-" else "?"
                    in
                    let bound =
                      (* anchor the envelope at the measured round-0 spread *)
-                     match max_pairwise_dh ~faulty result.Cc.history 0 with
+                     match diameter_at metrics 0 with
                      | Some d0 -> Util.f6 (d0 *. Chc.Bounds.contraction_at config t)
                      | None -> "?"
                    in
@@ -170,9 +160,9 @@ let run () =
     ~header ~widths rows;
   (* Shape assertions: decay, and the final spread under eps. *)
   List.iter
-    (fun (n, _, faulty, result) ->
-       let d0 = max_pairwise_dh ~faulty result.Cc.history 0 in
-       let dend = max_pairwise_dh ~faulty result.Cc.history result.Cc.t_end in
+    (fun (n, _, metrics, result) ->
+       let d0 = diameter_at metrics 0 in
+       let dend = diameter_at metrics result.Cc.t_end in
        match d0, dend with
        | Some a, Some b when a > 0.0 ->
          if b <= 1e-12 then

@@ -22,9 +22,8 @@ let run () =
       (fun n ->
          let config = Chc.Config.make ~n ~f:2 ~d:2 ~eps:eps_min ~lo:Q.zero ~hi:Q.one in
          let (faulty, result) = E1_convergence.spread_run ~config in
-         let dh_at t =
-           E1_convergence.max_pairwise_dh ~faulty result.Cc.history t
-         in
+         let metrics = E1_convergence.round_diameters ~faulty result in
+         let dh_at t = E1_convergence.diameter_at metrics t in
          List.map
            (fun eps ->
               let cfg_eps = Chc.Config.make ~n ~f:2 ~d:2 ~eps ~lo:Q.zero ~hi:Q.one in

@@ -55,15 +55,16 @@ let run () =
                   pts)
              pts;
            (* Wire-format payload accounting: CC round messages carry
-              polytopes, VC messages carry points. *)
-           Array.iter
-             (fun hist ->
-                List.iter
-                  (fun (_, h) ->
-                     cc_bytes := !cc_bytes + Codec.Wire.polytope_size h;
-                     incr cc_payloads)
-                  hist)
-             r.Executor.result.Chc.Cc.history;
+              polytopes, VC messages carry points. CC's side comes
+              from the observability layer's per-round metrics (same
+              payload-per-history-entry accounting as before, now
+              shared with `chc_sim --verbose`). *)
+           List.iter
+             (fun (rm : Obs.Report.round) ->
+                cc_bytes := !cc_bytes + rm.Obs.Report.wire_bytes;
+                cc_payloads := !cc_payloads + rm.Obs.Report.messages)
+             (Executor.round_metrics ~faulty:r.Executor.faulty
+                r.Executor.result);
            List.iter
              (fun p ->
                 vc_bytes := !vc_bytes + Codec.Wire.vec_size p;

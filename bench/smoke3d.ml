@@ -10,11 +10,18 @@ let run () =
   let config =
     Chc.Config.make ~n:6 ~f:1 ~d:3 ~eps:(Q.of_ints 1 2) ~lo:Q.zero ~hi:Q.one
   in
-  let r = Executor.run (Executor.default_spec ~config ~seed:42 ()) in
+  let trace = Obs.Trace.create () in
+  let r = Executor.run ~trace (Executor.default_spec ~config ~seed:42 ()) in
   Printf.printf
     "  smoke3d (n=6 f=1 d=3): terminated=%b valid=%b eps-agree=%b optimal=%b\n"
     r.Executor.terminated r.Executor.valid r.Executor.agreement_ok
     r.Executor.optimal;
+  (* The kernel-counter half of the observability layer: per-round
+     message/byte/vertex rows (diameters skipped — exact d=3 Hausdorff
+     per round would dominate the smoke budget), cache hit rates and
+     pool utilization, so a CI log shows what the kernel actually
+     did. *)
+  Obs.Report.print stdout (Executor.observe ~trace r);
   if not
       (r.Executor.terminated && r.Executor.valid && r.Executor.agreement_ok
        && r.Executor.optimal)

@@ -4,13 +4,15 @@
      dune exec bin/chc_sim.exe -- run -n 5 -f 1 -d 2 --eps 0.1 --seed 7
      dune exec bin/chc_sim.exe -- run -n 7 -f 2 -d 1 --scheduler lag --verbose
      dune exec bin/chc_sim.exe -- run --inputs "0.1,0.2;0.3,0.4;0.5,0.1;0.9,0.9;0.2,0.8"
+     dune exec bin/chc_sim.exe -- trace -n 5 -f 1 -d 2 --seed 7 --out run.jsonl
      dune exec bin/chc_sim.exe -- bound -n 9 -f 2 -d 2 --eps 0.01 *)
 
 open Cmdliner
 
 module Q = Numeric.Q
-module Vec = Geometry.Vec
 module Polytope = Geometry.Polytope
+module Cli = Chc.Cli
+module Executor = Chc.Executor
 
 (* --- shared arguments ------------------------------------------------ *)
 
@@ -64,111 +66,114 @@ let faulty_arg =
            ~doc:"Faulty process ids (default: 0..f-1).")
 
 let verbose_arg =
-  Arg.(value & flag & info ["verbose"; "v"] ~doc:"Print per-round history.")
+  Arg.(value & flag
+       & info ["verbose"; "v"]
+           ~doc:"Print per-round history and the observability report \
+                 (per-round metrics, cache and pool counters).")
 
 let svg_arg =
   Arg.(value & opt (some string) None
        & info ["svg"] ~docv:"FILE"
            ~doc:"Write an SVG rendering of the execution (d = 2 only).")
 
+let out_arg =
+  Arg.(value & opt (some string) None
+       & info ["out"; "o"] ~docv:"FILE"
+           ~doc:"Write the JSONL transcript to $(docv) (default: stdout).")
+
 (* --- helpers --------------------------------------------------------- *)
 
-let parse_point d s =
-  let coords = String.split_on_char ',' s |> List.map String.trim in
-  if List.length coords <> d then
-    failwith (Printf.sprintf "point %S has %d coordinates, expected %d" s
-                (List.length coords) d)
-  else Vec.make (List.map Q.of_string coords)
+(* Result-based spec construction shared by [run] and [trace]: every
+   user error surfaces as [Error msg], which the commands map onto
+   cmdliner's error path — no raw [Failure] backtraces. *)
+let ( let* ) r f = Result.bind r f
 
-let parse_ids s =
-  String.split_on_char ',' s |> List.map String.trim
-  |> List.filter (fun x -> x <> "")
-  |> List.map int_of_string
-
-let config_of ~n ~f ~d ~eps ~lo ~hi =
-  Chc.Config.make ~n ~f ~d ~eps:(Q.of_string eps) ~lo:(Q.of_string lo)
-    ~hi:(Q.of_string hi)
+let spec_of ~n ~f ~d ~eps ~lo ~hi ~seed ~scheduler ~naive ~inputs ~faulty =
+  let* eps = Cli.parse_q "--eps" eps in
+  let* lo = Cli.parse_q "--lo" lo in
+  let* hi = Cli.parse_q "--hi" hi in
+  let* config =
+    match Chc.Config.make ~n ~f ~d ~eps ~lo ~hi with
+    | config -> Ok config
+    | exception Invalid_argument msg -> Error msg
+  in
+  let* faulty =
+    match faulty with
+    | Some s -> Cli.parse_ids ~n ~f s
+    | None -> Ok (List.init f Fun.id)
+  in
+  let scheduler =
+    match scheduler with
+    | `Random -> Runtime.Scheduler.Random_uniform
+    | `Rr -> Runtime.Scheduler.Round_robin
+    | `Lifo -> Runtime.Scheduler.Lifo_bias
+    | `Lag -> Runtime.Scheduler.Lag_sources faulty
+  in
+  let round0 = if naive then `Naive else `Stable_vector in
+  let spec = Executor.default_spec ~config ~seed ~faulty ~scheduler ~round0 () in
+  match inputs with
+  | None -> Ok spec
+  | Some s ->
+    let* pts = Cli.parse_inputs ~n ~d s in
+    Ok { spec with Executor.inputs = pts }
 
 (* --- run command ------------------------------------------------------ *)
 
 let run_cmd n f d eps lo hi seed scheduler naive inputs faulty verbose svg =
-  try
-    let config = config_of ~n ~f ~d ~eps ~lo ~hi in
-    let faulty =
-      match faulty with
-      | Some s -> parse_ids s
-      | None -> List.init f Fun.id
-    in
-    let scheduler =
-      match scheduler with
-      | `Random -> Runtime.Scheduler.Random_uniform
-      | `Rr -> Runtime.Scheduler.Round_robin
-      | `Lifo -> Runtime.Scheduler.Lifo_bias
-      | `Lag -> Runtime.Scheduler.Lag_sources faulty
-    in
-    let round0 = if naive then `Naive else `Stable_vector in
-    let spec =
-      Chc.Executor.default_spec ~config ~seed ~faulty ~scheduler ~round0 ()
-    in
-    let spec =
-      match inputs with
-      | None -> spec
-      | Some s ->
-        let pts =
-          String.split_on_char ';' s |> List.map (parse_point d)
-        in
-        if List.length pts <> n then
-          failwith (Printf.sprintf "expected %d inputs, got %d" n
-                      (List.length pts))
-        else { spec with Chc.Executor.inputs = Array.of_list pts }
-    in
-    let r = Chc.Executor.run spec in
-    Printf.printf "config: n=%d f=%d d=%d eps=%s  t_end=%d  seed=%d\n"
-      n f d eps r.Chc.Executor.result.Chc.Cc.t_end seed;
-    Printf.printf "faulty set: {%s}\n"
-      (String.concat "," (List.map string_of_int r.Chc.Executor.faulty));
-    Array.iteri
-      (fun i o ->
-         match o with
-         | Some h ->
-           Printf.printf "process %d decided (%d vertices)%s\n" i
-             (List.length (Polytope.vertices h))
-             (if verbose then ": " ^ Polytope.to_string h else "")
-         | None -> Printf.printf "process %d crashed before deciding\n" i)
-      r.Chc.Executor.result.Chc.Cc.outputs;
-    if verbose then
+  match spec_of ~n ~f ~d ~eps ~lo ~hi ~seed ~scheduler ~naive ~inputs ~faulty with
+  | Error msg -> `Error (false, msg)
+  | Ok spec ->
+    match
+      let trace = if verbose then Some (Obs.Trace.create ()) else None in
+      (Executor.run ?trace spec, trace)
+    with
+    | exception (Failure msg | Invalid_argument msg) -> `Error (false, msg)
+    | (r, trace) ->
+      Printf.printf "config: n=%d f=%d d=%d eps=%s  t_end=%d  seed=%d\n"
+        n f d eps r.Executor.result.Chc.Cc.t_end seed;
+      Printf.printf "faulty set: {%s}\n"
+        (String.concat "," (List.map string_of_int r.Executor.faulty));
       Array.iteri
-        (fun i hist ->
-           Printf.printf "history of process %d:\n" i;
-           List.iter
-             (fun (t, h) ->
-                Printf.printf "  h[%d] = %s\n" t (Polytope.to_string h))
-             hist)
-        r.Chc.Executor.result.Chc.Cc.history;
-    Printf.printf "\nterminated   %b\nvalidity     %b\nagreement    %b"
-      r.Chc.Executor.terminated r.Chc.Executor.valid r.Chc.Executor.agreement_ok;
-    (match r.Chc.Executor.agreement2 with
-     | Some a -> Printf.printf "  (max dH = %.6f)\n" (sqrt (Q.to_float a))
-     | None -> print_newline ());
-    Printf.printf "optimality   %b\n" r.Chc.Executor.optimal;
-    (match r.Chc.Executor.min_output_volume with
-     | Some v -> Printf.printf "min volume   %.6f\n" (Q.to_float v)
-     | None -> ());
-    let m = r.Chc.Executor.result.Chc.Cc.metrics in
-    Printf.printf "messages     sent=%d delivered=%d dropped-by-crash=%d\n"
-      m.Runtime.Sim.sent m.Runtime.Sim.delivered m.Runtime.Sim.dropped;
-    (match svg with
-     | Some path when d = 2 ->
-       Viz.Svg.render_to_file ~path ~report:r;
-       Printf.printf "svg          written to %s\n" path
-     | Some _ -> prerr_endline "warning: --svg only supported for d = 2"
-     | None -> ());
-    if r.Chc.Executor.terminated && r.Chc.Executor.valid
-       && r.Chc.Executor.agreement_ok
-    then `Ok ()
-    else `Error (false, "a correctness property failed")
-  with
-  | Failure msg | Invalid_argument msg -> `Error (false, msg)
+        (fun i o ->
+           match o with
+           | Some h ->
+             Printf.printf "process %d decided (%d vertices)%s\n" i
+               (List.length (Polytope.vertices h))
+               (if verbose then ": " ^ Polytope.to_string h else "")
+           | None -> Printf.printf "process %d crashed before deciding\n" i)
+        r.Executor.result.Chc.Cc.outputs;
+      if verbose then
+        Array.iteri
+          (fun i hist ->
+             Printf.printf "history of process %d:\n" i;
+             List.iter
+               (fun (t, h) ->
+                  Printf.printf "  h[%d] = %s\n" t (Polytope.to_string h))
+               hist)
+          r.Executor.result.Chc.Cc.history;
+      Printf.printf "\nterminated   %b\nvalidity     %b\nagreement    %b"
+        r.Executor.terminated r.Executor.valid r.Executor.agreement_ok;
+      (match r.Executor.agreement2 with
+       | Some a -> Printf.printf "  (max dH = %.6f)\n" (sqrt (Q.to_float a))
+       | None -> print_newline ());
+      Printf.printf "optimality   %b\n" r.Executor.optimal;
+      (match r.Executor.min_output_volume with
+       | Some v -> Printf.printf "min volume   %.6f\n" (Q.to_float v)
+       | None -> ());
+      let m = r.Executor.result.Chc.Cc.metrics in
+      Printf.printf "messages     sent=%d delivered=%d dropped-by-crash=%d\n"
+        m.Runtime.Sim.sent m.Runtime.Sim.delivered m.Runtime.Sim.dropped;
+      if verbose then
+        Obs.Report.print stdout (Executor.observe ?trace ~witnesses:n r);
+      (match svg with
+       | Some path when d = 2 ->
+         Viz.Svg.render_to_file ~path ~report:r;
+         Printf.printf "svg          written to %s\n" path
+       | Some _ -> prerr_endline "warning: --svg only supported for d = 2"
+       | None -> ());
+      if r.Executor.terminated && r.Executor.valid && r.Executor.agreement_ok
+      then `Ok ()
+      else `Error (false, "a correctness property failed")
 
 let run_term =
   Term.(ret
@@ -179,16 +184,63 @@ let run_term =
 let run_cmd_info =
   Cmd.info "run" ~doc:"Execute Algorithm CC once and grade the run."
 
+(* --- trace command ---------------------------------------------------- *)
+
+let trace_cmd n f d eps lo hi seed scheduler naive inputs faulty out =
+  match spec_of ~n ~f ~d ~eps ~lo ~hi ~seed ~scheduler ~naive ~inputs ~faulty with
+  | Error msg -> `Error (false, msg)
+  | Ok spec ->
+    let trace = Obs.Trace.create () in
+    match
+      Chc.Cc.execute ~trace ~round0:spec.Executor.round0
+        ~config:spec.Executor.config ~inputs:spec.Executor.inputs
+        ~crash:spec.Executor.crash ~scheduler:spec.Executor.scheduler
+        ~seed ()
+    with
+    | exception (Failure msg | Invalid_argument msg) -> `Error (false, msg)
+    | _result ->
+      (match out with
+       | None | Some "-" -> Obs.Trace.output stdout trace
+       | Some path ->
+         let oc = open_out path in
+         Obs.Trace.output oc trace;
+         close_out oc;
+         Printf.printf "trace: %d events written to %s\n"
+           (Obs.Trace.length trace) path);
+      `Ok ()
+
+let trace_term =
+  Term.(ret
+          (const trace_cmd $ n_arg $ f_arg $ d_arg $ eps_arg $ lo_arg $ hi_arg
+           $ seed_arg $ scheduler_arg $ naive_arg $ inputs_arg $ faulty_arg
+           $ out_arg))
+
+let trace_cmd_info =
+  Cmd.info "trace"
+    ~doc:"Re-run a seed and dump the execution transcript as JSONL."
+    ~man:
+      [ `S Manpage.s_description;
+        `P "Executions are pure functions of (config, inputs, seed, \
+            adversary), so the transcript written here is a complete, \
+            replayable artifact: re-running the same command reproduces \
+            it byte-for-byte, whatever CHC_DOMAINS is set to.";
+        `P "One JSON object per line: transport events (send, drop, \
+            deliver, dead_letter, crash) interleaved in schedule order \
+            with protocol milestones (round_enter, stable, decide)." ]
+
 (* --- bound command ---------------------------------------------------- *)
 
 let bound_cmd n f d eps lo hi =
   try
-    let config = config_of ~n ~f ~d ~eps ~lo ~hi in
+    let config =
+      Chc.Config.make ~n ~f ~d ~eps:(Q.of_string eps) ~lo:(Q.of_string lo)
+        ~hi:(Q.of_string hi)
+    in
     Printf.printf "n=%d f=%d d=%d eps=%s range=[%s,%s]\n" n f d eps lo hi;
     Printf.printf "resilience: n >= (d+2)f+1 = %d  (ok)\n" (((d + 2) * f) + 1);
     Printf.printf "t_end (eq. 19) = %d rounds\n" (Chc.Bounds.t_end config);
     `Ok ()
-  with Invalid_argument msg -> `Error (false, msg)
+  with Invalid_argument msg | Failure msg -> `Error (false, msg)
 
 let bound_term =
   Term.(ret (const bound_cmd $ n_arg $ f_arg $ d_arg $ eps_arg $ lo_arg $ hi_arg))
@@ -206,4 +258,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ Cmd.v run_cmd_info run_term; Cmd.v bound_cmd_info bound_term ]))
+          [ Cmd.v run_cmd_info run_term;
+            Cmd.v trace_cmd_info trace_term;
+            Cmd.v bound_cmd_info bound_term ]))

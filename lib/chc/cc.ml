@@ -64,7 +64,7 @@ type proc = {
   mutable sent_log : (int * bool) list;       (* reverse order *)
 }
 
-let execute ?(round0 = `Stable_vector) ~config ~inputs ~crash ~scheduler ~seed () =
+let execute ?trace ?(round0 = `Stable_vector) ~config ~inputs ~crash ~scheduler ~seed () =
   let { Config.n; f; d; _ } = config in
   if Array.length inputs <> n then invalid_arg "Cc.execute: need n inputs";
   Array.iter (Config.validate_input config) inputs;
@@ -72,6 +72,11 @@ let execute ?(round0 = `Stable_vector) ~config ~inputs ~crash ~scheduler ~seed (
   let t_end = Bounds.t_end config in
   let threshold = n - f in
   let outputs = Array.make n None in
+
+  let emit ev =
+    match trace with None -> () | Some tr -> Obs.Trace.emit tr ev
+  in
+  let nverts h = List.length (Geometry.Polytope.vertices h) in
 
   let procs =
     Array.init n (fun i ->
@@ -111,8 +116,12 @@ let execute ?(round0 = `Stable_vector) ~config ~inputs ~crash ~scheduler ~seed (
       p.h <- Some h;
       p.hist <- (p.current, h) :: p.hist;
       p.snd_log <- (p.current, List.map fst y) :: p.snd_log;
+      emit (Obs.Trace.Round_enter
+              { pid = p.id; round = p.current; vertices = nverts h });
       if p.current = t_end then begin
         outputs.(p.id) <- Some h;
+        emit (Obs.Trace.Decide
+                { pid = p.id; round = t_end; vertices = nverts h });
         p.current <- t_end + 1
       end
       else enter_round ctx p (p.current + 1)
@@ -124,6 +133,7 @@ let execute ?(round0 = `Stable_vector) ~config ~inputs ~crash ~scheduler ~seed (
     let h0 = round0_polytope ~dim:d ~f (List.map snd entries) in
     p.h <- Some h0;
     p.hist <- (0, h0) :: p.hist;
+    emit (Obs.Trace.Round_enter { pid = p.id; round = 0; vertices = nverts h0 });
     enter_round ctx p 1
   in
 
@@ -154,8 +164,8 @@ let execute ?(round0 = `Stable_vector) ~config ~inputs ~crash ~scheduler ~seed (
            | `Stable_vector ->
              let before = Sim.sends ctx in
              let st =
-               SV.create ~n ~f ~me:i ~value:inputs.(i)
-                 ~broadcast:(fun m -> Sim.broadcast ctx (Sv m))
+               SV.create ?trace ~n ~f ~me:i ~value:inputs.(i)
+                 ~broadcast:(fun m -> Sim.broadcast ctx (Sv m)) ()
              in
              p.sent_log <- (0, Sim.sends ctx > before) :: p.sent_log;
              p.sv <- Some st;
@@ -181,7 +191,7 @@ let execute ?(round0 = `Stable_vector) ~config ~inputs ~crash ~scheduler ~seed (
              if t = p.current then try_advance ctx p) }
   in
 
-  let sys = Sim.create ~n ~seed ~scheduler ~crash ~make in
+  let sys = Sim.create ?trace ~n ~seed ~scheduler ~crash ~make () in
   Sim.run sys;
 
   { t_end;

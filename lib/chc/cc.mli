@@ -44,6 +44,7 @@ type result = {
 }
 
 val execute :
+  ?trace:Obs.Trace.t ->
   ?round0:round0_mode ->
   config:Config.t ->
   inputs:Geometry.Vec.t array ->
@@ -53,6 +54,13 @@ val execute :
   unit ->
   result
 (** Run one complete execution to quiescence.
+    When a [trace] is given, the full transcript is recorded: the
+    simulator's transport events plus protocol-level [Round_enter]
+    (every computed [h_i[t]], round 0 included), [Stable] (stable
+    vector stabilization) and [Decide] events. Executions are
+    deterministic in (config, inputs, crash, scheduler, seed), so the
+    recorded trace is byte-identical across re-runs and across
+    parallel-pool sizes.
     @raise Invalid_argument on malformed inputs (wrong count,
     dimension, or out-of-range coordinates). *)
 

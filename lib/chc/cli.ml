@@ -1,0 +1,65 @@
+module Q = Numeric.Q
+module Vec = Geometry.Vec
+
+let ( let* ) r f = Result.bind r f
+
+let parse_ids ~n ~f s =
+  let items =
+    String.split_on_char ',' s |> List.map String.trim
+    |> List.filter (fun x -> x <> "")
+  in
+  let rec go acc = function
+    | [] -> Ok (List.sort_uniq compare acc)
+    | x :: rest ->
+      (match int_of_string_opt x with
+       | None ->
+         Error (Printf.sprintf "--faulty: %S is not a process id" x)
+       | Some i when i < 0 || i >= n ->
+         Error
+           (Printf.sprintf
+              "--faulty: id %d out of range (processes are 0..%d)" i (n - 1))
+       | Some i -> go (i :: acc) rest)
+  in
+  let* ids = go [] items in
+  if List.length ids > f then
+    Error
+      (Printf.sprintf
+         "--faulty: %d distinct ids exceed the fault bound f = %d"
+         (List.length ids) f)
+  else Ok ids
+
+let parse_q label s =
+  match Q.of_string s with
+  | q -> Ok q
+  | exception (Failure _ | Invalid_argument _) ->
+    Error (Printf.sprintf "%s: %S is not a decimal or rational" label s)
+
+let parse_point ~d s =
+  let coords = String.split_on_char ',' s |> List.map String.trim in
+  if List.length coords <> d then
+    Error
+      (Printf.sprintf "--inputs: point %S has %d coordinates, expected %d" s
+         (List.length coords) d)
+  else begin
+    let rec go acc = function
+      | [] -> Ok (Vec.make (List.rev acc))
+      | c :: rest ->
+        let* q = parse_q "--inputs" c in
+        go (q :: acc) rest
+    in
+    go [] coords
+  end
+
+let parse_inputs ~n ~d s =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | p :: rest ->
+      let* v = parse_point ~d p in
+      go (v :: acc) rest
+  in
+  let* pts = go [] (String.split_on_char ';' s) in
+  if List.length pts <> n then
+    Error
+      (Printf.sprintf "--inputs: expected %d points, got %d" n
+         (List.length pts))
+  else Ok (Array.of_list pts)

@@ -1,0 +1,25 @@
+(** Validated parsing for the [chc_sim] command line.
+
+    These helpers live in the library (rather than in [bin/]) so the
+    test suite can pin the validation behaviour down: the original
+    parsers used bare [int_of_string] / [Q.of_string], so a malformed
+    [--faulty 0,x] escaped as a raw [Failure] backtrace instead of a
+    cmdliner error. Everything here returns [result]; the binary maps
+    [Error] onto cmdliner's error path. *)
+
+val parse_ids : n:int -> f:int -> string -> (int list, string) result
+(** Parse a comma-separated faulty-id list ([""] and stray commas are
+    tolerated). Ids are validated against the process range
+    [0..n-1], deduplicated and sorted; more than [f] distinct ids is
+    an error (the model guarantees nothing beyond [f] faults). *)
+
+val parse_q : string -> string -> (Numeric.Q.t, string) result
+(** [parse_q label s]: decimal or rational [a/b]; [label] prefixes the
+    error message. *)
+
+val parse_point : d:int -> string -> (Geometry.Vec.t, string) result
+(** Comma-separated coordinates, exactly [d] of them. *)
+
+val parse_inputs :
+  n:int -> d:int -> string -> (Geometry.Vec.t array, string) result
+(** Semicolon-separated points, exactly [n] of them. *)

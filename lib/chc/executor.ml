@@ -56,10 +56,80 @@ let min_opt acc v =
   | None -> Some v
   | Some a -> Some (Q.min a v)
 
-let run spec =
+(* Per-round protocol metrics, read off a finished execution. One
+   history entry = one round-t broadcast payload, so [messages] and
+   [wire_bytes] reproduce exactly the accounting E5 used to do by
+   hand; [diameter] reproduces E1's witness-capped max pairwise
+   Hausdorff. *)
+let round_metrics ?witnesses ~faulty (result : Cc.result) =
+  let entries_at t =
+    Array.to_list result.Cc.history
+    |> List.filter_map (fun h -> List.assoc_opt t h)
+  in
+  let witness_polys_at t =
+    match witnesses with
+    | None -> []
+    | Some k ->
+      Array.to_list result.Cc.history
+      |> List.mapi (fun i h -> (i, h))
+      |> List.filter_map (fun (i, h) ->
+          if List.mem i faulty then None else List.assoc_opt t h)
+      |> List.filteri (fun idx _ -> idx < k)
+  in
+  List.filter_map
+    (fun t ->
+       match entries_at t with
+       | [] -> None
+       | entries ->
+         let messages = List.length entries in
+         let wire_bytes =
+           List.fold_left
+             (fun acc h -> acc + Codec.Wire.polytope_size h)
+             0 entries
+         in
+         let max_vertices =
+           List.fold_left
+             (fun acc h -> Stdlib.max acc (List.length (Polytope.vertices h)))
+             0 entries
+         in
+         let diameter =
+           let rec pairs acc = function
+             | [] -> acc
+             | p :: rest ->
+               pairs
+                 (List.fold_left
+                    (fun acc q -> Stdlib.max acc (Polytope.hausdorff p q))
+                    acc rest)
+                 rest
+           in
+           match witness_polys_at t with
+           | [] | [ _ ] -> None
+           | polys -> Some (pairs 0.0 polys)
+         in
+         Some
+           { Obs.Report.round = t; messages; wire_bytes; max_vertices;
+             diameter })
+    (List.init (result.Cc.t_end + 1) Fun.id)
+
+let sim_of_metrics (m : Runtime.Sim.metrics) : Obs.Report.sim =
+  { Obs.Report.sent = m.Runtime.Sim.sent;
+    dropped = m.Runtime.Sim.dropped;
+    delivered = m.Runtime.Sim.delivered;
+    dead_lettered = m.Runtime.Sim.dead_lettered;
+    steps = m.Runtime.Sim.steps }
+
+let observe ?trace ?witnesses report =
+  let rounds = round_metrics ?witnesses ~faulty:report.faulty report.result in
+  Obs.Report.capture
+    ~sim:(sim_of_metrics report.result.Cc.metrics)
+    ~rounds
+    ?trace_events:(Option.map Obs.Trace.length trace)
+    ()
+
+let run ?trace spec =
   let { config; inputs; crash; scheduler; seed; round0 } = spec in
   let result =
-    Cc.execute ~round0 ~config ~inputs ~crash ~scheduler ~seed ()
+    Cc.execute ?trace ~round0 ~config ~inputs ~crash ~scheduler ~seed ()
   in
   let n = config.Config.n in
   let faulty = Cc.fault_set crash in

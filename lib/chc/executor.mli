@@ -42,7 +42,33 @@ type report = {
   iz_volume : Q.t option;
 }
 
-val run : spec -> report
+val run : ?trace:Obs.Trace.t -> spec -> report
+(** Execute and grade. A supplied [trace] records the full transcript
+    (see {!Cc.execute}); grading never emits events, so the trace is
+    exactly the protocol execution's. *)
+
+(** {1 Observability} *)
+
+val round_metrics :
+  ?witnesses:int ->
+  faulty:int list ->
+  Cc.result ->
+  Obs.Report.round list
+(** Per-round protocol metrics from a finished execution: broadcast
+    payload counts ([messages] — one per process that completed the
+    round, faulty included), total {!Codec.Wire} payload bytes, and
+    the largest hull vertex count. Rounds nobody completed are
+    omitted. [witnesses] additionally computes the per-round Hausdorff
+    diameter over the first [witnesses] fault-free processes (omit it
+    to skip the — comparatively expensive — exact distance work;
+    E1 uses 3 witnesses). *)
+
+val observe :
+  ?trace:Obs.Trace.t -> ?witnesses:int -> report -> Obs.Report.t
+(** Aggregate everything observable about a graded run into one
+    {!Obs.Report.t}: simulator metrics, per-round metrics (diameters
+    when [witnesses] is given), kernel cache and pool counters, and
+    the trace length when the run was traced. *)
 
 val random_inputs :
   config:Config.t -> rng:Runtime.Rng.t -> ?grid:int -> unit ->

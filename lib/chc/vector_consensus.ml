@@ -79,7 +79,7 @@ let execute_baseline ~config ~inputs ~crash ~scheduler ~seed () =
         (fun ctx ->
            let st =
              SV.create ~n ~f ~me:i ~value:inputs.(i)
-               ~broadcast:(fun m -> Sim.broadcast ctx (Sv m))
+               ~broadcast:(fun m -> Sim.broadcast ctx (Sv m)) ()
            in
            p.sv <- Some st;
            check_stable ctx p);
@@ -94,7 +94,7 @@ let execute_baseline ~config ~inputs ~crash ~scheduler ~seed () =
              Rounds.add p.rounds ~round:t ~src x;
              if t = p.current then try_advance ctx p) }
   in
-  let sys = Sim.create ~n ~seed ~scheduler ~crash ~make in
+  let sys = Sim.create ~n ~seed ~scheduler ~crash ~make () in
   Sim.run sys;
   { t_end;
     outputs;

@@ -246,7 +246,7 @@ let memo_key_equal (pts1, p1) (pts2, p2) =
   && List.for_all2 Vec.equal pts1 pts2
 
 let memo : (Vec.t list * Vec.t, bool) Parallel.Memo.t =
-  Parallel.Memo.create ~max_size:8192 ~hash:memo_key_hash
+  Parallel.Memo.create ~name:"lp-membership" ~max_size:8192 ~hash:memo_key_hash
     ~equal:memo_key_equal ()
 
 let in_convex_hull pts p =

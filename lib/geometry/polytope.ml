@@ -33,19 +33,19 @@ let verts_equal a b =
   List.compare_lengths a b = 0 && List.for_all2 Vec.equal a b
 
 let hull_memo : (int * Vec.t list, Vec.t list) Parallel.Memo.t =
-  Parallel.Memo.create ~max_size:4096
+  Parallel.Memo.create ~name:"hull" ~max_size:4096
     ~hash:(fun (d, vs) -> (verts_hash vs * 31 + d) land max_int)
     ~equal:(fun (d1, a) (d2, b) -> d1 = d2 && verts_equal a b)
     ()
 
 let mink_memo : (Vec.t list * Vec.t list, Vec.t list) Parallel.Memo.t =
-  Parallel.Memo.create ~max_size:4096
+  Parallel.Memo.create ~name:"minkowski" ~max_size:4096
     ~hash:(fun (a, b) -> (verts_hash a * 1000003 + verts_hash b) land max_int)
     ~equal:(fun (a1, b1) (a2, b2) -> verts_equal a1 a2 && verts_equal b1 b2)
     ()
 
 let intersect_memo : (int * Vec.t list list, Vec.t list option) Parallel.Memo.t =
-  Parallel.Memo.create ~max_size:4096
+  Parallel.Memo.create ~name:"intersect" ~max_size:4096
     ~hash:(fun (d, vss) ->
         List.fold_left
           (fun acc vs -> ((acc * 1000003) + verts_hash vs) land max_int)

@@ -1,0 +1,103 @@
+type sim = {
+  sent : int;
+  dropped : int;
+  delivered : int;
+  dead_lettered : int;
+  steps : int;
+}
+
+type round = {
+  round : int;
+  messages : int;
+  wire_bytes : int;
+  max_vertices : int;
+  diameter : float option;
+}
+
+type cache = {
+  cache_name : string;
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+}
+
+type pool = {
+  pool_size : int;
+  tasks_run : int;
+  batches : int;
+}
+
+type t = {
+  sim_metrics : sim option;
+  rounds : round list;
+  caches : cache list;
+  pool_stats : pool option;
+  trace_events : int option;
+}
+
+let cache_of_memo (name, (s : Parallel.Memo.stats)) =
+  { cache_name = name;
+    hits = s.Parallel.Memo.hits;
+    misses = s.Parallel.Memo.misses;
+    evictions = s.Parallel.Memo.evictions;
+    entries = s.Parallel.Memo.entries }
+
+let pool_of_stats (s : Parallel.Pool.stats) =
+  { pool_size = s.Parallel.Pool.pool_size;
+    tasks_run = s.Parallel.Pool.tasks_run;
+    batches = s.Parallel.Pool.batches }
+
+(* Snapshot every process-wide counter (named memo tables, the global
+   pool) and combine with whatever per-execution data the caller
+   has. *)
+let capture ?sim ?(rounds = []) ?trace_events () =
+  { sim_metrics = sim;
+    rounds;
+    caches = List.map cache_of_memo (Parallel.Memo.all_stats ());
+    pool_stats =
+      Some (pool_of_stats (Parallel.Pool.stats (Parallel.Pool.global ())));
+    trace_events }
+
+let hit_rate c =
+  let total = c.hits + c.misses in
+  if total = 0 then 0.0
+  else 100.0 *. float_of_int c.hits /. float_of_int total
+
+let to_string t =
+  let buf = Buffer.create 512 in
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  p "== observability report ==\n";
+  (match t.sim_metrics with
+   | Some m ->
+     p "sim      sent=%d delivered=%d dropped=%d dead-lettered=%d steps=%d\n"
+       m.sent m.delivered m.dropped m.dead_lettered m.steps
+   | None -> ());
+  (match t.trace_events with
+   | Some k -> p "trace    %d events\n" k
+   | None -> ());
+  (match t.rounds with
+   | [] -> ()
+   | rounds ->
+     p "round    msgs  wire-bytes  max-verts  diameter\n";
+     List.iter
+       (fun r ->
+          p "%5d  %6d  %10d  %9d  %s\n" r.round r.messages r.wire_bytes
+            r.max_vertices
+            (match r.diameter with
+             | Some d -> Printf.sprintf "%.6f" d
+             | None -> "-"))
+       rounds);
+  (match t.pool_stats with
+   | Some s ->
+     p "pool     size=%d tasks=%d batches=%d\n" s.pool_size s.tasks_run
+       s.batches
+   | None -> ());
+  List.iter
+    (fun c ->
+       p "cache    %-13s hits=%d misses=%d evictions=%d entries=%d (hit rate %.1f%%)\n"
+         c.cache_name c.hits c.misses c.evictions c.entries (hit_rate c))
+    t.caches;
+  Buffer.contents buf
+
+let print oc t = output_string oc (to_string t)

@@ -1,0 +1,71 @@
+(** One aggregated observability report for an execution (or a whole
+    bench run): transport metrics, per-round protocol metrics, kernel
+    cache counters and domain-pool utilization.
+
+    The report is the "what happened" companion to {!Trace} (the
+    "in which order"): [chc_sim run --verbose] and the [bench-smoke]
+    alias print one, and E1/E5 consume the per-round rows instead of
+    their former ad-hoc counters.
+
+    Layering note: this module deliberately holds plain records. The
+    simulator's metrics are mapped in by the caller ([Runtime] sits
+    above [Obs] in the dependency order), and the per-round rows are
+    produced by [Chc.Executor.round_metrics] — wire sizes need
+    [Codec], which [Obs] must not depend on. Kernel counters
+    ({!Parallel.Memo}, {!Parallel.Pool}) are snapshotted directly. *)
+
+type sim = {
+  sent : int;
+  dropped : int;
+  delivered : int;
+  dead_lettered : int;
+  steps : int;
+}
+(** Mirror of [Runtime.Sim.metrics] (kept as a plain record — see the
+    layering note above). *)
+
+type round = {
+  round : int;          (** protocol round [t] *)
+  messages : int;       (** round-[t] broadcast payloads (one per process
+                            that completed round [t]) *)
+  wire_bytes : int;     (** total [Codec.Wire] size of those payloads *)
+  max_vertices : int;   (** largest [h_i[t]] vertex count *)
+  diameter : float option;
+      (** max pairwise Hausdorff distance between witness processes'
+          [h_i[t]]; [None] when not computed or fewer than 2 witnesses *)
+}
+
+type cache = {
+  cache_name : string;
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+}
+
+type pool = {
+  pool_size : int;
+  tasks_run : int;
+  batches : int;
+}
+
+type t = {
+  sim_metrics : sim option;
+  rounds : round list;
+  caches : cache list;
+  pool_stats : pool option;
+  trace_events : int option;
+}
+
+val capture :
+  ?sim:sim -> ?rounds:round list -> ?trace_events:int -> unit -> t
+(** Snapshot every process-wide counter (named memo tables via
+    {!Parallel.Memo.all_stats}, the global pool) and combine with the
+    per-execution data supplied by the caller. *)
+
+val hit_rate : cache -> float
+(** Percentage of lookups served from the cache (0 when unused). *)
+
+val to_string : t -> string
+
+val print : out_channel -> t -> unit

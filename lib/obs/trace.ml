@@ -1,0 +1,59 @@
+type event =
+  | Send of { src : int; dst : int; seq : int }
+  | Drop of { src : int }
+  | Deliver of { step : int; src : int; dst : int; seq : int }
+  | Dead_letter of { step : int; src : int; dst : int; seq : int }
+  | Crash of { pid : int; sends : int }
+  | Round_enter of { pid : int; round : int; vertices : int }
+  | Stable of { pid : int; view : int }
+  | Decide of { pid : int; round : int; vertices : int }
+
+(* Events accumulate in reverse; a trace is only ever appended to by
+   the (single-threaded) simulator loop, so no lock is needed. *)
+type t = { mutable rev_events : event list; mutable count : int }
+
+let create () = { rev_events = []; count = 0 }
+
+let emit t ev =
+  t.rev_events <- ev :: t.rev_events;
+  t.count <- t.count + 1
+
+let length t = t.count
+
+let events t = List.rev t.rev_events
+
+(* One compact JSON object per event. Every field is an int, printed
+   with a fixed key order, so equal traces render to byte-identical
+   JSONL — the replay check depends on this. *)
+let event_to_json = function
+  | Send { src; dst; seq } ->
+    Printf.sprintf {|{"ev":"send","src":%d,"dst":%d,"seq":%d}|} src dst seq
+  | Drop { src } ->
+    Printf.sprintf {|{"ev":"drop","src":%d}|} src
+  | Deliver { step; src; dst; seq } ->
+    Printf.sprintf {|{"ev":"deliver","step":%d,"src":%d,"dst":%d,"seq":%d}|}
+      step src dst seq
+  | Dead_letter { step; src; dst; seq } ->
+    Printf.sprintf {|{"ev":"dead_letter","step":%d,"src":%d,"dst":%d,"seq":%d}|}
+      step src dst seq
+  | Crash { pid; sends } ->
+    Printf.sprintf {|{"ev":"crash","pid":%d,"sends":%d}|} pid sends
+  | Round_enter { pid; round; vertices } ->
+    Printf.sprintf {|{"ev":"round_enter","pid":%d,"round":%d,"vertices":%d}|}
+      pid round vertices
+  | Stable { pid; view } ->
+    Printf.sprintf {|{"ev":"stable","pid":%d,"view":%d}|} pid view
+  | Decide { pid; round; vertices } ->
+    Printf.sprintf {|{"ev":"decide","pid":%d,"round":%d,"vertices":%d}|}
+      pid round vertices
+
+let to_jsonl t =
+  let b = Buffer.create (64 * (t.count + 1)) in
+  List.iter
+    (fun ev ->
+       Buffer.add_string b (event_to_json ev);
+       Buffer.add_char b '\n')
+    (events t);
+  Buffer.contents b
+
+let output oc t = output_string oc (to_jsonl t)

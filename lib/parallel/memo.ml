@@ -2,6 +2,13 @@
    eviction (flush everything when full). Lookups hold the lock only
    for the chain walk; the memoized function runs unlocked. *)
 
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+}
+
 type ('a, 'b) t = {
   hash : 'a -> int;
   equal : 'a -> 'a -> bool;
@@ -9,8 +16,12 @@ type ('a, 'b) t = {
   m : Mutex.t;
   buckets : (int * 'a * 'b) list array;
   mutable count : int;
+  (* Lifetime counters: survive both [clear] and epoch eviction, so
+     long-running hit-rate reporting (Obs.Report) keeps its history
+     across flushes. *)
   mutable hits : int;
   mutable misses : int;
+  mutable evictions : int;
 }
 
 let nbuckets = 1024 (* power of two: index by [hash land (nbuckets-1)] *)
@@ -19,26 +30,54 @@ let global_enabled = Atomic.make true
 let set_enabled b = Atomic.set global_enabled b
 let enabled () = Atomic.get global_enabled
 
-let create ?(max_size = 4096) ~hash ~equal () =
-  if max_size < 1 then invalid_arg "Memo.create: max_size must be >= 1";
-  { hash; equal; max_size;
-    m = Mutex.create ();
-    buckets = Array.make nbuckets [];
-    count = 0; hits = 0; misses = 0 }
-
-let clear t =
-  Mutex.lock t.m;
-  Array.fill t.buckets 0 nbuckets [];
-  t.count <- 0;
-  t.hits <- 0;
-  t.misses <- 0;
-  Mutex.unlock t.m
+(* Registry of named tables, in registration order, so reporting
+   layers can enumerate every cache in the process without holding a
+   reference to each. Stats thunks only; the tables themselves stay
+   private to their modules. *)
+let registry_m = Mutex.create ()
+let registry : (string * (unit -> stats)) list ref = ref []
 
 let stats t =
   Mutex.lock t.m;
-  let s = (t.hits, t.misses) in
+  let s =
+    { hits = t.hits; misses = t.misses; evictions = t.evictions;
+      entries = t.count }
+  in
   Mutex.unlock t.m;
   s
+
+let register_named name t =
+  Mutex.lock registry_m;
+  registry := !registry @ [ (name, fun () -> stats t) ];
+  Mutex.unlock registry_m
+
+let all_stats () =
+  Mutex.lock registry_m;
+  let r = !registry in
+  Mutex.unlock registry_m;
+  List.map (fun (name, f) -> (name, f ())) r
+
+let create ?name ?(max_size = 4096) ~hash ~equal () =
+  if max_size < 1 then invalid_arg "Memo.create: max_size must be >= 1";
+  let t =
+    { hash; equal; max_size;
+      m = Mutex.create ();
+      buckets = Array.make nbuckets [];
+      count = 0; hits = 0; misses = 0; evictions = 0 }
+  in
+  Option.iter (fun n -> register_named n t) name;
+  t
+
+(* Must be called with [t.m] held. *)
+let flush_locked t =
+  Array.fill t.buckets 0 nbuckets [];
+  t.evictions <- t.evictions + t.count;
+  t.count <- 0
+
+let clear t =
+  Mutex.lock t.m;
+  flush_locked t;
+  Mutex.unlock t.m
 
 let find_or_add t k f =
   if not (Atomic.get global_enabled) then f ()
@@ -61,10 +100,7 @@ let find_or_add t k f =
       Mutex.unlock t.m;
       let v = f () in
       Mutex.lock t.m;
-      if t.count >= t.max_size then begin
-        Array.fill t.buckets 0 nbuckets [];
-        t.count <- 0
-      end;
+      if t.count >= t.max_size then flush_locked t;
       t.buckets.(idx) <- (h, k, v) :: t.buckets.(idx);
       t.count <- t.count + 1;
       Mutex.unlock t.m;

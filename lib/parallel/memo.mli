@@ -19,10 +19,21 @@
 
 type ('a, 'b) t
 
+type stats = {
+  hits : int;       (** lifetime lookups answered from the table *)
+  misses : int;     (** lifetime lookups that ran the function *)
+  evictions : int;  (** lifetime entries discarded by epoch flushes and {!clear} *)
+  entries : int;    (** entries resident right now *)
+}
+
 val create :
+  ?name:string ->
   ?max_size:int -> hash:('a -> int) -> equal:('a -> 'a -> bool) -> unit
   -> ('a, 'b) t
-(** [max_size] defaults to 4096 entries. *)
+(** [max_size] defaults to 4096 entries. A [?name] registers the table
+    in the process-wide registry read by {!all_stats} (used by
+    [Obs.Report] to enumerate every kernel cache); anonymous tables
+    stay unlisted. *)
 
 val find_or_add : ('a, 'b) t -> 'a -> (unit -> 'b) -> 'b
 (** [find_or_add t k f] returns the cached value for [k], or runs [f]
@@ -31,9 +42,16 @@ val find_or_add : ('a, 'b) t -> 'a -> (unit -> 'b) -> 'b
     one wins the slot. *)
 
 val clear : ('a, 'b) t -> unit
+(** Discard every resident entry (they count as evictions). Lifetime
+    [hits]/[misses]/[evictions] counters are {e not} reset — epoch
+    eviction uses [clear], and hit-rate reporting must survive it. *)
 
-val stats : ('a, 'b) t -> int * int
-(** [(hits, misses)] since creation (or the last [clear]). *)
+val stats : ('a, 'b) t -> stats
+(** Lifetime counters plus the current entry count. *)
+
+val all_stats : unit -> (string * stats) list
+(** Stats of every named table, in registration order (deterministic:
+    tables are created at module initialization). *)
 
 val set_enabled : bool -> unit
 (** Globally enable/disable all memo tables (default: enabled). *)

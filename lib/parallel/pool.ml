@@ -13,6 +13,15 @@ type t = {
   mutable workers : unit Domain.t array;
   mutable spawned : bool;
   mutable down : bool;
+  (* Lifetime utilization counters (guarded by [m]). *)
+  mutable task_count : int;
+  mutable batch_count : int;
+}
+
+type stats = {
+  pool_size : int;
+  tasks_run : int;
+  batches : int;
 }
 
 let create ~size =
@@ -23,9 +32,19 @@ let create ~size =
     tasks = Queue.create ();
     workers = [||];
     spawned = false;
-    down = false }
+    down = false;
+    task_count = 0;
+    batch_count = 0 }
 
 let size t = t.size
+
+let stats t =
+  Mutex.lock t.m;
+  let s =
+    { pool_size = t.size; tasks_run = t.task_count; batches = t.batch_count }
+  in
+  Mutex.unlock t.m;
+  s
 
 let worker_loop pool () =
   Domain.DLS.set in_worker true;
@@ -92,6 +111,8 @@ let run_batch pool thunks =
     in
     Mutex.lock pool.m;
     Array.iter (fun thunk -> Queue.push (wrap thunk) pool.tasks) thunks;
+    pool.task_count <- pool.task_count + n;
+    pool.batch_count <- pool.batch_count + 1;
     Condition.broadcast pool.cond;
     Mutex.unlock pool.m;
     (* The submitting domain helps drain the queue instead of idling. *)
@@ -145,13 +166,29 @@ let parallel_concat_map pool f xs =
 (* ------------------------------------------------------------------ *)
 (* Global pool. *)
 
+let max_domains = 64
+
+let parse_size s =
+  match int_of_string_opt (String.trim s) with
+  | Some k when k >= 1 -> Ok (min k max_domains)
+  | Some k -> Error (Printf.sprintf "%d is not a positive domain count" k)
+  | None -> Error (Printf.sprintf "%S is not an integer" s)
+
 let default_size () =
+  let recommended () = min (Domain.recommended_domain_count ()) max_domains in
   match Sys.getenv_opt "CHC_DOMAINS" with
   | Some s ->
-    (match int_of_string_opt (String.trim s) with
-     | Some k when k >= 1 -> min k 64
-     | _ -> Domain.recommended_domain_count ())
-  | None -> Domain.recommended_domain_count ()
+    (match parse_size s with
+     | Ok k -> k
+     | Error why ->
+       (* An invalid value must not silently change the pool size —
+          name the rejected value so a typo in a job script is
+          visible (satellite of the observability layer). *)
+       Printf.eprintf
+         "chc: warning: ignoring CHC_DOMAINS=%s (%s); using %d\n%!"
+         s why (recommended ());
+       recommended ())
+  | None -> recommended ()
 
 let global_mutex = Mutex.create ()
 let global_pool : t option ref = ref None

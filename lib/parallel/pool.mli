@@ -10,7 +10,13 @@
 
     Sizing: the global pool reads the [CHC_DOMAINS] environment
     variable at first use; absent that it uses
-    [Domain.recommended_domain_count ()]. Size 1 (the default on a
+    [Domain.recommended_domain_count ()]. Either way the size is
+    clamped to 64 domains (the pool is for compute parallelism; more
+    domains than cores only adds contention, and OCaml 5 recommends
+    staying near the core count). An invalid [CHC_DOMAINS] value
+    (non-numeric, zero, negative) is rejected with a warning on stderr
+    naming the value — it does {e not} silently resize the pool — and
+    the recommended count is used instead. Size 1 (the default on a
     single-core host) short-circuits every combinator to its exact
     sequential equivalent — no domains are ever spawned.
 
@@ -28,6 +34,22 @@ val create : size:int -> t
     @raise Invalid_argument if [size < 1]. *)
 
 val size : t -> int
+
+type stats = {
+  pool_size : int;  (** configured size (domains, submitter included) *)
+  tasks_run : int;  (** lifetime tasks executed through the queue *)
+  batches : int;    (** lifetime combinator fan-outs that hit the queue *)
+}
+
+val stats : t -> stats
+(** Utilization counters. Sequentialized calls (size-1 pools, nested
+    combinators, singleton inputs) bypass the queue and are not
+    counted — [tasks_run] measures actual parallel dispatch. *)
+
+val parse_size : string -> (int, string) result
+(** Parse a [CHC_DOMAINS]-style domain count: a positive integer,
+    clamped to the 64-domain maximum. [Error] carries a human-readable
+    reason naming the rejected value. *)
 
 val shutdown : t -> unit
 (** Join all workers. Subsequent combinator calls on the pool run

@@ -15,6 +15,7 @@ type 'a state = {
   n : int;
   f : int;
   me : int;
+  trace : Obs.Trace.t option;
   broadcast : 'a msg -> unit;
   mutable view : 'a entry list;
   (* Who has sent exactly which view. Association list keyed by view;
@@ -68,7 +69,13 @@ let check_stable t =
            view_equal view t.view && List.length senders >= threshold)
         t.votes
     with
-    | Some (view, _) -> t.stable <- Some view
+    | Some (view, _) ->
+      t.stable <- Some view;
+      (match t.trace with
+       | None -> ()
+       | Some tr ->
+         Obs.Trace.emit tr
+           (Obs.Trace.Stable { pid = t.me; view = List.length view }))
     | None -> ()
   end
 
@@ -78,11 +85,11 @@ let announce t =
   t.broadcast (View t.view);
   check_stable t
 
-let create ~n ~f ~me ~value ~broadcast =
+let create ?trace ~n ~f ~me ~value ~broadcast () =
   if n < (2 * f) + 1 then
     invalid_arg "Stable_vector.create: requires n >= 2f + 1";
   let t =
-    { n; f; me; broadcast;
+    { n; f; me; trace; broadcast;
       view = [ { origin = me; value } ];
       votes = [];
       stable = None }

@@ -34,11 +34,16 @@ val pp_msg :
 type 'a state
 
 val create :
+  ?trace:Obs.Trace.t ->
   n:int -> f:int -> me:int -> value:'a ->
   broadcast:('a msg -> unit) ->
+  unit ->
   'a state
 (** Initialize and send the first view. Pure crash-fault setting
-    requires [n >= 2f + 1]. @raise Invalid_argument otherwise. *)
+    requires [n >= 2f + 1]. @raise Invalid_argument otherwise.
+    When a [trace] is given, a [Stable] event is emitted the moment
+    the view stabilizes (the protocol-level milestone Algorithm CC's
+    round 0 waits for). *)
 
 val on_receive : 'a state -> src:int -> 'a msg -> unit
 (** Merge an incoming view (credited to its sender — stability counts

@@ -7,6 +7,7 @@ type 'msg handlers = {
 
 and 'msg t = {
   n : int;
+  trace : Obs.Trace.t option;
   rng : Rng.t;
   scheduler : Scheduler.t;
   channels : (int * 'msg) Queue.t array array; (* channels.(src).(dst) *)
@@ -28,6 +29,11 @@ and 'msg ctx = { me : pid; sys : 'msg t }
 let me ctx = ctx.me
 let n ctx = ctx.sys.n
 
+let trace_emit t ev =
+  match t.trace with
+  | None -> ()
+  | Some tr -> Obs.Trace.emit tr (ev ())
+
 let crashed t i = t.crashed.(i)
 let sends_of t i = t.sends_attempted.(i)
 let sends ctx = ctx.sys.sends_attempted.(ctx.me)
@@ -39,16 +45,23 @@ let send ctx dst msg =
   let t = ctx.sys in
   let src = ctx.me in
   if dst < 0 || dst >= t.n then invalid_arg "Sim.send: bad destination"
-  else if t.crashed.(src) then t.dropped <- t.dropped + 1
+  else if t.crashed.(src) then begin
+    t.dropped <- t.dropped + 1;
+    trace_emit t (fun () -> Obs.Trace.Drop { src })
+  end
   else begin
     (match t.crash_plan.(src) with
      | Crash.After_sends budget when t.sends_attempted.(src) >= budget ->
        t.crashed.(src) <- true;
-       t.dropped <- t.dropped + 1
+       t.dropped <- t.dropped + 1;
+       trace_emit t
+         (fun () -> Obs.Trace.Crash { pid = src; sends = t.sends_attempted.(src) });
+       trace_emit t (fun () -> Obs.Trace.Drop { src })
      | Crash.After_sends _ | Crash.Never ->
        t.sends_attempted.(src) <- t.sends_attempted.(src) + 1;
        t.seq <- t.seq + 1;
        t.sent <- t.sent + 1;
+       trace_emit t (fun () -> Obs.Trace.Send { src; dst; seq = t.seq });
        Queue.push (t.seq, msg) t.channels.(src).(dst))
   end
 
@@ -59,10 +72,11 @@ let broadcast ctx ?(include_self = false) msg =
   done;
   if include_self then send ctx ctx.me msg
 
-let create ~n ~seed ~scheduler ~crash ~make =
+let create ?trace ~n ~seed ~scheduler ~crash ~make () =
   if Array.length crash <> n then invalid_arg "Sim.create: crash plan size";
   let t =
     { n;
+      trace;
       rng = Rng.create seed;
       scheduler;
       channels = Array.init n (fun _ -> Array.init n (fun _ -> Queue.create ()));
@@ -83,7 +97,9 @@ let create ~n ~seed ~scheduler ~crash ~make =
   Array.iteri
     (fun i plan ->
        match plan with
-       | Crash.After_sends 0 -> t.crashed.(i) <- true
+       | Crash.After_sends 0 ->
+         t.crashed.(i) <- true;
+         trace_emit t (fun () -> Obs.Trace.Crash { pid = i; sends = 0 })
        | Crash.After_sends _ | Crash.Never -> ())
     crash;
   t
@@ -119,10 +135,16 @@ let run ?(max_steps = 2_000_000) t =
       let { Scheduler.src; dst } =
         Scheduler.pick t.scheduler ~rng:t.rng ~step:t.steps ~candidates
       in
-      let (_, msg) = Queue.pop t.channels.(src).(dst) in
-      if t.crashed.(dst) then t.dead_lettered <- t.dead_lettered + 1
+      let (seq, msg) = Queue.pop t.channels.(src).(dst) in
+      if t.crashed.(dst) then begin
+        t.dead_lettered <- t.dead_lettered + 1;
+        trace_emit t
+          (fun () -> Obs.Trace.Dead_letter { step = t.steps; src; dst; seq })
+      end
       else begin
         t.delivered <- t.delivered + 1;
+        trace_emit t
+          (fun () -> Obs.Trace.Deliver { step = t.steps; src; dst; seq });
         t.handlers.(dst).on_receive { me = dst; sys = t } src msg
       end;
       loop ()

@@ -44,14 +44,20 @@ type 'msg handlers = {
 type 'msg t
 
 val create :
+  ?trace:Obs.Trace.t ->
   n:int ->
   seed:int ->
   scheduler:Scheduler.t ->
   crash:Crash.plan array ->
   make:(pid -> 'msg handlers) ->
+  unit ->
   'msg t
 (** Build a system. [crash] must have length [n]. [make i] constructs
-    process [i]'s handlers (captured state lives in the closure). *)
+    process [i]'s handlers (captured state lives in the closure).
+    When a [trace] is given, every transport event (send / drop /
+    deliver / dead-letter / crash, including crashed-at-start
+    processes) is emitted into it in schedule order; tracing never
+    changes the execution. *)
 
 exception Step_limit_exceeded
 

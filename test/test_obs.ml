@@ -1,0 +1,255 @@
+(* Tests for the observability layer (lib/obs) and the bugfixes it
+   surfaced: trace determinism across pool sizes, trace/metrics
+   consistency, the Step_limit_exceeded path, validated CLI parsing,
+   memo lifetime counters and pool utilization stats. *)
+
+module Pool = Parallel.Pool
+module Memo = Parallel.Memo
+module Q = Numeric.Q
+module Sim = Runtime.Sim
+module Crash = Runtime.Crash
+module Trace = Obs.Trace
+module Executor = Chc.Executor
+module Cc = Chc.Cc
+module Cli = Chc.Cli
+
+let with_pool_size size f =
+  let saved = Pool.global_size () in
+  Pool.set_global_size size;
+  Fun.protect ~finally:(fun () -> Pool.set_global_size saved) f
+
+(* ------------------------------------------------------------------ *)
+(* Trace determinism: same spec, same seed ⇒ byte-identical JSONL
+   whatever the pool size. This is the acceptance criterion behind the
+   [chc_sim trace] subcommand. *)
+
+let traced_jsonl ~size spec =
+  with_pool_size size (fun () ->
+      let trace = Trace.create () in
+      ignore
+        (Cc.execute ~trace ~round0:spec.Executor.round0
+           ~config:spec.Executor.config ~inputs:spec.Executor.inputs
+           ~crash:spec.Executor.crash ~scheduler:spec.Executor.scheduler
+           ~seed:spec.Executor.seed ());
+      Trace.to_jsonl trace)
+
+let test_trace_pool_invariant () =
+  let config =
+    Chc.Config.make ~n:5 ~f:1 ~d:2 ~eps:(Q.of_ints 1 4) ~lo:Q.zero ~hi:Q.one
+  in
+  List.iter
+    (fun seed ->
+       let spec = Executor.default_spec ~config ~seed () in
+       let t1 = traced_jsonl ~size:1 spec in
+       Alcotest.(check bool) "trace is non-empty" true
+         (String.length t1 > 0);
+       Alcotest.(check string) "1-domain and 4-domain traces identical" t1
+         (traced_jsonl ~size:4 spec))
+    [3; 17]
+
+(* ------------------------------------------------------------------ *)
+(* Trace/metrics consistency: the event counts in the transcript must
+   agree with the simulator's own counters, and protocol milestones
+   must match the graded outcome. *)
+
+let count p trace = List.length (List.filter p (Trace.events trace))
+
+let test_trace_consistency () =
+  let config =
+    Chc.Config.make ~n:5 ~f:1 ~d:2 ~eps:(Q.of_ints 1 4) ~lo:Q.zero ~hi:Q.one
+  in
+  let spec = Executor.default_spec ~config ~seed:11 () in
+  let trace = Trace.create () in
+  let r = Executor.run ~trace spec in
+  let m = r.Executor.result.Cc.metrics in
+  let is_send = function Trace.Send _ -> true | _ -> false in
+  let is_deliver = function Trace.Deliver _ -> true | _ -> false in
+  let is_dead = function Trace.Dead_letter _ -> true | _ -> false in
+  let is_drop = function Trace.Drop _ -> true | _ -> false in
+  let is_decide = function Trace.Decide _ -> true | _ -> false in
+  let is_round0 = function
+    | Trace.Round_enter { round = 0; _ } -> true
+    | _ -> false
+  in
+  Alcotest.(check int) "Send events = metrics.sent" m.Sim.sent
+    (count is_send trace);
+  Alcotest.(check int) "Deliver events = metrics.delivered" m.Sim.delivered
+    (count is_deliver trace);
+  Alcotest.(check int) "Dead_letter events = metrics.dead_lettered"
+    m.Sim.dead_lettered (count is_dead trace);
+  Alcotest.(check int) "Drop events = metrics.dropped" m.Sim.dropped
+    (count is_drop trace);
+  let decided =
+    Array.fold_left
+      (fun acc o -> if Option.is_some o then acc + 1 else acc)
+      0 r.Executor.result.Cc.outputs
+  in
+  Alcotest.(check int) "Decide events = decided processes" decided
+    (count is_decide trace);
+  Alcotest.(check bool) "some process entered round 0" true
+    (count is_round0 trace > 0);
+  Alcotest.(check bool) "some stable-vector view stabilized" true
+    (count (function Trace.Stable _ -> true | _ -> false) trace > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Step_limit_exceeded: an infinite ping-pong must hit the limit, and
+   the trace must show exactly [max_steps] delivery decisions. *)
+
+let test_step_limit () =
+  let trace = Trace.create () in
+  let sim =
+    Sim.create ~trace ~n:2 ~seed:1 ~scheduler:Runtime.Scheduler.Round_robin
+      ~crash:[| Crash.Never; Crash.Never |]
+      ~make:(fun _ ->
+          { Sim.on_start = (fun ctx -> Sim.send ctx (1 - Sim.me ctx) ());
+            Sim.on_receive =
+              (fun ctx src () -> Sim.send ctx src ()) })
+      ()
+  in
+  Alcotest.check_raises "ping-pong exceeds the step limit"
+    Sim.Step_limit_exceeded
+    (fun () -> Sim.run ~max_steps:100 sim);
+  Alcotest.(check int) "exactly max_steps Deliver events" 100
+    (count (function Trace.Deliver _ -> true | _ -> false) trace);
+  Alcotest.(check int) "metrics agree" 100 (Sim.metrics sim).Sim.delivered
+
+(* ------------------------------------------------------------------ *)
+(* CLI parsing regressions (satellite bugfix: bare [int_of_string]
+   used to escape as a raw Failure backtrace). *)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let ids = Alcotest.(result (list int) string)
+
+let test_parse_ids () =
+  Alcotest.check ids "valid list" (Ok [2; 4]) (Cli.parse_ids ~n:7 ~f:2 " 2, 4 ");
+  Alcotest.check ids "dedup" (Ok [3]) (Cli.parse_ids ~n:7 ~f:2 "3,3");
+  Alcotest.check ids "empty string is the empty set" (Ok [])
+    (Cli.parse_ids ~n:7 ~f:2 "");
+  (match Cli.parse_ids ~n:7 ~f:2 "0,x" with
+   | Error msg ->
+     Alcotest.(check bool) "error names the bad token" true
+       (contains ~sub:"\"x\"" msg)
+   | Ok _ -> Alcotest.fail "malformed id accepted");
+  (match Cli.parse_ids ~n:7 ~f:2 "7" with
+   | Error msg ->
+     Alcotest.(check bool) "out-of-range error names the range" true
+       (contains ~sub:"0..6" msg)
+   | Ok _ -> Alcotest.fail "out-of-range id accepted");
+  (match Cli.parse_ids ~n:7 ~f:2 "-1" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "negative id accepted");
+  (match Cli.parse_ids ~n:7 ~f:2 "0,1,2" with
+   | Error msg ->
+     Alcotest.(check bool) "too many ids: error names f" true
+       (contains ~sub:"f = 2" msg)
+   | Ok _ -> Alcotest.fail "more than f ids accepted")
+
+let test_parse_q_and_inputs () =
+  (match Cli.parse_q "--eps" "1/10" with
+   | Ok q -> Alcotest.(check bool) "rational parses" true (Q.equal q (Q.of_ints 1 10))
+   | Error e -> Alcotest.fail e);
+  (match Cli.parse_q "--eps" "0.25" with
+   | Ok q -> Alcotest.(check bool) "decimal parses" true (Q.equal q (Q.of_ints 1 4))
+   | Error e -> Alcotest.fail e);
+  (match Cli.parse_q "--eps" "nope" with
+   | Error msg ->
+     Alcotest.(check bool) "error names the option" true
+       (contains ~sub:"--eps" msg)
+   | Ok _ -> Alcotest.fail "garbage rational accepted");
+  (match Cli.parse_inputs ~n:2 ~d:2 "0,0;1,1" with
+   | Ok pts -> Alcotest.(check int) "two points" 2 (Array.length pts)
+   | Error e -> Alcotest.fail e);
+  (match Cli.parse_inputs ~n:3 ~d:2 "0,0;1,1" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "wrong point count accepted");
+  (match Cli.parse_inputs ~n:1 ~d:3 "0,0" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "wrong dimension accepted")
+
+(* ------------------------------------------------------------------ *)
+(* Memo counters (satellite bugfix: [clear] used to zero the lifetime
+   hit/miss counters, so every epoch flush lied about the hit rate). *)
+
+let test_memo_lifetime_stats () =
+  let calls = ref 0 in
+  let tbl =
+    Memo.create ~name:"test-obs-memo" ~max_size:4 ~hash:Hashtbl.hash
+      ~equal:Int.equal ()
+  in
+  let get k = Memo.find_or_add tbl k (fun () -> incr calls; k * 2) in
+  Alcotest.(check int) "miss computes" 2 (get 1);
+  Alcotest.(check int) "hit returns cached" 2 (get 1);
+  let s = Memo.stats tbl in
+  Alcotest.(check int) "one hit" 1 s.Memo.hits;
+  Alcotest.(check int) "one miss" 1 s.Memo.misses;
+  Alcotest.(check int) "one resident entry" 1 s.Memo.entries;
+  Memo.clear tbl;
+  let s = Memo.stats tbl in
+  Alcotest.(check int) "hits survive clear" 1 s.Memo.hits;
+  Alcotest.(check int) "misses survive clear" 1 s.Memo.misses;
+  Alcotest.(check int) "clear evicts the resident entry" 1 s.Memo.evictions;
+  Alcotest.(check int) "no resident entries after clear" 0 s.Memo.entries;
+  (* Overflow the 4-entry bound: epoch flush evicts wholesale. *)
+  List.iter (fun k -> ignore (get k)) [10; 11; 12; 13; 14];
+  let s = Memo.stats tbl in
+  Alcotest.(check bool) "epoch flush counted as evictions" true
+    (s.Memo.evictions > 1);
+  Alcotest.(check bool) "table stays bounded" true (s.Memo.entries <= 4);
+  Alcotest.(check bool) "named table appears in the registry" true
+    (List.mem_assoc "test-obs-memo" (Memo.all_stats ()))
+
+(* ------------------------------------------------------------------ *)
+(* Pool sizing (satellite bugfix: invalid CHC_DOMAINS used to fall
+   back silently) and utilization counters. *)
+
+let psize = Alcotest.(result int string)
+
+let test_pool_parse_size () =
+  Alcotest.check psize "plain" (Ok 4) (Pool.parse_size "4");
+  Alcotest.check psize "whitespace tolerated" (Ok 8) (Pool.parse_size " 8 ");
+  Alcotest.check psize "clamped to 64" (Ok 64) (Pool.parse_size "100");
+  (match Pool.parse_size "0" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "zero accepted");
+  (match Pool.parse_size "-3" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "negative accepted");
+  (match Pool.parse_size "abc" with
+   | Error msg ->
+     Alcotest.(check bool) "error names the value" true
+       (contains ~sub:"abc" msg)
+   | Ok _ -> Alcotest.fail "garbage accepted")
+
+let test_pool_stats () =
+  let pool = Pool.create ~size:2 in
+  let s0 = Pool.stats pool in
+  Alcotest.(check int) "fresh pool ran nothing" 0 s0.Pool.tasks_run;
+  ignore (Pool.parallel_map pool (fun x -> x + 1) [1; 2; 3; 4]);
+  let s = Pool.stats pool in
+  Alcotest.(check int) "pool size reported" 2 s.Pool.pool_size;
+  Alcotest.(check int) "four tasks dispatched" 4 s.Pool.tasks_run;
+  Alcotest.(check int) "one batch" 1 s.Pool.batches;
+  (* Size-1 pools sequentialize and bypass the queue entirely. *)
+  let seq = Pool.create ~size:1 in
+  ignore (Pool.parallel_map seq (fun x -> x + 1) [1; 2; 3]);
+  Alcotest.(check int) "sequential pool dispatches nothing" 0
+    (Pool.stats seq).Pool.tasks_run
+
+let suite =
+  [ ( "obs",
+      [ Alcotest.test_case "trace pool-size invariant (d=2)" `Quick
+          test_trace_pool_invariant;
+        Alcotest.test_case "trace/metrics consistency" `Quick
+          test_trace_consistency;
+        Alcotest.test_case "step limit traced" `Quick test_step_limit;
+        Alcotest.test_case "parse_ids validation" `Quick test_parse_ids;
+        Alcotest.test_case "parse_q / parse_inputs validation" `Quick
+          test_parse_q_and_inputs;
+        Alcotest.test_case "memo lifetime stats" `Quick
+          test_memo_lifetime_stats;
+        Alcotest.test_case "pool parse_size" `Quick test_pool_parse_size;
+        Alcotest.test_case "pool stats" `Quick test_pool_stats ] ) ]

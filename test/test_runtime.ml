@@ -54,7 +54,7 @@ let test_fifo_exactly_once () =
                    for k = 1 to 50 do Sim.send ctx 1 k done);
             on_receive =
               (fun _ctx src msg ->
-                 if src = 0 then received := msg :: !received) })
+                 if src = 0 then received := msg :: !received) }) ()
   in
   Sim.run sys;
   Alcotest.(check (list int)) "FIFO order, exactly once"
@@ -72,7 +72,7 @@ let test_crash_budget_partial_broadcast () =
       ~make:(fun i ->
           { Sim.on_start =
               (fun ctx -> if i = 0 then Sim.broadcast ctx 99);
-            on_receive = (fun ctx _src _msg -> got.(Sim.me ctx) <- true) })
+            on_receive = (fun ctx _src _msg -> got.(Sim.me ctx) <- true) }) ()
   in
   Sim.run sys;
   Alcotest.(check bool) "p1 got it" true got.(1);
@@ -94,7 +94,7 @@ let test_crashed_receiver_is_dead () =
     Sim.create ~n:2 ~seed:3 ~scheduler:Scheduler.Round_robin ~crash
       ~make:(fun i ->
           { Sim.on_start = (fun ctx -> if i = 0 then Sim.send ctx 1 0);
-            on_receive = (fun _ _ _ -> ran := true) })
+            on_receive = (fun _ _ _ -> ran := true) }) ()
   in
   Sim.run sys;
   Alcotest.(check bool) "handler did not run" false !ran;
@@ -109,7 +109,7 @@ let test_quiescence () =
           { Sim.on_start = (fun ctx -> if i = 0 then Sim.send ctx 1 10);
             on_receive =
               (fun ctx src k ->
-                 if k > 0 then Sim.send ctx src (k - 1)) })
+                 if k > 0 then Sim.send ctx src (k - 1)) }) ()
   in
   Sim.run sys;
   Alcotest.(check int) "exactly 11 deliveries" 11 (Sim.metrics sys).Sim.delivered
@@ -121,7 +121,7 @@ let test_step_limit () =
       ~crash:(no_crash 2)
       ~make:(fun i ->
           { Sim.on_start = (fun ctx -> if i = 0 then Sim.send ctx 1 0);
-            on_receive = (fun ctx src _ -> Sim.send ctx src 0) })
+            on_receive = (fun ctx src _ -> Sim.send ctx src 0) }) ()
   in
   Alcotest.check_raises "limit" Sim.Step_limit_exceeded
     (fun () -> Sim.run ~max_steps:1000 sys)
@@ -138,7 +138,7 @@ let delivery_log ~seed ~scheduler =
             on_receive =
               (fun ctx src k ->
                  log := (src, Sim.me ctx, k) :: !log;
-                 if k < 2 then Sim.broadcast ctx (k + 1)) })
+                 if k < 2 then Sim.broadcast ctx (k + 1)) }) ()
   in
   Sim.run sys;
   List.rev !log
@@ -159,7 +159,7 @@ let test_lag_scheduler_starves () =
       ~crash:(no_crash 3)
       ~make:(fun _ ->
           { Sim.on_start = (fun ctx -> Sim.broadcast ctx 0);
-            on_receive = (fun _ src _ -> last_src := src) })
+            on_receive = (fun _ src _ -> last_src := src) }) ()
   in
   Sim.run sys;
   Alcotest.(check int) "lagged source delivered last" 0 !last_src

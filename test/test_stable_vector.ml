@@ -23,14 +23,14 @@ let run_instance ~n ~f ~seed ~scheduler ~crash =
               (fun ctx ->
                  let st =
                    SV.create ~n ~f ~me:i ~value:(100 + i)
-                     ~broadcast:(fun m -> Sim.broadcast ctx m)
+                     ~broadcast:(fun m -> Sim.broadcast ctx m) ()
                  in
                  states.(i) <- Some st);
             on_receive =
               (fun _ctx src msg ->
                  match states.(i) with
                  | Some st -> SV.on_receive st ~src msg
-                 | None -> ()) })
+                 | None -> ()) }) ()
   in
   Sim.run sys;
   Array.map
@@ -106,7 +106,7 @@ let test_requires_quorum () =
   Alcotest.check_raises "n >= 2f+1 enforced"
     (Invalid_argument "Stable_vector.create: requires n >= 2f + 1")
     (fun () ->
-       ignore (SV.create ~n:4 ~f:2 ~me:0 ~value:0 ~broadcast:(fun _ -> ())))
+       ignore (SV.create ~n:4 ~f:2 ~me:0 ~value:0 ~broadcast:(fun _ -> ()) ()))
 
 (* Property: sweep seeds, schedulers, crash plans. *)
 let prop_properties =
@@ -169,7 +169,7 @@ let test_scripted_split () =
         if j <> i then queues.(j) <- queues.(j) @ [ (i, m) ]
       done
     in
-    states.(i) <- Some (SV.create ~n ~f ~me:i ~value:(100 + i) ~broadcast)
+    states.(i) <- Some (SV.create ~n ~f ~me:i ~value:(100 + i) ~broadcast ())
   in
   for i = 0 to n - 1 do make i done;
   let st i = Option.get states.(i) in
