@@ -9,10 +9,10 @@ module Executor = Chc.Executor
 module Scheduler = Runtime.Scheduler
 
 let schedulers =
-  [ ("random", Scheduler.Random_uniform);
-    ("round-robin", Scheduler.Round_robin);
-    ("lifo", Scheduler.Lifo_bias);
-    ("lag[0]", Scheduler.Lag_sources [0]) ]
+  [ ("random", Scheduler.random_uniform);
+    ("round-robin", Scheduler.round_robin);
+    ("lifo", Scheduler.lifo_bias);
+    ("lag[0]", Scheduler.lag_sources [0]) ]
 
 let sweep ~config ~runs ~sched_name ~scheduler =
   (* Each seed is an independent execution: fan the sweep out over the

@@ -40,14 +40,13 @@ let seed_arg =
   Arg.(value & opt int 1 & info ["seed"] ~doc:"Deterministic seed.")
 
 let scheduler_arg =
-  let sched_conv =
-    Arg.enum
-      [ ("random", `Random); ("round-robin", `Rr); ("lifo", `Lifo);
-        ("lag", `Lag) ]
-  in
-  Arg.(value & opt sched_conv `Random
-       & info ["scheduler"] ~doc:"Adversary: $(b,random), $(b,round-robin), \
-                                  $(b,lifo) or $(b,lag) (starves the faulty set).")
+  Arg.(value & opt string "random"
+       & info ["scheduler"] ~docv:"NAME[:PARAMS]"
+           ~doc:"Adversary strategy, resolved against the scheduler \
+                 registry: $(b,random), $(b,round-robin), $(b,lifo), \
+                 $(b,lag) (starves the faulty set; or $(b,lag:0,2) for an \
+                 explicit set), and the fuzzer's $(b,delay-burst:N), \
+                 $(b,stab-boundary) and $(b,swarm:specA+specB).")
 
 let naive_arg =
   Arg.(value & flag
@@ -102,13 +101,7 @@ let spec_of ~n ~f ~d ~eps ~lo ~hi ~seed ~scheduler ~naive ~inputs ~faulty =
     | Some s -> Cli.parse_ids ~n ~f s
     | None -> Ok (List.init f Fun.id)
   in
-  let scheduler =
-    match scheduler with
-    | `Random -> Runtime.Scheduler.Random_uniform
-    | `Rr -> Runtime.Scheduler.Round_robin
-    | `Lifo -> Runtime.Scheduler.Lifo_bias
-    | `Lag -> Runtime.Scheduler.Lag_sources faulty
-  in
+  let* scheduler = Cli.parse_scheduler ~faulty scheduler in
   let round0 = if naive then `Naive else `Stable_vector in
   let spec = Executor.default_spec ~config ~seed ~faulty ~scheduler ~round0 () in
   match inputs with
@@ -248,9 +241,148 @@ let bound_term =
 let bound_cmd_info =
   Cmd.info "bound" ~doc:"Print the analytic round bound t_end (equation 19)."
 
+(* --- fuzz command ----------------------------------------------------- *)
+
+let trials_arg =
+  Arg.(value & opt int 200
+       & info ["trials"] ~docv:"K" ~doc:"Number of scenarios to explore.")
+
+let time_budget_arg =
+  Arg.(value & opt (some float) None
+       & info ["time-budget"] ~docv:"SECONDS"
+           ~doc:"Stop after this much wall clock, whatever --trials says.")
+
+let out_dir_arg =
+  Arg.(value & opt string "fuzz-artifacts"
+       & info ["out-dir"] ~docv:"DIR"
+           ~doc:"Where counterexample artifacts are written.")
+
+let max_findings_arg =
+  Arg.(value & opt int 3
+       & info ["max-findings"] ~docv:"K"
+           ~doc:"Stop after shrinking this many failures.")
+
+let canary_arg =
+  Arg.(value & opt (some string) None
+       & info ["canary-eps"] ~docv:"EPS"
+           ~doc:"Grade against an explicit agreement threshold instead of \
+                 the paper's properties. A threshold below the configured \
+                 ε manufactures violations — the self-test that the \
+                 campaign and shrinker work.")
+
+let naive_space_arg =
+  Arg.(value & flag
+       & info ["naive-round0"]
+           ~doc:"Explore the naive round-0 ablation instead of stable \
+                 vector. The ablation genuinely forfeits optimality, so \
+                 with the default oracle this is a live demonstration that \
+                 the fuzzer finds and shrinks real violations.")
+
+let fuzz_cmd trials seed time_budget out_dir max_findings canary naive =
+  let oracle =
+    match canary with
+    | None -> Ok Fuzz.Oracle.Paper_properties
+    | Some s ->
+      (match Q.of_string s with
+       | eps when Q.gt eps Q.zero -> Ok (Fuzz.Oracle.Agreement_within eps)
+       | _ -> Error "--canary-eps: must be positive"
+       | exception (Invalid_argument _ | Failure _) ->
+         Error (Printf.sprintf "--canary-eps: %S is not a rational" s))
+  in
+  match oracle with
+  | Error msg -> `Error (false, msg)
+  | Ok oracle ->
+    Printf.printf "fuzz: %d trials, seed %d, oracle %s%s\n%!" trials seed
+      (Fuzz.Oracle.name oracle)
+      (match time_budget with
+       | None -> ""
+       | Some s -> Printf.sprintf ", time budget %.0fs" s);
+    let space =
+      (* The ablation's exact-geometry cost explodes at d=2 with ten
+         divergent processes; d=1 demonstrates its violations just as
+         well and keeps every trial sub-second. *)
+      if naive then
+        { Fuzz.Gen.default_space with
+          Fuzz.Gen.naive_round0 = `Always; d_choices = [ 1 ] }
+      else Fuzz.Gen.default_space
+    in
+    let outcome =
+      Fuzz.Campaign.run ~space ~oracle ~out_dir ~max_findings
+        ~log:print_endline ~seed
+        { Fuzz.Campaign.trials; time_budget }
+    in
+    Printf.printf "fuzz: %d/%d trials in %.1fs, %d violation(s)\n"
+      outcome.Fuzz.Campaign.trials_run trials outcome.Fuzz.Campaign.elapsed
+      (List.length outcome.Fuzz.Campaign.findings);
+    (match outcome.Fuzz.Campaign.findings with
+     | [] -> `Ok ()
+     | findings ->
+       List.iter
+         (fun f ->
+            Printf.printf "  %s: %s\n" f.Fuzz.Campaign.path
+              f.Fuzz.Campaign.artifact.Fuzz.Artifact.violation)
+         findings;
+       `Error (false, "counterexamples found (replay with: chc_sim replay FILE)"))
+
+let fuzz_term =
+  Term.(ret
+          (const fuzz_cmd $ trials_arg $ seed_arg $ time_budget_arg
+           $ out_dir_arg $ max_findings_arg $ canary_arg $ naive_space_arg))
+
+let fuzz_cmd_info =
+  Cmd.info "fuzz"
+    ~doc:"Randomized adversary exploration with counterexample shrinking."
+    ~man:
+      [ `S Manpage.s_description;
+        `P "Samples (scheduler strategy × crash plan × input geometry) \
+            scenarios, executes each over the parallel domain pool, and \
+            grades every property the paper proves. Any failure is shrunk \
+            to a minimal counterexample and written to --out-dir as a \
+            replayable JSON artifact plus its execution transcript.";
+        `P "Campaigns are deterministic in --seed (absent a --time-budget \
+            cut-off); exit status is non-zero iff a violation was found." ]
+
+(* --- replay command --------------------------------------------------- *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None
+       & info [] ~docv:"FILE"
+           ~doc:"A counterexample artifact (or bare scenario) JSON file.")
+
+let replay_cmd file =
+  match Fuzz.Artifact.load_any file with
+  | Error msg -> `Error (false, msg)
+  | Ok artifact ->
+    let scenario = artifact.Fuzz.Artifact.scenario in
+    Printf.printf "replay: %s\n" (Chc.Scenario.describe scenario);
+    Printf.printf "oracle: %s\n" (Fuzz.Oracle.name artifact.Fuzz.Artifact.oracle);
+    if artifact.Fuzz.Artifact.violation <> "" then
+      Printf.printf "recorded violation: %s\n" artifact.Fuzz.Artifact.violation;
+    (match Fuzz.Oracle.check artifact.Fuzz.Artifact.oracle scenario with
+     | Fuzz.Oracle.Pass ->
+       Printf.printf "verdict: PASS\n";
+       `Ok ()
+     | Fuzz.Oracle.Fail msg ->
+       Printf.printf "verdict: FAIL (%s)\n" msg;
+       `Error (false, "violation reproduced"))
+
+let replay_term = Term.(ret (const replay_cmd $ file_arg))
+
+let replay_cmd_info =
+  Cmd.info "replay"
+    ~doc:"Re-execute a saved scenario or counterexample artifact and re-grade it."
+    ~man:
+      [ `S Manpage.s_description;
+        `P "Executions are pure functions of the scenario, so replaying an \
+            artifact reproduces the recorded violation deterministically; \
+            exit status is non-zero iff the embedded oracle still fails." ]
+
 (* --- entry ------------------------------------------------------------ *)
 
 let () =
+  (* Make the fuzzer's strategies addressable from --scheduler and
+     loadable from artifacts before any command parses. *)
+  Fuzz.Strategies.register_builtin ();
   let info =
     Cmd.info "chc_sim" ~version:"1.0"
       ~doc:"Asynchronous convex hull consensus simulator (Tseng-Vaidya, PODC'14)."
@@ -260,4 +392,6 @@ let () =
        (Cmd.group info
           [ Cmd.v run_cmd_info run_term;
             Cmd.v trace_cmd_info trace_term;
-            Cmd.v bound_cmd_info bound_term ]))
+            Cmd.v bound_cmd_info bound_term;
+            Cmd.v fuzz_cmd_info fuzz_term;
+            Cmd.v replay_cmd_info replay_term ]))

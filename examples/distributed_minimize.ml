@@ -42,9 +42,8 @@ let () =
   let crash = Array.make n Runtime.Crash.Never in
   crash.(0) <- Runtime.Crash.After_sends 40;
   let spec =
-    { Chc.Executor.config; inputs; crash;
-      scheduler = Runtime.Scheduler.Random_uniform; seed = 99;
-      round0 = `Stable_vector }
+    Chc.Scenario.make ~config ~inputs ~crash
+      ~scheduler:Runtime.Scheduler.random_uniform ~seed:99 ()
   in
   let report = Chc.Executor.run spec in
   assert report.Chc.Executor.terminated;

@@ -34,10 +34,9 @@ let () =
   crash.(0) <- Runtime.Crash.After_sends 20;
 
   let spec =
-    { Chc.Executor.config; inputs; crash;
-      scheduler = Runtime.Scheduler.Random_uniform;
-      seed = 2014;                       (* executions are deterministic *)
-      round0 = `Stable_vector }
+    Chc.Scenario.make ~config ~inputs ~crash
+      ~scheduler:Runtime.Scheduler.random_uniform
+      ~seed:2014 ()                      (* executions are deterministic *)
   in
   let report = Chc.Executor.run spec in
 

@@ -39,10 +39,10 @@ let () =
   in
   let crash = Array.make n Runtime.Crash.Never in
   crash.(5) <- Runtime.Crash.After_sends 15;
-  let scheduler = Runtime.Scheduler.Random_uniform in
+  let scheduler = Runtime.Scheduler.random_uniform in
 
   (* Route (a): convex hull consensus, then Steiner points. *)
-  let spec = { Chc.Executor.config; inputs; crash; scheduler; seed = 3; round0 = `Stable_vector } in
+  let spec = Chc.Scenario.make ~config ~inputs ~crash ~scheduler ~seed:3 () in
   let report = Chc.Executor.run spec in
   let points_a = VC.derived_outputs report.Chc.Executor.result in
   let metrics_a = report.Chc.Executor.result.Chc.Cc.metrics in

@@ -43,9 +43,8 @@ let () =
   crash.(8) <- Runtime.Crash.After_sends 25;
 
   let spec =
-    { Chc.Executor.config; inputs; crash;
-      scheduler = Runtime.Scheduler.Lag_sources [7; 8];
-      seed = 7; round0 = `Stable_vector }
+    Chc.Scenario.make ~config ~inputs ~crash
+      ~scheduler:(Runtime.Scheduler.lag_sources [7; 8]) ~seed:7 ()
   in
   let report = Chc.Executor.run spec in
 

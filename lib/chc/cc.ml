@@ -19,6 +19,8 @@ type result = {
   senders : (int * int list) list array;
   sent_round : (int * bool) list array;
   crashed : bool array;
+  sends_attempted : int array;
+  receives_seen : int array;
   metrics : Runtime.Sim.metrics;
 }
 
@@ -28,7 +30,7 @@ let fault_set crash =
   |> List.filter_map (fun (i, plan) ->
       match plan with
       | Runtime.Crash.Never -> None
-      | Runtime.Crash.After_sends _ -> Some i)
+      | Runtime.Crash.After_sends _ | Runtime.Crash.After_receives _ -> Some i)
 
 (* Line 5 of Algorithm CC: intersection over all multisets obtained by
    dropping f elements of X_i. Non-emptiness is Lemma 2 (Tverberg):
@@ -64,7 +66,7 @@ type proc = {
   mutable sent_log : (int * bool) list;       (* reverse order *)
 }
 
-let execute ?trace ?(round0 = `Stable_vector) ~config ~inputs ~crash ~scheduler ~seed () =
+let execute ?trace ?(prefix = []) ?(round0 = `Stable_vector) ~config ~inputs ~crash ~scheduler ~seed () =
   let { Config.n; f; d; _ } = config in
   if Array.length inputs <> n then invalid_arg "Cc.execute: need n inputs";
   Array.iter (Config.validate_input config) inputs;
@@ -191,7 +193,7 @@ let execute ?trace ?(round0 = `Stable_vector) ~config ~inputs ~crash ~scheduler 
              if t = p.current then try_advance ctx p) }
   in
 
-  let sys = Sim.create ?trace ~n ~seed ~scheduler ~crash ~make () in
+  let sys = Sim.create ?trace ~prefix ~n ~seed ~scheduler ~crash ~make () in
   Sim.run sys;
 
   { t_end;
@@ -201,4 +203,6 @@ let execute ?trace ?(round0 = `Stable_vector) ~config ~inputs ~crash ~scheduler 
     senders = Array.map (fun p -> List.rev p.snd_log) procs;
     sent_round = Array.map (fun p -> List.rev p.sent_log) procs;
     crashed = Array.init n (Sim.crashed sys);
+    sends_attempted = Array.init n (Sim.sends_of sys);
+    receives_seen = Array.init n (Sim.receives_of sys);
     metrics = Sim.metrics sys }

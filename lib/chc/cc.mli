@@ -40,11 +40,18 @@ type result = {
     (** per process: did at least one round-[t] message reach a
         channel? (drives the paper's [F[t]] sets) *)
   crashed : bool array;
+  sends_attempted : int array;
+    (** per process: sends that actually entered a channel *)
+  receives_seen : int array;
+    (** per process: messages delivered to (and processed by) it —
+        together with [sends_attempted] this is what
+        {!Runtime.Crash.clamp} needs from a crash-free probe run *)
   metrics : Runtime.Sim.metrics;
 }
 
 val execute :
   ?trace:Obs.Trace.t ->
+  ?prefix:(int * int) list ->
   ?round0:round0_mode ->
   config:Config.t ->
   inputs:Geometry.Vec.t array ->
@@ -53,7 +60,9 @@ val execute :
   seed:int ->
   unit ->
   result
-(** Run one complete execution to quiescence.
+(** Run one complete execution to quiescence. [prefix] forces the head
+    of the delivery schedule (see [Runtime.Sim.create]) — the replay
+    hook behind [chc_sim replay] and the fuzzer's shrinker.
     When a [trace] is given, the full transcript is recorded: the
     simulator's transport events plus protocol-level [Round_enter]
     (every computed [h_i[t]], round 0 included), [Stable] (stable

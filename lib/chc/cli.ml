@@ -50,6 +50,14 @@ let parse_point ~d s =
     go [] coords
   end
 
+let parse_scheduler ~faulty s =
+  match s with
+  | "lag" -> Ok (Runtime.Scheduler.lag_sources faulty)
+  | _ ->
+    (match Runtime.Scheduler.of_spec s with
+     | Ok t -> Ok t
+     | Error e -> Error ("--scheduler: " ^ e))
+
 let parse_inputs ~n ~d s =
   let rec go acc = function
     | [] -> Ok (List.rev acc)

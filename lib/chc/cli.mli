@@ -20,6 +20,13 @@ val parse_q : string -> string -> (Numeric.Q.t, string) result
 val parse_point : d:int -> string -> (Geometry.Vec.t, string) result
 (** Comma-separated coordinates, exactly [d] of them. *)
 
+val parse_scheduler :
+  faulty:int list -> string -> (Runtime.Scheduler.t, string) result
+(** Resolve a [--scheduler name\[:params\]] spec against the strategy
+    registry (so fuzzer-contributed adversaries are addressable from
+    the CLI once registered). The bare name ["lag"] keeps its historic
+    CLI meaning: starve the faulty set. *)
+
 val parse_inputs :
   n:int -> d:int -> string -> (Geometry.Vec.t array, string) result
 (** Semicolon-separated points, exactly [n] of them. *)

@@ -4,13 +4,14 @@ module Polytope = Geometry.Polytope
 module Rng = Runtime.Rng
 module Crash = Runtime.Crash
 
-type spec = {
+type spec = Scenario.t = {
   config : Config.t;
   inputs : Vec.t array;
   crash : Crash.plan array;
   scheduler : Runtime.Scheduler.t;
   seed : int;
   round0 : Cc.round0_mode;
+  prefix : (int * int) list;
 }
 
 type report = {
@@ -29,27 +30,12 @@ type report = {
   iz_volume : Q.t option;
 }
 
-let random_inputs ~config ~rng ?(grid = 1000) () =
-  let { Config.n; d; lo; hi; _ } = config in
-  let span = Q.sub hi lo in
-  let coord () =
-    Q.add lo (Q.mul span (Q.of_ints (Rng.int rng (grid + 1)) grid))
-  in
-  Array.init n (fun _ -> Array.init d (fun _ -> coord ()))
+let random_inputs = Scenario.random_inputs
 
-let default_spec ~config ~seed ?faulty ?(scheduler = Runtime.Scheduler.Random_uniform)
-    ?(round0 = `Stable_vector) ?(max_budget = 60) () =
-  let rng = Rng.create seed in
-  let faulty =
-    match faulty with
-    | Some l -> l
-    | None -> List.init config.Config.f Fun.id
-  in
-  let inputs = random_inputs ~config ~rng () in
-  let crash =
-    Crash.random_for ~rng ~n:config.Config.n ~faulty ~max_sends:max_budget
-  in
-  { config; inputs; crash; scheduler; seed; round0 }
+let default_spec ~config ~seed ?faulty ?scheduler ?round0 ?max_budget
+    ?ensure_crash () =
+  Scenario.default ~config ~seed ?faulty ?scheduler ?round0 ?max_budget
+    ?ensure_crash ()
 
 let min_opt acc v =
   match acc with
@@ -127,9 +113,9 @@ let observe ?trace ?witnesses report =
     ()
 
 let run ?trace spec =
-  let { config; inputs; crash; scheduler; seed; round0 } = spec in
+  let { config; inputs; crash; scheduler; seed; round0; prefix } = spec in
   let result =
-    Cc.execute ?trace ~round0 ~config ~inputs ~crash ~scheduler ~seed ()
+    Cc.execute ?trace ~prefix ~round0 ~config ~inputs ~crash ~scheduler ~seed ()
   in
   let n = config.Config.n in
   let faulty = Cc.fault_set crash in

@@ -13,14 +13,18 @@
 
 module Q = Numeric.Q
 
-type spec = {
+type spec = Scenario.t = {
   config : Config.t;
   inputs : Geometry.Vec.t array;
   crash : Runtime.Crash.plan array;
   scheduler : Runtime.Scheduler.t;
   seed : int;
   round0 : Cc.round0_mode;
+  prefix : (int * int) list;
 }
+(** A re-export of {!Scenario.t}: the executor's input {e is} the
+    serializable scenario type, so anything runnable here can be saved,
+    replayed ([chc_sim replay]) and fuzzed. *)
 
 type report = {
   spec : spec;
@@ -73,8 +77,7 @@ val observe :
 val random_inputs :
   config:Config.t -> rng:Runtime.Rng.t -> ?grid:int -> unit ->
   Geometry.Vec.t array
-(** [n] random rational inputs on a uniform [grid × … × grid] lattice
-    spanning the configured input box (default [grid = 1000]). *)
+(** Alias of {!Scenario.random_inputs}. *)
 
 val default_spec :
   config:Config.t ->
@@ -83,8 +86,9 @@ val default_spec :
   ?scheduler:Runtime.Scheduler.t ->
   ?round0:Cc.round0_mode ->
   ?max_budget:int ->
+  ?ensure_crash:bool ->
   unit ->
   spec
-(** A randomized spec: random inputs, random crash budgets for the
-    given faulty set (default: processes [0 .. f-1]), random-uniform
-    scheduler. Deterministic in [seed]. *)
+(** Alias of {!Scenario.default}: random inputs, random crash budgets
+    for the given faulty set (default: processes [0 .. f-1]),
+    random-uniform scheduler. Deterministic in [seed]. *)

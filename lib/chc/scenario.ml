@@ -1,0 +1,230 @@
+module Q = Numeric.Q
+module Vec = Geometry.Vec
+module Rng = Runtime.Rng
+module Crash = Runtime.Crash
+module Scheduler = Runtime.Scheduler
+module Json = Codec.Json
+
+type t = {
+  config : Config.t;
+  inputs : Vec.t array;
+  crash : Crash.plan array;
+  scheduler : Scheduler.t;
+  seed : int;
+  round0 : Cc.round0_mode;
+  prefix : (int * int) list;
+}
+
+let version = 1
+
+let make ~config ~inputs ~crash ~scheduler ~seed ?(round0 = `Stable_vector)
+    ?(prefix = []) () =
+  let n = config.Config.n in
+  if Array.length inputs <> n then invalid_arg "Scenario.make: need n inputs";
+  Array.iter (Config.validate_input config) inputs;
+  if Array.length crash <> n then invalid_arg "Scenario.make: need n crash plans";
+  List.iter
+    (fun (src, dst) ->
+       if src < 0 || src >= n || dst < 0 || dst >= n then
+         invalid_arg "Scenario.make: prefix channel out of range")
+    prefix;
+  { config; inputs; crash; scheduler; seed; round0; prefix }
+
+let random_inputs ~config ~rng ?(grid = 1000) () =
+  let { Config.n; d; lo; hi; _ } = config in
+  let span = Q.sub hi lo in
+  let coord () =
+    Q.add lo (Q.mul span (Q.of_ints (Rng.int rng (grid + 1)) grid))
+  in
+  Array.init n (fun _ -> Array.init d (fun _ -> coord ()))
+
+(* A crash-free probe run of the same scenario: executions coincide up
+   to the first crash point, so the probe's per-process send/receive
+   counts bound which budgets can actually fire (Crash.clamp). *)
+let ensure_crashes t =
+  if Array.for_all (fun p -> p = Crash.Never) t.crash then t
+  else
+  let n = t.config.Config.n in
+  let probe =
+    Cc.execute ~round0:t.round0 ~config:t.config ~inputs:t.inputs
+      ~crash:(Array.make n Crash.Never) ~scheduler:t.scheduler ~seed:t.seed ()
+  in
+  { t with
+    crash =
+      Crash.clamp t.crash ~sends:probe.Cc.sends_attempted
+        ~receives:probe.Cc.receives_seen }
+
+let default ~config ~seed ?faulty ?(scheduler = Scheduler.random_uniform)
+    ?(round0 = `Stable_vector) ?(max_budget = 60) ?(ensure_crash = false) () =
+  let rng = Rng.create seed in
+  let faulty =
+    match faulty with
+    | Some l -> l
+    | None -> List.init config.Config.f Fun.id
+  in
+  let inputs = random_inputs ~config ~rng () in
+  let crash =
+    Crash.random_for ~rng ~n:config.Config.n ~faulty ~max_sends:max_budget
+  in
+  let t = { config; inputs; crash; scheduler; seed; round0; prefix = [] } in
+  if ensure_crash then ensure_crashes t else t
+
+let describe t =
+  let { Config.n; f; d; eps; _ } = t.config in
+  Printf.sprintf "n=%d f=%d d=%d eps=%s seed=%d sched=%s crash=[%s]%s%s"
+    n f d (Q.to_string eps) t.seed
+    (Scheduler.to_spec t.scheduler)
+    (String.concat ","
+       (Array.to_list t.crash
+        |> List.map (fun p -> Format.asprintf "%a" Crash.pp p)))
+    (match t.round0 with `Stable_vector -> "" | `Naive -> " round0=naive")
+    (match t.prefix with
+     | [] -> ""
+     | p -> Printf.sprintf " prefix=%d" (List.length p))
+
+(* --- JSON ------------------------------------------------------------- *)
+
+let q_json q = Json.Str (Q.to_string q)
+
+let vec_json v = Json.List (Array.to_list v |> List.map q_json)
+
+let plan_json = function
+  | Crash.Never -> Json.Obj [ ("kind", Json.Str "never") ]
+  | Crash.After_sends k ->
+    Json.Obj [ ("kind", Json.Str "after-sends"); ("budget", Json.Int k) ]
+  | Crash.After_receives k ->
+    Json.Obj [ ("kind", Json.Str "after-receives"); ("budget", Json.Int k) ]
+
+let to_json t =
+  let { Config.n; f; d; eps; lo; hi } = t.config in
+  Json.Obj
+    [ ("version", Json.Int version);
+      ( "config",
+        Json.Obj
+          [ ("n", Json.Int n); ("f", Json.Int f); ("d", Json.Int d);
+            ("eps", q_json eps); ("lo", q_json lo); ("hi", q_json hi) ] );
+      ("inputs", Json.List (Array.to_list t.inputs |> List.map vec_json));
+      ("crash", Json.List (Array.to_list t.crash |> List.map plan_json));
+      ( "scheduler",
+        Json.Obj
+          [ ("name", Json.Str (Scheduler.name t.scheduler));
+            ("params", Json.Str (Scheduler.params t.scheduler)) ] );
+      ("seed", Json.Int t.seed);
+      ( "round0",
+        Json.Str
+          (match t.round0 with
+           | `Stable_vector -> "stable-vector"
+           | `Naive -> "naive") );
+      ( "prefix",
+        Json.List
+          (List.map
+             (fun (src, dst) -> Json.List [ Json.Int src; Json.Int dst ])
+             t.prefix) ) ]
+
+let ( let* ) r f = Result.bind r f
+
+let q_of_json j =
+  let* s = Json.to_str j in
+  match Q.of_string s with
+  | q -> Ok q
+  | exception (Invalid_argument _ | Failure _) ->
+    Error (Printf.sprintf "%S is not a rational" s)
+
+let vec_of_json j =
+  let* l = Json.to_list j in
+  let* coords = Json.map_result q_of_json l in
+  Ok (Array.of_list coords)
+
+let plan_of_json j =
+  let* kind = Json.str_field "kind" j in
+  match kind with
+  | "never" -> Ok Crash.Never
+  | "after-sends" ->
+    let* k = Json.int_field "budget" j in
+    if k < 0 then Error "negative crash budget" else Ok (Crash.After_sends k)
+  | "after-receives" ->
+    let* k = Json.int_field "budget" j in
+    if k < 0 then Error "negative crash budget" else Ok (Crash.After_receives k)
+  | k -> Error (Printf.sprintf "unknown crash plan kind %S" k)
+
+let channel_of_json j =
+  let* l = Json.to_list j in
+  match l with
+  | [ a; b ] ->
+    let* src = Json.to_int a in
+    let* dst = Json.to_int b in
+    Ok (src, dst)
+  | _ -> Error "prefix entry must be a [src,dst] pair"
+
+let of_json j =
+  let* v = Json.int_field "version" j in
+  if v <> version then
+    Error
+      (Printf.sprintf "scenario version %d unsupported (this build reads %d)" v
+         version)
+  else
+    let* cj = Json.field "config" j in
+    let* n = Json.int_field "n" cj in
+    let* f = Json.int_field "f" cj in
+    let* d = Json.int_field "d" cj in
+    let* eps = Result.bind (Json.field "eps" cj) q_of_json in
+    let* lo = Result.bind (Json.field "lo" cj) q_of_json in
+    let* hi = Result.bind (Json.field "hi" cj) q_of_json in
+    let* config =
+      match Config.make ~n ~f ~d ~eps ~lo ~hi with
+      | c -> Ok c
+      | exception Invalid_argument msg -> Error msg
+    in
+    let* inputs_l = Json.list_field "inputs" j in
+    let* inputs = Json.map_result vec_of_json inputs_l in
+    let* crash_l = Json.list_field "crash" j in
+    let* crash = Json.map_result plan_of_json crash_l in
+    let* sj = Json.field "scheduler" j in
+    let* sname = Json.str_field "name" sj in
+    let* sparams = Json.str_field "params" sj in
+    let* scheduler =
+      Scheduler.of_spec
+        (if sparams = "" then sname else sname ^ ":" ^ sparams)
+    in
+    let* seed = Json.int_field "seed" j in
+    let* round0 =
+      let* s = Json.str_field "round0" j in
+      match s with
+      | "stable-vector" -> Ok `Stable_vector
+      | "naive" -> Ok `Naive
+      | s -> Error (Printf.sprintf "unknown round0 mode %S" s)
+    in
+    let* prefix_l = Json.list_field "prefix" j in
+    let* prefix = Json.map_result channel_of_json prefix_l in
+    match
+      make ~config ~inputs:(Array.of_list inputs)
+        ~crash:(Array.of_list crash) ~scheduler ~seed ~round0 ~prefix ()
+    with
+    | t -> Ok t
+    | exception Invalid_argument msg -> Error msg
+
+let to_string t = Json.to_string (to_json t)
+
+let of_string s =
+  let* j = Json.of_string s in
+  of_json j
+
+let equal a b = to_string a = to_string b
+
+let save ~path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+       output_string oc (to_string t);
+       output_char oc '\n')
+
+let load path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | s -> of_string (String.trim s)
+  | exception Sys_error msg -> Error msg

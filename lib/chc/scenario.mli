@@ -1,0 +1,98 @@
+(** A complete, serializable description of one execution of Algorithm
+    CC — the single entry-point type shared by the CLI ([chc_sim run] /
+    [replay]), the experiment harness, and the fuzzer's counterexample
+    artifacts.
+
+    Executions are pure functions of a scenario (see {!Cc.execute}), so
+    a scenario file {e is} the execution: [chc_sim replay file.json]
+    re-runs and re-grades it byte-for-byte. The JSON form is exact —
+    rationals are carried as ["num/den"] strings, never floats — and
+    versioned, so artifacts produced by the fuzzer remain loadable, or
+    fail loudly with a version message rather than silently drifting.
+
+    {!Executor.run} grades a scenario against every property the paper
+    proves; [Executor.spec] is this very type (re-exported), so the two
+    APIs interoperate freely. *)
+
+module Q = Numeric.Q
+
+type t = {
+  config : Config.t;
+  inputs : Geometry.Vec.t array;
+  crash : Runtime.Crash.plan array;
+  scheduler : Runtime.Scheduler.t;
+  seed : int;
+  round0 : Cc.round0_mode;
+  prefix : (int * int) list;
+      (** forced head of the delivery schedule — empty for ordinary
+          runs; the shrinker pins (then truncates) a recorded schedule
+          here (see [Runtime.Sim.create]) *)
+}
+
+val version : int
+(** The serialization format version this build reads and writes. *)
+
+val make :
+  config:Config.t ->
+  inputs:Geometry.Vec.t array ->
+  crash:Runtime.Crash.plan array ->
+  scheduler:Runtime.Scheduler.t ->
+  seed:int ->
+  ?round0:Cc.round0_mode ->
+  ?prefix:(int * int) list ->
+  unit ->
+  t
+(** Validated construction. [round0] defaults to [`Stable_vector],
+    [prefix] to [[]].
+    @raise Invalid_argument on wrong array lengths, out-of-range
+    inputs, or out-of-range prefix channels. *)
+
+val default :
+  config:Config.t ->
+  seed:int ->
+  ?faulty:int list ->
+  ?scheduler:Runtime.Scheduler.t ->
+  ?round0:Cc.round0_mode ->
+  ?max_budget:int ->
+  ?ensure_crash:bool ->
+  unit ->
+  t
+(** A randomized scenario: random inputs, random crash budgets for the
+    given faulty set (default: processes [0 .. f-1]), random-uniform
+    scheduler. Deterministic in [seed]. With [ensure_crash] (default
+    [false]) the sampled budgets are clamped via {!ensure_crashes} so
+    every faulty plan actually fires. *)
+
+val random_inputs :
+  config:Config.t -> rng:Runtime.Rng.t -> ?grid:int -> unit ->
+  Geometry.Vec.t array
+(** [n] random rational inputs on a uniform [grid × … × grid] lattice
+    spanning the configured input box (default [grid = 1000]). *)
+
+val ensure_crashes : t -> t
+(** Clamp every crash budget to what a crash-free probe run of the same
+    scenario (same inputs, scheduler, seed) actually performed, so each
+    faulty plan is guaranteed to fire ({!Runtime.Crash.clamp}). Costs
+    one extra execution. *)
+
+val describe : t -> string
+(** One-line human summary (n/f/d/ε, seed, scheduler spec, plans). *)
+
+(** {1 Exact JSON (de)serialization} *)
+
+val to_json : t -> Codec.Json.t
+val of_json : Codec.Json.t -> (t, string) result
+(** Rejects unknown versions, malformed fields, unregistered scheduler
+    names (register fuzzer strategies first), and anything
+    {!make} would reject. *)
+
+val to_string : t -> string
+(** Canonical single-line JSON; equal scenarios render identically. *)
+
+val of_string : string -> (t, string) result
+
+val equal : t -> t -> bool
+(** Equality of canonical serializations. *)
+
+val save : path:string -> t -> unit
+val load : string -> (t, string) result

@@ -1,0 +1,229 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* --- printing --------------------------------------------------------- *)
+
+let add_escaped b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string b "\\\""
+       | '\\' -> Buffer.add_string b "\\\\"
+       | '\n' -> Buffer.add_string b "\\n"
+       | '\r' -> Buffer.add_string b "\\r"
+       | '\t' -> Buffer.add_string b "\\t"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let rec add b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool true -> Buffer.add_string b "true"
+  | Bool false -> Buffer.add_string b "false"
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Str s -> add_escaped b s
+  | List l ->
+    Buffer.add_char b '[';
+    List.iteri
+      (fun i v ->
+         if i > 0 then Buffer.add_char b ',';
+         add b v)
+      l;
+    Buffer.add_char b ']'
+  | Obj fields ->
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, v) ->
+         if i > 0 then Buffer.add_char b ',';
+         add_escaped b k;
+         Buffer.add_char b ':';
+         add b v)
+      fields;
+    Buffer.add_char b '}'
+
+let to_string v =
+  let b = Buffer.create 256 in
+  add b v;
+  Buffer.contents b
+
+(* --- parsing ---------------------------------------------------------- *)
+
+exception Parse_error of string
+
+type cursor = { s : string; mutable pos : int }
+
+let fail cur msg =
+  raise (Parse_error (Printf.sprintf "%s at offset %d" msg cur.pos))
+
+let peek cur = if cur.pos < String.length cur.s then Some cur.s.[cur.pos] else None
+
+let advance cur = cur.pos <- cur.pos + 1
+
+let rec skip_ws cur =
+  match peek cur with
+  | Some (' ' | '\t' | '\n' | '\r') -> advance cur; skip_ws cur
+  | _ -> ()
+
+let expect cur c =
+  match peek cur with
+  | Some c' when c' = c -> advance cur
+  | _ -> fail cur (Printf.sprintf "expected %C" c)
+
+let literal cur word value =
+  let len = String.length word in
+  if cur.pos + len <= String.length cur.s
+     && String.sub cur.s cur.pos len = word
+  then (cur.pos <- cur.pos + len; value)
+  else fail cur (Printf.sprintf "expected %s" word)
+
+let parse_int cur =
+  let start = cur.pos in
+  if peek cur = Some '-' then advance cur;
+  let rec digits () =
+    match peek cur with
+    | Some ('0' .. '9') -> advance cur; digits ()
+    | _ -> ()
+  in
+  digits ();
+  (match peek cur with
+   | Some ('.' | 'e' | 'E') ->
+     fail cur "floating-point numbers are not part of this format"
+   | _ -> ());
+  if cur.pos = start || (cur.pos = start + 1 && cur.s.[start] = '-') then
+    fail cur "expected a number";
+  match int_of_string_opt (String.sub cur.s start (cur.pos - start)) with
+  | Some i -> Int i
+  | None -> fail cur "number out of range"
+
+let parse_string cur =
+  expect cur '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek cur with
+    | None -> fail cur "unterminated string"
+    | Some '"' -> advance cur; Buffer.contents b
+    | Some '\\' ->
+      advance cur;
+      (match peek cur with
+       | Some '"' -> Buffer.add_char b '"'; advance cur
+       | Some '\\' -> Buffer.add_char b '\\'; advance cur
+       | Some '/' -> Buffer.add_char b '/'; advance cur
+       | Some 'n' -> Buffer.add_char b '\n'; advance cur
+       | Some 'r' -> Buffer.add_char b '\r'; advance cur
+       | Some 't' -> Buffer.add_char b '\t'; advance cur
+       | Some 'b' -> Buffer.add_char b '\b'; advance cur
+       | Some 'f' -> Buffer.add_char b '\012'; advance cur
+       | Some 'u' ->
+         advance cur;
+         if cur.pos + 4 > String.length cur.s then fail cur "truncated \\u escape";
+         let hex = String.sub cur.s cur.pos 4 in
+         (match int_of_string_opt ("0x" ^ hex) with
+          | Some code when code < 0x80 ->
+            Buffer.add_char b (Char.chr code);
+            cur.pos <- cur.pos + 4
+          | Some _ -> fail cur "non-ASCII \\u escape unsupported"
+          | None -> fail cur "malformed \\u escape")
+       | _ -> fail cur "malformed escape");
+      go ()
+    | Some c -> Buffer.add_char b c; advance cur; go ()
+  in
+  go ()
+
+let rec parse_value cur =
+  skip_ws cur;
+  match peek cur with
+  | None -> fail cur "unexpected end of input"
+  | Some 'n' -> literal cur "null" Null
+  | Some 't' -> literal cur "true" (Bool true)
+  | Some 'f' -> literal cur "false" (Bool false)
+  | Some '"' -> Str (parse_string cur)
+  | Some '[' ->
+    advance cur;
+    skip_ws cur;
+    if peek cur = Some ']' then (advance cur; List [])
+    else begin
+      let rec items acc =
+        let v = parse_value cur in
+        skip_ws cur;
+        match peek cur with
+        | Some ',' -> advance cur; items (v :: acc)
+        | Some ']' -> advance cur; List (List.rev (v :: acc))
+        | _ -> fail cur "expected ',' or ']'"
+      in
+      items []
+    end
+  | Some '{' ->
+    advance cur;
+    skip_ws cur;
+    if peek cur = Some '}' then (advance cur; Obj [])
+    else begin
+      let rec fields acc =
+        skip_ws cur;
+        let k = parse_string cur in
+        skip_ws cur;
+        expect cur ':';
+        let v = parse_value cur in
+        skip_ws cur;
+        match peek cur with
+        | Some ',' -> advance cur; fields ((k, v) :: acc)
+        | Some '}' -> advance cur; Obj (List.rev ((k, v) :: acc))
+        | _ -> fail cur "expected ',' or '}'"
+      in
+      fields []
+    end
+  | Some ('-' | '0' .. '9') -> parse_int cur
+  | Some c -> fail cur (Printf.sprintf "unexpected character %C" c)
+
+let of_string s =
+  let cur = { s; pos = 0 } in
+  match parse_value cur with
+  | v ->
+    skip_ws cur;
+    if cur.pos <> String.length s then
+      Error (Printf.sprintf "trailing garbage at offset %d" cur.pos)
+    else Ok v
+  | exception Parse_error msg -> Error msg
+
+(* --- accessors -------------------------------------------------------- *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let ( let* ) r f = Result.bind r f
+
+let field key v =
+  match member key v with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %S" key)
+
+let to_int = function
+  | Int i -> Ok i
+  | v -> Error (Printf.sprintf "expected an integer, got %s" (to_string v))
+
+let to_str = function
+  | Str s -> Ok s
+  | v -> Error (Printf.sprintf "expected a string, got %s" (to_string v))
+
+let to_list = function
+  | List l -> Ok l
+  | v -> Error (Printf.sprintf "expected a list, got %s" (to_string v))
+
+let int_field key v = let* f = field key v in to_int f
+let str_field key v = let* f = field key v in to_str f
+let list_field key v = let* f = field key v in to_list f
+
+let map_result f l =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | x :: rest -> let* y = f x in go (y :: acc) rest
+  in
+  go [] l

@@ -1,0 +1,48 @@
+(** Minimal exact JSON — the textual artifact format.
+
+    The binary {!Wire} codec is what travels between processes; this
+    module is what lands on disk: saved {!Chc.Scenario} files, fuzzer
+    counterexample artifacts, and their metadata. It is deliberately
+    tiny and exact:
+    - numbers are OCaml [int]s only — rationals travel as strings in
+      [Numeric.Q] syntax ("3/4"), so no precision is ever lost and a
+      scenario round-trips byte-for-byte;
+    - printing is canonical (no whitespace, fields in the order given),
+      so structurally equal values render identically — artifact
+      equality checks are string equality;
+    - parsing rejects floats, non-ASCII escapes and trailing garbage
+      rather than guessing. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Canonical compact rendering (no whitespace). *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document; [Error] carries a message with the
+    byte offset of the problem. *)
+
+(** {1 Accessors}
+
+    Result-returning field access for decoders; all errors are
+    human-readable strings naming the offending key or value. *)
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] on anything else. *)
+
+val field : string -> t -> (t, string) result
+val to_int : t -> (int, string) result
+val to_str : t -> (string, string) result
+val to_list : t -> (t list, string) result
+val int_field : string -> t -> (int, string) result
+val str_field : string -> t -> (string, string) result
+val list_field : string -> t -> (t list, string) result
+
+val map_result : ('a -> ('b, string) result) -> 'a list -> ('b list, string) result
+(** Sequence a decoder over a list, failing on the first error. *)

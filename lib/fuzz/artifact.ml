@@ -1,0 +1,80 @@
+module Json = Codec.Json
+module Scenario = Chc.Scenario
+
+type t = {
+  scenario : Scenario.t;
+  oracle : Oracle.t;
+  violation : string;
+  trial : int;
+  shrink_steps : int;
+}
+
+let version = 1
+
+let to_json a =
+  Json.Obj
+    [ ("artifact-version", Json.Int version);
+      ("oracle", Oracle.to_json a.oracle);
+      ("violation", Json.Str a.violation);
+      ("trial", Json.Int a.trial);
+      ("shrink-steps", Json.Int a.shrink_steps);
+      ("scenario", Scenario.to_json a.scenario) ]
+
+let ( let* ) r f = Result.bind r f
+
+let of_json j =
+  let* v = Json.int_field "artifact-version" j in
+  if v <> version then
+    Error
+      (Printf.sprintf "artifact version %d unsupported (this build reads %d)" v
+         version)
+  else
+    let* oracle = Result.bind (Json.field "oracle" j) Oracle.of_json in
+    let* violation = Json.str_field "violation" j in
+    let* trial = Json.int_field "trial" j in
+    let* shrink_steps = Json.int_field "shrink-steps" j in
+    let* scenario = Result.bind (Json.field "scenario" j) Scenario.of_json in
+    Ok { scenario; oracle; violation; trial; shrink_steps }
+
+let to_string a = Json.to_string (to_json a)
+
+let of_string s =
+  let* j = Json.of_string s in
+  of_json j
+
+let save ~path a =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+       output_string oc (to_string a);
+       output_char oc '\n')
+
+let read_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | s -> Ok (String.trim s)
+  | exception Sys_error msg -> Error msg
+
+let load path = Result.bind (read_file path) of_string
+
+(* Replay accepts both artifact files and bare scenario files; a bare
+   scenario is wrapped with the real-properties oracle. *)
+let load_any path =
+  let* s = read_file path in
+  match of_string s with
+  | Ok a -> Ok a
+  | Error artifact_err ->
+    (match Scenario.of_string s with
+     | Ok scenario ->
+       Ok
+         { scenario; oracle = Oracle.Paper_properties; violation = "";
+           trial = -1; shrink_steps = 0 }
+     | Error scenario_err ->
+       Error
+         (Printf.sprintf "not an artifact (%s) nor a scenario (%s)"
+            artifact_err scenario_err))

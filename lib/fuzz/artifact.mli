@@ -1,0 +1,36 @@
+(** Replayable counterexample artifacts — what the campaign writes to
+    disk when a trial fails.
+
+    An artifact bundles the (minimized) {!Chc.Scenario} with the
+    {!Oracle} that flagged it, the violation message, the originating
+    trial index and the number of shrinking steps taken. The JSON form
+    is canonical and exact, like the scenario's — equal artifacts
+    render byte-identically. [chc_sim replay file.json] loads one,
+    re-executes the scenario and re-grades it with the embedded
+    oracle. *)
+
+type t = {
+  scenario : Chc.Scenario.t;
+  oracle : Oracle.t;
+  violation : string;  (** the [Fail] message that flagged the trial *)
+  trial : int;         (** originating trial index ([-1]: not from a campaign) *)
+  shrink_steps : int;  (** accepted shrinking moves *)
+}
+
+val version : int
+
+val to_json : t -> Codec.Json.t
+val of_json : Codec.Json.t -> (t, string) result
+
+val to_string : t -> string
+(** Canonical single-line JSON. *)
+
+val of_string : string -> (t, string) result
+
+val save : path:string -> t -> unit
+val load : string -> (t, string) result
+
+val load_any : string -> (t, string) result
+(** Like {!load}, but a bare {!Chc.Scenario} file is also accepted and
+    wrapped with the {!Oracle.Paper_properties} oracle — so [replay]
+    works on scenario files saved by hand, too. *)

@@ -1,0 +1,46 @@
+(** The fuzzing campaign — randomized adversary exploration, fanned out
+    over the parallel domain pool.
+
+    Each trial is a pure function of (space, campaign seed, trial
+    index): generate a scenario ({!Gen}), execute and grade it
+    ({!Oracle}). Trials run in batches over {!Parallel.Pool}; any
+    failure is then shrunk sequentially ({!Shrink}) to a minimal
+    counterexample and written to [out_dir] as a replayable
+    {!Artifact} (plus the minimized run's {!Obs.Trace} transcript as
+    [*.trace.jsonl]).
+
+    With the same (space, oracle, seed, trials) and no time budget the
+    campaign is deterministic — batch boundaries only group work; they
+    never change which trials run or what each one does. *)
+
+type budget = {
+  trials : int;
+  time_budget : float option;  (** wall-clock seconds; checked between batches *)
+}
+
+type finding = {
+  artifact : Artifact.t;
+  path : string;                (** artifact JSON on disk *)
+  trace_path : string option;   (** minimized run's transcript (JSONL) *)
+}
+
+type outcome = {
+  trials_run : int;
+  findings : finding list;  (** in trial order; empty = clean campaign *)
+  elapsed : float;
+}
+
+val run :
+  ?space:Gen.space ->
+  ?oracle:Oracle.t ->
+  ?out_dir:string ->
+  ?max_findings:int ->
+  ?log:(string -> unit) ->
+  seed:int ->
+  budget ->
+  outcome
+(** Run a campaign. Registers the fuzzer's scheduler strategies
+    (idempotent). [max_findings] (default 3) bounds how many failures
+    are shrunk and written — further failures in the same batch are
+    dropped and the campaign stops. [log] receives one-line progress
+    messages (default: silent). *)

@@ -1,0 +1,106 @@
+module Q = Numeric.Q
+module Rng = Runtime.Rng
+module Crash = Runtime.Crash
+module Scheduler = Runtime.Scheduler
+
+type space = {
+  d_choices : int list;
+  f_max : int;
+  n_slack : int;
+  eps_choices : Q.t list;
+  grids : int list;
+  scheduler_specs : string list;
+  receive_crashes : bool;
+  naive_round0 : [ `Never | `Sometimes | `Always ];
+  max_budget : int;
+  ensure_crash : bool;
+}
+
+let default_space =
+  { d_choices = [ 1; 1; 1; 2; 2 ];
+    f_max = 2;
+    n_slack = 2;
+    eps_choices = [ Q.of_ints 1 2; Q.of_ints 1 5; Q.of_ints 1 20 ];
+    grids = [ 4; 16; 1000 ];
+    scheduler_specs =
+      [ "random"; "round-robin"; "lifo"; "lag:@faulty"; "delay-burst:7";
+        "delay-burst:40"; "stab-boundary"; "swarm:random+stab-boundary";
+        "swarm:delay-burst:11+lifo" ];
+    receive_crashes = true;
+    naive_round0 = `Never;
+    max_budget = 40;
+    ensure_crash = true }
+
+let choose rng l = List.nth l (Rng.int rng (List.length l))
+
+let rec take k = function
+  | [] -> []
+  | _ when k <= 0 -> []
+  | x :: rest -> x :: take (k - 1) rest
+
+(* Replace every occurrence of "@faulty" in a scheduler spec by the
+   comma-joined faulty ids — lets the space name set-dependent
+   adversaries ("lag:@faulty") without knowing the sampled set. *)
+let subst_faulty spec faulty =
+  let ids = String.concat "," (List.map string_of_int faulty) in
+  let pat = "@faulty" in
+  let plen = String.length pat in
+  let buf = Buffer.create (String.length spec) in
+  let i = ref 0 in
+  let len = String.length spec in
+  while !i < len do
+    if !i + plen <= len && String.sub spec !i plen = pat then begin
+      Buffer.add_string buf ids;
+      i := !i + plen
+    end
+    else begin
+      Buffer.add_char buf spec.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let scenario space ~seed ~trial =
+  let rng = Rng.create ((seed * 1_000_003) + trial) in
+  let d = choose rng space.d_choices in
+  let f = Rng.int rng (space.f_max + 1) in
+  let n = Stdlib.max (((d + 2) * f) + 1 + Rng.int rng (space.n_slack + 1)) 3 in
+  let eps = choose rng space.eps_choices in
+  let config = Chc.Config.make ~n ~f ~d ~eps ~lo:Q.zero ~hi:Q.one in
+  let grid = choose rng space.grids in
+  let inputs = Chc.Scenario.random_inputs ~config ~rng ~grid () in
+  (* f is an upper bound: sampling fewer actual crashes than the
+     configured fault bound is where disagreement lives (with exactly
+     n - f live senders every process freezes the same round-t message
+     set and all hulls collapse to equality; divergence needs spare
+     live senders). *)
+  let crashers = Rng.int rng (f + 1) in
+  let faulty =
+    take crashers (Rng.shuffle rng (List.init n Fun.id)) |> List.sort compare
+  in
+  let crash = Array.make n Crash.Never in
+  List.iter
+    (fun i ->
+       let budget = Rng.int rng (space.max_budget + 1) in
+       crash.(i) <-
+         (if space.receive_crashes && Rng.bool rng then
+            Crash.After_receives budget
+          else Crash.After_sends budget))
+    faulty;
+  let round0 =
+    match space.naive_round0 with
+    | `Never -> `Stable_vector
+    | `Always -> `Naive
+    | `Sometimes -> if Rng.int rng 8 = 0 then `Naive else `Stable_vector
+  in
+  let spec = subst_faulty (choose rng space.scheduler_specs) faulty in
+  let scheduler =
+    match Scheduler.of_spec spec with
+    | Ok t -> t
+    | Error e -> invalid_arg (Printf.sprintf "Gen: bad scheduler spec %S: %s" spec e)
+  in
+  let sim_seed = Rng.int rng 1_000_000 in
+  let t =
+    Chc.Scenario.make ~config ~inputs ~crash ~scheduler ~seed:sim_seed ~round0 ()
+  in
+  if space.ensure_crash then Chc.Scenario.ensure_crashes t else t

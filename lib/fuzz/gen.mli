@@ -1,0 +1,46 @@
+(** Scenario generation — the adversary space the campaign explores.
+
+    A {!space} describes the cross-product (scheduler strategy × crash
+    plan × input geometry) the fuzzer samples from; {!scenario} is a
+    pure function of (space, campaign seed, trial index), so any trial
+    can be regenerated independently — which is exactly how the
+    campaign fans trials out over the parallel pool without
+    coordinating rng state. *)
+
+module Q = Numeric.Q
+
+type space = {
+  d_choices : int list;
+      (** dimension, drawn uniformly — repeat an entry to weight it *)
+  f_max : int;  (** fault bound drawn uniformly from [0..f_max] *)
+  n_slack : int;
+      (** [n] is the resilience minimum [(d+2)f + 1] plus uniform
+          slack in [0..n_slack] (and at least 3) *)
+  eps_choices : Q.t list;
+  grids : int list;  (** input lattice resolutions (coarse → fine) *)
+  scheduler_specs : string list;
+      (** [Runtime.Scheduler.of_spec] specs; ["@faulty"] expands to the
+          sampled faulty ids *)
+  receive_crashes : bool;
+      (** also sample [After_receives] plans (else sends only) *)
+  naive_round0 : [ `Never | `Sometimes | `Always ];
+      (** sample the [`Naive] round-0 ablation never / one trial in
+          eight / always. The ablation deliberately forfeits the
+          containment property, so against {!Oracle.Paper_properties}
+          its optimality failures are expected findings — the default
+          space keeps this [`Never]; the canary self-test and the CLI's
+          [--naive-round0] turn it on deliberately *)
+  max_budget : int;
+  ensure_crash : bool;
+      (** clamp sampled budgets so every faulty plan actually fires
+          ({!Chc.Scenario.ensure_crashes}) — costs one probe execution
+          per trial *)
+}
+
+val default_space : space
+(** Small-but-adversarial: d ≤ 2, f ≤ 2, coarse-to-fine grids, all
+    registered strategies including the fuzzer's own (call
+    {!Strategies.register_builtin} first), guaranteed-firing crashes. *)
+
+val scenario : space -> seed:int -> trial:int -> Chc.Scenario.t
+(** Deterministic in [(space, seed, trial)]. *)

@@ -1,0 +1,75 @@
+module Q = Numeric.Q
+module Json = Codec.Json
+
+type t =
+  | Paper_properties
+  | Agreement_within of Q.t
+
+type verdict =
+  | Pass
+  | Fail of string
+
+let name = function
+  | Paper_properties -> "paper-properties"
+  | Agreement_within eps -> Printf.sprintf "agreement-within:%s" (Q.to_string eps)
+
+let to_json = function
+  | Paper_properties -> Json.Obj [ ("kind", Json.Str "paper-properties") ]
+  | Agreement_within eps ->
+    Json.Obj
+      [ ("kind", Json.Str "agreement-within");
+        ("eps", Json.Str (Q.to_string eps)) ]
+
+let ( let* ) r f = Result.bind r f
+
+let of_json j =
+  let* kind = Json.str_field "kind" j in
+  match kind with
+  | "paper-properties" -> Ok Paper_properties
+  | "agreement-within" ->
+    let* s = Json.str_field "eps" j in
+    (match Q.of_string s with
+     | eps when Q.gt eps Q.zero -> Ok (Agreement_within eps)
+     | _ -> Error "agreement-within: eps must be positive"
+     | exception (Invalid_argument _ | Failure _) ->
+       Error (Printf.sprintf "agreement-within: %S is not a rational" s))
+  | k -> Error (Printf.sprintf "unknown oracle kind %S" k)
+
+(* Grading failures are themselves findings: an execution that blows
+   the step limit is a liveness violation, and any other exception is
+   an engine bug the fuzzer should surface rather than swallow. *)
+let grade oracle (report : Chc.Executor.report) =
+  match oracle with
+  | Paper_properties ->
+    if not report.Chc.Executor.terminated then
+      Fail "termination: a fault-free process never decided"
+    else if not report.Chc.Executor.valid then
+      Fail "validity: an output leaves the hull of correct inputs"
+    else if not report.Chc.Executor.agreement_ok then
+      Fail
+        (Printf.sprintf "agreement: d_H^2 = %s >= eps^2"
+           (match report.Chc.Executor.agreement2 with
+            | Some a2 -> Q.to_string a2
+            | None -> "?"))
+    else if not report.Chc.Executor.optimal then
+      Fail "optimality: I_Z not contained in some h_i[t]"
+    else Pass
+  | Agreement_within eps ->
+    if not report.Chc.Executor.terminated then
+      Fail "termination: a fault-free process never decided"
+    else
+      (match report.Chc.Executor.agreement2 with
+       | None -> Pass
+       | Some a2 ->
+         if Q.lt a2 (Q.square eps) then Pass
+         else
+           Fail
+             (Printf.sprintf "agreement: d_H^2 = %s >= %s^2" (Q.to_string a2)
+                (Q.to_string eps)))
+
+let check ?trace oracle scenario =
+  match Chc.Executor.run ?trace scenario with
+  | report -> grade oracle report
+  | exception Runtime.Sim.Step_limit_exceeded ->
+    Fail "step-limit: execution exceeded the simulator step bound"
+  | exception exn -> Fail (Printf.sprintf "engine: %s" (Printexc.to_string exn))

@@ -1,0 +1,37 @@
+(** Property oracles — what the fuzzer grades an execution against.
+
+    [Paper_properties] is the real thing: every property the paper
+    proves (termination, validity, ε-agreement, optimality), exactly as
+    {!Chc.Executor} certifies them. [Agreement_within] substitutes an
+    explicit agreement threshold for the configured ε — its intended
+    use is the {e canary}: grading the correct protocol against a
+    deliberately too-strict threshold manufactures real, reproducible
+    violations, which is how the test suite proves the campaign and the
+    shrinker actually work end-to-end.
+
+    The oracle travels inside the counterexample artifact, so
+    [chc_sim replay] re-grades with the same check that flagged the
+    run. *)
+
+module Q = Numeric.Q
+
+type t =
+  | Paper_properties
+      (** all four properties of the paper, graded exactly *)
+  | Agreement_within of Q.t
+      (** termination plus [d_H² < eps²] for the given [eps],
+          ignoring the scenario's configured ε *)
+
+type verdict = Pass | Fail of string
+(** [Fail] carries a one-line human reason. Engine escapes are
+    verdicts too: [Step_limit_exceeded] grades as a liveness failure
+    and any other exception as an engine bug — the fuzzer surfaces
+    both rather than crashing the campaign. *)
+
+val name : t -> string
+
+val to_json : t -> Codec.Json.t
+val of_json : Codec.Json.t -> (t, string) result
+
+val check : ?trace:Obs.Trace.t -> t -> Chc.Scenario.t -> verdict
+(** Execute the scenario ({!Chc.Executor.run}) and grade it. *)

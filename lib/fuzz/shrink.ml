@@ -1,0 +1,181 @@
+module Q = Numeric.Q
+module Bigint = Numeric.Bigint
+module Crash = Runtime.Crash
+module Scenario = Chc.Scenario
+module Config = Chc.Config
+
+(* Rebuild a candidate through Scenario.make so anything structurally
+   invalid (resilience bound, ranges) is skipped, not executed. *)
+let build (t : Scenario.t) ~config ~inputs ~crash ~prefix =
+  match
+    Scenario.make ~config ~inputs ~crash ~scheduler:t.Scenario.scheduler
+      ~seed:t.seed ~round0:t.round0 ~prefix ()
+  with
+  | s -> Some s
+  | exception Invalid_argument _ -> None
+
+let try_config ~n ~f ~d ~eps ~lo ~hi =
+  match Config.make ~n ~f ~d ~eps ~lo ~hi with
+  | c -> Some c
+  | exception Invalid_argument _ -> None
+
+let drop_crash (t : Scenario.t) =
+  List.filter_map
+    (fun i ->
+       match t.crash.(i) with
+       | Crash.Never -> None
+       | _ ->
+         let crash = Array.copy t.crash in
+         crash.(i) <- Crash.Never;
+         build t ~config:t.config ~inputs:t.inputs ~crash ~prefix:t.prefix)
+    (List.init (Array.length t.crash) Fun.id)
+
+let reduce_n (t : Scenario.t) =
+  let { Config.n; f; d; eps; lo; hi } = t.config in
+  if n <= 3 then []
+  else
+    match try_config ~n:(n - 1) ~f ~d ~eps ~lo ~hi with
+    | None -> []
+    | Some config ->
+      let inputs = Array.sub t.inputs 0 (n - 1) in
+      let crash = Array.sub t.crash 0 (n - 1) in
+      let prefix =
+        List.filter (fun (src, dst) -> src < n - 1 && dst < n - 1) t.prefix
+      in
+      Option.to_list (build t ~config ~inputs ~crash ~prefix)
+
+let reduce_f (t : Scenario.t) =
+  let { Config.n; f; d; eps; lo; hi } = t.config in
+  let faulty_count =
+    Array.fold_left
+      (fun acc p -> match p with Crash.Never -> acc | _ -> acc + 1)
+      0 t.crash
+  in
+  if f < 1 || faulty_count > f - 1 then []
+  else
+    match try_config ~n ~f:(f - 1) ~d ~eps ~lo ~hi with
+    | None -> []
+    | Some config ->
+      Option.to_list
+        (build t ~config ~inputs:t.inputs ~crash:t.crash ~prefix:t.prefix)
+
+let reduce_d (t : Scenario.t) =
+  let { Config.n; f; d; eps; lo; hi } = t.config in
+  if d <= 1 then []
+  else
+    match try_config ~n ~f ~d:(d - 1) ~eps ~lo ~hi with
+    | None -> []
+    | Some config ->
+      let inputs = Array.map (fun v -> Array.sub v 0 (d - 1)) t.inputs in
+      Option.to_list (build t ~config ~inputs ~crash:t.crash ~prefix:t.prefix)
+
+(* Snap a coordinate to the nearest point of the g-step lattice over
+   [lo, hi]. The ratio is in [0, 1], so truncating division is floor
+   and floor(x + 1/2) rounds to nearest. *)
+let snap ~lo ~span ~g c =
+  if Q.is_zero span then c
+  else
+    let x = Q.add (Q.mul_int (Q.div (Q.sub c lo) span) g) Q.half in
+    let k = Bigint.to_int_exn (Bigint.div x.Q.num x.Q.den) in
+    Q.add lo (Q.mul span (Q.of_ints k g))
+
+let coarsen (t : Scenario.t) =
+  let { Config.lo; hi; _ } = t.config in
+  let span = Q.sub hi lo in
+  List.filter_map
+    (fun g ->
+       let inputs =
+         Array.map (fun v -> Array.map (snap ~lo ~span ~g) v) t.inputs
+       in
+       let changed =
+         Array.exists Fun.id
+           (Array.mapi
+              (fun i v ->
+                 Array.exists Fun.id
+                   (Array.mapi (fun j c -> not (Q.equal c t.inputs.(i).(j))) v))
+              inputs)
+       in
+       if changed then
+         build t ~config:t.config ~inputs ~crash:t.crash ~prefix:t.prefix
+       else None)
+    [ 1; 2; 4 ]
+
+let later_crash (t : Scenario.t) =
+  let n = Array.length t.crash in
+  List.filter_map
+    (fun i ->
+       let bump k ctor =
+         if k >= 200 then None
+         else begin
+           let crash = Array.copy t.crash in
+           crash.(i) <- ctor (k + (n - 1));
+           build t ~config:t.config ~inputs:t.inputs ~crash ~prefix:t.prefix
+         end
+       in
+       match t.crash.(i) with
+       | Crash.Never -> None
+       | Crash.After_sends k -> bump k (fun k -> Crash.After_sends k)
+       | Crash.After_receives k -> bump k (fun k -> Crash.After_receives k))
+    (List.init n Fun.id)
+
+let shrink_prefix (t : Scenario.t) =
+  match t.prefix with
+  | [] -> []
+  | p ->
+    let len = List.length p in
+    let rec take k = function
+      | [] -> []
+      | _ when k <= 0 -> []
+      | x :: rest -> x :: take (k - 1) rest
+    in
+    List.filter_map
+      (fun k ->
+         if k >= len then None
+         else
+           build t ~config:t.config ~inputs:t.inputs ~crash:t.crash
+             ~prefix:(take k p))
+      [ 0; len / 2; len - 1 ]
+
+let candidates t =
+  List.concat
+    [ drop_crash t; reduce_n t; reduce_f t; reduce_d t; coarsen t;
+      later_crash t; shrink_prefix t ]
+
+type stats = { steps : int; attempts : int }
+
+let minimize ?(max_attempts = 150) ~oracle scenario =
+  let attempts = ref 0 in
+  let fails s =
+    incr attempts;
+    match Oracle.check oracle s with
+    | Oracle.Pass -> false
+    | Oracle.Fail _ -> true
+  in
+  let rec first_failing = function
+    | [] -> None
+    | c :: rest ->
+      if !attempts >= max_attempts then None
+      else if fails c then Some c
+      else first_failing rest
+  in
+  let rec go current steps =
+    if !attempts >= max_attempts then (current, steps)
+    else
+      match first_failing (candidates current) with
+      | None -> (current, steps)
+      | Some c -> go c (steps + 1)
+  in
+  let minimized, steps = go scenario 0 in
+  (minimized, { steps; attempts = !attempts })
+
+let with_pinned_schedule ?(cap = 200) ~oracle scenario =
+  let trace = Obs.Trace.create () in
+  match Oracle.check ~trace oracle scenario with
+  | Oracle.Pass -> scenario
+  | Oracle.Fail _ ->
+    let rec take k = function
+      | [] -> []
+      | _ when k <= 0 -> []
+      | x :: rest -> x :: take (k - 1) rest
+    in
+    { scenario with Scenario.prefix = take cap (Obs.Trace.schedule trace) }

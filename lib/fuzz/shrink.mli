@@ -1,0 +1,45 @@
+(** Counterexample shrinking — greedy minimization of a failing
+    scenario.
+
+    Candidate moves, tried in this order each round: drop one crash
+    plan, drop the last process (n−1), lower the fault bound f, drop
+    the last input dimension, snap inputs to a coarser lattice
+    (g ∈ {1, 2, 4}), push a crash budget later by one broadcast's worth
+    of sends, and truncate the pinned schedule prefix (empty / half /
+    one-shorter). The first candidate the oracle still fails becomes
+    the new current scenario; the loop stops when no candidate fails
+    or the attempt budget is spent.
+
+    Everything here is deterministic: executions are pure functions of
+    the scenario, candidate generation draws no randomness, so the same
+    (scenario, oracle, budget) always minimizes to the identical
+    artifact — which the test suite asserts byte-for-byte. *)
+
+type stats = {
+  steps : int;     (** accepted shrinking moves *)
+  attempts : int;  (** oracle checks spent (each is one execution) *)
+}
+
+val candidates : Chc.Scenario.t -> Chc.Scenario.t list
+(** All structurally valid one-step simplifications, in preference
+    order. Pure. *)
+
+val minimize :
+  ?max_attempts:int ->
+  oracle:Oracle.t ->
+  Chc.Scenario.t ->
+  Chc.Scenario.t * stats
+(** Greedy fixpoint of {!candidates} under "oracle still fails"
+    ([max_attempts] defaults to 150 oracle checks). The input scenario
+    is assumed failing; the result is failing too (the loop only moves
+    between failing scenarios). *)
+
+val with_pinned_schedule :
+  ?cap:int -> oracle:Oracle.t -> Chc.Scenario.t -> Chc.Scenario.t
+(** Re-run the (failing) scenario with a trace and pin its first [cap]
+    (default 200) scheduler decisions as the scenario's [prefix] — a
+    semantic no-op on the scenario itself (the prefix forces exactly
+    what the strategy would have picked), but it keeps the delivery
+    order near the original failure while {!minimize} mutates the
+    scenario structurally. Returns the scenario unchanged if it
+    unexpectedly passes. *)

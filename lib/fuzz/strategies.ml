@@ -1,0 +1,99 @@
+module Scheduler = Runtime.Scheduler
+module Rng = Runtime.Rng
+
+let nth_channel candidates k = fst (List.nth candidates k)
+
+(* Starve one source per time window, rotating through the sources in
+   id order: traffic from the starved process piles up for [period]
+   steps and is released in a burst when the window moves on. Fair in
+   the limit (every window eventually starves someone else). *)
+let delay_burst ~period =
+  if period <= 0 then invalid_arg "Strategies.delay_burst: period must be > 0";
+  Scheduler.make ~name:"delay-burst" ~params:(string_of_int period) @@ fun () ->
+  fun ~rng ~step ~candidates ->
+  let srcs =
+    List.sort_uniq compare
+      (List.map (fun (c, _) -> c.Scheduler.src) candidates)
+  in
+  let starved = List.nth srcs (step / period mod List.length srcs) in
+  let pool =
+    List.filter (fun (c, _) -> c.Scheduler.src <> starved) candidates
+  in
+  let pool = if pool = [] then candidates else pool in
+  nth_channel pool (Rng.int rng (List.length pool))
+
+(* Keep every receiver as close to the stabilization boundary as
+   possible: always deliver to the process that has received the
+   fewest messages so far (rng tie-break), so all stable-vector views
+   fill in lock-step and cut-off decisions happen at the same count
+   everywhere. Stateful — the per-receiver counts live in the closure,
+   so every execution instantiates a fresh copy and replays exactly. *)
+let stab_boundary =
+  Scheduler.make ~name:"stab-boundary" @@ fun () ->
+  let counts : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let count d = Option.value (Hashtbl.find_opt counts d) ~default:0 in
+  fun ~rng ~step:_ ~candidates ->
+    let least =
+      List.fold_left
+        (fun acc (c, _) ->
+           let k = count c.Scheduler.dst in
+           match acc with Some (_, best) when best <= k -> acc | _ -> Some (c.Scheduler.dst, k))
+        None candidates
+    in
+    let target = match least with Some (d, _) -> d | None -> assert false in
+    let pool =
+      List.filter (fun (c, _) -> c.Scheduler.dst = target) candidates
+    in
+    let c = nth_channel pool (Rng.int rng (List.length pool)) in
+    Hashtbl.replace counts c.Scheduler.dst (count c.Scheduler.dst + 1);
+    c
+
+(* A random mixture: each step one sub-strategy (uniform rng choice)
+   makes the pick. Stateful sub-strategies keep their state across
+   steps — the swarm instantiates each exactly once per execution. *)
+let swarm subs =
+  (match subs with
+   | [] -> invalid_arg "Strategies.swarm: needs at least one sub-strategy"
+   | _ -> ());
+  let params = String.concat "+" (List.map Scheduler.to_spec subs) in
+  Scheduler.make ~name:"swarm" ~params @@ fun () ->
+  let picks = Array.of_list (List.map Scheduler.instantiate subs) in
+  fun ~rng ~step ~candidates ->
+    let pick = picks.(Rng.int rng (Array.length picks)) in
+    pick ~rng ~step ~candidates
+
+let ( let* ) r f = Result.bind r f
+
+let swarm_of_spec p =
+  let parts =
+    String.split_on_char '+' p |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | spec :: rest ->
+      if String.length spec >= 5 && String.sub spec 0 5 = "swarm" then
+        Error "sub-strategies cannot themselves be swarms"
+      else
+        let* t = Scheduler.of_spec spec in
+        go (t :: acc) rest
+  in
+  let* subs = go [] parts in
+  match subs with
+  | [] -> Error "needs at least one sub-strategy (\"+\"-separated specs)"
+  | _ -> Ok (swarm subs)
+
+let register_builtin () =
+  Scheduler.register ~name:"delay-burst" (fun p ->
+      match p with
+      | "" -> Ok (delay_burst ~period:40)
+      | p ->
+        (match int_of_string_opt p with
+         | Some k when k > 0 -> Ok (delay_burst ~period:k)
+         | Some _ | None ->
+           Error (Printf.sprintf "period must be a positive integer (got %S)" p)));
+  Scheduler.register ~name:"stab-boundary" (fun p ->
+      match p with
+      | "" -> Ok stab_boundary
+      | p -> Error (Printf.sprintf "takes no parameters (got %S)" p));
+  Scheduler.register ~name:"swarm" swarm_of_spec

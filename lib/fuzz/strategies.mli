@@ -1,0 +1,31 @@
+(** Fuzzer-contributed adversarial scheduler strategies.
+
+    All three plug into {!Runtime.Scheduler}'s strategy registry (call
+    {!register_builtin} once at startup), so they are addressable from
+    the CLI ([--scheduler delay-burst:40]), serializable inside
+    {!Chc.Scenario} artifacts, and composable with the core
+    adversaries. Every strategy is fair in the limit — no channel is
+    starved forever — so Algorithm CC's termination proof applies and
+    a non-terminating run under one of them is a genuine bug, not an
+    artifact of an unfair adversary (see DESIGN.md). *)
+
+val delay_burst : period:int -> Runtime.Scheduler.t
+(** [delay-burst:period] — starve one source per [period]-step window,
+    rotating through sources in id order; the backlog releases as a
+    burst at each window boundary.
+    @raise Invalid_argument if [period <= 0]. *)
+
+val stab_boundary : Runtime.Scheduler.t
+(** [stab-boundary] — always deliver to the receiver that has received
+    the fewest messages, keeping every process at the stable-vector
+    stabilization boundary simultaneously. Stateful: each execution
+    gets a fresh counter table, so replay is exact. *)
+
+val swarm : Runtime.Scheduler.t list -> Runtime.Scheduler.t
+(** [swarm:specA+specB+…] — each step a uniformly drawn sub-strategy
+    makes the pick. Sub-strategies may not themselves be swarms.
+    @raise Invalid_argument on the empty list. *)
+
+val register_builtin : unit -> unit
+(** Register [delay-burst], [stab-boundary] and [swarm] in the
+    {!Runtime.Scheduler} registry. Idempotent. *)

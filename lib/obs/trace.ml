@@ -22,6 +22,16 @@ let length t = t.count
 
 let events t = List.rev t.rev_events
 
+(* Deliver and Dead_letter are exactly the events that consume one
+   scheduler decision each, so projecting them out in order recovers
+   the full channel-choice schedule of the run. *)
+let schedule t =
+  List.filter_map
+    (function
+      | Deliver { src; dst; _ } | Dead_letter { src; dst; _ } -> Some (src, dst)
+      | Send _ | Drop _ | Crash _ | Round_enter _ | Stable _ | Decide _ -> None)
+    (events t)
+
 (* One compact JSON object per event. Every field is an int, printed
    with a fixed key order, so equal traces render to byte-identical
    JSONL — the replay check depends on this. *)

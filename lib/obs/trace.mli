@@ -48,6 +48,13 @@ val length : t -> int
 val events : t -> event list
 (** In emission order. *)
 
+val schedule : t -> (int * int) list
+(** The run's scheduler decisions as (src, dst) channel choices, in
+    order — the [Deliver] and [Dead_letter] events, which consume one
+    decision each. Feeding this list back as [Runtime.Sim]'s [prefix]
+    replays the recorded delivery order exactly; the fuzzer's shrinker
+    uses truncations of it. *)
+
 val event_to_json : event -> string
 (** One compact JSON object, fixed key order, integer fields only —
     equal events render identically. *)

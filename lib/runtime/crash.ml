@@ -1,12 +1,27 @@
 type plan =
   | Never
   | After_sends of int
+  | After_receives of int
 
 let pp fmt = function
   | Never -> Format.pp_print_string fmt "never"
   | After_sends k -> Format.fprintf fmt "after-%d-sends" k
+  | After_receives k -> Format.fprintf fmt "after-%d-receives" k
 
 let random_for ~rng ~n ~faulty ~max_sends =
   Array.init n (fun i ->
       if List.mem i faulty then After_sends (Rng.int rng (max_sends + 1))
       else Never)
+
+(* A budget of [count - 1] is the latest one guaranteed to fire: the
+   crash-free execution and the budgeted one coincide up to the point
+   where the budget is exhausted, so the [budget + 1]-th attempt — which
+   the probe witnessed — actually happens and kills the process. *)
+let clamp plans ~sends ~receives =
+  Array.mapi
+    (fun i plan ->
+       match plan with
+       | Never -> Never
+       | After_sends k -> After_sends (min k (max 0 (sends.(i) - 1)))
+       | After_receives k -> After_receives (min k (max 0 (receives.(i) - 1))))
+    plans

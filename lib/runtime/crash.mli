@@ -4,14 +4,25 @@
     a crash may land {e between the unit sends of a broadcast}, so some
     recipients receive the round's message and others never do — the
     exact behaviour the stable-vector primitive must tolerate. The
-    budget counts individual point-to-point sends, which makes partial
-    broadcasts expressible. *)
+    send budget counts individual point-to-point sends, which makes
+    partial broadcasts expressible; the receive budget triggers on
+    deliveries instead, which lets the adversary kill a process at a
+    precise point of its {e view} (e.g. one delivery short of a stable
+    vector forming — the stabilization boundary). *)
 
 type plan =
-  | Never                 (** the process never crashes *)
-  | After_sends of int    (** crashes when it attempts send number
-                              [k+1]; [After_sends 0] crashes before
-                              sending anything *)
+  | Never                   (** the process never crashes *)
+  | After_sends of int      (** crashes when it attempts send number
+                                [k+1]; [After_sends 0] crashes before
+                                sending anything *)
+  | After_receives of int   (** crashes when delivery number [k+1]
+                                reaches it: the first [k] deliveries
+                                are processed, the next one kills the
+                                process (that message is lost).
+                                [After_receives 0] crashes on its first
+                                delivery — unlike [After_sends 0] the
+                                process still gets its initial
+                                broadcast out. *)
 
 val pp : Format.formatter -> plan -> unit
 
@@ -19,4 +30,19 @@ val random_for :
   rng:Rng.t -> n:int -> faulty:int list -> max_sends:int -> plan array
 (** A crash plan array for [n] processes: non-faulty processes never
     crash, each faulty process gets a uniformly random send budget in
-    [\[0, max_sends\]]. *)
+    [\[0, max_sends\]].
+
+    Beware: a drawn budget can exceed the number of sends the process
+    performs in a short execution, in which case the plan never fires
+    and the process is de-facto correct. Use {!clamp} with the counts
+    observed in a crash-free probe run to guarantee every sampled plan
+    actually crashes (see [Chc.Scenario.ensure_crashes]). *)
+
+val clamp : plan array -> sends:int array -> receives:int array -> plan array
+(** Clamp each budget to [count - 1], where [count] is the per-process
+    send (resp. receive) count observed in a {e crash-free} run of the
+    same scenario. Because the budgeted execution is identical to the
+    crash-free one up to the crash point, a clamped plan is guaranteed
+    to fire under the same (scheduler, seed) — this is the fix for
+    plans that silently never crash. Counts of 0 clamp the budget
+    to 0. *)

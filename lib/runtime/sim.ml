@@ -10,10 +10,13 @@ and 'msg t = {
   trace : Obs.Trace.t option;
   rng : Rng.t;
   scheduler : Scheduler.t;
+  pick : Scheduler.pick_fn;
   channels : (int * 'msg) Queue.t array array; (* channels.(src).(dst) *)
   crash_plan : Crash.plan array;
   crashed : bool array;
   sends_attempted : int array;
+  receives_seen : int array;
+  mutable prefix : (int * int) list;  (* forced (src, dst) schedule head *)
   mutable handlers : 'msg handlers array;
   mutable seq : int;
   mutable sent : int;
@@ -36,6 +39,7 @@ let trace_emit t ev =
 
 let crashed t i = t.crashed.(i)
 let sends_of t i = t.sends_attempted.(i)
+let receives_of t i = t.receives_seen.(i)
 let sends ctx = ctx.sys.sends_attempted.(ctx.me)
 
 (* A send consumes one unit of the sender's budget whether or not it is
@@ -57,7 +61,7 @@ let send ctx dst msg =
        trace_emit t
          (fun () -> Obs.Trace.Crash { pid = src; sends = t.sends_attempted.(src) });
        trace_emit t (fun () -> Obs.Trace.Drop { src })
-     | Crash.After_sends _ | Crash.Never ->
+     | Crash.After_sends _ | Crash.After_receives _ | Crash.Never ->
        t.sends_attempted.(src) <- t.sends_attempted.(src) + 1;
        t.seq <- t.seq + 1;
        t.sent <- t.sent + 1;
@@ -72,17 +76,20 @@ let broadcast ctx ?(include_self = false) msg =
   done;
   if include_self then send ctx ctx.me msg
 
-let create ?trace ~n ~seed ~scheduler ~crash ~make () =
+let create ?trace ?(prefix = []) ~n ~seed ~scheduler ~crash ~make () =
   if Array.length crash <> n then invalid_arg "Sim.create: crash plan size";
   let t =
     { n;
       trace;
       rng = Rng.create seed;
       scheduler;
+      pick = Scheduler.instantiate scheduler;
       channels = Array.init n (fun _ -> Array.init n (fun _ -> Queue.create ()));
       crash_plan = crash;
       crashed = Array.make n false;
       sends_attempted = Array.make n 0;
+      receives_seen = Array.make n 0;
+      prefix;
       handlers = [||];
       seq = 0;
       sent = 0;
@@ -93,14 +100,15 @@ let create ?trace ~n ~seed ~scheduler ~crash ~make () =
       started = false }
   in
   t.handlers <- Array.init n make;
-  (* Processes with a zero budget are crashed from the outset. *)
+  (* Processes with a zero send budget are crashed from the outset
+     (receive budgets only ever fire on a delivery). *)
   Array.iteri
     (fun i plan ->
        match plan with
        | Crash.After_sends 0 ->
          t.crashed.(i) <- true;
          trace_emit t (fun () -> Obs.Trace.Crash { pid = i; sends = 0 })
-       | Crash.After_sends _ | Crash.Never -> ())
+       | Crash.After_sends _ | Crash.After_receives _ | Crash.Never -> ())
     crash;
   t
 
@@ -119,6 +127,20 @@ let nonempty_channels t =
   done;
   !acc
 
+(* Consume forced-prefix entries until one names a currently non-empty
+   channel; entries that no longer apply (the shrinker may have removed
+   the messages they referred to) are skipped deterministically. *)
+let rec prefix_choice t candidates =
+  match t.prefix with
+  | [] -> None
+  | (src, dst) :: rest ->
+    t.prefix <- rest;
+    if List.exists
+        (fun (c, _) -> c.Scheduler.src = src && c.Scheduler.dst = dst)
+        candidates
+    then Some { Scheduler.src; dst }
+    else prefix_choice t candidates
+
 let run ?(max_steps = 2_000_000) t =
   if not t.started then begin
     t.started <- true;
@@ -133,7 +155,9 @@ let run ?(max_steps = 2_000_000) t =
       if t.steps >= max_steps then raise Step_limit_exceeded;
       t.steps <- t.steps + 1;
       let { Scheduler.src; dst } =
-        Scheduler.pick t.scheduler ~rng:t.rng ~step:t.steps ~candidates
+        match prefix_choice t candidates with
+        | Some c -> c
+        | None -> t.pick ~rng:t.rng ~step:t.steps ~candidates
       in
       let (seq, msg) = Queue.pop t.channels.(src).(dst) in
       if t.crashed.(dst) then begin
@@ -142,10 +166,23 @@ let run ?(max_steps = 2_000_000) t =
           (fun () -> Obs.Trace.Dead_letter { step = t.steps; src; dst; seq })
       end
       else begin
-        t.delivered <- t.delivered + 1;
-        trace_emit t
-          (fun () -> Obs.Trace.Deliver { step = t.steps; src; dst; seq });
-        t.handlers.(dst).on_receive { me = dst; sys = t } src msg
+        match t.crash_plan.(dst) with
+        | Crash.After_receives budget when t.receives_seen.(dst) >= budget ->
+          (* The killing delivery: the process dies at this exact point
+             of its view; the message itself is lost. *)
+          t.crashed.(dst) <- true;
+          t.dead_lettered <- t.dead_lettered + 1;
+          trace_emit t
+            (fun () ->
+               Obs.Trace.Crash { pid = dst; sends = t.sends_attempted.(dst) });
+          trace_emit t
+            (fun () -> Obs.Trace.Dead_letter { step = t.steps; src; dst; seq })
+        | Crash.After_receives _ | Crash.After_sends _ | Crash.Never ->
+          t.receives_seen.(dst) <- t.receives_seen.(dst) + 1;
+          t.delivered <- t.delivered + 1;
+          trace_emit t
+            (fun () -> Obs.Trace.Deliver { step = t.steps; src; dst; seq });
+          t.handlers.(dst).on_receive { me = dst; sys = t } src msg
       end;
       loop ()
   in

@@ -45,6 +45,7 @@ type 'msg t
 
 val create :
   ?trace:Obs.Trace.t ->
+  ?prefix:(int * int) list ->
   n:int ->
   seed:int ->
   scheduler:Scheduler.t ->
@@ -57,7 +58,17 @@ val create :
     When a [trace] is given, every transport event (send / drop /
     deliver / dead-letter / crash, including crashed-at-start
     processes) is emitted into it in schedule order; tracing never
-    changes the execution. *)
+    changes the execution.
+
+    [prefix] is the replay-injection hook used by the fuzzer's
+    shrinker: a list of (src, dst) channel choices forced on the
+    scheduler, in order, before the strategy takes over. Each step
+    consumes prefix entries until one names a currently non-empty
+    channel (stale entries — e.g. after the shrinker removed the
+    messages they referred to — are skipped deterministically); once
+    the prefix is exhausted the configured scheduler decides. A prefix
+    recorded from a run's transcript ({!Obs.Trace.schedule}) replays
+    that run's delivery order exactly. *)
 
 exception Step_limit_exceeded
 
@@ -74,6 +85,11 @@ val sends_of : 'msg t -> pid -> int
     far. Protocol layers use before/after deltas to tell whether a
     broadcast got at least one message out (the paper's
     ["sent a round-t message"] predicate behind [F[t]]). *)
+
+val receives_of : 'msg t -> pid -> int
+(** Number of messages actually delivered to (and processed by) this
+    process so far. Drives {!Crash.After_receives} budgets and the
+    crash-plan clamping of {!Crash.clamp}. *)
 
 (** {1 Metrics} *)
 

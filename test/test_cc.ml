@@ -118,7 +118,7 @@ let test_lag_adversary () =
   let config = cfg ~n:5 ~f:1 ~d:2 () in
   let spec =
     Executor.default_spec ~config ~seed:20
-      ~scheduler:(Scheduler.Lag_sources [4]) ()
+      ~scheduler:(Scheduler.lag_sources [4]) ()
   in
   check_report (Executor.run spec)
 
@@ -195,10 +195,10 @@ let prop_schedulers =
     (fun (seed, which) ->
        let scheduler =
          match which with
-         | 0 -> Scheduler.Random_uniform
-         | 1 -> Scheduler.Round_robin
-         | 2 -> Scheduler.Lifo_bias
-         | _ -> Scheduler.Lag_sources [0]
+         | 0 -> Scheduler.random_uniform
+         | 1 -> Scheduler.round_robin
+         | 2 -> Scheduler.lifo_bias
+         | _ -> Scheduler.lag_sources [0]
        in
        let config = cfg ~n:5 ~f:1 ~d:2 () in
        let r = Executor.run (Executor.default_spec ~config ~seed ~scheduler ()) in

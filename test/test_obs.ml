@@ -98,7 +98,7 @@ let test_trace_consistency () =
 let test_step_limit () =
   let trace = Trace.create () in
   let sim =
-    Sim.create ~trace ~n:2 ~seed:1 ~scheduler:Runtime.Scheduler.Round_robin
+    Sim.create ~trace ~n:2 ~seed:1 ~scheduler:Runtime.Scheduler.round_robin
       ~crash:[| Crash.Never; Crash.Never |]
       ~make:(fun _ ->
           { Sim.on_start = (fun ctx -> Sim.send ctx (1 - Sim.me ctx) ());

@@ -45,7 +45,7 @@ let test_rng_shuffle () =
 let test_fifo_exactly_once () =
   let received = ref [] in
   let sys =
-    Sim.create ~n:3 ~seed:5 ~scheduler:Scheduler.Random_uniform
+    Sim.create ~n:3 ~seed:5 ~scheduler:Scheduler.random_uniform
       ~crash:(no_crash 3)
       ~make:(fun i ->
           { Sim.on_start =
@@ -68,7 +68,7 @@ let test_crash_budget_partial_broadcast () =
   let crash = Array.make 5 Crash.Never in
   crash.(0) <- Crash.After_sends 2;
   let sys =
-    Sim.create ~n:5 ~seed:1 ~scheduler:Scheduler.Random_uniform ~crash
+    Sim.create ~n:5 ~seed:1 ~scheduler:Scheduler.random_uniform ~crash
       ~make:(fun i ->
           { Sim.on_start =
               (fun ctx -> if i = 0 then Sim.broadcast ctx 99);
@@ -91,7 +91,7 @@ let test_crashed_receiver_is_dead () =
   let crash = Array.make 2 Crash.Never in
   crash.(1) <- Crash.After_sends 0;
   let sys =
-    Sim.create ~n:2 ~seed:3 ~scheduler:Scheduler.Round_robin ~crash
+    Sim.create ~n:2 ~seed:3 ~scheduler:Scheduler.round_robin ~crash
       ~make:(fun i ->
           { Sim.on_start = (fun ctx -> if i = 0 then Sim.send ctx 1 0);
             on_receive = (fun _ _ _ -> ran := true) }) ()
@@ -103,7 +103,7 @@ let test_crashed_receiver_is_dead () =
 (* Ping-pong with a bounded count must quiesce. *)
 let test_quiescence () =
   let sys =
-    Sim.create ~n:2 ~seed:11 ~scheduler:Scheduler.Lifo_bias
+    Sim.create ~n:2 ~seed:11 ~scheduler:Scheduler.lifo_bias
       ~crash:(no_crash 2)
       ~make:(fun i ->
           { Sim.on_start = (fun ctx -> if i = 0 then Sim.send ctx 1 10);
@@ -117,7 +117,7 @@ let test_quiescence () =
 let test_step_limit () =
   (* Infinite ping-pong must hit the step limit. *)
   let sys =
-    Sim.create ~n:2 ~seed:11 ~scheduler:Scheduler.Random_uniform
+    Sim.create ~n:2 ~seed:11 ~scheduler:Scheduler.random_uniform
       ~crash:(no_crash 2)
       ~make:(fun i ->
           { Sim.on_start = (fun ctx -> if i = 0 then Sim.send ctx 1 0);
@@ -144,10 +144,10 @@ let delivery_log ~seed ~scheduler =
   List.rev !log
 
 let test_determinism () =
-  let l1 = delivery_log ~seed:123 ~scheduler:Scheduler.Random_uniform in
-  let l2 = delivery_log ~seed:123 ~scheduler:Scheduler.Random_uniform in
+  let l1 = delivery_log ~seed:123 ~scheduler:Scheduler.random_uniform in
+  let l2 = delivery_log ~seed:123 ~scheduler:Scheduler.random_uniform in
   Alcotest.(check bool) "identical logs" true (l1 = l2);
-  let l3 = delivery_log ~seed:124 ~scheduler:Scheduler.Random_uniform in
+  let l3 = delivery_log ~seed:124 ~scheduler:Scheduler.random_uniform in
   Alcotest.(check bool) "different seed differs" true (l1 <> l3)
 
 let test_lag_scheduler_starves () =
@@ -155,7 +155,7 @@ let test_lag_scheduler_starves () =
      traffic has drained: the last delivery must originate from 0. *)
   let last_src = ref (-1) in
   let sys =
-    Sim.create ~n:3 ~seed:2 ~scheduler:(Scheduler.Lag_sources [0])
+    Sim.create ~n:3 ~seed:2 ~scheduler:(Scheduler.lag_sources [0])
       ~crash:(no_crash 3)
       ~make:(fun _ ->
           { Sim.on_start = (fun ctx -> Sim.broadcast ctx 0);

@@ -82,7 +82,7 @@ let check_properties ~n ~f results sys =
 let test_fault_free () =
   let n = 5 and f = 1 in
   let results, sys =
-    run_instance ~n ~f ~seed:7 ~scheduler:Scheduler.Random_uniform
+    run_instance ~n ~f ~seed:7 ~scheduler:Scheduler.random_uniform
       ~crash:(Array.make n Crash.Never)
   in
   check_properties ~n ~f results sys;
@@ -98,7 +98,7 @@ let test_immediate_crash () =
   crash.(0) <- Crash.After_sends 0;
   crash.(1) <- Crash.After_sends 0;
   let results, sys =
-    run_instance ~n ~f ~seed:3 ~scheduler:Scheduler.Round_robin ~crash
+    run_instance ~n ~f ~seed:3 ~scheduler:Scheduler.round_robin ~crash
   in
   check_properties ~n ~f results sys
 
@@ -115,8 +115,8 @@ let prop_properties =
     let* seed = 0 -- 10000 in
     let* n = 5 -- 9 in
     let* f = 1 -- ((n - 1) / 2) in
-    let* sched = oneofl [ Scheduler.Random_uniform; Scheduler.Round_robin;
-                          Scheduler.Lifo_bias ] in
+    let* sched = oneofl [ Scheduler.random_uniform; Scheduler.round_robin;
+                          Scheduler.lifo_bias ] in
     let* budgets = list_size (return f) (0 -- 40) in
     return (seed, n, f, sched, budgets)
   in
@@ -141,7 +141,7 @@ let prop_lag_adversary =
     (fun seed ->
        let n = 7 and f = 2 in
        let results, sys =
-         run_instance ~n ~f ~seed ~scheduler:(Scheduler.Lag_sources [0; 1])
+         run_instance ~n ~f ~seed ~scheduler:(Scheduler.lag_sources [0; 1])
            ~crash:(Array.make n Crash.Never)
        in
        check_properties ~n ~f results sys;

@@ -36,7 +36,7 @@ let run_baseline ~seed ~n ~f ~d =
   let crash = Crash.random_for ~rng ~n ~faulty ~max_sends:40 in
   let r =
     VC.execute_baseline ~config ~inputs ~crash
-      ~scheduler:Runtime.Scheduler.Random_uniform ~seed ()
+      ~scheduler:Runtime.Scheduler.random_uniform ~seed ()
   in
   (config, inputs, faulty, r)
 
@@ -96,7 +96,7 @@ let test_baseline_identical_inputs () =
   let crash = Array.make 5 Crash.Never in
   let r =
     VC.execute_baseline ~config ~inputs ~crash
-      ~scheduler:Runtime.Scheduler.Round_robin ~seed:7 ()
+      ~scheduler:Runtime.Scheduler.round_robin ~seed:7 ()
   in
   Array.iter
     (function
