@@ -125,6 +125,23 @@ let tests () =
     Test.make ~name:"cc/full-execution-n6-d3"
       (Staged.stage (fun () -> ignore (Chc.Executor.run spec3))) ]
 
+(* One profiled n=6/f=1/d=3 execution: the span profiler attributes the
+   end-to-end wall-clock to protocol phases (round 0 vs rounds) and to
+   the geometry/memo/wire layers underneath, complementing the
+   per-primitive microbenchmarks above. *)
+let profile_phases () =
+  let config3 =
+    Chc.Config.make ~n:6 ~f:1 ~d:3 ~eps:(Q.of_ints 1 2) ~lo:Q.zero ~hi:Q.one
+  in
+  let spec3 = Chc.Executor.default_spec ~config:config3 ~seed:42 () in
+  Obs.Prof.reset ();
+  Obs.Prof.set_enabled true;
+  ignore (Chc.Executor.run spec3);
+  Obs.Prof.set_enabled false;
+  let summary = Obs.Prof.summary () in
+  Obs.Prof.reset ();
+  summary
+
 let json_escape s =
   String.concat ""
     (List.map
@@ -134,20 +151,34 @@ let json_escape s =
           | c -> String.make 1 c)
        (List.init (String.length s) (String.get s)))
 
-let emit_json rows =
-  let oc = open_out "BENCH_E10.json" in
-  output_string oc "{\n  \"experiment\": \"e10\",\n  \"unit\": \"ns/op\",\n  \"results\": [\n";
-  let n = List.length rows in
-  List.iteri
-    (fun i (name, ns) ->
-       Printf.fprintf oc "    {\"name\": \"%s\", \"ns_per_op\": %s}%s\n"
-         (json_escape name)
-         (if Float.is_nan ns then "null" else Printf.sprintf "%.1f" ns)
-         (if i = n - 1 then "" else ","))
-    rows;
-  output_string oc "  ]\n}\n";
-  close_out oc;
-  Printf.printf "  wrote BENCH_E10.json (%d entries)\n" n
+let emit_json rows phases =
+  match
+    Obs.Sink.write_file ~path:"BENCH_E10.json" (fun oc ->
+        output_string oc
+          "{\n  \"experiment\": \"e10\",\n  \"unit\": \"ns/op\",\n  \"results\": [\n";
+        let n = List.length rows in
+        List.iteri
+          (fun i (name, ns) ->
+             Printf.fprintf oc "    {\"name\": \"%s\", \"ns_per_op\": %s}%s\n"
+               (json_escape name)
+               (if Float.is_nan ns then "null" else Printf.sprintf "%.1f" ns)
+               (if i = n - 1 then "" else ","))
+          rows;
+        output_string oc "  ],\n  \"profile_phases\": [\n";
+        let m = List.length phases in
+        List.iteri
+          (fun i (name, (s : Obs.Prof.stat)) ->
+             Printf.fprintf oc
+               "    {\"name\": \"%s\", \"calls\": %d, \"total_ns\": %.0f}%s\n"
+               (json_escape name) s.Obs.Prof.calls s.Obs.Prof.total_ns
+               (if i = m - 1 then "" else ","))
+          phases;
+        output_string oc "  ]\n}\n")
+  with
+  | Ok () ->
+    Printf.printf "  wrote BENCH_E10.json (%d entries, %d phases)\n"
+      (List.length rows) (List.length phases)
+  | Error msg -> Printf.printf "  BENCH_E10.json NOT written: %s\n" msg
 
 let run () =
   let ols =
@@ -192,7 +223,17 @@ let run () =
     ~header:["operation"; "time/run"]
     ~widths:[36; 10]
     rows;
-  emit_json measured;
+  let phases = profile_phases () in
+  Util.print_table
+    ~title:"E10: profiled phase breakdown, one n=6 f=1 d=3 execution (spans)"
+    ~header:["span"; "calls"; "total ms"]
+    ~widths:[24; 7; 9]
+    (List.map
+       (fun (name, (s : Obs.Prof.stat)) ->
+          [ name; string_of_int s.Obs.Prof.calls;
+            Printf.sprintf "%.2f" (s.Obs.Prof.total_ns /. 1e6) ])
+       phases);
+  emit_json measured phases;
   (match
      ( List.assoc_opt "chc l3/brute-baseline" measured,
        List.assoc_opt "chc l3/incremental" measured )

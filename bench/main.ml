@@ -18,6 +18,7 @@ let experiments =
     ("e8", "matrix certificates (Thm 1/Claim 1/Lemma 3)", E8_matrix.run);
     ("e9", "resilience frontier and degenerate cases", E9_resilience.run);
     ("e10", "performance microbenchmarks (bechamel)", E10_perf.run);
+    ("e12", "phase breakdown + critical paths vs adversary", E12_profile.run);
     ("smoke3d", "fast d=3 execution smoke check", Smoke3d.run) ]
 
 let () =

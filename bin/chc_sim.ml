@@ -80,6 +80,20 @@ let out_arg =
        & info ["out"; "o"] ~docv:"FILE"
            ~doc:"Write the JSONL transcript to $(docv) (default: stdout).")
 
+let report_json_arg =
+  Arg.(value & opt (some string) None
+       & info ["report-json"] ~docv:"FILE"
+           ~doc:"Write the observability report (sim counters, per-round \
+                 rows, full metrics snapshot) as JSON to $(docv).")
+
+let critical_path_arg =
+  Arg.(value & flag
+       & info ["critical-path"]
+           ~doc:"Reconstruct the happens-before DAG from the trace and \
+                 print, per process, the critical message chain to its \
+                 decision plus per-round stabilization latency in \
+                 scheduler steps. Pool-size invariant.")
+
 (* --- helpers --------------------------------------------------------- *)
 
 (* Result-based spec construction shared by [run] and [trace]: every
@@ -112,12 +126,16 @@ let spec_of ~n ~f ~d ~eps ~lo ~hi ~seed ~scheduler ~naive ~inputs ~faulty =
 
 (* --- run command ------------------------------------------------------ *)
 
-let run_cmd n f d eps lo hi seed scheduler naive inputs faulty verbose svg =
+let run_cmd n f d eps lo hi seed scheduler naive inputs faulty verbose svg
+    report_json =
   match spec_of ~n ~f ~d ~eps ~lo ~hi ~seed ~scheduler ~naive ~inputs ~faulty with
   | Error msg -> `Error (false, msg)
   | Ok spec ->
     match
-      let trace = if verbose then Some (Obs.Trace.create ()) else None in
+      let trace =
+        if verbose || report_json <> None then Some (Obs.Trace.create ())
+        else None
+      in
       (Executor.run ?trace spec, trace)
     with
     | exception (Failure msg | Invalid_argument msg) -> `Error (false, msg)
@@ -164,22 +182,39 @@ let run_cmd n f d eps lo hi seed scheduler naive inputs faulty verbose svg =
          Printf.printf "svg          written to %s\n" path
        | Some _ -> prerr_endline "warning: --svg only supported for d = 2"
        | None -> ());
-      if r.Executor.terminated && r.Executor.valid && r.Executor.agreement_ok
-      then `Ok ()
-      else `Error (false, "a correctness property failed")
+      let json_status =
+        match report_json with
+        | None -> Ok ()
+        | Some path ->
+          let report = Executor.observe ?trace ~witnesses:n r in
+          (match
+             Obs.Sink.write_string ~path (Obs.Report.to_json report)
+           with
+           | Ok () ->
+             Printf.printf "report       written to %s\n" path;
+             Ok ()
+           | Error msg -> Error msg)
+      in
+      (match json_status with
+       | Error msg -> `Error (false, msg)
+       | Ok () ->
+         if r.Executor.terminated && r.Executor.valid && r.Executor.agreement_ok
+         then `Ok ()
+         else `Error (false, "a correctness property failed"))
 
 let run_term =
   Term.(ret
           (const run_cmd $ n_arg $ f_arg $ d_arg $ eps_arg $ lo_arg $ hi_arg
            $ seed_arg $ scheduler_arg $ naive_arg $ inputs_arg $ faulty_arg
-           $ verbose_arg $ svg_arg))
+           $ verbose_arg $ svg_arg $ report_json_arg))
 
 let run_cmd_info =
   Cmd.info "run" ~doc:"Execute Algorithm CC once and grade the run."
 
 (* --- trace command ---------------------------------------------------- *)
 
-let trace_cmd n f d eps lo hi seed scheduler naive inputs faulty out =
+let trace_cmd n f d eps lo hi seed scheduler naive inputs faulty out
+    critical_path =
   match spec_of ~n ~f ~d ~eps ~lo ~hi ~seed ~scheduler ~naive ~inputs ~faulty with
   | Error msg -> `Error (false, msg)
   | Ok spec ->
@@ -192,21 +227,33 @@ let trace_cmd n f d eps lo hi seed scheduler naive inputs faulty out =
     with
     | exception (Failure msg | Invalid_argument msg) -> `Error (false, msg)
     | _result ->
-      (match out with
-       | None | Some "-" -> Obs.Trace.output stdout trace
-       | Some path ->
-         let oc = open_out path in
-         Obs.Trace.output oc trace;
-         close_out oc;
-         Printf.printf "trace: %d events written to %s\n"
-           (Obs.Trace.length trace) path);
-      `Ok ()
+      let write_status =
+        match out with
+        | None | Some "-" ->
+          Obs.Trace.output stdout trace;
+          Ok ()
+        | Some path ->
+          (match
+             Obs.Sink.write_file ~path (fun oc -> Obs.Trace.output oc trace)
+           with
+           | Ok () ->
+             Printf.printf "trace: %d events written to %s\n"
+               (Obs.Trace.length trace) path;
+             Ok ()
+           | Error msg -> Error msg)
+      in
+      (match write_status with
+       | Error msg -> `Error (false, msg)
+       | Ok () ->
+         if critical_path then
+           print_string (Obs.Causal.to_string (Obs.Causal.analyze ~n trace));
+         `Ok ())
 
 let trace_term =
   Term.(ret
           (const trace_cmd $ n_arg $ f_arg $ d_arg $ eps_arg $ lo_arg $ hi_arg
            $ seed_arg $ scheduler_arg $ naive_arg $ inputs_arg $ faulty_arg
-           $ out_arg))
+           $ out_arg $ critical_path_arg))
 
 let trace_cmd_info =
   Cmd.info "trace"
@@ -220,6 +267,75 @@ let trace_cmd_info =
         `P "One JSON object per line: transport events (send, drop, \
             deliver, dead_letter, crash) interleaved in schedule order \
             with protocol milestones (round_enter, stable, decide)." ]
+
+(* --- profile command -------------------------------------------------- *)
+
+let prof_out_arg =
+  Arg.(value & opt string "prof.json"
+       & info ["out"; "o"] ~docv:"FILE"
+           ~doc:"Where the Chrome trace-event / Perfetto JSON is written.")
+
+let profile_cmd n f d eps lo hi seed scheduler naive inputs faulty out =
+  match spec_of ~n ~f ~d ~eps ~lo ~hi ~seed ~scheduler ~naive ~inputs ~faulty with
+  | Error msg -> `Error (false, msg)
+  | Ok spec ->
+    Obs.Prof.reset ();
+    Obs.Prof.set_enabled true;
+    let outcome =
+      match Executor.run spec with
+      | r -> Ok r
+      | exception (Failure msg | Invalid_argument msg) -> Error msg
+    in
+    Obs.Prof.set_enabled false;
+    match outcome with
+    | Error msg -> `Error (false, msg)
+    | Ok r ->
+      (match Obs.Sink.write_string ~path:out (Obs.Prof.to_chrome_json ()) with
+       | Error msg -> `Error (false, msg)
+       | Ok () ->
+         let decided =
+           Array.fold_left
+             (fun acc o -> if o = None then acc else acc + 1)
+             0 r.Executor.result.Chc.Cc.outputs
+         in
+         Printf.printf
+           "profile: %d spans written to %s (%d/%d processes decided)\n"
+           (Obs.Prof.span_count ()) out decided n;
+         Printf.printf "%-22s %8s %12s %10s %10s %10s\n"
+           "span" "calls" "total_ms" "p50_us" "p99_us" "max_us";
+         List.iter
+           (fun (name, (s : Obs.Prof.stat)) ->
+              Printf.printf "%-22s %8d %12.3f %10.1f %10.1f %10.1f\n"
+                name s.Obs.Prof.calls
+                (s.Obs.Prof.total_ns /. 1e6)
+                (s.Obs.Prof.p50_ns /. 1e3)
+                (s.Obs.Prof.p99_ns /. 1e3)
+                (s.Obs.Prof.max_ns /. 1e3))
+           (Obs.Prof.summary ());
+         `Ok ())
+
+let profile_term =
+  Term.(ret
+          (const profile_cmd $ n_arg $ f_arg $ d_arg $ eps_arg $ lo_arg
+           $ hi_arg $ seed_arg $ scheduler_arg $ naive_arg $ inputs_arg
+           $ faulty_arg $ prof_out_arg))
+
+let profile_cmd_info =
+  Cmd.info "profile"
+    ~doc:"Execute once with the span profiler on and export a Perfetto trace."
+    ~man:
+      [ `S Manpage.s_description;
+        `P "Runs Algorithm CC with wall-clock span recording enabled in \
+            every instrumented layer (geometry kernels, LP, domain pool, \
+            memo tables, wire codec, stable vector, round engine) and \
+            writes Chrome trace-event JSON loadable in ui.perfetto.dev \
+            or chrome://tracing — one track per domain, spans nested by \
+            call stack.";
+        `P "Profiling is observational: it never changes scheduling, and \
+            the deterministic JSONL transcript of the same seed is \
+            byte-identical with or without it. Wall-clock numbers, by \
+            nature, vary run to run — for schedule-invariant latency use \
+            $(b,chc_sim trace --critical-path)." ]
 
 (* --- bound command ---------------------------------------------------- *)
 
@@ -392,6 +508,7 @@ let () =
        (Cmd.group info
           [ Cmd.v run_cmd_info run_term;
             Cmd.v trace_cmd_info trace_term;
+            Cmd.v profile_cmd_info profile_term;
             Cmd.v bound_cmd_info bound_term;
             Cmd.v fuzz_cmd_info fuzz_term;
             Cmd.v replay_cmd_info replay_term ]))

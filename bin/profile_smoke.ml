@@ -1,0 +1,165 @@
+(* CI smoke pass for the observability layer.
+
+   Three checks on one n=6/f=1/d=3 configuration:
+
+   1. Profiler-off determinism — with spans disabled, the recorded
+      trace (the tier-1 replay artifact) is byte-identical whether the
+      global pool has 1 domain or 4. Timing must never leak into the
+      deterministic transcript.
+
+   2. The profiled run emits well-formed Chrome trace-event JSON:
+      every begin has a matching end, nesting depth never goes
+      negative, per-track timestamps are non-decreasing, and the
+      begin/end counts equal the profiler's own span count.
+
+   3. The metrics registry saw the run: the exposition carries the
+      memo, pool and wire families.
+
+   Perfetto [ts] fields are microseconds with exactly three decimals
+   ("%.3f"), while Codec.Json deliberately rejects floats to keep the
+   artifact codec exact. Deleting every '.' outside string literals
+   rescales each ts losslessly to an integer (ns) and changes nothing
+   else — span names keep their dots because they sit inside strings —
+   so the strict exact parser can then validate the document. *)
+
+let failures = ref 0
+
+let check name ok =
+  if ok then Printf.printf "  ok: %s\n" name
+  else begin
+    incr failures;
+    Printf.printf "  FAIL: %s\n" name
+  end
+
+let spec () =
+  let config =
+    Chc.Config.make ~n:6 ~f:1 ~d:3
+      ~eps:(Numeric.Q.of_ints 1 2) ~lo:Numeric.Q.zero ~hi:Numeric.Q.one
+  in
+  Chc.Executor.default_spec ~config ~seed:42 ()
+
+let traced_jsonl () =
+  let trace = Obs.Trace.create () in
+  ignore (Chc.Executor.run ~trace (spec ()));
+  Obs.Trace.to_jsonl trace
+
+(* --- 1: profiler-off runs are pool-size invariant ------------------- *)
+
+let check_determinism () =
+  Parallel.Pool.set_global_size 1;
+  let one = traced_jsonl () in
+  Parallel.Pool.set_global_size 4;
+  let four = traced_jsonl () in
+  check "profiler-off traces byte-identical across pool sizes 1 and 4"
+    (String.equal one four);
+  check "trace is non-trivial" (String.length one > 1000)
+
+(* --- 2: profiled run emits valid, balanced Perfetto JSON ------------- *)
+
+(* Delete '.' everywhere except inside string literals. *)
+let strip_dots s =
+  let b = Buffer.create (String.length s) in
+  let in_string = ref false in
+  let escaped = ref false in
+  String.iter
+    (fun c ->
+       let keep =
+         if !in_string then begin
+           (if !escaped then escaped := false
+            else match c with
+              | '\\' -> escaped := true
+              | '"' -> in_string := false
+              | _ -> ());
+           true
+         end
+         else begin
+           (match c with '"' -> in_string := true | _ -> ());
+           c <> '.'
+         end
+       in
+       if keep then Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let validate_chrome_json json expected_spans =
+  match Codec.Json.of_string (strip_dots json) with
+  | Error e -> check (Printf.sprintf "trace JSON parses (%s)" e) false
+  | Ok (Codec.Json.List events) ->
+    check "trace JSON parses" true;
+    let begins = ref 0 and ends = ref 0 in
+    let depth : (int, int) Hashtbl.t = Hashtbl.create 8 in
+    let last_ts : (int, int) Hashtbl.t = Hashtbl.create 8 in
+    let shape_ok = ref true and balance_ok = ref true in
+    let ts_ok = ref true in
+    List.iter
+      (fun ev ->
+         match
+           ( Codec.Json.str_field "ph" ev,
+             Codec.Json.int_field "tid" ev,
+             Codec.Json.int_field "ts" ev )
+         with
+         | Ok ph, Ok tid, Ok ts ->
+           let d = Option.value ~default:0 (Hashtbl.find_opt depth tid) in
+           (match ph with
+            | "B" ->
+              incr begins;
+              if Codec.Json.member "name" ev = None then shape_ok := false;
+              Hashtbl.replace depth tid (d + 1)
+            | "E" ->
+              incr ends;
+              if d <= 0 then balance_ok := false;
+              Hashtbl.replace depth tid (d - 1)
+            | _ -> shape_ok := false);
+           let prev = Option.value ~default:min_int (Hashtbl.find_opt last_ts tid) in
+           if ts < prev then ts_ok := false;
+           Hashtbl.replace last_ts tid ts
+         | _ -> shape_ok := false)
+      events;
+    check "every event has ph/tid/ts (and B events a name)" !shape_ok;
+    check
+      (Printf.sprintf "begin/end counts match span count (%d B, %d E, %d spans)"
+         !begins !ends expected_spans)
+      (!begins = expected_spans && !ends = expected_spans);
+    check "no end without a matching begin" !balance_ok;
+    check "all tracks end at depth 0"
+      (Hashtbl.fold (fun _ d acc -> acc && d = 0) depth true);
+    check "per-track timestamps are non-decreasing" !ts_ok
+  | Ok _ -> check "trace JSON is an event array" false
+
+let check_profiled_run () =
+  Obs.Prof.reset ();
+  Obs.Prof.set_enabled true;
+  let report = Chc.Executor.run (spec ()) in
+  Obs.Prof.set_enabled false;
+  let spans = Obs.Prof.span_count () in
+  let json = Obs.Prof.to_chrome_json () in
+  Obs.Prof.reset ();
+  check "profiled execution terminates" report.Chc.Executor.terminated;
+  check (Printf.sprintf "profiler recorded spans (%d)" spans) (spans > 100);
+  validate_chrome_json json spans
+
+(* --- 3: metrics registry saw the run --------------------------------- *)
+
+let check_metrics () =
+  let expo = Obs.Metrics.exposition_all () in
+  let has sub =
+    let n = String.length expo and m = String.length sub in
+    let rec go i =
+      i + m <= n && (String.sub expo i m = sub || go (i + 1))
+    in
+    go 0
+  in
+  List.iter
+    (fun family -> check (Printf.sprintf "exposition has %s" family) (has family))
+    [ "chc_memo_hits_total"; "chc_pool_size"; "chc_wire_polytope_bytes" ]
+
+let () =
+  print_endline "profile-smoke: observability CI checks (n=6 f=1 d=3, seed 42)";
+  check_determinism ();
+  check_profiled_run ();
+  check_metrics ();
+  if !failures > 0 then begin
+    Printf.printf "profile-smoke: %d check(s) FAILED\n" !failures;
+    exit 1
+  end;
+  print_endline "profile-smoke: all checks passed"

@@ -37,6 +37,7 @@ let fault_set crash =
    any multiset of >= (d+1)f + 1 points admits the required common
    point, and |X_i| >= n - f >= (d+1)f + 1 by the resilience bound. *)
 let round0_polytope ~dim ~f pts =
+  Obs.Prof.with_span "cc.round0" @@ fun () ->
   let keep = List.length pts - f in
   if keep < 1 then invalid_arg "Cc.round0_polytope: not enough points";
   (* The C(|X_i|, f) per-subset hulls are independent; fan them out
@@ -71,6 +72,7 @@ let execute ?trace ?(prefix = []) ?(round0 = `Stable_vector) ~config ~inputs ~cr
   if Array.length inputs <> n then invalid_arg "Cc.execute: need n inputs";
   Array.iter (Config.validate_input config) inputs;
   if Array.length crash <> n then invalid_arg "Cc.execute: need n crash plans";
+  Obs.Prof.with_span "cc.execute" @@ fun () ->
   let t_end = Bounds.t_end config in
   let threshold = n - f in
   let outputs = Array.make n None in
@@ -114,7 +116,10 @@ let execute ?trace ?(prefix = []) ?(round0 = `Stable_vector) ~config ~inputs ~cr
        && Rounds.ready p.rounds ~round:p.current
     then begin
       let y = Rounds.freeze p.rounds ~round:p.current in
-      let h = Geometry.Polytope.average (List.map snd y) in
+      let h =
+        Obs.Prof.with_span "cc.round" (fun () ->
+            Geometry.Polytope.average (List.map snd y))
+      in
       p.h <- Some h;
       p.hist <- (p.current, h) :: p.hist;
       p.snd_log <- (p.current, List.map fst y) :: p.snd_log;

@@ -107,7 +107,7 @@ let sim_of_metrics (m : Runtime.Sim.metrics) : Obs.Report.sim =
 let observe ?trace ?witnesses report =
   let rounds = round_metrics ?witnesses ~faulty:report.faulty report.result in
   Obs.Report.capture
-    ~sim:(sim_of_metrics report.result.Cc.metrics)
+    ~sim:(Some (sim_of_metrics report.result.Cc.metrics))
     ~rounds
     ?trace_events:(Option.map Obs.Trace.length trace)
     ()

@@ -212,12 +212,9 @@ let of_string s =
 let equal a b = to_string a = to_string b
 
 let save ~path t =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-       output_string oc (to_string t);
-       output_char oc '\n')
+  Obs.Sink.write_file_exn ~path (fun oc ->
+      output_string oc (to_string t);
+      output_char oc '\n')
 
 let load path =
   match

@@ -139,14 +139,29 @@ let with_buffer f =
   f buf;
   Buffer.contents buf
 
-let polytope_to_string p = with_buffer (fun b -> write_polytope b p)
+let polytope_bytes_hist =
+  Obs.Metrics.histogram "chc_wire_polytope_bytes"
+
+let polytope_to_string p =
+  let encode () =
+    let s = with_buffer (fun b -> write_polytope b p) in
+    Obs.Metrics.observe polytope_bytes_hist (float_of_int (String.length s));
+    s
+  in
+  if Obs.Prof.enabled () then Obs.Prof.with_span "wire.encode" encode
+  else encode ()
+
 let vec_to_string v = with_buffer (fun b -> write_vec b v)
 
 let polytope_of_string s =
-  let r = reader_of_string s in
-  let p = read_polytope r in
-  if not (reader_done r) then raise (Malformed "polytope: trailing bytes");
-  p
+  let decode () =
+    let r = reader_of_string s in
+    let p = read_polytope r in
+    if not (reader_done r) then raise (Malformed "polytope: trailing bytes");
+    p
+  in
+  if Obs.Prof.enabled () then Obs.Prof.with_span "wire.decode" decode
+  else decode ()
 
 let vec_of_string s =
   let r = reader_of_string s in
@@ -154,5 +169,7 @@ let vec_of_string s =
   if not (reader_done r) then raise (Malformed "vector: trailing bytes");
   v
 
-let polytope_size p = String.length (polytope_to_string p)
+(* Size queries (reporting) bypass the instrumented encode so they
+   don't inflate the wire-bytes histogram with phantom messages. *)
+let polytope_size p = String.length (with_buffer (fun b -> write_polytope b p))
 let vec_size v = String.length (vec_to_string v)

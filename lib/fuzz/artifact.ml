@@ -43,12 +43,9 @@ let of_string s =
   of_json j
 
 let save ~path a =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-       output_string oc (to_string a);
-       output_char oc '\n')
+  Obs.Sink.write_file_exn ~path (fun oc ->
+      output_string oc (to_string a);
+      output_char oc '\n')
 
 let read_file path =
   match

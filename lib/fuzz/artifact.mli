@@ -28,6 +28,9 @@ val to_string : t -> string
 val of_string : string -> (t, string) result
 
 val save : path:string -> t -> unit
+(** Durable write via {!Obs.Sink} (flush + fsync); raises [Failure]
+    naming the path if the filesystem loses the artifact. *)
+
 val load : string -> (t, string) result
 
 val load_any : string -> (t, string) result

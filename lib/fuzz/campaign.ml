@@ -9,6 +9,7 @@ type finding = {
   artifact : Artifact.t;
   path : string;
   trace_path : string option;
+  causal_path : string option;
 }
 
 type outcome = {
@@ -51,23 +52,35 @@ let investigate ~oracle ~out_dir ~log (trial, scenario, msg) =
   mkdir_p out_dir;
   let path = Filename.concat out_dir (Printf.sprintf "cex-trial%04d.json" trial) in
   Artifact.save ~path artifact;
-  let trace_path =
+  let trace_path, causal_path =
     let trace = Obs.Trace.create () in
     match Oracle.check ~trace oracle minimized with
     | Oracle.Pass | Oracle.Fail _ ->
-      let p = Filename.concat out_dir (Printf.sprintf "cex-trial%04d.trace.jsonl" trial) in
-      let oc = open_out p in
-      Fun.protect
-        ~finally:(fun () -> close_out oc)
-        (fun () -> Obs.Trace.output oc trace);
-      Some p
+      let p =
+        Filename.concat out_dir
+          (Printf.sprintf "cex-trial%04d.trace.jsonl" trial)
+      in
+      Obs.Sink.write_file_exn ~path:p (fun oc -> Obs.Trace.output oc trace);
+      (* Causal skeleton sidecar: the schedule-derived critical message
+         chains to each decision, so a counterexample ships with the
+         "why this interleaving" view, not just the raw transcript. *)
+      let cp =
+        Filename.concat out_dir
+          (Printf.sprintf "cex-trial%04d.causal.json" trial)
+      in
+      let n = minimized.Chc.Scenario.config.Chc.Config.n in
+      Obs.Sink.write_file_exn ~path:cp (fun oc ->
+          output_string oc (Obs.Causal.to_json (Obs.Causal.analyze ~n trace));
+          output_char oc '\n');
+      (Some p, Some cp)
   in
+  Option.iter (fun p -> log (Printf.sprintf "  causal: %s" p)) causal_path;
   log
     (Printf.sprintf "  minimized in %d steps (%d executions): %s" stats.Shrink.steps
        stats.Shrink.attempts
        (Chc.Scenario.describe minimized));
   log (Printf.sprintf "  artifact: %s" path);
-  { artifact; path; trace_path }
+  { artifact; path; trace_path; causal_path }
 
 let run ?(space = Gen.default_space) ?(oracle = Oracle.Paper_properties)
     ?(out_dir = "fuzz-artifacts") ?(max_findings = 3) ?(log = default_log)

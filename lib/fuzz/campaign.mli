@@ -22,6 +22,9 @@ type finding = {
   artifact : Artifact.t;
   path : string;                (** artifact JSON on disk *)
   trace_path : string option;   (** minimized run's transcript (JSONL) *)
+  causal_path : string option;
+      (** {!Obs.Causal} skeleton of the minimized run — per-process
+          critical message chains in scheduler steps *)
 }
 
 type outcome = {

@@ -307,6 +307,7 @@ let primitive_plane (a, b) =
       Q.of_bigint (B.div b.Q.num g) )
 
 let facets_incremental_3d pts =
+  Obs.Prof.with_span "hullnd.incremental_3d" @@ fun () ->
   let pts = dedupe_points pts in
   match incremental_planes_3d pts with
   | None -> None
@@ -324,6 +325,7 @@ let facets_incremental_3d pts =
    degenerate 3-d corner) brute-force over k-subsets defining
    candidate hyperplanes, fanned out over the domain pool. *)
 let enumerate_facets_brute ~dim:k pts =
+  Obs.Prof.with_span "hullnd.brute_facets" @@ fun () ->
   let pts = dedupe_points pts in
   let candidates = Combin.subsets_of_size k pts in
   let facet_of subset =

@@ -251,4 +251,6 @@ let memo : (Vec.t list * Vec.t, bool) Parallel.Memo.t =
 
 let in_convex_hull pts p =
   Parallel.Memo.find_or_add memo (pts, p)
-    (fun () -> in_convex_hull_uncached pts p)
+    (fun () ->
+       Obs.Prof.with_span "geometry.lp" (fun () ->
+           in_convex_hull_uncached pts p))

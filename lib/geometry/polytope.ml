@@ -70,7 +70,9 @@ let of_points ~dim pts =
         let canon = Hullnd.dedupe_points pts in
         let verts =
           Parallel.Memo.find_or_add hull_memo (dim, canon)
-            (fun () -> canonicalize ~dim canon)
+            (fun () ->
+               Obs.Prof.with_span "geometry.hull" (fun () ->
+                   canonicalize ~dim canon))
         in
         { dim; verts }
       end
@@ -129,10 +131,11 @@ let minkowski_pair a b =
     let verts =
       Parallel.Memo.find_or_add mink_memo (a.verts, b.verts)
         (fun () ->
-           let sums =
-             List.concat_map (fun u -> List.map (Vec.add u) b.verts) a.verts
-           in
-           canonicalize ~dim:d sums)
+           Obs.Prof.with_span "geometry.minkowski" (fun () ->
+               let sums =
+                 List.concat_map (fun u -> List.map (Vec.add u) b.verts) a.verts
+               in
+               canonicalize ~dim:d sums))
     in
     { dim = d; verts }
 
@@ -211,13 +214,14 @@ let intersect polys =
        let verts =
          Parallel.Memo.find_or_add intersect_memo key
            (fun () ->
-              let hreps =
-                List.map (fun p -> Hullnd.of_points ~dim:d p.verts) polys
-              in
-              let combined = Hullnd.combine hreps in
-              match Hullnd.vertices combined with
-              | [] -> None
-              | vs -> Some (Hullnd.extreme_points vs))
+              Obs.Prof.with_span "geometry.intersect" (fun () ->
+                  let hreps =
+                    List.map (fun p -> Hullnd.of_points ~dim:d p.verts) polys
+                  in
+                  let combined = Hullnd.combine hreps in
+                  match Hullnd.vertices combined with
+                  | [] -> None
+                  | vs -> Some (Hullnd.extreme_points vs)))
        in
        (match verts with
         | None -> None

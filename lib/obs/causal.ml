@@ -1,0 +1,170 @@
+(* Happens-before reconstruction. One forward pass over the trace
+   maintains, per process, the seq of the delivery it is currently
+   handling ("trigger"); each Send links to its sender's trigger at
+   send time, giving the message-dependency forest. Decide events walk
+   the links backwards to recover the critical chain. *)
+
+type hop = {
+  seq : int;
+  hop_src : int;
+  hop_dst : int;
+  deliver_step : int;
+}
+
+type process = {
+  pid : int;
+  decide_round : int option;
+  decide_step : int option;
+  chain : hop list;
+  stable_step : int option;
+  round_steps : (int * int) list;
+}
+
+type t = {
+  n : int;
+  total_steps : int;
+  processes : process array;
+}
+
+type send_info = { s_src : int; s_dst : int; parent : int option }
+
+let of_events ~n events =
+  if n < 1 then invalid_arg "Causal.of_events: n must be >= 1";
+  let sends : (int, send_info) Hashtbl.t = Hashtbl.create 256 in
+  let deliver_step : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  let trigger = Array.make n None in       (* seq being handled, per pid *)
+  let current_step = ref 0 in
+  let decide_round = Array.make n None in
+  let decide_step = Array.make n None in
+  let chain = Array.make n [] in
+  let stable_step = Array.make n None in
+  let rev_rounds = Array.make n [] in
+  let walk_chain pid =
+    let rec go acc = function
+      | None -> acc
+      | Some seq ->
+        let info = Hashtbl.find sends seq in
+        let step =
+          match Hashtbl.find_opt deliver_step seq with
+          | Some s -> s
+          | None -> -1  (* unreachable: a trigger was delivered *)
+        in
+        go
+          ({ seq; hop_src = info.s_src; hop_dst = info.s_dst;
+             deliver_step = step }
+           :: acc)
+          info.parent
+    in
+    go [] trigger.(pid)
+  in
+  List.iter
+    (fun ev ->
+       match ev with
+       | Trace.Send { src; dst; seq } ->
+         Hashtbl.replace sends seq
+           { s_src = src; s_dst = dst; parent = trigger.(src) }
+       | Trace.Deliver { step; src = _; dst; seq } ->
+         current_step := step;
+         Hashtbl.replace deliver_step seq step;
+         trigger.(dst) <- Some seq
+       | Trace.Dead_letter { step; _ } ->
+         (* Consumes a scheduler decision but changes no process
+            state: the receiver is already crashed. *)
+         current_step := step
+       | Trace.Drop _ | Trace.Crash _ -> ()
+       | Trace.Round_enter { pid; round; _ } ->
+         rev_rounds.(pid) <- (round, !current_step) :: rev_rounds.(pid)
+       | Trace.Stable { pid; _ } ->
+         if stable_step.(pid) = None then
+           stable_step.(pid) <- Some !current_step
+       | Trace.Decide { pid; round; _ } ->
+         decide_round.(pid) <- Some round;
+         decide_step.(pid) <- Some !current_step;
+         chain.(pid) <- walk_chain pid)
+    events;
+  { n;
+    total_steps = !current_step;
+    processes =
+      Array.init n (fun pid ->
+          { pid;
+            decide_round = decide_round.(pid);
+            decide_step = decide_step.(pid);
+            chain = chain.(pid);
+            stable_step = stable_step.(pid);
+            round_steps = List.rev rev_rounds.(pid) }) }
+
+let analyze ~n trace = of_events ~n (Trace.events trace)
+
+let chain_length p = List.length p.chain
+
+let max_chain_length t =
+  Array.fold_left
+    (fun acc p -> if p.decide_round = None then acc
+      else Stdlib.max acc (chain_length p))
+    0 t.processes
+
+let round_latencies p =
+  let rec go prev = function
+    | [] -> []
+    | (r, step) :: rest -> (r, step - prev) :: go step rest
+  in
+  go 0 p.round_steps
+
+let to_string t =
+  let buf = Buffer.create 1024 in
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  p "== causal critical paths (%d scheduler steps) ==\n" t.total_steps;
+  Array.iter
+    (fun pr ->
+       match pr.decide_round with
+       | None -> p "process %d: never decided\n" pr.pid
+       | Some round ->
+         p "process %d: decided round %d at step %d; critical chain %d hop(s)\n"
+           pr.pid round
+           (Option.value ~default:0 pr.decide_step)
+           (chain_length pr);
+         if pr.chain <> [] then
+           p "  %s\n"
+             (String.concat " -> "
+                (List.map
+                   (fun h ->
+                      Printf.sprintf "%d>%d#%d@%d" h.hop_src h.hop_dst h.seq
+                        h.deliver_step)
+                   pr.chain)))
+    t.processes;
+  p "round stabilization latency (steps):\n";
+  Array.iter
+    (fun pr ->
+       if pr.round_steps <> [] then
+         p "  process %d: %s\n" pr.pid
+           (String.concat " "
+              (List.map
+                 (fun (r, l) -> Printf.sprintf "r%d=%d" r l)
+                 (round_latencies pr))))
+    t.processes;
+  Buffer.contents buf
+
+let to_json t =
+  let buf = Buffer.create 1024 in
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  p {|{"n":%d,"total_steps":%d,"processes":[|} t.n t.total_steps;
+  Array.iteri
+    (fun i pr ->
+       if i > 0 then p ",";
+       let opt = function None -> "null" | Some v -> string_of_int v in
+       p {|{"pid":%d,"decide_round":%s,"decide_step":%s,"stable_step":%s,"chain":[%s],"rounds":[%s]}|}
+         pr.pid (opt pr.decide_round) (opt pr.decide_step)
+         (opt pr.stable_step)
+         (String.concat ","
+            (List.map
+               (fun h ->
+                  Printf.sprintf {|{"seq":%d,"src":%d,"dst":%d,"step":%d}|}
+                    h.seq h.hop_src h.hop_dst h.deliver_step)
+               pr.chain))
+         (String.concat ","
+            (List.map
+               (fun (r, s) -> Printf.sprintf {|{"round":%d,"step":%d}|} r s)
+               pr.round_steps)))
+    t.processes;
+  p "]}";
+  Buffer.contents buf

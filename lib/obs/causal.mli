@@ -1,0 +1,67 @@
+(** Causal (happens-before) analysis of a recorded {!Trace}.
+
+    The deterministic event trace fixes the happens-before relation of
+    a run exactly: process-local events are ordered by their trace
+    positions (the simulator is single-threaded), and every [Deliver]
+    depends on its matching [Send]. A [Send], in turn, was emitted
+    while its sender handled either process start or one specific
+    triggering delivery — the delivery immediately preceding it in the
+    sender's local order. Chaining triggering deliveries backwards
+    from a process's [Decide] yields {e the} message chain that gated
+    the decision: shorten any link and the decision as scheduled could
+    not have happened.
+
+    Everything here is computed in {b scheduler steps}, not wall-clock
+    — the causal skeleton is a property of the schedule and therefore
+    byte-identical across pool sizes, machines and reruns (the
+    profiler, {!Prof}, owns wall-clock). *)
+
+type hop = {
+  seq : int;          (** global send sequence number of the message *)
+  hop_src : int;
+  hop_dst : int;
+  deliver_step : int; (** scheduler step that delivered it *)
+}
+
+type process = {
+  pid : int;
+  decide_round : int option;   (** [None]: crashed / never decided *)
+  decide_step : int option;    (** step of the delivery that triggered it *)
+  chain : hop list;
+      (** critical message chain to the decision, in causal order
+          (first element is a message sent from some process's
+          [on_start]); empty if the process never decided *)
+  stable_step : int option;    (** step at which round 0 stabilized *)
+  round_steps : (int * int) list;
+      (** (round, step at [Round_enter]) in increasing round order *)
+}
+
+type t = {
+  n : int;
+  total_steps : int;  (** scheduler decisions consumed by the run *)
+  processes : process array;
+}
+
+val of_events : n:int -> Trace.event list -> t
+
+val analyze : n:int -> Trace.t -> t
+
+val chain_length : process -> int
+(** Hops on the critical chain (0 for an undecided process). *)
+
+val max_chain_length : t -> int
+(** Longest critical chain over decided processes (0 if none). *)
+
+val round_latencies : process -> (int * int) list
+(** Per-round stabilization latency in steps:
+    [(r, step(Round_enter r) - step(Round_enter (r-1)))], with round 0
+    measured from step 0. *)
+
+val to_string : t -> string
+(** Human-readable per-process critical chains and round latencies —
+    what [chc_sim trace --critical-path] prints. Identical across pool
+    sizes. *)
+
+val to_json : t -> string
+(** Compact JSON rendering (fixed key order, integers only), suitable
+    for attaching to fuzz artifacts. *)

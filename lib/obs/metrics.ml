@@ -1,0 +1,278 @@
+(* Process-wide metrics registry. Instruments are tiny mutable cells
+   behind one mutex each; the registry itself is a mutex-guarded list.
+   Everything snapshot-facing is sorted so renderings are stable. *)
+
+type labels = (string * string) list
+
+let norm_labels labels =
+  List.sort_uniq (fun (a, _) (b, _) -> String.compare a b) labels
+
+(* ------------------------------------------------------------------ *)
+(* Instruments. *)
+
+type counter = int Atomic.t
+
+type gauge = float Atomic.t
+
+(* Log-2 buckets spanning 2^-30 .. 2^33 — wide enough for span
+   latencies in seconds and payload sizes in bytes with one shape.
+   Index [nbuckets] is the overflow bucket. *)
+let nbuckets = 64
+let bucket_bound k = 2.0 ** Float.of_int (k - 30)
+
+type histogram = {
+  hm : Mutex.t;
+  counts : int array;          (* length nbuckets + 1 *)
+  mutable hcount : int;
+  mutable hsum : float;
+  mutable hmax : float;
+}
+
+type instrument =
+  | ICounter of counter
+  | IGauge of gauge
+  | IHistogram of histogram
+
+(* ------------------------------------------------------------------ *)
+(* Registry. *)
+
+type entry = { e_metric : string; e_labels : labels; instr : instrument }
+
+type histogram_stats = {
+  count : int;
+  sum : float;
+  buckets : (float * int) list;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  max_seen : float;
+}
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of histogram_stats
+
+type snapshot = { metric : string; labels : labels; value : value }
+
+let registry_m = Mutex.create ()
+let registry : entry list ref = ref []
+let collectors : (unit -> snapshot list) list ref = ref []
+
+let find_or_register metric labels make =
+  let labels = norm_labels labels in
+  Mutex.lock registry_m;
+  let found =
+    List.find_opt
+      (fun e -> e.e_metric = metric && e.e_labels = labels)
+      !registry
+  in
+  let e =
+    match found with
+    | Some e -> e
+    | None ->
+      let e = { e_metric = metric; e_labels = labels; instr = make () } in
+      registry := e :: !registry;
+      e
+  in
+  Mutex.unlock registry_m;
+  e
+
+let counter ?(labels = []) metric =
+  match (find_or_register metric labels (fun () -> ICounter (Atomic.make 0))).instr with
+  | ICounter c -> c
+  | _ -> invalid_arg (metric ^ " is already registered with another type")
+
+let incr c = Atomic.incr c
+let add c k = ignore (Atomic.fetch_and_add c k)
+
+let gauge ?(labels = []) metric =
+  match (find_or_register metric labels (fun () -> IGauge (Atomic.make 0.0))).instr with
+  | IGauge g -> g
+  | _ -> invalid_arg (metric ^ " is already registered with another type")
+
+let set g v = Atomic.set g v
+
+let histogram ?(labels = []) metric =
+  let make () =
+    IHistogram
+      { hm = Mutex.create ();
+        counts = Array.make (nbuckets + 1) 0;
+        hcount = 0;
+        hsum = 0.0;
+        hmax = neg_infinity }
+  in
+  match (find_or_register metric labels make).instr with
+  | IHistogram h -> h
+  | _ -> invalid_arg (metric ^ " is already registered with another type")
+
+let bucket_index v =
+  (* Smallest k with v <= 2^(k-30); non-positive values land in the
+     first bucket, giants in the overflow bucket. *)
+  if v <= bucket_bound 0 then 0
+  else begin
+    let rec go k =
+      if k >= nbuckets then nbuckets
+      else if v <= bucket_bound k then k
+      else go (k + 1)
+    in
+    go 1
+  end
+
+let observe h v =
+  let k = bucket_index v in
+  Mutex.lock h.hm;
+  h.counts.(k) <- h.counts.(k) + 1;
+  h.hcount <- h.hcount + 1;
+  h.hsum <- h.hsum +. v;
+  if v > h.hmax then h.hmax <- v;
+  Mutex.unlock h.hm
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots. *)
+
+let percentile ~counts ~count ~max_seen q =
+  if count = 0 then 0.0
+  else begin
+    let rank = Stdlib.max 1 (int_of_float (ceil (q *. float_of_int count))) in
+    let rec go k acc =
+      if k > nbuckets then max_seen
+      else begin
+        let acc = acc + counts.(k) in
+        if acc >= rank then
+          if k = nbuckets then max_seen
+          else Float.min (bucket_bound k) max_seen
+        else go (k + 1) acc
+      end
+    in
+    go 0 0
+  end
+
+let histogram_snapshot h =
+  Mutex.lock h.hm;
+  let counts = Array.copy h.counts in
+  let count = h.hcount and sum = h.hsum in
+  let max_seen = if h.hcount = 0 then 0.0 else h.hmax in
+  Mutex.unlock h.hm;
+  let buckets = ref [] in
+  for k = nbuckets downto 0 do
+    if counts.(k) > 0 then
+      let bound = if k = nbuckets then infinity else bucket_bound k in
+      buckets := (bound, counts.(k)) :: !buckets
+  done;
+  { count;
+    sum;
+    buckets = !buckets;
+    p50 = percentile ~counts ~count ~max_seen 0.50;
+    p90 = percentile ~counts ~count ~max_seen 0.90;
+    p99 = percentile ~counts ~count ~max_seen 0.99;
+    max_seen }
+
+let percentile_of_stats stats q =
+  (* Rebuild a dense count array from the sparse bucket list. *)
+  let counts = Array.make (nbuckets + 1) 0 in
+  List.iter
+    (fun (bound, c) ->
+       let k =
+         if bound = infinity then nbuckets
+         else bucket_index bound
+       in
+       counts.(k) <- counts.(k) + c)
+    stats.buckets;
+  percentile ~counts ~count:stats.count ~max_seen:stats.max_seen q
+
+let snapshot_of_entry e =
+  { metric = e.e_metric;
+    labels = e.e_labels;
+    value =
+      (match e.instr with
+       | ICounter c -> Counter (Atomic.get c)
+       | IGauge g -> Gauge (Atomic.get g)
+       | IHistogram h -> Histogram (histogram_snapshot h)) }
+
+let register_collector f =
+  Mutex.lock registry_m;
+  collectors := !collectors @ [ f ];
+  Mutex.unlock registry_m
+
+let snapshot_all () =
+  Mutex.lock registry_m;
+  let entries = !registry and cs = !collectors in
+  Mutex.unlock registry_m;
+  let own = List.map snapshot_of_entry entries in
+  let collected = List.concat_map (fun f -> f ()) cs in
+  List.sort
+    (fun a b ->
+       match String.compare a.metric b.metric with
+       | 0 -> Stdlib.compare a.labels b.labels
+       | c -> c)
+    (own @ collected)
+
+(* ------------------------------------------------------------------ *)
+(* Exposition. *)
+
+let escape_label_value s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let render_labels = function
+  | [] -> ""
+  | labels ->
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v))
+           labels)
+    ^ "}"
+
+let fmt_float v =
+  if v = infinity then "+Inf"
+  else if v = neg_infinity then "-Inf"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%g" v
+
+let type_of_value = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let exposition snapshots =
+  let b = Buffer.create 1024 in
+  let p fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let last_family = ref "" in
+  List.iter
+    (fun s ->
+       if s.metric <> !last_family then begin
+         last_family := s.metric;
+         p "# TYPE %s %s\n" s.metric (type_of_value s.value)
+       end;
+       match s.value with
+       | Counter c -> p "%s%s %d\n" s.metric (render_labels s.labels) c
+       | Gauge g -> p "%s%s %s\n" s.metric (render_labels s.labels) (fmt_float g)
+       | Histogram h ->
+         let cum = ref 0 in
+         List.iter
+           (fun (bound, c) ->
+              cum := !cum + c;
+              if bound <> infinity then
+                p "%s_bucket%s %d\n" s.metric
+                  (render_labels (s.labels @ [ ("le", fmt_float bound) ]))
+                  !cum)
+           h.buckets;
+         p "%s_bucket%s %d\n" s.metric
+           (render_labels (s.labels @ [ ("le", "+Inf") ]))
+           h.count;
+         p "%s_sum%s %s\n" s.metric (render_labels s.labels) (fmt_float h.sum);
+         p "%s_count%s %d\n" s.metric (render_labels s.labels) h.count)
+    snapshots;
+  Buffer.contents b
+
+let exposition_all () = exposition (snapshot_all ())

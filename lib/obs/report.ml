@@ -14,55 +14,18 @@ type round = {
   diameter : float option;
 }
 
-type cache = {
-  cache_name : string;
-  hits : int;
-  misses : int;
-  evictions : int;
-  entries : int;
-}
-
-type pool = {
-  pool_size : int;
-  tasks_run : int;
-  batches : int;
-}
-
 type t = {
   sim_metrics : sim option;
   rounds : round list;
-  caches : cache list;
-  pool_stats : pool option;
+  metrics : Metrics.snapshot list;
   trace_events : int option;
 }
 
-let cache_of_memo (name, (s : Parallel.Memo.stats)) =
-  { cache_name = name;
-    hits = s.Parallel.Memo.hits;
-    misses = s.Parallel.Memo.misses;
-    evictions = s.Parallel.Memo.evictions;
-    entries = s.Parallel.Memo.entries }
-
-let pool_of_stats (s : Parallel.Pool.stats) =
-  { pool_size = s.Parallel.Pool.pool_size;
-    tasks_run = s.Parallel.Pool.tasks_run;
-    batches = s.Parallel.Pool.batches }
-
-(* Snapshot every process-wide counter (named memo tables, the global
-   pool) and combine with whatever per-execution data the caller
-   has. *)
-let capture ?sim ?(rounds = []) ?trace_events () =
+let capture ~sim ?(rounds = []) ?trace_events () =
   { sim_metrics = sim;
     rounds;
-    caches = List.map cache_of_memo (Parallel.Memo.all_stats ());
-    pool_stats =
-      Some (pool_of_stats (Parallel.Pool.stats (Parallel.Pool.global ())));
+    metrics = Metrics.snapshot_all ();
     trace_events }
-
-let hit_rate c =
-  let total = c.hits + c.misses in
-  if total = 0 then 0.0
-  else 100.0 *. float_of_int c.hits /. float_of_int total
 
 let to_string t =
   let buf = Buffer.create 512 in
@@ -88,16 +51,83 @@ let to_string t =
              | Some d -> Printf.sprintf "%.6f" d
              | None -> "-"))
        rounds);
-  (match t.pool_stats with
-   | Some s ->
-     p "pool     size=%d tasks=%d batches=%d\n" s.pool_size s.tasks_run
-       s.batches
-   | None -> ());
-  List.iter
-    (fun c ->
-       p "cache    %-13s hits=%d misses=%d evictions=%d entries=%d (hit rate %.1f%%)\n"
-         c.cache_name c.hits c.misses c.evictions c.entries (hit_rate c))
-    t.caches;
+  (match t.metrics with
+   | [] -> ()
+   | metrics ->
+     p "-- metrics --\n";
+     Buffer.add_string buf (Metrics.exposition metrics));
+  Buffer.contents buf
+
+(* Minimal JSON helpers — Obs sits below Codec, so it renders its own. *)
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.9g" v
+
+let to_json t =
+  let buf = Buffer.create 1024 in
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  p "{";
+  (match t.sim_metrics with
+   | Some m ->
+     p
+       {|"sim":{"sent":%d,"delivered":%d,"dropped":%d,"dead_lettered":%d,"steps":%d},|}
+       m.sent m.delivered m.dropped m.dead_lettered m.steps
+   | None -> p {|"sim":null,|});
+  (match t.trace_events with
+   | Some k -> p {|"trace_events":%d,|} k
+   | None -> p {|"trace_events":null,|});
+  p {|"rounds":[%s],|}
+    (String.concat ","
+       (List.map
+          (fun r ->
+             Printf.sprintf
+               {|{"round":%d,"messages":%d,"wire_bytes":%d,"max_vertices":%d,"diameter":%s}|}
+               r.round r.messages r.wire_bytes r.max_vertices
+               (match r.diameter with
+                | Some d -> json_float d
+                | None -> "null"))
+          t.rounds));
+  p {|"metrics":[%s]}|}
+    (String.concat ","
+       (List.map
+          (fun (s : Metrics.snapshot) ->
+             let labels =
+               String.concat ","
+                 (List.map
+                    (fun (k, v) ->
+                       Printf.sprintf {|"%s":"%s"|} (json_escape k)
+                         (json_escape v))
+                    s.Metrics.labels)
+             in
+             let value =
+               match s.Metrics.value with
+               | Metrics.Counter c ->
+                 Printf.sprintf {|"type":"counter","value":%d|} c
+               | Metrics.Gauge g ->
+                 Printf.sprintf {|"type":"gauge","value":%s|} (json_float g)
+               | Metrics.Histogram h ->
+                 Printf.sprintf
+                   {|"type":"histogram","count":%d,"sum":%s,"p50":%s,"p90":%s,"p99":%s,"max":%s|}
+                   h.Metrics.count (json_float h.Metrics.sum)
+                   (json_float h.Metrics.p50) (json_float h.Metrics.p90)
+                   (json_float h.Metrics.p99) (json_float h.Metrics.max_seen)
+             in
+             Printf.sprintf {|{"metric":"%s","labels":{%s},%s}|}
+               (json_escape s.Metrics.metric) labels value)
+          t.metrics));
   Buffer.contents buf
 
 let print oc t = output_string oc (to_string t)

@@ -1,6 +1,7 @@
 (** One aggregated observability report for an execution (or a whole
-    bench run): transport metrics, per-round protocol metrics, kernel
-    cache counters and domain-pool utilization.
+    bench run): transport metrics, per-round protocol metrics, and a
+    {!Metrics} registry snapshot covering every instrumented subsystem
+    (memo tables, domain pool, wire codec, ...).
 
     The report is the "what happened" companion to {!Trace} (the
     "in which order"): [chc_sim run --verbose] and the [bench-smoke]
@@ -11,8 +12,9 @@
     simulator's metrics are mapped in by the caller ([Runtime] sits
     above [Obs] in the dependency order), and the per-round rows are
     produced by [Chc.Executor.round_metrics] — wire sizes need
-    [Codec], which [Obs] must not depend on. Kernel counters
-    ({!Parallel.Memo}, {!Parallel.Pool}) are snapshotted directly. *)
+    [Codec], which [Obs] must not depend on. Subsystem counters reach
+    the report through {!Metrics.register_collector}, so [Obs] no
+    longer links against [Parallel] at all. *)
 
 type sim = {
   sent : int;
@@ -35,37 +37,31 @@ type round = {
           [h_i[t]]; [None] when not computed or fewer than 2 witnesses *)
 }
 
-type cache = {
-  cache_name : string;
-  hits : int;
-  misses : int;
-  evictions : int;
-  entries : int;
-}
-
-type pool = {
-  pool_size : int;
-  tasks_run : int;
-  batches : int;
-}
-
 type t = {
   sim_metrics : sim option;
   rounds : round list;
-  caches : cache list;
-  pool_stats : pool option;
+  metrics : Metrics.snapshot list;
+      (** {!Metrics.snapshot_all} at capture time, sorted — memo
+          hit/miss counters, pool utilization, wire sizes, span
+          counts, ... *)
   trace_events : int option;
 }
 
 val capture :
-  ?sim:sim -> ?rounds:round list -> ?trace_events:int -> unit -> t
-(** Snapshot every process-wide counter (named memo tables via
-    {!Parallel.Memo.all_stats}, the global pool) and combine with the
-    per-execution data supplied by the caller. *)
-
-val hit_rate : cache -> float
-(** Percentage of lookups served from the cache (0 when unused). *)
+  sim:sim option -> ?rounds:round list -> ?trace_events:int -> unit -> t
+(** Snapshot the whole {!Metrics} registry and combine with the
+    per-execution data supplied by the caller. [sim] is a required
+    (option-typed) argument: an earlier version defaulted it and
+    callers silently produced reports with no transport metrics at
+    all; pass [None] only when there genuinely was no simulator run. *)
 
 val to_string : t -> string
+(** Human-readable rendering: sim/trace/round tables followed by the
+    Prometheus text exposition of the metrics snapshot. *)
+
+val to_json : t -> string
+(** Machine-readable rendering (stable key order) for bench tooling
+    and [chc_sim run --report-json]. Histogram values carry count,
+    sum, p50/p90/p99 and max. *)
 
 val print : out_channel -> t -> unit

@@ -1,0 +1,44 @@
+let fsync_out oc =
+  (* flush the channel buffer to the fd, then push the fd to disk *)
+  flush oc;
+  Unix.fsync (Unix.descr_of_out_channel oc)
+
+let describe_exn path = function
+  | Sys_error msg ->
+    (* Sys_error messages usually already contain the path; keep ours
+       first so callers can rely on it. *)
+    Some (Printf.sprintf "%s: %s" path msg)
+  | Unix.Unix_error (err, fn, _) ->
+    Some (Printf.sprintf "%s: %s: %s" path fn (Unix.error_message err))
+  | _ -> None
+
+let write_file ~path f =
+  match open_out_bin path with
+  | exception e ->
+    (match describe_exn path e with
+     | Some msg -> Error msg
+     | None -> raise e)
+  | oc ->
+    (match
+       f oc;
+       fsync_out oc
+     with
+     | () ->
+       (match close_out oc with
+        | () -> Ok ()
+        | exception e ->
+          (match describe_exn path e with
+           | Some msg -> Error msg
+           | None -> raise e))
+     | exception e ->
+       close_out_noerr oc;
+       (match describe_exn path e with
+        | Some msg -> Error msg
+        | None -> raise e))
+
+let write_string ~path s = write_file ~path (fun oc -> output_string oc s)
+
+let write_file_exn ~path f =
+  match write_file ~path f with
+  | Ok () -> ()
+  | Error msg -> failwith msg

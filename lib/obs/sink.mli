@@ -1,0 +1,23 @@
+(** Checked file output for every artifact this project writes
+    (traces, profiles, fuzz counterexamples, reports).
+
+    The bare [open_out]/[close_out] idiom used before this module
+    silently loses data twice over: [close_out] can swallow a short
+    write on a full disk, and nothing ever named the path in the error
+    message. Here every write is flushed, fsynced and closed with
+    errors mapped to [Error "<path>: <reason>"]; the file is the
+    caller's only once [Ok] comes back. *)
+
+val write_file : path:string -> (out_channel -> unit) -> (unit, string) result
+(** Open [path] (truncating, binary), run the writer, then flush,
+    fsync and close. Any [Sys_error]/[Unix_error] raised by the
+    writer, the flush or the close is returned as [Error] prefixed
+    with [path]. Exceptions other than I/O errors propagate (after an
+    attempt to close). *)
+
+val write_string : path:string -> string -> (unit, string) result
+(** [write_file] specialized to one string. *)
+
+val write_file_exn : path:string -> (out_channel -> unit) -> unit
+(** Like {!write_file} but raises [Failure] with the composed message
+    — for callers already on an exception path. *)

@@ -13,6 +13,9 @@ type ('a, 'b) t = {
   hash : 'a -> int;
   equal : 'a -> 'a -> bool;
   max_size : int;
+  span_attrs : (string * string) list;
+      (* [("table", name)] for named tables — precomputed so the
+         profiling-on path allocates nothing per lookup *)
   m : Mutex.t;
   buckets : (int * 'a * 'b) list array;
   mutable count : int;
@@ -61,6 +64,8 @@ let create ?name ?(max_size = 4096) ~hash ~equal () =
   if max_size < 1 then invalid_arg "Memo.create: max_size must be >= 1";
   let t =
     { hash; equal; max_size;
+      span_attrs =
+        (match name with Some n -> [ ("table", n) ] | None -> []);
       m = Mutex.create ();
       buckets = Array.make nbuckets [];
       count = 0; hits = 0; misses = 0; evictions = 0 }
@@ -79,7 +84,7 @@ let clear t =
   flush_locked t;
   Mutex.unlock t.m
 
-let find_or_add t k f =
+let find_or_add_core t k f =
   if not (Atomic.get global_enabled) then f ()
   else begin
     let h = (t.hash k) land max_int in
@@ -106,3 +111,30 @@ let find_or_add t k f =
       Mutex.unlock t.m;
       v
   end
+
+let find_or_add t k f =
+  if Obs.Prof.enabled () then
+    Obs.Prof.with_span ~attrs:t.span_attrs "memo.lookup" (fun () ->
+        find_or_add_core t k f)
+  else find_or_add_core t k f
+
+(* Publish every named table's lifetime counters as registry metrics;
+   [Obs.Report] reads these instead of linking against this module. *)
+let () =
+  Obs.Metrics.register_collector (fun () ->
+      List.concat_map
+        (fun (name, (s : stats)) ->
+           let labels = [ ("table", name) ] in
+           [ { Obs.Metrics.metric = "chc_memo_hits_total";
+               labels;
+               value = Obs.Metrics.Counter s.hits };
+             { Obs.Metrics.metric = "chc_memo_misses_total";
+               labels;
+               value = Obs.Metrics.Counter s.misses };
+             { Obs.Metrics.metric = "chc_memo_evictions_total";
+               labels;
+               value = Obs.Metrics.Counter s.evictions };
+             { Obs.Metrics.metric = "chc_memo_entries";
+               labels;
+               value = Obs.Metrics.Gauge (float_of_int s.entries) } ])
+        (all_stats ()))

@@ -91,15 +91,17 @@ type batch = {
   bc : Condition.t;
 }
 
-let run_batch pool thunks =
-  let n = Array.length thunks in
-  if n > 0 then begin
+let run_batch_inner pool thunks n =
+  begin
     ensure_spawned pool;
     let b =
       { remaining = n; exn = None; bm = Mutex.create (); bc = Condition.create () }
     in
     let wrap thunk () =
-      (try thunk () with
+      (try
+         if Obs.Prof.enabled () then Obs.Prof.with_span "pool.task" thunk
+         else thunk ()
+       with
        | e ->
          Mutex.lock b.bm;
          if b.exn = None then b.exn <- Some e;
@@ -133,6 +135,16 @@ let run_batch pool thunks =
     Mutex.unlock b.bm;
     match failed with Some e -> raise e | None -> ()
   end
+
+let run_batch pool thunks =
+  let n = Array.length thunks in
+  if n > 0 then
+    if Obs.Prof.enabled () then
+      Obs.Prof.with_span
+        ~attrs:[ ("tasks", string_of_int n) ]
+        "pool.batch"
+        (fun () -> run_batch_inner pool thunks n)
+    else run_batch_inner pool thunks n
 
 let sequentialize pool xs =
   pool.size <= 1 || pool.down || Domain.DLS.get in_worker
@@ -215,3 +227,25 @@ let set_global_size k =
   global_pool := Some (create ~size:k);
   Mutex.unlock global_mutex;
   Option.iter shutdown old
+
+(* Surface the global pool's lifetime counters through the metrics
+   registry. Reporting must not force the pool into existence, so the
+   collector reads the ref directly instead of calling [global]. *)
+let () =
+  Obs.Metrics.register_collector (fun () ->
+      Mutex.lock global_mutex;
+      let p = !global_pool in
+      Mutex.unlock global_mutex;
+      match p with
+      | None -> []
+      | Some p ->
+        let s = stats p in
+        [ { Obs.Metrics.metric = "chc_pool_size";
+            labels = [];
+            value = Obs.Metrics.Gauge (float_of_int s.pool_size) };
+          { Obs.Metrics.metric = "chc_pool_tasks_total";
+            labels = [];
+            value = Obs.Metrics.Counter s.tasks_run };
+          { Obs.Metrics.metric = "chc_pool_batches_total";
+            labels = [];
+            value = Obs.Metrics.Counter s.batches } ])

@@ -97,12 +97,17 @@ let create ?trace ~n ~f ~me ~value ~broadcast () =
   announce t;
   t
 
-let on_receive t ~src (View incoming) =
+let on_receive_core t ~src (View incoming) =
   record_vote t src incoming;
   let merged = merge t.view incoming in
   let grew = not (view_equal merged t.view) in
   t.view <- merged;
   if grew then announce t else check_stable t
+
+let on_receive t ~src view =
+  if Obs.Prof.enabled () then
+    Obs.Prof.with_span "sv.receive" (fun () -> on_receive_core t ~src view)
+  else on_receive_core t ~src view
 
 let result t = t.stable
 

@@ -189,12 +189,16 @@ let test_canary_campaign_end_to_end () =
   in
   match outcome.Fuzz.Campaign.findings with
   | [] -> Alcotest.fail "campaign found no canary violation in 60 trials"
-  | { artifact; path; trace_path } :: _ ->
+  | { artifact; path; trace_path; causal_path } :: _ ->
     Alcotest.(check bool) "artifact file exists" true (Sys.file_exists path);
     (match trace_path with
      | Some p ->
        Alcotest.(check bool) "trace file exists" true (Sys.file_exists p)
      | None -> Alcotest.fail "minimized run must carry a trace");
+    (match causal_path with
+     | Some p ->
+       Alcotest.(check bool) "causal sidecar exists" true (Sys.file_exists p)
+     | None -> Alcotest.fail "minimized run must carry a causal skeleton");
     (match Fuzz.Artifact.load path with
      | Error e -> Alcotest.failf "artifact reload: %s" e
      | Ok a ->

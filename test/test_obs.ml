@@ -239,6 +239,293 @@ let test_pool_stats () =
   Alcotest.(check int) "sequential pool dispatches nothing" 0
     (Pool.stats seq).Pool.tasks_run
 
+(* ------------------------------------------------------------------ *)
+(* Span profiler: nesting, exception safety, balanced export. *)
+
+let with_profiler f =
+  Obs.Prof.reset ();
+  Obs.Prof.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+        Obs.Prof.set_enabled false;
+        Obs.Prof.reset ())
+    f
+
+let test_span_nesting () =
+  with_profiler (fun () ->
+      Obs.Prof.with_span "outer" (fun () ->
+          Obs.Prof.with_span "inner" (fun () -> ()));
+      (* an exception must still close the span *)
+      (try
+         Obs.Prof.with_span "boom" (fun () -> raise Exit)
+       with Exit -> ());
+      Alcotest.(check int) "three completed spans" 3 (Obs.Prof.span_count ());
+      let evs = Obs.Prof.events () in
+      let names =
+        List.filter_map
+          (fun (e : Obs.Prof.event) ->
+             match e.Obs.Prof.phase with
+             | `B -> Some e.Obs.Prof.name
+             | `E -> None)
+          evs
+      in
+      Alcotest.(check (list string)) "stack order within the domain"
+        [ "outer"; "inner"; "boom" ] names;
+      (* depth never negative, ends at zero *)
+      let final =
+        List.fold_left
+          (fun d (e : Obs.Prof.event) ->
+             let d = d + (match e.Obs.Prof.phase with `B -> 1 | `E -> -1) in
+             Alcotest.(check bool) "depth never negative" true (d >= 0);
+             d)
+          0 evs
+      in
+      Alcotest.(check int) "all spans closed" 0 final;
+      (* timestamps non-decreasing in recording order *)
+      ignore
+        (List.fold_left
+           (fun prev (e : Obs.Prof.event) ->
+              Alcotest.(check bool) "monotone timestamps" true
+                (Int64.compare e.Obs.Prof.ts_ns prev >= 0);
+              e.Obs.Prof.ts_ns)
+           Int64.min_int evs);
+      let summary = Obs.Prof.summary () in
+      List.iter
+        (fun name ->
+           match List.assoc_opt name summary with
+           | None -> Alcotest.failf "span %S missing from summary" name
+           | Some (s : Obs.Prof.stat) ->
+             Alcotest.(check int) (name ^ " called once") 1 s.Obs.Prof.calls;
+             Alcotest.(check bool) (name ^ " max >= p50") true
+               (s.Obs.Prof.max_ns >= s.Obs.Prof.p50_ns))
+        [ "outer"; "inner"; "boom" ])
+
+let test_span_disabled_records_nothing () =
+  Obs.Prof.reset ();
+  Alcotest.(check bool) "profiler starts disabled" false (Obs.Prof.enabled ());
+  Obs.Prof.with_span "ghost" (fun () -> ());
+  Alcotest.(check int) "nothing recorded while disabled" 0
+    (Obs.Prof.span_count ())
+
+(* Perfetto/Chrome export. [ts] fields are fixed-format "%.3f" floats,
+   which the deliberately exact Codec.Json rejects; deleting '.' chars
+   outside string literals rescales them losslessly to integers (ns)
+   without touching the dotted span names, so the strict parser can
+   validate the document. *)
+let strip_dots s =
+  let b = Buffer.create (String.length s) in
+  let in_string = ref false and escaped = ref false in
+  String.iter
+    (fun c ->
+       let keep =
+         if !in_string then begin
+           (if !escaped then escaped := false
+            else match c with
+              | '\\' -> escaped := true
+              | '"' -> in_string := false
+              | _ -> ());
+           true
+         end
+         else begin
+           (match c with '"' -> in_string := true | _ -> ());
+           c <> '.'
+         end
+       in
+       if keep then Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let test_chrome_json_wellformed () =
+  with_profiler (fun () ->
+      Obs.Prof.with_span "a.dotted.name" ~attrs:[ ("k", "v\"q") ] (fun () ->
+          Obs.Prof.with_span "leaf" (fun () -> ()));
+      let json = Obs.Prof.to_chrome_json () in
+      match Codec.Json.of_string (strip_dots json) with
+      | Error e -> Alcotest.failf "chrome JSON does not parse: %s" e
+      | Ok (Codec.Json.List evs) ->
+        Alcotest.(check int) "B+E event count" (2 * Obs.Prof.span_count ())
+          (List.length evs);
+        List.iter
+          (fun ev ->
+             match Codec.Json.str_field "ph" ev with
+             | Ok "B" ->
+               Alcotest.(check bool) "B has a name" true
+                 (Codec.Json.member "name" ev <> None);
+               Alcotest.(check bool) "B has integer ts" true
+                 (Result.is_ok (Codec.Json.int_field "ts" ev))
+             | Ok "E" -> ()
+             | Ok ph -> Alcotest.failf "unexpected phase %S" ph
+             | Error e -> Alcotest.fail e)
+          evs;
+        Alcotest.(check bool) "dotted span name survives intact" true
+          (contains ~sub:"a.dotted.name" json)
+      | Ok _ -> Alcotest.fail "chrome JSON must be one event array")
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry: log-bucket histogram percentiles. *)
+
+let test_histogram_percentiles () =
+  let h = Obs.Metrics.histogram ~labels:[ ("t", "percentiles") ] "chc_test_obs" in
+  List.iter
+    (fun v -> Obs.Metrics.observe h (float_of_int v))
+    (List.init 100 (fun i -> i + 1));
+  let snap =
+    List.find_opt
+      (fun s -> s.Obs.Metrics.metric = "chc_test_obs")
+      (Obs.Metrics.snapshot_all ())
+  in
+  match snap with
+  | Some { Obs.Metrics.value = Obs.Metrics.Histogram st; _ } ->
+    Alcotest.(check int) "count" 100 st.Obs.Metrics.count;
+    Alcotest.(check (float 1e-6)) "sum exact" 5050.0 st.Obs.Metrics.sum;
+    Alcotest.(check (float 1e-6)) "max exact" 100.0 st.Obs.Metrics.max_seen;
+    (* estimates are bucket upper bounds: never below the exact
+       percentile, at most one power-of-two above it *)
+    Alcotest.(check bool) "p50 in [50, 64]" true
+      (st.Obs.Metrics.p50 >= 50.0 && st.Obs.Metrics.p50 <= 64.0);
+    Alcotest.(check bool) "p90 in [90, 100] (clamped to max)" true
+      (st.Obs.Metrics.p90 >= 90.0 && st.Obs.Metrics.p90 <= 100.0);
+    Alcotest.(check bool) "p99 in [99, 100] (clamped to max)" true
+      (st.Obs.Metrics.p99 >= 99.0 && st.Obs.Metrics.p99 <= 100.0);
+    (* the exposed recomputation hook agrees with the snapshot *)
+    List.iter
+      (fun (q, v) ->
+         Alcotest.(check (float 1e-6))
+           (Printf.sprintf "percentile_of_stats %.2f" q)
+           v
+           (Obs.Metrics.percentile_of_stats st q))
+      [ (0.5, st.Obs.Metrics.p50); (0.9, st.Obs.Metrics.p90);
+        (0.99, st.Obs.Metrics.p99) ]
+  | Some _ -> Alcotest.fail "chc_test_obs is not a histogram"
+  | None -> Alcotest.fail "chc_test_obs missing from snapshot_all"
+
+(* ------------------------------------------------------------------ *)
+(* Causal analysis. *)
+
+(* Synthetic trace with a dead letter: causal reconstruction must keep
+   the chain intact while still charging the dead-lettered delivery a
+   scheduler step — the schedule replays with full fidelity. *)
+let test_causal_dead_letter () =
+  let trace = Trace.create () in
+  List.iter (Trace.emit trace)
+    [ Trace.Send { src = 0; dst = 1; seq = 0 };
+      Trace.Send { src = 0; dst = 2; seq = 1 };
+      Trace.Deliver { step = 1; src = 0; dst = 1; seq = 0 };
+      Trace.Send { src = 1; dst = 0; seq = 2 };
+      Trace.Crash { pid = 2; sends = 0 };
+      Trace.Dead_letter { step = 2; src = 0; dst = 2; seq = 1 };
+      Trace.Deliver { step = 3; src = 1; dst = 0; seq = 2 };
+      Trace.Decide { pid = 0; round = 1; vertices = 1 } ];
+  Alcotest.(check (list (pair int int)))
+    "dead letter consumes a replayable scheduler decision"
+    [ (0, 1); (0, 2); (1, 0) ]
+    (Trace.schedule trace);
+  let c = Obs.Causal.analyze ~n:3 trace in
+  Alcotest.(check int) "total steps count the dead letter" 3
+    c.Obs.Causal.total_steps;
+  let p0 = c.Obs.Causal.processes.(0) in
+  Alcotest.(check (option int)) "decide step" (Some 3) p0.Obs.Causal.decide_step;
+  Alcotest.(check int) "two-hop critical chain" 2 (Obs.Causal.chain_length p0);
+  (match p0.Obs.Causal.chain with
+   | [ h1; h2 ] ->
+     Alcotest.(check int) "first hop is the on_start send" 0 h1.Obs.Causal.seq;
+     Alcotest.(check int) "first hop delivered at step 1" 1
+       h1.Obs.Causal.deliver_step;
+     Alcotest.(check int) "second hop is the triggered send" 2
+       h2.Obs.Causal.seq;
+     Alcotest.(check int) "second hop delivered at step 3" 3
+       h2.Obs.Causal.deliver_step
+   | _ -> Alcotest.fail "unexpected chain shape");
+  Alcotest.(check int) "dead-lettered message gates nothing" 0
+    (Obs.Causal.chain_length c.Obs.Causal.processes.(2));
+  Alcotest.(check int) "max chain over decided processes" 2
+    (Obs.Causal.max_chain_length c)
+
+(* Schedule replay fidelity on a run that dead-letters: feeding a
+   recorded schedule back as the Sim prefix must reproduce the trace
+   byte-for-byte, which only works if [Trace.schedule] charges
+   dead-lettered deliveries a decision like live ones. *)
+let test_dead_letter_replay () =
+  let config =
+    Chc.Config.make ~n:5 ~f:1 ~d:2 ~eps:(Q.of_ints 1 4) ~lo:Q.zero ~hi:Q.one
+  in
+  let spec = Executor.default_spec ~config ~seed:7 ~ensure_crash:true () in
+  let execute ?prefix ~scheduler trace =
+    ignore
+      (Cc.execute ~trace ?prefix ~round0:spec.Executor.round0
+         ~config:spec.Executor.config ~inputs:spec.Executor.inputs
+         ~crash:spec.Executor.crash ~scheduler ~seed:spec.Executor.seed ())
+  in
+  let recorded = Trace.create () in
+  execute ~scheduler:spec.Executor.scheduler recorded;
+  Alcotest.(check bool) "run contains dead letters" true
+    (count (function Trace.Dead_letter _ -> true | _ -> false) recorded > 0);
+  let replayed = Trace.create () in
+  (* replay under a different fallback scheduler: the pinned prefix
+     alone must force the recorded delivery order *)
+  execute ~prefix:(Trace.schedule recorded)
+    ~scheduler:Runtime.Scheduler.round_robin replayed;
+  Alcotest.(check string) "prefix replay reproduces the trace byte-for-byte"
+    (Trace.to_jsonl recorded) (Trace.to_jsonl replayed)
+
+(* Critical-path output is a property of the schedule, so it must be
+   byte-identical across pool sizes — the acceptance criterion behind
+   [chc_sim trace --critical-path]. The crashing process makes the run
+   exercise the dead-letter path on a real execution. *)
+let test_critical_path_pool_invariant () =
+  let config =
+    Chc.Config.make ~n:5 ~f:1 ~d:2 ~eps:(Q.of_ints 1 4) ~lo:Q.zero ~hi:Q.one
+  in
+  let spec = Executor.default_spec ~config ~seed:7 ~ensure_crash:true () in
+  let causal ~size =
+    with_pool_size size (fun () ->
+        let trace = Trace.create () in
+        ignore (Executor.run ~trace spec);
+        let c = Obs.Causal.analyze ~n:5 trace in
+        (Obs.Causal.to_string c, Obs.Causal.to_json c))
+  in
+  let s1, j1 = causal ~size:1 in
+  let s4, j4 = causal ~size:4 in
+  Alcotest.(check string) "to_string identical across pool sizes" s1 s4;
+  Alcotest.(check string) "to_json identical across pool sizes" j1 j4;
+  Alcotest.(check bool) "analysis is non-trivial" true
+    (String.length s1 > 100 && contains ~sub:"critical chain" s1)
+
+(* ------------------------------------------------------------------ *)
+(* Sink: every file write reports failures with the target path. *)
+
+let test_sink_roundtrip () =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "chc-test-sink-%d.txt" (Unix.getpid ()))
+  in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+       match Obs.Sink.write_string ~path "hello sink\n" with
+       | Error e -> Alcotest.failf "write_string: %s" e
+       | Ok () ->
+         let ic = open_in_bin path in
+         let s =
+           Fun.protect
+             ~finally:(fun () -> close_in ic)
+             (fun () -> really_input_string ic (in_channel_length ic))
+         in
+         Alcotest.(check string) "content durably written" "hello sink\n" s)
+
+let test_sink_error_names_path () =
+  let bad = "/nonexistent-chc-dir/deep/out.json" in
+  (match Obs.Sink.write_string ~path:bad "x" with
+   | Ok () -> Alcotest.fail "write into a missing directory must fail"
+   | Error msg ->
+     Alcotest.(check bool) "error names the target path" true
+       (contains ~sub:bad msg));
+  match Obs.Sink.write_file_exn ~path:bad (fun _ -> ()) with
+  | () -> Alcotest.fail "write_file_exn must raise"
+  | exception Failure msg ->
+    Alcotest.(check bool) "Failure names the target path" true
+      (contains ~sub:bad msg)
+
 let suite =
   [ ( "obs",
       [ Alcotest.test_case "trace pool-size invariant (d=2)" `Quick
@@ -252,4 +539,21 @@ let suite =
         Alcotest.test_case "memo lifetime stats" `Quick
           test_memo_lifetime_stats;
         Alcotest.test_case "pool parse_size" `Quick test_pool_parse_size;
-        Alcotest.test_case "pool stats" `Quick test_pool_stats ] ) ]
+        Alcotest.test_case "pool stats" `Quick test_pool_stats;
+        Alcotest.test_case "span nesting + exception safety" `Quick
+          test_span_nesting;
+        Alcotest.test_case "disabled profiler records nothing" `Quick
+          test_span_disabled_records_nothing;
+        Alcotest.test_case "chrome trace JSON well-formed" `Quick
+          test_chrome_json_wellformed;
+        Alcotest.test_case "histogram percentiles" `Quick
+          test_histogram_percentiles;
+        Alcotest.test_case "causal dead-letter fidelity" `Quick
+          test_causal_dead_letter;
+        Alcotest.test_case "dead-letter schedule replay" `Quick
+          test_dead_letter_replay;
+        Alcotest.test_case "critical path pool-size invariant" `Quick
+          test_critical_path_pool_invariant;
+        Alcotest.test_case "sink roundtrip" `Quick test_sink_roundtrip;
+        Alcotest.test_case "sink error names path" `Quick
+          test_sink_error_names_path ] ) ]
