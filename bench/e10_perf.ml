@@ -90,6 +90,14 @@ let tests () =
   in
   let hulls3 = List.map Polytope.vertices polys3 in
   let pts3 = mk_points3 rng 12 in
+  (* Warm the structural memo tables for the full-execution entries:
+     bechamel's fast quota fits only a couple of n6-d3 runs, so without
+     a warmup the estimate is dominated by the one cold run and swings
+     ~5x between --fast and full mode — useless for the ratchet. The
+     cold-cache cost profile is E13's job; here we track warm
+     steady-state. *)
+  ignore (Chc.Executor.run spec);
+  ignore (Chc.Executor.run spec3);
   [ Test.make ~name:"hull2d/monotone-chain-100pts"
       (Staged.stage (fun () -> ignore (Hull2d.hull pts100)));
     Test.make ~name:"minkowski/edge-merge"
@@ -180,6 +188,85 @@ let emit_json rows phases =
       (List.length rows) (List.length phases)
   | Error msg -> Printf.printf "  BENCH_E10.json NOT written: %s\n" msg
 
+(* The perf ratchet. When main passes [--baseline BENCH_E10.json]
+   (the committed numbers), every end-to-end execution and hullnd
+   kernel entry of this run is compared against it and the whole bench
+   run fails on a regression beyond [Util.bench_tolerance] (default
+   2.5x; CHC_BENCH_TOLERANCE overrides it for noisy runners). Only the
+   heavyweight entries are ratcheted — the sub-microsecond ones are
+   too noisy at the fast quota to gate a build on.
+
+   The committed file is this module's own [emit_json] output, one
+   entry per line, so a line-oriented scan suffices; Codec.Json is
+   int-only by design and ns_per_op is fractional. *)
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let ratcheted name =
+  contains ~sub:"full-execution" name || contains ~sub:"hullnd/" name
+
+let parse_baseline path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+      let entries = ref [] in
+      (try
+         while true do
+           let line = input_line ic in
+           match
+             Scanf.sscanf line " {\"name\": %S, \"ns_per_op\": %f"
+               (fun name ns -> (name, ns))
+           with
+           | entry -> entries := entry :: !entries
+           | exception (Scanf.Scan_failure _ | Failure _ | End_of_file) -> ()
+         done
+       with End_of_file -> ());
+      List.rev !entries)
+
+let check_baseline measured =
+  match Util.baseline with
+  | None -> ()
+  | Some path ->
+    let committed = parse_baseline path in
+    let tol = Util.bench_tolerance in
+    let failures = ref [] in
+    let rows =
+      List.filter_map
+        (fun (name, committed_ns) ->
+           if not (ratcheted name && committed_ns > 0.0) then None
+           else
+             match List.assoc_opt name measured with
+             | Some fresh when not (Float.is_nan fresh) ->
+               let ratio = fresh /. committed_ns in
+               if ratio > tol then failures := (name, ratio) :: !failures;
+               Some
+                 [ name;
+                   Printf.sprintf "%.2f ms" (committed_ns /. 1e6);
+                   Printf.sprintf "%.2f ms" (fresh /. 1e6);
+                   Printf.sprintf "%.2fx%s" ratio
+                     (if ratio > tol then "  REGRESSION" else "") ]
+             | _ -> Some [name; Util.f3 committed_ns; "not measured"; "-"])
+        committed
+    in
+    Util.print_table
+      ~title:
+        (Printf.sprintf "E10: perf ratchet vs %s (tolerance %.2fx)" path tol)
+      ~header:["entry"; "committed"; "this run"; "ratio"]
+      ~widths:[36; 10; 12; 18]
+      rows;
+    (match !failures with
+     | [] -> ()
+     | fs ->
+       failwith
+         (Printf.sprintf
+            "e10 ratchet: %d entr%s regressed past %.2fx of the committed \
+             baseline (%s) — investigate, or re-bless BENCH_E10.json if the \
+             slowdown is intended"
+            (List.length fs)
+            (if List.length fs = 1 then "y" else "ies")
+            tol path))
+
 let run () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
@@ -240,4 +327,5 @@ let run () =
    with
    | Some b, Some i when i > 0.0 && not (Float.is_nan b) ->
      Printf.printf "  d=3 L-operator speedup (brute/incremental): %.1fx\n" (b /. i)
-   | _ -> ())
+   | _ -> ());
+  check_baseline measured

@@ -19,12 +19,20 @@ let experiments =
     ("e9", "resilience frontier and degenerate cases", E9_resilience.run);
     ("e10", "performance microbenchmarks (bechamel)", E10_perf.run);
     ("e12", "phase breakdown + critical paths vs adversary", E12_profile.run);
+    ("e13", "filtered-kernel ablation: exact vs interval filter", E13_filter.run);
     ("smoke3d", "fast d=3 execution smoke check", Smoke3d.run) ]
 
 let () =
   let selected =
-    Array.to_list Sys.argv |> List.tl
-    |> List.filter (fun a -> a <> "--fast")
+    (* Strip the harness flags ("--baseline" consumes its value) so
+       only experiment ids remain. *)
+    let rec strip = function
+      | [] -> []
+      | "--fast" :: rest -> strip rest
+      | "--baseline" :: _ :: rest -> strip rest
+      | a :: rest -> a :: strip rest
+    in
+    strip (List.tl (Array.to_list Sys.argv))
   in
   let chosen =
     if selected = [] then experiments

@@ -1,7 +1,12 @@
 (* A single fast d=3 execution with every Theorem-2/Theorem-3 check —
    the CI smoke test for the d>=3 geometry kernel (see the bench-smoke
    alias in bench/dune). Fails loudly so a broken hot path cannot slip
-   through a green build. *)
+   through a green build.
+
+   The same checked run doubles as the kernel-equivalence gate: the
+   filtered interval kernel must be an observationally perfect
+   stand-in for exact rationals — byte-identical execution transcripts
+   and equal decision polytopes. *)
 
 module Q = Numeric.Q
 module Executor = Chc.Executor
@@ -10,8 +15,9 @@ let run () =
   let config =
     Chc.Config.make ~n:6 ~f:1 ~d:3 ~eps:(Q.of_ints 1 2) ~lo:Q.zero ~hi:Q.one
   in
+  let spec = Executor.default_spec ~config ~seed:42 () in
   let trace = Obs.Trace.create () in
-  let r = Executor.run ~trace (Executor.default_spec ~config ~seed:42 ()) in
+  let r = Executor.run ~trace spec in
   Printf.printf
     "  smoke3d (n=6 f=1 d=3): terminated=%b valid=%b eps-agree=%b optimal=%b\n"
     r.Executor.terminated r.Executor.valid r.Executor.agreement_ok
@@ -25,4 +31,36 @@ let run () =
   if not
       (r.Executor.terminated && r.Executor.valid && r.Executor.agreement_ok
        && r.Executor.optimal)
-  then failwith "smoke3d: d=3 execution lost a Theorem-2/Theorem-3 property"
+  then failwith "smoke3d: d=3 execution lost a Theorem-2/Theorem-3 property";
+  (* Kernel equivalence. Memo tables are bypassed so a result cached
+     by one kernel can't be served to the other and mask a
+     divergence. *)
+  let run_under m =
+    Parallel.Memo.with_bypass (fun () ->
+        let trace = Obs.Trace.create () in
+        let r = Executor.run ~trace { spec with Chc.Scenario.kernel = Some m } in
+        (r, Obs.Trace.to_jsonl trace))
+  in
+  Numeric.Kernel.reset_stats ();
+  let exact, exact_tr = run_under Numeric.Kernel.Exact in
+  let filtered, filtered_tr = run_under Numeric.Kernel.Filtered in
+  if not (String.equal exact_tr filtered_tr) then
+    failwith
+      "smoke3d: filtered-kernel transcript differs from exact (trace bytes)";
+  let outputs (r : Executor.report) = r.Executor.result.Chc.Cc.outputs in
+  Array.iteri
+    (fun i o ->
+       match (o, (outputs filtered).(i)) with
+       | None, None -> ()
+       | Some p, Some p' when Geometry.Polytope.equal p p' -> ()
+       | _ ->
+         failwith
+           (Printf.sprintf
+              "smoke3d: kernel divergence — process %d decided different \
+               polytopes under exact vs filtered" i))
+    (outputs exact);
+  let { Numeric.Kernel.hits; fallbacks } = Numeric.Kernel.totals () in
+  Printf.printf
+    "  kernel equivalence: exact = filtered (transcript %d bytes, filter \
+     hits=%d fallbacks=%d)\n"
+    (String.length exact_tr) hits fallbacks

@@ -35,3 +35,27 @@ let pct num den =
 let fast = Array.exists (fun a -> a = "--fast") Sys.argv
 
 let sweep_size full = if fast then Stdlib.max 3 (full / 5) else full
+
+(* --baseline FILE: committed BENCH_E10.json to ratchet against (see
+   E10_perf.check_baseline). Consumed here so main's experiment
+   selection can skip both tokens. *)
+let baseline =
+  let rec find = function
+    | "--baseline" :: path :: _ -> Some path
+    | _ :: rest -> find rest
+    | [] -> None
+  in
+  find (Array.to_list Sys.argv)
+
+(* Regression tolerance for the ratchet: fresh/committed above this
+   factor fails the build. Overridable for noisy runners. *)
+let bench_tolerance =
+  match Sys.getenv_opt "CHC_BENCH_TOLERANCE" with
+  | Some s ->
+    (match float_of_string_opt s with
+     | Some t when t > 1.0 -> t
+     | _ ->
+       Printf.eprintf "bench: ignoring CHC_BENCH_TOLERANCE=%S (need > 1)\n%!" s;
+       2.5
+     )
+  | None -> 2.5

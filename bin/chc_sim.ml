@@ -53,6 +53,16 @@ let naive_arg =
        & info ["naive-round0"]
            ~doc:"Ablation: replace stable vector by naive first-(n-f) collection.")
 
+let kernel_arg =
+  Arg.(value & opt (some string) None
+       & info ["kernel"] ~docv:"exact|filtered"
+           ~doc:"Arithmetic kernel: $(b,filtered) answers geometry \
+                 predicates from a certified float-interval filter with \
+                 exact rational fallback; $(b,exact) always runs the \
+                 rational path (the oracle). Default: the $(b,CHC_KERNEL) \
+                 environment variable, else filtered. Results are \
+                 identical either way.")
+
 let inputs_arg =
   Arg.(value & opt (some string) None
        & info ["inputs"] ~docv:"P1;P2;..."
@@ -124,10 +134,23 @@ let spec_of ~n ~f ~d ~eps ~lo ~hi ~seed ~scheduler ~naive ~inputs ~faulty =
     let* pts = Cli.parse_inputs ~n ~d s in
     Ok { spec with Executor.inputs = pts }
 
+(* Install the --kernel choice as the process default before running;
+   None keeps the ambient default (CHC_KERNEL or filtered). *)
+let with_kernel kernel k =
+  match kernel with
+  | None -> k ()
+  | Some s ->
+    (match Cli.parse_kernel s with
+     | Error msg -> `Error (false, msg)
+     | Ok m ->
+       Numeric.Kernel.set_default m;
+       k ())
+
 (* --- run command ------------------------------------------------------ *)
 
-let run_cmd n f d eps lo hi seed scheduler naive inputs faulty verbose svg
-    report_json =
+let run_cmd kernel n f d eps lo hi seed scheduler naive inputs faulty verbose
+    svg report_json =
+  with_kernel kernel @@ fun () ->
   match spec_of ~n ~f ~d ~eps ~lo ~hi ~seed ~scheduler ~naive ~inputs ~faulty with
   | Error msg -> `Error (false, msg)
   | Ok spec ->
@@ -204,7 +227,7 @@ let run_cmd n f d eps lo hi seed scheduler naive inputs faulty verbose svg
 
 let run_term =
   Term.(ret
-          (const run_cmd $ n_arg $ f_arg $ d_arg $ eps_arg $ lo_arg $ hi_arg
+          (const run_cmd $ kernel_arg $ n_arg $ f_arg $ d_arg $ eps_arg $ lo_arg $ hi_arg
            $ seed_arg $ scheduler_arg $ naive_arg $ inputs_arg $ faulty_arg
            $ verbose_arg $ svg_arg $ report_json_arg))
 
@@ -213,8 +236,9 @@ let run_cmd_info =
 
 (* --- trace command ---------------------------------------------------- *)
 
-let trace_cmd n f d eps lo hi seed scheduler naive inputs faulty out
+let trace_cmd kernel n f d eps lo hi seed scheduler naive inputs faulty out
     critical_path =
+  with_kernel kernel @@ fun () ->
   match spec_of ~n ~f ~d ~eps ~lo ~hi ~seed ~scheduler ~naive ~inputs ~faulty with
   | Error msg -> `Error (false, msg)
   | Ok spec ->
@@ -251,7 +275,7 @@ let trace_cmd n f d eps lo hi seed scheduler naive inputs faulty out
 
 let trace_term =
   Term.(ret
-          (const trace_cmd $ n_arg $ f_arg $ d_arg $ eps_arg $ lo_arg $ hi_arg
+          (const trace_cmd $ kernel_arg $ n_arg $ f_arg $ d_arg $ eps_arg $ lo_arg $ hi_arg
            $ seed_arg $ scheduler_arg $ naive_arg $ inputs_arg $ faulty_arg
            $ out_arg $ critical_path_arg))
 
@@ -275,7 +299,8 @@ let prof_out_arg =
        & info ["out"; "o"] ~docv:"FILE"
            ~doc:"Where the Chrome trace-event / Perfetto JSON is written.")
 
-let profile_cmd n f d eps lo hi seed scheduler naive inputs faulty out =
+let profile_cmd kernel n f d eps lo hi seed scheduler naive inputs faulty out =
+  with_kernel kernel @@ fun () ->
   match spec_of ~n ~f ~d ~eps ~lo ~hi ~seed ~scheduler ~naive ~inputs ~faulty with
   | Error msg -> `Error (false, msg)
   | Ok spec ->
@@ -316,7 +341,7 @@ let profile_cmd n f d eps lo hi seed scheduler naive inputs faulty out =
 
 let profile_term =
   Term.(ret
-          (const profile_cmd $ n_arg $ f_arg $ d_arg $ eps_arg $ lo_arg
+          (const profile_cmd $ kernel_arg $ n_arg $ f_arg $ d_arg $ eps_arg $ lo_arg
            $ hi_arg $ seed_arg $ scheduler_arg $ naive_arg $ inputs_arg
            $ faulty_arg $ prof_out_arg))
 
@@ -386,6 +411,14 @@ let canary_arg =
                  ε manufactures violations — the self-test that the \
                  campaign and shrinker work.")
 
+let differential_arg =
+  Arg.(value & flag
+       & info ["differential"]
+           ~doc:"After every trial that passes the oracle, re-run it under \
+                 both arithmetic kernels (memo caches bypassed) and flag \
+                 any divergence in the decided polytopes as a shrinkable \
+                 counterexample.")
+
 let naive_space_arg =
   Arg.(value & flag
        & info ["naive-round0"]
@@ -394,7 +427,9 @@ let naive_space_arg =
                  with the default oracle this is a live demonstration that \
                  the fuzzer finds and shrinks real violations.")
 
-let fuzz_cmd trials seed time_budget out_dir max_findings canary naive =
+let fuzz_cmd kernel differential trials seed time_budget out_dir max_findings
+    canary naive =
+  with_kernel kernel @@ fun () ->
   let oracle =
     match canary with
     | None -> Ok Fuzz.Oracle.Paper_properties
@@ -408,8 +443,9 @@ let fuzz_cmd trials seed time_budget out_dir max_findings canary naive =
   match oracle with
   | Error msg -> `Error (false, msg)
   | Ok oracle ->
-    Printf.printf "fuzz: %d trials, seed %d, oracle %s%s\n%!" trials seed
+    Printf.printf "fuzz: %d trials, seed %d, oracle %s%s%s\n%!" trials seed
       (Fuzz.Oracle.name oracle)
+      (if differential then " + kernel-equivalence" else "")
       (match time_budget with
        | None -> ""
        | Some s -> Printf.sprintf ", time budget %.0fs" s);
@@ -423,7 +459,7 @@ let fuzz_cmd trials seed time_budget out_dir max_findings canary naive =
       else Fuzz.Gen.default_space
     in
     let outcome =
-      Fuzz.Campaign.run ~space ~oracle ~out_dir ~max_findings
+      Fuzz.Campaign.run ~space ~oracle ~differential ~out_dir ~max_findings
         ~log:print_endline ~seed
         { Fuzz.Campaign.trials; time_budget }
     in
@@ -442,7 +478,7 @@ let fuzz_cmd trials seed time_budget out_dir max_findings canary naive =
 
 let fuzz_term =
   Term.(ret
-          (const fuzz_cmd $ trials_arg $ seed_arg $ time_budget_arg
+          (const fuzz_cmd $ kernel_arg $ differential_arg $ trials_arg $ seed_arg $ time_budget_arg
            $ out_dir_arg $ max_findings_arg $ canary_arg $ naive_space_arg))
 
 let fuzz_cmd_info =
@@ -465,7 +501,8 @@ let file_arg =
        & info [] ~docv:"FILE"
            ~doc:"A counterexample artifact (or bare scenario) JSON file.")
 
-let replay_cmd file =
+let replay_cmd kernel file =
+  with_kernel kernel @@ fun () ->
   match Fuzz.Artifact.load_any file with
   | Error msg -> `Error (false, msg)
   | Ok artifact ->
@@ -482,7 +519,7 @@ let replay_cmd file =
        Printf.printf "verdict: FAIL (%s)\n" msg;
        `Error (false, "violation reproduced"))
 
-let replay_term = Term.(ret (const replay_cmd $ file_arg))
+let replay_term = Term.(ret (const replay_cmd $ kernel_arg $ file_arg))
 
 let replay_cmd_info =
   Cmd.info "replay"

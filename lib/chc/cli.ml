@@ -34,6 +34,11 @@ let parse_q label s =
   | exception (Failure _ | Invalid_argument _) ->
     Error (Printf.sprintf "%s: %S is not a decimal or rational" label s)
 
+let parse_kernel s =
+  match Numeric.Kernel.parse s with
+  | Ok m -> Ok m
+  | Error msg -> Error ("--kernel: " ^ msg)
+
 let parse_point ~d s =
   let coords = String.split_on_char ',' s |> List.map String.trim in
   if List.length coords <> d then

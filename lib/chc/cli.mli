@@ -17,6 +17,10 @@ val parse_q : string -> string -> (Numeric.Q.t, string) result
 (** [parse_q label s]: decimal or rational [a/b]; [label] prefixes the
     error message. *)
 
+val parse_kernel : string -> (Numeric.Kernel.mode, string) result
+(** Parse a [--kernel exact|filtered] argument
+    ({!Numeric.Kernel.parse} with the CLI error prefix). *)
+
 val parse_point : d:int -> string -> (Geometry.Vec.t, string) result
 (** Comma-separated coordinates, exactly [d] of them. *)
 

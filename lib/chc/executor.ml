@@ -12,6 +12,7 @@ type spec = Scenario.t = {
   seed : int;
   round0 : Cc.round0_mode;
   prefix : (int * int) list;
+  kernel : Numeric.Kernel.mode option;
 }
 
 type report = {
@@ -112,8 +113,10 @@ let observe ?trace ?witnesses report =
     ?trace_events:(Option.map Obs.Trace.length trace)
     ()
 
-let run ?trace spec =
-  let { config; inputs; crash; scheduler; seed; round0; prefix } = spec in
+let run_graded ?trace spec =
+  let { config; inputs; crash; scheduler; seed; round0; prefix; kernel = _ } =
+    spec
+  in
   let result =
     Cc.execute ?trace ~prefix ~round0 ~config ~inputs ~crash ~scheduler ~seed ()
   in
@@ -122,20 +125,30 @@ let run ?trace spec =
   let fault_free =
     List.filter (fun i -> not (List.mem i faulty)) (List.init n Fun.id)
   in
+  let grade name f =
+    if Obs.Prof.enabled () then Obs.Prof.with_span ("grade." ^ name) f
+    else f ()
+  in
   let correct_inputs = List.map (fun i -> inputs.(i)) fault_free in
-  let correct_hull = Polytope.of_points ~dim:config.Config.d correct_inputs in
+  let correct_hull =
+    grade "hulls" @@ fun () ->
+    Polytope.of_points ~dim:config.Config.d correct_inputs
+  in
   let ff_outputs =
     List.filter_map (fun i -> result.Cc.outputs.(i)) fault_free
   in
   let terminated = List.length ff_outputs = List.length fault_free in
   let valid =
+    grade "validity" @@ fun () ->
     List.for_all (fun h -> Polytope.subset h correct_hull) ff_outputs
   in
   let all_hull = Polytope.of_points ~dim:config.Config.d (Array.to_list inputs) in
   let valid_all_inputs =
+    grade "validity" @@ fun () ->
     List.for_all (fun h -> Polytope.subset h all_hull) ff_outputs
   in
   let agreement2 =
+    grade "agreement" @@ fun () ->
     let rec pairs acc = function
       | [] -> acc
       | h :: rest ->
@@ -155,9 +168,13 @@ let run ?trace spec =
     | None -> terminated
     | Some a2 -> Q.lt a2 (Q.square config.Config.eps)
   in
-  let iz = Iz.compute ~config ~faulty ~result in
-  let optimal = Iz.contained_in_all_rounds ~config ~faulty ~result in
+  let iz = grade "iz" @@ fun () -> Iz.compute ~config ~faulty ~result in
+  let optimal =
+    grade "iz" @@ fun () ->
+    Iz.contained_in_all_rounds ~config ~faulty ~result
+  in
   let min_output_volume =
+    grade "volume" @@ fun () ->
     List.fold_left
       (fun acc h ->
          match Polytope.volume h with
@@ -165,6 +182,15 @@ let run ?trace spec =
          | None -> acc)
       None ff_outputs
   in
-  let iz_volume = Option.bind iz Polytope.volume in
+  let iz_volume =
+    grade "volume" @@ fun () -> Option.bind iz Polytope.volume
+  in
   { spec; result; faulty; correct_hull; terminated; valid; valid_all_inputs;
     agreement2; agreement_ok; iz; optimal; min_output_volume; iz_volume }
+
+(* A scenario with a pinned kernel executes (and grades) under it;
+   otherwise the ambient default applies. *)
+let run ?trace spec =
+  match spec.kernel with
+  | Some m -> Numeric.Kernel.with_mode m (fun () -> run_graded ?trace spec)
+  | None -> run_graded ?trace spec

@@ -21,6 +21,7 @@ type spec = Scenario.t = {
   seed : int;
   round0 : Cc.round0_mode;
   prefix : (int * int) list;
+  kernel : Numeric.Kernel.mode option;
 }
 (** A re-export of {!Scenario.t}: the executor's input {e is} the
     serializable scenario type, so anything runnable here can be saved,

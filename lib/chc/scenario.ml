@@ -13,12 +13,16 @@ type t = {
   seed : int;
   round0 : Cc.round0_mode;
   prefix : (int * int) list;
+  kernel : Numeric.Kernel.mode option;
+      (* [None]: run under the ambient default. [Some m]: the executor
+         pins the arithmetic kernel, so replayed artifacts re-run under
+         the kernel that produced the original finding. *)
 }
 
 let version = 1
 
 let make ~config ~inputs ~crash ~scheduler ~seed ?(round0 = `Stable_vector)
-    ?(prefix = []) () =
+    ?(prefix = []) ?kernel () =
   let n = config.Config.n in
   if Array.length inputs <> n then invalid_arg "Scenario.make: need n inputs";
   Array.iter (Config.validate_input config) inputs;
@@ -28,7 +32,7 @@ let make ~config ~inputs ~crash ~scheduler ~seed ?(round0 = `Stable_vector)
        if src < 0 || src >= n || dst < 0 || dst >= n then
          invalid_arg "Scenario.make: prefix channel out of range")
     prefix;
-  { config; inputs; crash; scheduler; seed; round0; prefix }
+  { config; inputs; crash; scheduler; seed; round0; prefix; kernel }
 
 let random_inputs ~config ~rng ?(grid = 1000) () =
   let { Config.n; d; lo; hi; _ } = config in
@@ -66,7 +70,10 @@ let default ~config ~seed ?faulty ?(scheduler = Scheduler.random_uniform)
   let crash =
     Crash.random_for ~rng ~n:config.Config.n ~faulty ~max_sends:max_budget
   in
-  let t = { config; inputs; crash; scheduler; seed; round0; prefix = [] } in
+  let t =
+    { config; inputs; crash; scheduler; seed; round0; prefix = [];
+      kernel = None }
+  in
   if ensure_crash then ensure_crashes t else t
 
 let describe t =
@@ -81,6 +88,9 @@ let describe t =
     (match t.prefix with
      | [] -> ""
      | p -> Printf.sprintf " prefix=%d" (List.length p))
+  ^ (match t.kernel with
+     | None -> ""
+     | Some m -> " kernel=" ^ Numeric.Kernel.to_string m)
 
 (* --- JSON ------------------------------------------------------------- *)
 
@@ -98,7 +108,7 @@ let plan_json = function
 let to_json t =
   let { Config.n; f; d; eps; lo; hi } = t.config in
   Json.Obj
-    [ ("version", Json.Int version);
+    ([ ("version", Json.Int version);
       ( "config",
         Json.Obj
           [ ("n", Json.Int n); ("f", Json.Int f); ("d", Json.Int d);
@@ -120,6 +130,12 @@ let to_json t =
           (List.map
              (fun (src, dst) -> Json.List [ Json.Int src; Json.Int dst ])
              t.prefix) ) ]
+     @
+     (* Omitted when unset, so pre-kernel artifacts and their canonical
+        strings are unchanged (still version 1). *)
+     (match t.kernel with
+      | None -> []
+      | Some m -> [ ("kernel", Json.Str (Numeric.Kernel.to_string m)) ]))
 
 let ( let* ) r f = Result.bind r f
 
@@ -196,9 +212,17 @@ let of_json j =
     in
     let* prefix_l = Json.list_field "prefix" j in
     let* prefix = Json.map_result channel_of_json prefix_l in
+    let* kernel =
+      match Json.member "kernel" j with
+      | None -> Ok None
+      | Some kj ->
+        let* s = Json.to_str kj in
+        let* m = Numeric.Kernel.parse s in
+        Ok (Some m)
+    in
     match
       make ~config ~inputs:(Array.of_list inputs)
-        ~crash:(Array.of_list crash) ~scheduler ~seed ~round0 ~prefix ()
+        ~crash:(Array.of_list crash) ~scheduler ~seed ~round0 ~prefix ?kernel ()
     with
     | t -> Ok t
     | exception Invalid_argument msg -> Error msg

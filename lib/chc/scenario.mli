@@ -27,6 +27,12 @@ type t = {
       (** forced head of the delivery schedule — empty for ordinary
           runs; the shrinker pins (then truncates) a recorded schedule
           here (see [Runtime.Sim.create]) *)
+  kernel : Numeric.Kernel.mode option;
+      (** arithmetic kernel to execute under: [None] leaves the ambient
+          default ({!Numeric.Kernel.mode}); [Some m] makes the executor
+          pin [m], so replay artifacts rerun under the kernel that
+          produced the finding. Serialized only when set, keeping
+          pre-kernel artifacts byte-identical. *)
 }
 
 val version : int
@@ -40,10 +46,11 @@ val make :
   seed:int ->
   ?round0:Cc.round0_mode ->
   ?prefix:(int * int) list ->
+  ?kernel:Numeric.Kernel.mode ->
   unit ->
   t
 (** Validated construction. [round0] defaults to [`Stable_vector],
-    [prefix] to [[]].
+    [prefix] to [[]], [kernel] to unset (ambient default).
     @raise Invalid_argument on wrong array lengths, out-of-range
     inputs, or out-of-range prefix channels. *)
 

@@ -28,14 +28,27 @@ let default_log _ = ()
 
 (* One trial = generate + grade. Pure function of (space, seed, trial),
    so trials fan out over the domain pool with no shared state; only
-   failures come back. *)
-let run_trial ~space ~oracle ~seed trial =
+   failures come back. The scenario's kernel is pinned to the ambient
+   mode, so saved artifacts replay under the kernel that graded them.
+   With [differential], a trial that passes the primary oracle is then
+   re-run filtered-vs-exact; a divergence comes back as a finding
+   carrying the kernel-equivalence oracle, and shrinks against it. *)
+let run_trial ~space ~oracle ~differential ~seed trial =
   let scenario = Gen.scenario space ~seed ~trial in
+  let scenario =
+    { scenario with Chc.Scenario.kernel = Some (Numeric.Kernel.mode ()) }
+  in
   match Oracle.check oracle scenario with
-  | Oracle.Pass -> None
-  | Oracle.Fail msg -> Some (trial, scenario, msg)
+  | Oracle.Fail msg -> Some (trial, scenario, msg, oracle)
+  | Oracle.Pass ->
+    if not differential then None
+    else begin
+      match Oracle.check Oracle.Kernel_equivalence scenario with
+      | Oracle.Pass -> None
+      | Oracle.Fail msg -> Some (trial, scenario, msg, Oracle.Kernel_equivalence)
+    end
 
-let investigate ~oracle ~out_dir ~log (trial, scenario, msg) =
+let investigate ~out_dir ~log (trial, scenario, msg, oracle) =
   log (Printf.sprintf "trial %d FAILED: %s" trial msg);
   log (Printf.sprintf "  %s" (Chc.Scenario.describe scenario));
   let pinned = Shrink.with_pinned_schedule ~oracle scenario in
@@ -83,8 +96,8 @@ let investigate ~oracle ~out_dir ~log (trial, scenario, msg) =
   { artifact; path; trace_path; causal_path }
 
 let run ?(space = Gen.default_space) ?(oracle = Oracle.Paper_properties)
-    ?(out_dir = "fuzz-artifacts") ?(max_findings = 3) ?(log = default_log)
-    ~seed budget =
+    ?(differential = false) ?(out_dir = "fuzz-artifacts") ?(max_findings = 3)
+    ?(log = default_log) ~seed budget =
   Strategies.register_builtin ();
   let started = Unix.gettimeofday () in
   let deadline = Option.map (fun b -> started +. b) budget.time_budget in
@@ -109,12 +122,13 @@ let run ?(space = Gen.default_space) ?(oracle = Oracle.Paper_properties)
     next := !next + List.length batch;
     trials_run := !trials_run + List.length batch;
     let failures =
-      Pool.parallel_filter_map pool (run_trial ~space ~oracle ~seed) batch
+      Pool.parallel_filter_map pool
+        (run_trial ~space ~oracle ~differential ~seed) batch
     in
     List.iter
       (fun failure ->
          if List.length !findings < max_findings then
-           findings := investigate ~oracle ~out_dir ~log failure :: !findings)
+           findings := investigate ~out_dir ~log failure :: !findings)
       failures
   done;
   { trials_run = !trials_run;

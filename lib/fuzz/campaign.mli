@@ -36,6 +36,7 @@ type outcome = {
 val run :
   ?space:Gen.space ->
   ?oracle:Oracle.t ->
+  ?differential:bool ->
   ?out_dir:string ->
   ?max_findings:int ->
   ?log:(string -> unit) ->
@@ -46,4 +47,7 @@ val run :
     (idempotent). [max_findings] (default 3) bounds how many failures
     are shrunk and written — further failures in the same batch are
     dropped and the campaign stops. [log] receives one-line progress
-    messages (default: silent). *)
+    messages (default: silent). [differential] (default [false])
+    additionally grades every trial that passes the primary oracle
+    with {!Oracle.Kernel_equivalence}; divergences are shrunk and
+    saved like any other finding, with that oracle in the artifact. *)

@@ -4,6 +4,7 @@ module Json = Codec.Json
 type t =
   | Paper_properties
   | Agreement_within of Q.t
+  | Kernel_equivalence
 
 type verdict =
   | Pass
@@ -12,6 +13,7 @@ type verdict =
 let name = function
   | Paper_properties -> "paper-properties"
   | Agreement_within eps -> Printf.sprintf "agreement-within:%s" (Q.to_string eps)
+  | Kernel_equivalence -> "kernel-equivalence"
 
 let to_json = function
   | Paper_properties -> Json.Obj [ ("kind", Json.Str "paper-properties") ]
@@ -19,6 +21,7 @@ let to_json = function
     Json.Obj
       [ ("kind", Json.Str "agreement-within");
         ("eps", Json.Str (Q.to_string eps)) ]
+  | Kernel_equivalence -> Json.Obj [ ("kind", Json.Str "kernel-equivalence") ]
 
 let ( let* ) r f = Result.bind r f
 
@@ -33,6 +36,7 @@ let of_json j =
      | _ -> Error "agreement-within: eps must be positive"
      | exception (Invalid_argument _ | Failure _) ->
        Error (Printf.sprintf "agreement-within: %S is not a rational" s))
+  | "kernel-equivalence" -> Ok Kernel_equivalence
   | k -> Error (Printf.sprintf "unknown oracle kind %S" k)
 
 (* Grading failures are themselves findings: an execution that blows
@@ -40,6 +44,9 @@ let of_json j =
    an engine bug the fuzzer should surface rather than swallow. *)
 let grade oracle (report : Chc.Executor.report) =
   match oracle with
+  | Kernel_equivalence ->
+    (* Graded from two runs, not one report — see [check]. *)
+    invalid_arg "Oracle.grade: kernel-equivalence is graded by check"
   | Paper_properties ->
     if not report.Chc.Executor.terminated then
       Fail "termination: a fault-free process never decided"
@@ -67,9 +74,57 @@ let grade oracle (report : Chc.Executor.report) =
              (Printf.sprintf "agreement: d_H^2 = %s >= %s^2" (Q.to_string a2)
                 (Q.to_string eps)))
 
+(* Differential grading: the same scenario executed under both
+   kernels, memo tables bypassed so one kernel's run cannot serve
+   values the other cached (a cross-kernel hit would hide exactly the
+   divergence this oracle exists to catch). Equivalence is judged on
+   what the protocol decides: the per-process output polytopes and the
+   termination round. *)
+let grade_kernel_equivalence ?trace scenario =
+  let run_under ?trace m =
+    Parallel.Memo.with_bypass (fun () ->
+        Chc.Executor.run ?trace
+          { scenario with Chc.Scenario.kernel = Some m })
+  in
+  (* Only the exact (oracle) run records into [trace]: both runs share
+     the schedule, and appending two transcripts would corrupt the
+     pinned-schedule view the shrinker reads back. *)
+  let exact = run_under ?trace Numeric.Kernel.Exact in
+  let filtered = run_under Numeric.Kernel.Filtered in
+  let eo = exact.Chc.Executor.result.Chc.Cc.outputs in
+  let fo = filtered.Chc.Executor.result.Chc.Cc.outputs in
+  let te = exact.Chc.Executor.result.Chc.Cc.t_end in
+  let tf = filtered.Chc.Executor.result.Chc.Cc.t_end in
+  if te <> tf then
+    Fail
+      (Printf.sprintf
+         "kernel-divergence: t_end %d under exact vs %d under filtered" te tf)
+  else begin
+    let diverging = ref None in
+    Array.iteri
+      (fun i (a : Geometry.Polytope.t option) ->
+         if !diverging = None then
+           match a, fo.(i) with
+           | None, None -> ()
+           | Some p, Some q when Geometry.Polytope.equal p q -> ()
+           | _ -> diverging := Some i)
+      eo;
+    match !diverging with
+    | None -> Pass
+    | Some i ->
+      Fail
+        (Printf.sprintf
+           "kernel-divergence: process %d decided differently under exact vs \
+            filtered" i)
+  end
+
 let check ?trace oracle scenario =
-  match Chc.Executor.run ?trace scenario with
-  | report -> grade oracle report
+  match
+    match oracle with
+    | Kernel_equivalence -> grade_kernel_equivalence ?trace scenario
+    | _ -> grade oracle (Chc.Executor.run ?trace scenario)
+  with
+  | verdict -> verdict
   | exception Runtime.Sim.Step_limit_exceeded ->
     Fail "step-limit: execution exceeded the simulator step bound"
   | exception exn -> Fail (Printf.sprintf "engine: %s" (Printexc.to_string exn))

@@ -21,6 +21,12 @@ type t =
   | Agreement_within of Q.t
       (** termination plus [d_H² < eps²] for the given [eps],
           ignoring the scenario's configured ε *)
+  | Kernel_equivalence
+      (** differential check of the filtered arithmetic kernel against
+          the exact one: the scenario is executed under both
+          ({!Numeric.Kernel.mode}), with memo tables bypassed so the
+          runs are independent, and any difference in the decided
+          polytopes or the termination round is a failure *)
 
 type verdict = Pass | Fail of string
 (** [Fail] carries a one-line human reason. Engine escapes are

@@ -9,7 +9,7 @@ module Config = Chc.Config
 let build (t : Scenario.t) ~config ~inputs ~crash ~prefix =
   match
     Scenario.make ~config ~inputs ~crash ~scheduler:t.Scenario.scheduler
-      ~seed:t.seed ~round0:t.round0 ~prefix ()
+      ~seed:t.seed ~round0:t.round0 ~prefix ?kernel:t.kernel ()
   with
   | s -> Some s
   | exception Invalid_argument _ -> None

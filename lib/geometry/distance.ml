@@ -1,5 +1,6 @@
 module Q = Numeric.Q
 module Combin = Numeric.Combin
+module Filter = Numeric.Filter
 
 let project_point_segment p a b =
   let e = Vec.sub b a in
@@ -36,7 +37,9 @@ let project_to_simplex p subset =
      | None -> None (* affinely dependent subset; a smaller subset covers it *)
      | Some c ->
        let sum = Array.fold_left Q.add Q.zero c in
-       if Array.exists (fun ci -> Q.sign ci < 0) c || Q.gt sum Q.one then None
+       if Array.exists (fun ci -> Q.sign ci < 0) c
+          || Filter.compare sum Q.one > 0
+       then None
        else begin
          let proj =
            Array.to_list c
@@ -59,7 +62,7 @@ let project_poly2d p poly =
       let best = ref (project_point_segment p arr.(0) arr.(1)) in
       for i = 1 to n - 1 do
         let cand = project_point_segment p arr.(i) arr.((i + 1) mod n) in
-        if Q.lt (fst cand) (fst !best) then best := cand
+        if Filter.compare (fst cand) (fst !best) < 0 then best := cand
       done;
       !best
     end
@@ -77,7 +80,8 @@ let project_hull_nd ~dim p pts =
     let consider cand =
       match !best, cand with
       | None, Some c -> best := Some c
-      | Some (b, _), Some ((d2, _) as c) -> if Q.lt d2 b then best := Some c
+      | Some (b, _), Some ((d2, _) as c) ->
+        if Filter.compare d2 b < 0 then best := Some c
       | _, None -> ()
     in
     let max_size = Stdlib.min (dim + 1) (List.length verts) in
@@ -110,6 +114,10 @@ let project_point_hull ~dim p pts =
 let dist2_point_hull ~dim p pts = fst (project_point_hull ~dim p pts)
 
 let directed2 ~dim from_pts to_pts =
+  (* Reduce the target to its extreme points once — every projection
+     below would otherwise redo the extraction (memoized, but the hit
+     still hashes the whole vertex list). Same hull, same distances. *)
+  let to_pts = if dim >= 3 then Hullnd.extreme_points to_pts else to_pts in
   List.fold_left
     (fun acc v -> Q.max acc (dist2_point_hull ~dim v to_pts))
     Q.zero from_pts

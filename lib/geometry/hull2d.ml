@@ -1,4 +1,5 @@
 module Q = Numeric.Q
+module Filter = Numeric.Filter
 
 let cross o a b =
   let ax = Q.sub a.(0) o.(0) and ay = Q.sub a.(1) o.(1) in
@@ -28,7 +29,8 @@ let hull pts =
         List.fold_left
           (fun stack p ->
              let rec pop = function
-               | b :: a :: rest when Q.sign (cross a b p) <= 0 -> pop (a :: rest)
+               | b :: a :: rest when Filter.sign_cross2 a b p <= 0 ->
+                 pop (a :: rest)
                | s -> s
              in
              p :: pop stack)
@@ -56,7 +58,7 @@ let is_canonical poly =
     let ok = ref true in
     for i = 0 to n - 1 do
       let a = arr.(i) and b = arr.((i + 1) mod n) and c = arr.((i + 2) mod n) in
-      if Q.sign (cross a b c) <= 0 then ok := false
+      if Filter.sign_cross2 a b c <= 0 then ok := false
     done;
     Array.iter (fun v -> if Vec.compare v v0 < 0 then ok := false) arr;
     !ok
@@ -75,7 +77,7 @@ let area2 poly =
     !acc
 
 let on_segment a b p =
-  Q.is_zero (cross a b p)
+  Filter.sign_cross2 a b p = 0
   && Q.leq (Q.min a.(0) b.(0)) p.(0) && Q.leq p.(0) (Q.max a.(0) b.(0))
   && Q.leq (Q.min a.(1) b.(1)) p.(1) && Q.leq p.(1) (Q.max a.(1) b.(1))
 
@@ -89,7 +91,7 @@ let contains poly p =
     let n = Array.length arr in
     let ok = ref true in
     for i = 0 to n - 1 do
-      if Q.sign (cross arr.(i) arr.((i + 1) mod n) p) < 0 then ok := false
+      if Filter.sign_cross2 arr.(i) arr.((i + 1) mod n) p < 0 then ok := false
     done;
     !ok
 
@@ -105,16 +107,15 @@ let line_hit a b ~normal ~offset =
 let clip poly ~normal ~offset =
   match poly with
   | [] -> []
-  | [a] -> if Q.leq (Vec.dot normal a) offset then [a] else []
+  | [a] -> if Filter.sign_of_dot_minus normal a offset <= 0 then [a] else []
   | _ ->
     let arr = Array.of_list poly in
     let n = Array.length arr in
     let out = ref [] in
     for i = 0 to n - 1 do
       let a = arr.(i) and b = arr.((i + 1) mod n) in
-      let fa = Q.sub (Vec.dot normal a) offset in
-      let fb = Q.sub (Vec.dot normal b) offset in
-      let sa = Q.sign fa and sb = Q.sign fb in
+      let sa = Filter.sign_of_dot_minus normal a offset in
+      let sb = Filter.sign_of_dot_minus normal b offset in
       if sa <= 0 then out := a :: !out;
       if (sa < 0 && sb > 0) || (sa > 0 && sb < 0) then
         out := line_hit a b ~normal ~offset :: !out
@@ -191,10 +192,9 @@ let angle_half v =
 let angle_compare u v =
   let hu = angle_half u and hv = angle_half v in
   if hu <> hv then compare hu hv
-  else begin
-    let c = Q.sub (Q.mul u.(0) v.(1)) (Q.mul u.(1) v.(0)) in
-    - (Q.sign c)  (* positive cross (u before v) sorts u first *)
-  end
+  else
+    (* positive cross (u before v) sorts u first *)
+    - (Filter.sign_cross2o u v)
 
 let edges poly =
   let arr = Array.of_list poly in

@@ -1,5 +1,6 @@
 module Q = Numeric.Q
 module Combin = Numeric.Combin
+module Filter = Numeric.Filter
 
 type hrep = {
   dim : int;
@@ -124,7 +125,7 @@ let oriented_plane ~c4 p q r =
   if Array.for_all Q.is_zero a then None
   else begin
     let b = Vec.dot a p in
-    match Q.sign (Q.sub (Vec.dot a c4) (Q.mul_int b 4)) with
+    match Filter.sign_of_dot_minus a c4 (Q.mul_int b 4) with
     | s when s < 0 -> Some { ta = a; tb = b; corners = (p, q, r) }
     | s when s > 0 -> Some { ta = Vec.neg a; tb = Q.neg b; corners = (p, q, r) }
     | _ -> None
@@ -234,9 +235,10 @@ let incremental_planes_3d pts0 =
           | None -> None
           | Some p2 ->
             let nrm = cross3 d1 (Vec.sub p2 p0) in
+            let b0 = Vec.dot nrm p0 in
             (match
                List.find_opt
-                 (fun p -> not (Q.is_zero (Vec.dot nrm (Vec.sub p p0))))
+                 (fun p -> Filter.sign_of_dot_minus nrm p b0 <> 0)
                  rest0
              with
              | None -> None
@@ -261,7 +263,7 @@ let incremental_planes_3d pts0 =
     in
     let insert tris p =
       let visible, hidden =
-        List.partition (fun t -> Q.gt (Vec.dot t.ta p) t.tb) tris
+        List.partition (fun t -> Filter.sign_of_dot_minus t.ta p t.tb > 0) tris
       in
       if visible = [] then tris
       else begin
@@ -286,7 +288,9 @@ let incremental_planes_3d pts0 =
           output, negligible next to the construction). *)
        if
          List.for_all
-           (fun p -> List.for_all (fun (a, b) -> Q.leq (Vec.dot a p) b) planes)
+           (fun p ->
+              List.for_all (fun (a, b) -> Filter.sign_of_dot_minus a p b <= 0)
+                planes)
            pts
        then Some (pts, planes, l)
        else None
@@ -336,7 +340,7 @@ let enumerate_facets_brute ~dim:k pts =
       (match Linsys.nullspace rows with
        | [a] ->
          let b = Vec.dot a s0 in
-         let signs = List.map (fun p -> Q.sign (Q.sub (Vec.dot a p) b)) pts in
+         let signs = List.map (fun p -> Filter.sign_of_dot_minus a p b) pts in
          let has_pos = List.exists (fun s -> s > 0) signs in
          let has_neg = List.exists (fun s -> s < 0) signs in
          if has_pos && has_neg then []
@@ -437,10 +441,10 @@ let combine hreps =
       ineqs = dedupe_constraints (List.concat_map (fun h -> h.ineqs) hreps) }
 
 let satisfies_ineqs ineqs x =
-  List.for_all (fun (a, b) -> Q.leq (Vec.dot a x) b) ineqs
+  List.for_all (fun (a, b) -> Filter.sign_of_dot_minus a x b <= 0) ineqs
 
 let satisfies_eqs eqs x =
-  List.for_all (fun (a, b) -> Q.equal (Vec.dot a x) b) eqs
+  List.for_all (fun (a, b) -> Filter.sign_of_dot_minus a x b = 0) eqs
 
 let mem_hrep h x = satisfies_eqs h.eqs x && satisfies_ineqs h.ineqs x
 
@@ -510,7 +514,8 @@ let support_filter ~dim pts =
       let h = of_points ~dim core in
       let strictly_inside p =
         satisfies_eqs h.eqs p
-        && List.for_all (fun (a, b) -> Q.lt (Vec.dot a p) b) h.ineqs
+        && List.for_all (fun (a, b) -> Filter.sign_of_dot_minus a p b < 0)
+             h.ineqs
       in
       List.filter (fun p -> not (strictly_inside p)) pts
     end
@@ -560,25 +565,42 @@ let extreme_points_lp pts =
 let is_vertex_by_facets ~dim facets p =
   let tight =
     List.filter_map
-      (fun (a, b) -> if Q.equal (Vec.dot a p) b then Some a else None)
+      (fun (a, b) -> if Filter.sign_of_dot_minus a p b = 0 then Some a else None)
       facets
   in
   List.length tight >= dim && Linsys.rank (Array.of_list tight) = dim
+
+(* Keyed on the deduped point list. Vertex extraction repeats verbatim
+   on the grading paths (every Hausdorff projection and facet scan of
+   the same polytope re-asks for its extreme points), so the table has
+   the same hit profile as Polytope's hull/minkowski tables. *)
+let extreme_memo : (Vec.t list, Vec.t list) Parallel.Memo.t =
+  Parallel.Memo.create ~name:"extreme-points" ~max_size:4096
+    ~hash:(fun vs ->
+        List.fold_left
+          (fun acc v -> ((acc * 1000003) + Vec.hash v) land max_int)
+          17 vs)
+    ~equal:(fun a b ->
+        List.compare_lengths a b = 0 && List.for_all2 Vec.equal a b)
+    ()
 
 let extreme_points pts =
   let pts = dedupe_points pts in
   match pts with
   | [] | [_] -> pts
-  | p0 :: _ when Vec.dim p0 = 3 ->
-    (match incremental_planes_3d pts with
-     | None -> extreme_points_lp pts
-     | Some (spts, planes, _) ->
-       (* Tight tests run against the integer-scaled copies; scaling
-          preserves the point order, so the i-th scaled point answers
-          for the i-th original. Proportional duplicate planes are
-          collapsed first — the tight scan is linear in their count. *)
-       let facets = dedupe_constraints (List.map primitive_plane planes) in
-       List.combine pts spts
-       |> List.filter (fun (_, sp) -> is_vertex_by_facets ~dim:3 facets sp)
-       |> List.map fst)
-  | _ -> extreme_points_lp pts
+  | p0 :: _ ->
+    Parallel.Memo.find_or_add extreme_memo pts (fun () ->
+        if Vec.dim p0 = 3 then
+          match incremental_planes_3d pts with
+          | None -> extreme_points_lp pts
+          | Some (spts, planes, _) ->
+            (* Tight tests run against the integer-scaled copies;
+               scaling preserves the point order, so the i-th scaled
+               point answers for the i-th original. Proportional
+               duplicate planes are collapsed first — the tight scan
+               is linear in their count. *)
+            let facets = dedupe_constraints (List.map primitive_plane planes) in
+            List.combine pts spts
+            |> List.filter (fun (_, sp) -> is_vertex_by_facets ~dim:3 facets sp)
+            |> List.map fst
+        else extreme_points_lp pts)

@@ -1,4 +1,6 @@
 module Q = Numeric.Q
+module Kernel = Numeric.Kernel
+module Filter = Numeric.Filter
 
 type matrix = Q.t array array
 
@@ -14,13 +16,28 @@ let rref a0 =
     let r = ref 0 in
     let c = ref 0 in
     while !r < rows && !c < cols do
-      (* Find a non-zero pivot in column c at or below row r. *)
+      (* Find a non-zero pivot in column c at or below row r. Under the
+         filtered kernel, choose the candidate with the fewest bits
+         (elimination itself stays exact; since the reduced echelon
+         form is unique, pivot choice can't change any result — it only
+         bounds intermediate coefficient growth). The exact kernel
+         keeps the historical first-nonzero scan. *)
       let pivot_row = ref (-1) in
-      (try
-         for i = !r to rows - 1 do
-           if not (Q.is_zero a.(i).(!c)) then begin pivot_row := i; raise Exit end
-         done
-       with Exit -> ());
+      if Kernel.filtered () then begin
+        let best_cost = ref max_int in
+        for i = !r to rows - 1 do
+          if not (Q.is_zero a.(i).(!c)) then begin
+            let cost = Filter.pivot_cost a.(i).(!c) in
+            if cost < !best_cost then begin best_cost := cost; pivot_row := i end
+          end
+        done
+      end
+      else
+        (try
+           for i = !r to rows - 1 do
+             if not (Q.is_zero a.(i).(!c)) then begin pivot_row := i; raise Exit end
+           done
+         with Exit -> ());
       if !pivot_row < 0 then incr c
       else begin
         let p = !pivot_row in

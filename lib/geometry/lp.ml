@@ -4,6 +4,7 @@
    lowest basic variable index. *)
 
 module Q = Numeric.Q
+module Filter = Numeric.Filter
 
 type solution =
   | Optimal of Q.t array * Q.t
@@ -57,10 +58,12 @@ let optimize table obj basis =
       with Exit -> ()
     end
     else begin
-      (* Dantzig: most positive reduced cost (ties to lowest index). *)
+      (* Dantzig: most positive reduced cost (ties to lowest index).
+         The argmax comparison runs through the filtered kernel; the
+         pivot-sign test is already O(1) exact. *)
       let best = ref Q.zero in
       for j = n - 1 downto 0 do
-        if Q.sign obj.(j) > 0 && Q.geq obj.(j) !best then begin
+        if Q.sign obj.(j) > 0 && Filter.compare obj.(j) !best >= 0 then begin
           entering := j;
           best := obj.(j)
         end
@@ -77,7 +80,7 @@ let optimize table obj basis =
         if Q.sign a > 0 then begin
           let ratio = Q.div table.(i).(n) a in
           if !best < 0
-             || Q.lt ratio !best_ratio
+             || Filter.compare ratio !best_ratio < 0
              || (Q.equal ratio !best_ratio && basis.(i) < basis.(!best))
           then begin best := i; best_ratio := ratio end
         end

@@ -1,4 +1,5 @@
 module Q = Numeric.Q
+module Filter = Numeric.Filter
 
 type t = { dim : int; verts : Vec.t list }
 
@@ -94,7 +95,8 @@ let contains p x =
   | 1 ->
     (match p.verts with
      | [a] -> Q.equal x.(0) a.(0)
-     | [a; b] -> Q.leq a.(0) x.(0) && Q.leq x.(0) b.(0)
+     | [a; b] ->
+       Filter.compare a.(0) x.(0) <= 0 && Filter.compare x.(0) b.(0) <= 0
      | _ -> assert false)
   | 2 -> Hull2d.contains p.verts x
   | _ -> Lp.in_convex_hull p.verts x
@@ -271,7 +273,7 @@ let support p dir =
     List.fold_left
       (fun (best, arg) v ->
          let s = Vec.dot dir v in
-         if Q.gt s best then (s, v) else (best, arg))
+         if Filter.compare s best > 0 then (s, v) else (best, arg))
       (Vec.dot dir v0, v0) rest
 
 let bounding_box p =

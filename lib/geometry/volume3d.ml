@@ -5,6 +5,7 @@
    lies. Degenerate (lower-dimensional) polytopes have volume 0. *)
 
 module Q = Numeric.Q
+module Filter = Numeric.Filter
 
 let det3 a b c =
   let open Q in
@@ -73,8 +74,14 @@ let volume verts =
       if h.Hullnd.eqs <> [] then Q.zero (* lower-dimensional *)
       else begin
         let facet_vol (a, b) =
-          let on_facet = List.filter (fun v -> Q.equal (Vec.dot a v) b) verts in
-          match order_facet a (Hullnd.extreme_points on_facet) with
+          (* Filtered tight test: the interval refutes the off-facet
+             majority without exact dots. No extreme-point extraction
+             here — [order_facet]'s in-plane [Hull2d.hull] already
+             drops non-vertex points of the facet polygon. *)
+          let on_facet =
+            List.filter (fun v -> Filter.sign_of_dot_minus a v b = 0) verts
+          in
+          match order_facet a on_facet with
           | None -> Q.zero
           | Some (w0 :: rest) ->
             let rec fan acc = function

@@ -321,11 +321,28 @@ let compare a b =
 
 let equal a b = compare a b = 0
 
+(* Hash of the canonical (sign, base-2^30 limbs) decomposition, so the
+   value alone determines the hash regardless of which representation
+   arm carries it. [make] already guarantees Small/Big canonicality;
+   computing Small hashes through the same limb fold as Big makes the
+   hash robust even if a non-canonical value ever slipped through, and
+   keeps [Q.hash] dependent only on the normalized rational. *)
 let hash = function
-  | Small n -> n land max_int
+  | Small 0 -> 1 (* sign 0 + 1, no limbs *)
+  | Small n ->
+    let s = if n < 0 then -1 else 1 in
+    let acc = ref (s + 1) in
+    let m = ref (Stdlib.abs n) in
+    while !m <> 0 do
+      acc := ((!acc * 31) + (!m land mask)) land max_int;
+      m := !m lsr base_bits
+    done;
+    !acc
   | Big b ->
     Array.fold_left (fun acc limb -> ((acc * 31) + limb) land max_int)
       (b.sign + 1) b.mag
+
+let is_small = function Small _ -> true | Big _ -> false
 
 (* Do |x| + |y| or x * y fit comfortably in a native int? Both
    operands bounded by 2^61 guarantees the sum does; for products we
@@ -487,6 +504,29 @@ let to_float = function
         b.mag 0.0
     in
     if b.sign < 0 then -.m else m
+
+(* A certified float enclosure of the exact value. Small values of at
+   most 53 bits convert exactly; larger Smalls widen the rounded
+   conversion one ulp each way. Big values take the [to_float] limb
+   fold — k limbs accumulate a relative error below [2k] ulp — and are
+   padded by [4(k+1)] ulp relative plus one absolute ulp, a ~2x margin
+   over the worst case. A fold that overflows to infinity still yields
+   a sign-definite (if loose) enclosure. *)
+let to_float_enclosure = function
+  | Small n ->
+    let f = float_of_int n in
+    if int_bits n <= 53 then { Interval.lo = f; hi = f }
+    else { Interval.lo = Float.pred f; hi = Float.succ f }
+  | Big b as x ->
+    let f = to_float x in
+    if f = infinity then { Interval.lo = 0.5 *. max_float; hi = infinity }
+    else if f = neg_infinity then
+      { Interval.lo = neg_infinity; hi = -0.5 *. max_float }
+    else begin
+      let k = float_of_int (4 * (Array.length b.mag + 1)) in
+      let pad = Float.abs f *. k *. epsilon_float in
+      { Interval.lo = Float.pred (f -. pad); hi = Float.succ (f +. pad) }
+    end
 
 let to_string x =
   match x with

@@ -30,6 +30,11 @@ val to_int_exn : t -> int
 val to_float : t -> float
 (** Nearest-ish float; large values lose precision as usual. *)
 
+val to_float_enclosure : t -> Interval.t
+(** Certified interval enclosure of the exact value: exact for small
+    magnitudes (≤ 53 bits), outward-padded by the conversion's static
+    error bound otherwise. Never excludes the true value. *)
+
 val of_string : string -> t
 (** Parses an optionally ['-']-prefixed decimal numeral.
     @raise Invalid_argument on malformed input. *)
@@ -47,7 +52,14 @@ val sign : t -> int
 val is_zero : t -> bool
 val equal : t -> t -> bool
 val compare : t -> t -> int
+
 val hash : t -> int
+(** Hash of the canonical (sign, limb) decomposition: equal values hash
+    equally regardless of internal representation arm. *)
+
+val is_small : t -> bool
+(** True when the value is carried on the native-int fast path (|x|
+    below 62 bits) — cheap size probe for filter gating. *)
 
 val num_bits : t -> int
 (** Number of significant bits of the magnitude; [num_bits zero = 0]. *)

@@ -1,0 +1,53 @@
+(** Arithmetic-kernel selection: exact vs filtered.
+
+    Both kernels produce identical results; [Filtered] merely answers
+    sign/comparison predicates from a certified float-interval filter
+    when possible and falls back to exact rationals otherwise, while
+    [Exact] always runs the rational path. The process default comes
+    from [CHC_KERNEL=exact|filtered] (default [filtered]) and can be
+    overridden per call-tree with {!with_mode} (domain-local, so
+    concurrent fuzz trials on pool workers don't race). *)
+
+type mode = Exact | Filtered
+
+val to_string : mode -> string
+val parse : string -> (mode, string) result
+
+val set_default : mode -> unit
+(** Set the process-wide default (e.g. from [chc_sim --kernel]). *)
+
+val get_default : unit -> mode
+
+val mode : unit -> mode
+(** Effective mode in the current domain: the innermost {!with_mode}
+    override if any, otherwise the process default. *)
+
+val filtered : unit -> bool
+(** [mode () = Filtered] — the hot-path guard used by {!Filter}. *)
+
+val with_mode : mode -> (unit -> 'a) -> 'a
+(** Run a thunk under a domain-local mode override. Nested uses
+    restore the previous override on exit (also on exceptions). *)
+
+(** {1 Filter telemetry}
+
+    Per-domain hit/fallback counters with racy-but-benign snapshots;
+    exposed through [Obs.Metrics] by {!Filter}. *)
+
+type pred = Sign | Compare | Dot | Cross
+
+val pred_name : pred -> string
+
+val hit : pred -> unit
+(** The interval filter answered the predicate. *)
+
+val fallback : pred -> unit
+(** The filter was inconclusive; exact arithmetic ran. *)
+
+type stat = { hits : int; fallbacks : int }
+
+val stats : unit -> (string * stat) list
+(** One entry per predicate class, summed over all domains. *)
+
+val totals : unit -> stat
+val reset_stats : unit -> unit

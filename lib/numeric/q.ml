@@ -1,21 +1,29 @@
-(* Normalized rationals: den > 0, gcd(|num|, den) = 1, zero is 0/1. *)
+(* Normalized rationals: den > 0, gcd(|num|, den) = 1, zero is 0/1.
 
-type t = { num : Bigint.t; den : Bigint.t }
+   [iv] lazily caches a certified float enclosure of the value (see
+   [enclosure]); [Interval.unset] marks "not yet computed". The cache
+   is write-once with a deterministic value, so a concurrent double
+   computation by two domains is a benign race (both store the same
+   word-sized pointer). *)
+
+type t = { num : Bigint.t; den : Bigint.t; mutable iv : Interval.t }
+
+let cons num den = { num; den; iv = Interval.unset }
 
 let make num den =
   let s = Bigint.sign den in
   if s = 0 then raise Division_by_zero
   else begin
     let num, den = if s < 0 then (Bigint.neg num, Bigint.neg den) else (num, den) in
-    if Bigint.is_zero num then { num = Bigint.zero; den = Bigint.one }
+    if Bigint.is_zero num then cons Bigint.zero Bigint.one
     else begin
       let g = Bigint.gcd num den in
-      if Bigint.equal g Bigint.one then { num; den }
-      else { num = Bigint.div num g; den = Bigint.div den g }
+      if Bigint.equal g Bigint.one then cons num den
+      else cons (Bigint.div num g) (Bigint.div den g)
     end
   end
 
-let of_bigint n = { num = n; den = Bigint.one }
+let of_bigint n = cons n Bigint.one
 let of_int n = of_bigint (Bigint.of_int n)
 let of_ints a b = make (Bigint.of_int a) (Bigint.of_int b)
 
@@ -28,9 +36,51 @@ let half = of_ints 1 2
 let sign x = Bigint.sign x.num
 let is_zero x = Bigint.is_zero x.num
 
+(* Certified float enclosure of the exact value, computed on first use
+   and cached in [iv]. Denominators are positive by the normalization
+   invariant, so the quotient enclosure uses [Interval.div_pos]. *)
+let enclosure x =
+  let iv = x.iv in
+  if iv != Interval.unset then iv
+  else begin
+    let iv =
+      if Bigint.equal x.den Bigint.one then Bigint.to_float_enclosure x.num
+      else
+        Interval.div_pos
+          (Bigint.to_float_enclosure x.num)
+          (Bigint.to_float_enclosure x.den)
+    in
+    x.iv <- iv;
+    iv
+  end
+
 (* a/b ? c/d  <=>  a*d ? c*b  (b, d > 0). *)
-let compare a b =
+let compare_exact a b =
   Bigint.compare (Bigint.mul a.num b.den) (Bigint.mul b.num a.den)
+
+(* Small-magnitude fast path: when all four components are native ints
+   the cross products are (near-)native and exact comparison is as fast
+   as any filter, so the interval path only engages on big operands —
+   and only under the filtered kernel. *)
+let compare a b =
+  if
+    Bigint.is_small a.num && Bigint.is_small a.den && Bigint.is_small b.num
+    && Bigint.is_small b.den
+  then compare_exact a b
+  else if Kernel.filtered () then begin
+    let ia = enclosure a and ib = enclosure b in
+    if ia.Interval.lo > ib.Interval.hi then begin
+      Kernel.hit Kernel.Compare; 1
+    end
+    else if ia.Interval.hi < ib.Interval.lo then begin
+      Kernel.hit Kernel.Compare; -1
+    end
+    else begin
+      Kernel.fallback Kernel.Compare;
+      compare_exact a b
+    end
+  end
+  else compare_exact a b
 
 let equal a b = Bigint.equal a.num b.num && Bigint.equal a.den b.den
 let leq a b = compare a b <= 0
@@ -38,10 +88,13 @@ let lt a b = compare a b < 0
 let geq a b = compare a b >= 0
 let gt a b = compare a b > 0
 
+(* Hashes the normalized (num, den) pair through [Bigint]'s canonical
+   hash, so structurally-equal rationals built along different
+   arithmetic paths always collide into the same bucket. *)
 let hash x = (Bigint.hash x.num * 31 + Bigint.hash x.den) land max_int
 
-let neg x = { x with num = Bigint.neg x.num }
-let abs x = { x with num = Bigint.abs x.num }
+let neg x = cons (Bigint.neg x.num) x.den
+let abs x = cons (Bigint.abs x.num) x.den
 
 (* [add] and [mul] avoid the generic [make] (two cross products plus a
    full-width gcd) whenever a denominator is 1 or both are equal:
@@ -60,18 +113,18 @@ let add a b =
   else begin
     let da1 = Bigint.equal a.den Bigint.one in
     let db1 = Bigint.equal b.den Bigint.one in
-    if da1 && db1 then { num = Bigint.add a.num b.num; den = Bigint.one }
+    if da1 && db1 then cons (Bigint.add a.num b.num) Bigint.one
     else if db1 then
-      { num = Bigint.add a.num (Bigint.mul b.num a.den); den = a.den }
+      cons (Bigint.add a.num (Bigint.mul b.num a.den)) a.den
     else if da1 then
-      { num = Bigint.add b.num (Bigint.mul a.num b.den); den = b.den }
+      cons (Bigint.add b.num (Bigint.mul a.num b.den)) b.den
     else if Bigint.equal a.den b.den then begin
       let num = Bigint.add a.num b.num in
       if Bigint.is_zero num then zero
       else begin
         let g = Bigint.gcd num a.den in
-        if Bigint.equal g Bigint.one then { num; den = a.den }
-        else { num = Bigint.div num g; den = Bigint.div a.den g }
+        if Bigint.equal g Bigint.one then cons num a.den
+        else cons (Bigint.div num g) (Bigint.div a.den g)
       end
     end
     else
@@ -87,7 +140,7 @@ let mul a b =
   else begin
     let da1 = Bigint.equal a.den Bigint.one in
     let db1 = Bigint.equal b.den Bigint.one in
-    if da1 && db1 then { num = Bigint.mul a.num b.num; den = Bigint.one }
+    if da1 && db1 then cons (Bigint.mul a.num b.num) Bigint.one
     else begin
       let g1 = if db1 then Bigint.one else Bigint.gcd a.num b.den in
       let g2 = if da1 then Bigint.one else Bigint.gcd b.num a.den in
@@ -99,7 +152,7 @@ let mul a b =
         if Bigint.equal g2 Bigint.one then (b.num, a.den)
         else (Bigint.div b.num g2, Bigint.div a.den g2)
       in
-      { num = Bigint.mul n1 n2; den = Bigint.mul d1 d2 }
+      cons (Bigint.mul n1 n2) (Bigint.mul d1 d2)
     end
   end
 

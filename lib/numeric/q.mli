@@ -5,7 +5,13 @@
     this project is held in rationals so that set-level facts
     (validity, containment, polytope equality) can be decided exactly. *)
 
-type t = private { num : Bigint.t; den : Bigint.t }
+type t = private {
+  num : Bigint.t;
+  den : Bigint.t;
+  mutable iv : Interval.t;
+      (** Lazily cached certified float enclosure; [Interval.unset]
+          until first demanded. Read it through {!enclosure}. *)
+}
 
 (** {1 Construction} *)
 
@@ -34,8 +40,21 @@ val minus_one : t
 val sign : t -> int
 val is_zero : t -> bool
 val equal : t -> t -> bool
+
 val compare : t -> t -> int
+(** Exact three-way comparison. Under the filtered kernel
+    ({!Kernel.filtered}), big operands are first compared through their
+    certified float enclosures; the exact cross-product comparison runs
+    only when the enclosures overlap, so the result is always exact. *)
+
+val enclosure : t -> Interval.t
+(** Certified float enclosure of the exact value (cached after the
+    first call). The true rational always lies inside the interval. *)
+
 val hash : t -> int
+(** Hash of the canonical normalized form: [equal x y] implies
+    [hash x = hash y] whatever arithmetic path produced each value. *)
+
 val leq : t -> t -> bool
 val lt : t -> t -> bool
 val geq : t -> t -> bool

@@ -31,14 +31,28 @@ let nbuckets = 1024 (* power of two: index by [hash land (nbuckets-1)] *)
 
 let global_enabled = Atomic.make true
 let set_enabled b = Atomic.set global_enabled b
-let enabled () = Atomic.get global_enabled
+
+(* Domain-local bypass: differential runs (filtered-vs-exact oracle)
+   must not let one kernel's run serve cached values computed by the
+   other — a shared hit would mask exactly the divergence the oracle
+   exists to catch. Bypassing is scoped to the calling domain so
+   concurrent pool workers keep their caches. *)
+let bypass_key : bool ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref false)
+
+let with_bypass f =
+  let slot = Domain.DLS.get bypass_key in
+  let saved = !slot in
+  slot := true;
+  Fun.protect ~finally:(fun () -> slot := saved) f
+
+let enabled () = Atomic.get global_enabled && not !(Domain.DLS.get bypass_key)
 
 (* Registry of named tables, in registration order, so reporting
    layers can enumerate every cache in the process without holding a
-   reference to each. Stats thunks only; the tables themselves stay
-   private to their modules. *)
+   reference to each. Stats and clear thunks only; the tables
+   themselves stay private to their modules. *)
 let registry_m = Mutex.create ()
-let registry : (string * (unit -> stats)) list ref = ref []
+let registry : (string * (unit -> stats) * (unit -> unit)) list ref = ref []
 
 let stats t =
   Mutex.lock t.m;
@@ -49,16 +63,33 @@ let stats t =
   Mutex.unlock t.m;
   s
 
+(* Must be called with [t.m] held. *)
+let flush_locked t =
+  Array.fill t.buckets 0 nbuckets [];
+  t.evictions <- t.evictions + t.count;
+  t.count <- 0
+
+let clear t =
+  Mutex.lock t.m;
+  flush_locked t;
+  Mutex.unlock t.m
+
 let register_named name t =
   Mutex.lock registry_m;
-  registry := !registry @ [ (name, fun () -> stats t) ];
+  registry := !registry @ [ (name, (fun () -> stats t), (fun () -> clear t)) ];
   Mutex.unlock registry_m
 
 let all_stats () =
   Mutex.lock registry_m;
   let r = !registry in
   Mutex.unlock registry_m;
-  List.map (fun (name, f) -> (name, f ())) r
+  List.map (fun (name, f, _) -> (name, f ())) r
+
+let clear_all () =
+  Mutex.lock registry_m;
+  let r = !registry in
+  Mutex.unlock registry_m;
+  List.iter (fun (_, _, clear) -> clear ()) r
 
 let create ?name ?(max_size = 4096) ~hash ~equal () =
   if max_size < 1 then invalid_arg "Memo.create: max_size must be >= 1";
@@ -73,19 +104,8 @@ let create ?name ?(max_size = 4096) ~hash ~equal () =
   Option.iter (fun n -> register_named n t) name;
   t
 
-(* Must be called with [t.m] held. *)
-let flush_locked t =
-  Array.fill t.buckets 0 nbuckets [];
-  t.evictions <- t.evictions + t.count;
-  t.count <- 0
-
-let clear t =
-  Mutex.lock t.m;
-  flush_locked t;
-  Mutex.unlock t.m
-
 let find_or_add_core t k f =
-  if not (Atomic.get global_enabled) then f ()
+  if not (enabled ()) then f ()
   else begin
     let h = (t.hash k) land max_int in
     let idx = h land (nbuckets - 1) in

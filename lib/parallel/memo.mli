@@ -53,7 +53,22 @@ val all_stats : unit -> (string * stats) list
 (** Stats of every named table, in registration order (deterministic:
     tables are created at module initialization). *)
 
+val clear_all : unit -> unit
+(** {!clear} every named table. The bench harness uses this between
+    measured runs so each starts from cold caches — in particular the
+    kernel-ablation sweep (E13), where a value cached under one
+    arithmetic kernel must not be served to the other's run. *)
+
 val set_enabled : bool -> unit
 (** Globally enable/disable all memo tables (default: enabled). *)
 
 val enabled : unit -> bool
+(** [true] iff lookups are live in the current domain: globally
+    enabled and not inside {!with_bypass}. *)
+
+val with_bypass : (unit -> 'a) -> 'a
+(** Run a thunk with every table bypassed in the current domain (no
+    lookups, no insertions; other domains are unaffected). Differential
+    oracles use this so one kernel's run can't serve values cached by
+    the other — a cross-kernel hit would mask exactly the divergence
+    being tested for. Nests; restores the previous state on exit. *)

@@ -6,4 +6,5 @@ let () =
      @ Test_runtime.suite @ Test_stable_vector.suite @ Test_bounds.suite
      @ Test_cc.suite @ Test_analysis.suite @ Test_vector_consensus.suite
      @ Test_optimize.suite @ Test_ablation.suite @ Test_codec.suite @ Test_combin.suite @ Test_viz.suite
-     @ Test_parallel.suite @ Test_obs.suite @ Test_fuzz.suite)
+     @ Test_parallel.suite @ Test_obs.suite @ Test_fuzz.suite
+     @ Test_filter.suite)

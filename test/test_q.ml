@@ -86,6 +86,28 @@ let test_compare () =
   Alcotest.(check bool) "-1 < 0" true Q.(lt minus_one zero);
   Alcotest.(check int) "eq" 0 (Q.compare (Q.of_ints 2 4) Q.half)
 
+(* Regression: [Q.hash] must depend only on the normalized value, not
+   the arithmetic path that produced it — the geometry memo tables key
+   on it, so a representation-sensitive hash silently turns cache hits
+   into misses (and did, before the hash was routed through Bigint's
+   canonical limb fold). *)
+let test_hash_canonical () =
+  let h = Q.hash in
+  Alcotest.(check int) "2/4 = 1/2" (h Q.half) (h (Q.of_ints 2 4));
+  Alcotest.(check int) "1/6 + 1/3 = 1/2" (h Q.half)
+    (h (Q.add (Q.of_ints 1 6) (Q.of_ints 1 3)));
+  Alcotest.(check int) "2/3 * 3/4 = 1/2" (h Q.half)
+    (h (Q.mul (Q.of_ints 2 3) (Q.of_ints 3 4)));
+  (* Cross the Small/Big representation boundary: 2^62 overflows the
+     immediate arm, and the product path reaches it through Big
+     intermediates. *)
+  let big = Q.of_string "4611686018427387904/3" in
+  Alcotest.(check int) "big product = parsed big"
+    (h (Q.of_string "4611686018427387904"))
+    (h (Q.mul big (Q.of_int 3)));
+  Alcotest.(check int) "big cancellation = one" (h Q.one)
+    (h (Q.mul big (Q.inv big)))
+
 let props =
   [ prop "add comm" (QCheck.pair arb_q arb_q)
       (fun (a, b) -> Q.equal (Q.add a b) (Q.add b a));
@@ -124,6 +146,10 @@ let props =
          let c = Q.mul a b in
          Q.equal c (slow_mul a b)
          && Bigint_check.normalized c.Q.num c.Q.den);
+    prop "hash is path-independent" arb_q_fastpath_pair
+      (fun (a, b) ->
+         Q.hash (Q.add a b) = Q.hash (slow_add a b)
+         && Q.hash (Q.mul a b) = Q.hash (slow_mul a b));
   ]
 
 let suite =
@@ -133,5 +159,6 @@ let suite =
         Alcotest.test_case "arith" `Quick test_arith;
         Alcotest.test_case "pow" `Quick test_pow;
         Alcotest.test_case "to_float" `Quick test_to_float;
-        Alcotest.test_case "compare" `Quick test_compare ]
+        Alcotest.test_case "compare" `Quick test_compare;
+        Alcotest.test_case "hash canonical form" `Quick test_hash_canonical ]
       @ List.map qtest props ) ]
