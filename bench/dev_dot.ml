@@ -1,0 +1,53 @@
+(* Scratch microbenchmark for the staged dot ladder. Not wired into
+   any alias; run with: dune exec bench/dev_dot.exe *)
+
+module Q = Numeric.Q
+module B = Numeric.Bigint
+module Grid = Numeric.Grid
+
+let big_q bits seed =
+  (* pseudo-random [bits]-bit integer rational, den = 1 *)
+  let st = Random.State.make [| seed |] in
+  let rec go acc b =
+    if b <= 0 then acc
+    else
+      go
+        (B.add (B.mul_int acc (1 lsl 20)) (B.of_int (Random.State.int st (1 lsl 20))))
+        (b - 20)
+  in
+  Q.of_bigint (go B.one bits)
+
+let time name n f =
+  let t0 = Unix.gettimeofday () in
+  let acc = ref 0 in
+  for _ = 1 to n do
+    acc := !acc + f ()
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.printf "%-28s %8d calls  %8.1f ns/call   (acc %d)\n" name n
+    (dt /. float_of_int n *. 1e9) !acc
+
+let () =
+  (* coordinates ~420 bits, normals ~850 bits, offset ~1270 bits *)
+  let p = Array.init 3 (fun i -> big_q 420 (i + 1)) in
+  let a = Array.init 3 (fun i -> big_q 850 (i + 10)) in
+  let b = big_q 1260 99 in
+  Numeric.Kernel.with_mode Numeric.Kernel.Staged (fun () ->
+      time "dot nonzero (cold sc)" 1 (fun () ->
+          match Grid.dot_minus_sign a p b with Some s -> s | None -> 0);
+      time "dot nonzero (warm sc)" 1_000_000 (fun () ->
+          match Grid.dot_minus_sign a p b with Some s -> s | None -> 0);
+      time "filter dot (warm)" 1_000_000 (fun () ->
+          Numeric.Filter.sign_of_dot_minus a p b);
+      (* true zero: b = a . p exactly *)
+      let bz =
+        let acc = ref Q.zero in
+        for i = 0 to 2 do
+          acc := Q.add !acc (Q.mul a.(i) p.(i))
+        done;
+        !acc
+      in
+      time "dot true-zero (cold rs)" 1 (fun () ->
+          match Grid.dot_minus_sign a p bz with Some s -> s | None -> 99);
+      time "dot true-zero (warm rs)" 100_000 (fun () ->
+          match Grid.dot_minus_sign a p bz with Some s -> s | None -> 99))

@@ -55,13 +55,17 @@ let naive_arg =
 
 let kernel_arg =
   Arg.(value & opt (some string) None
-       & info ["kernel"] ~docv:"exact|filtered"
+       & info ["kernel"] ~docv:"exact|filtered|staged"
            ~doc:"Arithmetic kernel: $(b,filtered) answers geometry \
                  predicates from a certified float-interval filter with \
-                 exact rational fallback; $(b,exact) always runs the \
-                 rational path (the oracle). Default: the $(b,CHC_KERNEL) \
+                 exact rational fallback; $(b,staged) adds a \
+                 scaled-integer second stage (machine-int/double-word \
+                 evaluation, extended-exponent intervals and \
+                 modular-residue zero certificates) between the filter \
+                 and the fallback; $(b,exact) always runs the rational \
+                 path (the oracle). Default: the $(b,CHC_KERNEL) \
                  environment variable, else filtered. Results are \
-                 identical either way.")
+                 identical in every mode.")
 
 let inputs_arg =
   Arg.(value & opt (some string) None
@@ -415,7 +419,8 @@ let differential_arg =
   Arg.(value & flag
        & info ["differential"]
            ~doc:"After every trial that passes the oracle, re-run it under \
-                 both arithmetic kernels (memo caches bypassed) and flag \
+                 every arithmetic kernel — exact as the oracle, then \
+                 filtered and staged (memo caches bypassed) — and flag \
                  any divergence in the decided polytopes as a shrinkable \
                  counterexample.")
 

@@ -40,6 +40,11 @@ let round0_polytope ~dim ~f pts =
   Obs.Prof.with_span "cc.round0" @@ fun () ->
   let keep = List.length pts - f in
   if keep < 1 then invalid_arg "Cc.round0_polytope: not enough points";
+  (* All C(|X_i|, f) subset hulls draw from the same input points, so
+     they share one denominator grid (lazily built on the first
+     construction that needs it; pool workers fall back to local
+     grids, which only costs the shared scan). *)
+  Numeric.Grid.with_round (fun () -> Numeric.Grid.make pts) @@ fun () ->
   (* The C(|X_i|, f) per-subset hulls are independent; fan them out
      over the domain pool (results merged in subset order, so the
      intersection below sees a scheduling-independent list). *)
@@ -118,7 +123,16 @@ let execute ?trace ?(prefix = []) ?(round0 = `Stable_vector) ~config ~inputs ~cr
       let y = Rounds.freeze p.rounds ~round:p.current in
       let h =
         Obs.Prof.with_span "cc.round" (fun () ->
-            Geometry.Polytope.average (List.map snd y))
+            let polys = List.map snd y in
+            (* Per-round grid lifecycle: every hull construction in
+               this round's average shares one denominator grid. The
+               build is deferred — rounds fully served by the memo
+               tables never pay for the lcm scan. *)
+            Numeric.Grid.with_round
+              (fun () ->
+                 Numeric.Grid.make_scaled ~mult:(List.length polys)
+                   (List.concat_map Geometry.Polytope.vertices polys))
+              (fun () -> Geometry.Polytope.average polys))
       in
       p.h <- Some h;
       p.hist <- (p.current, h) :: p.hist;

@@ -74,11 +74,12 @@ let grade oracle (report : Chc.Executor.report) =
              (Printf.sprintf "agreement: d_H^2 = %s >= %s^2" (Q.to_string a2)
                 (Q.to_string eps)))
 
-(* Differential grading: the same scenario executed under both
-   kernels, memo tables bypassed so one kernel's run cannot serve
-   values the other cached (a cross-kernel hit would hide exactly the
-   divergence this oracle exists to catch). Equivalence is judged on
-   what the protocol decides: the per-process output polytopes and the
+(* Differential grading: the same scenario executed under every
+   kernel, memo tables bypassed so one kernel's run cannot serve
+   values another cached (a cross-kernel hit would hide exactly the
+   divergence this oracle exists to catch). The exact run is the
+   oracle; the filtered and staged runs must match it on what the
+   protocol decides: the per-process output polytopes and the
    termination round. *)
 let grade_kernel_equivalence ?trace scenario =
   let run_under ?trace m =
@@ -86,37 +87,47 @@ let grade_kernel_equivalence ?trace scenario =
         Chc.Executor.run ?trace
           { scenario with Chc.Scenario.kernel = Some m })
   in
-  (* Only the exact (oracle) run records into [trace]: both runs share
-     the schedule, and appending two transcripts would corrupt the
+  (* Only the exact (oracle) run records into [trace]: all runs share
+     the schedule, and appending several transcripts would corrupt the
      pinned-schedule view the shrinker reads back. *)
   let exact = run_under ?trace Numeric.Kernel.Exact in
-  let filtered = run_under Numeric.Kernel.Filtered in
   let eo = exact.Chc.Executor.result.Chc.Cc.outputs in
-  let fo = filtered.Chc.Executor.result.Chc.Cc.outputs in
   let te = exact.Chc.Executor.result.Chc.Cc.t_end in
-  let tf = filtered.Chc.Executor.result.Chc.Cc.t_end in
-  if te <> tf then
-    Fail
-      (Printf.sprintf
-         "kernel-divergence: t_end %d under exact vs %d under filtered" te tf)
-  else begin
-    let diverging = ref None in
-    Array.iteri
-      (fun i (a : Geometry.Polytope.t option) ->
-         if !diverging = None then
-           match a, fo.(i) with
-           | None, None -> ()
-           | Some p, Some q when Geometry.Polytope.equal p q -> ()
-           | _ -> diverging := Some i)
-      eo;
-    match !diverging with
-    | None -> Pass
-    | Some i ->
-      Fail
+  let against m =
+    let name = Numeric.Kernel.to_string m in
+    let other = run_under m in
+    let oo = other.Chc.Executor.result.Chc.Cc.outputs in
+    let to_ = other.Chc.Executor.result.Chc.Cc.t_end in
+    if te <> to_ then
+      Some
         (Printf.sprintf
-           "kernel-divergence: process %d decided differently under exact vs \
-            filtered" i)
-  end
+           "kernel-divergence: t_end %d under exact vs %d under %s" te to_
+           name)
+    else begin
+      let diverging = ref None in
+      Array.iteri
+        (fun i (a : Geometry.Polytope.t option) ->
+           if !diverging = None then
+             match a, oo.(i) with
+             | None, None -> ()
+             | Some p, Some q when Geometry.Polytope.equal p q -> ()
+             | _ -> diverging := Some i)
+        eo;
+      match !diverging with
+      | None -> None
+      | Some i ->
+        Some
+          (Printf.sprintf
+             "kernel-divergence: process %d decided differently under exact \
+              vs %s" i name)
+    end
+  in
+  let rec first_divergence = function
+    | [] -> Pass
+    | m :: rest ->
+      (match against m with None -> first_divergence rest | Some msg -> Fail msg)
+  in
+  first_divergence [ Numeric.Kernel.Filtered; Numeric.Kernel.Staged ]
 
 let check ?trace oracle scenario =
   match

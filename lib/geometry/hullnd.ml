@@ -92,7 +92,94 @@ let standard_basis d = List.init d (fun i ->
 
 module B = Numeric.Bigint
 
-type tri = { ta : Vec.t; tb : Q.t; corners : Vec.t * Vec.t * Vec.t }
+module I = Numeric.Interval
+
+(* Static float screen for the beneath-beyond visibility test. An
+   integer plane (a, b) and an integer point p are imaged as
+   mid-mantissas at a per-object common exponent: a_i ≈ snf_i · 2^sne,
+   b ≈ sbf · 2^sbe, p_i ≈ pf_i · 2^pe. The sign of a·p − b is then the
+   sign of Σ snf_i·pf_i − sbf·2^(sbe−sne−pe), computable in plain
+   doubles — provided the answer clears a conservative relative error
+   bound; otherwise the exact ladder decides. The screen is built only
+   for denominator-1 (grid-scaled) values with bounded per-coordinate
+   exponent spread, so no imaged magnitude drops below ~2^-400 and
+   every intermediate stays far from the double range edges. *)
+type scr = { snf : float array; sne : int; sbf : float; sbe : int }
+
+type tri = {
+  ta : Vec.t;
+  tb : Q.t;
+  corners : Vec.t * Vec.t * Vec.t;
+  scr : scr option;
+}
+
+(* Rounding budget: ≤ ~10 half-ulp contributions (input mids, three
+   products, two sums, the ldexp'd offset, the final subtraction), all
+   relative to the magnitude sum — 2^-44 leaves a ~26x safety factor
+   over the worst-case 10·2^-52. *)
+let screen_eps = Float.ldexp 1.0 (-44)
+
+(* Common-exponent float image of an integer vector; [None] when a
+   denominator is non-trivial or the exponent spread would push an
+   imaged coordinate into unsafe ldexp territory. *)
+let float_image (v : Vec.t) =
+  let d = Array.length v in
+  let ms = Array.make d 0.0 and es = Array.make d 0 in
+  let emax = ref min_int and ok = ref true in
+  for i = 0 to d - 1 do
+    let q = v.(i) in
+    if not (B.equal q.Q.den B.one) then ok := false
+    else begin
+      let iv, e = B.to_scaled_enclosure q.Q.num in
+      let m = 0.5 *. (iv.I.lo +. iv.I.hi) in
+      ms.(i) <- m;
+      es.(i) <- e;
+      if m <> 0.0 && e > !emax then emax := e
+    end
+  done;
+  if not !ok then None
+  else if !emax = min_int then Some (ms, 0) (* zero vector *)
+  else begin
+    for i = 0 to d - 1 do
+      if ms.(i) <> 0.0 then begin
+        let k = es.(i) - !emax in
+        if k < -400 then ok := false else ms.(i) <- Float.ldexp ms.(i) k
+      end
+    done;
+    if !ok then Some (ms, !emax) else None
+  end
+
+let scr_of_plane (a : Vec.t) (b : Q.t) =
+  match float_image a with
+  | None -> None
+  | Some (snf, sne) ->
+    if not (B.equal b.Q.den B.one) then None
+    else begin
+      let iv, sbe = B.to_scaled_enclosure b.Q.num in
+      Some { snf; sne; sbf = 0.5 *. (iv.I.lo +. iv.I.hi); sbe }
+    end
+
+(* Visible := ta·p − tb > 0. Screened when both float images exist and
+   the magnitude clears the error bound; exact otherwise. Infinities
+   or NaNs from degenerate scalings fail the clearance comparison and
+   fall through to the exact ladder. *)
+let tri_visible t (p : Vec.t) pscr =
+  match t.scr, pscr with
+  | Some s, Some (pf, pe) ->
+    let s0 = s.snf.(0) *. pf.(0) in
+    let s1 = s.snf.(1) *. pf.(1) in
+    let s2 = s.snf.(2) *. pf.(2) in
+    let delta = s.sbe - s.sne - pe in
+    if delta > 900 || delta < -1000 then
+      Filter.sign_of_dot_minus t.ta p t.tb > 0
+    else begin
+      let bs = Float.ldexp s.sbf delta in
+      let d = s0 +. s1 +. s2 -. bs in
+      let m = Float.abs s0 +. Float.abs s1 +. Float.abs s2 +. Float.abs bs in
+      if Float.abs d > m *. screen_eps then d > 0.0
+      else Filter.sign_of_dot_minus t.ta p t.tb > 0
+    end
+  | _ -> Filter.sign_of_dot_minus t.ta p t.tb > 0
 
 let cross3 u v =
   [| Q.sub (Q.mul u.(1) v.(2)) (Q.mul u.(2) v.(1));
@@ -101,20 +188,11 @@ let cross3 u v =
 
 (* The construction runs on integer points: hull structure is
    invariant under the uniform positive scaling x ↦ L·x, so scaling by
-   the lcm L of every coordinate denominator up front turns all the
-   inner-loop arithmetic (cross products, visibility dot products)
-   into gcd-free integer Q operations. Facets map back as
+   the lcm L of every coordinate denominator up front (through
+   Numeric.Grid, which shares the scan across a protocol round) turns
+   all the inner-loop arithmetic (cross products, visibility dot
+   products) into gcd-free integer Q operations. Facets map back as
    (a, b) ↦ (a, b/L). *)
-let denominator_lcm pts =
-  List.fold_left
-    (fun acc p ->
-       Array.fold_left
-         (fun acc (q : Q.t) ->
-            let d = q.Q.den in
-            if B.equal d B.one then acc
-            else B.mul (B.div acc (B.gcd acc d)) d)
-         acc p)
-    B.one pts
 
 (* Plane through p,q,r oriented so the interior point [c4]/4 satisfies
    a·x < b; [None] if p,q,r are collinear or the interior point lies
@@ -125,9 +203,10 @@ let oriented_plane ~c4 p q r =
   if Array.for_all Q.is_zero a then None
   else begin
     let b = Vec.dot a p in
+    let mk a b = { ta = a; tb = b; corners = (p, q, r); scr = scr_of_plane a b } in
     match Filter.sign_of_dot_minus a c4 (Q.mul_int b 4) with
-    | s when s < 0 -> Some { ta = a; tb = b; corners = (p, q, r) }
-    | s when s > 0 -> Some { ta = Vec.neg a; tb = Q.neg b; corners = (p, q, r) }
+    | s when s < 0 -> Some (mk a b)
+    | s when s > 0 -> Some (mk (Vec.neg a) (Q.neg b))
     | _ -> None
   end
 
@@ -205,20 +284,37 @@ let check_simple_cycle edges =
     in
     if List.length (bfs [] [ start ]) <> nvertices then raise Exit
 
+(* Canonical integer representative of an (integer) plane: divide by
+   the content gcd. Positive scaling, so the inequality is unchanged;
+   proportional planes collapse to equal values. *)
+let primitive_plane (a, b) =
+  let g =
+    Array.fold_left
+      (fun acc (q : Q.t) -> B.gcd acc q.Q.num)
+      (B.abs b.Q.num) a
+  in
+  if B.is_zero g || B.equal g B.one then (a, b)
+  else
+    ( Array.map (fun (q : Q.t) -> Q.of_bigint (B.div q.Q.num g)) a,
+      Q.of_bigint (B.div b.Q.num g) )
+
 (* [incremental_planes_3d pts] for deduped, sorted [pts]: the
    beneath-beyond construction proper, on integer-scaled points.
-   Returns [(scaled_pts, planes, l)] — one (unnormalized, integer)
-   plane per surface triangle, valid for the scaled points — or [None]
-   when the point set is not full-dimensional in 3-space (no seed
-   tetrahedron exists) or a degenerate horizon aborts the
-   construction; callers fall back to the brute-force sweep. *)
+   Returns [(scaled_pts, facets, l)] — the deduped primitive integer
+   facet planes, valid for the scaled points — or [None] when the
+   point set is not full-dimensional in 3-space (no seed tetrahedron
+   exists) or a degenerate horizon aborts the construction; callers
+   fall back to the brute-force sweep. *)
 let incremental_planes_3d pts0 =
-  let l = denominator_lcm pts0 in
   (* Uniform positive scaling preserves the lexicographic point order,
-     so the scaled list is still deduped and sorted. *)
-  let pts =
-    if B.equal l B.one then pts0
-    else List.map (Vec.scale (Q.of_bigint l)) pts0
+     so the scaled list is still deduped and sorted. The round's grid
+     (when one is installed — Numeric.Grid.with_round) supplies the
+     lcm and per-denominator cofactors, so repeated constructions in a
+     round share one denominator scan and scale by plain
+     multiplication. *)
+  let pts, l =
+    Obs.Prof.with_span "hullnd.scale" (fun () ->
+        Numeric.Grid.scale_points pts0)
   in
   let find_seed = function
     | [] -> None
@@ -262,8 +358,9 @@ let incremental_planes_3d pts0 =
         pts
     in
     let insert tris p =
+      let pscr = float_image p in
       let visible, hidden =
-        List.partition (fun t -> Filter.sign_of_dot_minus t.ta p t.tb > 0) tris
+        List.partition (fun t -> tri_visible t p pscr) tris
       in
       if visible = [] then tris
       else begin
@@ -281,34 +378,34 @@ let incremental_planes_3d pts0 =
       end
     in
     (try
-       let tris = List.fold_left insert seed rest in
-       let planes = List.map (fun t -> (t.ta, t.tb)) tris in
+       let tris =
+         Obs.Prof.with_span "hullnd.insert_fold" (fun () ->
+             List.fold_left insert seed rest)
+       in
+       (* Collapse proportional duplicate planes (coplanar triangle
+          fans) to their primitive representative before anything
+          downstream touches them: the verify pass below and every
+          caller's per-point scan are linear in the plane count, and
+          the dedupe factor on fused d=3 hulls is about 3x. *)
+       let planes =
+         Obs.Prof.with_span "hullnd.facet_dedupe" (fun () ->
+             dedupe_constraints
+               (List.map (fun t -> primitive_plane (t.ta, t.tb)) tris))
+       in
        (* Belt and braces: a corrupted hull would cut off an input
-          point; verify every point against every plane (linear in the
-          output, negligible next to the construction). *)
+          point; verify every point against every facet (linear in the
+          output, negligible next to the construction). Deduping first
+          is sound — primitive scaling preserves each halfspace. *)
        if
+         Obs.Prof.with_span "hullnd.verify" (fun () ->
          List.for_all
            (fun p ->
               List.for_all (fun (a, b) -> Filter.sign_of_dot_minus a p b <= 0)
                 planes)
-           pts
+           pts)
        then Some (pts, planes, l)
        else None
      with Exit -> None)
-
-(* Canonical integer representative of an (integer) plane: divide by
-   the content gcd. Positive scaling, so the inequality is unchanged;
-   proportional planes collapse to equal values. *)
-let primitive_plane (a, b) =
-  let g =
-    Array.fold_left
-      (fun acc (q : Q.t) -> B.gcd acc q.Q.num)
-      (B.abs b.Q.num) a
-  in
-  if B.is_zero g || B.equal g B.one then (a, b)
-  else
-    ( Array.map (fun (q : Q.t) -> Q.of_bigint (B.div q.Q.num g)) a,
-      Q.of_bigint (B.div b.Q.num g) )
 
 let facets_incremental_3d pts =
   Obs.Prof.with_span "hullnd.incremental_3d" @@ fun () ->
@@ -585,7 +682,7 @@ let extreme_memo : (Vec.t list, Vec.t list) Parallel.Memo.t =
     ()
 
 let extreme_points pts =
-  let pts = dedupe_points pts in
+  let pts = Obs.Prof.with_span "hullnd.dedupe" (fun () -> dedupe_points pts) in
   match pts with
   | [] | [_] -> pts
   | p0 :: _ ->
@@ -593,14 +690,34 @@ let extreme_points pts =
         if Vec.dim p0 = 3 then
           match incremental_planes_3d pts with
           | None -> extreme_points_lp pts
-          | Some (spts, planes, _) ->
+          | Some (spts, facets, _) ->
             (* Tight tests run against the integer-scaled copies;
                scaling preserves the point order, so the i-th scaled
-               point answers for the i-th original. Proportional
-               duplicate planes are collapsed first — the tight scan
-               is linear in their count. *)
-            let facets = dedupe_constraints (List.map primitive_plane planes) in
+               point answers for the i-th original. The facets arrive
+               already collapsed to primitive representatives. *)
+            Obs.Prof.with_span "hullnd.tight_scan" (fun () ->
             List.combine pts spts
             |> List.filter (fun (_, sp) -> is_vertex_by_facets ~dim:3 facets sp)
-            |> List.map fst
+            |> List.map fst)
         else extreme_points_lp pts)
+
+(* Testing hook for the static visibility screen: [Some v] when the
+   screen decides (v = "a·p - b > 0"), [None] when it falls through to
+   the exact ladder. *)
+module Dev = struct
+  let screen a b p =
+    match scr_of_plane a b, float_image p with
+    | Some s, Some (pf, pe) ->
+      let s0 = s.snf.(0) *. pf.(0) in
+      let s1 = s.snf.(1) *. pf.(1) in
+      let s2 = s.snf.(2) *. pf.(2) in
+      let delta = s.sbe - s.sne - pe in
+      if delta > 900 || delta < -1000 then None
+      else begin
+        let bs = Float.ldexp s.sbf delta in
+        let d = s0 +. s1 +. s2 -. bs in
+        let m = Float.abs s0 +. Float.abs s1 +. Float.abs s2 +. Float.abs bs in
+        if Float.abs d > m *. screen_eps then Some (d > 0.0) else None
+      end
+    | _ -> None
+end

@@ -69,3 +69,8 @@ val enumerate_facets_brute : dim:int -> Vec.t list -> (Vec.t * Q.t) list
 val extreme_points_lp : Vec.t list -> Vec.t list
 (** Support-filter + per-point LP pruning — the reference extreme-point
     path used for non-3-d inputs and as the oracle in tests. *)
+
+(* Testing hook for the static float visibility screen. *)
+module Dev : sig
+  val screen : Vec.t -> Q.t -> Vec.t -> bool option
+end

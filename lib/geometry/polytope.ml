@@ -135,9 +135,11 @@ let minkowski_pair a b =
         (fun () ->
            Obs.Prof.with_span "geometry.minkowski" (fun () ->
                let sums =
-                 List.concat_map (fun u -> List.map (Vec.add u) b.verts) a.verts
+                 Obs.Prof.with_span "mink.sums" (fun () ->
+                 List.concat_map (fun u -> List.map (Vec.add u) b.verts) a.verts)
                in
-               canonicalize ~dim:d sums))
+               Obs.Prof.with_span "mink.canon" (fun () ->
+               canonicalize ~dim:d sums)))
     in
     { dim = d; verts }
 
@@ -157,9 +159,17 @@ let linear_combination terms =
     if not (Q.equal total Q.one) then
       invalid_arg "Polytope.linear_combination: weights must sum to 1";
     let scaled = List.map (fun (c, p) -> scale_poly c p) terms in
-    (match scaled with
-     | [] -> assert false
-     | first :: rest -> List.fold_left minkowski_pair first rest)
+    (* Standalone combinations share a grid across the Minkowski
+       chain: every partial sum's denominators divide the lcm of the
+       scaled vertices'. Under the executor this is a no-op — the
+       round grid is already installed. *)
+    Numeric.Grid.ensure_round
+      (fun () ->
+         Numeric.Grid.make (List.concat_map (fun p -> p.verts) scaled))
+      (fun () ->
+         match scaled with
+         | [] -> assert false
+         | first :: rest -> List.fold_left minkowski_pair first rest)
 
 let average polys =
   match polys with
@@ -217,6 +227,16 @@ let intersect polys =
          Parallel.Memo.find_or_add intersect_memo key
            (fun () ->
               Obs.Prof.with_span "geometry.intersect" (fun () ->
+                  (* The H-representation constructions all run on the
+                     input vertices, so they share a grid; the final
+                     extreme-points pass sees solver-produced
+                     denominators and transparently falls back to a
+                     local grid. *)
+                  Numeric.Grid.ensure_round
+                    (fun () ->
+                       Numeric.Grid.make
+                         (List.concat_map (fun p -> p.verts) polys))
+                  @@ fun () ->
                   let hreps =
                     List.map (fun p -> Hullnd.of_points ~dim:d p.verts) polys
                   in

@@ -64,12 +64,16 @@ let order_facet nrm verts =
              if Q.sign o >= 0 then Some ring else Some (List.rev ring)
            | _ -> None)))
 
-let volume verts =
-  match verts with
+let volume verts0 =
+  match verts0 with
   | [] -> Q.zero
   | v0 :: _ ->
     if Vec.dim v0 <> 3 then invalid_arg "Volume3d.volume: dimension must be 3"
     else begin
+      (* Work on the integer grid: vol(L·P) = L³·vol(P), and every
+         inner operation (facet dots, in-plane coordinates, the det3
+         fan) becomes a gcd-free integer Q operation. *)
+      let verts, l = Numeric.Grid.scale_points verts0 in
       let h = Hullnd.of_points ~dim:3 verts in
       if h.Hullnd.eqs <> [] then Q.zero (* lower-dimensional *)
       else begin
@@ -95,6 +99,7 @@ let volume verts =
         let six_v =
           List.fold_left (fun acc f -> Q.add acc (facet_vol f)) Q.zero h.Hullnd.ineqs
         in
-        Q.div six_v (Q.of_int 6)
+        let l3 = Numeric.Bigint.mul l (Numeric.Bigint.mul l l) in
+        Q.div six_v (Q.mul (Q.of_int 6) (Q.of_bigint l3))
       end
     end

@@ -425,36 +425,114 @@ let divmod_shift_subtract a b =
 
 let rec int_gcd x y = if y = 0 then x else int_gcd y (x mod y)
 
+(* Lehmer's accelerated GCD. Each outer iteration simulates a batch of
+   Euclid quotient steps on the top 62 bits of both operands using
+   single-word cofactor arithmetic, then applies the resulting 2x2
+   matrix to the full magnitudes in one linear pass. Versus
+   bit-at-a-time binary GCD (one full-magnitude subtract per bit) this
+   cuts the number of full-precision passes by roughly the cofactor
+   width (~29 bits of quotient progress per pass). *)
+
+let mag_to_int m =
+  (* magnitude of at most 62 bits *)
+  let r = ref 0 in
+  for i = Array.length m - 1 downto 0 do
+    r := (!r lsl base_bits) lor m.(i)
+  done;
+  !r
+
+let mag_bits_from m shift =
+  (* (m >> shift) truncated to 62 bits, as a nonnegative native int *)
+  let la = Array.length m in
+  let get i = if i < la then m.(i) else 0 in
+  let i = ref (shift / base_bits) in
+  let off = shift mod base_bits in
+  let r = ref ((get !i) lsr off) in
+  let k = ref (base_bits - off) in
+  while !k < 62 do
+    incr i;
+    let take = if 62 - !k < base_bits then 62 - !k else base_bits in
+    r := !r lor (((get !i) land ((1 lsl take) - 1)) lsl !k);
+    k := !k + base_bits
+  done;
+  !r
+
+(* u*x - v*y for magnitudes [x], [y] and cofactors 0 <= u, v < 2^29,
+   with the result known nonnegative. Signed per-limb accumulation:
+   |carry + u*limb - v*limb| < 2^61, well inside the native range. *)
+let mag_addmul_sub u x v y =
+  let lx = Array.length x and ly = Array.length y in
+  let lr = (if lx > ly then lx else ly) + 1 in
+  let r = Array.make lr 0 in
+  let carry = ref 0 in
+  for i = 0 to lr - 1 do
+    let xi = if i < lx then x.(i) else 0 in
+    let yi = if i < ly then y.(i) else 0 in
+    let t = !carry + (u * xi) - (v * yi) in
+    let limb = t land mask in
+    r.(i) <- limb;
+    carry := (t - limb) asr base_bits
+  done;
+  mag_trim r
+
+let max_cofactor = 1 lsl 29
+
+let mag_gcd ua ub =
+  let a = ref ua and b = ref ub in
+  if mag_compare !a !b < 0 then begin let t = !a in a := !b; b := t end;
+  while not (mag_is_zero !b) && mag_num_bits !a > small_limit_bits do
+    let shift = mag_num_bits !a - 62 in
+    let x = ref (mag_bits_from !a shift) in
+    let y = ref (mag_bits_from !b shift) in
+    (* Simulated Euclid with cofactors: x' = va*x0 + vb*y0,
+       y' = vc*x0 + vd*y0. The double-quotient test (Knuth 4.5.2
+       Algorithm L) certifies each simulated quotient against the
+       truncation error; the cap keeps every cofactor product inside
+       [mag_addmul_sub]'s headroom. *)
+    let va = ref 1 and vb = ref 0 and vc = ref 0 and vd = ref 1 in
+    (try
+       while true do
+         let yc = !y + !vc and yd = !y + !vd in
+         if yc <= 0 || yd <= 0 then raise_notrace Exit;
+         let q = (!x + !va) / yc in
+         if q <> (!x + !vb) / yd then raise_notrace Exit;
+         if q >= max_cofactor then raise_notrace Exit;
+         let ta = !va - (q * !vc) and tb = !vb - (q * !vd) in
+         if Stdlib.abs ta >= max_cofactor || Stdlib.abs tb >= max_cofactor
+         then raise_notrace Exit;
+         va := !vc; vc := ta;
+         vb := !vd; vd := tb;
+         let t = !x - (q * !y) in
+         x := !y; y := t
+       done
+     with Exit -> ());
+    if !vb = 0 then begin
+      (* No certified single-word step (quotient too large or b's top
+         bits vanish at a's scale): one full division step. *)
+      let _, r = mag_divmod !a !b in
+      let t = !b in
+      a := t; b := r
+    end
+    else begin
+      (* (a', b') = (va*a + vb*b, vc*a + vd*b). Within each cofactor
+         row the signs alternate, so each row is a nonnegative
+         difference of magnitude products. *)
+      let combine u v =
+        if u >= 0 && v <= 0 then mag_addmul_sub u !a (-v) !b
+        else mag_addmul_sub v !b (-u) !a
+      in
+      let na = combine !va !vb and nb = combine !vc !vd in
+      a := na; b := nb
+    end;
+    if mag_compare !a !b < 0 then begin let t = !a in a := !b; b := t end
+  done;
+  if mag_is_zero !b then !a
+  else mag_of_int (int_gcd (mag_to_int !a) (mag_to_int !b))
+
 let gcd a b =
   match a, b with
   | Small x, Small y -> Small (int_gcd (Stdlib.abs x) (Stdlib.abs y))
-  | _ ->
-    (* Binary GCD on magnitudes. *)
-    let a = ref (mag_of a) and b = ref (mag_of b) in
-    if mag_is_zero !a then make 1 !b
-    else if mag_is_zero !b then make 1 !a
-    else begin
-      let twos m =
-        let rec go i = if mag_bit m i = 1 then i else go (i + 1) in
-        go 0
-      in
-      let ka = twos !a and kb = twos !b in
-      let k = if ka < kb then ka else kb in
-      a := mag_shift_right !a ka;
-      b := mag_shift_right !b kb;
-      let finished = ref false in
-      while not !finished do
-        let c = mag_compare !a !b in
-        if c = 0 then finished := true
-        else begin
-          if c < 0 then begin let t = !a in a := !b; b := t end;
-          a := mag_sub !a !b;
-          if mag_is_zero !a then begin a := !b; finished := true end
-          else a := mag_shift_right !a (twos !a)
-        end
-      done;
-      make 1 (mag_shift_left !a k)
-    end
+  | _ -> make 1 (mag_gcd (mag_of a) (mag_of b))
 
 let shift_left x k =
   if k < 0 then invalid_arg "Bigint.shift_left: negative shift"
@@ -469,6 +547,24 @@ let shift_right x k =
 let num_bits = function
   | Small n -> int_bits n
   | Big b -> mag_num_bits b.mag
+
+(* Remainder modulo a single machine-word modulus 0 < m < 2^31:
+   Horner over the base-2^30 limbs, most significant first. The
+   running remainder stays below [m] < 2^31, so [(r lsl 30) lor limb]
+   stays below 2^61 — no native overflow. The result carries the sign
+   of [x] (OCaml [mod] semantics), magnitude in [0, m). *)
+let rem_int x m =
+  if m <= 0 || m >= 1 lsl 31 then
+    invalid_arg "Bigint.rem_int: modulus out of range"
+  else
+    match x with
+    | Small n -> n mod m
+    | Big b ->
+      let r = ref 0 in
+      for i = Array.length b.mag - 1 downto 0 do
+        r := ((!r lsl base_bits) lor b.mag.(i)) mod m
+      done;
+      if b.sign < 0 then - !r else !r
 
 let pow x k =
   if k < 0 then invalid_arg "Bigint.pow: negative exponent"
@@ -526,6 +622,35 @@ let to_float_enclosure = function
       let k = float_of_int (4 * (Array.length b.mag + 1)) in
       let pad = Float.abs f *. k *. epsilon_float in
       { Interval.lo = Float.pred (f -. pad); hi = Float.succ (f +. pad) }
+    end
+
+(* Overflow-proof companion to [to_float_enclosure]: a certified
+   enclosure of [x / 2^e] for a suitable [e >= 0], returned as
+   [(interval, e)]. The mantissa interval is built from the top two
+   limbs only — the truncated tail contributes at most one mantissa
+   unit — so it is always finite and sign-definite, even for values
+   whose float conversion saturates past DBL_MAX (~1024 bits). The
+   staged filter uses this to keep interval arithmetic meaningful on
+   the wide integers the lcm-scaled hull predicates produce. *)
+let to_scaled_enclosure = function
+  | Small n ->
+    let f = float_of_int n in
+    if int_bits n <= 53 then ({ Interval.lo = f; hi = f }, 0)
+    else ({ Interval.lo = Float.pred f; hi = Float.succ f }, 0)
+  | Big b as x ->
+    let k = Array.length b.mag in
+    if k < 3 then (to_float_enclosure x, 0)
+    else begin
+      (* x = sign * (t * 2^e + tail), 0 <= tail < 2^e, with t the top
+         60 bits exactly — t ∈ [2^59, 2^60), so the enclosure's
+         relative width is uniformly below 2^-58 regardless of how the
+         magnitude straddles limb boundaries. *)
+      let e = mag_num_bits b.mag - 60 in
+      let t = mag_bits_from b.mag e in
+      let lo = Float.pred (float_of_int t)
+      and hi = Float.succ (float_of_int (t + 1)) in
+      if b.sign >= 0 then ({ Interval.lo; hi }, e)
+      else ({ Interval.lo = -.hi; hi = -.lo }, e)
     end
 
 let to_string x =

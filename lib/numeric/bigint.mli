@@ -35,6 +35,17 @@ val to_float_enclosure : t -> Interval.t
     magnitudes (≤ 53 bits), outward-padded by the conversion's static
     error bound otherwise. Never excludes the true value. *)
 
+val to_scaled_enclosure : t -> Interval.t * int
+(** [(iv, e)] with the exact value inside [iv] scaled by [2^e].
+    Unlike {!to_float_enclosure} the mantissa interval is always
+    finite and a few ulp wide, whatever the bit-width of the value —
+    the enclosure of choice past float range. *)
+
+val rem_int : t -> int -> int
+(** [rem_int x m] for [0 < m < 2^31] is [x mod m] (sign of [x],
+    magnitude below [m]) computed limb-wise without allocation.
+    @raise Invalid_argument if [m] is out of range. *)
+
 val of_string : string -> t
 (** Parses an optionally ['-']-prefixed decimal numeral.
     @raise Invalid_argument on malformed input. *)

@@ -134,6 +134,21 @@ let props =
          (* gcd (a*b) b = |b| * gcd(a, 1)-ish: at least |b| divides it. *)
          let g = B.gcd (B.mul a b') b' in
          B.is_zero (B.rem g b'));
+    prop "lehmer gcd = euclid oracle"
+      (pair (arb_bigint ~digits:120 ()) (arb_bigint ~digits:90 ()))
+      (fun (a, b') ->
+         (* Reference Euclid through divmod only — independent of the
+            accelerated cofactor path under test. *)
+         let rec euclid a b =
+           if B.is_zero b then B.abs a else euclid b (B.rem a b)
+         in
+         B.equal (B.gcd a b') (euclid a b'));
+    prop "gcd with planted common factor"
+      (QCheck.triple (arb_nonzero ~digits:40 ()) (arb_nonzero ~digits:40 ())
+         (arb_nonzero ~digits:40 ()))
+      (fun (a, b', g) ->
+         (* gcd(a*g, b*g) is a multiple of |g|. *)
+         B.is_zero (B.rem (B.gcd (B.mul a g) (B.mul b' g)) g));
     prop "string round trip" (arb_bigint ~digits:80 ())
       (fun a -> B.equal a (B.of_string (B.to_string a)));
     prop "compare antisym" (pair (arb_bigint ()) (arb_bigint ()))

@@ -1,0 +1,223 @@
+(* The staged scaled-integer kernel (Numeric.Grid) against its
+   escalation contract: every stage yields the exact predicate answer
+   or escalates — at the ±1-ULP edges of the static width bounds the
+   ladder must step up (single-word → double-word → mantissa →
+   residue → rational fallback), never wrap.
+
+   The true-zero battery drives the certifying path end to end:
+   collinear/coplanar configurations on an integer grid must be
+   recognized as exact zeros by the residue certificate with zero
+   exact-rational fallbacks. *)
+
+module Q = Numeric.Q
+module B = Numeric.Bigint
+module K = Numeric.Kernel
+module Grid = Numeric.Grid
+module Filter = Numeric.Filter
+
+let qi = Q.of_int
+let qb = B.of_int
+
+(* sign (a·p - b) by plain rational arithmetic, the oracle. *)
+let exact_sign a p b =
+  let dot =
+    Array.to_seq (Array.map2 Q.mul a p) |> Seq.fold_left Q.add Q.zero
+  in
+  K.with_mode K.Exact (fun () -> Q.sign (Q.sub dot b))
+
+(* Fresh rationals per call: the per-Q caches (iv/rs/sc) must never
+   leak state between engineered boundary cases. *)
+let arr xs = Array.map qi xs
+
+let check_dot name a p b =
+  let want = exact_sign a p b in
+  match Grid.dot_minus_sign a p b with
+  | Some got ->
+    Alcotest.(check int) (name ^ ": staged sign = exact sign") want got
+  | None -> () (* escalated to the rational fallback: always sound *)
+
+(* --- static bound table ------------------------------------------- *)
+
+let test_bounds_table () =
+  (* dot_bound = w + (2w + 2) + ceil_log2 (d+1); find the widths where
+     the int1 and dword gates flip and check both sides. *)
+  let flips gate =
+    let rec go w =
+      if w > 64 then Alcotest.fail "gate never flips"
+      else if not (gate (Grid.bounds_for ~dim:3 ~width:w)) then w
+      else go (w + 1)
+    in
+    go 1
+  in
+  let w_int1 = flips (fun b -> b.Grid.int1) in
+  let w_dword = flips (fun b -> b.Grid.dword) in
+  let at w = Grid.bounds_for ~dim:3 ~width:w in
+  Alcotest.(check bool) "int1 holds below flip" true (at (w_int1 - 1)).Grid.int1;
+  Alcotest.(check bool) "int1 gone at flip" false (at w_int1).Grid.int1;
+  Alcotest.(check bool) "dword still holds at int1 flip" true
+    (at w_int1).Grid.dword;
+  Alcotest.(check bool) "dword holds below flip" true
+    (at (w_dword - 1)).Grid.dword;
+  Alcotest.(check bool) "dword gone at flip" false (at w_dword).Grid.dword;
+  (* The bound value itself brackets the thresholds by exactly one. *)
+  Alcotest.(check bool) "int1 edge <= 61" true
+    ((at (w_int1 - 1)).Grid.dot_bound <= Grid.int1_max_bits);
+  Alcotest.(check bool) "dword edge <= 123" true
+    ((at (w_dword - 1)).Grid.dot_bound <= Grid.dword_max_bits);
+  (* Residue planning: enough primes for the bound, monotone in it. *)
+  let b = at 61 in
+  Alcotest.(check bool) "residue primes cover the bound" true
+    (b.Grid.residue_primes * Grid.prime_bits >= b.Grid.dot_bound);
+  Alcotest.(check bool) "capacity covers protocol widths" true
+    (Grid.capacity_bits >= 1536)
+
+(* --- ±1-ULP escalation at the single-word boundary ----------------- *)
+
+let test_int1_edge () =
+  (* d=1, widths 30+30: bound = 61 = int1_max_bits — the last case the
+     single-word stage may take. True values ±1 and 0. *)
+  let m = (1 lsl 30) - 1 in
+  let prod = m * m in
+  List.iter
+    (fun delta ->
+       check_dot "int1 edge" (arr [| m |]) (arr [| m |]) (qi (prod - delta)))
+    [ -1; 0; 1 ];
+  (* One bit wider (31+31 → bound 63): past the single-word gate. A
+     wrapped native evaluation would mis-sign these; the double-word
+     stage must not. *)
+  let m = (1 lsl 31) - 1 in
+  let a = arr [| m; m; m |] and p = arr [| m; m; m |] in
+  let s = 3 * (m * m) in
+  (* 3·(2^31-1)^2 ≈ 2^63.6 overflows a native accumulator. *)
+  List.iter
+    (fun delta -> check_dot "int1+1 escalates" a p (qi (s - delta)))
+    [ -1; 0; 1 ]
+
+(* --- ±1-ULP escalation at the double-word boundary ----------------- *)
+
+let test_dword_edge () =
+  (* d=2, widths 60+60: bound = 122 ≤ 123 — the double-word stage's
+     last case. The dot cancels internally (m·m − m·(m−1) = m), so
+     every operand stays single-word while the 120-bit products are
+     past any native or float resolution; ±1 perturbations of the
+     offset flip the exact sign. *)
+  let edge_case bits =
+    let mb = B.sub (B.shift_left B.one bits) B.one in
+    let m = Q.of_bigint mb in
+    let a = [| m; m |] in
+    let p = [| m; Q.neg (Q.of_bigint (B.sub mb B.one)) |] in
+    (a, p, m) (* a·p = m² − m(m−1) = m exactly *)
+  in
+  let a, p, s = edge_case 60 in
+  List.iter
+    (fun delta ->
+       check_dot "dword edge" a p (Q.add s (qi delta));
+       (* the staged answer must exist here: the gate admits bound 122 *)
+       Alcotest.(check bool) "dword edge decides" true
+         (Grid.dot_minus_sign a p (Q.add s (qi delta)) <> None))
+    [ -1; 0; 1 ];
+  (* One bit wider (61+61 → bound 124): past the double-word gate. The
+     mantissa interval cannot separate ±1 from 0 at 124 bits, so
+     nonzero perturbations either escalate to the rational fallback
+     (None) or answer exactly; a true zero must be certified by the
+     residue stage. A wrapped double-word evaluation would instead
+     mis-sign these. *)
+  let a, p, s = edge_case 61 in
+  List.iter
+    (fun delta -> check_dot "dword+1 escalates" a p (Q.add s (qi delta)))
+    [ -1; 1 ];
+  Alcotest.(check (option int)) "dword+1 true zero certified" (Some 0)
+    (Grid.dot_minus_sign a p s)
+
+(* --- true-zero battery: collinear / coplanar, zero fallbacks ------- *)
+
+let gen_wide_int =
+  let open QCheck.Gen in
+  let* bits = 10 -- 400 in
+  let* neg = bool in
+  let rec go acc b st =
+    if b <= 0 then acc
+    else go (B.add (B.mul_int acc (1 lsl 20)) (qb (int_bound (1 lsl 20) st))) (b - 20) st
+  in
+  let* v = fun st -> go B.one bits st in
+  return (Q.of_bigint (if neg then B.neg v else v))
+
+let gen_vec3 = QCheck.Gen.(map Array.of_list (list_size (return 3) gen_wide_int))
+
+let test_true_zero_battery () =
+  let st = Random.State.make [| 1234 |] in
+  K.with_mode K.Staged (fun () ->
+      K.reset_stats ();
+      for _ = 1 to 200 do
+        (* Coplanar: plane through p,q,r; the point p + (q-p) + (r-p)
+           lies on it exactly. All integers, exactly the grid shape. *)
+        let p = gen_vec3 st and q = gen_vec3 st and r = gen_vec3 st in
+        let sub u v = Array.map2 Q.sub u v in
+        let add u v = Array.map2 Q.add u v in
+        let u = sub q p and v = sub r p in
+        let nrm =
+          [| Q.sub (Q.mul u.(1) v.(2)) (Q.mul u.(2) v.(1));
+             Q.sub (Q.mul u.(2) v.(0)) (Q.mul u.(0) v.(2));
+             Q.sub (Q.mul u.(0) v.(1)) (Q.mul u.(1) v.(0)) |]
+        in
+        let b =
+          Array.to_seq (Array.map2 Q.mul nrm p)
+          |> Seq.fold_left Q.add Q.zero
+        in
+        let w = add p (add u v) in
+        Alcotest.(check int) "coplanar point is on the plane" 0
+          (Filter.sign_of_dot_minus nrm w b);
+        (* Collinear: p, q and p + 3(q - p) under the origin cross. *)
+        let p2 = [| p.(0); p.(1) |] and q2 = [| q.(0); q.(1) |] in
+        let d2 = Array.map2 Q.sub q2 p2 in
+        let c2 = Array.map2 (fun a d -> Q.add a (Q.mul (qi 3) d)) p2 d2 in
+        Alcotest.(check int) "collinear triple" 0
+          (Filter.sign_cross2 p2 q2 c2)
+      done;
+      let t = K.totals () in
+      Alcotest.(check int)
+        "true zeros certified with zero exact fallbacks" 0 t.K.fallbacks)
+
+(* --- cache rings: eviction under tiny capacities stays sound ------- *)
+
+let test_ring_eviction () =
+  let saved_enc = 65536 and saved_rs = 4096 in
+  Fun.protect
+    ~finally:(fun () ->
+        Q.set_enclosure_cache_capacity saved_enc;
+        Grid.set_residue_cache_capacity saved_rs)
+    (fun () ->
+       Q.set_enclosure_cache_capacity 8;
+       Grid.set_residue_cache_capacity 8;
+       let ins0, ev0 = Grid.residue_cache_stats () in
+       let st = Random.State.make [| 99 |] in
+       K.with_mode K.Staged (fun () ->
+           for _ = 1 to 50 do
+             (* Far more than 8 live rationals: the rings must evict,
+                and every predicate answer must stay exact. *)
+             let a = gen_vec3 st and p = gen_vec3 st in
+             let b = gen_wide_int st in
+             let want = exact_sign a p b in
+             Alcotest.(check int) "sign under eviction pressure" want
+               (Filter.sign_of_dot_minus a p b);
+             (* true zero too, so the residue ring also cycles *)
+             let dot =
+               Array.to_seq (Array.map2 Q.mul a p)
+               |> Seq.fold_left Q.add Q.zero
+             in
+             Alcotest.(check int) "zero under eviction pressure" 0
+               (Filter.sign_of_dot_minus a p dot)
+           done);
+       let ins1, ev1 = Grid.residue_cache_stats () in
+       Alcotest.(check bool) "residue ring inserted" true (ins1 > ins0);
+       Alcotest.(check bool) "residue ring evicted" true (ev1 > ev0))
+
+let suite =
+  [ ( "grid-staged",
+      [ Alcotest.test_case "static bound table" `Quick test_bounds_table;
+        Alcotest.test_case "int1 boundary escalates" `Quick test_int1_edge;
+        Alcotest.test_case "dword boundary escalates" `Quick test_dword_edge;
+        Alcotest.test_case "true-zero battery, no fallbacks" `Quick
+          test_true_zero_battery;
+        Alcotest.test_case "ring eviction stays sound" `Quick
+          test_ring_eviction ] ) ]

@@ -1,4 +1,5 @@
 module Q = Numeric.Q
+module B = Numeric.Bigint
 module Vec = Geometry.Vec
 module Hn = Geometry.Hullnd
 module Lp = Geometry.Lp
@@ -127,9 +128,51 @@ let props =
       (fun pts -> points_equal (Hn.extreme_points pts) (Hn.extreme_points_lp pts));
   ]
 
+(* The static float visibility screen may decide a predicate only when
+   it is right: wherever [Dev.screen] answers, the answer must equal
+   the exact sign — including engineered cancellations (offset within
+   2^-1000 of the true dot), which must fall through ([None]). *)
+let test_visibility_screen () =
+  let st = Random.State.make [| 7 |] in
+  let big bits =
+    let rec go acc b =
+      if b <= 0 then acc
+      else
+        go
+          (B.add (B.mul_int acc (1 lsl 20))
+             (B.of_int (Random.State.int st (1 lsl 20))))
+          (b - 20)
+    in
+    let v = go B.one bits in
+    if Random.State.bool st then B.neg v else v
+  in
+  let decided = ref 0 in
+  for trial = 1 to 2000 do
+    let a = Array.init 3 (fun _ -> Q.of_bigint (big 840)) in
+    let p = Array.init 3 (fun _ -> Q.of_bigint (big 420)) in
+    let dot =
+      Array.to_seq (Array.map2 Q.mul a p) |> Seq.fold_left Q.add Q.zero
+    in
+    let b =
+      if trial mod 2 = 0 then Q.add dot (Q.of_bigint (big 60))
+      else Q.of_bigint (big 1260)
+    in
+    match Hn.Dev.screen a b p with
+    | None -> ()
+    | Some v ->
+      incr decided;
+      Alcotest.(check bool) "screen decision = exact sign"
+        (Q.sign (Q.sub dot b) > 0) v
+  done;
+  (* The wide-offset half must be overwhelmingly screenable, or the
+     screen is useless as a filter. *)
+  Alcotest.(check bool) "screen decides the clear half" true (!decided > 900)
+
 let suite =
   [ ( "hullnd",
       [ Alcotest.test_case "cube hrep" `Quick test_cube_hrep;
+        Alcotest.test_case "visibility screen sound" `Quick
+          test_visibility_screen;
         Alcotest.test_case "lower-dimensional" `Quick test_lower_dimensional;
         Alcotest.test_case "point" `Quick test_point_hrep;
         Alcotest.test_case "segment" `Quick test_segment_hrep;
