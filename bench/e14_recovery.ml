@@ -1,0 +1,116 @@
+(* E14 — Recovery cost vs log length and checkpoint cadence.
+
+   One process crashes after a swept number of deliveries (the WAL
+   holds one entry per delivery, so the receive budget IS the log
+   length at crash time) and rejoins after a short delay. The [Strict]
+   sync mode makes the whole prefix durable, so replay cost is pure:
+   snapshot restore from the last checkpoint plus re-application of
+   the tail. Sweeping the checkpoint cadence separates the two — at
+   [checkpoint_every = 1] the tail is at most one event and recovery
+   cost is the snapshot restore alone; with sparse checkpoints the
+   tail replay dominates and grows with the budget.
+
+   Timing comes from the "cc.recover" profiler span (the revival
+   callback is instrumented in Cc); each measurement is the best of
+   three profiled runs. Results land in BENCH_E14.json. *)
+
+module Q = Numeric.Q
+module Crash = Runtime.Crash
+
+type entry = {
+  budget : int;            (* deliveries before the crash = log length *)
+  checkpoint_every : int;
+  recover_ms : float;      (* best-of-reps "cc.recover" inclusive time *)
+  run_ms : float;          (* same run, wall clock end to end *)
+}
+
+let spec ~budget ~checkpoint_every =
+  let config =
+    Chc.Config.make ~n:7 ~f:1 ~d:2 ~eps:(Q.of_ints 1 2) ~lo:Q.zero ~hi:Q.one
+  in
+  let rng = Runtime.Rng.create 42 in
+  let inputs = Chc.Scenario.random_inputs ~config ~rng () in
+  let crash = Array.make 7 Crash.Never in
+  crash.(0) <-
+    Crash.Crash_recover
+      { trigger = Crash.Receives budget; delay = 10; keep = 0 };
+  let t =
+    Chc.Scenario.make ~config ~inputs ~crash
+      ~scheduler:Runtime.Scheduler.random_uniform ~seed:42
+      ~wal:{ Runtime.Wal.checkpoint_every; sync = Runtime.Wal.Strict }
+      ()
+  in
+  Chc.Scenario.ensure_crashes t
+
+let recover_total summary =
+  match List.assoc_opt "cc.recover" summary with
+  | Some (s : Obs.Prof.stat) -> s.Obs.Prof.total_ns
+  | None -> 0.0
+
+let measure ~budget ~checkpoint_every =
+  let t = spec ~budget ~checkpoint_every in
+  let reps = if Util.fast then 1 else 3 in
+  let best_rec = ref infinity and best_run = ref infinity in
+  for _ = 1 to reps do
+    Parallel.Memo.clear_all ();
+    Obs.Prof.reset ();
+    Obs.Prof.set_enabled true;
+    let t0 = Unix.gettimeofday () in
+    let r = Chc.Executor.run t in
+    let run_ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
+    Obs.Prof.set_enabled false;
+    let rec_ms = recover_total (Obs.Prof.summary ()) /. 1e6 in
+    Obs.Prof.reset ();
+    if r.Chc.Executor.recovered <> [ 0 ] then
+      failwith "e14: process 0 did not recover";
+    if not r.Chc.Executor.decision_stable then
+      failwith "e14: strict sync must keep decisions stable";
+    if rec_ms < !best_rec then best_rec := rec_ms;
+    if run_ms < !best_run then best_run := run_ms
+  done;
+  { budget; checkpoint_every; recover_ms = !best_rec; run_ms = !best_run }
+
+let emit_json entries =
+  match
+    Obs.Sink.write_file ~path:"BENCH_E14.json" (fun oc ->
+        output_string oc
+          "{\n  \"experiment\": \"e14\",\n  \"unit\": \"ms\",\n\
+          \  \"results\": [\n";
+        let last = List.length entries - 1 in
+        List.iteri
+          (fun i e ->
+             Printf.fprintf oc
+               "    {\"budget\": %d, \"checkpoint_every\": %d, \
+                \"recover_ms\": %.4f, \"run_ms\": %.2f}%s\n"
+               e.budget e.checkpoint_every e.recover_ms e.run_ms
+               (if i = last then "" else ","))
+          entries;
+        output_string oc "  ]\n}\n")
+  with
+  | Ok () -> print_endline "  wrote BENCH_E14.json"
+  | Error msg -> Printf.printf "  BENCH_E14.json NOT written: %s\n" msg
+
+let run () =
+  let budgets =
+    if Util.fast then [ 10; 40; 120 ] else [ 10; 20; 40; 80; 120; 160 ]
+  in
+  let cadences = if Util.fast then [ 1; 16 ] else [ 1; 4; 16; 64 ] in
+  let entries =
+    List.concat_map
+      (fun budget ->
+         List.map
+           (fun checkpoint_every -> measure ~budget ~checkpoint_every)
+           cadences)
+      budgets
+  in
+  Util.print_table ~title:"E14: recovery cost vs log length"
+    ~header:[ "budget"; "ckpt-every"; "recover ms"; "run ms" ]
+    ~widths:[ 6; 10; 10; 8 ]
+    (List.map
+       (fun e ->
+          [ string_of_int e.budget;
+            string_of_int e.checkpoint_every;
+            Util.f3 e.recover_ms;
+            Util.f3 e.run_ms ])
+       entries);
+  emit_json entries

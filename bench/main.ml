@@ -20,6 +20,7 @@ let experiments =
     ("e10", "performance microbenchmarks (bechamel)", E10_perf.run);
     ("e12", "phase breakdown + critical paths vs adversary", E12_profile.run);
     ("e13", "filtered-kernel ablation: exact vs interval filter", E13_filter.run);
+    ("e14", "crash-recovery cost vs log length (WAL replay)", E14_recovery.run);
     ("smoke3d", "fast d=3 execution smoke check", Smoke3d.run) ]
 
 let () =

@@ -78,6 +78,32 @@ let faulty_arg =
        & info ["faulty"] ~docv:"I,J,..."
            ~doc:"Faulty process ids (default: 0..f-1).")
 
+let recover_arg =
+  Arg.(value & flag
+       & info ["recover"]
+           ~doc:"Crash-recovery mode: every sampled crash plan becomes a \
+                 crash-$(i,recover) plan (same trigger budget) — the \
+                 process keeps a write-ahead log, crashes, loses its \
+                 unsynced log suffix, replays the survivor and rejoins.")
+
+let recover_delay_arg =
+  Arg.(value & opt int 10
+       & info ["recover-delay"] ~docv:"STEPS"
+           ~doc:"Scheduler steps until a crashed process revives \
+                 (with --recover).")
+
+let keep_arg =
+  Arg.(value & opt int 0
+       & info ["keep"] ~docv:"K"
+           ~doc:"Disk-prefix adversary: unsynced WAL entries that survive \
+                 the crash (with --recover).")
+
+let wal_dir_arg =
+  Arg.(value & opt (some string) None
+       & info ["wal-dir"] ~docv:"DIR"
+           ~doc:"Write each process's surviving write-ahead log to \
+                 $(docv)/wal-I.jsonl (one JSON event per line).")
+
 let verbose_arg =
   Arg.(value & flag
        & info ["verbose"; "v"]
@@ -152,12 +178,39 @@ let with_kernel kernel k =
 
 (* --- run command ------------------------------------------------------ *)
 
-let run_cmd kernel n f d eps lo hi seed scheduler naive inputs faulty verbose
-    svg report_json =
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* --recover: turn every sampled crash-stop plan into a crash-recover
+   plan with the same trigger budget. *)
+let recoverize ~delay ~keep spec =
+  let crash =
+    Array.map
+      (fun plan ->
+         match plan with
+         | Runtime.Crash.Never | Runtime.Crash.Crash_recover _ -> plan
+         | Runtime.Crash.After_sends k ->
+           Runtime.Crash.Crash_recover
+             { trigger = Runtime.Crash.Sends k; delay; keep }
+         | Runtime.Crash.After_receives k ->
+           Runtime.Crash.Crash_recover
+             { trigger = Runtime.Crash.Receives k; delay; keep })
+      spec.Executor.crash
+  in
+  { spec with Executor.crash }
+
+let run_cmd kernel n f d eps lo hi seed scheduler naive inputs faulty recover
+    recover_delay keep wal_dir verbose svg report_json =
   with_kernel kernel @@ fun () ->
   match spec_of ~n ~f ~d ~eps ~lo ~hi ~seed ~scheduler ~naive ~inputs ~faulty with
   | Error msg -> `Error (false, msg)
   | Ok spec ->
+    let spec =
+      if recover then recoverize ~delay:recover_delay ~keep spec else spec
+    in
     match
       let trace =
         if verbose || report_json <> None then Some (Obs.Trace.create ())
@@ -171,6 +224,10 @@ let run_cmd kernel n f d eps lo hi seed scheduler naive inputs faulty verbose
         n f d eps r.Executor.result.Chc.Cc.t_end seed;
       Printf.printf "faulty set: {%s}\n"
         (String.concat "," (List.map string_of_int r.Executor.faulty));
+      if r.Executor.recovered <> [] then
+        Printf.printf "recovered:  {%s}  decision-stable=%b\n"
+          (String.concat "," (List.map string_of_int r.Executor.recovered))
+          r.Executor.decision_stable;
       Array.iteri
         (fun i o ->
            match o with
@@ -203,6 +260,33 @@ let run_cmd kernel n f d eps lo hi seed scheduler naive inputs faulty verbose
         m.Runtime.Sim.sent m.Runtime.Sim.delivered m.Runtime.Sim.dropped;
       if verbose then
         Obs.Report.print stdout (Executor.observe ?trace ~witnesses:n r);
+      (match wal_dir with
+       | None -> ()
+       | Some dir ->
+         (try mkdir_p dir with
+          | Unix.Unix_error (e, _, _) ->
+            raise (Obs.Sink.Write_error
+                     { path = dir; message = Unix.error_message e })
+          | Sys_error message ->
+            raise (Obs.Sink.Write_error { path = dir; message }));
+         Array.iteri
+           (fun i evs ->
+              if evs <> [] then begin
+                let path =
+                  Filename.concat dir (Printf.sprintf "wal-%d.jsonl" i)
+                in
+                (* write_file_exn: an I/O failure raises the typed
+                   Sink.Write_error, which main maps to exit code 74. *)
+                Obs.Sink.write_file_exn ~path (fun oc ->
+                    List.iter
+                      (fun e ->
+                         output_string oc (Chc.Recovery.event_to_string e);
+                         output_char oc '\n')
+                      evs);
+                Printf.printf "wal          process %d: %d events -> %s\n" i
+                  (List.length evs) path
+              end)
+           r.Executor.result.Chc.Cc.wal_log);
       (match svg with
        | Some path when d = 2 ->
          Viz.Svg.render_to_file ~path ~report:r;
@@ -233,6 +317,7 @@ let run_term =
   Term.(ret
           (const run_cmd $ kernel_arg $ n_arg $ f_arg $ d_arg $ eps_arg $ lo_arg $ hi_arg
            $ seed_arg $ scheduler_arg $ naive_arg $ inputs_arg $ faulty_arg
+           $ recover_arg $ recover_delay_arg $ keep_arg $ wal_dir_arg
            $ verbose_arg $ svg_arg $ report_json_arg))
 
 let run_cmd_info =
@@ -432,8 +517,25 @@ let naive_space_arg =
                  with the default oracle this is a live demonstration that \
                  the fuzzer finds and shrinks real violations.")
 
+let recover_space_arg =
+  Arg.(value & flag
+       & info ["recover"]
+           ~doc:"Recovery-focused space: every sampled crasher gets a \
+                 crash-recover plan (WAL, disk-prefix truncation, replay, \
+                 rejoin), so the campaign grades the paper's properties \
+                 over recovered executions.")
+
+let unsound_sync_arg =
+  Arg.(value & flag
+       & info ["unsound-sync"]
+           ~doc:"Teeth demo: force every sampled WAL config to the \
+                 deliberately broken no-op sync mode. Recovered processes \
+                 can roll back behind externalized state, and the oracle \
+                 must find (and shrink) the resulting violations — expect \
+                 a non-zero exit. Implies --recover.")
+
 let fuzz_cmd kernel differential trials seed time_budget out_dir max_findings
-    canary naive =
+    canary naive recover unsound_sync =
   with_kernel kernel @@ fun () ->
   let oracle =
     match canary with
@@ -463,6 +565,18 @@ let fuzz_cmd kernel differential trials seed time_budget out_dir max_findings
           Fuzz.Gen.naive_round0 = `Always; d_choices = [ 1 ] }
       else Fuzz.Gen.default_space
     in
+    let space =
+      if recover || unsound_sync then
+        { space with Fuzz.Gen.recover = `Always; unsound_sync }
+      else space
+    in
+    (* The durability bug needs a crash AFTER externalized state worth
+       losing — raise the trigger budgets so receive-triggered crashes
+       can land past a decision (ensure_crash clamps them back into
+       what the execution actually performs). *)
+    let space =
+      if unsound_sync then { space with Fuzz.Gen.max_budget = 300 } else space
+    in
     let outcome =
       Fuzz.Campaign.run ~space ~oracle ~differential ~out_dir ~max_findings
         ~log:print_endline ~seed
@@ -484,7 +598,8 @@ let fuzz_cmd kernel differential trials seed time_budget out_dir max_findings
 let fuzz_term =
   Term.(ret
           (const fuzz_cmd $ kernel_arg $ differential_arg $ trials_arg $ seed_arg $ time_budget_arg
-           $ out_dir_arg $ max_findings_arg $ canary_arg $ naive_space_arg))
+           $ out_dir_arg $ max_findings_arg $ canary_arg $ naive_space_arg
+           $ recover_space_arg $ unsound_sync_arg))
 
 let fuzz_cmd_info =
   Cmd.info "fuzz"
@@ -546,11 +661,20 @@ let () =
       ~doc:"Asynchronous convex hull consensus simulator (Tseng-Vaidya, PODC'14)."
   in
   exit
-    (Cmd.eval
-       (Cmd.group info
-          [ Cmd.v run_cmd_info run_term;
-            Cmd.v trace_cmd_info trace_term;
-            Cmd.v profile_cmd_info profile_term;
-            Cmd.v bound_cmd_info bound_term;
-            Cmd.v fuzz_cmd_info fuzz_term;
-            Cmd.v replay_cmd_info replay_term ]))
+    (try
+       (* catch:false so the typed Write_error below reaches this
+          handler instead of cmdliner's exit-125 backtrace printer. *)
+       Cmd.eval ~catch:false
+         (Cmd.group info
+            [ Cmd.v run_cmd_info run_term;
+              Cmd.v trace_cmd_info trace_term;
+              Cmd.v profile_cmd_info profile_term;
+              Cmd.v bound_cmd_info bound_term;
+              Cmd.v fuzz_cmd_info fuzz_term;
+              Cmd.v replay_cmd_info replay_term ])
+     with Obs.Sink.Write_error { path; message } ->
+       (* Typed I/O failure from any atomic sink write (artifacts,
+          traces, WAL persistence): report which file and exit with
+          EX_IOERR so scripts can tell "finding" from "disk". *)
+       Printf.eprintf "chc_sim: write failed: %s: %s\n" path message;
+       74)

@@ -1,0 +1,207 @@
+(* CI smoke pass for crash-recovery durability.
+
+   Three checks:
+
+   1. Recovered executions are deterministic and pool-size invariant:
+      a fixed scenario with a crash-recover plan produces byte-identical
+      JSONL transcripts (and identical decisions) with the global pool
+      at 1 and at 4 domains, and every paper property holds with the
+      recovered process graded as correct.
+
+   2. The WAL round-trips: every surviving log entry re-parses from its
+      canonical JSON line to an equal event.
+
+   3. Teeth: with the deliberately broken [Unsound] sync mode and a
+      crash landing after the victim decided, the oracle must catch the
+      durability violation (a recovered process re-deciding a different
+      polytope — or any downstream property failure), and the shrinker
+      must produce a smaller scenario that still fails. A durability
+      fuzzer that passes everything under a no-op sync has no teeth. *)
+
+module Q = Numeric.Q
+module Crash = Runtime.Crash
+module Scenario = Chc.Scenario
+module Executor = Chc.Executor
+
+let failures = ref 0
+
+let check name ok =
+  if ok then Printf.printf "  ok: %s\n" name
+  else begin
+    incr failures;
+    Printf.printf "  FAIL: %s\n" name
+  end
+
+(* --- 1: recovered executions are deterministic ----------------------- *)
+
+let recovery_spec () =
+  let config =
+    Chc.Config.make ~n:5 ~f:1 ~d:2 ~eps:(Q.of_ints 1 5) ~lo:Q.zero ~hi:Q.one
+  in
+  let rng = Runtime.Rng.create 11 in
+  let inputs = Scenario.random_inputs ~config ~rng () in
+  let crash = Array.make 5 Crash.Never in
+  crash.(0) <-
+    Crash.Crash_recover { trigger = Crash.Sends 9; delay = 12; keep = 1 };
+  Scenario.make ~config ~inputs ~crash
+    ~scheduler:Runtime.Scheduler.random_uniform ~seed:7 ()
+
+let traced_run spec =
+  let trace = Obs.Trace.create () in
+  let r = Executor.run ~trace spec in
+  (r, Obs.Trace.to_jsonl trace)
+
+let check_determinism () =
+  print_endline "determinism under recovery:";
+  let spec = recovery_spec () in
+  Parallel.Pool.set_global_size 1;
+  let r1, t1 = traced_run spec in
+  Parallel.Pool.set_global_size 4;
+  let r4, t4 = traced_run spec in
+  check "recovered-run traces byte-identical across pool sizes 1 and 4"
+    (String.equal t1 t4);
+  check "trace is non-trivial" (String.length t1 > 1000);
+  check "process 0 recovered" (r1.Executor.recovered = [ 0 ]);
+  check "all properties hold on the recovered execution"
+    (r1.Executor.terminated && r1.Executor.valid && r1.Executor.agreement_ok
+     && r1.Executor.optimal && r1.Executor.decision_stable);
+  check "decisions identical across pool sizes"
+    (Array.for_all2
+       (fun a b ->
+          match a, b with
+          | None, None -> true
+          | Some p, Some q -> Geometry.Polytope.equal p q
+          | _ -> false)
+       r1.Executor.result.Chc.Cc.outputs r4.Executor.result.Chc.Cc.outputs);
+  let recoveries =
+    r1.Executor.result.Chc.Cc.metrics.Runtime.Sim.recoveries
+  in
+  check "simulator counted exactly one revival" (recoveries = 1);
+  (r1, spec)
+
+(* --- 2: the surviving WAL round-trips through its codec -------------- *)
+
+let check_wal_roundtrip (r : Executor.report) spec =
+  print_endline "wal codec round-trip:";
+  let dim = spec.Executor.config.Chc.Config.d in
+  let total = ref 0 in
+  let bad = ref 0 in
+  Array.iter
+    (List.iter (fun ev ->
+         incr total;
+         let line = Chc.Recovery.event_to_string ev in
+         match Chc.Recovery.event_of_string ~dim line with
+         | Ok ev' when Chc.Recovery.event_to_string ev' = line -> ()
+         | _ -> incr bad))
+    r.Executor.result.Chc.Cc.wal_log;
+  check
+    (Printf.sprintf "all %d surviving log entries round-trip" !total)
+    (!total > 0 && !bad = 0)
+
+(* --- 3: the oracle has teeth against unsound sync --------------------- *)
+
+(* A scenario built to expose the no-op sync. Two ingredients are both
+   necessary:
+
+   - Heterogeneous round-0 views: an early crash-stop process whose
+     partial broadcast splits the other processes' stable-vector views.
+     Without it every process computes the identical round-0 polytope,
+     all later values coincide exactly, and a from-genesis replay
+     re-derives the same decision no matter what the adversary lost.
+
+   - A post-decide crash on the victim: the [Receives] budget must land
+     AFTER the victim externalizes. We probe a run with the stopper
+     active but the victim unharmed to learn the victim's receive
+     total, then aim just under it ([Scenario.ensure_crashes] can't do
+     this — its probe is crash-free, so the stopper's death makes its
+     clamp unreachable).
+
+   With both, [Unsound] sync + [keep = 0] loses the whole log; the
+   rejoin re-derives the decision from the responders' final views,
+   which generically differ from what the victim originally froze —
+   a different exact polytope. Agreement still passes (the drift is
+   within eps), so only the durability check catches it. *)
+let unsound_spec ~seed ~back ~stopper =
+  let config =
+    Chc.Config.make ~n:7 ~f:2 ~d:1 ~eps:(Q.of_ints 1 5) ~lo:Q.zero ~hi:Q.one
+  in
+  let rng = Runtime.Rng.create seed in
+  let inputs = Scenario.random_inputs ~config ~rng () in
+  let crash = Array.make 7 Crash.Never in
+  crash.(1) <- Crash.After_sends stopper;
+  let probe =
+    Chc.Cc.execute ~config ~inputs ~crash
+      ~scheduler:Runtime.Scheduler.random_uniform ~seed ()
+  in
+  let r0 = probe.Chc.Cc.receives_seen.(0) in
+  crash.(0) <-
+    Crash.Crash_recover
+      { trigger = Crash.Receives (max 0 (r0 - 1 - back)); delay = 0; keep = 0 };
+  Scenario.make ~config ~inputs ~crash
+    ~scheduler:Runtime.Scheduler.random_uniform ~seed
+    ~wal:{ Runtime.Wal.checkpoint_every = 4; sync = Runtime.Wal.Unsound }
+    ()
+
+let check_teeth () =
+  print_endline "oracle teeth vs unsound sync:";
+  let oracle = Fuzz.Oracle.Paper_properties in
+  let found = ref None in
+  let seeds = List.init 10 (fun i -> i + 1) in
+  List.iter
+    (fun seed ->
+       if !found = None then
+         List.iter
+           (fun stopper ->
+              if !found = None then begin
+                let t = unsound_spec ~seed ~back:0 ~stopper in
+                match Fuzz.Oracle.check oracle t with
+                | Fuzz.Oracle.Fail msg -> found := Some (t, msg)
+                | Fuzz.Oracle.Pass -> ()
+              end)
+           [ 2; 3; 4; 5 ])
+    seeds;
+  match !found with
+  | None ->
+    check "unsound sync produces an oracle violation" false
+  | Some (t, msg) ->
+    Printf.printf "  found: %s\n" msg;
+    check "unsound sync produces an oracle violation" true;
+    (* Specifically the durability property: agreement stays within
+       eps here, so a fuzzer without the stability check would have
+       graded this run clean. *)
+    let is_durability =
+      String.length msg >= 10 && String.sub msg 0 10 = "durability"
+    in
+    check "violation is the durability property, not a masked proxy"
+      is_durability;
+    (* The shrinker must keep it failing. *)
+    let minimized, stats = Fuzz.Shrink.minimize ~oracle t in
+    let still_fails =
+      match Fuzz.Oracle.check oracle minimized with
+      | Fuzz.Oracle.Fail _ -> true
+      | Fuzz.Oracle.Pass -> false
+    in
+    check
+      (Printf.sprintf "shrinker keeps the violation (%d steps, %d attempts)"
+         stats.Fuzz.Shrink.steps stats.Fuzz.Shrink.attempts)
+      still_fails;
+    (* And the artifact must round-trip through the v2 codec. *)
+    (match Scenario.of_string (Scenario.to_string minimized) with
+     | Ok t' ->
+       check "minimized scenario round-trips (v2 codec)"
+         (Scenario.equal minimized t')
+     | Error e ->
+       Printf.printf "  codec error: %s\n" e;
+       check "minimized scenario round-trips (v2 codec)" false)
+
+let () =
+  Fuzz.Strategies.register_builtin ();
+  print_endline "recover_smoke:";
+  let r, spec = check_determinism () in
+  check_wal_roundtrip r spec;
+  check_teeth ();
+  if !failures > 0 then begin
+    Printf.printf "recover_smoke: %d check(s) FAILED\n" !failures;
+    exit 1
+  end
+  else print_endline "recover_smoke: all checks passed"

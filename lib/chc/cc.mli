@@ -40,6 +40,15 @@ type result = {
     (** per process: did at least one round-[t] message reach a
         channel? (drives the paper's [F[t]] sets) *)
   crashed : bool array;
+  recovered : bool array;
+    (** per process: crashed and was revived (crash-recovery mode) *)
+  redecided : int list;
+    (** processes whose replayed decision differed from their first
+        externalized one — always empty under a [Strict] WAL; the
+        durability oracle's smoking gun under [Unsound] *)
+  wal_log : Recovery.event list array;
+    (** per process: surviving write-ahead log at quiescence (empty
+        arrays when recovery mode is off) *)
   sends_attempted : int array;
     (** per process: sends that actually entered a channel *)
   receives_seen : int array;
@@ -53,6 +62,7 @@ val execute :
   ?trace:Obs.Trace.t ->
   ?prefix:(int * int) list ->
   ?round0:round0_mode ->
+  ?wal:Runtime.Wal.config ->
   config:Config.t ->
   inputs:Geometry.Vec.t array ->
   crash:Runtime.Crash.plan array ->
@@ -70,6 +80,18 @@ val execute :
     deterministic in (config, inputs, crash, scheduler, seed), so the
     recorded trace is byte-identical across re-runs and across
     parallel-pool sizes.
+
+    {b Crash recovery.} When any plan is {!Runtime.Crash.Crash_recover}
+    (or [wal] is given explicitly), every process keeps a
+    {!Runtime.Wal} of its state-bearing deliveries ({!Recovery.event})
+    with interleaved checkpoints, synced before every send and before
+    deciding. A crashing process's log is truncated by the plan's
+    disk-prefix choice; at revival the process replays the surviving
+    prefix with sends muted, re-broadcasts its current round message,
+    and broadcasts [Rejoin] — live processes answer directly with
+    their round-0 knowledge and any round messages the rejoiner may
+    have missed. Trace events are deduplicated across replay, so
+    recovered executions still produce byte-identical transcripts.
     @raise Invalid_argument on malformed inputs (wrong count,
     dimension, or out-of-range coordinates). *)
 

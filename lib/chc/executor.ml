@@ -13,12 +13,15 @@ type spec = Scenario.t = {
   round0 : Cc.round0_mode;
   prefix : (int * int) list;
   kernel : Numeric.Kernel.mode option;
+  wal : Runtime.Wal.config option;
 }
 
 type report = {
   spec : spec;
   result : Cc.result;
   faulty : int list;
+  recovered : int list;
+  decision_stable : bool;
   correct_hull : Polytope.t;
   terminated : bool;
   valid : bool;
@@ -103,6 +106,7 @@ let sim_of_metrics (m : Runtime.Sim.metrics) : Obs.Report.sim =
     dropped = m.Runtime.Sim.dropped;
     delivered = m.Runtime.Sim.delivered;
     dead_lettered = m.Runtime.Sim.dead_lettered;
+    recoveries = m.Runtime.Sim.recoveries;
     steps = m.Runtime.Sim.steps }
 
 let observe ?trace ?witnesses report =
@@ -114,30 +118,43 @@ let observe ?trace ?witnesses report =
     ()
 
 let run_graded ?trace spec =
-  let { config; inputs; crash; scheduler; seed; round0; prefix; kernel = _ } =
+  let { config; inputs; crash; scheduler; seed; round0; prefix; kernel = _;
+        wal } =
     spec
   in
   let result =
-    Cc.execute ?trace ~prefix ~round0 ~config ~inputs ~crash ~scheduler ~seed ()
+    Cc.execute ?trace ~prefix ~round0 ?wal ~config ~inputs ~crash ~scheduler
+      ~seed ()
   in
   let n = config.Config.n in
   let faulty = Cc.fault_set crash in
   let fault_free =
     List.filter (fun i -> not (List.mem i faulty)) (List.init n Fun.id)
   in
+  (* A process that crashed but recovered must behave like a correct
+     (slow) process: the paper properties are graded over the
+     fault-free *and* recovered processes. The Iz / optimality checks
+     below keep the plan-based faulty set — the containment argument
+     is about which inputs the adversary controls, and a recovered
+     process's input was never adversarial. *)
+  let recovered =
+    List.filter (fun i -> result.Cc.recovered.(i)) (List.init n Fun.id)
+  in
+  let graded = List.sort compare (fault_free @ recovered) in
+  let decision_stable = result.Cc.redecided = [] in
   let grade name f =
     if Obs.Prof.enabled () then Obs.Prof.with_span ("grade." ^ name) f
     else f ()
   in
-  let correct_inputs = List.map (fun i -> inputs.(i)) fault_free in
+  let correct_inputs = List.map (fun i -> inputs.(i)) graded in
   let correct_hull =
     grade "hulls" @@ fun () ->
     Polytope.of_points ~dim:config.Config.d correct_inputs
   in
   let ff_outputs =
-    List.filter_map (fun i -> result.Cc.outputs.(i)) fault_free
+    List.filter_map (fun i -> result.Cc.outputs.(i)) graded
   in
-  let terminated = List.length ff_outputs = List.length fault_free in
+  let terminated = List.length ff_outputs = List.length graded in
   let valid =
     grade "validity" @@ fun () ->
     List.for_all (fun h -> Polytope.subset h correct_hull) ff_outputs
@@ -185,8 +202,9 @@ let run_graded ?trace spec =
   let iz_volume =
     grade "volume" @@ fun () -> Option.bind iz Polytope.volume
   in
-  { spec; result; faulty; correct_hull; terminated; valid; valid_all_inputs;
-    agreement2; agreement_ok; iz; optimal; min_output_volume; iz_volume }
+  { spec; result; faulty; recovered; decision_stable; correct_hull;
+    terminated; valid; valid_all_inputs; agreement2; agreement_ok; iz;
+    optimal; min_output_volume; iz_volume }
 
 (* A scenario with a pinned kernel executes (and grades) under it;
    otherwise the ambient default applies. *)

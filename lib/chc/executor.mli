@@ -9,7 +9,14 @@
     - {b ε-agreement}: the max pairwise Hausdorff distance between
       fault-free outputs, certified as [d_H² < ε²] in rationals;
     - {b optimality}: [I_Z ⊆ h_i[t]] for all fault-free [i] and rounds
-      [t] (Lemma 6 / Theorem 3). *)
+      [t] (Lemma 6 / Theorem 3).
+
+    In crash-recovery mode, termination / validity / agreement are
+    graded over the fault-free {e and recovered} processes — a
+    recovered process must behave like a correct slow one — plus a
+    {b decision stability} check: no process may change a decision it
+    already externalized. Optimality keeps the plan-based faulty set
+    (it reasons about which inputs the adversary controlled). *)
 
 module Q = Numeric.Q
 
@@ -22,6 +29,7 @@ type spec = Scenario.t = {
   round0 : Cc.round0_mode;
   prefix : (int * int) list;
   kernel : Numeric.Kernel.mode option;
+  wal : Runtime.Wal.config option;
 }
 (** A re-export of {!Scenario.t}: the executor's input {e is} the
     serializable scenario type, so anything runnable here can be saved,
@@ -31,6 +39,11 @@ type report = {
   spec : spec;
   result : Cc.result;
   faulty : int list;
+  recovered : int list;
+    (** processes that crashed and were revived — graded as correct *)
+  decision_stable : bool;
+    (** no process changed an externalized decision
+        ([result.redecided = []]) *)
   correct_hull : Geometry.Polytope.t;
   terminated : bool;
   valid : bool;

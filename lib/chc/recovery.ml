@@ -1,0 +1,226 @@
+module Json = Codec.Json
+module Q = Numeric.Q
+module Vec = Geometry.Vec
+module Polytope = Geometry.Polytope
+module SV = Protocol.Stable_vector
+
+type payload =
+  | Sv_view of (int * Vec.t) list
+  | Input of Vec.t
+  | Round_msg of int * Polytope.t
+
+type snapshot = {
+  current : int;
+  h : Polytope.t option;
+  view : (int * Vec.t) list option;
+  hist : (int * Polytope.t) list;
+  snd_log : (int * int list) list;
+  sent_log : (int * bool) list;
+  rounds : (int * (int * Polytope.t) list * bool) list;
+  naive0 : (int * (int * Vec.t) list * bool) list;
+  sv : Vec.t SV.snapshot option;
+}
+
+type event =
+  | Delivered of { src : int; payload : payload }
+  | Checkpoint of snapshot
+
+(* --- JSON (exact: rationals as strings, canonical order) -------------- *)
+
+let q_json q = Json.Str (Q.to_string q)
+let vec_json v = Json.List (Array.to_list v |> List.map q_json)
+let poly_json h = Json.List (List.map vec_json (Polytope.vertices h))
+
+let pair_json f (k, v) = Json.List [ Json.Int k; f v ]
+
+let entries_json entries = Json.List (List.map (pair_json vec_json) entries)
+
+let table_json value_json rounds =
+  Json.List
+    (List.map
+       (fun (round, arrivals, frozen) ->
+          Json.List
+            [ Json.Int round;
+              Json.List (List.map (pair_json value_json) arrivals);
+              Json.Bool frozen ])
+       rounds)
+
+let opt_json f = function None -> Json.Null | Some v -> f v
+
+let payload_json = function
+  | Sv_view entries ->
+    Json.Obj [ ("kind", Json.Str "sv"); ("entries", entries_json entries) ]
+  | Input x -> Json.Obj [ ("kind", Json.Str "input"); ("x", vec_json x) ]
+  | Round_msg (t, h) ->
+    Json.Obj
+      [ ("kind", Json.Str "round"); ("t", Json.Int t); ("h", poly_json h) ]
+
+let sv_json (s : Vec.t SV.snapshot) =
+  Json.Obj
+    [ ("view", entries_json s.SV.snap_view);
+      ( "votes",
+        Json.List
+          (List.map
+             (fun (view, senders) ->
+                Json.List
+                  [ entries_json view;
+                    Json.List (List.map (fun i -> Json.Int i) senders) ])
+             s.SV.snap_votes) );
+      ("stable", opt_json entries_json s.SV.snap_stable) ]
+
+let snapshot_json s =
+  Json.Obj
+    [ ("current", Json.Int s.current);
+      ("h", opt_json poly_json s.h);
+      ("view", opt_json entries_json s.view);
+      ("hist", Json.List (List.map (pair_json poly_json) s.hist));
+      ( "snd",
+        Json.List
+          (List.map
+             (pair_json (fun ids -> Json.List (List.map (fun i -> Json.Int i) ids)))
+             s.snd_log) );
+      ( "sent",
+        Json.List (List.map (pair_json (fun b -> Json.Bool b)) s.sent_log) );
+      ("rounds", table_json poly_json s.rounds);
+      ("naive0", table_json vec_json s.naive0);
+      ("sv", opt_json sv_json s.sv) ]
+
+let event_to_json = function
+  | Delivered { src; payload } ->
+    Json.Obj
+      [ ("ev", Json.Str "delivered"); ("src", Json.Int src);
+        ("payload", payload_json payload) ]
+  | Checkpoint s ->
+    Json.Obj [ ("ev", Json.Str "checkpoint"); ("state", snapshot_json s) ]
+
+let event_to_string e = Json.to_string (event_to_json e)
+
+let ( let* ) r f = Result.bind r f
+
+let q_of_json j =
+  let* s = Json.to_str j in
+  match Q.of_string s with
+  | q -> Ok q
+  | exception (Invalid_argument _ | Failure _) ->
+    Error (Printf.sprintf "%S is not a rational" s)
+
+let vec_of_json j =
+  let* l = Json.to_list j in
+  let* coords = Json.map_result q_of_json l in
+  Ok (Array.of_list coords)
+
+let poly_of_json ~dim j =
+  let* l = Json.to_list j in
+  let* pts = Json.map_result vec_of_json l in
+  match Polytope.of_points ~dim pts with
+  | h -> Ok h
+  | exception Invalid_argument msg -> Error msg
+
+let pair_of_json f j =
+  let* l = Json.to_list j in
+  match l with
+  | [ k; v ] ->
+    let* k = Json.to_int k in
+    let* v = f v in
+    Ok (k, v)
+  | _ -> Error "expected a [key, value] pair"
+
+let entries_of_json j =
+  let* l = Json.to_list j in
+  Json.map_result (pair_of_json vec_of_json) l
+
+let opt_of_json f = function Json.Null -> Ok None | j -> Result.map Option.some (f j)
+
+let bool_of_json = function
+  | Json.Bool b -> Ok b
+  | _ -> Error "expected a boolean"
+
+let table_of_json value_of_json j =
+  let* l = Json.to_list j in
+  Json.map_result
+    (fun row ->
+       let* l = Json.to_list row in
+       match l with
+       | [ round; arrivals; frozen ] ->
+         let* round = Json.to_int round in
+         let* al = Json.to_list arrivals in
+         let* arrivals = Json.map_result (pair_of_json value_of_json) al in
+         let* frozen = bool_of_json frozen in
+         Ok (round, arrivals, frozen)
+       | _ -> Error "expected a [round, arrivals, frozen] row")
+    l
+
+let payload_of_json ~dim j =
+  let* kind = Json.str_field "kind" j in
+  match kind with
+  | "sv" ->
+    let* entries = Result.bind (Json.field "entries" j) entries_of_json in
+    Ok (Sv_view entries)
+  | "input" ->
+    let* x = Result.bind (Json.field "x" j) vec_of_json in
+    Ok (Input x)
+  | "round" ->
+    let* t = Json.int_field "t" j in
+    let* h = Result.bind (Json.field "h" j) (poly_of_json ~dim) in
+    Ok (Round_msg (t, h))
+  | k -> Error (Printf.sprintf "unknown wal payload kind %S" k)
+
+let sv_of_json j =
+  let* view = Result.bind (Json.field "view" j) entries_of_json in
+  let* votes =
+    let* l = Json.list_field "votes" j in
+    Json.map_result
+      (fun row ->
+         let* l = Json.to_list row in
+         match l with
+         | [ view; senders ] ->
+           let* view = entries_of_json view in
+           let* sl = Json.to_list senders in
+           let* senders = Json.map_result Json.to_int sl in
+           Ok (view, senders)
+         | _ -> Error "expected a [view, senders] vote row")
+      l
+  in
+  let* stable = Result.bind (Json.field "stable" j) (opt_of_json entries_of_json) in
+  Ok { SV.snap_view = view; snap_votes = votes; snap_stable = stable }
+
+let snapshot_of_json ~dim j =
+  let* current = Json.int_field "current" j in
+  let* h = Result.bind (Json.field "h" j) (opt_of_json (poly_of_json ~dim)) in
+  let* view = Result.bind (Json.field "view" j) (opt_of_json entries_of_json) in
+  let* hist =
+    let* l = Json.list_field "hist" j in
+    Json.map_result (pair_of_json (poly_of_json ~dim)) l
+  in
+  let* snd_log =
+    let* l = Json.list_field "snd" j in
+    Json.map_result
+      (pair_of_json (fun ids ->
+           let* l = Json.to_list ids in
+           Json.map_result Json.to_int l))
+      l
+  in
+  let* sent_log =
+    let* l = Json.list_field "sent" j in
+    Json.map_result (pair_of_json bool_of_json) l
+  in
+  let* rounds = Result.bind (Json.field "rounds" j) (table_of_json (poly_of_json ~dim)) in
+  let* naive0 = Result.bind (Json.field "naive0" j) (table_of_json vec_of_json) in
+  let* sv = Result.bind (Json.field "sv" j) (opt_of_json sv_of_json) in
+  Ok { current; h; view; hist; snd_log; sent_log; rounds; naive0; sv }
+
+let event_of_json ~dim j =
+  let* ev = Json.str_field "ev" j in
+  match ev with
+  | "delivered" ->
+    let* src = Json.int_field "src" j in
+    let* payload = Result.bind (Json.field "payload" j) (payload_of_json ~dim) in
+    Ok (Delivered { src; payload })
+  | "checkpoint" ->
+    let* s = Result.bind (Json.field "state" j) (snapshot_of_json ~dim) in
+    Ok (Checkpoint s)
+  | k -> Error (Printf.sprintf "unknown wal event kind %S" k)
+
+let event_of_string ~dim s =
+  let* j = Json.of_string s in
+  event_of_json ~dim j

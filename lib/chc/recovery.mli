@@ -1,0 +1,49 @@
+(** The durable round-event vocabulary of Algorithm CC's
+    crash-recovery mode — what a process's {!Runtime.Wal} records.
+
+    One {!event} is appended per state-bearing delivery (stable-vector
+    views, naive round-0 inputs, round-[t] polytopes — rejoin requests
+    are stateless and are not logged), and a {!Checkpoint} carrying a
+    full protocol-state {!snapshot} is interleaved every
+    [checkpoint_every] entries. Replay restores the last surviving
+    checkpoint (or re-runs the start handler with sends muted) and
+    re-applies the deliveries logged after it; the surviving prefix is
+    chosen by the disk-prefix adversary ({!Runtime.Wal.crash}).
+
+    The JSON codec is exact (rationals as ["num/den"] strings,
+    polytopes as vertex lists) so persisted logs round-trip; decoding
+    needs the scenario's dimension to rebuild polytopes. *)
+
+type payload =
+  | Sv_view of (int * Geometry.Vec.t) list
+      (** a received stable-vector view ({!Protocol.Stable_vector.msg_entries}) *)
+  | Input of Geometry.Vec.t     (** a naive round-0 input broadcast *)
+  | Round_msg of int * Geometry.Polytope.t
+      (** a round-[t] message carrying the sender's [h[t-1]] *)
+
+type snapshot = {
+  current : int;                              (** round counter *)
+  h : Geometry.Polytope.t option;             (** current polytope *)
+  view : (int * Geometry.Vec.t) list option;  (** stable round-0 view *)
+  hist : (int * Geometry.Polytope.t) list;    (** (t, h[t]), oldest first *)
+  snd_log : (int * int list) list;            (** frozen sender sets *)
+  sent_log : (int * bool) list;               (** per-round "send escaped" *)
+  rounds : (int * (int * Geometry.Polytope.t) list * bool) list;
+      (** {!Protocol.Rounds.dump} of the round-[t] arrival table *)
+  naive0 : (int * (int * Geometry.Vec.t) list * bool) list;
+      (** likewise for the naive round-0 table *)
+  sv : Geometry.Vec.t Protocol.Stable_vector.snapshot option;
+      (** stable-vector internals (view, votes, stability) *)
+}
+
+type event =
+  | Delivered of { src : int; payload : payload }
+  | Checkpoint of snapshot
+
+val event_to_json : event -> Codec.Json.t
+val event_of_json : dim:int -> Codec.Json.t -> (event, string) result
+
+val event_to_string : event -> string
+(** Canonical single-line JSON — the {!Runtime.Wal.persist} encoder. *)
+
+val event_of_string : dim:int -> string -> (event, string) result

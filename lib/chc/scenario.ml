@@ -17,12 +17,19 @@ type t = {
       (* [None]: run under the ambient default. [Some m]: the executor
          pins the arithmetic kernel, so replayed artifacts re-run under
          the kernel that produced the original finding. *)
+  wal : Runtime.Wal.config option;
+      (* [None]: recovery mode arms itself (with the default WAL
+         config) iff any plan is [Crash_recover]. [Some c]: force the
+         WAL on with this config — how the fuzzer injects the
+         [Unsound] sync mode. *)
 }
 
-let version = 1
+let version = 2
+
+let oldest_readable_version = 1
 
 let make ~config ~inputs ~crash ~scheduler ~seed ?(round0 = `Stable_vector)
-    ?(prefix = []) ?kernel () =
+    ?(prefix = []) ?kernel ?wal () =
   let n = config.Config.n in
   if Array.length inputs <> n then invalid_arg "Scenario.make: need n inputs";
   Array.iter (Config.validate_input config) inputs;
@@ -32,7 +39,11 @@ let make ~config ~inputs ~crash ~scheduler ~seed ?(round0 = `Stable_vector)
        if src < 0 || src >= n || dst < 0 || dst >= n then
          invalid_arg "Scenario.make: prefix channel out of range")
     prefix;
-  { config; inputs; crash; scheduler; seed; round0; prefix; kernel }
+  (match wal with
+   | Some c when c.Runtime.Wal.checkpoint_every < 1 ->
+     invalid_arg "Scenario.make: checkpoint_every must be >= 1"
+   | _ -> ());
+  { config; inputs; crash; scheduler; seed; round0; prefix; kernel; wal }
 
 let random_inputs ~config ~rng ?(grid = 1000) () =
   let { Config.n; d; lo; hi; _ } = config in
@@ -59,7 +70,8 @@ let ensure_crashes t =
         ~receives:probe.Cc.receives_seen }
 
 let default ~config ~seed ?faulty ?(scheduler = Scheduler.random_uniform)
-    ?(round0 = `Stable_vector) ?(max_budget = 60) ?(ensure_crash = false) () =
+    ?(round0 = `Stable_vector) ?(max_budget = 60) ?(ensure_crash = false)
+    ?wal () =
   let rng = Rng.create seed in
   let faulty =
     match faulty with
@@ -72,7 +84,7 @@ let default ~config ~seed ?faulty ?(scheduler = Scheduler.random_uniform)
   in
   let t =
     { config; inputs; crash; scheduler; seed; round0; prefix = [];
-      kernel = None }
+      kernel = None; wal }
   in
   if ensure_crash then ensure_crashes t else t
 
@@ -91,6 +103,12 @@ let describe t =
   ^ (match t.kernel with
      | None -> ""
      | Some m -> " kernel=" ^ Numeric.Kernel.to_string m)
+  ^ (match t.wal with
+     | None -> ""
+     | Some c ->
+       Printf.sprintf " wal=%s/ckpt-%d"
+         (Runtime.Wal.sync_mode_to_string c.Runtime.Wal.sync)
+         c.Runtime.Wal.checkpoint_every)
 
 (* --- JSON ------------------------------------------------------------- *)
 
@@ -104,6 +122,23 @@ let plan_json = function
     Json.Obj [ ("kind", Json.Str "after-sends"); ("budget", Json.Int k) ]
   | Crash.After_receives k ->
     Json.Obj [ ("kind", Json.Str "after-receives"); ("budget", Json.Int k) ]
+  | Crash.Crash_recover { trigger; delay; keep } ->
+    let trig, budget =
+      match trigger with
+      | Crash.Sends k -> ("sends", k)
+      | Crash.Receives k -> ("receives", k)
+    in
+    Json.Obj
+      [ ("kind", Json.Str "crash-recover");
+        ("trigger", Json.Str trig);
+        ("budget", Json.Int budget);
+        ("delay", Json.Int delay);
+        ("keep", Json.Int keep) ]
+
+let wal_json (c : Runtime.Wal.config) =
+  Json.Obj
+    [ ("checkpoint-every", Json.Int c.Runtime.Wal.checkpoint_every);
+      ("sync", Json.Str (Runtime.Wal.sync_mode_to_string c.Runtime.Wal.sync)) ]
 
 let to_json t =
   let { Config.n; f; d; eps; lo; hi } = t.config in
@@ -135,7 +170,13 @@ let to_json t =
         strings are unchanged (still version 1). *)
      (match t.kernel with
       | None -> []
-      | Some m -> [ ("kernel", Json.Str (Numeric.Kernel.to_string m)) ]))
+      | Some m -> [ ("kernel", Json.Str (Numeric.Kernel.to_string m)) ])
+     @
+     (* Likewise omitted when unset: recovery mode then arms itself
+        from the crash plans alone. *)
+     (match t.wal with
+      | None -> []
+      | Some c -> [ ("wal", wal_json c) ]))
 
 let ( let* ) r f = Result.bind r f
 
@@ -161,7 +202,30 @@ let plan_of_json j =
   | "after-receives" ->
     let* k = Json.int_field "budget" j in
     if k < 0 then Error "negative crash budget" else Ok (Crash.After_receives k)
+  | "crash-recover" ->
+    let* trig = Json.str_field "trigger" j in
+    let* budget = Json.int_field "budget" j in
+    let* delay = Json.int_field "delay" j in
+    let* keep = Json.int_field "keep" j in
+    if budget < 0 then Error "negative crash budget"
+    else if delay < 0 then Error "negative recovery delay"
+    else if keep < 0 then Error "negative disk-prefix keep"
+    else
+      let* trigger =
+        match trig with
+        | "sends" -> Ok (Crash.Sends budget)
+        | "receives" -> Ok (Crash.Receives budget)
+        | s -> Error (Printf.sprintf "unknown crash-recover trigger %S" s)
+      in
+      Ok (Crash.Crash_recover { trigger; delay; keep })
   | k -> Error (Printf.sprintf "unknown crash plan kind %S" k)
+
+let wal_of_json j =
+  let* k = Json.int_field "checkpoint-every" j in
+  let* s = Json.str_field "sync" j in
+  let* sync = Runtime.Wal.sync_mode_of_string s in
+  if k < 1 then Error "checkpoint-every must be >= 1"
+  else Ok { Runtime.Wal.checkpoint_every = k; sync }
 
 let channel_of_json j =
   let* l = Json.to_list j in
@@ -174,10 +238,11 @@ let channel_of_json j =
 
 let of_json j =
   let* v = Json.int_field "version" j in
-  if v <> version then
+  if v < oldest_readable_version || v > version then
     Error
-      (Printf.sprintf "scenario version %d unsupported (this build reads %d)" v
-         version)
+      (Printf.sprintf
+         "scenario version %d unsupported (this build reads %d-%d)" v
+         oldest_readable_version version)
   else
     let* cj = Json.field "config" j in
     let* n = Json.int_field "n" cj in
@@ -220,9 +285,17 @@ let of_json j =
         let* m = Numeric.Kernel.parse s in
         Ok (Some m)
     in
+    (* v2 additions: absent in v1 files (and v1 files cannot carry
+       crash-recover plans, which only this version writes). *)
+    let* wal =
+      match Json.member "wal" j with
+      | None -> Ok None
+      | Some wj -> Result.map Option.some (wal_of_json wj)
+    in
     match
       make ~config ~inputs:(Array.of_list inputs)
-        ~crash:(Array.of_list crash) ~scheduler ~seed ~round0 ~prefix ?kernel ()
+        ~crash:(Array.of_list crash) ~scheduler ~seed ~round0 ~prefix ?kernel
+        ?wal ()
     with
     | t -> Ok t
     | exception Invalid_argument msg -> Error msg

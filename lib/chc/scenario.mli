@@ -33,10 +33,22 @@ type t = {
           pin [m], so replay artifacts rerun under the kernel that
           produced the finding. Serialized only when set, keeping
           pre-kernel artifacts byte-identical. *)
+  wal : Runtime.Wal.config option;
+      (** write-ahead-log configuration for crash-recovery mode.
+          [None] (the default, and the only v1 value): recovery arms
+          itself with {!Runtime.Wal.default_config} iff any plan is
+          {!Runtime.Crash.Crash_recover}. [Some c] forces the WAL on
+          with [c] — the fuzzer's lever for injecting the deliberately
+          broken [Unsound] sync mode. Serialized only when set. *)
 }
 
 val version : int
-(** The serialization format version this build reads and writes. *)
+(** The serialization format version this build writes (2 — adds
+    crash-recover plans and the optional [wal] field). *)
+
+val oldest_readable_version : int
+(** Oldest version {!of_json} still accepts (1 — pre-recovery
+    artifacts load unchanged). *)
 
 val make :
   config:Config.t ->
@@ -47,12 +59,14 @@ val make :
   ?round0:Cc.round0_mode ->
   ?prefix:(int * int) list ->
   ?kernel:Numeric.Kernel.mode ->
+  ?wal:Runtime.Wal.config ->
   unit ->
   t
 (** Validated construction. [round0] defaults to [`Stable_vector],
-    [prefix] to [[]], [kernel] to unset (ambient default).
+    [prefix] to [[]], [kernel] and [wal] to unset.
     @raise Invalid_argument on wrong array lengths, out-of-range
-    inputs, or out-of-range prefix channels. *)
+    inputs, out-of-range prefix channels, or a WAL config with
+    [checkpoint_every < 1]. *)
 
 val default :
   config:Config.t ->
@@ -62,6 +76,7 @@ val default :
   ?round0:Cc.round0_mode ->
   ?max_budget:int ->
   ?ensure_crash:bool ->
+  ?wal:Runtime.Wal.config ->
   unit ->
   t
 (** A randomized scenario: random inputs, random crash budgets for the

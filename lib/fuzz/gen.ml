@@ -14,6 +14,11 @@ type space = {
   naive_round0 : [ `Never | `Sometimes | `Always ];
   max_budget : int;
   ensure_crash : bool;
+  recover : [ `Never | `Sometimes | `Always ];
+  max_recover_delay : int;
+  max_keep : int;
+  checkpoint_choices : int list;
+  unsound_sync : bool;
 }
 
 let default_space =
@@ -24,12 +29,17 @@ let default_space =
     grids = [ 4; 16; 1000 ];
     scheduler_specs =
       [ "random"; "round-robin"; "lifo"; "lag:@faulty"; "delay-burst:7";
-        "delay-burst:40"; "stab-boundary"; "swarm:random+stab-boundary";
-        "swarm:delay-burst:11+lifo" ];
+        "delay-burst:40"; "stab-boundary"; "starve:@faulty";
+        "swarm:random+stab-boundary"; "swarm:delay-burst:11+lifo" ];
     receive_crashes = true;
     naive_round0 = `Never;
     max_budget = 40;
-    ensure_crash = true }
+    ensure_crash = true;
+    recover = `Sometimes;
+    max_recover_delay = 40;
+    max_keep = 4;
+    checkpoint_choices = [ 1; 2; 4; 8 ];
+    unsound_sync = false }
 
 let choose rng l = List.nth l (Rng.int rng (List.length l))
 
@@ -75,6 +85,11 @@ let scenario space ~seed ~trial =
      set and all hulls collapse to equality; divergence needs spare
      live senders). *)
   let crashers = Rng.int rng (f + 1) in
+  (* A recovery-focused space needs crashes to recover from. *)
+  let crashers =
+    if space.recover = `Always && f > 0 then Stdlib.max crashers 1
+    else crashers
+  in
   let faulty =
     take crashers (Rng.shuffle rng (List.init n Fun.id)) |> List.sort compare
   in
@@ -82,11 +97,44 @@ let scenario space ~seed ~trial =
   List.iter
     (fun i ->
        let budget = Rng.int rng (space.max_budget + 1) in
+       let recovers =
+         match space.recover with
+         | `Never -> false
+         | `Always -> true
+         | `Sometimes -> Rng.int rng 3 = 0
+       in
        crash.(i) <-
-         (if space.receive_crashes && Rng.bool rng then
+         (if recovers then
+            let trigger =
+              if space.receive_crashes && Rng.bool rng then
+                Crash.Receives budget
+              else Crash.Sends budget
+            in
+            Crash.Crash_recover
+              { trigger;
+                delay = Rng.int rng (space.max_recover_delay + 1);
+                keep = Rng.int rng (space.max_keep + 1) }
+          else if space.receive_crashes && Rng.bool rng then
             Crash.After_receives budget
           else Crash.After_sends budget))
     faulty;
+  let has_recover =
+    Array.exists
+      (function Crash.Crash_recover _ -> true | _ -> false)
+      crash
+  in
+  (* The WAL config is sampled when recovery is in play: always under
+     [unsound_sync] (the teeth-demo space), else half the time (the
+     other half exercises the plan-armed default config). *)
+  let wal =
+    if space.unsound_sync || (has_recover && Rng.bool rng) then
+      Some
+        { Runtime.Wal.checkpoint_every = choose rng space.checkpoint_choices;
+          sync =
+            (if space.unsound_sync then Runtime.Wal.Unsound
+             else Runtime.Wal.Strict) }
+    else None
+  in
   let round0 =
     match space.naive_round0 with
     | `Never -> `Stable_vector
@@ -101,6 +149,7 @@ let scenario space ~seed ~trial =
   in
   let sim_seed = Rng.int rng 1_000_000 in
   let t =
-    Chc.Scenario.make ~config ~inputs ~crash ~scheduler ~seed:sim_seed ~round0 ()
+    Chc.Scenario.make ~config ~inputs ~crash ~scheduler ~seed:sim_seed ~round0
+      ?wal ()
   in
   if space.ensure_crash then Chc.Scenario.ensure_crashes t else t

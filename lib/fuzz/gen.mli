@@ -35,6 +35,23 @@ type space = {
       (** clamp sampled budgets so every faulty plan actually fires
           ({!Chc.Scenario.ensure_crashes}) — costs one probe execution
           per trial *)
+  recover : [ `Never | `Sometimes | `Always ];
+      (** sample {!Runtime.Crash.Crash_recover} plans (crash, then
+          revive and rejoin from the write-ahead log): never / about
+          one crasher in three / every crasher *)
+  max_recover_delay : int;
+      (** revival delay drawn uniformly from [0..max_recover_delay]
+          scheduler steps *)
+  max_keep : int;
+      (** the disk-prefix adversary's [keep] (unsynced WAL entries that
+          survive the crash), drawn from [0..max_keep] *)
+  checkpoint_choices : int list;
+      (** WAL checkpoint intervals to sample from when a config is
+          generated *)
+  unsound_sync : bool;
+      (** force every sampled WAL config to the deliberately broken
+          [Unsound] sync mode — the teeth-demo space: the oracle must
+          catch the resulting durability violations *)
 }
 
 val default_space : space

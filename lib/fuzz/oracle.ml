@@ -52,6 +52,8 @@ let grade oracle (report : Chc.Executor.report) =
       Fail "termination: a fault-free process never decided"
     else if not report.Chc.Executor.valid then
       Fail "validity: an output leaves the hull of correct inputs"
+    else if not report.Chc.Executor.decision_stable then
+      Fail "durability: a recovered process changed its externalized decision"
     else if not report.Chc.Executor.agreement_ok then
       Fail
         (Printf.sprintf "agreement: d_H^2 = %s >= eps^2"

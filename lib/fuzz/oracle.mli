@@ -17,7 +17,10 @@ module Q = Numeric.Q
 
 type t =
   | Paper_properties
-      (** all four properties of the paper, graded exactly *)
+      (** all four properties of the paper, graded exactly — over the
+          fault-free {e and recovered} processes in crash-recovery
+          mode, plus decision stability (no recovered process may
+          change a decision it externalized before crashing) *)
   | Agreement_within of Q.t
       (** termination plus [d_H² < eps²] for the given [eps],
           ignoring the scenario's configured ε *)

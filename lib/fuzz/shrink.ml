@@ -6,10 +6,11 @@ module Config = Chc.Config
 
 (* Rebuild a candidate through Scenario.make so anything structurally
    invalid (resilience bound, ranges) is skipped, not executed. *)
-let build (t : Scenario.t) ~config ~inputs ~crash ~prefix =
+let build ?wal (t : Scenario.t) ~config ~inputs ~crash ~prefix =
+  let wal = match wal with Some w -> w | None -> t.Scenario.wal in
   match
     Scenario.make ~config ~inputs ~crash ~scheduler:t.Scenario.scheduler
-      ~seed:t.seed ~round0:t.round0 ~prefix ?kernel:t.kernel ()
+      ~seed:t.seed ~round0:t.round0 ~prefix ?kernel:t.kernel ?wal ()
   with
   | s -> Some s
   | exception Invalid_argument _ -> None
@@ -115,8 +116,54 @@ let later_crash (t : Scenario.t) =
        match t.crash.(i) with
        | Crash.Never -> None
        | Crash.After_sends k -> bump k (fun k -> Crash.After_sends k)
-       | Crash.After_receives k -> bump k (fun k -> Crash.After_receives k))
+       | Crash.After_receives k -> bump k (fun k -> Crash.After_receives k)
+       | Crash.Crash_recover { trigger = Crash.Sends k; delay; keep } ->
+         bump k (fun k ->
+             Crash.Crash_recover { trigger = Crash.Sends k; delay; keep })
+       | Crash.Crash_recover { trigger = Crash.Receives k; delay; keep } ->
+         bump k (fun k ->
+             Crash.Crash_recover { trigger = Crash.Receives k; delay; keep }))
     (List.init n Fun.id)
+
+(* Recovery-specific shrinks: a finding that survives with the
+   recovery machinery tamed (crash-stop instead of crash-recover, more
+   surviving log, no forced WAL config) is a simpler finding. *)
+let tame_recover (t : Scenario.t) =
+  let n = Array.length t.crash in
+  List.concat_map
+    (fun i ->
+       match t.crash.(i) with
+       | Crash.Crash_recover { trigger; delay; keep } ->
+         let with_plan plan =
+           let crash = Array.copy t.crash in
+           crash.(i) <- plan;
+           build t ~config:t.config ~inputs:t.inputs ~crash ~prefix:t.prefix
+         in
+         List.filter_map Fun.id
+           [ (* crash-stop with the same trigger *)
+             with_plan
+               (match trigger with
+                | Crash.Sends k -> Crash.After_sends k
+                | Crash.Receives k -> Crash.After_receives k);
+             (* recover immediately *)
+             (if delay > 0 then
+                with_plan (Crash.Crash_recover { trigger; delay = 0; keep })
+              else None);
+             (* let more of the unsynced log survive *)
+             (if keep < 64 then
+                with_plan
+                  (Crash.Crash_recover { trigger; delay; keep = keep + 8 })
+              else None) ]
+       | _ -> [])
+    (List.init n Fun.id)
+
+let drop_wal (t : Scenario.t) =
+  match t.Scenario.wal with
+  | None -> []
+  | Some _ ->
+    Option.to_list
+      (build ~wal:None t ~config:t.config ~inputs:t.inputs ~crash:t.crash
+         ~prefix:t.prefix)
 
 let shrink_prefix (t : Scenario.t) =
   match t.prefix with
@@ -138,8 +185,8 @@ let shrink_prefix (t : Scenario.t) =
 
 let candidates t =
   List.concat
-    [ drop_crash t; reduce_n t; reduce_f t; reduce_d t; coarsen t;
-      later_crash t; shrink_prefix t ]
+    [ drop_crash t; tame_recover t; drop_wal t; reduce_n t; reduce_f t;
+      reduce_d t; coarsen t; later_crash t; shrink_prefix t ]
 
 type stats = { steps : int; attempts : int }
 

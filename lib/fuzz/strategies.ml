@@ -48,6 +48,23 @@ let stab_boundary =
     Hashtbl.replace counts c.Scheduler.dst (count c.Scheduler.dst + 1);
     c
 
+(* Starve a fixed set of destinations: deliveries TO the listed
+   processes are postponed whenever any other channel is non-empty.
+   Built to attack crash-recovery rejoin — a recovering process's
+   state-transfer answers are exactly deliveries to it, so starving it
+   maximizes the window in which it runs on replayed state alone.
+   Quiescence still drains the starved channels eventually (when only
+   they remain), so the adversary delays, never loses, messages. *)
+let starve ~ids =
+  let params = String.concat "," (List.map string_of_int ids) in
+  Scheduler.make ~name:"starve" ~params @@ fun () ->
+  fun ~rng ~step:_ ~candidates ->
+  let pool =
+    List.filter (fun (c, _) -> not (List.mem c.Scheduler.dst ids)) candidates
+  in
+  let pool = if pool = [] then candidates else pool in
+  nth_channel pool (Rng.int rng (List.length pool))
+
 (* A random mixture: each step one sub-strategy (uniform rng choice)
    makes the pick. Stateful sub-strategies keep their state across
    steps — the swarm instantiates each exactly once per execution. *)
@@ -92,6 +109,22 @@ let register_builtin () =
          | Some k when k > 0 -> Ok (delay_burst ~period:k)
          | Some _ | None ->
            Error (Printf.sprintf "period must be a positive integer (got %S)" p)));
+  Scheduler.register ~name:"starve" (fun p ->
+      let parts =
+        String.split_on_char ',' p |> List.map String.trim
+        |> List.filter (fun s -> s <> "")
+      in
+      let rec go acc = function
+        | [] -> Ok (starve ~ids:(List.rev acc))
+        | s :: rest ->
+          (match int_of_string_opt s with
+           | Some i when i >= 0 -> go (i :: acc) rest
+           | Some _ | None ->
+             Error
+               (Printf.sprintf "destination ids must be non-negative \
+                                integers (got %S)" s))
+      in
+      go [] parts);
   Scheduler.register ~name:"stab-boundary" (fun p ->
       match p with
       | "" -> Ok stab_boundary

@@ -21,11 +21,21 @@ val stab_boundary : Runtime.Scheduler.t
     stabilization boundary simultaneously. Stateful: each execution
     gets a fresh counter table, so replay is exact. *)
 
+val starve : ids:int list -> Runtime.Scheduler.t
+(** [starve:i,j,…] — postpone every delivery TO the listed processes
+    while any other channel is non-empty. Built to attack
+    crash-recovery rejoin: a recovering process's state-transfer
+    answers are deliveries to it, so starving it maximizes the window
+    in which it runs on replayed state alone. Still fair in the limit
+    — starved channels drain once only they remain. An empty id list
+    degenerates to uniform random (so [starve:@faulty] is harmless in
+    trials that sampled no faulty set). *)
+
 val swarm : Runtime.Scheduler.t list -> Runtime.Scheduler.t
 (** [swarm:specA+specB+…] — each step a uniformly drawn sub-strategy
     makes the pick. Sub-strategies may not themselves be swarms.
     @raise Invalid_argument on the empty list. *)
 
 val register_builtin : unit -> unit
-(** Register [delay-burst], [stab-boundary] and [swarm] in the
-    {!Runtime.Scheduler} registry. Idempotent. *)
+(** Register [delay-burst], [stab-boundary], [starve] and [swarm] in
+    the {!Runtime.Scheduler} registry. Idempotent. *)

@@ -72,6 +72,11 @@ let of_events ~n events =
             state: the receiver is already crashed. *)
          current_step := step
        | Trace.Drop _ | Trace.Crash _ -> ()
+       | Trace.Recover { pid; _ } ->
+         (* A revival's replay/rejoin sends are caused by the recovery
+            itself, not by the last message delivered before the
+            crash. *)
+         trigger.(pid) <- None
        | Trace.Round_enter { pid; round; _ } ->
          rev_rounds.(pid) <- (round, !current_step) :: rev_rounds.(pid)
        | Trace.Stable { pid; _ } ->

@@ -3,6 +3,7 @@ type sim = {
   dropped : int;
   delivered : int;
   dead_lettered : int;
+  recoveries : int;
   steps : int;
 }
 
@@ -33,8 +34,10 @@ let to_string t =
   p "== observability report ==\n";
   (match t.sim_metrics with
    | Some m ->
-     p "sim      sent=%d delivered=%d dropped=%d dead-lettered=%d steps=%d\n"
-       m.sent m.delivered m.dropped m.dead_lettered m.steps
+     p
+       "sim      sent=%d delivered=%d dropped=%d dead-lettered=%d \
+        recoveries=%d steps=%d\n"
+       m.sent m.delivered m.dropped m.dead_lettered m.recoveries m.steps
    | None -> ());
   (match t.trace_events with
    | Some k -> p "trace    %d events\n" k
@@ -83,8 +86,8 @@ let to_json t =
   (match t.sim_metrics with
    | Some m ->
      p
-       {|"sim":{"sent":%d,"delivered":%d,"dropped":%d,"dead_lettered":%d,"steps":%d},|}
-       m.sent m.delivered m.dropped m.dead_lettered m.steps
+       {|"sim":{"sent":%d,"delivered":%d,"dropped":%d,"dead_lettered":%d,"recoveries":%d,"steps":%d},|}
+       m.sent m.delivered m.dropped m.dead_lettered m.recoveries m.steps
    | None -> p {|"sim":null,|});
   (match t.trace_events with
    | Some k -> p {|"trace_events":%d,|} k

@@ -21,6 +21,7 @@ type sim = {
   dropped : int;
   delivered : int;
   dead_lettered : int;
+  recoveries : int;
   steps : int;
 }
 (** Mirror of [Runtime.Sim.metrics] (kept as a plain record — see the

@@ -1,7 +1,26 @@
+exception Write_error of { path : string; message : string }
+
+let () =
+  Printexc.register_printer (function
+    | Write_error { path; message } ->
+      Some (Printf.sprintf "Sink.Write_error(%s: %s)" path message)
+    | _ -> None)
+
 let fsync_out oc =
   (* flush the channel buffer to the fd, then push the fd to disk *)
   flush oc;
   Unix.fsync (Unix.descr_of_out_channel oc)
+
+(* After the rename, the new directory entry itself must reach disk
+   before the write is durable. Best-effort: some filesystems refuse
+   fsync on a directory fd, and a failure here must not turn an
+   already-renamed (hence visible and complete) file into an error. *)
+let fsync_dir path =
+  match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ())
 
 let describe_exn path = function
   | Sys_error msg ->
@@ -12,12 +31,19 @@ let describe_exn path = function
     Some (Printf.sprintf "%s: %s: %s" path fn (Unix.error_message err))
   | _ -> None
 
+(* Atomic replacement: write [path].tmp, fsync it, rename over [path],
+   fsync the directory. A crash (or a writer exception) at any point
+   leaves either the old content or the new content at [path] — never
+   a truncated hybrid, which is what the previous in-place open used
+   to produce. *)
 let write_file ~path f =
-  match open_out_bin path with
-  | exception e ->
-    (match describe_exn path e with
-     | Some msg -> Error msg
-     | None -> raise e)
+  let tmp = path ^ ".tmp" in
+  let cleanup_tmp () = try Sys.remove tmp with Sys_error _ -> () in
+  let fail e =
+    match describe_exn path e with Some msg -> Error msg | None -> raise e
+  in
+  match open_out_bin tmp with
+  | exception e -> fail e
   | oc ->
     (match
        f oc;
@@ -25,20 +51,36 @@ let write_file ~path f =
      with
      | () ->
        (match close_out oc with
-        | () -> Ok ()
+        | () ->
+          (match
+             Unix.rename tmp path;
+             fsync_dir path
+           with
+           | () -> Ok ()
+           | exception e ->
+             cleanup_tmp ();
+             fail e)
         | exception e ->
-          (match describe_exn path e with
-           | Some msg -> Error msg
-           | None -> raise e))
+          cleanup_tmp ();
+          fail e)
      | exception e ->
        close_out_noerr oc;
-       (match describe_exn path e with
-        | Some msg -> Error msg
-        | None -> raise e))
+       cleanup_tmp ();
+       fail e)
 
 let write_string ~path s = write_file ~path (fun oc -> output_string oc s)
 
 let write_file_exn ~path f =
   match write_file ~path f with
   | Ok () -> ()
-  | Error msg -> failwith msg
+  | Error message ->
+    (* [write_file] errors lead with "path: " (describe_exn); strip it
+       so Write_error carries the path exactly once. *)
+    let prefix = path ^ ": " in
+    let plen = String.length prefix in
+    let message =
+      if String.length message > plen && String.sub message 0 plen = prefix
+      then String.sub message plen (String.length message - plen)
+      else message
+    in
+    raise (Write_error { path; message })

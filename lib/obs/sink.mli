@@ -1,23 +1,33 @@
-(** Checked file output for every artifact this project writes
-    (traces, profiles, fuzz counterexamples, reports).
+(** Checked, atomic file output for every artifact this project writes
+    (traces, profiles, fuzz counterexamples, reports, WAL dumps).
 
     The bare [open_out]/[close_out] idiom used before this module
     silently loses data twice over: [close_out] can swallow a short
     write on a full disk, and nothing ever named the path in the error
-    message. Here every write is flushed, fsynced and closed with
-    errors mapped to [Error "<path>: <reason>"]; the file is the
-    caller's only once [Ok] comes back. *)
+    message. Worse, the first version of this module opened [path]
+    in place (truncating), so a crash mid-write destroyed the previous
+    contents too. Writes now go to [path.tmp], are fsynced, renamed
+    over [path], and the directory is fsynced — at every instant
+    [path] holds either the complete old or the complete new content.
+    The file is the caller's only once [Ok] comes back. *)
+
+exception Write_error of { path : string; message : string }
+(** Raised by {!write_file_exn}: a typed I/O failure carrying the
+    target path, so recovery-time callers can decide retry-vs-abort
+    (and [chc_sim] can map it to a dedicated exit code) instead of
+    pattern-matching a [Failure] string. *)
 
 val write_file : path:string -> (out_channel -> unit) -> (unit, string) result
-(** Open [path] (truncating, binary), run the writer, then flush,
-    fsync and close. Any [Sys_error]/[Unix_error] raised by the
-    writer, the flush or the close is returned as [Error] prefixed
-    with [path]. Exceptions other than I/O errors propagate (after an
-    attempt to close). *)
+(** Write [path] atomically: open [path.tmp] (binary), run the writer,
+    flush, fsync, close, rename onto [path], then fsync the directory
+    (best-effort). Any [Sys_error]/[Unix_error] raised along the way is
+    returned as [Error] prefixed with [path], and the temporary file is
+    removed — [path] keeps its previous content. Exceptions other than
+    I/O errors propagate (after closing and removing the temporary). *)
 
 val write_string : path:string -> string -> (unit, string) result
 (** [write_file] specialized to one string. *)
 
 val write_file_exn : path:string -> (out_channel -> unit) -> unit
-(** Like {!write_file} but raises [Failure] with the composed message
-    — for callers already on an exception path. *)
+(** Like {!write_file} but raises {!Write_error} — for callers already
+    on an exception path. *)

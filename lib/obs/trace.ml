@@ -4,6 +4,7 @@ type event =
   | Deliver of { step : int; src : int; dst : int; seq : int }
   | Dead_letter of { step : int; src : int; dst : int; seq : int }
   | Crash of { pid : int; sends : int }
+  | Recover of { pid : int; step : int }
   | Round_enter of { pid : int; round : int; vertices : int }
   | Stable of { pid : int; view : int }
   | Decide of { pid : int; round : int; vertices : int }
@@ -29,7 +30,8 @@ let schedule t =
   List.filter_map
     (function
       | Deliver { src; dst; _ } | Dead_letter { src; dst; _ } -> Some (src, dst)
-      | Send _ | Drop _ | Crash _ | Round_enter _ | Stable _ | Decide _ -> None)
+      | Send _ | Drop _ | Crash _ | Recover _ | Round_enter _ | Stable _
+      | Decide _ -> None)
     (events t)
 
 (* One compact JSON object per event. Every field is an int, printed
@@ -48,6 +50,8 @@ let event_to_json = function
       step src dst seq
   | Crash { pid; sends } ->
     Printf.sprintf {|{"ev":"crash","pid":%d,"sends":%d}|} pid sends
+  | Recover { pid; step } ->
+    Printf.sprintf {|{"ev":"recover","pid":%d,"step":%d}|} pid step
   | Round_enter { pid; round; vertices } ->
     Printf.sprintf {|{"ev":"round_enter","pid":%d,"round":%d,"vertices":%d}|}
       pid round vertices

@@ -29,6 +29,10 @@ type event =
       (** delivery to an already-crashed receiver *)
   | Crash of { pid : int; sends : int }
       (** [pid] crashed after [sends] successful sends *)
+  | Recover of { pid : int; step : int }
+      (** [pid] revived from a {!Runtime.Crash.Crash_recover} crash at
+          scheduler step [step] (its log replay and rejoin sends follow
+          immediately) *)
   | Round_enter of { pid : int; round : int; vertices : int }
       (** [pid] computed [h_pid[round]] with that many hull vertices *)
   | Stable of { pid : int; view : int }

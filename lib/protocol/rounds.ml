@@ -26,6 +26,11 @@ let add t ~round ~src payload =
     invalid_arg "Rounds.add: duplicate (round, sender)"
   else s.arrivals <- (src, payload) :: s.arrivals
 
+let mem t ~round ~src =
+  match Hashtbl.find_opt t.table round with
+  | None -> false
+  | Some s -> List.mem_assoc src s.arrivals
+
 let count t ~round =
   let s = slot t round in
   match s.frozen with
@@ -49,3 +54,28 @@ let freeze t ~round =
       s.frozen <- Some first;
       first
     end
+
+(* Checkpoint support: arrivals in arrival order per round, plus the
+   frozen flag. Because arrivals only ever append and [freeze] takes
+   the first [threshold] of them, (arrival order, frozen?) determines
+   the frozen multiset — the values themselves need not be saved
+   twice. *)
+let dump t =
+  Hashtbl.fold
+    (fun round s acc -> (round, List.rev s.arrivals, s.frozen <> None) :: acc)
+    t.table []
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+
+let restore ~threshold rounds =
+  let t = create ~threshold in
+  List.iter
+    (fun (round, arrivals, frozen) ->
+       let s = slot t round in
+       s.arrivals <- List.rev arrivals;
+       if frozen then begin
+         if List.length arrivals < threshold then
+           invalid_arg "Rounds.restore: frozen round below threshold";
+         s.frozen <- Some (List.filteri (fun i _ -> i < threshold) arrivals)
+       end)
+    rounds;
+  t

@@ -28,3 +28,20 @@ val freeze : 'a t -> round:int -> (int * 'a) list
 val count : 'a t -> round:int -> int
 (** Messages received so far for a round (frozen rounds report the
     frozen size). *)
+
+val mem : 'a t -> round:int -> src:int -> bool
+(** Has this (round, sender) pair already been recorded? Crash-recovery
+    rejoin re-broadcasts make benign duplicates possible; callers guard
+    {!add} with this instead of catching its [Invalid_argument]. *)
+
+(** {1 Checkpoint support} *)
+
+val dump : 'a t -> (int * (int * 'a) list * bool) list
+(** Every round's arrivals in arrival order plus its frozen flag,
+    sorted by round — enough to {!restore} an equivalent table (the
+    frozen multiset is always the first [threshold] arrivals). *)
+
+val restore : threshold:int -> (int * (int * 'a) list * bool) list -> 'a t
+(** Rebuild a table from {!dump} output.
+    @raise Invalid_argument if a frozen round has fewer than
+    [threshold] arrivals. *)

@@ -112,3 +112,38 @@ let on_receive t ~src view =
 let result t = t.stable
 
 let view_size t = List.length t.view
+
+(* --- crash-recovery support ------------------------------------------- *)
+
+let entry_pairs entries = List.map (fun e -> (e.origin, e.value)) entries
+let entries_of_pairs pairs =
+  List.map (fun (origin, value) -> { origin; value }) pairs
+
+let msg_entries (View entries) = entry_pairs entries
+let msg_of_entries pairs = View (entries_of_pairs pairs)
+
+let current_msg t = View t.view
+
+let reannounce t = announce t
+
+type 'a snapshot = {
+  snap_view : (int * 'a) list;
+  snap_votes : ((int * 'a) list * int list) list;
+  snap_stable : (int * 'a) list option;
+}
+
+let dump t =
+  { snap_view = entry_pairs t.view;
+    snap_votes = List.map (fun (v, senders) -> (entry_pairs v, senders)) t.votes;
+    snap_stable = Option.map entry_pairs t.stable }
+
+let restore ?trace ~n ~f ~me ~broadcast s =
+  if n < (2 * f) + 1 then
+    invalid_arg "Stable_vector.restore: requires n >= 2f + 1";
+  { n; f; me; trace; broadcast;
+    view = entries_of_pairs s.snap_view;
+    votes =
+      List.map
+        (fun (v, senders) -> (entries_of_pairs v, senders))
+        s.snap_votes;
+    stable = Option.map entries_of_pairs s.snap_stable }

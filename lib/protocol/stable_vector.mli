@@ -56,3 +56,49 @@ val result : 'a state -> 'a entry list option
 
 val view_size : 'a state -> int
 (** Current (possibly unstable) view size — observability for tests. *)
+
+(** {1 Crash-recovery support}
+
+    A recovering process must re-enter round 0 with its replayed view
+    {e and} vote table (stability counts distinct senders — losing the
+    votes would stall it), and must be able to re-externalize its
+    current view after the replay (its pre-crash announce may have
+    reached only some processes). Messages are made transparent so the
+    durability layer can log and replay them. *)
+
+val msg_entries : 'a msg -> (int * 'a) list
+(** The view a message carries, as (origin, value) pairs sorted by
+    origin — the WAL's serializable form of an SV delivery. *)
+
+val msg_of_entries : (int * 'a) list -> 'a msg
+(** Inverse of {!msg_entries} (pairs must be sorted by origin, as
+    {!msg_entries} yields them). *)
+
+val current_msg : 'a state -> 'a msg
+(** The process's current (possibly unstable) view as a message — what
+    a rejoin responder sends the recovering process directly. *)
+
+val reannounce : 'a state -> unit
+(** Re-broadcast (and re-vote for) the current view via the state's
+    [broadcast] callback — the recovering process's round-0 rejoin.
+    Idempotent for receivers: votes deduplicate by sender. *)
+
+type 'a snapshot = {
+  snap_view : (int * 'a) list;
+  snap_votes : ((int * 'a) list * int list) list;
+  snap_stable : (int * 'a) list option;
+}
+(** Serializable checkpoint image of a state (entries as (origin,
+    value) pairs). *)
+
+val dump : 'a state -> 'a snapshot
+
+val restore :
+  ?trace:Obs.Trace.t ->
+  n:int -> f:int -> me:int ->
+  broadcast:('a msg -> unit) ->
+  'a snapshot ->
+  'a state
+(** Rebuild a state from a {!dump}ed snapshot. Unlike {!create} this
+    announces nothing — the caller decides when to {!reannounce}.
+    @raise Invalid_argument unless [n >= 2f + 1]. *)

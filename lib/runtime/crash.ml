@@ -1,12 +1,22 @@
+type trigger =
+  | Sends of int
+  | Receives of int
+
 type plan =
   | Never
   | After_sends of int
   | After_receives of int
+  | Crash_recover of { trigger : trigger; delay : int; keep : int }
 
 let pp fmt = function
   | Never -> Format.pp_print_string fmt "never"
   | After_sends k -> Format.fprintf fmt "after-%d-sends" k
   | After_receives k -> Format.fprintf fmt "after-%d-receives" k
+  | Crash_recover { trigger; delay; keep } ->
+    let kind, k =
+      match trigger with Sends k -> ("sends", k) | Receives k -> ("receives", k)
+    in
+    Format.fprintf fmt "recover(after-%d-%s,delay=%d,keep=%d)" k kind delay keep
 
 let random_for ~rng ~n ~faulty ~max_sends =
   Array.init n (fun i ->
@@ -23,5 +33,12 @@ let clamp plans ~sends ~receives =
        match plan with
        | Never -> Never
        | After_sends k -> After_sends (min k (max 0 (sends.(i) - 1)))
-       | After_receives k -> After_receives (min k (max 0 (receives.(i) - 1))))
+       | After_receives k -> After_receives (min k (max 0 (receives.(i) - 1)))
+       | Crash_recover { trigger; delay; keep } ->
+         let trigger =
+           match trigger with
+           | Sends k -> Sends (min k (max 0 (sends.(i) - 1)))
+           | Receives k -> Receives (min k (max 0 (receives.(i) - 1)))
+         in
+         Crash_recover { trigger; delay; keep })
     plans

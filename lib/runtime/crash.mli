@@ -10,6 +10,10 @@
     precise point of its {e view} (e.g. one delivery short of a stable
     vector forming — the stabilization boundary). *)
 
+type trigger =
+  | Sends of int      (** fire at send attempt [k+1], like [After_sends] *)
+  | Receives of int   (** fire at delivery [k+1], like [After_receives] *)
+
 type plan =
   | Never                   (** the process never crashes *)
   | After_sends of int      (** crashes when it attempts send number
@@ -23,6 +27,15 @@ type plan =
                                 delivery — unlike [After_sends 0] the
                                 process still gets its initial
                                 broadcast out. *)
+  | Crash_recover of { trigger : trigger; delay : int; keep : int }
+      (** the crash-{e recovery} extension: crash exactly as the
+          trigger says, then revive after [delay] further scheduler
+          steps (the simulator fast-forwards if the system quiesces
+          first, so revival is guaranteed). Messages delivered while
+          down are lost. [keep] is the disk-prefix adversary's choice:
+          how many {e unsynced} WAL entries survive the crash (see
+          {!Wal.crash}). A revived plan is disarmed — each process
+          crashes at most once per execution. *)
 
 val pp : Format.formatter -> plan -> unit
 

@@ -12,8 +12,12 @@ and 'msg t = {
   scheduler : Scheduler.t;
   pick : Scheduler.pick_fn;
   channels : (int * 'msg) Queue.t array array; (* channels.(src).(dst) *)
-  crash_plan : Crash.plan array;
+  crash_plan : Crash.plan array;  (* private copy: recovery disarms plans *)
   crashed : bool array;
+  recovered : bool array;         (* crashed at least once, then revived *)
+  recover_at : int option array;  (* pending revival: due step *)
+  on_crash : (pid -> keep:int -> unit) option;
+  on_recover : ('msg ctx -> unit) option;
   sends_attempted : int array;
   receives_seen : int array;
   mutable prefix : (int * int) list;  (* forced (src, dst) schedule head *)
@@ -23,6 +27,7 @@ and 'msg t = {
   mutable dropped : int;
   mutable delivered : int;
   mutable dead_lettered : int;
+  mutable recoveries : int;
   mutable steps : int;
   mutable started : bool;
 }
@@ -38,9 +43,23 @@ let trace_emit t ev =
   | Some tr -> Obs.Trace.emit tr (ev ())
 
 let crashed t i = t.crashed.(i)
+let recovered_of t i = t.recovered.(i)
 let sends_of t i = t.sends_attempted.(i)
 let receives_of t i = t.receives_seen.(i)
 let sends ctx = ctx.sys.sends_attempted.(ctx.me)
+
+(* A crash fires: mark the process down, and if the plan is a
+   recovering one, schedule the revival and hand the disk-prefix
+   adversary's [keep] to the durability layer. *)
+let fire_crash t i ~recover =
+  t.crashed.(i) <- true;
+  trace_emit t
+    (fun () -> Obs.Trace.Crash { pid = i; sends = t.sends_attempted.(i) });
+  match recover with
+  | None -> ()
+  | Some (delay, keep) ->
+    t.recover_at.(i) <- Some (t.steps + delay);
+    (match t.on_crash with None -> () | Some f -> f i ~keep)
 
 (* A send consumes one unit of the sender's budget whether or not it is
    ultimately dropped: the budget marks the crash *point*, and every
@@ -54,19 +73,23 @@ let send ctx dst msg =
     trace_emit t (fun () -> Obs.Trace.Drop { src })
   end
   else begin
-    (match t.crash_plan.(src) with
-     | Crash.After_sends budget when t.sends_attempted.(src) >= budget ->
-       t.crashed.(src) <- true;
-       t.dropped <- t.dropped + 1;
-       trace_emit t
-         (fun () -> Obs.Trace.Crash { pid = src; sends = t.sends_attempted.(src) });
-       trace_emit t (fun () -> Obs.Trace.Drop { src })
-     | Crash.After_sends _ | Crash.After_receives _ | Crash.Never ->
-       t.sends_attempted.(src) <- t.sends_attempted.(src) + 1;
-       t.seq <- t.seq + 1;
-       t.sent <- t.sent + 1;
-       trace_emit t (fun () -> Obs.Trace.Send { src; dst; seq = t.seq });
-       Queue.push (t.seq, msg) t.channels.(src).(dst))
+    match t.crash_plan.(src) with
+    | Crash.After_sends budget when t.sends_attempted.(src) >= budget ->
+      fire_crash t src ~recover:None;
+      t.dropped <- t.dropped + 1;
+      trace_emit t (fun () -> Obs.Trace.Drop { src })
+    | Crash.Crash_recover { trigger = Crash.Sends budget; delay; keep }
+      when t.sends_attempted.(src) >= budget ->
+      fire_crash t src ~recover:(Some (delay, keep));
+      t.dropped <- t.dropped + 1;
+      trace_emit t (fun () -> Obs.Trace.Drop { src })
+    | Crash.After_sends _ | Crash.After_receives _ | Crash.Never
+    | Crash.Crash_recover _ ->
+      t.sends_attempted.(src) <- t.sends_attempted.(src) + 1;
+      t.seq <- t.seq + 1;
+      t.sent <- t.sent + 1;
+      trace_emit t (fun () -> Obs.Trace.Send { src; dst; seq = t.seq });
+      Queue.push (t.seq, msg) t.channels.(src).(dst)
   end
 
 let broadcast ctx ?(include_self = false) msg =
@@ -76,7 +99,8 @@ let broadcast ctx ?(include_self = false) msg =
   done;
   if include_self then send ctx ctx.me msg
 
-let create ?trace ?(prefix = []) ~n ~seed ~scheduler ~crash ~make () =
+let create ?trace ?(prefix = []) ?on_crash ?on_recover ~n ~seed ~scheduler
+    ~crash ~make () =
   if Array.length crash <> n then invalid_arg "Sim.create: crash plan size";
   let t =
     { n;
@@ -85,8 +109,12 @@ let create ?trace ?(prefix = []) ~n ~seed ~scheduler ~crash ~make () =
       scheduler;
       pick = Scheduler.instantiate scheduler;
       channels = Array.init n (fun _ -> Array.init n (fun _ -> Queue.create ()));
-      crash_plan = crash;
+      crash_plan = Array.copy crash;
       crashed = Array.make n false;
+      recovered = Array.make n false;
+      recover_at = Array.make n None;
+      on_crash;
+      on_recover;
       sends_attempted = Array.make n 0;
       receives_seen = Array.make n 0;
       prefix;
@@ -96,6 +124,7 @@ let create ?trace ?(prefix = []) ~n ~seed ~scheduler ~crash ~make () =
       dropped = 0;
       delivered = 0;
       dead_lettered = 0;
+      recoveries = 0;
       steps = 0;
       started = false }
   in
@@ -105,10 +134,11 @@ let create ?trace ?(prefix = []) ~n ~seed ~scheduler ~crash ~make () =
   Array.iteri
     (fun i plan ->
        match plan with
-       | Crash.After_sends 0 ->
-         t.crashed.(i) <- true;
-         trace_emit t (fun () -> Obs.Trace.Crash { pid = i; sends = 0 })
-       | Crash.After_sends _ | Crash.After_receives _ | Crash.Never -> ())
+       | Crash.After_sends 0 -> fire_crash t i ~recover:None
+       | Crash.Crash_recover { trigger = Crash.Sends 0; delay; keep } ->
+         fire_crash t i ~recover:(Some (delay, keep))
+       | Crash.After_sends _ | Crash.After_receives _ | Crash.Never
+       | Crash.Crash_recover _ -> ())
     crash;
   t
 
@@ -141,6 +171,42 @@ let rec prefix_choice t candidates =
     then Some { Scheduler.src; dst }
     else prefix_choice t candidates
 
+let revive t i =
+  t.recover_at.(i) <- None;
+  t.crashed.(i) <- false;
+  t.recovered.(i) <- true;
+  t.recoveries <- t.recoveries + 1;
+  (* one crash per plan: a revived process runs correctly from here on *)
+  t.crash_plan.(i) <- Crash.Never;
+  trace_emit t (fun () -> Obs.Trace.Recover { pid = i; step = t.steps });
+  match t.on_recover with None -> () | Some f -> f { me = i; sys = t }
+
+(* Revive every pending recovery that has come due, in pid order (the
+   loop is re-entered because a revival's rejoin sends may change the
+   candidate set). *)
+let revive_due t =
+  for i = 0 to t.n - 1 do
+    match t.recover_at.(i) with
+    | Some due when due <= t.steps -> revive t i
+    | Some _ | None -> ()
+  done
+
+(* When channels have drained but revivals are still pending, the
+   simulated clock jumps: revive the earliest (smallest due step, then
+   smallest pid). Revival is therefore guaranteed, however large the
+   delay. *)
+let earliest_pending t =
+  let best = ref None in
+  for i = t.n - 1 downto 0 do
+    match t.recover_at.(i) with
+    | Some due ->
+      (match !best with
+       | Some (bdue, _) when bdue <= due -> ()
+       | _ -> best := Some (due, i))
+    | None -> ()
+  done;
+  Option.map snd !best
+
 let run ?(max_steps = 2_000_000) t =
   if not t.started then begin
     t.started <- true;
@@ -149,8 +215,14 @@ let run ?(max_steps = 2_000_000) t =
     done
   end;
   let rec loop () =
+    revive_due t;
     match nonempty_channels t with
-    | [] -> ()
+    | [] ->
+      (match earliest_pending t with
+       | Some i ->
+         revive t i;
+         loop ()
+       | None -> ())
     | candidates ->
       if t.steps >= max_steps then raise Step_limit_exceeded;
       t.steps <- t.steps + 1;
@@ -170,14 +242,18 @@ let run ?(max_steps = 2_000_000) t =
         | Crash.After_receives budget when t.receives_seen.(dst) >= budget ->
           (* The killing delivery: the process dies at this exact point
              of its view; the message itself is lost. *)
-          t.crashed.(dst) <- true;
+          fire_crash t dst ~recover:None;
           t.dead_lettered <- t.dead_lettered + 1;
           trace_emit t
-            (fun () ->
-               Obs.Trace.Crash { pid = dst; sends = t.sends_attempted.(dst) });
+            (fun () -> Obs.Trace.Dead_letter { step = t.steps; src; dst; seq })
+        | Crash.Crash_recover { trigger = Crash.Receives budget; delay; keep }
+          when t.receives_seen.(dst) >= budget ->
+          fire_crash t dst ~recover:(Some (delay, keep));
+          t.dead_lettered <- t.dead_lettered + 1;
           trace_emit t
             (fun () -> Obs.Trace.Dead_letter { step = t.steps; src; dst; seq })
-        | Crash.After_receives _ | Crash.After_sends _ | Crash.Never ->
+        | Crash.After_receives _ | Crash.After_sends _ | Crash.Never
+        | Crash.Crash_recover _ ->
           t.receives_seen.(dst) <- t.receives_seen.(dst) + 1;
           t.delivered <- t.delivered + 1;
           trace_emit t
@@ -193,6 +269,7 @@ type metrics = {
   dropped : int;
   delivered : int;
   dead_lettered : int;
+  recoveries : int;
   steps : int;
 }
 
@@ -201,4 +278,5 @@ let metrics (t : _ t) =
     dropped = t.dropped;
     delivered = t.delivered;
     dead_lettered = t.dead_lettered;
+    recoveries = t.recoveries;
     steps = t.steps }

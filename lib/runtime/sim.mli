@@ -46,6 +46,8 @@ type 'msg t
 val create :
   ?trace:Obs.Trace.t ->
   ?prefix:(int * int) list ->
+  ?on_crash:(pid -> keep:int -> unit) ->
+  ?on_recover:('msg ctx -> unit) ->
   n:int ->
   seed:int ->
   scheduler:Scheduler.t ->
@@ -56,9 +58,22 @@ val create :
 (** Build a system. [crash] must have length [n]. [make i] constructs
     process [i]'s handlers (captured state lives in the closure).
     When a [trace] is given, every transport event (send / drop /
-    deliver / dead-letter / crash, including crashed-at-start
+    deliver / dead-letter / crash / recover, including crashed-at-start
     processes) is emitted into it in schedule order; tracing never
     changes the execution.
+
+    [on_crash] and [on_recover] hook the crash-{e recovery} extension
+    ({!Crash.Crash_recover} plans): [on_crash i ~keep] fires at the
+    moment [i]'s crash triggers (synchronously, before any further
+    event) carrying the plan's disk-prefix choice, so the durability
+    layer can truncate [i]'s write-ahead log; [on_recover ctx] fires at
+    revival, with a live context for process [ctx.me] — replayed state
+    re-enters the protocol by sending from inside this callback.
+    Messages delivered while a process is down are dead-lettered
+    (lost). Revival happens once the plan's [delay] scheduler steps
+    have elapsed, or immediately when the system would otherwise
+    quiesce; the plan is then disarmed (at most one crash each). The
+    plan array is copied, callers never observe the disarming.
 
     [prefix] is the replay-injection hook used by the fuzzer's
     shrinker: a list of (src, dst) channel choices forced on the
@@ -78,7 +93,11 @@ val run : ?max_steps:int -> 'msg t -> unit
     (default [2_000_000]) — a liveness bug guard. *)
 
 val crashed : 'msg t -> pid -> bool
-(** Whether the process has crashed so far (send budget exhausted). *)
+(** Whether the process is crashed {e now} (a recovered process reads
+    [false] again after revival). *)
+
+val recovered_of : 'msg t -> pid -> bool
+(** Whether the process crashed and was revived at least once. *)
 
 val sends_of : 'msg t -> pid -> int
 (** Number of sends by this process that actually entered a channel so
@@ -98,6 +117,7 @@ type metrics = {
   dropped : int;         (** sends swallowed by crashes *)
   delivered : int;       (** messages handed to a live receiver *)
   dead_lettered : int;   (** deliveries to already-crashed receivers *)
+  recoveries : int;      (** crash-recovery revivals performed *)
   steps : int;           (** scheduler decisions taken *)
 }
 

@@ -1,0 +1,83 @@
+(* Durability model after verified-betrfs's CrashableMap: the log is a
+   sequence of entries of which a prefix is durable ("synced"); a crash
+   may expose the synced prefix plus ANY prefix of the unsynced suffix
+   (the adversary picks how many buffered writes made it to disk). *)
+
+type sync_mode =
+  | Strict
+  | Unsound
+
+type config = {
+  checkpoint_every : int;
+  sync : sync_mode;
+}
+
+let default_config = { checkpoint_every = 8; sync = Strict }
+
+let sync_mode_to_string = function
+  | Strict -> "strict"
+  | Unsound -> "unsound"
+
+let sync_mode_of_string = function
+  | "strict" -> Ok Strict
+  | "unsound" -> Ok Unsound
+  | s -> Error (Printf.sprintf "unknown wal sync mode %S" s)
+
+type 'e t = {
+  config : config;
+  mutable rev_entries : 'e list;
+  mutable len : int;
+  mutable synced_len : int;
+  mutable sealed : bool;
+}
+
+let create config =
+  if config.checkpoint_every < 1 then
+    invalid_arg "Wal.create: checkpoint_every must be >= 1";
+  { config; rev_entries = []; len = 0; synced_len = 0; sealed = false }
+
+let config t = t.config
+let length t = t.len
+let synced t = t.synced_len
+let unsynced t = t.len - t.synced_len
+let sealed t = t.sealed
+
+let append t e =
+  if t.sealed then invalid_arg "Wal.append: log is sealed";
+  t.rev_entries <- e :: t.rev_entries;
+  t.len <- t.len + 1
+
+(* Under [Unsound] the durable frontier never advances — this is the
+   deliberately broken discipline the fuzzer's oracle must catch: a
+   crash can then roll the process back behind state it has already
+   externalized. *)
+let sync t =
+  if not t.sealed then
+    match t.config.sync with
+    | Strict -> t.synced_len <- t.len
+    | Unsound -> ()
+
+let entries t = List.rev t.rev_entries
+
+let seal t = t.sealed <- true
+let reopen t = t.sealed <- false
+
+let rec drop k l =
+  if k <= 0 then l else match l with [] -> [] | _ :: rest -> drop (k - 1) rest
+
+let crash t ~keep =
+  t.sealed <- true;
+  let keep = Stdlib.max 0 keep in
+  let survive = Stdlib.min t.len (t.synced_len + keep) in
+  t.rev_entries <- drop (t.len - survive) t.rev_entries;
+  t.len <- survive;
+  (* whatever survived the crash is on disk, hence durable *)
+  t.synced_len <- survive
+
+let persist ~path ~encode t =
+  Obs.Sink.write_file_exn ~path (fun oc ->
+      List.iter
+        (fun e ->
+           output_string oc (encode e);
+           output_char oc '\n')
+        (entries t))

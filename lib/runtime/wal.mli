@@ -1,0 +1,74 @@
+(** Per-process write-ahead log with a crash/sync discipline modelled
+    on verified-betrfs's [CrashableMap] specification: entries form a
+    sequence, {!sync} advances a durable frontier, and a crash exposes
+    the synced prefix plus an adversary-chosen prefix of the unsynced
+    suffix ([keep] entries of it). Replaying the surviving prefix must
+    land the process in a state reachable in some crash-free execution
+    — the invariant the fuzzer's disk-prefix adversary attacks.
+
+    The log is generic in its entry type; [Chc] logs its round events
+    ({!Chc.Recovery.event}) and decides when to interleave checkpoint
+    entries ([checkpoint_every] is carried here so one value configures
+    both sides). Persistence goes through {!Obs.Sink}. *)
+
+type sync_mode =
+  | Strict   (** {!sync} advances the durable frontier — the correct
+                 write-barrier discipline *)
+  | Unsound  (** {!sync} is a no-op: nothing beyond what a checkpoint
+                 already flushed survives a crash. A deliberately
+                 broken mode for proving the fuzz oracle has teeth. *)
+
+type config = {
+  checkpoint_every : int;  (** interleave a checkpoint every this many
+                               log entries (must be >= 1) *)
+  sync : sync_mode;
+}
+
+val default_config : config
+(** [{ checkpoint_every = 8; sync = Strict }] *)
+
+val sync_mode_to_string : sync_mode -> string
+val sync_mode_of_string : string -> (sync_mode, string) result
+
+type 'e t
+
+val create : config -> 'e t
+(** @raise Invalid_argument if [checkpoint_every < 1]. *)
+
+val config : 'e t -> config
+
+val append : 'e t -> 'e -> unit
+(** Append one entry (initially unsynced).
+    @raise Invalid_argument if the log is sealed (crashed and not yet
+    {!reopen}ed). *)
+
+val sync : 'e t -> unit
+(** Advance the durable frontier to the current length ([Strict]), or
+    do nothing ([Unsound]). The protocol calls this before every
+    externalization point — a send or a decision — so a crash can never
+    roll state back behind what the world has observed. No-op on a
+    sealed log. *)
+
+val crash : 'e t -> keep:int -> unit
+(** The disk-prefix adversary: seal the log and truncate it to the
+    synced prefix plus the first [keep] unsynced entries (clamped to
+    what exists). The survivors become the new synced prefix. *)
+
+val seal : 'e t -> unit
+(** Stop accepting appends (the owning process went down). *)
+
+val reopen : 'e t -> unit
+(** Accept appends again (the owning process recovered). *)
+
+val entries : 'e t -> 'e list
+(** Surviving entries, oldest first. *)
+
+val length : 'e t -> int
+val synced : 'e t -> int
+val unsynced : 'e t -> int
+val sealed : 'e t -> bool
+
+val persist : path:string -> encode:('e -> string) -> 'e t -> unit
+(** Write the surviving log as one encoded entry per line through
+    {!Obs.Sink.write_file_exn} (atomic rename semantics).
+    @raise Obs.Sink.Write_error on I/O failure. *)

@@ -27,9 +27,10 @@ let replace_sub s ~sub ~by =
     String.sub s 0 i ^ by
     ^ String.sub s (i + String.length sub) (String.length s - i - String.length sub)
 
-(* A scenario exercising every serialized field: both crash-plan kinds,
-   a parameterized scheduler, the naive round-0 ablation, and a pinned
-   schedule prefix. *)
+(* A scenario exercising every serialized field: all three crash-plan
+   kinds (including a crash-recover plan with both trigger arms
+   represented across tests), a parameterized scheduler, the naive
+   round-0 ablation, a pinned schedule prefix, and a WAL config. *)
 let rich_scenario () =
   let config =
     Chc.Config.make ~n:4 ~f:1 ~d:1 ~eps:(Q.of_ints 1 20) ~lo:Q.zero ~hi:Q.one
@@ -38,10 +39,13 @@ let rich_scenario () =
     [| [| Q.zero |]; [| Q.of_ints 1 3 |]; [| Q.of_ints 2 3 |]; [| Q.one |] |]
   in
   let crash =
-    [| Crash.After_receives 3; Crash.Never; Crash.After_sends 2; Crash.Never |]
+    [| Crash.After_receives 3;
+       Crash.Crash_recover { trigger = Crash.Sends 5; delay = 9; keep = 2 };
+       Crash.After_sends 2; Crash.Never |]
   in
   Scenario.make ~config ~inputs ~crash ~scheduler:(Scheduler.lag_sources [0; 2])
-    ~seed:77 ~round0:`Naive ~prefix:[ (0, 1); (2, 3) ] ()
+    ~seed:77 ~round0:`Naive ~prefix:[ (0, 1); (2, 3) ]
+    ~wal:{ Runtime.Wal.checkpoint_every = 4; sync = Runtime.Wal.Strict } ()
 
 (* --- scenario codec --------------------------------------------------- *)
 
@@ -56,12 +60,14 @@ let test_scenario_roundtrip () =
 
 let test_scenario_version_guard () =
   let s = Scenario.to_string (rich_scenario ()) in
-  let tampered = replace_sub s ~sub:{|"version":1|} ~by:{|"version":99|} in
+  let tampered = replace_sub s ~sub:{|"version":2|} ~by:{|"version":99|} in
   match Scenario.of_string tampered with
   | Ok _ -> Alcotest.fail "version 99 must be rejected"
   | Error e ->
     Alcotest.(check bool) "error names the offending version" true
-      (find_sub e "99" <> None)
+      (find_sub e "99" <> None);
+    Alcotest.(check bool) "error states the readable range" true
+      (find_sub e "reads 1-2" <> None)
 
 let test_scenario_rejects_bad_plan () =
   let s = Scenario.to_string (rich_scenario ()) in

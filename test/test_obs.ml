@@ -522,9 +522,10 @@ let test_sink_error_names_path () =
        (contains ~sub:bad msg));
   match Obs.Sink.write_file_exn ~path:bad (fun _ -> ()) with
   | () -> Alcotest.fail "write_file_exn must raise"
-  | exception Failure msg ->
-    Alcotest.(check bool) "Failure names the target path" true
-      (contains ~sub:bad msg)
+  | exception Obs.Sink.Write_error { path; message } ->
+    Alcotest.(check string) "Write_error carries the target path" bad path;
+    Alcotest.(check bool) "Write_error carries a diagnostic" true
+      (String.length message > 0)
 
 let suite =
   [ ( "obs",

@@ -100,6 +100,50 @@ let test_crashed_receiver_is_dead () =
   Alcotest.(check bool) "handler did not run" false !ran;
   Alcotest.(check int) "dead lettered" 1 (Sim.metrics sys).Sim.dead_lettered
 
+let test_crash_recover_revival () =
+  (* Process 1 crashes after 2 receives with a disk-prefix choice of 1,
+     then revives: on_crash must see the plan's [keep], deliveries
+     while down are dead-lettered, on_recover runs with a live context
+     (its sends work), and the revival is visible in [recovered_of] and
+     the metrics. *)
+  let crash = Array.make 2 Crash.Never in
+  crash.(1) <- Crash.Crash_recover { trigger = Crash.Receives 2; delay = 4; keep = 1 };
+  let kept = ref (-1) in
+  let revived_ctx_ran = ref false in
+  let got_after_revival = ref 0 in
+  let revived = ref false in
+  let sys =
+    Sim.create
+      ~on_crash:(fun i ~keep -> if i = 1 then kept := keep)
+      ~on_recover:(fun ctx ->
+          revived := true;
+          revived_ctx_ran := Sim.me ctx = 1;
+          (* a recovering process re-enters by sending *)
+          Sim.send ctx 0 99)
+      ~n:2 ~seed:3 ~scheduler:Scheduler.round_robin ~crash
+      ~make:(fun i ->
+          { Sim.on_start =
+              (fun ctx -> if i = 0 then for k = 1 to 6 do Sim.send ctx 1 k done);
+            on_receive =
+              (fun ctx _src msg ->
+                 if Sim.me ctx = 1 && !revived then incr got_after_revival
+                 else if Sim.me ctx = 0 && msg = 99 then
+                   (* answer the rejoin *)
+                   Sim.send ctx 1 100) }) ()
+  in
+  Sim.run sys;
+  Alcotest.(check int) "on_crash saw the plan's keep" 1 !kept;
+  Alcotest.(check bool) "on_recover ran for process 1" true !revived_ctx_ran;
+  Alcotest.(check bool) "revival recorded" true (Sim.recovered_of sys 1);
+  Alcotest.(check bool) "not counted as crashed anymore" false
+    (Sim.crashed sys 1);
+  Alcotest.(check int) "one revival in metrics" 1
+    (Sim.metrics sys).Sim.recoveries;
+  Alcotest.(check bool) "deliveries while down were dead-lettered" true
+    ((Sim.metrics sys).Sim.dead_lettered > 0);
+  Alcotest.(check bool) "process 1 receives again after revival" true
+    (!got_after_revival > 0)
+
 (* Ping-pong with a bounded count must quiesce. *)
 let test_quiescence () =
   let sys =
@@ -213,6 +257,8 @@ let suite =
         Alcotest.test_case "partial broadcast crash" `Quick
           test_crash_budget_partial_broadcast;
         Alcotest.test_case "crashed receiver" `Quick test_crashed_receiver_is_dead;
+        Alcotest.test_case "crash-recover revival" `Quick
+          test_crash_recover_revival;
         Alcotest.test_case "quiescence" `Quick test_quiescence;
         Alcotest.test_case "step limit" `Quick test_step_limit;
         Alcotest.test_case "determinism" `Quick test_determinism;
