@@ -21,6 +21,8 @@ let experiments =
     ("e12", "phase breakdown + critical paths vs adversary", E12_profile.run);
     ("e13", "filtered-kernel ablation: exact vs interval filter", E13_filter.run);
     ("e14", "crash-recovery cost vs log length (WAL replay)", E14_recovery.run);
+    ("e15", "serving daemon throughput/latency (sharded multi-instance)",
+     E15_serve.run);
     ("smoke3d", "fast d=3 execution smoke check", Smoke3d.run) ]
 
 let () =

@@ -1,0 +1,344 @@
+(* chc_serve — the sharded multi-instance consensus daemon.
+
+   One daemon multiplexes thousands of concurrent Algorithm CC
+   instances, each over its own deterministic FIFO loopback, sharded
+   across domains by the parallel pool (see lib/serve).
+
+   Examples:
+     dune exec bin/chc_serve.exe -- drive --instances 500 --concurrency 128
+     dune exec bin/chc_serve.exe -- drive --wal-dir /tmp/chcwal --instances 50
+     dune exec bin/chc_serve.exe -- resume --wal-dir /tmp/chcwal
+     dune exec bin/chc_serve.exe -- listen --port 7465 --limit 100 *)
+
+open Cmdliner
+
+module Cli = Chc.Cli
+module Frame = Serve.Frame
+module Server = Serve.Server
+module Workload = Serve.Workload
+
+let with_kernel kernel k =
+  match Cli.set_kernel kernel with
+  | Error msg -> `Error (false, msg)
+  | Ok () -> k ()
+
+(* --- shared daemon flags --------------------------------------------- *)
+
+let shards_arg =
+  Arg.(value & opt (some int) None
+       & info ["shards"] ~docv:"K"
+           ~doc:"Number of instance shards, each pumped by one domain-pool \
+                 task per round (default: the pool size, CHC_DOMAINS).")
+
+let fuel_arg =
+  Arg.(value & opt int 64
+       & info ["fuel"] ~docv:"MSGS"
+           ~doc:"Messages delivered per instance per pump round — the \
+                 per-instance latency vs cross-instance fairness dial.")
+
+let wal_dir_arg =
+  Arg.(value & opt (some string) None
+       & info ["wal-dir"] ~docv:"DIR"
+           ~doc:"Arm durability: every instance writes per-process WALs, \
+                 a scenario file and a completion marker under \
+                 $(docv)/inst-<id>/; a restarted daemon resumes the \
+                 unfinished ones ($(b,chc_serve resume)).")
+
+let metrics_arg =
+  Arg.(value & flag
+       & info ["metrics"]
+           ~doc:"Print the Prometheus exposition of the full metrics \
+                 registry when done.")
+
+let print_metrics () = print_string (Obs.Metrics.exposition_all ())
+
+let print_phase (p : Workload.phase) =
+  Printf.printf
+    "%-12s %6d instances  %7.2fs  %8.1f inst/s  p50 %6.1fms  p99 %6.1fms  \
+     max %6.1fms  inflight<=%d\n"
+    p.Workload.label p.Workload.instances p.Workload.wall_s
+    p.Workload.throughput_ips
+    (p.Workload.latency_p50_s *. 1e3)
+    (p.Workload.latency_p99_s *. 1e3)
+    (p.Workload.latency_max_s *. 1e3)
+    p.Workload.max_inflight;
+  List.iter (fun msg -> Printf.printf "  GRADE FAIL %s\n" msg)
+    p.Workload.grade_failures
+
+(* --- drive: in-process synthetic workload ---------------------------- *)
+
+let instances_arg =
+  Arg.(value & opt int 200
+       & info ["instances"] ~docv:"K"
+           ~doc:"Consensus instances to complete.")
+
+let concurrency_arg =
+  Arg.(value & opt int 64
+       & info ["concurrency"] ~docv:"K"
+           ~doc:"Instances held in flight (closed-loop).")
+
+let drive_cmd kernel seed shards fuel wal_dir metrics instances concurrency =
+  with_kernel kernel @@ fun () ->
+  if instances < 1 then `Error (false, "--instances: must be >= 1")
+  else if concurrency < 1 then `Error (false, "--concurrency: must be >= 1")
+  else begin
+    let server = Server.create ?shards ~fuel ?wal_dir () in
+    Printf.printf
+      "chc_serve drive: %d instances, concurrency %d, %d shard(s), fuel %d%s\n%!"
+      instances concurrency (Server.shards server) fuel
+      (match wal_dir with None -> "" | Some d -> ", wal " ^ d);
+    let rng = Runtime.Rng.create seed in
+    let phase =
+      Workload.closed_loop ~server ~rng ~mix:Workload.default_mix
+        ~label:"closed" ~first_id:0 ~concurrency ~total:instances
+    in
+    print_phase phase;
+    if metrics then print_metrics ();
+    if phase.Workload.grade_failures = [] then `Ok ()
+    else `Error (false, "Theorem 2 violations under load (see above)")
+  end
+
+let drive_term =
+  Term.(ret
+          (const drive_cmd $ Cli.kernel_arg $ Cli.seed_arg $ shards_arg
+           $ fuel_arg $ wal_dir_arg $ metrics_arg $ instances_arg
+           $ concurrency_arg))
+
+let drive_info =
+  Cmd.info "drive"
+    ~doc:"Run a synthetic closed-loop workload through an in-process daemon."
+    ~man:
+      [ `S Manpage.s_description;
+        `P "Submits a deterministic mix of problem shapes — including \
+            crash-recovery instances — keeps --concurrency of them in \
+            flight until --instances have decided, grades every decision \
+            against the paper's Theorem 2 properties on the spot, and \
+            prints throughput and decision-latency percentiles. Exit \
+            status is non-zero iff any instance violated a property." ]
+
+(* --- resume: restart recovery from a WAL directory -------------------- *)
+
+let resume_cmd kernel shards fuel wal_dir metrics =
+  with_kernel kernel @@ fun () ->
+  match wal_dir with
+  | None -> `Error (false, "--wal-dir is required for resume")
+  | Some dir ->
+    let pending = Server.scan_wal ~wal_dir:dir in
+    Printf.printf "chc_serve resume: %d unfinished instance(s) under %s\n%!"
+      (List.length pending) dir;
+    if pending = [] then `Ok ()
+    else begin
+      let server = Server.create ?shards ~fuel ~wal_dir:dir () in
+      List.iter
+        (fun (job, entries) -> Server.submit server ~resume:entries job)
+        pending;
+      let outcomes = Server.drain server in
+      let failures =
+        List.filter_map
+          (fun o ->
+             match Server.grade o with
+             | Ok () -> None
+             | Error msg ->
+               Some (Printf.sprintf "instance %d: %s" o.Server.job.Server.id msg))
+          outcomes
+      in
+      List.iter
+        (fun o ->
+           Printf.printf "instance %-6d decided after resume (t_end %d%s)\n"
+             o.Server.job.Server.id o.Server.t_end
+             (if o.Server.recovered = [] then ""
+              else
+                Printf.sprintf ", recovered {%s}"
+                  (String.concat ","
+                     (List.map string_of_int o.Server.recovered))))
+        outcomes;
+      if metrics then print_metrics ();
+      match failures with
+      | [] -> `Ok ()
+      | msgs -> `Error (false, String.concat "\n" msgs)
+    end
+
+let resume_term =
+  Term.(ret
+          (const resume_cmd $ Cli.kernel_arg $ shards_arg $ fuel_arg
+           $ wal_dir_arg $ metrics_arg))
+
+let resume_info =
+  Cmd.info "resume"
+    ~doc:"Finish instances a killed daemon left behind in its WAL directory."
+    ~man:
+      [ `S Manpage.s_description;
+        `P "Scans --wal-dir for inst-<id> directories without a completion \
+            marker, reloads each process's surviving write-ahead log, and \
+            resubmits the instances through the crash-recovery rejoin path \
+            (log replay with muted sends, then rejoin). Decisions are \
+            graded against Theorem 2 before the daemon exits." ]
+
+(* --- listen: the socket front-end ------------------------------------- *)
+
+let port_arg =
+  Arg.(value & opt int 7465
+       & info ["port"] ~docv:"PORT"
+           ~doc:"TCP port on 127.0.0.1 (0 picks an ephemeral port, \
+                 printed on startup).")
+
+let limit_arg =
+  Arg.(value & opt int 0
+       & info ["limit"] ~docv:"K"
+           ~doc:"Exit after deciding this many instances (0: run until \
+                 killed). Lets tests and benchmarks drive a bounded \
+                 session over a real socket.")
+
+(* Write a whole frame; false if the client vanished mid-write. *)
+let write_all fd s =
+  let len = String.length s in
+  let rec go off =
+    if off >= len then true
+    else
+      match Unix.write_substring fd s off (len - off) with
+      | 0 -> false
+      | k -> go (off + k)
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+        false
+  in
+  go 0
+
+let listen_cmd kernel shards fuel wal_dir port limit =
+  with_kernel kernel @@ fun () ->
+  let server = Server.create ?shards ~fuel ?wal_dir () in
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen sock 64;
+  let actual_port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  Printf.printf "chc_serve: listening on 127.0.0.1:%d (%d shard(s), fuel %d)\n%!"
+    actual_port (Server.shards server) fuel;
+  let clients : (Unix.file_descr, Frame.decoder) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  (* instance id -> the connection that submitted it; a response for a
+     vanished client is dropped (the WAL, if armed, still records the
+     decision). *)
+  let owner : (int, Unix.file_descr) Hashtbl.t = Hashtbl.create 256 in
+  let buf = Bytes.create 65536 in
+  let decided = ref 0 in
+  let drop fd =
+    Hashtbl.remove clients fd;
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+  in
+  let respond fd resp =
+    let b = Buffer.create 256 in
+    Frame.write_response b resp;
+    if not (write_all fd (Frame.encode_frame (Buffer.contents b))) then
+      drop fd
+  in
+  let handle_payload fd payload =
+    let r = Codec.Wire.reader_of_string payload in
+    match Frame.read_request r with
+    | Frame.Submit { id; _ } as req ->
+      if not (Codec.Wire.reader_done r) then
+        raise (Frame.Malformed "trailing bytes after request");
+      (match Server.job_of_request req with
+       | Error reason -> respond fd (Frame.Rejected { id; reason })
+       | Ok job ->
+         (match Server.submit server job with
+          | () -> Hashtbl.replace owner id fd
+          | exception Invalid_argument reason ->
+            respond fd (Frame.Rejected { id; reason })))
+  in
+  let serve_client fd =
+    match Unix.read fd buf 0 (Bytes.length buf) with
+    | 0 -> drop fd
+    | k ->
+      let dec = Hashtbl.find clients fd in
+      Frame.feed dec (Bytes.sub_string buf 0 k);
+      let rec frames () =
+        match Frame.next dec with
+        | Some payload ->
+          handle_payload fd payload;
+          if Hashtbl.mem clients fd then frames ()
+        | None -> ()
+      in
+      (try frames () with
+       | Frame.Malformed msg | Codec.Wire.Malformed msg ->
+         Printf.eprintf "chc_serve: dropping client (malformed: %s)\n%!" msg;
+         drop fd)
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> drop fd
+  in
+  let finished () = limit > 0 && !decided >= limit in
+  while not (finished ()) do
+    let fds = sock :: Hashtbl.fold (fun fd _ acc -> fd :: acc) clients [] in
+    (* Busy only while instances are in flight; idle select blocks
+       briefly so a killed --limit run still exits promptly. *)
+    let timeout = if Server.inflight server > 0 then 0. else 0.05 in
+    let ready, _, _ = Unix.select fds [] [] timeout in
+    List.iter
+      (fun fd ->
+         if fd == sock then begin
+           let cfd, _ = Unix.accept sock in
+           Hashtbl.replace clients cfd (Frame.decoder ())
+         end
+         else if Hashtbl.mem clients fd then serve_client fd)
+      ready;
+    List.iter
+      (fun (o : Server.outcome) ->
+         incr decided;
+         let id = o.Server.job.Server.id in
+         (match Hashtbl.find_opt owner id with
+          | Some fd when Hashtbl.mem clients fd ->
+            respond fd (Server.response_of_outcome o)
+          | Some _ | None -> ());
+         Hashtbl.remove owner id)
+      (Server.pump server)
+  done;
+  Hashtbl.iter (fun fd _ -> try Unix.close fd with Unix.Unix_error _ -> ())
+    clients;
+  Unix.close sock;
+  Printf.printf "chc_serve: %d instance(s) decided, exiting\n" !decided;
+  `Ok ()
+
+let listen_term =
+  Term.(ret
+          (const listen_cmd $ Cli.kernel_arg $ shards_arg $ fuel_arg
+           $ wal_dir_arg $ port_arg $ limit_arg))
+
+let listen_info =
+  Cmd.info "listen"
+    ~doc:"Serve consensus instances over a TCP socket."
+    ~man:
+      [ `S Manpage.s_description;
+        `P "Clients speak length-prefixed binary frames (unsigned LEB128 \
+            length, Codec.Wire payload): a Submit request names an \
+            instance id, a problem shape (n, f, d, eps, bounds) and the \
+            n input points; the daemon answers with a Decision frame \
+            carrying the decided polytope, or a Rejected frame naming \
+            the validation error. Instances from many clients run \
+            concurrently, sharded across domains." ]
+
+(* --- entry ------------------------------------------------------------ *)
+
+let () =
+  let info =
+    Cmd.info "chc_serve" ~version:"1.0"
+      ~doc:"Sharded multi-instance convex hull consensus daemon."
+  in
+  exit
+    (try
+       Cmd.eval ~catch:false
+         (Cmd.group info
+            [ Cmd.v drive_info drive_term;
+              Cmd.v resume_info resume_term;
+              Cmd.v listen_info listen_term ])
+     with
+     | Obs.Sink.Write_error { path; message } ->
+       Printf.eprintf "chc_serve: write failed: %s: %s\n" path message;
+       74
+     | Chc.Scenario.Data_error e ->
+       Printf.eprintf "chc_serve: bad input data: %s\n"
+         (Chc.Scenario.error_to_string e);
+       65)

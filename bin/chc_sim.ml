@@ -14,69 +14,10 @@ module Polytope = Geometry.Polytope
 module Cli = Chc.Cli
 module Executor = Chc.Executor
 
-(* --- shared arguments ------------------------------------------------ *)
-
-let n_arg =
-  Arg.(value & opt int 5 & info ["n"] ~docv:"N" ~doc:"Number of processes.")
-
-let f_arg =
-  Arg.(value & opt int 1 & info ["f"] ~docv:"F" ~doc:"Max faulty processes.")
-
-let d_arg =
-  Arg.(value & opt int 2 & info ["d"] ~docv:"D" ~doc:"Input dimension.")
-
-let eps_arg =
-  Arg.(value & opt string "0.1"
-       & info ["eps"] ~docv:"EPS"
-           ~doc:"Agreement parameter (decimal or rational a/b).")
-
-let lo_arg =
-  Arg.(value & opt string "0" & info ["lo"] ~doc:"Input lower bound (mu).")
-
-let hi_arg =
-  Arg.(value & opt string "1" & info ["hi"] ~doc:"Input upper bound (U).")
-
-let seed_arg =
-  Arg.(value & opt int 1 & info ["seed"] ~doc:"Deterministic seed.")
-
-let scheduler_arg =
-  Arg.(value & opt string "random"
-       & info ["scheduler"] ~docv:"NAME[:PARAMS]"
-           ~doc:"Adversary strategy, resolved against the scheduler \
-                 registry: $(b,random), $(b,round-robin), $(b,lifo), \
-                 $(b,lag) (starves the faulty set; or $(b,lag:0,2) for an \
-                 explicit set), and the fuzzer's $(b,delay-burst:N), \
-                 $(b,stab-boundary) and $(b,swarm:specA+specB).")
-
-let naive_arg =
-  Arg.(value & flag
-       & info ["naive-round0"]
-           ~doc:"Ablation: replace stable vector by naive first-(n-f) collection.")
-
-let kernel_arg =
-  Arg.(value & opt (some string) None
-       & info ["kernel"] ~docv:"exact|filtered|staged"
-           ~doc:"Arithmetic kernel: $(b,filtered) answers geometry \
-                 predicates from a certified float-interval filter with \
-                 exact rational fallback; $(b,staged) adds a \
-                 scaled-integer second stage (machine-int/double-word \
-                 evaluation, extended-exponent intervals and \
-                 modular-residue zero certificates) between the filter \
-                 and the fallback; $(b,exact) always runs the rational \
-                 path (the oracle). Default: the $(b,CHC_KERNEL) \
-                 environment variable, else filtered. Results are \
-                 identical in every mode.")
-
-let inputs_arg =
-  Arg.(value & opt (some string) None
-       & info ["inputs"] ~docv:"P1;P2;..."
-           ~doc:"Explicit inputs: points separated by ';', coordinates by ','. \
-                 Default: random on the configured box.")
-
-let faulty_arg =
-  Arg.(value & opt (some string) None
-       & info ["faulty"] ~docv:"I,J,..."
-           ~doc:"Faulty process ids (default: 0..f-1).")
+(* The shared execution-shaping flags (-n/-f/-d/--eps/--lo/--hi/--seed/
+   --scheduler/--naive-round0/--kernel/--inputs/--faulty) live in
+   {!Chc.Cli.common_args}; only flags specific to one subcommand are
+   defined here. *)
 
 let recover_arg =
   Arg.(value & flag
@@ -136,45 +77,12 @@ let critical_path_arg =
 
 (* --- helpers --------------------------------------------------------- *)
 
-(* Result-based spec construction shared by [run] and [trace]: every
-   user error surfaces as [Error msg], which the commands map onto
-   cmdliner's error path — no raw [Failure] backtraces. *)
-let ( let* ) r f = Result.bind r f
-
-let spec_of ~n ~f ~d ~eps ~lo ~hi ~seed ~scheduler ~naive ~inputs ~faulty =
-  let* eps = Cli.parse_q "--eps" eps in
-  let* lo = Cli.parse_q "--lo" lo in
-  let* hi = Cli.parse_q "--hi" hi in
-  let* config =
-    match Chc.Config.make ~n ~f ~d ~eps ~lo ~hi with
-    | config -> Ok config
-    | exception Invalid_argument msg -> Error msg
-  in
-  let* faulty =
-    match faulty with
-    | Some s -> Cli.parse_ids ~n ~f s
-    | None -> Ok (List.init f Fun.id)
-  in
-  let* scheduler = Cli.parse_scheduler ~faulty scheduler in
-  let round0 = if naive then `Naive else `Stable_vector in
-  let spec = Executor.default_spec ~config ~seed ~faulty ~scheduler ~round0 () in
-  match inputs with
-  | None -> Ok spec
-  | Some s ->
-    let* pts = Cli.parse_inputs ~n ~d s in
-    Ok { spec with Executor.inputs = pts }
-
 (* Install the --kernel choice as the process default before running;
    None keeps the ambient default (CHC_KERNEL or filtered). *)
 let with_kernel kernel k =
-  match kernel with
-  | None -> k ()
-  | Some s ->
-    (match Cli.parse_kernel s with
-     | Error msg -> `Error (false, msg)
-     | Ok m ->
-       Numeric.Kernel.set_default m;
-       k ())
+  match Cli.set_kernel kernel with
+  | Error msg -> `Error (false, msg)
+  | Ok () -> k ()
 
 (* --- run command ------------------------------------------------------ *)
 
@@ -184,32 +92,14 @@ let rec mkdir_p dir =
     try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
-(* --recover: turn every sampled crash-stop plan into a crash-recover
-   plan with the same trigger budget. *)
-let recoverize ~delay ~keep spec =
-  let crash =
-    Array.map
-      (fun plan ->
-         match plan with
-         | Runtime.Crash.Never | Runtime.Crash.Crash_recover _ -> plan
-         | Runtime.Crash.After_sends k ->
-           Runtime.Crash.Crash_recover
-             { trigger = Runtime.Crash.Sends k; delay; keep }
-         | Runtime.Crash.After_receives k ->
-           Runtime.Crash.Crash_recover
-             { trigger = Runtime.Crash.Receives k; delay; keep })
-      spec.Executor.crash
-  in
-  { spec with Executor.crash }
-
-let run_cmd kernel n f d eps lo hi seed scheduler naive inputs faulty recover
-    recover_delay keep wal_dir verbose svg report_json =
-  with_kernel kernel @@ fun () ->
-  match spec_of ~n ~f ~d ~eps ~lo ~hi ~seed ~scheduler ~naive ~inputs ~faulty with
+let run_cmd (c : Cli.common) recover recover_delay keep wal_dir verbose svg
+    report_json =
+  with_kernel c.Cli.kernel @@ fun () ->
+  match Cli.scenario_of_common c with
   | Error msg -> `Error (false, msg)
   | Ok spec ->
     let spec =
-      if recover then recoverize ~delay:recover_delay ~keep spec else spec
+      if recover then Cli.recoverize ~delay:recover_delay ~keep spec else spec
     in
     match
       let trace =
@@ -221,7 +111,8 @@ let run_cmd kernel n f d eps lo hi seed scheduler naive inputs faulty recover
     | exception (Failure msg | Invalid_argument msg) -> `Error (false, msg)
     | (r, trace) ->
       Printf.printf "config: n=%d f=%d d=%d eps=%s  t_end=%d  seed=%d\n"
-        n f d eps r.Executor.result.Chc.Cc.t_end seed;
+        c.Cli.n c.Cli.f c.Cli.d c.Cli.eps r.Executor.result.Chc.Cc.t_end
+        c.Cli.seed;
       Printf.printf "faulty set: {%s}\n"
         (String.concat "," (List.map string_of_int r.Executor.faulty));
       if r.Executor.recovered <> [] then
@@ -259,7 +150,7 @@ let run_cmd kernel n f d eps lo hi seed scheduler naive inputs faulty recover
       Printf.printf "messages     sent=%d delivered=%d dropped-by-crash=%d\n"
         m.Runtime.Sim.sent m.Runtime.Sim.delivered m.Runtime.Sim.dropped;
       if verbose then
-        Obs.Report.print stdout (Executor.observe ?trace ~witnesses:n r);
+        Obs.Report.print stdout (Executor.observe ?trace ~witnesses:c.Cli.n r);
       (match wal_dir with
        | None -> ()
        | Some dir ->
@@ -288,7 +179,7 @@ let run_cmd kernel n f d eps lo hi seed scheduler naive inputs faulty recover
               end)
            r.Executor.result.Chc.Cc.wal_log);
       (match svg with
-       | Some path when d = 2 ->
+       | Some path when c.Cli.d = 2 ->
          Viz.Svg.render_to_file ~path ~report:r;
          Printf.printf "svg          written to %s\n" path
        | Some _ -> prerr_endline "warning: --svg only supported for d = 2"
@@ -297,7 +188,7 @@ let run_cmd kernel n f d eps lo hi seed scheduler naive inputs faulty recover
         match report_json with
         | None -> Ok ()
         | Some path ->
-          let report = Executor.observe ?trace ~witnesses:n r in
+          let report = Executor.observe ?trace ~witnesses:c.Cli.n r in
           (match
              Obs.Sink.write_string ~path (Obs.Report.to_json report)
            with
@@ -315,8 +206,7 @@ let run_cmd kernel n f d eps lo hi seed scheduler naive inputs faulty recover
 
 let run_term =
   Term.(ret
-          (const run_cmd $ kernel_arg $ n_arg $ f_arg $ d_arg $ eps_arg $ lo_arg $ hi_arg
-           $ seed_arg $ scheduler_arg $ naive_arg $ inputs_arg $ faulty_arg
+          (const run_cmd $ Cli.common_args
            $ recover_arg $ recover_delay_arg $ keep_arg $ wal_dir_arg
            $ verbose_arg $ svg_arg $ report_json_arg))
 
@@ -325,10 +215,9 @@ let run_cmd_info =
 
 (* --- trace command ---------------------------------------------------- *)
 
-let trace_cmd kernel n f d eps lo hi seed scheduler naive inputs faulty out
-    critical_path =
-  with_kernel kernel @@ fun () ->
-  match spec_of ~n ~f ~d ~eps ~lo ~hi ~seed ~scheduler ~naive ~inputs ~faulty with
+let trace_cmd (c : Cli.common) out critical_path =
+  with_kernel c.Cli.kernel @@ fun () ->
+  match Cli.scenario_of_common c with
   | Error msg -> `Error (false, msg)
   | Ok spec ->
     let trace = Obs.Trace.create () in
@@ -336,7 +225,7 @@ let trace_cmd kernel n f d eps lo hi seed scheduler naive inputs faulty out
       Chc.Cc.execute ~trace ~round0:spec.Executor.round0
         ~config:spec.Executor.config ~inputs:spec.Executor.inputs
         ~crash:spec.Executor.crash ~scheduler:spec.Executor.scheduler
-        ~seed ()
+        ~seed:c.Cli.seed ()
     with
     | exception (Failure msg | Invalid_argument msg) -> `Error (false, msg)
     | _result ->
@@ -359,14 +248,12 @@ let trace_cmd kernel n f d eps lo hi seed scheduler naive inputs faulty out
        | Error msg -> `Error (false, msg)
        | Ok () ->
          if critical_path then
-           print_string (Obs.Causal.to_string (Obs.Causal.analyze ~n trace));
+           print_string
+             (Obs.Causal.to_string (Obs.Causal.analyze ~n:c.Cli.n trace));
          `Ok ())
 
 let trace_term =
-  Term.(ret
-          (const trace_cmd $ kernel_arg $ n_arg $ f_arg $ d_arg $ eps_arg $ lo_arg $ hi_arg
-           $ seed_arg $ scheduler_arg $ naive_arg $ inputs_arg $ faulty_arg
-           $ out_arg $ critical_path_arg))
+  Term.(ret (const trace_cmd $ Cli.common_args $ out_arg $ critical_path_arg))
 
 let trace_cmd_info =
   Cmd.info "trace"
@@ -388,9 +275,9 @@ let prof_out_arg =
        & info ["out"; "o"] ~docv:"FILE"
            ~doc:"Where the Chrome trace-event / Perfetto JSON is written.")
 
-let profile_cmd kernel n f d eps lo hi seed scheduler naive inputs faulty out =
-  with_kernel kernel @@ fun () ->
-  match spec_of ~n ~f ~d ~eps ~lo ~hi ~seed ~scheduler ~naive ~inputs ~faulty with
+let profile_cmd (c : Cli.common) out =
+  with_kernel c.Cli.kernel @@ fun () ->
+  match Cli.scenario_of_common c with
   | Error msg -> `Error (false, msg)
   | Ok spec ->
     Obs.Prof.reset ();
@@ -414,7 +301,7 @@ let profile_cmd kernel n f d eps lo hi seed scheduler naive inputs faulty out =
          in
          Printf.printf
            "profile: %d spans written to %s (%d/%d processes decided)\n"
-           (Obs.Prof.span_count ()) out decided n;
+           (Obs.Prof.span_count ()) out decided c.Cli.n;
          Printf.printf "%-22s %8s %12s %10s %10s %10s\n"
            "span" "calls" "total_ms" "p50_us" "p99_us" "max_us";
          List.iter
@@ -429,10 +316,7 @@ let profile_cmd kernel n f d eps lo hi seed scheduler naive inputs faulty out =
          `Ok ())
 
 let profile_term =
-  Term.(ret
-          (const profile_cmd $ kernel_arg $ n_arg $ f_arg $ d_arg $ eps_arg $ lo_arg
-           $ hi_arg $ seed_arg $ scheduler_arg $ naive_arg $ inputs_arg
-           $ faulty_arg $ prof_out_arg))
+  Term.(ret (const profile_cmd $ Cli.common_args $ prof_out_arg))
 
 let profile_cmd_info =
   Cmd.info "profile"
@@ -453,20 +337,22 @@ let profile_cmd_info =
 
 (* --- bound command ---------------------------------------------------- *)
 
-let bound_cmd n f d eps lo hi =
+let bound_cmd (c : Cli.common) =
   try
     let config =
-      Chc.Config.make ~n ~f ~d ~eps:(Q.of_string eps) ~lo:(Q.of_string lo)
-        ~hi:(Q.of_string hi)
+      Chc.Config.make ~n:c.Cli.n ~f:c.Cli.f ~d:c.Cli.d
+        ~eps:(Q.of_string c.Cli.eps) ~lo:(Q.of_string c.Cli.lo)
+        ~hi:(Q.of_string c.Cli.hi)
     in
-    Printf.printf "n=%d f=%d d=%d eps=%s range=[%s,%s]\n" n f d eps lo hi;
-    Printf.printf "resilience: n >= (d+2)f+1 = %d  (ok)\n" (((d + 2) * f) + 1);
+    Printf.printf "n=%d f=%d d=%d eps=%s range=[%s,%s]\n" c.Cli.n c.Cli.f
+      c.Cli.d c.Cli.eps c.Cli.lo c.Cli.hi;
+    Printf.printf "resilience: n >= (d+2)f+1 = %d  (ok)\n"
+      (((c.Cli.d + 2) * c.Cli.f) + 1);
     Printf.printf "t_end (eq. 19) = %d rounds\n" (Chc.Bounds.t_end config);
     `Ok ()
   with Invalid_argument msg | Failure msg -> `Error (false, msg)
 
-let bound_term =
-  Term.(ret (const bound_cmd $ n_arg $ f_arg $ d_arg $ eps_arg $ lo_arg $ hi_arg))
+let bound_term = Term.(ret (const bound_cmd $ Cli.common_args))
 
 let bound_cmd_info =
   Cmd.info "bound" ~doc:"Print the analytic round bound t_end (equation 19)."
@@ -597,9 +483,10 @@ let fuzz_cmd kernel differential trials seed time_budget out_dir max_findings
 
 let fuzz_term =
   Term.(ret
-          (const fuzz_cmd $ kernel_arg $ differential_arg $ trials_arg $ seed_arg $ time_budget_arg
-           $ out_dir_arg $ max_findings_arg $ canary_arg $ naive_space_arg
-           $ recover_space_arg $ unsound_sync_arg))
+          (const fuzz_cmd $ Cli.kernel_arg $ differential_arg $ trials_arg
+           $ Cli.seed_arg $ time_budget_arg $ out_dir_arg $ max_findings_arg
+           $ canary_arg $ naive_space_arg $ recover_space_arg
+           $ unsound_sync_arg))
 
 let fuzz_cmd_info =
   Cmd.info "fuzz"
@@ -624,7 +511,10 @@ let file_arg =
 let replay_cmd kernel file =
   with_kernel kernel @@ fun () ->
   match Fuzz.Artifact.load_any file with
-  | Error msg -> `Error (false, msg)
+  | Error e ->
+    (* Typed scenario/artifact data error: mapped to exit 65
+       (EX_DATAERR) by the top-level handler, alongside Sink's 74. *)
+    raise (Chc.Scenario.Data_error e)
   | Ok artifact ->
     let scenario = artifact.Fuzz.Artifact.scenario in
     Printf.printf "replay: %s\n" (Chc.Scenario.describe scenario);
@@ -639,7 +529,7 @@ let replay_cmd kernel file =
        Printf.printf "verdict: FAIL (%s)\n" msg;
        `Error (false, "violation reproduced"))
 
-let replay_term = Term.(ret (const replay_cmd $ kernel_arg $ file_arg))
+let replay_term = Term.(ret (const replay_cmd $ Cli.kernel_arg $ file_arg))
 
 let replay_cmd_info =
   Cmd.info "replay"
@@ -662,8 +552,8 @@ let () =
   in
   exit
     (try
-       (* catch:false so the typed Write_error below reaches this
-          handler instead of cmdliner's exit-125 backtrace printer. *)
+       (* catch:false so the typed errors below reach these handlers
+          instead of cmdliner's exit-125 backtrace printer. *)
        Cmd.eval ~catch:false
          (Cmd.group info
             [ Cmd.v run_cmd_info run_term;
@@ -672,9 +562,16 @@ let () =
               Cmd.v bound_cmd_info bound_term;
               Cmd.v fuzz_cmd_info fuzz_term;
               Cmd.v replay_cmd_info replay_term ])
-     with Obs.Sink.Write_error { path; message } ->
+     with
+     | Obs.Sink.Write_error { path; message } ->
        (* Typed I/O failure from any atomic sink write (artifacts,
           traces, WAL persistence): report which file and exit with
           EX_IOERR so scripts can tell "finding" from "disk". *)
        Printf.eprintf "chc_sim: write failed: %s: %s\n" path message;
-       74)
+       74
+     | Chc.Scenario.Data_error e ->
+       (* Typed user-data failure (malformed/unsupported scenario or
+          artifact file): EX_DATAERR, distinct from I/O's 74. *)
+       Printf.eprintf "chc_sim: bad input data: %s\n"
+         (Chc.Scenario.error_to_string e);
+       65)

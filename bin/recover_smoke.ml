@@ -191,7 +191,7 @@ let check_teeth () =
        check "minimized scenario round-trips (v2 codec)"
          (Scenario.equal minimized t')
      | Error e ->
-       Printf.printf "  codec error: %s\n" e;
+       Printf.printf "  codec error: %s\n" (Scenario.error_to_string e);
        check "minimized scenario round-trips (v2 codec)" false)
 
 let () =

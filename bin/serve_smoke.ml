@@ -1,0 +1,165 @@
+(* Serving-daemon smoke pass (dune build @serve-smoke, part of @ci):
+
+   1. 200 mixed instances — the E15 workload shapes, including
+      crash-recovery ones — through an in-process server, every
+      decision graded against Theorem 2 on the spot;
+   2. the Prometheus exposition must contain every chc_serve metric
+      family the daemon advertises;
+   3. when handed the daemon binary (argv 1), a real-socket leg: spawn
+      [chc_serve listen] on an ephemeral port, submit instances as
+      length-prefixed frames over TCP, and check the Decision
+      responses against an in-process re-execution of the same
+      inputs. *)
+
+module Q = Numeric.Q
+module Frame = Serve.Frame
+module Server = Serve.Server
+module Workload = Serve.Workload
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("FAIL: " ^ s); exit 1) fmt
+
+let check name b = if not b then fail "%s" name else Printf.printf "ok: %s\n%!" name
+
+(* --- leg 1: in-process workload -------------------------------------- *)
+
+let in_process () =
+  let server = Server.create ~fuel:64 () in
+  let rng = Runtime.Rng.create 77 in
+  let phase =
+    Workload.closed_loop ~server ~rng ~mix:Workload.default_mix
+      ~label:"smoke" ~first_id:0 ~concurrency:64 ~total:200
+  in
+  check "200 mixed instances decided" (phase.Workload.instances = 200);
+  (match phase.Workload.grade_failures with
+   | [] -> Printf.printf "ok: Theorem 2 holds for all 200 (%.1f inst/s)\n%!"
+             phase.Workload.throughput_ips
+   | msg :: _ ->
+     fail "%d Theorem 2 violation(s), first: %s"
+       (List.length phase.Workload.grade_failures) msg)
+
+(* --- leg 2: metric families ------------------------------------------ *)
+
+let metric_families () =
+  (* touch the frame codec so its counter families exist too *)
+  let dec = Frame.decoder () in
+  Frame.feed dec (Frame.encode_frame "probe");
+  (match Frame.next dec with
+   | Some "probe" -> ()
+   | _ -> fail "frame probe did not round-trip");
+  let exposition = Obs.Metrics.exposition_all () in
+  List.iter
+    (fun family ->
+       let found =
+         let flen = String.length family and elen = String.length exposition in
+         let rec scan i =
+           i + flen <= elen
+           && (String.sub exposition i flen = family || scan (i + 1))
+         in
+         scan 0
+       in
+       check (Printf.sprintf "exposition contains %s" family) found)
+    [ "chc_serve_instances_total"; "chc_serve_inflight";
+      "chc_serve_throughput_ips"; "chc_serve_decision_latency_seconds";
+      "chc_serve_frames_total"; "chc_serve_frame_bytes_total" ]
+
+(* --- leg 3: the daemon over a real socket ----------------------------- *)
+
+let read_port daemon_out =
+  (* first line: "chc_serve: listening on 127.0.0.1:PORT (...)" *)
+  let line = input_line daemon_out in
+  match String.rindex_opt line ':' with
+  | None -> fail "cannot parse daemon banner: %s" line
+  | Some i ->
+    let rest = String.sub line (i + 1) (String.length line - i - 1) in
+    (match int_of_string_opt (List.hd (String.split_on_char ' ' rest)) with
+     | Some p -> p
+     | None -> fail "cannot parse port from banner: %s" line)
+
+let recv_response sock dec =
+  let buf = Bytes.create 4096 in
+  let rec go () =
+    match Frame.next dec with
+    | Some payload ->
+      let r = Codec.Wire.reader_of_string payload in
+      Frame.read_response r
+    | None ->
+      (match Unix.read sock buf 0 (Bytes.length buf) with
+       | 0 -> fail "daemon closed the connection early"
+       | k ->
+         Frame.feed dec (Bytes.sub_string buf 0 k);
+         go ())
+  in
+  go ()
+
+let socket_leg daemon_exe =
+  let total = 10 in
+  let daemon_out =
+    Unix.open_process_in
+      (Filename.quote_command daemon_exe
+         [ "listen"; "--port"; "0"; "--limit"; string_of_int total ])
+  in
+  let port = read_port daemon_out in
+  Printf.printf "ok: daemon up on port %d\n%!" port;
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let rng = Runtime.Rng.create 99 in
+  let shape = { Workload.n = 5; f = 1; d = 2; recover = false } in
+  let jobs = List.init total (fun id -> Workload.job ~rng ~id shape) in
+  List.iter
+    (fun (j : Server.job) ->
+       let b = Buffer.create 256 in
+       Frame.write_request b
+         (Frame.Submit
+            { id = j.Server.id; n = 5; f = 1; d = 2;
+              eps = Q.of_ints 1 100; lo = Q.zero; hi = Q.one;
+              inputs = j.Server.inputs });
+       let frame = Frame.encode_frame (Buffer.contents b) in
+       let n = Unix.write_substring sock frame 0 (String.length frame) in
+       if n <> String.length frame then fail "short write to daemon")
+    jobs;
+  (* the daemon must answer every submission with a Decision, and the
+     decided polytope must equal an in-process execution of the same
+     instance (both sides are deterministic FIFO loopbacks) *)
+  let dec = Frame.decoder () in
+  let got = Hashtbl.create total in
+  for _ = 1 to total do
+    match recv_response sock dec with
+    | Frame.Decision { id; output; _ } -> Hashtbl.replace got id output
+    | Frame.Rejected { id; reason } ->
+      fail "daemon rejected instance %d: %s" id reason
+  done;
+  Unix.close sock;
+  (match Unix.close_process_in daemon_out with
+   | Unix.WEXITED 0 -> ()
+   | Unix.WEXITED c -> fail "daemon exited with %d" c
+   | Unix.WSIGNALED s | Unix.WSTOPPED s -> fail "daemon killed by signal %d" s);
+  check "all submissions answered" (Hashtbl.length got = total);
+  let reference = Server.create ~shards:1 ~fuel:64 () in
+  List.iter (Server.submit reference) jobs;
+  let outcomes = Server.drain reference in
+  List.iter
+    (fun (o : Server.outcome) ->
+       match Server.response_of_outcome o with
+       | Frame.Decision { id; output; _ } ->
+         (match Hashtbl.find_opt got id with
+          | Some remote when Geometry.Polytope.equal remote output -> ()
+          | Some _ -> fail "instance %d: socket and in-process decisions differ" id
+          | None -> fail "instance %d never answered" id)
+       | Frame.Rejected _ -> fail "reference execution rejected an instance")
+    outcomes;
+  Printf.printf "ok: %d socket decisions match in-process executions\n%!" total
+
+let () =
+  in_process ();
+  metric_families ();
+  if Array.length Sys.argv > 1 then
+    (* dune passes the daemon path relative to the rule's cwd; make it
+       absolute so the shell spawning it does not consult PATH *)
+    let daemon =
+      if Filename.is_relative Sys.argv.(1) then
+        Filename.concat (Sys.getcwd ()) Sys.argv.(1)
+      else Sys.argv.(1)
+    in
+    socket_leg daemon
+  else print_endline "note: no daemon path given, socket leg skipped";
+  print_endline "serve smoke: all checks passed"

@@ -1,17 +1,14 @@
 module Q = Numeric.Q
-module Combin = Numeric.Combin
 module Sim = Runtime.Sim
-module Wal = Runtime.Wal
-module SV = Protocol.Stable_vector
-module Rounds = Protocol.Rounds
+module Transport = Runtime.Transport
 
-type round0_mode = [ `Stable_vector | `Naive ]
+(* Algorithm CC, as the composition of [n] sans-IO {!Instance}s with
+   the adversarially-scheduled {!Runtime.Sim} transport. All protocol
+   logic lives in {!Instance}; this module is the driver: it wires
+   instance effects to simulator endpoints, crash hooks to instance
+   crashes, and assembles the execution report. *)
 
-type msg =
-  | Sv of Geometry.Vec.t SV.msg
-  | Input0 of Geometry.Vec.t
-  | Round of int * Geometry.Polytope.t
-  | Rejoin of int
+type round0_mode = Instance.round0_mode
 
 type result = {
   t_end : int;
@@ -43,443 +40,65 @@ let is_recover_plan = function
   | Runtime.Crash.Never | Runtime.Crash.After_sends _
   | Runtime.Crash.After_receives _ -> false
 
-(* Line 5 of Algorithm CC: intersection over all multisets obtained by
-   dropping f elements of X_i. Non-emptiness is Lemma 2 (Tverberg):
-   any multiset of >= (d+1)f + 1 points admits the required common
-   point, and |X_i| >= n - f >= (d+1)f + 1 by the resilience bound. *)
-let round0_polytope ~dim ~f pts =
-  Obs.Prof.with_span "cc.round0" @@ fun () ->
-  let keep = List.length pts - f in
-  if keep < 1 then invalid_arg "Cc.round0_polytope: not enough points";
-  (* All C(|X_i|, f) subset hulls draw from the same input points, so
-     they share one denominator grid (lazily built on the first
-     construction that needs it; pool workers fall back to local
-     grids, which only costs the shared scan). *)
-  Numeric.Grid.with_round (fun () -> Numeric.Grid.make pts) @@ fun () ->
-  (* The C(|X_i|, f) per-subset hulls are independent; fan them out
-     over the domain pool (results merged in subset order, so the
-     intersection below sees a scheduling-independent list). *)
-  let hulls =
-    Parallel.Pool.parallel_map (Parallel.Pool.global ())
-      (Geometry.Polytope.of_points ~dim)
-      (Combin.subsets_of_size keep pts)
-  in
-  match Geometry.Polytope.intersect hulls with
-  | Some h -> h
-  | None -> failwith "Cc: round-0 intersection empty — Lemma 2 violated"
-
-(* Mutable per-process protocol state, captured by the handler
-   closures. The last block of fields is observer state that survives
-   recovery resets: trace dedup watermarks and the first externalized
-   decision (the anchor of the durability oracle's redecision check). *)
-type proc = {
-  id : int;
-  mutable sv : Geometry.Vec.t SV.state option;
-  mutable rounds : Geometry.Polytope.t Rounds.t;
-  mutable naive0 : Geometry.Vec.t Rounds.t;
-  mutable current : int;       (* 0 while in round 0; t_end+1 once decided *)
-  mutable h : Geometry.Polytope.t option;
-  mutable view : (int * Geometry.Vec.t) list option;
-  mutable hist : (int * Geometry.Polytope.t) list;     (* reverse order *)
-  mutable snd_log : (int * int list) list;    (* reverse order *)
-  mutable sent_log : (int * bool) list;       (* reverse order *)
-  mutable down : bool;         (* crashed, revival pending *)
-  mutable replaying : bool;    (* inside the recovery replay *)
-  mutable max_emitted : int;   (* highest Round_enter round emitted *)
-  mutable decide_emitted : bool;
-  mutable first_output : Geometry.Polytope.t option;
-}
+let round0_polytope = Instance.round0_polytope
 
 let execute ?trace ?(prefix = []) ?(round0 = `Stable_vector) ?wal ~config
     ~inputs ~crash ~scheduler ~seed () =
-  let { Config.n; f; d; _ } = config in
+  let { Config.n; _ } = config in
   if Array.length inputs <> n then invalid_arg "Cc.execute: need n inputs";
-  Array.iter (Config.validate_input config) inputs;
+  (* per-input validation happens in [Instance.create] *)
   if Array.length crash <> n then invalid_arg "Cc.execute: need n crash plans";
   Obs.Prof.with_span "cc.execute" @@ fun () ->
-  let t_end = Bounds.t_end config in
-  let threshold = n - f in
-  let outputs = Array.make n None in
-  let redecided = ref [] in
-
   (* Durability is armed by an explicit WAL config or by any
      crash-recovery plan; without either the WAL layer stays entirely
      out of the hot path. *)
   let recovery_on = wal <> None || Array.exists is_recover_plan crash in
-  let wal_cfg = match wal with Some c -> c | None -> Wal.default_config in
-  let wals : Recovery.event Wal.t array option =
-    if recovery_on then Some (Array.init n (fun _ -> Wal.create wal_cfg))
+  let wal_spec =
+    if recovery_on then
+      Some (Option.value wal ~default:Runtime.Wal.default_config)
     else None
   in
-
-  let emit ev =
-    match trace with None -> () | Some tr -> Obs.Trace.emit tr ev
+  let spec = Instance.spec ~round0 ?wal:wal_spec config in
+  let insts = Array.init n (fun i -> Instance.create spec ~me:i ~input:inputs.(i)) in
+  let emit =
+    match trace with None -> fun _ -> () | Some tr -> Obs.Trace.emit tr
   in
-  let nverts h = List.length (Geometry.Polytope.vertices h) in
-
-  let procs =
-    Array.init n (fun i ->
-        { id = i;
-          sv = None;
-          rounds = Rounds.create ~threshold;
-          naive0 = Rounds.create ~threshold;
-          current = 0;
-          h = None;
-          view = None;
-          hist = [];
-          snd_log = [];
-          sent_log = [];
-          down = false;
-          replaying = false;
-          max_emitted = -1;
-          decide_emitted = false;
-          first_output = None })
-  in
-
-  let wal_append p ev =
-    match wals with
-    | Some ws when not p.down && not p.replaying -> Wal.append ws.(p.id) ev
-    | _ -> ()
-  in
-  (* The write barrier: called before every externalization (send,
-     decide) so replay can never roll a process back behind state the
-     rest of the system has observed. Under [Unsound] this is a no-op
-     — the injected bug the fuzz oracle must catch. *)
-  let wal_sync p =
-    match wals with Some ws -> Wal.sync ws.(p.id) | None -> ()
-  in
-
-  (* Broadcast while recording whether any copy reached a channel —
-     this drives the F[t] sets of the matrix analysis. During replay
-     nothing is sent; the flag is conservatively recorded as [false]
-     and repaired by the rejoin re-broadcast. *)
-  let broadcast_tracked ctx p ~round msg =
-    if p.replaying then p.sent_log <- (round, false) :: p.sent_log
-    else begin
-      if not p.down then wal_sync p;
-      let before = Sim.sends ctx in
-      Sim.broadcast ctx msg;
-      p.sent_log <- (round, Sim.sends ctx > before) :: p.sent_log
-    end
-  in
-
-  (* Stable-vector announces route through here: muted during replay,
-     synced (write barrier) when live. *)
-  let sv_broadcast ctx p m =
-    if not p.down && not p.replaying then begin
-      wal_sync p;
-      Sim.broadcast ctx (Sv m)
-    end
-  in
-
-  let rec enter_round ctx p t =
-    if not p.down then begin
-      p.current <- t;
-      let h = Option.get p.h in
-      if not (Rounds.mem p.rounds ~round:t ~src:p.id) then
-        Rounds.add p.rounds ~round:t ~src:p.id h;
-      broadcast_tracked ctx p ~round:t (Round (t, h));
-      try_advance ctx p
-    end
-
-  and try_advance ctx p =
-    if (not p.down) && p.current >= 1 && p.current <= t_end
-       && Rounds.ready p.rounds ~round:p.current
-    then begin
-      let y = Rounds.freeze p.rounds ~round:p.current in
-      let h =
-        Obs.Prof.with_span "cc.round" (fun () ->
-            let polys = List.map snd y in
-            (* Per-round grid lifecycle: every hull construction in
-               this round's average shares one denominator grid. The
-               build is deferred — rounds fully served by the memo
-               tables never pay for the lcm scan. *)
-            Numeric.Grid.with_round
-              (fun () ->
-                 Numeric.Grid.make_scaled ~mult:(List.length polys)
-                   (List.concat_map Geometry.Polytope.vertices polys))
-              (fun () -> Geometry.Polytope.average polys))
-      in
-      p.h <- Some h;
-      p.hist <- (p.current, h) :: p.hist;
-      p.snd_log <- (p.current, List.map fst y) :: p.snd_log;
-      if (not p.replaying) && p.current > p.max_emitted then begin
-        p.max_emitted <- p.current;
-        emit (Obs.Trace.Round_enter
-                { pid = p.id; round = p.current; vertices = nverts h })
-      end;
-      if p.current = t_end then begin
-        if not p.replaying then wal_sync p;   (* decisions are durable *)
-        (match p.first_output with
-         | None -> p.first_output <- Some h
-         | Some h0 ->
-           if not (Geometry.Polytope.equal h0 h)
-              && not (List.mem p.id !redecided)
-           then redecided := p.id :: !redecided);
-        outputs.(p.id) <- Some h;
-        if (not p.replaying) && not p.decide_emitted then begin
-          p.decide_emitted <- true;
-          emit (Obs.Trace.Decide
-                  { pid = p.id; round = t_end; vertices = nverts h })
-        end;
-        p.current <- t_end + 1
-      end
-      else enter_round ctx p (p.current + 1)
-    end
-  in
-
-  let complete_round0 ctx p entries =
-    p.view <- Some entries;
-    let h0 = round0_polytope ~dim:d ~f (List.map snd entries) in
-    p.h <- Some h0;
-    p.hist <- (0, h0) :: p.hist;
-    if (not p.replaying) && p.max_emitted < 0 then begin
-      p.max_emitted <- 0;
-      emit (Obs.Trace.Round_enter { pid = p.id; round = 0; vertices = nverts h0 })
-    end;
-    enter_round ctx p 1
-  in
-
-  let check_stable ctx p =
-    if (not p.down) && p.current = 0 && p.view = None then begin
-      match p.sv with
-      | None -> ()
-      | Some st ->
-        (match SV.result st with
-         | Some entries ->
-           complete_round0 ctx p
-             (List.map (fun e -> (e.SV.origin, e.SV.value)) entries)
-         | None -> ())
-    end
-  in
-
-  let check_naive ctx p =
-    if (not p.down) && p.current = 0 && p.view = None
-       && Rounds.ready p.naive0 ~round:0
-    then complete_round0 ctx p (Rounds.freeze p.naive0 ~round:0)
-  in
-
-  (* One state-bearing delivery, shared by the live path and replay.
-     Rejoin re-broadcasts make duplicate (round, src) pairs benign, so
-     arrivals are deduplicated here instead of letting [Rounds.add]
-     treat them as harness bugs. *)
-  let handle_payload ctx p src payload =
-    match payload with
-    | Recovery.Sv_view entries ->
-      (match p.sv with
-       | Some st ->
-         SV.on_receive st ~src (SV.msg_of_entries entries);
-         check_stable ctx p
-       | None -> ())
-    | Recovery.Input x ->
-      if not (Rounds.mem p.naive0 ~round:0 ~src) then begin
-        Rounds.add p.naive0 ~round:0 ~src x;
-        check_naive ctx p
-      end
-    | Recovery.Round_msg (t, h) ->
-      if not (Rounds.mem p.rounds ~round:t ~src) then begin
-        Rounds.add p.rounds ~round:t ~src h;
-        if t = p.current then try_advance ctx p
-      end
-  in
-
-  let start_proc ctx p =
-    match round0 with
-    | `Stable_vector ->
-      let before = Sim.sends ctx in
-      let st =
-        SV.create ?trace ~n ~f ~me:p.id ~value:inputs.(p.id)
-          ~broadcast:(sv_broadcast ctx p) ()
-      in
-      p.sent_log <- (0, Sim.sends ctx > before) :: p.sent_log;
-      p.sv <- Some st;
-      check_stable ctx p
-    | `Naive ->
-      if not (Rounds.mem p.naive0 ~round:0 ~src:p.id) then
-        Rounds.add p.naive0 ~round:0 ~src:p.id inputs.(p.id);
-      broadcast_tracked ctx p ~round:0 (Input0 inputs.(p.id));
-      check_naive ctx p
-  in
-
-  let snapshot_of p : Recovery.snapshot =
-    { Recovery.current = p.current;
-      h = p.h;
-      view = p.view;
-      hist = List.rev p.hist;
-      snd_log = List.rev p.snd_log;
-      sent_log = List.rev p.sent_log;
-      rounds = Rounds.dump p.rounds;
-      naive0 = Rounds.dump p.naive0;
-      sv = Option.map SV.dump p.sv }
-  in
-
-  let restore_snapshot ctx p (s : Recovery.snapshot) =
-    p.current <- s.Recovery.current;
-    p.h <- s.Recovery.h;
-    p.view <- s.Recovery.view;
-    p.hist <- List.rev s.Recovery.hist;
-    p.snd_log <- List.rev s.Recovery.snd_log;
-    p.sent_log <- List.rev s.Recovery.sent_log;
-    p.rounds <- Rounds.restore ~threshold s.Recovery.rounds;
-    p.naive0 <- Rounds.restore ~threshold s.Recovery.naive0;
-    p.sv <-
-      Option.map
-        (SV.restore ?trace ~n ~f ~me:p.id ~broadcast:(sv_broadcast ctx p))
-        s.Recovery.sv
-  in
-
-  (* Checkpoint after the handler has fully run, so the snapshot is the
-     state reached by applying every entry logged before it. *)
-  let maybe_checkpoint p =
-    match wals with
-    | Some ws when not p.down && not p.replaying ->
-      let w = ws.(p.id) in
-      if Wal.length w > 0 && Wal.length w mod wal_cfg.Wal.checkpoint_every = 0
-      then Wal.append w (Recovery.Checkpoint (snapshot_of p))
-    | _ -> ()
-  in
-
-  let deliver ctx p src payload =
-    wal_append p (Recovery.Delivered { src; payload });
-    handle_payload ctx p src payload;
-    maybe_checkpoint p
-  in
-
-  (* A live process answers a recovering one directly: its current
-     round-0 knowledge plus every round message the rejoiner may have
-     missed. Stateless — not logged; with n - f never-crashed
-     processes at least n - f answers arrive, enough to re-reach every
-     threshold. *)
-  let answer_rejoin ctx q src r =
-    if not q.down && not q.replaying then begin
-      wal_sync q;
-      (match round0 with
-       | `Stable_vector ->
-         (match q.sv with
-          | Some st -> Sim.send ctx src (Sv (SV.current_msg st))
-          | None -> ())
-       | `Naive -> Sim.send ctx src (Input0 inputs.(q.id)));
-      List.iter
-        (fun (tm1, h) ->
-           let t = tm1 + 1 in
-           if t >= Stdlib.max r 1 && t <= t_end then
-             Sim.send ctx src (Round (t, h)))
-        (List.rev q.hist)
-    end
-  in
-
-  (* Re-externalize the current round and ask the world for what was
-     missed. The re-broadcast repairs the conservative [false] the
-     muted replay put in sent_log. *)
-  let rejoin ctx p =
-    if p.current = 0 then begin
-      (match round0 with
-       | `Stable_vector ->
-         (match p.sv with
-          | Some st ->
-            let before = Sim.sends ctx in
-            SV.reannounce st;
-            if Sim.sends ctx > before then
-              p.sent_log <- (0, true) :: List.remove_assoc 0 p.sent_log
-          | None -> ())
-       | `Naive ->
-         p.sent_log <- List.remove_assoc 0 p.sent_log;
-         broadcast_tracked ctx p ~round:0 (Input0 inputs.(p.id)));
-      Sim.broadcast ctx (Rejoin 0)
-    end
-    else if p.current <= t_end then begin
-      (match List.assoc_opt (p.current - 1) p.hist with
-       | Some v ->
-         p.sent_log <- List.remove_assoc p.current p.sent_log;
-         broadcast_tracked ctx p ~round:p.current (Round (p.current, v))
-       | None -> ());
-      Sim.broadcast ctx (Rejoin p.current)
-    end
-    (* else: decided before the crash and the replay re-reached the
-       decision — stay live so others' rejoins still get answers. *)
-  in
-
-  (* Revival: rebuild protocol state from the surviving WAL prefix —
-     wholesale, since a dying handler may have mutated state past the
-     crash point — then re-enter the protocol. *)
-  let recover ctx =
-    let p = procs.(Sim.me ctx) in
-    let w = (Option.get wals).(p.id) in
-    Obs.Prof.with_span "cc.recover" @@ fun () ->
-    Wal.reopen w;
-    p.sv <- None;
-    p.rounds <- Rounds.create ~threshold;
-    p.naive0 <- Rounds.create ~threshold;
-    p.current <- 0;
-    p.h <- None;
-    p.view <- None;
-    p.hist <- [];
-    p.snd_log <- [];
-    p.sent_log <- [];
-    p.down <- false;
-    p.replaying <- true;
-    let snap, tail =
-      List.fold_left
-        (fun (snap, tail) ev ->
-           match ev with
-           | Recovery.Checkpoint s -> (Some s, [])
-           | Recovery.Delivered _ -> (snap, ev :: tail))
-        (None, []) (Wal.entries w)
+  let run_effects (ep : Instance.msg Transport.ep) effs =
+    let inst = insts.(ep.Transport.me) in
+    let io =
+      Instance.io ~send:ep.Transport.send
+        ~broadcast:(fun m -> ep.Transport.broadcast m)
+        ~sends:ep.Transport.sends ~emit ()
     in
-    (match snap with
-     | Some s -> restore_snapshot ctx p s
-     | None -> start_proc ctx p);
-    List.iter
-      (function
-        | Recovery.Delivered { src; payload } -> handle_payload ctx p src payload
-        | Recovery.Checkpoint _ -> ())
-      (List.rev tail);
-    p.replaying <- false;
-    rejoin ctx p
+    Instance.interpret inst io effs
   in
-
-  let on_crash i ~keep =
-    let p = procs.(i) in
-    p.down <- true;
-    match wals with
-    | Some ws -> Wal.crash ws.(i) ~keep
-    | None -> ()
-  in
-
   let make i =
-    let p = procs.(i) in
-    { Sim.on_start =
-        (fun ctx -> if p.down then () else start_proc ctx p);
+    let inst = insts.(i) in
+    { Transport.on_start = (fun ep -> run_effects ep (Instance.start inst));
       on_receive =
-        (fun ctx src msg ->
-           if p.down then ()
-           else
-             match msg with
-             | Rejoin r -> answer_rejoin ctx p src r
-             | Sv m -> deliver ctx p src (Recovery.Sv_view (SV.msg_entries m))
-             | Input0 x -> deliver ctx p src (Recovery.Input x)
-             | Round (t, h) -> deliver ctx p src (Recovery.Round_msg (t, h))) }
+        (fun ep ~src msg -> run_effects ep (Instance.handle inst ~src msg)) }
   in
-
+  let on_crash i ~keep = Instance.crash insts.(i) ~keep in
+  let on_recover (ep : Instance.msg Transport.ep) =
+    run_effects ep (Instance.recover insts.(ep.Transport.me))
+  in
   let sys =
-    Sim.create ?trace ~prefix ~on_crash ~on_recover:recover ~n ~seed
-      ~scheduler ~crash ~make ()
+    Sim.create ?trace ~prefix ~on_crash ~on_recover ~n ~seed ~scheduler ~crash
+      ~make ()
   in
   Sim.run sys;
 
-  { t_end;
-    outputs;
-    round0_views = Array.map (fun p -> p.view) procs;
-    history = Array.map (fun p -> List.rev p.hist) procs;
-    senders = Array.map (fun p -> List.rev p.snd_log) procs;
-    sent_round = Array.map (fun p -> List.rev p.sent_log) procs;
+  { t_end = spec.Instance.t_end;
+    outputs = Array.map Instance.poll_decision insts;
+    round0_views = Array.map Instance.view insts;
+    history = Array.map Instance.history insts;
+    senders = Array.map Instance.senders insts;
+    sent_round = Array.map Instance.sent_round insts;
     crashed = Array.init n (Sim.crashed sys);
     recovered = Array.init n (Sim.recovered_of sys);
-    redecided = List.sort compare !redecided;
-    wal_log =
-      (match wals with
-       | Some ws -> Array.map Wal.entries ws
-       | None -> Array.make n []);
+    redecided =
+      List.filter (fun i -> Instance.redecided insts.(i)) (List.init n Fun.id);
+    wal_log = Array.map Instance.wal_entries insts;
     sends_attempted = Array.init n (Sim.sends_of sys);
     receives_seen = Array.init n (Sim.receives_of sys);
     metrics = Sim.metrics sys }

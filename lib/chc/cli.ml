@@ -76,3 +76,144 @@ let parse_inputs ~n ~d s =
       (Printf.sprintf "--inputs: expected %d points, got %d" n
          (List.length pts))
   else Ok (Array.of_list pts)
+
+(* --- the shared command-line surface ----------------------------------- *)
+
+(* One definition per flag, shared by every chc_sim subcommand and by
+   chc_serve — the doc strings and defaults cannot drift apart per
+   subcommand anymore. *)
+
+module Arg = Cmdliner.Arg
+module Term = Cmdliner.Term
+
+type common = {
+  n : int;
+  f : int;
+  d : int;
+  eps : string;
+  lo : string;
+  hi : string;
+  seed : int;
+  scheduler : string;
+  naive : bool;
+  kernel : string option;
+  inputs : string option;
+  faulty : string option;
+}
+
+let n_arg =
+  Arg.(value & opt int 5 & info ["n"] ~docv:"N" ~doc:"Number of processes.")
+
+let f_arg =
+  Arg.(value & opt int 1 & info ["f"] ~docv:"F" ~doc:"Max faulty processes.")
+
+let d_arg =
+  Arg.(value & opt int 2 & info ["d"] ~docv:"D" ~doc:"Input dimension.")
+
+let eps_arg =
+  Arg.(value & opt string "0.1"
+       & info ["eps"] ~docv:"EPS"
+           ~doc:"Agreement parameter (decimal or rational a/b).")
+
+let lo_arg =
+  Arg.(value & opt string "0" & info ["lo"] ~doc:"Input lower bound (mu).")
+
+let hi_arg =
+  Arg.(value & opt string "1" & info ["hi"] ~doc:"Input upper bound (U).")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info ["seed"] ~doc:"Deterministic seed.")
+
+let scheduler_arg =
+  Arg.(value & opt string "random"
+       & info ["scheduler"] ~docv:"NAME[:PARAMS]"
+           ~doc:"Adversary strategy, resolved against the scheduler \
+                 registry: $(b,random), $(b,round-robin), $(b,lifo), \
+                 $(b,fifo), $(b,lag) (starves the faulty set; or \
+                 $(b,lag:0,2) for an explicit set), and the fuzzer's \
+                 $(b,delay-burst:N), $(b,stab-boundary) and \
+                 $(b,swarm:specA+specB).")
+
+let naive_arg =
+  Arg.(value & flag
+       & info ["naive-round0"]
+           ~doc:"Ablation: replace stable vector by naive first-(n-f) \
+                 collection.")
+
+let kernel_arg =
+  Arg.(value & opt (some string) None
+       & info ["kernel"] ~docv:"exact|filtered|staged"
+           ~doc:"Arithmetic kernel: $(b,filtered) answers geometry \
+                 predicates from a certified float-interval filter with \
+                 exact rational fallback; $(b,staged) adds a \
+                 scaled-integer second stage (machine-int/double-word \
+                 evaluation, extended-exponent intervals and \
+                 modular-residue zero certificates) between the filter \
+                 and the fallback; $(b,exact) always runs the rational \
+                 path (the oracle). Default: the $(b,CHC_KERNEL) \
+                 environment variable, else filtered. Results are \
+                 identical in every mode.")
+
+let inputs_arg =
+  Arg.(value & opt (some string) None
+       & info ["inputs"] ~docv:"P1;P2;..."
+           ~doc:"Explicit inputs: points separated by ';', coordinates by \
+                 ','. Default: random on the configured box.")
+
+let faulty_arg =
+  Arg.(value & opt (some string) None
+       & info ["faulty"] ~docv:"I,J,..."
+           ~doc:"Faulty process ids (default: 0..f-1).")
+
+let common_args =
+  let mk n f d eps lo hi seed scheduler naive kernel inputs faulty =
+    { n; f; d; eps; lo; hi; seed; scheduler; naive; kernel; inputs; faulty }
+  in
+  Term.(const mk $ n_arg $ f_arg $ d_arg $ eps_arg $ lo_arg $ hi_arg
+        $ seed_arg $ scheduler_arg $ naive_arg $ kernel_arg $ inputs_arg
+        $ faulty_arg)
+
+let scenario_of_common c =
+  let* eps = parse_q "--eps" c.eps in
+  let* lo = parse_q "--lo" c.lo in
+  let* hi = parse_q "--hi" c.hi in
+  let* config =
+    match Config.make ~n:c.n ~f:c.f ~d:c.d ~eps ~lo ~hi with
+    | config -> Ok config
+    | exception Invalid_argument msg -> Error msg
+  in
+  let* faulty =
+    match c.faulty with
+    | Some s -> parse_ids ~n:c.n ~f:c.f s
+    | None -> Ok (List.init c.f Fun.id)
+  in
+  let* scheduler = parse_scheduler ~faulty c.scheduler in
+  let round0 = if c.naive then `Naive else `Stable_vector in
+  let spec =
+    Scenario.default ~config ~seed:c.seed ~faulty ~scheduler ~round0 ()
+  in
+  match c.inputs with
+  | None -> Ok spec
+  | Some s ->
+    let* pts = parse_inputs ~n:c.n ~d:c.d s in
+    Ok { spec with Scenario.inputs = pts }
+
+let set_kernel = function
+  | None -> Ok ()
+  | Some s -> Result.map Numeric.Kernel.set_default (parse_kernel s)
+
+let recoverize ~delay ~keep spec =
+  let crash =
+    Array.map
+      (fun plan ->
+         match plan with
+         | Runtime.Crash.Never | Runtime.Crash.Crash_recover _ -> plan
+         | Runtime.Crash.After_sends k ->
+           Runtime.Crash.Crash_recover
+             { trigger = Runtime.Crash.Sends k; delay; keep }
+         | Runtime.Crash.After_receives k ->
+           Runtime.Crash.Crash_recover
+             { trigger = Runtime.Crash.Receives k; delay; keep })
+      spec.Scenario.crash
+  in
+  { spec with Scenario.crash }

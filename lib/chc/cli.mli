@@ -34,3 +34,56 @@ val parse_scheduler :
 val parse_inputs :
   n:int -> d:int -> string -> (Geometry.Vec.t array, string) result
 (** Semicolon-separated points, exactly [n] of them. *)
+
+(** {1 Shared command-line surface}
+
+    The cmdliner terms every execution-shaped subcommand composes —
+    [chc_sim run]/[trace]/[profile]/[fuzz]/[replay] and
+    [chc_serve drive] all draw from the same definitions, so flag
+    names, defaults, docs and error-message formats cannot drift
+    apart per subcommand. *)
+
+type common = {
+  n : int;
+  f : int;
+  d : int;
+  eps : string;  (** unparsed; validated by {!scenario_of_common} *)
+  lo : string;
+  hi : string;
+  seed : int;
+  scheduler : string;
+  naive : bool;
+  kernel : string option;
+  inputs : string option;
+  faulty : string option;
+}
+(** The twelve flags shared by every subcommand that shapes an
+    execution. String-typed fields are raw command-line text;
+    {!scenario_of_common} owns all validation, so error messages are
+    identical wherever the flags are used. *)
+
+val common_args : common Cmdliner.Term.t
+(** [-n -f -d --eps --lo --hi --seed --scheduler --naive-round0
+    --kernel --inputs --faulty] as one term. *)
+
+val seed_arg : int Cmdliner.Term.t
+(** [--seed] alone — for subcommands (fuzz, serve) that take a seed
+    but no problem shape. *)
+
+val kernel_arg : string option Cmdliner.Term.t
+(** [--kernel] alone. *)
+
+val scenario_of_common : common -> (Scenario.t, string) result
+(** Validate into a randomized {!Scenario} ([Scenario.default] with
+    the parsed config/faulty/scheduler/round0, inputs overridden when
+    [--inputs] was given). Every user error comes back as the
+    ["--flag: ..."] message format the parsers above produce. *)
+
+val set_kernel : string option -> (unit, string) result
+(** Install a [--kernel] choice as the process-wide default
+    ([None] keeps the ambient default: [CHC_KERNEL], else filtered). *)
+
+val recoverize :
+  delay:int -> keep:int -> Scenario.t -> Scenario.t
+(** [--recover]: turn every sampled crash-stop plan into a
+    crash-recover plan with the same trigger budget. *)

@@ -236,15 +236,29 @@ let channel_of_json j =
     Ok (src, dst)
   | _ -> Error "prefix entry must be a [src,dst] pair"
 
-let of_json j =
-  let* v = Json.int_field "version" j in
-  if v < oldest_readable_version || v > version then
-    Error
-      (Printf.sprintf
-         "scenario version %d unsupported (this build reads %d-%d)" v
-         oldest_readable_version version)
-  else
-    let* cj = Json.field "config" j in
+type error =
+  | Syntax of string
+  | Version of { found : int; oldest : int; newest : int }
+  | Invalid of string
+  | Io of string
+
+let error_to_string = function
+  | Syntax msg | Invalid msg | Io msg -> msg
+  | Version { found; oldest; newest } ->
+    Printf.sprintf "scenario version %d unsupported (this build reads %d-%d)"
+      found oldest newest
+
+exception Data_error of error
+
+let () =
+  Printexc.register_printer (function
+    | Data_error e -> Some ("Scenario.Data_error: " ^ error_to_string e)
+    | _ -> None)
+
+(* The field decoders below accumulate plain string errors; {!of_json}
+   wraps them into the typed {!error} at the boundary. *)
+let decode j =
+  let* cj = Json.field "config" j in
     let* n = Json.int_field "n" cj in
     let* f = Json.int_field "f" cj in
     let* d = Json.int_field "d" cj in
@@ -300,11 +314,22 @@ let of_json j =
     | t -> Ok t
     | exception Invalid_argument msg -> Error msg
 
+let of_json j =
+  match Json.int_field "version" j with
+  | Error msg -> Error (Invalid msg)
+  | Ok v ->
+    if v < oldest_readable_version || v > version then
+      Error
+        (Version
+           { found = v; oldest = oldest_readable_version; newest = version })
+    else Result.map_error (fun msg -> Invalid msg) (decode j)
+
 let to_string t = Json.to_string (to_json t)
 
 let of_string s =
-  let* j = Json.of_string s in
-  of_json j
+  match Json.of_string s with
+  | Error msg -> Error (Syntax msg)
+  | Ok j -> of_json j
 
 let equal a b = to_string a = to_string b
 
@@ -321,4 +346,4 @@ let load path =
       (fun () -> really_input_string ic (in_channel_length ic))
   with
   | s -> of_string (String.trim s)
-  | exception Sys_error msg -> Error msg
+  | exception Sys_error msg -> Error (Io msg)

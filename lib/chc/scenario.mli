@@ -102,19 +102,40 @@ val describe : t -> string
 
 (** {1 Exact JSON (de)serialization} *)
 
+type error =
+  | Syntax of string
+      (** the bytes are not a JSON document at all *)
+  | Version of { found : int; oldest : int; newest : int }
+      (** well-formed, but written by an incompatible format version *)
+  | Invalid of string
+      (** well-formed JSON of a readable version, but the content is
+          wrong: missing/mistyped fields, unregistered scheduler names
+          (register fuzzer strategies first), or anything {!make}
+          would reject *)
+  | Io of string  (** {!load} only: the file could not be read *)
+(** Why a scenario failed to decode — typed so callers can
+    distinguish user data errors (a CLI maps them to exit code 65,
+    [EX_DATAERR]) from the I/O failures {!Obs.Sink.Write_error}
+    already types (exit 74). *)
+
+val error_to_string : error -> string
+(** The exact human-readable messages previous versions returned,
+    e.g. ["scenario version %d unsupported (this build reads %d-%d)"]. *)
+
+exception Data_error of error
+(** For callers on an exception path (registered with
+    [Printexc.register_printer]); nothing in this module raises it. *)
+
 val to_json : t -> Codec.Json.t
-val of_json : Codec.Json.t -> (t, string) result
-(** Rejects unknown versions, malformed fields, unregistered scheduler
-    names (register fuzzer strategies first), and anything
-    {!make} would reject. *)
+val of_json : Codec.Json.t -> (t, error) result
 
 val to_string : t -> string
 (** Canonical single-line JSON; equal scenarios render identically. *)
 
-val of_string : string -> (t, string) result
+val of_string : string -> (t, error) result
 
 val equal : t -> t -> bool
 (** Equality of canonical serializations. *)
 
 val save : path:string -> t -> unit
-val load : string -> (t, string) result
+val load : string -> (t, error) result

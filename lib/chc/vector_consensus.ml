@@ -2,6 +2,7 @@ module Q = Numeric.Q
 module Vec = Geometry.Vec
 module Polytope = Geometry.Polytope
 module Sim = Runtime.Sim
+module Transport = Runtime.Transport
 module SV = Protocol.Stable_vector
 module Rounds = Protocol.Rounds
 
@@ -40,13 +41,13 @@ let execute_baseline ~config ~inputs ~crash ~scheduler ~seed () =
           current = 0; x = None })
   in
 
-  let rec enter_round ctx p t =
+  let rec enter_round (ep : msg Transport.ep) p t =
     p.current <- t;
     let x = Option.get p.x in
     Rounds.add p.rounds ~round:t ~src:p.id x;
-    Sim.broadcast ctx (Round (t, x));
-    try_advance ctx p
-  and try_advance ctx p =
+    ep.Transport.broadcast (Round (t, x));
+    try_advance ep p
+  and try_advance ep p =
     if p.current >= 1 && p.current <= t_end
        && Rounds.ready p.rounds ~round:p.current
     then begin
@@ -57,42 +58,42 @@ let execute_baseline ~config ~inputs ~crash ~scheduler ~seed () =
         outputs.(p.id) <- Some x;
         p.current <- t_end + 1
       end
-      else enter_round ctx p (p.current + 1)
+      else enter_round ep p (p.current + 1)
     end
   in
 
-  let check_stable ctx p =
+  let check_stable ep p =
     if p.current = 0 && p.x = None then begin
       match Option.bind p.sv SV.result with
       | Some entries ->
         let pts = List.map (fun e -> e.SV.value) entries in
         let h0 = Cc.round0_polytope ~dim:d ~f pts in
         p.x <- Some (Polytope.steiner_point h0);
-        enter_round ctx p 1
+        enter_round ep p 1
       | None -> ()
     end
   in
 
   let make i =
     let p = procs.(i) in
-    { Sim.on_start =
-        (fun ctx ->
+    { Transport.on_start =
+        (fun ep ->
            let st =
              SV.create ~n ~f ~me:i ~value:inputs.(i)
-               ~broadcast:(fun m -> Sim.broadcast ctx (Sv m)) ()
+               ~broadcast:(fun m -> ep.Transport.broadcast (Sv m)) ()
            in
            p.sv <- Some st;
-           check_stable ctx p);
+           check_stable ep p);
       on_receive =
-        (fun ctx src msg ->
+        (fun ep ~src msg ->
            match msg with
            | Sv m ->
              (match p.sv with
-              | Some st -> SV.on_receive st ~src m; check_stable ctx p
+              | Some st -> SV.on_receive st ~src m; check_stable ep p
               | None -> ())
            | Round (t, x) ->
              Rounds.add p.rounds ~round:t ~src x;
-             if t = p.current then try_advance ctx p) }
+             if t = p.current then try_advance ep p) }
   in
   let sys = Sim.create ~n ~seed ~scheduler ~crash ~make () in
   Sim.run sys;

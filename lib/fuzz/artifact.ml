@@ -33,7 +33,10 @@ let of_json j =
     let* violation = Json.str_field "violation" j in
     let* trial = Json.int_field "trial" j in
     let* shrink_steps = Json.int_field "shrink-steps" j in
-    let* scenario = Result.bind (Json.field "scenario" j) Scenario.of_json in
+    let* scenario =
+      Result.bind (Json.field "scenario" j) (fun sj ->
+          Result.map_error Scenario.error_to_string (Scenario.of_json sj))
+    in
     Ok { scenario; oracle; violation; trial; shrink_steps }
 
 let to_string a = Json.to_string (to_json a)
@@ -62,16 +65,20 @@ let load path = Result.bind (read_file path) of_string
 (* Replay accepts both artifact files and bare scenario files; a bare
    scenario is wrapped with the real-properties oracle. *)
 let load_any path =
-  let* s = read_file path in
-  match of_string s with
-  | Ok a -> Ok a
-  | Error artifact_err ->
-    (match Scenario.of_string s with
-     | Ok scenario ->
-       Ok
-         { scenario; oracle = Oracle.Paper_properties; violation = "";
-           trial = -1; shrink_steps = 0 }
-     | Error scenario_err ->
-       Error
-         (Printf.sprintf "not an artifact (%s) nor a scenario (%s)"
-            artifact_err scenario_err))
+  match read_file path with
+  | Error msg -> Error (Scenario.Io msg)
+  | Ok s ->
+    (match of_string s with
+     | Ok a -> Ok a
+     | Error artifact_err ->
+       (match Scenario.of_string s with
+        | Ok scenario ->
+          Ok
+            { scenario; oracle = Oracle.Paper_properties; violation = "";
+              trial = -1; shrink_steps = 0 }
+        | Error scenario_err ->
+          Error
+            (Scenario.Invalid
+               (Printf.sprintf "not an artifact (%s) nor a scenario (%s)"
+                  artifact_err
+                  (Scenario.error_to_string scenario_err)))))

@@ -33,7 +33,10 @@ val save : path:string -> t -> unit
 
 val load : string -> (t, string) result
 
-val load_any : string -> (t, string) result
+val load_any : string -> (t, Chc.Scenario.error) result
 (** Like {!load}, but a bare {!Chc.Scenario} file is also accepted and
     wrapped with the {!Oracle.Paper_properties} oracle — so [replay]
-    works on scenario files saved by hand, too. *)
+    works on scenario files saved by hand, too. The error is typed
+    with the scenario vocabulary ([Io] for unreadable files, [Invalid]
+    for content that is neither an artifact nor a scenario) so the CLI
+    can map user data errors to exit code 65. *)

@@ -70,6 +70,70 @@ let write_file ~path f =
 
 let write_string ~path s = write_file ~path (fun oc -> output_string oc s)
 
+(* --- streaming appenders ---------------------------------------------- *)
+
+(* Unlike the atomic whole-file writers above, an appender grows a
+   file incrementally — the shape of a write-ahead log, where entries
+   must reach disk *during* execution, not after it. Durability is the
+   caller's protocol: [sync] is the write barrier; everything appended
+   before it survives a crash of this process. Tail-truncation on
+   crash is acceptable for a WAL (the disk-prefix adversary's model),
+   which is why appending is sound here and would not be for reports. *)
+type appender = {
+  ap_path : string;
+  ap_oc : out_channel;
+  mutable ap_closed : bool;
+}
+
+let ap_fail path e =
+  match describe_exn path e with
+  | Some message ->
+    let prefix = path ^ ": " in
+    let plen = String.length prefix in
+    let message =
+      if String.length message > plen && String.sub message 0 plen = prefix
+      then String.sub message plen (String.length message - plen)
+      else message
+    in
+    raise (Write_error { path; message })
+  | None -> raise e
+
+let append_open ~path =
+  match
+    open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path
+  with
+  | oc -> { ap_path = path; ap_oc = oc; ap_closed = false }
+  | exception e -> ap_fail path e
+
+let append_line ap line =
+  if ap.ap_closed then
+    raise (Write_error { path = ap.ap_path; message = "appender closed" });
+  match
+    output_string ap.ap_oc line;
+    output_char ap.ap_oc '\n'
+  with
+  | () -> ()
+  | exception e -> ap_fail ap.ap_path e
+
+let append_sync ap =
+  if not ap.ap_closed then
+    match fsync_out ap.ap_oc with
+    | () -> ()
+    | exception e -> ap_fail ap.ap_path e
+
+let append_close ap =
+  if not ap.ap_closed then begin
+    ap.ap_closed <- true;
+    match
+      flush ap.ap_oc;
+      close_out ap.ap_oc
+    with
+    | () -> ()
+    | exception e ->
+      close_out_noerr ap.ap_oc;
+      ap_fail ap.ap_path e
+  end
+
 let write_file_exn ~path f =
   match write_file ~path f with
   | Ok () -> ()

@@ -31,3 +31,31 @@ val write_string : path:string -> string -> (unit, string) result
 val write_file_exn : path:string -> (out_channel -> unit) -> unit
 (** Like {!write_file} but raises {!Write_error} — for callers already
     on an exception path. *)
+
+(** {1 Streaming appenders}
+
+    The atomic writers above replace a file wholesale; a write-ahead
+    log instead needs entries on disk {e during} execution. An
+    appender opens a file once (created or extended in place) and
+    appends lines; {!append_sync} is the write barrier — everything
+    appended before it survives a crash of the writing process, later
+    lines may be lost or tail-truncated (exactly the disk-prefix model
+    of {!Runtime.Wal}). All operations raise {!Write_error} on I/O
+    failure, carrying the path. Appenders are single-owner: not
+    thread-safe, one per file. *)
+
+type appender
+
+val append_open : path:string -> appender
+(** Open (creating if absent) [path] for appending. *)
+
+val append_line : appender -> string -> unit
+(** Append one line (a ['\n'] is added). Buffered until the next
+    {!append_sync} or {!append_close}. *)
+
+val append_sync : appender -> unit
+(** Flush and [fsync] — the durability barrier. *)
+
+val append_close : appender -> unit
+(** Flush and close (no fsync — pair with {!append_sync} for a durable
+    final state). Idempotent; the appender is unusable afterwards. *)

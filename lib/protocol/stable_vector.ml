@@ -15,7 +15,7 @@ type 'a state = {
   n : int;
   f : int;
   me : int;
-  trace : Obs.Trace.t option;
+  emit : (Obs.Trace.event -> unit) option;
   broadcast : 'a msg -> unit;
   mutable view : 'a entry list;
   (* Who has sent exactly which view. Association list keyed by view;
@@ -71,11 +71,10 @@ let check_stable t =
     with
     | Some (view, _) ->
       t.stable <- Some view;
-      (match t.trace with
+      (match t.emit with
        | None -> ()
-       | Some tr ->
-         Obs.Trace.emit tr
-           (Obs.Trace.Stable { pid = t.me; view = List.length view }))
+       | Some emit ->
+         emit (Obs.Trace.Stable { pid = t.me; view = List.length view }))
     | None -> ()
   end
 
@@ -85,11 +84,11 @@ let announce t =
   t.broadcast (View t.view);
   check_stable t
 
-let create ?trace ~n ~f ~me ~value ~broadcast () =
+let create ?emit ~n ~f ~me ~value ~broadcast () =
   if n < (2 * f) + 1 then
     invalid_arg "Stable_vector.create: requires n >= 2f + 1";
   let t =
-    { n; f; me; trace; broadcast;
+    { n; f; me; emit; broadcast;
       view = [ { origin = me; value } ];
       votes = [];
       stable = None }
@@ -137,10 +136,10 @@ let dump t =
     snap_votes = List.map (fun (v, senders) -> (entry_pairs v, senders)) t.votes;
     snap_stable = Option.map entry_pairs t.stable }
 
-let restore ?trace ~n ~f ~me ~broadcast s =
+let restore ?emit ~n ~f ~me ~broadcast s =
   if n < (2 * f) + 1 then
     invalid_arg "Stable_vector.restore: requires n >= 2f + 1";
-  { n; f; me; trace; broadcast;
+  { n; f; me; emit; broadcast;
     view = entries_of_pairs s.snap_view;
     votes =
       List.map

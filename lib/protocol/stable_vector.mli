@@ -34,16 +34,19 @@ val pp_msg :
 type 'a state
 
 val create :
-  ?trace:Obs.Trace.t ->
+  ?emit:(Obs.Trace.event -> unit) ->
   n:int -> f:int -> me:int -> value:'a ->
   broadcast:('a msg -> unit) ->
   unit ->
   'a state
 (** Initialize and send the first view. Pure crash-fault setting
     requires [n >= 2f + 1]. @raise Invalid_argument otherwise.
-    When a [trace] is given, a [Stable] event is emitted the moment
-    the view stabilizes (the protocol-level milestone Algorithm CC's
-    round 0 waits for). *)
+    When an [emit] callback is given, a [Stable] event is passed to it
+    the moment the view stabilizes (the protocol-level milestone
+    Algorithm CC's round 0 waits for). Like [broadcast], the callback
+    keeps the primitive transport- and observer-agnostic: a sans-IO
+    caller routes the event through its own effect stream so it
+    interleaves with the announce's sends in true order. *)
 
 val on_receive : 'a state -> src:int -> 'a msg -> unit
 (** Merge an incoming view (credited to its sender — stability counts
@@ -94,7 +97,7 @@ type 'a snapshot = {
 val dump : 'a state -> 'a snapshot
 
 val restore :
-  ?trace:Obs.Trace.t ->
+  ?emit:(Obs.Trace.event -> unit) ->
   n:int -> f:int -> me:int ->
   broadcast:('a msg -> unit) ->
   'a snapshot ->

@@ -1,0 +1,65 @@
+(** Plain FIFO event-loop implementation of {!Transport} — the
+    transport the serving daemon multiplexes protocol instances over.
+
+    Where {!Sim} hands every delivery decision to an adversarial
+    scheduler, [Loopback] keeps one global FIFO: messages are delivered
+    in send order, full stop. That makes it O(1) per event with no RNG,
+    no scheduler state and no per-channel scan — cheap enough to run
+    thousands of concurrent instances — while keeping {e identical}
+    crash/recovery semantics (budgets, drops, dead letters, revival at
+    quiescence, one-crash-per-plan disarming) and identical trace
+    vocabulary. Deliberately, a [Loopback] execution is byte-for-byte
+    the same trace as [Sim] under {!Scheduler.fifo}; the conformance
+    suite ([test/test_transport.ml]) pins that equivalence.
+
+    Unlike [Sim.run], delivery can also be pumped incrementally with
+    {!step}, which is how the daemon interleaves progress across many
+    instances inside one shard. *)
+
+type pid = Transport.pid
+
+type 'msg t
+
+val create :
+  ?trace:Obs.Trace.t ->
+  ?on_crash:(pid -> keep:int -> unit) ->
+  ?on_recover:('msg Transport.ep -> unit) ->
+  ?crash:Crash.plan array ->
+  n:int ->
+  make:(pid -> 'msg Transport.handlers) ->
+  unit ->
+  'msg t
+(** Build a system of [n] processes. [crash] defaults to all
+    {!Crash.Never}; when given it must have length [n]. Hooks and
+    tracing behave exactly as in {!Sim.create}. *)
+
+val run : ?max_steps:int -> 'msg t -> unit
+(** Deliver until quiescence (empty queue, no pending revival).
+    @raise Transport.Step_limit_exceeded past [max_steps] deliveries
+    (default [2_000_000]). *)
+
+val step : 'msg t -> bool
+(** One pump increment: run [on_start]s if not yet started, then
+    deliver the oldest in-flight message — or, when the queue is empty
+    but a revival is pending, jump the clock to the earliest revival.
+    Returns [false] only at true quiescence. *)
+
+val quiescent : 'msg t -> bool
+(** Started, no message in flight, no revival pending. *)
+
+val n : _ t -> int
+val crashed : 'msg t -> pid -> bool
+val recovered_of : 'msg t -> pid -> bool
+val sends_of : 'msg t -> pid -> int
+val receives_of : 'msg t -> pid -> int
+
+type metrics = Transport.metrics = {
+  sent : int;
+  dropped : int;
+  delivered : int;
+  dead_lettered : int;
+  recoveries : int;
+  steps : int;
+}
+
+val metrics : 'msg t -> metrics

@@ -55,9 +55,27 @@ let pick_lifo ~rng:_ ~step:_ ~candidates =
   in
   match latest with Some (c, _) -> c | None -> assert false
 
+(* Global send order: always deliver the oldest in-flight message.
+   Sequence numbers are allocated from one system-wide counter, so the
+   minimum head seq is the earliest undelivered send — the schedule a
+   plain FIFO event loop (e.g. {!Loopback}) produces.  Not an
+   adversary; exists so Sim can be pinned to the loopback schedule for
+   conformance differentials. *)
+let pick_fifo ~rng:_ ~step:_ ~candidates =
+  let earliest =
+    List.fold_left
+      (fun acc (c, seq) ->
+         match acc with
+         | Some (_, best) when best <= seq -> acc
+         | _ -> Some (c, seq))
+      None candidates
+  in
+  match earliest with Some (c, _) -> c | None -> assert false
+
 let random_uniform = stateless ~name:"random" pick_random
 let round_robin = stateless ~name:"round-robin" pick_round_robin
 let lifo_bias = stateless ~name:"lifo" pick_lifo
+let fifo = stateless ~name:"fifo" pick_fifo
 
 let lag_sources slow =
   stateless ~name:"lag"
@@ -97,6 +115,7 @@ let () =
   register ~name:"random" (fun p -> no_params random_uniform p);
   register ~name:"round-robin" (fun p -> no_params round_robin p);
   register ~name:"lifo" (fun p -> no_params lifo_bias p);
+  register ~name:"fifo" (fun p -> no_params fifo p);
   register ~name:"lag" (fun p -> Result.map lag_sources (parse_ids p))
 
 let of_spec s =

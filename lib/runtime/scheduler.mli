@@ -66,6 +66,12 @@ val lifo_bias : t
 (** prefers the channel whose head message was sent last — an
     out-of-order-heavy schedule that stresses round buffering *)
 
+val fifo : t
+(** global send order: always deliver the oldest in-flight message.
+    Not an adversary — it is the schedule a plain FIFO event loop
+    (e.g. {!Loopback}) produces, registered so Sim can be pinned to it
+    for transport-conformance differentials. *)
+
 val lag_sources : int list -> t
 (** messages {e from} the given processes are starved: delivered only
     when nothing else is pending. This is the adversary of the paper's

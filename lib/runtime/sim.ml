@@ -1,11 +1,6 @@
-type pid = int
+type pid = Transport.pid
 
-type 'msg handlers = {
-  on_start : 'msg ctx -> unit;
-  on_receive : 'msg ctx -> pid -> 'msg -> unit;
-}
-
-and 'msg t = {
+type 'msg t = {
   n : int;
   trace : Obs.Trace.t option;
   rng : Rng.t;
@@ -17,11 +12,11 @@ and 'msg t = {
   recovered : bool array;         (* crashed at least once, then revived *)
   recover_at : int option array;  (* pending revival: due step *)
   on_crash : (pid -> keep:int -> unit) option;
-  on_recover : ('msg ctx -> unit) option;
+  on_recover : ('msg Transport.ep -> unit) option;
   sends_attempted : int array;
   receives_seen : int array;
   mutable prefix : (int * int) list;  (* forced (src, dst) schedule head *)
-  mutable handlers : 'msg handlers array;
+  mutable handlers : 'msg Transport.handlers array;
   mutable seq : int;
   mutable sent : int;
   mutable dropped : int;
@@ -32,10 +27,7 @@ and 'msg t = {
   mutable started : bool;
 }
 
-and 'msg ctx = { me : pid; sys : 'msg t }
-
-let me ctx = ctx.me
-let n ctx = ctx.sys.n
+let n t = t.n
 
 let trace_emit t ev =
   match t.trace with
@@ -46,7 +38,6 @@ let crashed t i = t.crashed.(i)
 let recovered_of t i = t.recovered.(i)
 let sends_of t i = t.sends_attempted.(i)
 let receives_of t i = t.receives_seen.(i)
-let sends ctx = ctx.sys.sends_attempted.(ctx.me)
 
 (* A crash fires: mark the process down, and if the plan is a
    recovering one, schedule the revival and hand the disk-prefix
@@ -64,9 +55,7 @@ let fire_crash t i ~recover =
 (* A send consumes one unit of the sender's budget whether or not it is
    ultimately dropped: the budget marks the crash *point*, and every
    send at or after that point is lost. *)
-let send ctx dst msg =
-  let t = ctx.sys in
-  let src = ctx.me in
+let send t src dst msg =
   if dst < 0 || dst >= t.n then invalid_arg "Sim.send: bad destination"
   else if t.crashed.(src) then begin
     t.dropped <- t.dropped + 1;
@@ -92,12 +81,20 @@ let send ctx dst msg =
       Queue.push (t.seq, msg) t.channels.(src).(dst)
   end
 
-let broadcast ctx ?(include_self = false) msg =
-  let t = ctx.sys in
+let broadcast t src ?(include_self = false) msg =
   for k = 1 to t.n - 1 do
-    send ctx ((ctx.me + k) mod t.n) msg
+    send t src ((src + k) mod t.n) msg
   done;
-  if include_self then send ctx ctx.me msg
+  if include_self then send t src src msg
+
+(* The endpoint capability handed to handlers and hooks: closes over
+   (t, i) so a handler can only act as its own process. *)
+let ep_of t i : _ Transport.ep =
+  { Transport.me = i;
+    n = t.n;
+    send = (fun dst msg -> send t i dst msg);
+    broadcast = (fun ?include_self msg -> broadcast t i ?include_self msg);
+    sends = (fun () -> t.sends_attempted.(i)) }
 
 let create ?trace ?(prefix = []) ?on_crash ?on_recover ~n ~seed ~scheduler
     ~crash ~make () =
@@ -142,7 +139,7 @@ let create ?trace ?(prefix = []) ?on_crash ?on_recover ~n ~seed ~scheduler
     crash;
   t
 
-exception Step_limit_exceeded
+exception Step_limit_exceeded = Transport.Step_limit_exceeded
 
 let nonempty_channels t =
   let acc = ref [] in
@@ -179,7 +176,7 @@ let revive t i =
   (* one crash per plan: a revived process runs correctly from here on *)
   t.crash_plan.(i) <- Crash.Never;
   trace_emit t (fun () -> Obs.Trace.Recover { pid = i; step = t.steps });
-  match t.on_recover with None -> () | Some f -> f { me = i; sys = t }
+  match t.on_recover with None -> () | Some f -> f (ep_of t i)
 
 (* Revive every pending recovery that has come due, in pid order (the
    loop is re-entered because a revival's rejoin sends may change the
@@ -211,7 +208,7 @@ let run ?(max_steps = 2_000_000) t =
   if not t.started then begin
     t.started <- true;
     for i = 0 to t.n - 1 do
-      t.handlers.(i).on_start { me = i; sys = t }
+      t.handlers.(i).Transport.on_start (ep_of t i)
     done
   end;
   let rec loop () =
@@ -258,13 +255,13 @@ let run ?(max_steps = 2_000_000) t =
           t.delivered <- t.delivered + 1;
           trace_emit t
             (fun () -> Obs.Trace.Deliver { step = t.steps; src; dst; seq });
-          t.handlers.(dst).on_receive { me = dst; sys = t } src msg
+          t.handlers.(dst).Transport.on_receive (ep_of t dst) ~src msg
       end;
       loop ()
   in
   loop ()
 
-type metrics = {
+type metrics = Transport.metrics = {
   sent : int;
   dropped : int;
   delivered : int;

@@ -1,4 +1,5 @@
-(** Deterministic discrete-event simulator of the paper's system model:
+(** Deterministic discrete-event simulator of the paper's system model
+    — the adversarially-scheduled implementation of {!Transport}:
     [n] processes on a complete graph, reliable exactly-once FIFO
     channels, full asynchrony (an adversarial scheduler picks the next
     delivery), and crash faults with send budgets (see {!Crash}).
@@ -8,38 +9,13 @@
     the identical schedule, which the property-based tests and the
     experiment harness rely on.
 
-    Processes are event-driven: [on_start] runs once for every process
-    (including ones that crash immediately — their sends are dropped),
-    then [on_receive] runs for each delivered message. Handlers interact
-    with the world only through {!send} / {!broadcast}. *)
+    Processes are event-driven {!Transport.handlers}: [on_start] runs
+    once for every process (including ones that crash immediately —
+    their sends are dropped), then [on_receive] runs for each delivered
+    message. Handlers interact with the world only through the
+    {!Transport.ep} they are handed. *)
 
-type pid = int
-
-type 'msg ctx
-(** Capability handed to process handlers. *)
-
-val me : 'msg ctx -> pid
-val n : 'msg ctx -> int
-
-val sends : 'msg ctx -> int
-(** Messages this process has successfully placed on channels so far
-    (same counter as {!sends_of}, from inside a handler). *)
-
-val send : 'msg ctx -> pid -> 'msg -> unit
-(** Enqueue a message; silently dropped if the sender has crashed or
-    crashes at this send (budget exhausted). *)
-
-val broadcast : 'msg ctx -> ?include_self:bool -> 'msg -> unit
-(** Unit sends to every process in rotating order starting at
-    [me + 1], so a mid-broadcast crash reaches a contiguous block of
-    recipients that differs per sender. [include_self] defaults to
-    [false]; when [true] the self message also travels through the
-    (adversarially scheduled) channel. *)
-
-type 'msg handlers = {
-  on_start : 'msg ctx -> unit;
-  on_receive : 'msg ctx -> pid -> 'msg -> unit;  (** ctx, source, payload *)
-}
+type pid = Transport.pid
 
 type 'msg t
 
@@ -47,12 +23,12 @@ val create :
   ?trace:Obs.Trace.t ->
   ?prefix:(int * int) list ->
   ?on_crash:(pid -> keep:int -> unit) ->
-  ?on_recover:('msg ctx -> unit) ->
+  ?on_recover:('msg Transport.ep -> unit) ->
   n:int ->
   seed:int ->
   scheduler:Scheduler.t ->
   crash:Crash.plan array ->
-  make:(pid -> 'msg handlers) ->
+  make:(pid -> 'msg Transport.handlers) ->
   unit ->
   'msg t
 (** Build a system. [crash] must have length [n]. [make i] constructs
@@ -66,8 +42,8 @@ val create :
     ({!Crash.Crash_recover} plans): [on_crash i ~keep] fires at the
     moment [i]'s crash triggers (synchronously, before any further
     event) carrying the plan's disk-prefix choice, so the durability
-    layer can truncate [i]'s write-ahead log; [on_recover ctx] fires at
-    revival, with a live context for process [ctx.me] — replayed state
+    layer can truncate [i]'s write-ahead log; [on_recover ep] fires at
+    revival, with a live endpoint for process [ep.me] — replayed state
     re-enters the protocol by sending from inside this callback.
     Messages delivered while a process is down are dead-lettered
     (lost). Revival happens once the plan's [delay] scheduler steps
@@ -86,6 +62,9 @@ val create :
     that run's delivery order exactly. *)
 
 exception Step_limit_exceeded
+(** Alias of {!Transport.Step_limit_exceeded}. *)
+
+val n : _ t -> int
 
 val run : ?max_steps:int -> 'msg t -> unit
 (** Deliver messages until quiescence (no channel non-empty).
@@ -112,7 +91,7 @@ val receives_of : 'msg t -> pid -> int
 
 (** {1 Metrics} *)
 
-type metrics = {
+type metrics = Transport.metrics = {
   sent : int;            (** messages accepted into channels *)
   dropped : int;         (** sends swallowed by crashes *)
   delivered : int;       (** messages handed to a live receiver *)

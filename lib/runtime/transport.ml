@@ -1,0 +1,37 @@
+type pid = int
+
+type 'msg ep = {
+  me : pid;
+  n : int;
+  send : pid -> 'msg -> unit;
+  broadcast : ?include_self:bool -> 'msg -> unit;
+  sends : unit -> int;
+}
+
+type 'msg handlers = {
+  on_start : 'msg ep -> unit;
+  on_receive : 'msg ep -> src:pid -> 'msg -> unit;
+}
+
+type metrics = {
+  sent : int;
+  dropped : int;
+  delivered : int;
+  dead_lettered : int;
+  recoveries : int;
+  steps : int;
+}
+
+exception Step_limit_exceeded
+
+module type S = sig
+  type 'msg t
+
+  val n : _ t -> int
+  val run : ?max_steps:int -> _ t -> unit
+  val crashed : _ t -> pid -> bool
+  val recovered_of : _ t -> pid -> bool
+  val sends_of : _ t -> pid -> int
+  val receives_of : _ t -> pid -> int
+  val metrics : _ t -> metrics
+end

@@ -1,0 +1,93 @@
+(** The transport seam of the system model — the explicit interface
+    between a protocol state machine and whatever moves its messages.
+
+    Until this module existed the only transport was {!Sim}, and its
+    loopback channels, adversarial scheduler and process lifecycle were
+    fused into one entry point: nothing but the simulator could drive a
+    protocol instance. The vocabulary here is that implicit API made
+    explicit, so the same handlers run unchanged under the adversarial
+    simulator ({!Sim}), the deterministic FIFO loopback ({!Loopback})
+    that the serving daemon multiplexes instances over, and the
+    conformance suite that pins the semantics both must share:
+
+    - {b channels} are reliable, exactly-once, FIFO per (src, dst)
+      pair on a complete graph of [n] processes;
+    - {b identity} is a dense [pid] in [0 .. n-1];
+    - {b crashes} follow {!Crash.plan} budgets: a send at or past the
+      budget is dropped (and every send after it), a delivery at or
+      past a receive budget kills the process and loses the message;
+    - {b recovery} ({!Crash.Crash_recover} plans) fires the [on_crash]
+      hook at the crash point (carrying the disk-prefix adversary's
+      [keep]) and [on_recover] at revival, with a live endpoint.
+
+    Handlers interact with the world only through the {!ep} capability
+    they are handed — never through the transport value itself — which
+    is what makes a protocol core portable across implementations. *)
+
+type pid = int
+
+type 'msg ep = {
+  me : pid;
+  n : int;
+  send : pid -> 'msg -> unit;
+      (** enqueue on the channel [me → dst]; silently dropped if the
+          sender has crashed (or crashes at this send) *)
+  broadcast : ?include_self:bool -> 'msg -> unit;
+      (** unit sends to every process in rotating order starting at
+          [me + 1], so a mid-broadcast crash reaches a contiguous
+          block of recipients that differs per sender. [include_self]
+          defaults to [false]. *)
+  sends : unit -> int;
+      (** sends by [me] that actually entered a channel so far —
+          before/after deltas tell a caller whether a broadcast got at
+          least one message out (the paper's ["sent a round-t
+          message"] predicate) *)
+}
+(** The capability a transport hands to process handlers. *)
+
+type 'msg handlers = {
+  on_start : 'msg ep -> unit;      (** runs once per process, even for
+                                       ones that crash immediately
+                                       (their sends are dropped) *)
+  on_receive : 'msg ep -> src:pid -> 'msg -> unit;
+}
+
+type metrics = {
+  sent : int;            (** messages accepted into channels *)
+  dropped : int;         (** sends swallowed by crashes *)
+  delivered : int;       (** messages handed to a live receiver *)
+  dead_lettered : int;   (** deliveries to already-crashed receivers *)
+  recoveries : int;      (** crash-recovery revivals performed *)
+  steps : int;           (** delivery decisions taken *)
+}
+
+exception Step_limit_exceeded
+(** Raised by an implementation's [run] after [max_steps] deliveries —
+    a liveness-bug guard shared by every transport. *)
+
+(** What every transport implementation exposes once built (creation
+    is implementation-specific: {!Sim} needs a scheduler and a seed,
+    {!Loopback} does not). The conformance suite
+    ([test/test_transport.ml]) is functorized over [S] plus a creation
+    adapter. *)
+module type S = sig
+  type 'msg t
+
+  val n : _ t -> int
+
+  val run : ?max_steps:int -> _ t -> unit
+  (** Deliver messages until quiescence (every channel empty and no
+      revival pending). @raise Step_limit_exceeded past [max_steps]
+      deliveries (default [2_000_000]). *)
+
+  val crashed : _ t -> pid -> bool
+  (** Crashed {e now} (a recovered process reads [false] again). *)
+
+  val recovered_of : _ t -> pid -> bool
+  (** Crashed and was revived at least once. *)
+
+  val sends_of : _ t -> pid -> int
+  val receives_of : _ t -> pid -> int
+
+  val metrics : _ t -> metrics
+end

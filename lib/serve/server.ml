@@ -1,0 +1,434 @@
+module Q = Numeric.Q
+module Polytope = Geometry.Polytope
+module Transport = Runtime.Transport
+module Loopback = Runtime.Loopback
+module Crash = Runtime.Crash
+module Config = Chc.Config
+module Instance = Chc.Instance
+module Recovery = Chc.Recovery
+module Sink = Obs.Sink
+
+type job = {
+  id : int;
+  config : Config.t;
+  inputs : Geometry.Vec.t array;
+  crash : Crash.plan array;
+  round0 : Instance.round0_mode;
+}
+
+type outcome = {
+  job : job;
+  outputs : (Transport.pid * Polytope.t) list;
+  t_end : int;
+  steps : int;
+  latency_s : float;
+  recovered : Transport.pid list;
+  resumed : bool;
+}
+
+(* --- metrics ----------------------------------------------------------- *)
+
+let submitted_total =
+  Obs.Metrics.counter "chc_serve_instances_total"
+    ~labels:[ ("status", "submitted") ]
+
+let decided_total =
+  Obs.Metrics.counter "chc_serve_instances_total"
+    ~labels:[ ("status", "decided") ]
+
+let resumed_total =
+  Obs.Metrics.counter "chc_serve_instances_total"
+    ~labels:[ ("status", "resumed") ]
+
+let inflight_gauge = Obs.Metrics.gauge "chc_serve_inflight"
+let throughput_gauge = Obs.Metrics.gauge "chc_serve_throughput_ips"
+
+let latency_hist =
+  Obs.Metrics.histogram "chc_serve_decision_latency_seconds"
+
+(* --- jobs -------------------------------------------------------------- *)
+
+let job_of_request (Frame.Submit { id; n; f; d; eps; lo; hi; inputs }) =
+  match Config.make ~n ~f ~d ~eps ~lo ~hi with
+  | exception Invalid_argument msg -> Error msg
+  | config ->
+    if Array.length inputs <> n then
+      Error
+        (Printf.sprintf "need %d inputs, got %d" n (Array.length inputs))
+    else begin
+      match Array.iter (Config.validate_input config) inputs with
+      | () ->
+        Ok
+          { id; config; inputs; crash = Array.make n Crash.Never;
+            round0 = `Stable_vector }
+      | exception Invalid_argument msg -> Error msg
+    end
+
+let is_recover_plan = function
+  | Crash.Crash_recover _ -> true
+  | Crash.Never | Crash.After_sends _ | Crash.After_receives _ -> false
+
+let graded_set job recovered =
+  let faulty = Chc.Cc.fault_set job.crash in
+  let n = job.config.Config.n in
+  List.init n Fun.id
+  |> List.filter (fun i -> (not (List.mem i faulty)) || List.mem i recovered)
+
+let response_of_outcome o =
+  match o.outputs with
+  | (_, output) :: _ ->
+    Frame.Decision { id = o.job.id; t_end = o.t_end; output }
+  | [] -> Frame.Rejected { id = o.job.id; reason = "no graded process decided" }
+
+let grade o =
+  let config = o.job.config in
+  let graded = graded_set o.job o.recovered in
+  if List.length o.outputs < List.length graded then
+    Error
+      (Printf.sprintf "termination: %d of %d graded processes decided"
+         (List.length o.outputs) (List.length graded))
+  else begin
+    let hull =
+      Polytope.of_points ~dim:config.Config.d
+        (List.map (fun i -> o.job.inputs.(i)) graded)
+    in
+    match
+      List.find_opt (fun (_, h) -> not (Polytope.subset h hull)) o.outputs
+    with
+    | Some (i, _) ->
+      Error
+        (Printf.sprintf "validity: process %d decided outside the correct hull"
+           i)
+    | None ->
+      let rec pairs acc = function
+        | [] -> acc
+        | (_, h) :: rest ->
+          let acc =
+            List.fold_left
+              (fun acc (_, h') -> Q.max acc (Polytope.hausdorff2 h h'))
+              acc rest
+          in
+          pairs acc rest
+      in
+      let a2 = pairs Q.zero o.outputs in
+      if Q.lt a2 (Q.square config.Config.eps) || List.length o.outputs < 2
+      then Ok ()
+      else Error "agreement: pairwise Hausdorff distance at or above eps"
+  end
+
+(* --- the sharded multiplexer ------------------------------------------- *)
+
+type running = {
+  rjob : job;
+  insts : Instance.t array;
+  lb : Instance.msg Loopback.t;
+  wal : Sink.appender array option;
+  inst_dir : string option;
+  submitted_at : float;
+  was_resumed : bool;
+}
+
+type shard = {
+  mutable live : running list;     (** submission order *)
+  mutable incoming : running list; (** newest first; merged at pump *)
+}
+
+type t = {
+  shard_count : int;
+  fuel : int;
+  wal_dir : string option;
+  shards_arr : shard array;
+  live_ids : (int, unit) Hashtbl.t;
+  mutable decided_count : int;
+  mutable mark_at : float;
+  mutable mark_decided : int;
+}
+
+let rec mkdir_p path =
+  if path <> "" && path <> "." && path <> "/" && not (Sys.file_exists path)
+  then begin
+    mkdir_p (Filename.dirname path);
+    match Unix.mkdir path 0o755 with
+    | () -> ()
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    | exception Unix.Unix_error (err, fn, _) ->
+      raise
+        (Sink.Write_error
+           { path;
+             message = Printf.sprintf "%s: %s" fn (Unix.error_message err) })
+  end
+
+let create ?shards ?(fuel = 64) ?wal_dir () =
+  let shard_count =
+    match shards with Some s -> s | None -> Parallel.Pool.global_size ()
+  in
+  if shard_count < 1 then invalid_arg "Server.create: shards < 1";
+  if fuel < 1 then invalid_arg "Server.create: fuel < 1";
+  Option.iter mkdir_p wal_dir;
+  { shard_count;
+    fuel;
+    wal_dir;
+    shards_arr =
+      Array.init shard_count (fun _ -> { live = []; incoming = [] });
+    live_ids = Hashtbl.create 256;
+    decided_count = 0;
+    mark_at = Unix.gettimeofday ();
+    mark_decided = 0 }
+
+let shards t = t.shard_count
+let inflight t = Hashtbl.length t.live_ids
+let completed t = t.decided_count
+
+let submit t ?resume job =
+  if Hashtbl.mem t.live_ids job.id then
+    invalid_arg
+      (Printf.sprintf "Server.submit: instance %d already live" job.id);
+  let n = job.config.Config.n in
+  if Array.length job.crash <> n then
+    invalid_arg "Server.submit: need n crash plans";
+  (* Same arming rule as {!Chc.Cc.execute}, plus: a wal_dir or a resume
+     always arms durability (the whole point of the daemon's WAL). *)
+  let recovery_on =
+    t.wal_dir <> None || resume <> None
+    || Array.exists is_recover_plan job.crash
+  in
+  let wal_spec = if recovery_on then Some Runtime.Wal.default_config else None in
+  let spec = Instance.spec ~round0:job.round0 ?wal:wal_spec job.config in
+  let insts =
+    Array.init n (fun i -> Instance.create spec ~me:i ~input:job.inputs.(i))
+  in
+  let inst_dir, wal =
+    match t.wal_dir with
+    | None -> (None, None)
+    | Some root ->
+      let dir = Filename.concat root (Printf.sprintf "inst-%d" job.id) in
+      mkdir_p dir;
+      (* The daemon's loopback is Sim under the fifo schedule, so the
+         persisted scenario replays (and re-grades) this execution. *)
+      let scen =
+        Chc.Scenario.make ~config:job.config ~inputs:job.inputs
+          ~crash:job.crash ~scheduler:Runtime.Scheduler.fifo ~seed:0
+          ~round0:job.round0 ?wal:wal_spec ()
+      in
+      Chc.Scenario.save ~path:(Filename.concat dir "meta.json") scen;
+      let aps =
+        Array.init n (fun pid ->
+            Sink.append_open
+              ~path:(Filename.concat dir (Printf.sprintf "wal-%d.jsonl" pid)))
+      in
+      (Some dir, Some aps)
+  in
+  let run_effects (ep : Instance.msg Transport.ep) effs =
+    let pid = ep.Transport.me in
+    let io =
+      Instance.io ~send:ep.Transport.send
+        ~broadcast:(fun m -> ep.Transport.broadcast m)
+        ~sends:ep.Transport.sends
+        ?on_wal:
+          (Option.map
+             (fun aps e ->
+                Sink.append_line aps.(pid) (Recovery.event_to_string e))
+             wal)
+        ?on_sync:(Option.map (fun aps () -> Sink.append_sync aps.(pid)) wal)
+        ()
+    in
+    Instance.interpret insts.(pid) io effs
+  in
+  let make i =
+    let inst = insts.(i) in
+    let kickoff () =
+      match resume with
+      | None -> Instance.start inst
+      | Some entries -> Instance.restore inst ~entries:entries.(i)
+    in
+    { Transport.on_start = (fun ep -> run_effects ep (kickoff ()));
+      on_receive =
+        (fun ep ~src msg -> run_effects ep (Instance.handle inst ~src msg)) }
+  in
+  let on_crash i ~keep = Instance.crash insts.(i) ~keep in
+  let on_recover (ep : Instance.msg Transport.ep) =
+    run_effects ep (Instance.recover insts.(ep.Transport.me))
+  in
+  let lb =
+    Loopback.create ~on_crash ~on_recover ~crash:job.crash ~n ~make ()
+  in
+  let r =
+    { rjob = job; insts; lb; wal; inst_dir;
+      submitted_at = Unix.gettimeofday (); was_resumed = resume <> None }
+  in
+  let shard = t.shards_arr.(((job.id mod t.shard_count) + t.shard_count)
+                            mod t.shard_count) in
+  shard.incoming <- r :: shard.incoming;
+  Hashtbl.replace t.live_ids job.id ();
+  Obs.Metrics.incr submitted_total;
+  if r.was_resumed then Obs.Metrics.incr resumed_total;
+  Obs.Metrics.set inflight_gauge (float_of_int (inflight t))
+
+let finalize r =
+  let recovered =
+    List.filter (Loopback.recovered_of r.lb)
+      (List.init (Loopback.n r.lb) Fun.id)
+  in
+  let outputs =
+    graded_set r.rjob recovered
+    |> List.filter_map (fun i ->
+        Option.map (fun h -> (i, h)) (Instance.poll_decision r.insts.(i)))
+  in
+  let m = Loopback.metrics r.lb in
+  (match r.wal with Some aps -> Array.iter Sink.append_close aps | None -> ());
+  (match r.inst_dir with
+   | None -> ()
+   | Some dir ->
+     let marker =
+       Printf.sprintf "{\"id\":%d,\"t_end\":%d,\"decided\":%d}" r.rjob.id
+         (Instance.t_end r.insts.(0))
+         (List.length outputs)
+     in
+     (* A lost marker only means a redundant (idempotent) resume. *)
+     (match
+        Sink.write_string ~path:(Filename.concat dir "decided.json") marker
+      with
+      | Ok () -> ()
+      | Error msg -> Printf.eprintf "chc_serve: %s\n%!" msg));
+  let latency_s = Unix.gettimeofday () -. r.submitted_at in
+  Obs.Metrics.observe latency_hist latency_s;
+  Obs.Metrics.incr decided_total;
+  { job = r.rjob;
+    outputs;
+    t_end = Instance.t_end r.insts.(0);
+    steps = m.Transport.steps;
+    latency_s;
+    recovered;
+    resumed = r.was_resumed }
+
+let pump_shard fuel shard =
+  shard.live <- shard.live @ List.rev shard.incoming;
+  shard.incoming <- [];
+  let completed = ref [] in
+  let still =
+    List.filter
+      (fun r ->
+         let budget = ref fuel in
+         while !budget > 0 && Loopback.step r.lb do
+           decr budget
+         done;
+         if Loopback.quiescent r.lb then begin
+           completed := finalize r :: !completed;
+           false
+         end
+         else true)
+      shard.live
+  in
+  shard.live <- still;
+  List.rev !completed
+
+let pump t =
+  let outcomes =
+    Parallel.Pool.parallel_map
+      (Parallel.Pool.global ())
+      (pump_shard t.fuel)
+      (Array.to_list t.shards_arr)
+    |> List.concat
+  in
+  List.iter (fun o -> Hashtbl.remove t.live_ids o.job.id) outcomes;
+  t.decided_count <- t.decided_count + List.length outcomes;
+  Obs.Metrics.set inflight_gauge (float_of_int (inflight t));
+  let now = Unix.gettimeofday () in
+  let dt = now -. t.mark_at in
+  if dt >= 1.0 then begin
+    Obs.Metrics.set throughput_gauge
+      (float_of_int (t.decided_count - t.mark_decided) /. dt);
+    t.mark_at <- now;
+    t.mark_decided <- t.decided_count
+  end;
+  outcomes
+
+let drain ?(max_rounds = 100_000) t =
+  let rec go rounds acc =
+    if inflight t = 0 then List.rev acc
+    else if rounds >= max_rounds then raise Transport.Step_limit_exceeded
+    else go (rounds + 1) (List.rev_append (pump t) acc)
+  in
+  go 0 []
+
+(* --- restart discovery ------------------------------------------------- *)
+
+let read_lines path =
+  match open_in_bin path with
+  | exception Sys_error _ -> []
+  | ic ->
+    let rec go acc =
+      match input_line ic with
+      | line -> go (line :: acc)
+      | exception End_of_file -> List.rev acc
+    in
+    let lines = go [] in
+    close_in_noerr ic;
+    lines
+
+(* Decode the longest well-formed prefix: a torn final line is the
+   expected shape of a crash mid-append, and everything after a torn
+   line is untrusted anyway (the disk-prefix model). *)
+let decode_prefix ~dim ~path lines =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | "" :: rest -> go acc rest
+    | line :: rest -> (
+        match Recovery.event_of_string ~dim line with
+        | Ok e -> go (e :: acc) rest
+        | Error msg ->
+          Printf.eprintf "chc_serve: %s: truncating at undecodable entry: %s\n%!"
+            path msg;
+          List.rev acc)
+  in
+  go [] lines
+
+let scan_wal ~wal_dir =
+  let dirs =
+    match Sys.readdir wal_dir with
+    | exception Sys_error _ -> [||]
+    | names -> names
+  in
+  Array.to_list dirs
+  |> List.filter_map (fun name ->
+      match
+        if String.length name > 5 && String.sub name 0 5 = "inst-" then
+          int_of_string_opt
+            (String.sub name 5 (String.length name - 5))
+        else None
+      with
+      | None -> None
+      | Some id ->
+        let dir = Filename.concat wal_dir name in
+        if
+          (not (Sys.is_directory dir))
+          || Sys.file_exists (Filename.concat dir "decided.json")
+        then None
+        else begin
+          match Chc.Scenario.load (Filename.concat dir "meta.json") with
+          | Error e ->
+            Printf.eprintf "chc_serve: %s: skipping: %s\n%!" dir
+              (Chc.Scenario.error_to_string e);
+            None
+          | Ok scen ->
+            let config = scen.Chc.Scenario.config in
+            let n = config.Config.n in
+            let dim = config.Config.d in
+            let entries =
+              Array.init n (fun pid ->
+                  let path =
+                    Filename.concat dir (Printf.sprintf "wal-%d.jsonl" pid)
+                  in
+                  decode_prefix ~dim ~path (read_lines path))
+            in
+            (* A resumed run restarts every process from its log; the
+               original crash plans already played out (or died with
+               the daemon), so they do not re-arm. *)
+            let job =
+              { id; config; inputs = scen.Chc.Scenario.inputs;
+                crash = Array.make n Crash.Never;
+                round0 = scen.Chc.Scenario.round0 }
+            in
+            Some (job, entries)
+        end)
+  |> List.sort (fun (a, _) (b, _) -> compare a.id b.id)

@@ -1,0 +1,101 @@
+(** The serving daemon's core: many concurrent Algorithm CC instances,
+    each running over its own {!Runtime.Loopback} transport, sharded
+    across domains via {!Parallel.Pool}.
+
+    One {!job} is one consensus instance — [n] sans-IO
+    {!Chc.Instance}s wired to a private FIFO loopback. Jobs are
+    assigned to a shard by [id mod shards]; {!pump} advances every
+    shard in parallel (one pool task per shard, each delivering up to
+    [fuel] messages per live instance), so throughput scales with
+    domains while each instance's execution stays single-threaded and
+    deterministic. Completed instances come back as {!outcome}s, which
+    {!grade} checks against the paper's Theorem 2 properties.
+
+    With a [wal_dir], every instance writes per-process WALs through
+    {!Obs.Sink} appenders during execution (the {!Chc.Instance}
+    [Wal_append]/[Wal_sync] mirror effects), plus a [meta.json]
+    scenario and a [decided.json] completion marker — so a daemon
+    killed mid-flight can {!scan_wal} on restart and resubmit the
+    unfinished instances via the {!Chc.Instance.restore} rejoin path.
+
+    Metrics: [chc_serve_instances_total{status}] counters,
+    [chc_serve_inflight] gauge, [chc_serve_throughput_ips] gauge
+    (decided instances per second over the last pump window), and the
+    [chc_serve_decision_latency_seconds] histogram. *)
+
+type job = {
+  id : int;  (** unique per daemon run; names the WAL directory *)
+  config : Chc.Config.t;
+  inputs : Geometry.Vec.t array;
+  crash : Runtime.Crash.plan array;
+  round0 : Chc.Instance.round0_mode;
+}
+
+val job_of_request : Frame.request -> (job, string) result
+(** Validate a client [Submit] into a crash-free job; [Error] carries
+    the {!Frame.Rejected} reason (resilience bound violated, wrong
+    input count, out-of-range coordinates). *)
+
+type outcome = {
+  job : job;
+  outputs : (Runtime.Transport.pid * Geometry.Polytope.t) list;
+      (** decisions of the graded (fault-free or recovered) processes,
+          by pid ascending *)
+  t_end : int;
+  steps : int;         (** loopback deliveries consumed *)
+  latency_s : float;   (** submit-to-decision wall clock *)
+  recovered : Runtime.Transport.pid list;
+  resumed : bool;      (** went through the WAL restore path *)
+}
+
+val response_of_outcome : outcome -> Frame.response
+(** [Decision] carrying the lowest-pid output, or [Rejected] if no
+    graded process decided (cannot happen for jobs within the
+    resilience bound). *)
+
+val grade : outcome -> (unit, string) result
+(** Theorem 2 over the outcome: termination (every graded process
+    decided), validity (each output inside the hull of the graded
+    processes' inputs) and ε-agreement (max pairwise squared Hausdorff
+    distance [< ε²], exact). [Error] names the first violated
+    property. *)
+
+type t
+
+val create : ?shards:int -> ?fuel:int -> ?wal_dir:string -> unit -> t
+(** [shards] defaults to the global pool size; [fuel] (messages
+    delivered per instance per pump, default 64) trades per-instance
+    latency against cross-instance fairness. [wal_dir] arms per-job
+    durability (created if missing).
+    @raise Invalid_argument if [shards < 1] or [fuel < 1];
+    @raise Obs.Sink.Write_error if [wal_dir] cannot be created. *)
+
+val shards : t -> int
+val inflight : t -> int
+val completed : t -> int
+(** Lifetime decided-instance count. *)
+
+val submit : t -> ?resume:Chc.Recovery.event list array -> job -> unit
+(** Enqueue a job on its shard. With [resume], each process restores
+    from the given WAL entries (the restart path) instead of starting
+    fresh. @raise Invalid_argument on a duplicate live [id]. *)
+
+val pump : t -> outcome list
+(** One parallel pump round: every shard advances its live instances
+    by up to [fuel] deliveries each. Returns instances that reached
+    quiescence during this round (decided, or dead-ended by
+    unrecovered crashes), oldest-submission first within a shard. *)
+
+val drain : ?max_rounds:int -> t -> outcome list
+(** Pump until nothing is in flight (default [max_rounds = 100_000]).
+    @raise Runtime.Transport.Step_limit_exceeded if instances are
+    still live after [max_rounds] pumps. *)
+
+val scan_wal : wal_dir:string -> (job * Chc.Recovery.event list array) list
+(** Restart discovery: every [inst-<id>] subdirectory with a readable
+    [meta.json] and no [decided.json] marker, as a job plus its
+    per-process surviving WAL entries — ready for
+    [submit ~resume]. Unreadable directories are skipped with a note
+    on stderr, and each WAL is decoded up to its first undecodable
+    line (a half-written tail is the expected crash shape, not an
+    error — the disk-prefix model). Sorted by id. *)

@@ -53,7 +53,7 @@ let test_scenario_roundtrip () =
   let t = rich_scenario () in
   let s = Scenario.to_string t in
   match Scenario.of_string s with
-  | Error e -> Alcotest.failf "roundtrip failed: %s" e
+  | Error e -> Alcotest.failf "roundtrip failed: %s" (Scenario.error_to_string e)
   | Ok t' ->
     Alcotest.(check string) "byte-identical reprint" s (Scenario.to_string t');
     Alcotest.(check bool) "equal" true (Scenario.equal t t')
@@ -63,11 +63,16 @@ let test_scenario_version_guard () =
   let tampered = replace_sub s ~sub:{|"version":2|} ~by:{|"version":99|} in
   match Scenario.of_string tampered with
   | Ok _ -> Alcotest.fail "version 99 must be rejected"
-  | Error e ->
+  | Error (Scenario.Version { found; _ } as e) ->
+    Alcotest.(check int) "typed error carries the offending version" 99 found;
+    let msg = Scenario.error_to_string e in
     Alcotest.(check bool) "error names the offending version" true
-      (find_sub e "99" <> None);
+      (find_sub msg "99" <> None);
     Alcotest.(check bool) "error states the readable range" true
-      (find_sub e "reads 1-2" <> None)
+      (find_sub msg "reads 1-2" <> None)
+  | Error e ->
+    Alcotest.failf "expected a Version error, got: %s"
+      (Scenario.error_to_string e)
 
 let test_scenario_rejects_bad_plan () =
   let s = Scenario.to_string (rich_scenario ()) in

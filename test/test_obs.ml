@@ -101,9 +101,11 @@ let test_step_limit () =
     Sim.create ~trace ~n:2 ~seed:1 ~scheduler:Runtime.Scheduler.round_robin
       ~crash:[| Crash.Never; Crash.Never |]
       ~make:(fun _ ->
-          { Sim.on_start = (fun ctx -> Sim.send ctx (1 - Sim.me ctx) ());
-            Sim.on_receive =
-              (fun ctx src () -> Sim.send ctx src ()) })
+          { Runtime.Transport.on_start =
+              (fun ep ->
+                 ep.Runtime.Transport.send (1 - ep.Runtime.Transport.me) ());
+            on_receive =
+              (fun ep ~src () -> ep.Runtime.Transport.send src ()) })
       ()
   in
   Alcotest.check_raises "ping-pong exceeds the step limit"

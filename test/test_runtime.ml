@@ -3,6 +3,7 @@
    broadcasts), determinism, and scheduler fairness-in-the-limit. *)
 
 module Sim = Runtime.Sim
+module Transport = Runtime.Transport
 module Rng = Runtime.Rng
 module Crash = Runtime.Crash
 module Scheduler = Runtime.Scheduler
@@ -48,12 +49,12 @@ let test_fifo_exactly_once () =
     Sim.create ~n:3 ~seed:5 ~scheduler:Scheduler.random_uniform
       ~crash:(no_crash 3)
       ~make:(fun i ->
-          { Sim.on_start =
-              (fun ctx ->
+          { Transport.on_start =
+              (fun ep ->
                  if i = 0 then
-                   for k = 1 to 50 do Sim.send ctx 1 k done);
+                   for k = 1 to 50 do ep.Transport.send 1 k done);
             on_receive =
-              (fun _ctx src msg ->
+              (fun _ep ~src msg ->
                  if src = 0 then received := msg :: !received) }) ()
   in
   Sim.run sys;
@@ -70,9 +71,9 @@ let test_crash_budget_partial_broadcast () =
   let sys =
     Sim.create ~n:5 ~seed:1 ~scheduler:Scheduler.random_uniform ~crash
       ~make:(fun i ->
-          { Sim.on_start =
-              (fun ctx -> if i = 0 then Sim.broadcast ctx 99);
-            on_receive = (fun ctx _src _msg -> got.(Sim.me ctx) <- true) }) ()
+          { Transport.on_start =
+              (fun ep -> if i = 0 then ep.Transport.broadcast 99);
+            on_receive = (fun ep ~src:_ _msg -> got.(ep.Transport.me) <- true) }) ()
   in
   Sim.run sys;
   Alcotest.(check bool) "p1 got it" true got.(1);
@@ -93,8 +94,8 @@ let test_crashed_receiver_is_dead () =
   let sys =
     Sim.create ~n:2 ~seed:3 ~scheduler:Scheduler.round_robin ~crash
       ~make:(fun i ->
-          { Sim.on_start = (fun ctx -> if i = 0 then Sim.send ctx 1 0);
-            on_receive = (fun _ _ _ -> ran := true) }) ()
+          { Transport.on_start = (fun ep -> if i = 0 then ep.Transport.send 1 0);
+            on_receive = (fun _ ~src:_ _ -> ran := true) }) ()
   in
   Sim.run sys;
   Alcotest.(check bool) "handler did not run" false !ran;
@@ -115,21 +116,22 @@ let test_crash_recover_revival () =
   let sys =
     Sim.create
       ~on_crash:(fun i ~keep -> if i = 1 then kept := keep)
-      ~on_recover:(fun ctx ->
+      ~on_recover:(fun ep ->
           revived := true;
-          revived_ctx_ran := Sim.me ctx = 1;
+          revived_ctx_ran := ep.Transport.me = 1;
           (* a recovering process re-enters by sending *)
-          Sim.send ctx 0 99)
+          ep.Transport.send 0 99)
       ~n:2 ~seed:3 ~scheduler:Scheduler.round_robin ~crash
       ~make:(fun i ->
-          { Sim.on_start =
-              (fun ctx -> if i = 0 then for k = 1 to 6 do Sim.send ctx 1 k done);
+          { Transport.on_start =
+              (fun ep ->
+                 if i = 0 then for k = 1 to 6 do ep.Transport.send 1 k done);
             on_receive =
-              (fun ctx _src msg ->
-                 if Sim.me ctx = 1 && !revived then incr got_after_revival
-                 else if Sim.me ctx = 0 && msg = 99 then
+              (fun ep ~src:_ msg ->
+                 if ep.Transport.me = 1 && !revived then incr got_after_revival
+                 else if ep.Transport.me = 0 && msg = 99 then
                    (* answer the rejoin *)
-                   Sim.send ctx 1 100) }) ()
+                   ep.Transport.send 1 100) }) ()
   in
   Sim.run sys;
   Alcotest.(check int) "on_crash saw the plan's keep" 1 !kept;
@@ -150,10 +152,10 @@ let test_quiescence () =
     Sim.create ~n:2 ~seed:11 ~scheduler:Scheduler.lifo_bias
       ~crash:(no_crash 2)
       ~make:(fun i ->
-          { Sim.on_start = (fun ctx -> if i = 0 then Sim.send ctx 1 10);
+          { Transport.on_start = (fun ep -> if i = 0 then ep.Transport.send 1 10);
             on_receive =
-              (fun ctx src k ->
-                 if k > 0 then Sim.send ctx src (k - 1)) }) ()
+              (fun ep ~src k ->
+                 if k > 0 then ep.Transport.send src (k - 1)) }) ()
   in
   Sim.run sys;
   Alcotest.(check int) "exactly 11 deliveries" 11 (Sim.metrics sys).Sim.delivered
@@ -164,8 +166,8 @@ let test_step_limit () =
     Sim.create ~n:2 ~seed:11 ~scheduler:Scheduler.random_uniform
       ~crash:(no_crash 2)
       ~make:(fun i ->
-          { Sim.on_start = (fun ctx -> if i = 0 then Sim.send ctx 1 0);
-            on_receive = (fun ctx src _ -> Sim.send ctx src 0) }) ()
+          { Transport.on_start = (fun ep -> if i = 0 then ep.Transport.send 1 0);
+            on_receive = (fun ep ~src _ -> ep.Transport.send src 0) }) ()
   in
   Alcotest.check_raises "limit" Sim.Step_limit_exceeded
     (fun () -> Sim.run ~max_steps:1000 sys)
@@ -178,11 +180,11 @@ let delivery_log ~seed ~scheduler =
   let sys =
     Sim.create ~n:4 ~seed ~scheduler ~crash:(no_crash 4)
       ~make:(fun _ ->
-          { Sim.on_start = (fun ctx -> Sim.broadcast ctx 0);
+          { Transport.on_start = (fun ep -> ep.Transport.broadcast 0);
             on_receive =
-              (fun ctx src k ->
-                 log := (src, Sim.me ctx, k) :: !log;
-                 if k < 2 then Sim.broadcast ctx (k + 1)) }) ()
+              (fun ep ~src k ->
+                 log := (src, ep.Transport.me, k) :: !log;
+                 if k < 2 then ep.Transport.broadcast (k + 1)) }) ()
   in
   Sim.run sys;
   List.rev !log
@@ -202,8 +204,8 @@ let test_lag_scheduler_starves () =
     Sim.create ~n:3 ~seed:2 ~scheduler:(Scheduler.lag_sources [0])
       ~crash:(no_crash 3)
       ~make:(fun _ ->
-          { Sim.on_start = (fun ctx -> Sim.broadcast ctx 0);
-            on_receive = (fun _ src _ -> last_src := src) }) ()
+          { Transport.on_start = (fun ep -> ep.Transport.broadcast 0);
+            on_receive = (fun _ ~src _ -> last_src := src) }) ()
   in
   Sim.run sys;
   Alcotest.(check int) "lagged source delivered last" 0 !last_src

@@ -1,0 +1,238 @@
+(* The serving daemon's pieces in isolation: the frame codec (protocol
+   messages and the client vocabulary, plus chunked reassembly), the
+   sharded server end-to-end with Theorem 2 grading, and the
+   kill-restart path (scan_wal + submit ~resume). *)
+
+module Q = Numeric.Q
+module Vec = Geometry.Vec
+module Polytope = Geometry.Polytope
+module Frame = Serve.Frame
+module Server = Serve.Server
+module Workload = Serve.Workload
+module Instance = Chc.Instance
+
+let vec l = Vec.make (List.map Q.of_string l)
+
+let msg_roundtrip () =
+  let poly =
+    Polytope.of_points ~dim:2
+      [ vec [ "0"; "0" ]; vec [ "1"; "0" ]; vec [ "1/2"; "3/4" ] ]
+  in
+  let msgs =
+    [ Instance.Input0 (vec [ "1/3"; "2/7" ]);
+      Instance.Round (5, poly);
+      Instance.Rejoin 12;
+      Instance.Sv
+        (Protocol.Stable_vector.msg_of_entries
+           [ (0, vec [ "0"; "1" ]); (2, vec [ "1/2"; "1/2" ]) ]) ]
+  in
+  List.iter
+    (fun m ->
+       let s = Frame.msg_to_string m in
+       match Frame.msg_of_string s with
+       | Error e -> Alcotest.failf "roundtrip failed: %s" e
+       | Ok m' ->
+         Alcotest.(check string) "msg roundtrips" s (Frame.msg_to_string m'))
+    msgs;
+  (* trailing garbage is Malformed, not silently ignored *)
+  (match Frame.msg_of_string (Frame.msg_to_string (Instance.Rejoin 3) ^ "x") with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "trailing bytes accepted");
+  (* unsorted sv entries rejected *)
+  let bad = Buffer.create 16 in
+  Codec.Wire.write_varint bad 0;
+  Codec.Wire.write_varint bad 2;
+  Codec.Wire.write_varint bad 2;
+  Codec.Wire.write_vec bad (vec [ "0"; "0" ]);
+  Codec.Wire.write_varint bad 1;
+  Codec.Wire.write_vec bad (vec [ "1"; "1" ]);
+  (match Frame.msg_of_string (Buffer.contents bad) with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "unsorted sv view accepted")
+
+let request_response_roundtrip () =
+  let req =
+    Frame.Submit
+      { id = 42; n = 4; f = 1; d = 1;
+        eps = Q.of_ints 1 100; lo = Q.zero; hi = Q.one;
+        inputs =
+          [| vec [ "0" ]; vec [ "1/4" ]; vec [ "1/2" ]; vec [ "1" ] |] }
+  in
+  let b = Buffer.create 64 in
+  Frame.write_request b req;
+  let r = Codec.Wire.reader_of_string (Buffer.contents b) in
+  (match Frame.read_request r with
+   | Frame.Submit { id; n; d; inputs; _ } ->
+     Alcotest.(check int) "id" 42 id;
+     Alcotest.(check int) "n" 4 n;
+     Alcotest.(check int) "d" 1 d;
+     Alcotest.(check int) "inputs" 4 (Array.length inputs);
+     Alcotest.(check bool) "fully consumed" true (Codec.Wire.reader_done r));
+  let poly = Polytope.of_points ~dim:1 [ vec [ "1/3" ]; vec [ "1/2" ] ] in
+  List.iter
+    (fun resp ->
+       let b = Buffer.create 64 in
+       Frame.write_response b resp;
+       let r = Codec.Wire.reader_of_string (Buffer.contents b) in
+       (match (resp, Frame.read_response r) with
+        | Frame.Decision { id; t_end; output },
+          Frame.Decision { id = id'; t_end = t'; output = o' } ->
+          Alcotest.(check int) "id" id id';
+          Alcotest.(check int) "t_end" t_end t';
+          Alcotest.(check bool) "output" true (Polytope.equal output o')
+        | Frame.Rejected { id; reason }, Frame.Rejected { id = id'; reason = r' }
+          ->
+          Alcotest.(check int) "id" id id';
+          Alcotest.(check string) "reason" reason r'
+        | _ -> Alcotest.fail "response kind flipped");
+       Alcotest.(check bool) "fully consumed" true (Codec.Wire.reader_done r))
+    [ Frame.Decision { id = 7; t_end = 21; output = poly };
+      Frame.Rejected { id = 8; reason = "n < (d+2)f + 1" } ]
+
+(* Frames survive arbitrary chunk boundaries: three frames fed one
+   byte at a time come back intact, in order. *)
+let decoder_chunking () =
+  let payloads = [ "alpha"; ""; String.make 300 'z' ] in
+  let stream = String.concat "" (List.map Frame.encode_frame payloads) in
+  let dec = Frame.decoder () in
+  let got = ref [] in
+  String.iteri
+    (fun _ c ->
+       Frame.feed dec (String.make 1 c);
+       let rec drain () =
+         match Frame.next dec with
+         | Some p -> got := p :: !got; drain ()
+         | None -> ()
+       in
+       drain ())
+    stream;
+  Alcotest.(check (list string)) "all frames, in order" payloads
+    (List.rev !got);
+  Alcotest.(check int) "nothing left over" 0 (Frame.pending dec)
+
+let job shape ~id ~seed =
+  let rng = Runtime.Rng.create seed in
+  Workload.job ~rng ~id shape
+
+(* A mixed batch through the server: everything decides, everything
+   grades, ids round-trip, recovery instances report their revival. *)
+let server_drain_and_grade () =
+  let server = Server.create ~shards:2 ~fuel:16 () in
+  let shapes =
+    [ { Workload.n = 4; f = 1; d = 1; recover = false };
+      { Workload.n = 5; f = 1; d = 2; recover = false };
+      { Workload.n = 6; f = 1; d = 2; recover = true } ]
+  in
+  List.iteri
+    (fun id shape -> Server.submit server (job shape ~id ~seed:(100 + id)))
+    shapes;
+  Alcotest.(check int) "inflight" 3 (Server.inflight server);
+  let outcomes = Server.drain server in
+  Alcotest.(check int) "all decided" 3 (List.length outcomes);
+  Alcotest.(check int) "none left" 0 (Server.inflight server);
+  List.iter
+    (fun (o : Server.outcome) ->
+       (match Server.grade o with
+        | Ok () -> ()
+        | Error msg ->
+          Alcotest.failf "instance %d fails Theorem 2: %s"
+            o.Server.job.Server.id msg);
+       let recovery_job = o.Server.job.Server.id = 2 in
+       Alcotest.(check bool)
+         (Printf.sprintf "instance %d recovery" o.Server.job.Server.id)
+         recovery_job
+         (o.Server.recovered <> []);
+       match Server.response_of_outcome o with
+       | Frame.Decision { id; t_end; _ } ->
+         Alcotest.(check int) "response id" o.Server.job.Server.id id;
+         Alcotest.(check int) "response t_end" o.Server.t_end t_end
+       | Frame.Rejected _ -> Alcotest.fail "decided instance rejected")
+    outcomes;
+  Alcotest.(check int) "completed counter" 3 (Server.completed server);
+  (* duplicate live id rejected *)
+  Server.submit server (job (List.hd shapes) ~id:50 ~seed:7);
+  (match Server.submit server (job (List.hd shapes) ~id:50 ~seed:8) with
+   | () -> Alcotest.fail "duplicate live id accepted"
+   | exception Invalid_argument _ -> ());
+  ignore (Server.drain server)
+
+let rm_rf dir =
+  ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)))
+
+(* The kill-restart path: run half the batch to completion, abandon
+   the server with the rest mid-flight (as a SIGKILL would), then
+   scan the WAL directory from a fresh server and finish them through
+   the restore path. Decisions must still grade. *)
+let wal_restart () =
+  let wal_dir = Filename.temp_file "chc_serve_test" "" in
+  Sys.remove wal_dir;
+  Fun.protect ~finally:(fun () -> rm_rf wal_dir) @@ fun () ->
+  let shape = { Workload.n = 4; f = 1; d = 1; recover = false } in
+  let first = Server.create ~shards:1 ~fuel:4 ~wal_dir () in
+  for id = 0 to 3 do
+    Server.submit first (job shape ~id ~seed:(200 + id))
+  done;
+  (* pump a little — enough for WALs to accumulate, nowhere near
+     enough to finish — then walk away without closing anything *)
+  for _ = 1 to 2 do
+    ignore (Server.pump first)
+  done;
+  Alcotest.(check bool) "instances still in flight" true
+    (Server.inflight first > 0);
+  let pending = Server.scan_wal ~wal_dir in
+  Alcotest.(check int) "scan finds exactly the unfinished"
+    (Server.inflight first) (List.length pending);
+  let second = Server.create ~shards:1 ~fuel:8 ~wal_dir () in
+  List.iter
+    (fun (j, entries) -> Server.submit second ~resume:entries j)
+    pending;
+  let outcomes = Server.drain second in
+  Alcotest.(check int) "every resumed instance decides"
+    (List.length pending) (List.length outcomes);
+  List.iter
+    (fun (o : Server.outcome) ->
+       Alcotest.(check bool) "marked resumed" true o.Server.resumed;
+       match Server.grade o with
+       | Ok () -> ()
+       | Error msg ->
+         Alcotest.failf "resumed instance %d fails Theorem 2: %s"
+           o.Server.job.Server.id msg)
+    outcomes;
+  (* after finishing, a second scan finds nothing *)
+  Alcotest.(check int) "markers written" 0
+    (List.length (Server.scan_wal ~wal_dir))
+
+(* job_of_request validation speaks the CLI's vocabulary. *)
+let request_validation () =
+  let mk ?(n = 4) ?(f = 1) ?(d = 1) ?(inputs = 4) () =
+    Frame.Submit
+      { id = 0; n; f; d; eps = Q.of_ints 1 10; lo = Q.zero; hi = Q.one;
+        inputs = Array.init inputs (fun i -> vec [ Printf.sprintf "%d/10" i ]) }
+  in
+  (match Server.job_of_request (mk ()) with
+   | Ok j -> Alcotest.(check int) "valid request" 4 j.Server.config.Chc.Config.n
+   | Error e -> Alcotest.failf "valid request rejected: %s" e);
+  (match Server.job_of_request (mk ~n:3 ~inputs:3 ()) with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "resilience violation accepted");
+  (match Server.job_of_request (mk ~inputs:3 ()) with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "wrong input count accepted")
+
+let percentile () =
+  let xs = [ 5.; 1.; 4.; 2.; 3. ] in
+  Alcotest.(check (float 1e-9)) "p50" 3. (Workload.percentile xs 0.5);
+  Alcotest.(check (float 1e-9)) "p99" 5. (Workload.percentile xs 0.99);
+  Alcotest.(check (float 1e-9)) "empty" 0. (Workload.percentile [] 0.5)
+
+let suite =
+  [ ( "serve",
+      [ Alcotest.test_case "protocol msg codec roundtrip" `Quick msg_roundtrip;
+        Alcotest.test_case "request/response codec roundtrip" `Quick
+          request_response_roundtrip;
+        Alcotest.test_case "decoder survives chunking" `Quick decoder_chunking;
+        Alcotest.test_case "server drain + Theorem 2 grade" `Slow
+          server_drain_and_grade;
+        Alcotest.test_case "kill-restart via scan_wal" `Slow wal_restart;
+        Alcotest.test_case "request validation" `Quick request_validation;
+        Alcotest.test_case "workload percentile" `Quick percentile ] ) ]

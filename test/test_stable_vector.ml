@@ -6,6 +6,7 @@
    argument needs (paper, Section 3). *)
 
 module Sim = Runtime.Sim
+module Transport = Runtime.Transport
 module Rng = Runtime.Rng
 module Crash = Runtime.Crash
 module Scheduler = Runtime.Scheduler
@@ -19,15 +20,15 @@ let run_instance ~n ~f ~seed ~scheduler ~crash =
   let sys =
     Sim.create ~n ~seed ~scheduler ~crash
       ~make:(fun i ->
-          { Sim.on_start =
-              (fun ctx ->
+          { Transport.on_start =
+              (fun ep ->
                  let st =
                    SV.create ~n ~f ~me:i ~value:(100 + i)
-                     ~broadcast:(fun m -> Sim.broadcast ctx m) ()
+                     ~broadcast:(fun m -> ep.Transport.broadcast m) ()
                  in
                  states.(i) <- Some st);
             on_receive =
-              (fun _ctx src msg ->
+              (fun _ep ~src msg ->
                  match states.(i) with
                  | Some st -> SV.on_receive st ~src msg
                  | None -> ()) }) ()

@@ -132,7 +132,8 @@ let test_scenario_v2_roundtrip () =
   let t = recovery_scenario () in
   let s = Scenario.to_string t in
   match Scenario.of_string s with
-  | Error e -> Alcotest.failf "v2 roundtrip failed: %s" e
+  | Error e ->
+    Alcotest.failf "v2 roundtrip failed: %s" (Scenario.error_to_string e)
   | Ok t' ->
     Alcotest.(check bool) "equal after roundtrip" true (Scenario.equal t t');
     Alcotest.(check string) "byte-identical reprint" s (Scenario.to_string t')
@@ -174,7 +175,8 @@ let test_scenario_v1_read () =
           (String.length s - i - String.length {|"version":2|})
   in
   match Scenario.of_string v1 with
-  | Error e -> Alcotest.failf "v1 document rejected: %s" e
+  | Error e ->
+    Alcotest.failf "v1 document rejected: %s" (Scenario.error_to_string e)
   | Ok t' ->
     Alcotest.(check bool) "v1 document reads back equal" true
       (Scenario.equal t t')
