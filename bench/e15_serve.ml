@@ -31,18 +31,21 @@ let run () =
       ~label:"warmup" ~first_id:0
       ~concurrency:(if fast then 16 else 64)
       ~total:(if fast then 40 else 200)
+      ()
   in
   let sustained =
     Workload.closed_loop ~server ~rng ~mix:[ sustained_shape ]
       ~label:"sustained" ~first_id:1_000_000
       ~concurrency:(if fast then 50 else 1000)
       ~total:(if fast then 60 else 1100)
+      ()
   in
   let open_loop =
     Workload.open_loop ~server ~rng ~mix:Workload.default_mix
       ~label:"open-loop" ~first_id:2_000_000
       ~per_pump:(if fast then 2 else 5)
       ~pumps:(if fast then 10 else 40)
+      ()
   in
   let phases = [ warmup; sustained; open_loop ] in
   Util.print_table ~title:"E15: serving daemon (closed/open loop)"

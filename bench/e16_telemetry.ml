@@ -1,0 +1,182 @@
+(* E16 — telemetry overhead: the live plane must be close to free.
+
+   The daemon's operating posture (PR 9) is logging at info with the
+   admin plane armed; this experiment prices that posture against a
+   dark server. Three configurations over the identical workload
+   (closed-loop n=5/f=1/d=2, fresh server each run):
+
+   - off:   no logging, no profiling — the baseline;
+   - log:   Obs.Log at Info into a real file appender, flushed after
+            every pump (exactly chc_serve's cadence), rate limiter
+            opened wide so the cost measured is render+write, not
+            drop;
+   - trace: log + per-job Prof slices + causal_k slowest-k traces —
+            the everything-on worst case.
+
+   Runs are interleaved (off/log/trace, twice) and each config keeps
+   its best wall clock, so machine noise hits every config equally.
+   The ratchet: logging-enabled throughput must stay within
+   CHC_E16_TOLERANCE (default 10%) of logging-off — the acceptance
+   bar for shipping telemetry in the serving path. Trace overhead is
+   recorded but not gated (profiling is opt-in). *)
+
+module Server = Serve.Server
+module Workload = Serve.Workload
+
+let shape = { Workload.n = 5; f = 1; d = 2; recover = false }
+
+let tolerance =
+  match Sys.getenv_opt "CHC_E16_TOLERANCE" with
+  | Some s -> (try float_of_string s with Failure _ -> 0.10)
+  | None -> 0.10
+
+type config = Off | Log | Trace
+
+let label = function Off -> "off" | Log -> "log" | Trace -> "trace"
+
+let run_config cfg ~first_id ~concurrency ~total =
+  let log_file =
+    Filename.temp_file "chc_e16" (Printf.sprintf "_%s.jsonl" (label cfg))
+  in
+  let causal_k = if cfg = Trace then 8 else 0 in
+  (* slow_s high: a slow-request warn storm under deliberate
+     oversubscription would measure the limiter, not the plane *)
+  let server = Server.create ~fuel:64 ~slow_s:1e9 ~causal_k () in
+  (match cfg with
+   | Off -> ()
+   | Log | Trace ->
+     Obs.Log.open_file ~path:log_file;
+     Obs.Log.set_rate ~per_s:1_000_000 ~burst:1_000_000;
+     Obs.Log.set_level (Some Obs.Log.Info);
+     if cfg = Trace then Obs.Prof.set_enabled true);
+  let rng = Runtime.Rng.create (42 + first_id) in
+  let on_pump = match cfg with Off -> None | _ -> Some Obs.Log.flush in
+  let phase =
+    Workload.closed_loop ~server ~rng ~mix:[ shape ] ~label:(label cfg)
+      ~first_id ~concurrency ~total ?on_pump ()
+  in
+  (match cfg with
+   | Off -> ()
+   | Log | Trace ->
+     Obs.Prof.set_enabled false;
+     Obs.Prof.reset ();
+     Obs.Log.set_level None;
+     Obs.Log.close ();
+     Obs.Log.set_rate ~per_s:1000 ~burst:1000);
+  let log_lines =
+    let ic = open_in log_file in
+    let n = ref 0 in
+    (try
+       while true do
+         ignore (input_line ic);
+         incr n
+       done
+     with End_of_file -> ());
+    close_in ic;
+    !n
+  in
+  Sys.remove log_file;
+  if phase.Workload.grade_failures <> [] then begin
+    Printf.printf "  E16 FAILED: Theorem 2 violation under %s telemetry\n"
+      (label cfg);
+    exit 1
+  end;
+  (phase, log_lines)
+
+let run () =
+  let fast = Util.fast in
+  let concurrency = if fast then 32 else 200 in
+  let total = if fast then 80 else 600 in
+  (* untimed warmup: first-touch costs (domain pool, memo tables)
+     must not land on whichever config runs first *)
+  let warm = Server.create ~fuel:64 () in
+  let rng = Runtime.Rng.create 7 in
+  ignore
+    (Workload.closed_loop ~server:warm ~rng ~mix:[ shape ] ~label:"warmup"
+       ~first_id:9_000_000 ~concurrency:16 ~total:(if fast then 16 else 48)
+       ()
+     : Workload.phase);
+  let configs = [ Off; Log; Trace ] in
+  let rounds = 2 in
+  let runs =
+    List.concat
+      (List.init rounds (fun round ->
+           List.mapi
+             (fun i cfg ->
+                let first_id = 1_000_000 * ((round * 3) + i + 1) in
+                (cfg, run_config cfg ~first_id ~concurrency ~total))
+             configs))
+  in
+  let best cfg =
+    let of_cfg =
+      List.filter_map
+        (fun (c, (p, lines)) -> if c = cfg then Some (p, lines) else None)
+        runs
+    in
+    List.fold_left
+      (fun (bp, bl) (p, l) ->
+         if p.Workload.throughput_ips > bp.Workload.throughput_ips then (p, l)
+         else (bp, bl))
+      (List.hd of_cfg) (List.tl of_cfg)
+  in
+  let results = List.map (fun cfg -> (cfg, best cfg)) configs in
+  let ips cfg = (fst (snd (List.find (fun (c, _) -> c = cfg) results))).Workload.throughput_ips in
+  let overhead_pct cfg = 100. *. (1. -. (ips cfg /. ips Off)) in
+  Util.print_table ~title:"E16: telemetry overhead (best of interleaved runs)"
+    ~header:
+      [ "config"; "instances"; "wall_s"; "inst/s"; "p50_ms"; "p99_ms";
+        "overhead%"; "log_lines" ]
+    ~widths:[ 8; 9; 8; 9; 8; 8; 9; 9 ]
+    (List.map
+       (fun (cfg, ((p : Workload.phase), lines)) ->
+          [ label cfg;
+            string_of_int p.Workload.instances;
+            Util.f3 p.Workload.wall_s;
+            Printf.sprintf "%.1f" p.Workload.throughput_ips;
+            Printf.sprintf "%.1f" (p.Workload.latency_p50_s *. 1e3);
+            Printf.sprintf "%.1f" (p.Workload.latency_p99_s *. 1e3);
+            Printf.sprintf "%.1f" (overhead_pct cfg);
+            string_of_int lines ])
+       results);
+  (* The committed artifact records a full-mode run; fast mode still
+     writes one so the pipeline is exercised either way. *)
+  (match
+     Obs.Sink.write_file ~path:"BENCH_E16.json" (fun oc ->
+         Printf.fprintf oc
+           "{\n  \"experiment\": \"e16\",\n  \"mode\": \"%s\",\n\
+           \  \"shape\": {\"n\": 5, \"f\": 1, \"d\": 2},\n\
+           \  \"concurrency\": %d,\n  \"total\": %d,\n\
+           \  \"rounds\": %d,\n  \"tolerance\": %.3f,\n  \"configs\": [\n"
+           (if fast then "fast" else "full")
+           concurrency total rounds tolerance;
+         let last = List.length results - 1 in
+         List.iteri
+           (fun i (cfg, ((p : Workload.phase), lines)) ->
+              Printf.fprintf oc
+                "    {\"label\": \"%s\", \"instances\": %d, \"wall_s\": \
+                 %.3f, \"throughput_ips\": %.2f, \"latency_p50_ms\": %.2f, \
+                 \"latency_p99_ms\": %.2f, \"overhead_pct\": %.2f, \
+                 \"log_lines\": %d}%s\n"
+                (label cfg) p.Workload.instances p.Workload.wall_s
+                p.Workload.throughput_ips
+                (p.Workload.latency_p50_s *. 1e3)
+                (p.Workload.latency_p99_s *. 1e3)
+                (overhead_pct cfg) lines
+                (if i = last then "" else ","))
+           results;
+         output_string oc "  ]\n}\n")
+   with
+   | Ok () -> print_endline "  wrote BENCH_E16.json (3 configs)"
+   | Error msg -> Printf.printf "  BENCH_E16.json NOT written: %s\n" msg);
+  (* the ratchet: logging must not tax the serving path *)
+  let floor_ips = (1. -. tolerance) *. ips Off in
+  if ips Log < floor_ips then begin
+    Printf.printf
+      "  E16 FAILED: logging-enabled throughput %.1f inst/s below %.1f \
+       (%.0f%% of logging-off %.1f)\n"
+      (ips Log) floor_ips ((1. -. tolerance) *. 100.) (ips Off);
+    exit 1
+  end;
+  Printf.printf
+    "  ratchet ok: log %.1f inst/s >= %.0f%% of off %.1f (trace: %.1f)\n"
+    (ips Log) ((1. -. tolerance) *. 100.) (ips Off) (ips Trace)

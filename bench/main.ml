@@ -23,6 +23,8 @@ let experiments =
     ("e14", "crash-recovery cost vs log length (WAL replay)", E14_recovery.run);
     ("e15", "serving daemon throughput/latency (sharded multi-instance)",
      E15_serve.run);
+    ("e16", "telemetry overhead: logging/tracing on vs off",
+     E16_telemetry.run);
     ("smoke3d", "fast d=3 execution smoke check", Smoke3d.run) ]
 
 let () =

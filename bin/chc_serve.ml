@@ -8,12 +8,15 @@
      dune exec bin/chc_serve.exe -- drive --instances 500 --concurrency 128
      dune exec bin/chc_serve.exe -- drive --wal-dir /tmp/chcwal --instances 50
      dune exec bin/chc_serve.exe -- resume --wal-dir /tmp/chcwal
-     dune exec bin/chc_serve.exe -- listen --port 7465 --limit 100 *)
+     dune exec bin/chc_serve.exe -- listen --port 7465 --limit 100
+     curl 127.0.0.1:7465/metrics      # admin plane, same port
+     dune exec bin/chc_serve.exe -- listen --admin-port 9465 *)
 
 open Cmdliner
 
 module Cli = Chc.Cli
 module Frame = Serve.Frame
+module Admin = Serve.Admin
 module Server = Serve.Server
 module Workload = Serve.Workload
 
@@ -65,6 +68,155 @@ let print_phase (p : Workload.phase) =
   List.iter (fun msg -> Printf.printf "  GRADE FAIL %s\n" msg)
     p.Workload.grade_failures
 
+(* --- telemetry flags (log / profile / tracing), shared by every
+   subcommand ----------------------------------------------------------- *)
+
+type telem = {
+  log_file : string option;
+  log_level : string;
+  log_rate : int option;
+  slow_ms : int;
+  profile_out : string option;
+  causal_k : int;
+}
+
+let telem_term =
+  let log_file =
+    Arg.(value & opt (some string) None
+         & info ["log"] ~docv:"FILE"
+             ~doc:"Write structured JSONL logs (one JSON object per line) \
+                   to $(docv), appending. Arms logging at --log-level.")
+  in
+  let log_level =
+    Arg.(value & opt string "info"
+         & info ["log-level"] ~docv:"LVL"
+             ~doc:"Minimum level routed to --log: off, debug, info, warn \
+                   or error. Without --log this flag is inert (logging \
+                   stays disabled).")
+  in
+  let log_rate =
+    Arg.(value & opt (some int) None
+         & info ["log-rate"] ~docv:"N"
+             ~doc:"Token-bucket rate limit: at most $(docv) log lines per \
+                   second sustained (burst $(docv)); over-budget lines are \
+                   dropped and counted (default 1000).")
+  in
+  let slow_ms =
+    Arg.(value & opt int 1000
+         & info ["slow-ms"] ~docv:"MS"
+             ~doc:"Submit-to-decision latency above which an instance \
+                   earns a warn-level slow_request log line.")
+  in
+  let profile_out =
+    Arg.(value & opt (some string) None
+         & info ["profile-out"] ~docv:"FILE"
+             ~doc:"Enable the span profiler and write a Chrome \
+                   trace-event / Perfetto JSON profile to $(docv) on \
+                   exit; per-job slices land on one track per instance \
+                   id. With --causal-k, critical-path sidecars go to \
+                   $(docv).causal-<id>.json.")
+  in
+  let causal_k =
+    Arg.(value & opt int 0
+         & info ["causal-k"] ~docv:"K"
+             ~doc:"Record per-job event traces and keep the $(docv) \
+                   slowest jobs' traces; their happens-before critical \
+                   paths are reported on exit (and written as JSON \
+                   sidecars with --profile-out).")
+  in
+  Term.(const (fun log_file log_level log_rate slow_ms profile_out causal_k
+                -> { log_file; log_level; log_rate; slow_ms; profile_out;
+                     causal_k })
+        $ log_file $ log_level $ log_rate $ slow_ms $ profile_out
+        $ causal_k)
+
+(* Arm logging/profiling per the flags; returns Error on a bad level.
+   The daemon flushes the log between pump rounds; [teardown] drains
+   whatever is left, dumps the profile and the causal sidecars. *)
+let telem_setup t =
+  match Obs.Log.level_of_string t.log_level with
+  | Error msg -> Error ("--log-level: " ^ msg)
+  | Ok lvl ->
+    (match t.log_file with
+     | None -> ()
+     | Some path ->
+       Obs.Log.open_file ~path;
+       (match t.log_rate with
+        | None -> ()
+        | Some n -> Obs.Log.set_rate ~per_s:n ~burst:n);
+       Obs.Log.set_level lvl);
+    if t.profile_out <> None then Obs.Prof.set_enabled true;
+    Ok ()
+
+let telem_teardown t server =
+  (match t.profile_out with
+   | None ->
+     if t.causal_k > 0 then
+       List.iter
+         (fun (id, latency_s, causal) ->
+            Printf.printf
+              "slowest: instance %-6d %.1fms  critical chain %d hop(s)\n"
+              id (latency_s *. 1e3)
+              (Obs.Causal.max_chain_length causal))
+         (Server.slowest server)
+   | Some path ->
+     Obs.Prof.set_enabled false;
+     let write path body =
+       match Obs.Sink.write_string ~path body with
+       | Ok () -> true
+       | Error msg ->
+         Printf.eprintf "chc_serve: %s\n%!" msg;
+         false
+     in
+     if write path (Obs.Prof.to_chrome_json ()) then
+       Printf.printf "chc_serve: profile (%d spans) written to %s\n"
+         (Obs.Prof.span_count ()) path;
+     List.iter
+       (fun (id, _, causal) ->
+          let spath = Printf.sprintf "%s.causal-%d.json" path id in
+          if write spath (Obs.Causal.to_json causal) then
+            Printf.printf "chc_serve: critical path of instance %d in %s\n"
+              id spath)
+       (Server.slowest server));
+  if t.log_file <> None then Obs.Log.close ();
+  Obs.Log.set_level None
+
+let slow_s_of t = float_of_int t.slow_ms /. 1000.
+
+(* --- periodic metrics exposition (drive / resume) --------------------- *)
+
+let metrics_every_arg =
+  Arg.(value & opt (some int) None
+       & info ["metrics-every"] ~docv:"N"
+           ~doc:"Every $(docv) pump rounds, write the full Prometheus \
+                 exposition to --metrics-out (atomic replace — a \
+                 textfile-collector snapshot).")
+
+let metrics_out_arg =
+  Arg.(value & opt (some string) None
+       & info ["metrics-out"] ~docv:"FILE"
+           ~doc:"Destination snapshot file for --metrics-every.")
+
+(* The per-pump hook: flush buffered log lines, and every [n] pumps
+   snapshot the metrics registry. *)
+let make_on_pump ~metrics_every ~metrics_out =
+  let pumps = ref 0 in
+  fun () ->
+    incr pumps;
+    Obs.Log.flush ();
+    match (metrics_every, metrics_out) with
+    | Some n, Some path when n > 0 && !pumps mod n = 0 ->
+      (match Obs.Sink.write_string ~path (Obs.Metrics.exposition_all ()) with
+       | Ok () -> ()
+       | Error msg -> Printf.eprintf "chc_serve: metrics-out: %s\n%!" msg)
+    | _ -> ()
+
+let check_metrics_every ~metrics_every ~metrics_out k =
+  match (metrics_every, metrics_out) with
+  | Some _, None -> `Error (false, "--metrics-every needs --metrics-out")
+  | Some n, Some _ when n < 1 -> `Error (false, "--metrics-every: must be >= 1")
+  | _ -> k ()
+
 (* --- drive: in-process synthetic workload ---------------------------- *)
 
 let instances_arg =
@@ -77,31 +229,42 @@ let concurrency_arg =
        & info ["concurrency"] ~docv:"K"
            ~doc:"Instances held in flight (closed-loop).")
 
-let drive_cmd kernel seed shards fuel wal_dir metrics instances concurrency =
+let drive_cmd kernel seed shards fuel wal_dir metrics telem metrics_every
+    metrics_out instances concurrency =
   with_kernel kernel @@ fun () ->
   if instances < 1 then `Error (false, "--instances: must be >= 1")
   else if concurrency < 1 then `Error (false, "--concurrency: must be >= 1")
-  else begin
-    let server = Server.create ?shards ~fuel ?wal_dir () in
-    Printf.printf
-      "chc_serve drive: %d instances, concurrency %d, %d shard(s), fuel %d%s\n%!"
-      instances concurrency (Server.shards server) fuel
-      (match wal_dir with None -> "" | Some d -> ", wal " ^ d);
-    let rng = Runtime.Rng.create seed in
-    let phase =
-      Workload.closed_loop ~server ~rng ~mix:Workload.default_mix
-        ~label:"closed" ~first_id:0 ~concurrency ~total:instances
-    in
-    print_phase phase;
-    if metrics then print_metrics ();
-    if phase.Workload.grade_failures = [] then `Ok ()
-    else `Error (false, "Theorem 2 violations under load (see above)")
-  end
+  else
+    check_metrics_every ~metrics_every ~metrics_out @@ fun () ->
+    match telem_setup telem with
+    | Error msg -> `Error (false, msg)
+    | Ok () ->
+      let server =
+        Server.create ?shards ~fuel ~slow_s:(slow_s_of telem)
+          ~causal_k:telem.causal_k ?wal_dir ()
+      in
+      Printf.printf
+        "chc_serve drive: %d instances, concurrency %d, %d shard(s), fuel %d%s\n%!"
+        instances concurrency (Server.shards server) fuel
+        (match wal_dir with None -> "" | Some d -> ", wal " ^ d);
+      let rng = Runtime.Rng.create seed in
+      let phase =
+        Workload.closed_loop
+          ~on_pump:(make_on_pump ~metrics_every ~metrics_out)
+          ~server ~rng ~mix:Workload.default_mix
+          ~label:"closed" ~first_id:0 ~concurrency ~total:instances ()
+      in
+      print_phase phase;
+      telem_teardown telem server;
+      if metrics then print_metrics ();
+      if phase.Workload.grade_failures = [] then `Ok ()
+      else `Error (false, "Theorem 2 violations under load (see above)")
 
 let drive_term =
   Term.(ret
           (const drive_cmd $ Cli.kernel_arg $ Cli.seed_arg $ shards_arg
-           $ fuel_arg $ wal_dir_arg $ metrics_arg $ instances_arg
+           $ fuel_arg $ wal_dir_arg $ metrics_arg $ telem_term
+           $ metrics_every_arg $ metrics_out_arg $ instances_arg
            $ concurrency_arg))
 
 let drive_info =
@@ -118,50 +281,68 @@ let drive_info =
 
 (* --- resume: restart recovery from a WAL directory -------------------- *)
 
-let resume_cmd kernel shards fuel wal_dir metrics =
+let resume_cmd kernel shards fuel wal_dir metrics telem metrics_every
+    metrics_out =
   with_kernel kernel @@ fun () ->
   match wal_dir with
   | None -> `Error (false, "--wal-dir is required for resume")
   | Some dir ->
-    let pending = Server.scan_wal ~wal_dir:dir in
-    Printf.printf "chc_serve resume: %d unfinished instance(s) under %s\n%!"
-      (List.length pending) dir;
-    if pending = [] then `Ok ()
-    else begin
-      let server = Server.create ?shards ~fuel ~wal_dir:dir () in
-      List.iter
-        (fun (job, entries) -> Server.submit server ~resume:entries job)
-        pending;
-      let outcomes = Server.drain server in
-      let failures =
-        List.filter_map
+    check_metrics_every ~metrics_every ~metrics_out @@ fun () ->
+    match telem_setup telem with
+    | Error msg -> `Error (false, msg)
+    | Ok () ->
+      let pending = Server.scan_wal ~wal_dir:dir in
+      Printf.printf "chc_serve resume: %d unfinished instance(s) under %s\n%!"
+        (List.length pending) dir;
+      if pending = [] then `Ok ()
+      else begin
+        let server =
+          Server.create ?shards ~fuel ~slow_s:(slow_s_of telem)
+            ~causal_k:telem.causal_k ~wal_dir:dir ()
+        in
+        List.iter
+          (fun (job, entries) -> Server.submit server ~resume:entries job)
+          pending;
+        let on_pump = make_on_pump ~metrics_every ~metrics_out in
+        let outcomes = ref [] in
+        while Server.inflight server > 0 do
+          outcomes := List.rev_append (Server.pump server) !outcomes;
+          on_pump ()
+        done;
+        let outcomes = List.rev !outcomes in
+        let failures =
+          List.filter_map
+            (fun o ->
+               match Server.grade_count server o with
+               | Ok () -> None
+               | Error msg ->
+                 Some
+                   (Printf.sprintf "instance %d: %s" o.Server.job.Server.id
+                      msg))
+            outcomes
+        in
+        List.iter
           (fun o ->
-             match Server.grade o with
-             | Ok () -> None
-             | Error msg ->
-               Some (Printf.sprintf "instance %d: %s" o.Server.job.Server.id msg))
-          outcomes
-      in
-      List.iter
-        (fun o ->
-           Printf.printf "instance %-6d decided after resume (t_end %d%s)\n"
-             o.Server.job.Server.id o.Server.t_end
-             (if o.Server.recovered = [] then ""
-              else
-                Printf.sprintf ", recovered {%s}"
-                  (String.concat ","
-                     (List.map string_of_int o.Server.recovered))))
-        outcomes;
-      if metrics then print_metrics ();
-      match failures with
-      | [] -> `Ok ()
-      | msgs -> `Error (false, String.concat "\n" msgs)
-    end
+             Printf.printf "instance %-6d decided after resume (t_end %d%s)\n"
+               o.Server.job.Server.id o.Server.t_end
+               (if o.Server.recovered = [] then ""
+                else
+                  Printf.sprintf ", recovered {%s}"
+                    (String.concat ","
+                       (List.map string_of_int o.Server.recovered))))
+          outcomes;
+        telem_teardown telem server;
+        if metrics then print_metrics ();
+        match failures with
+        | [] -> `Ok ()
+        | msgs -> `Error (false, String.concat "\n" msgs)
+      end
 
 let resume_term =
   Term.(ret
           (const resume_cmd $ Cli.kernel_arg $ shards_arg $ fuel_arg
-           $ wal_dir_arg $ metrics_arg))
+           $ wal_dir_arg $ metrics_arg $ telem_term $ metrics_every_arg
+           $ metrics_out_arg))
 
 let resume_info =
   Cmd.info "resume"
@@ -181,6 +362,14 @@ let port_arg =
        & info ["port"] ~docv:"PORT"
            ~doc:"TCP port on 127.0.0.1 (0 picks an ephemeral port, \
                  printed on startup).")
+
+let admin_port_arg =
+  Arg.(value & opt (some int) None
+       & info ["admin-port"] ~docv:"PORT"
+           ~doc:"Also serve the admin endpoint (/metrics /healthz \
+                 /statusz) on a dedicated 127.0.0.1 port (0: ephemeral, \
+                 printed on startup). The main --port answers admin GETs \
+                 either way.")
 
 let limit_arg =
   Arg.(value & opt int 0
@@ -203,59 +392,84 @@ let write_all fd s =
   in
   go 0
 
-let listen_cmd kernel shards fuel wal_dir port limit =
+(* A fresh connection on the frame port is either a frame client or an
+   admin scraper — decided by its first bytes ({!Admin.looks_like_http}:
+   an ASCII method name can never begin a LEB128-framed stream). *)
+type client_state =
+  | Fresh
+  | Frames of Frame.decoder
+  | Http of Admin.conn
+
+let listen_cmd kernel shards fuel wal_dir telem port admin_port limit =
   with_kernel kernel @@ fun () ->
-  let server = Server.create ?shards ~fuel ?wal_dir () in
-  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  Unix.setsockopt sock Unix.SO_REUSEADDR true;
-  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
-  Unix.listen sock 64;
-  let actual_port =
-    match Unix.getsockname sock with
-    | Unix.ADDR_INET (_, p) -> p
-    | _ -> port
-  in
-  Printf.printf "chc_serve: listening on 127.0.0.1:%d (%d shard(s), fuel %d)\n%!"
-    actual_port (Server.shards server) fuel;
-  let clients : (Unix.file_descr, Frame.decoder) Hashtbl.t =
-    Hashtbl.create 16
-  in
-  (* instance id -> the connection that submitted it; a response for a
-     vanished client is dropped (the WAL, if armed, still records the
-     decision). *)
-  let owner : (int, Unix.file_descr) Hashtbl.t = Hashtbl.create 256 in
-  let buf = Bytes.create 65536 in
-  let decided = ref 0 in
-  let drop fd =
-    Hashtbl.remove clients fd;
-    (try Unix.close fd with Unix.Unix_error _ -> ())
-  in
-  let respond fd resp =
-    let b = Buffer.create 256 in
-    Frame.write_response b resp;
-    if not (write_all fd (Frame.encode_frame (Buffer.contents b))) then
-      drop fd
-  in
-  let handle_payload fd payload =
-    let r = Codec.Wire.reader_of_string payload in
-    match Frame.read_request r with
-    | Frame.Submit { id; _ } as req ->
-      if not (Codec.Wire.reader_done r) then
-        raise (Frame.Malformed "trailing bytes after request");
-      (match Server.job_of_request req with
-       | Error reason -> respond fd (Frame.Rejected { id; reason })
-       | Ok job ->
-         (match Server.submit server job with
-          | () -> Hashtbl.replace owner id fd
-          | exception Invalid_argument reason ->
-            respond fd (Frame.Rejected { id; reason })))
-  in
-  let serve_client fd =
-    match Unix.read fd buf 0 (Bytes.length buf) with
-    | 0 -> drop fd
-    | k ->
-      let dec = Hashtbl.find clients fd in
-      Frame.feed dec (Bytes.sub_string buf 0 k);
+  match telem_setup telem with
+  | Error msg -> `Error (false, msg)
+  | Ok () ->
+    let server =
+      Server.create ?shards ~fuel ~slow_s:(slow_s_of telem)
+        ~causal_k:telem.causal_k ?wal_dir ()
+    in
+    let admin_src = Server.admin_source server in
+    let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt sock Unix.SO_REUSEADDR true;
+    Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+    Unix.listen sock 64;
+    let actual_port =
+      match Unix.getsockname sock with
+      | Unix.ADDR_INET (_, p) -> p
+      | _ -> port
+    in
+    Printf.printf
+      "chc_serve: listening on 127.0.0.1:%d (%d shard(s), fuel %d)\n%!"
+      actual_port (Server.shards server) fuel;
+    let admin =
+      Option.map (fun p -> Admin.create ~port:p admin_src) admin_port
+    in
+    (match admin with
+     | Some a ->
+       Printf.printf
+         "chc_serve: admin on 127.0.0.1:%d (/metrics /healthz /statusz)\n%!"
+         (Admin.port a)
+     | None ->
+       Printf.printf
+         "chc_serve: admin GETs (/metrics /healthz /statusz) answered on \
+          port %d\n%!"
+         actual_port);
+    let clients : (Unix.file_descr, client_state) Hashtbl.t =
+      Hashtbl.create 16
+    in
+    (* instance id -> the connection that submitted it; a response for a
+       vanished client is dropped (the WAL, if armed, still records the
+       decision). *)
+    let owner : (int, Unix.file_descr) Hashtbl.t = Hashtbl.create 256 in
+    let buf = Bytes.create 65536 in
+    let decided = ref 0 in
+    let drop fd =
+      Hashtbl.remove clients fd;
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+    in
+    let respond fd resp =
+      let b = Buffer.create 256 in
+      Frame.write_response b resp;
+      if not (write_all fd (Frame.encode_frame (Buffer.contents b))) then
+        drop fd
+    in
+    let handle_payload fd payload =
+      let r = Codec.Wire.reader_of_string payload in
+      match Frame.read_request r with
+      | Frame.Submit { id; _ } as req ->
+        if not (Codec.Wire.reader_done r) then
+          raise (Frame.Malformed "trailing bytes after request");
+        (match Server.job_of_request req with
+         | Error reason -> respond fd (Frame.Rejected { id; reason })
+         | Ok job ->
+           (match Server.submit server job with
+            | () -> Hashtbl.replace owner id fd
+            | exception Invalid_argument reason ->
+              respond fd (Frame.Rejected { id; reason })))
+    in
+    let feed_frames fd dec data =
+      Frame.feed dec data;
       let rec frames () =
         match Frame.next dec with
         | Some payload ->
@@ -263,49 +477,86 @@ let listen_cmd kernel shards fuel wal_dir port limit =
           if Hashtbl.mem clients fd then frames ()
         | None -> ()
       in
-      (try frames () with
-       | Frame.Malformed msg | Codec.Wire.Malformed msg ->
-         Printf.eprintf "chc_serve: dropping client (malformed: %s)\n%!" msg;
-         drop fd)
-    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
-    | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> drop fd
-  in
-  let finished () = limit > 0 && !decided >= limit in
-  while not (finished ()) do
-    let fds = sock :: Hashtbl.fold (fun fd _ acc -> fd :: acc) clients [] in
-    (* Busy only while instances are in flight; idle select blocks
-       briefly so a killed --limit run still exits promptly. *)
-    let timeout = if Server.inflight server > 0 then 0. else 0.05 in
-    let ready, _, _ = Unix.select fds [] [] timeout in
-    List.iter
-      (fun fd ->
-         if fd == sock then begin
-           let cfd, _ = Unix.accept sock in
-           Hashtbl.replace clients cfd (Frame.decoder ())
-         end
-         else if Hashtbl.mem clients fd then serve_client fd)
-      ready;
-    List.iter
-      (fun (o : Server.outcome) ->
-         incr decided;
-         let id = o.Server.job.Server.id in
-         (match Hashtbl.find_opt owner id with
-          | Some fd when Hashtbl.mem clients fd ->
-            respond fd (Server.response_of_outcome o)
-          | Some _ | None -> ());
-         Hashtbl.remove owner id)
-      (Server.pump server)
-  done;
-  Hashtbl.iter (fun fd _ -> try Unix.close fd with Unix.Unix_error _ -> ())
-    clients;
-  Unix.close sock;
-  Printf.printf "chc_serve: %d instance(s) decided, exiting\n" !decided;
-  `Ok ()
+      try frames () with
+      | Frame.Malformed msg | Codec.Wire.Malformed msg ->
+        Printf.eprintf "chc_serve: dropping client (malformed: %s)\n%!" msg;
+        drop fd
+    in
+    let feed_http fd conn data =
+      match Admin.feed admin_src conn data with
+      | `More -> ()
+      | `Respond resp | `Bad resp ->
+        ignore (write_all fd resp);
+        drop fd
+    in
+    let serve_client fd =
+      match Unix.read fd buf 0 (Bytes.length buf) with
+      | 0 -> drop fd
+      | k ->
+        let data = Bytes.sub_string buf 0 k in
+        (match Hashtbl.find clients fd with
+         | Fresh when Admin.looks_like_http data ->
+           let conn = Admin.conn () in
+           Hashtbl.replace clients fd (Http conn);
+           feed_http fd conn data
+         | Fresh ->
+           let dec = Frame.decoder () in
+           Hashtbl.replace clients fd (Frames dec);
+           feed_frames fd dec data
+         | Frames dec -> feed_frames fd dec data
+         | Http conn -> feed_http fd conn data)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        ()
+      | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> drop fd
+    in
+    let finished () = limit > 0 && !decided >= limit in
+    while not (finished ()) do
+      let fds = sock :: Hashtbl.fold (fun fd _ acc -> fd :: acc) clients [] in
+      let fds =
+        match admin with None -> fds | Some a -> Admin.fds a @ fds
+      in
+      (* Busy only while instances are in flight; idle select blocks
+         briefly so a killed --limit run still exits promptly. *)
+      let timeout = if Server.inflight server > 0 then 0. else 0.05 in
+      let ready, _, _ = Unix.select fds [] [] timeout in
+      List.iter
+        (fun fd ->
+           match admin with
+           | Some a when Admin.owns a fd -> Admin.handle_ready a fd
+           | _ ->
+             if fd == sock then begin
+               let cfd, _ = Unix.accept sock in
+               Hashtbl.replace clients cfd Fresh
+             end
+             else if Hashtbl.mem clients fd then serve_client fd)
+        ready;
+      List.iter
+        (fun (o : Server.outcome) ->
+           incr decided;
+           ignore (Server.grade_count server o : (unit, string) result);
+           let id = o.Server.job.Server.id in
+           (match Hashtbl.find_opt owner id with
+            | Some fd when Hashtbl.mem clients fd ->
+              respond fd (Server.response_of_outcome o)
+            | Some _ | None -> ());
+           Hashtbl.remove owner id)
+        (Server.pump server);
+      Obs.Log.flush ()
+    done;
+    Hashtbl.iter
+      (fun fd _ -> try Unix.close fd with Unix.Unix_error _ -> ())
+      clients;
+    Option.iter Admin.close admin;
+    Unix.close sock;
+    Printf.printf "chc_serve: %d instance(s) decided, exiting\n" !decided;
+    telem_teardown telem server;
+    `Ok ()
 
 let listen_term =
   Term.(ret
           (const listen_cmd $ Cli.kernel_arg $ shards_arg $ fuel_arg
-           $ wal_dir_arg $ port_arg $ limit_arg))
+           $ wal_dir_arg $ telem_term $ port_arg $ admin_port_arg
+           $ limit_arg))
 
 let listen_info =
   Cmd.info "listen"
@@ -318,11 +569,17 @@ let listen_info =
             n input points; the daemon answers with a Decision frame \
             carrying the decided polytope, or a Rejected frame naming \
             the validation error. Instances from many clients run \
-            concurrently, sharded across domains." ]
+            concurrently, sharded across domains. A connection opening \
+            with an HTTP GET is answered by the admin plane instead \
+            (/metrics, /healthz, /statusz) — see also --admin-port." ]
 
 (* --- entry ------------------------------------------------------------ *)
 
 let () =
+  (* a client closing mid-write must surface as EPIPE (handled in
+     write_all), not kill the daemon *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
   let info =
     Cmd.info "chc_serve" ~version:"1.0"
       ~doc:"Sharded multi-instance convex hull consensus daemon."

@@ -1,0 +1,235 @@
+(* Structured JSONL logging. Same skeleton as Prof: an atomic gate,
+   per-domain buffers registered on first use, merge at flush time.
+   The rate limiter is one mutex-guarded token bucket — contention on
+   it only exists on the logging-on path, and the bucket math is a
+   handful of int64 ops. *)
+
+type level = Debug | Info | Warn | Error
+
+let level_rank = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+let level_to_string = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_string = function
+  | "off" -> Ok None
+  | "debug" -> Ok (Some Debug)
+  | "info" -> Ok (Some Info)
+  | "warn" -> Ok (Some Warn)
+  | "error" -> Ok (Some Error)
+  | s ->
+    Error
+      (Printf.sprintf
+         "unknown log level %S (expected off|debug|info|warn|error)" s)
+
+(* 4 = disabled: no level has rank >= 4. *)
+let gate = Atomic.make 4
+
+let set_level = function
+  | None -> Atomic.set gate 4
+  | Some l -> Atomic.set gate (level_rank l)
+
+let enabled l = level_rank l >= Atomic.get gate
+
+(* --- clock (replaceable for tests) ------------------------------------ *)
+
+let default_clock = Monotonic_clock.now
+let clock = ref default_clock
+let set_clock = function None -> clock := default_clock | Some f -> clock := f
+
+(* --- rate limiter ------------------------------------------------------ *)
+
+type bucket = {
+  mutable tokens : float;
+  mutable refill_at : int64;    (* last refill timestamp *)
+  mutable per_s : int;
+  mutable burst : int;
+}
+
+let bucket_m = Mutex.create ()
+let bucket = { tokens = 1000.0; refill_at = 0L; per_s = 1000; burst = 1000 }
+let dropped_count = Atomic.make 0
+
+let set_rate ~per_s ~burst =
+  if per_s < 1 || burst < 1 then invalid_arg "Log.set_rate: need >= 1";
+  Mutex.lock bucket_m;
+  bucket.per_s <- per_s;
+  bucket.burst <- burst;
+  bucket.tokens <- float_of_int burst;
+  bucket.refill_at <- !clock ();
+  Mutex.unlock bucket_m
+
+(* One token per line; refill proportional to elapsed monotonic time,
+   capped at burst. *)
+let take_token now =
+  Mutex.lock bucket_m;
+  let dt_ns = Int64.to_float (Int64.sub now bucket.refill_at) in
+  if dt_ns > 0.0 then begin
+    bucket.tokens <-
+      Float.min
+        (float_of_int bucket.burst)
+        (bucket.tokens +. (dt_ns *. 1e-9 *. float_of_int bucket.per_s));
+    bucket.refill_at <- now
+  end;
+  let ok = bucket.tokens >= 1.0 in
+  if ok then bucket.tokens <- bucket.tokens -. 1.0;
+  Mutex.unlock bucket_m;
+  if not ok then Atomic.incr dropped_count;
+  ok
+
+let dropped () = Atomic.get dropped_count
+
+(* --- per-domain line buffers ------------------------------------------ *)
+
+type buffer = { mutable lines : (int64 * string) list (* newest first *) }
+
+let buffers_m = Mutex.create ()
+let buffers : buffer list ref = ref []
+
+let key : buffer Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let b = { lines = [] } in
+      Mutex.lock buffers_m;
+      buffers := b :: !buffers;
+      Mutex.unlock buffers_m;
+      b)
+
+let pending () =
+  Mutex.lock buffers_m;
+  let bs = !buffers in
+  Mutex.unlock buffers_m;
+  List.fold_left (fun acc b -> acc + List.length b.lines) 0 bs
+
+(* --- rendering --------------------------------------------------------- *)
+
+type field = I of int | S of string | B of bool | F of float
+
+let escape buf s =
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let render ~ts_ns ~lvl ~event fields =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "{\"ts_ns\":";
+  Buffer.add_string buf (Int64.to_string ts_ns);
+  Buffer.add_string buf ",\"level\":\"";
+  Buffer.add_string buf (level_to_string lvl);
+  Buffer.add_string buf "\",\"event\":\"";
+  escape buf event;
+  Buffer.add_char buf '"';
+  List.iter
+    (fun (k, v) ->
+       Buffer.add_string buf ",\"";
+       escape buf k;
+       Buffer.add_string buf "\":";
+       match v with
+       | I n -> Buffer.add_string buf (string_of_int n)
+       | B b -> Buffer.add_string buf (if b then "true" else "false")
+       | S s ->
+         Buffer.add_char buf '"';
+         escape buf s;
+         Buffer.add_char buf '"'
+       | F x ->
+         (* floats travel as strings: Codec.Json parses ints only *)
+         Buffer.add_char buf '"';
+         Buffer.add_string buf (Printf.sprintf "%.6g" x);
+         Buffer.add_char buf '"')
+    fields;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let log lvl event fields =
+  if enabled lvl then begin
+    let now = !clock () in
+    if take_token now then begin
+      let b = Domain.DLS.get key in
+      b.lines <- (now, render ~ts_ns:now ~lvl ~event fields) :: b.lines
+    end
+  end
+
+let debug e f = log Debug e f
+let info e f = log Info e f
+let warn e f = log Warn e f
+let error e f = log Error e f
+
+(* --- sink + flush ------------------------------------------------------ *)
+
+let sink_m = Mutex.create ()
+let sink : (string -> unit) option ref = ref None
+let appender : Sink.appender option ref = ref None
+let flushed_drops = ref 0
+
+let set_sink f =
+  Mutex.lock sink_m;
+  sink := f;
+  appender := None;
+  Mutex.unlock sink_m
+
+let open_file ~path =
+  let ap = Sink.append_open ~path in
+  Mutex.lock sink_m;
+  sink := Some (Sink.append_line ap);
+  appender := Some ap;
+  Mutex.unlock sink_m
+
+let flush () =
+  Mutex.lock sink_m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock sink_m) @@ fun () ->
+  match !sink with
+   | None ->
+     (* no sink: discard so buffers cannot grow without bound *)
+     Mutex.lock buffers_m;
+     List.iter (fun b -> b.lines <- []) !buffers;
+     Mutex.unlock buffers_m
+   | Some write ->
+     Mutex.lock buffers_m;
+     let bs = !buffers in
+     Mutex.unlock buffers_m;
+     let batches =
+       List.filter_map
+         (fun b ->
+            match b.lines with
+            | [] -> None
+            | lines ->
+              b.lines <- [];
+              Some (List.rev lines))
+         bs
+     in
+     let lines =
+       List.sort
+         (fun (ta, _) (tb, _) -> Int64.compare ta tb)
+         (List.concat batches)
+     in
+     let d = Atomic.get dropped_count in
+     if d > !flushed_drops && lines <> [] then begin
+       let summary =
+         render ~ts_ns:(fst (List.hd lines)) ~lvl:Warn ~event:"log_dropped"
+           [ ("count", I (d - !flushed_drops)) ]
+       in
+       flushed_drops := d;
+       write summary
+     end;
+     List.iter (fun (_, line) -> write line) lines
+
+let close () =
+  flush ();
+  Mutex.lock sink_m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock sink_m) @@ fun () ->
+  let ap = !appender in
+  sink := None;
+  appender := None;
+  match ap with
+  | Some ap ->
+    Sink.append_sync ap;
+    Sink.append_close ap
+  | None -> ()

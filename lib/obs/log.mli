@@ -1,0 +1,102 @@
+(** Leveled structured logging — JSON lines, built for the daemon.
+
+    {!Trace} is the deterministic transcript and {!Prof} the wall-clock
+    profile; this module is the third observability surface: operator-
+    facing events ("instance 17 decided", "WAL append failed", "slow
+    request") that must be tailable {e while the process serves}, not
+    reconstructed after it exits.
+
+    Design mirrors {!Prof}: one atomic level gate (disabled costs a
+    load and a compare), per-domain buffers so worker domains never
+    contend on a shared sink, and an explicit {!flush} that merges
+    buffers by timestamp and hands lines to the configured sink —
+    normally an {!Sink} appender, so durability semantics match the
+    WAL's. A token-bucket rate limiter protects the sink from event
+    storms: over-budget lines are counted ({!dropped}), never written,
+    and every flush that follows drops emits one [log_dropped] summary
+    line so the gap is visible in the stream itself.
+
+    Logging is observation only: nothing here influences scheduling,
+    protocol state or traces, so executions are byte-identical with
+    logging on or off (pinned by a test across pool sizes).
+
+    Line schema (one JSON object per line, parseable by
+    {!Codec.Json.of_string} — ints and strings only, no floats):
+    [{"ts_ns":<int>,"level":"info","event":"<name>", ...fields}].
+    [ts_ns] is the monotonic clock of the recording domain, so lines
+    sort by time but carry no wall-clock epoch. *)
+
+type level = Debug | Info | Warn | Error
+
+val level_to_string : level -> string
+(** ["debug"] / ["info"] / ["warn"] / ["error"]. *)
+
+val set_level : level option -> unit
+(** [Some l] enables records at [l] and above; [None] (the default)
+    disables logging entirely. *)
+
+val level_of_string : string -> (level option, string) result
+(** CLI vocabulary: ["off"], ["debug"], ["info"], ["warn"], ["error"]. *)
+
+val enabled : level -> bool
+(** One atomic load and compare — the hot-path guard. *)
+
+(** Field values. Floats are rendered as JSON {e strings} (["0.0123"])
+    so every line stays within {!Codec.Json}'s exact vocabulary. *)
+type field =
+  | I of int
+  | S of string
+  | B of bool
+  | F of float  (** rendered as a string, 6 significant digits *)
+
+val log : level -> string -> (string * field) list -> unit
+(** [log lvl event fields] records one line into the calling domain's
+    buffer (no I/O). Below the level gate: no-op. Over the rate
+    budget: counted in {!dropped} and discarded. *)
+
+val debug : string -> (string * field) list -> unit
+val info : string -> (string * field) list -> unit
+val warn : string -> (string * field) list -> unit
+val error : string -> (string * field) list -> unit
+
+(** {1 Sinks and flushing} *)
+
+val set_sink : (string -> unit) option -> unit
+(** Where {!flush} sends completed lines (without the trailing
+    newline). [None] (the default) makes flush drop buffered lines on
+    the floor — set a sink before enabling. *)
+
+val open_file : path:string -> unit
+(** Route the sink through an {!Sink} appender on [path] (created or
+    extended). Raises {!Sink.Write_error} like the appender does. *)
+
+val flush : unit -> unit
+(** Drain every domain's buffer, merge lines by [ts_ns] (stable across
+    domains), and hand them to the sink in order. Call from the owning
+    loop between pump rounds — concurrent flushes are serialized, but
+    lines a worker domain records {e during} a flush may land in the
+    next one. Emits a [log_dropped] summary line first if the rate
+    limiter discarded anything since the previous flush. *)
+
+val close : unit -> unit
+(** Flush, then sync+close an {!open_file} appender (no-op for a
+    custom sink). The sink is unset afterwards. *)
+
+(** {1 Rate limiting} *)
+
+val set_rate : per_s:int -> burst:int -> unit
+(** Token bucket: sustained [per_s] lines per second with bursts up to
+    [burst] (both >= 1; defaults 1000/1000). Refill is computed from
+    the monotonic clock at each {!log}. *)
+
+val dropped : unit -> int
+(** Lines discarded by the rate limiter since the process started. *)
+
+(** {1 Test hooks} *)
+
+val set_clock : (unit -> int64) option -> unit
+(** Replace the monotonic ns clock ([None] restores it) so tests can
+    drive the rate limiter deterministically. *)
+
+val pending : unit -> int
+(** Buffered (recorded, not yet flushed) line count across domains. *)

@@ -58,6 +58,19 @@ type snapshot = { metric : string; labels : labels; value : value }
 let registry_m = Mutex.create ()
 let registry : entry list ref = ref []
 let collectors : (unit -> snapshot list) list ref = ref []
+let help_table : (string, string) Hashtbl.t = Hashtbl.create 32
+
+let set_help metric text =
+  Mutex.lock registry_m;
+  if not (Hashtbl.mem help_table metric) then
+    Hashtbl.add help_table metric text;
+  Mutex.unlock registry_m
+
+let help_of metric =
+  Mutex.lock registry_m;
+  let h = Hashtbl.find_opt help_table metric in
+  Mutex.unlock registry_m;
+  h
 
 let find_or_register metric labels make =
   let labels = norm_labels labels in
@@ -78,7 +91,8 @@ let find_or_register metric labels make =
   Mutex.unlock registry_m;
   e
 
-let counter ?(labels = []) metric =
+let counter ?help ?(labels = []) metric =
+  Option.iter (set_help metric) help;
   match (find_or_register metric labels (fun () -> ICounter (Atomic.make 0))).instr with
   | ICounter c -> c
   | _ -> invalid_arg (metric ^ " is already registered with another type")
@@ -86,14 +100,16 @@ let counter ?(labels = []) metric =
 let incr c = Atomic.incr c
 let add c k = ignore (Atomic.fetch_and_add c k)
 
-let gauge ?(labels = []) metric =
+let gauge ?help ?(labels = []) metric =
+  Option.iter (set_help metric) help;
   match (find_or_register metric labels (fun () -> IGauge (Atomic.make 0.0))).instr with
   | IGauge g -> g
   | _ -> invalid_arg (metric ^ " is already registered with another type")
 
 let set g v = Atomic.set g v
 
-let histogram ?(labels = []) metric =
+let histogram ?help ?(labels = []) metric =
+  Option.iter (set_help metric) help;
   let make () =
     IHistogram
       { hm = Mutex.create ();
@@ -244,6 +260,18 @@ let type_of_value = function
   | Gauge _ -> "gauge"
   | Histogram _ -> "histogram"
 
+(* HELP text escaping per the text-format grammar: backslash and
+   line-feed only (label values additionally escape the quote). *)
+let escape_help s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
 let exposition snapshots =
   let b = Buffer.create 1024 in
   let p fmt = Printf.ksprintf (Buffer.add_string b) fmt in
@@ -252,6 +280,10 @@ let exposition snapshots =
     (fun s ->
        if s.metric <> !last_family then begin
          last_family := s.metric;
+         (match help_of s.metric with
+          | Some text when text <> "" ->
+            p "# HELP %s %s\n" s.metric (escape_help text)
+          | Some _ | None -> ());
          p "# TYPE %s %s\n" s.metric (type_of_value s.value)
        end;
        match s.value with

@@ -26,22 +26,23 @@ type labels = (string * string) list
 
 type counter
 
-val counter : ?labels:labels -> string -> counter
+val counter : ?help:string -> ?labels:labels -> string -> counter
 (** Find-or-create: the same (name, labels) always yields the same
     underlying counter. Hold the result in the hot path rather than
-    re-resolving. *)
+    re-resolving. [help] attaches a one-line family description for
+    the exposition's [# HELP] header (first registration wins). *)
 
 val incr : counter -> unit
 val add : counter -> int -> unit
 
 type gauge
 
-val gauge : ?labels:labels -> string -> gauge
+val gauge : ?help:string -> ?labels:labels -> string -> gauge
 val set : gauge -> float -> unit
 
 type histogram
 
-val histogram : ?labels:labels -> string -> histogram
+val histogram : ?help:string -> ?labels:labels -> string -> histogram
 (** Log-scaled buckets: powers of two from [2^-30] to [2^33] plus an
     overflow bucket, so one shape serves latencies in seconds and
     payload sizes in bytes alike. *)
@@ -89,12 +90,19 @@ val snapshot_all : unit -> snapshot list
 
 (** {1 Exposition} *)
 
+val set_help : string -> string -> unit
+(** Attach a [# HELP] description to a metric family (first write
+    wins) — for collector-backed families whose instruments live
+    elsewhere. *)
+
 val exposition : snapshot list -> string
-(** Prometheus text format: one [# TYPE] line per metric family, then
-    one sample per (labels) instance; histograms expose cumulative
-    [_bucket{le="..."}] samples (empty buckets elided, ["+Inf"] always
-    present) plus [_sum] and [_count]. Equal snapshots render to
-    byte-identical text. *)
+(** Prometheus text format: per family, an optional [# HELP] line then
+    one [# TYPE] line, then one sample per (labels) instance;
+    histograms expose cumulative [_bucket{le="..."}] samples (empty
+    buckets elided, ["+Inf"] always present) plus [_sum] and [_count].
+    Conformance to the text-format grammar is pinned by the checker in
+    [test/test_obs.ml]. Equal snapshots render to byte-identical
+    text. *)
 
 val exposition_all : unit -> string
 (** [exposition (snapshot_all ())]. *)

@@ -8,11 +8,16 @@ let enabled () = Atomic.get enabled_flag
 
 type event = {
   tid : int;
-  phase : [ `B | `E ];
+  phase : [ `B | `E | `X of int64 * int ];
   name : string;
   ts_ns : int64;
   attrs : (string * string) list;
 }
+
+(* Complete slices on explicit tracks (per-job timelines) render under
+   their own Perfetto process so they never collide with the per-domain
+   span tracks. *)
+let track_pid = 1_000_000
 
 type buffer = {
   b_tid : int;
@@ -38,12 +43,27 @@ let key : buffer Domain.DLS.key =
       b)
 
 let now = Monotonic_clock.now
+let now_ns () = now ()
 
 let record b phase name attrs =
   let t = now () in
   let t = if Int64.compare t b.last < 0 then b.last else t in
   b.last <- t;
   b.rev <- { tid = b.b_tid; phase; name; ts_ns = t; attrs } :: b.rev
+
+(* A complete slice on an explicit track: the caller measured the
+   interval itself (e.g. the daemon timing one instance's pump). The
+   slice is buffered on the recording domain but carries its own track
+   id, so per-job slices recorded by different worker domains merge
+   onto one timeline at export. No monotonicity clamp: explicit
+   timestamps may legitimately predate the domain's last span. *)
+let slice ?(attrs = []) ~track ~ts_ns ~dur_ns name =
+  if Atomic.get enabled_flag then begin
+    let b = Domain.DLS.get key in
+    b.rev <-
+      { tid = b.b_tid; phase = `X (dur_ns, track); name; ts_ns; attrs }
+      :: b.rev
+  end
 
 let with_span ?(attrs = []) name f =
   if not (Atomic.get enabled_flag) then f ()
@@ -102,27 +122,32 @@ let to_chrome_json () =
       evs
   in
   let us e = Int64.to_float (Int64.sub e.ts_ns t0) /. 1000.0 in
+  let render_args = function
+    | [] -> ""
+    | attrs ->
+      Printf.sprintf ",\"args\":{%s}"
+        (String.concat ","
+           (List.map
+              (fun (k, v) ->
+                 Printf.sprintf "\"%s\":\"%s\"" (json_escape k)
+                   (json_escape v))
+              attrs))
+  in
   let render e =
     match e.phase with
     | `B ->
-      let args =
-        match e.attrs with
-        | [] -> ""
-        | attrs ->
-          Printf.sprintf ",\"args\":{%s}"
-            (String.concat ","
-               (List.map
-                  (fun (k, v) ->
-                     Printf.sprintf "\"%s\":\"%s\"" (json_escape k)
-                       (json_escape v))
-                  attrs))
-      in
       Printf.sprintf
         {|{"name":"%s","ph":"B","pid":%d,"tid":%d,"ts":%.3f%s}|}
-        (json_escape e.name) e.tid e.tid (us e) args
+        (json_escape e.name) e.tid e.tid (us e) (render_args e.attrs)
     | `E ->
       Printf.sprintf {|{"ph":"E","pid":%d,"tid":%d,"ts":%.3f}|} e.tid e.tid
         (us e)
+    | `X (dur_ns, track) ->
+      Printf.sprintf
+        {|{"name":"%s","ph":"X","pid":%d,"tid":%d,"ts":%.3f,"dur":%.3f%s}|}
+        (json_escape e.name) track_pid track (us e)
+        (Int64.to_float dur_ns /. 1000.0)
+        (render_args e.attrs)
   in
   "[\n" ^ String.concat ",\n" (List.map render evs) ^ "\n]\n"
 
@@ -143,19 +168,22 @@ let summary () =
   List.iter
     (fun b ->
        let stack = ref [] in
+       let record name d =
+         match Hashtbl.find_opt durations name with
+         | Some l -> l := d :: !l
+         | None -> Hashtbl.add durations name (ref [ d ])
+       in
        List.iter
          (fun e ->
             match e.phase with
             | `B -> stack := (e.name, e.ts_ns) :: !stack
+            | `X (dur_ns, _) -> record e.name (Int64.to_float dur_ns)
             | `E ->
               (match !stack with
                | [] -> ()  (* unmatched E cannot happen; be safe *)
                | (name, t0) :: rest ->
                  stack := rest;
-                 let d = Int64.to_float (Int64.sub e.ts_ns t0) in
-                 match Hashtbl.find_opt durations name with
-                 | Some l -> l := d :: !l
-                 | None -> Hashtbl.add durations name (ref [ d ])))
+                 record name (Int64.to_float (Int64.sub e.ts_ns t0))))
          (List.rev b.rev))
     (all_buffers ());
   let pct arr q =

@@ -28,18 +28,40 @@ val reset : unit -> unit
 (** Drop every recorded span. Only call while no instrumented workload
     is running. *)
 
+val now_ns : unit -> int64
+(** The profiler's clock (CLOCK_MONOTONIC, ns) — for callers measuring
+    {!slice} intervals themselves. *)
+
 val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
 (** [with_span name f] runs [f ()] inside a span. Exceptions still
     close the span (and re-raise), so begin/end events always match.
     Nested calls nest by stack order within their domain. *)
 
+val slice :
+  ?attrs:(string * string) list ->
+  track:int ->
+  ts_ns:int64 ->
+  dur_ns:int64 ->
+  string ->
+  unit
+(** A {e complete} slice ([ph:"X"]) on an explicit track — the
+    serving daemon's per-job timelines, where one instance id is one
+    Perfetto track whatever worker domain happened to pump it. The
+    caller supplies the measured interval (take [ts_ns] from the same
+    monotonic clock spans use). Slices are buffered on the recording
+    domain but exported under a dedicated process id, grouped by
+    [track]; they do not count toward {!span_count}. No-op while
+    disabled. *)
+
 (** {1 Export} *)
 
 type event = {
   tid : int;                      (** recording domain's id *)
-  phase : [ `B | `E ];
+  phase : [ `B | `E | `X of int64 * int ];
   name : string;                  (** [""] on [`E] events *)
-  ts_ns : int64;                  (** monotonic, non-decreasing per tid *)
+  ts_ns : int64;
+      (** monotonic; non-decreasing per tid for [`B]/[`E] (explicit
+          [`X] timestamps are the caller's) *)
   attrs : (string * string) list;
 }
 
@@ -52,9 +74,10 @@ val span_count : unit -> int
 
 val to_chrome_json : unit -> string
 (** Chrome trace-event / Perfetto JSON: one array of ["B"]/["E"]
-    events, one pid (= tid) per domain, [ts] in microseconds rebased
-    to the earliest event. Loads directly in [ui.perfetto.dev] or
-    [chrome://tracing]. *)
+    events, one pid (= tid) per domain, plus ["X"] complete slices
+    under a dedicated track process (pid 1000000, tid = the slice's
+    track); [ts] in microseconds rebased to the earliest event. Loads
+    directly in [ui.perfetto.dev] or [chrome://tracing]. *)
 
 type stat = {
   calls : int;
@@ -67,5 +90,6 @@ type stat = {
 
 val summary : unit -> (string * stat) list
 (** Per-span-name latency aggregate over all domains (inclusive
-    durations; percentiles exact, computed from the recorded spans),
-    sorted by descending total time. *)
+    durations; percentiles exact, computed from the recorded spans;
+    [`X] slices contribute their explicit duration), sorted by
+    descending total time. *)

@@ -45,6 +45,11 @@ let fire_crash t i ~recover =
   t.crashed.(i) <- true;
   trace_emit t
     (fun () -> Obs.Trace.Crash { pid = i; sends = t.sends_attempted.(i) });
+  if Obs.Log.enabled Obs.Log.Info then
+    Obs.Log.info "crash"
+      [ ("pid", Obs.Log.I i);
+        ("sends", Obs.Log.I t.sends_attempted.(i));
+        ("recovers", Obs.Log.B (recover <> None)) ];
   match recover with
   | None -> ()
   | Some (delay, keep) ->
@@ -137,6 +142,9 @@ let revive t i =
   t.recoveries <- t.recoveries + 1;
   t.crash_plan.(i) <- Crash.Never;
   trace_emit t (fun () -> Obs.Trace.Recover { pid = i; step = t.steps });
+  if Obs.Log.enabled Obs.Log.Info then
+    Obs.Log.info "recover"
+      [ ("pid", Obs.Log.I i); ("step", Obs.Log.I t.steps) ];
   match t.on_recover with None -> () | Some f -> f (ep_of t i)
 
 let revive_due t =

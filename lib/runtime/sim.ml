@@ -46,6 +46,11 @@ let fire_crash t i ~recover =
   t.crashed.(i) <- true;
   trace_emit t
     (fun () -> Obs.Trace.Crash { pid = i; sends = t.sends_attempted.(i) });
+  if Obs.Log.enabled Obs.Log.Info then
+    Obs.Log.info "crash"
+      [ ("pid", Obs.Log.I i);
+        ("sends", Obs.Log.I t.sends_attempted.(i));
+        ("recovers", Obs.Log.B (recover <> None)) ];
   match recover with
   | None -> ()
   | Some (delay, keep) ->
@@ -176,6 +181,9 @@ let revive t i =
   (* one crash per plan: a revived process runs correctly from here on *)
   t.crash_plan.(i) <- Crash.Never;
   trace_emit t (fun () -> Obs.Trace.Recover { pid = i; step = t.steps });
+  if Obs.Log.enabled Obs.Log.Info then
+    Obs.Log.info "recover"
+      [ ("pid", Obs.Log.I i); ("step", Obs.Log.I t.steps) ];
   match t.on_recover with None -> () | Some f -> f (ep_of t i)
 
 (* Revive every pending recovery that has come due, in pid order (the

@@ -30,6 +30,7 @@ type outcome = {
 
 let submitted_total =
   Obs.Metrics.counter "chc_serve_instances_total"
+    ~help:"Lifecycle transitions of served instances, by status."
     ~labels:[ ("status", "submitted") ]
 
 let decided_total =
@@ -40,11 +41,29 @@ let resumed_total =
   Obs.Metrics.counter "chc_serve_instances_total"
     ~labels:[ ("status", "resumed") ]
 
-let inflight_gauge = Obs.Metrics.gauge "chc_serve_inflight"
-let throughput_gauge = Obs.Metrics.gauge "chc_serve_throughput_ips"
+let inflight_gauge =
+  Obs.Metrics.gauge "chc_serve_inflight"
+    ~help:"Instances currently live across all shards."
+
+let throughput_gauge =
+  Obs.Metrics.gauge "chc_serve_throughput_ips"
+    ~help:"Decided instances per second over the last pump window."
 
 let latency_hist =
   Obs.Metrics.histogram "chc_serve_decision_latency_seconds"
+    ~help:"Submit-to-decision wall-clock latency."
+
+let violations_total =
+  Obs.Metrics.counter "chc_serve_violations_total"
+    ~help:"Graded outcomes that violated a Theorem-2 property."
+
+let wal_bytes_total =
+  Obs.Metrics.counter "chc_serve_wal_bytes_total"
+    ~help:"Bytes appended to per-process write-ahead logs."
+
+let wal_errors_total =
+  Obs.Metrics.counter "chc_serve_wal_errors_total"
+    ~help:"WAL append/sync failures; the process degrades to non-durable."
 
 (* --- jobs -------------------------------------------------------------- *)
 
@@ -123,22 +142,49 @@ type running = {
   insts : Instance.t array;
   lb : Instance.msg Loopback.t;
   wal : Sink.appender array option;
+  wal_ok : bool array;  (* per-process durability; cleared on I/O error *)
+  trace : Obs.Trace.t option;  (* armed when causal_k > 0 *)
   inst_dir : string option;
   submitted_at : float;
+  submitted_ns : int64;
+  mutable first_pump_ns : int64 option;
   was_resumed : bool;
 }
 
 type shard = {
   mutable live : running list;     (** submission order *)
   mutable incoming : running list; (** newest first; merged at pump *)
+  mutable starved : int;  (* fuel debt: live jobs that ate a full budget
+                             last pump and still did not finish *)
+}
+
+(* WAL telemetry shared with worker domains (appends run inside
+   pump_shard), hence atomics. [appends_at_sync] snapshots the append
+   count at the most recent sync anywhere: the difference to [appends]
+   is the daemon's append lag — lines written past the last barrier. *)
+type wal_stats = {
+  ws_bytes : int Atomic.t;
+  ws_appends : int Atomic.t;
+  ws_syncs : int Atomic.t;
+  ws_appends_at_sync : int Atomic.t;
+  ws_errors : int Atomic.t;
+  ws_last_error : string option Atomic.t;
 }
 
 type t = {
   shard_count : int;
   fuel : int;
+  slow_s : float;
+  causal_k : int;
   wal_dir : string option;
   shards_arr : shard array;
   live_ids : (int, unit) Hashtbl.t;
+  created_at : float;
+  ws : wal_stats;
+  mutable violations : int;
+  mutable slowest : (float * int * int * Obs.Trace.t) list;
+      (* (latency_s, id, n, trace), slowest first, length <= causal_k *)
+  mutable last_pump_at : float;
   mutable decided_count : int;
   mutable mark_at : float;
   mutable mark_decided : int;
@@ -158,19 +204,35 @@ let rec mkdir_p path =
              message = Printf.sprintf "%s: %s" fn (Unix.error_message err) })
   end
 
-let create ?shards ?(fuel = 64) ?wal_dir () =
+let create ?shards ?(fuel = 64) ?(slow_s = 1.0) ?(causal_k = 0) ?wal_dir ()
+  =
   let shard_count =
     match shards with Some s -> s | None -> Parallel.Pool.global_size ()
   in
   if shard_count < 1 then invalid_arg "Server.create: shards < 1";
   if fuel < 1 then invalid_arg "Server.create: fuel < 1";
+  if causal_k < 0 then invalid_arg "Server.create: causal_k < 0";
   Option.iter mkdir_p wal_dir;
   { shard_count;
     fuel;
+    slow_s;
+    causal_k;
     wal_dir;
     shards_arr =
-      Array.init shard_count (fun _ -> { live = []; incoming = [] });
+      Array.init shard_count (fun _ ->
+          { live = []; incoming = []; starved = 0 });
     live_ids = Hashtbl.create 256;
+    created_at = Unix.gettimeofday ();
+    ws =
+      { ws_bytes = Atomic.make 0;
+        ws_appends = Atomic.make 0;
+        ws_syncs = Atomic.make 0;
+        ws_appends_at_sync = Atomic.make 0;
+        ws_errors = Atomic.make 0;
+        ws_last_error = Atomic.make None };
+    violations = 0;
+    slowest = [];
+    last_pump_at = Unix.gettimeofday ();
     decided_count = 0;
     mark_at = Unix.gettimeofday ();
     mark_decided = 0 }
@@ -178,6 +240,18 @@ let create ?shards ?(fuel = 64) ?wal_dir () =
 let shards t = t.shard_count
 let inflight t = Hashtbl.length t.live_ids
 let completed t = t.decided_count
+let violations t = t.violations
+let wal_error t = Atomic.get t.ws.ws_last_error
+
+let grade_count t o =
+  match grade o with
+  | Ok () -> Ok ()
+  | Error reason ->
+    t.violations <- t.violations + 1;
+    Obs.Metrics.incr violations_total;
+    Obs.Log.error "violation"
+      [ ("id", Obs.Log.I o.job.id); ("reason", Obs.Log.S reason) ];
+    Error reason
 
 let submit t ?resume job =
   if Hashtbl.mem t.live_ids job.id then
@@ -218,6 +292,28 @@ let submit t ?resume job =
       in
       (Some dir, Some aps)
   in
+  let wal_ok = Array.make n true in
+  let trace =
+    if t.causal_k > 0 then Some (Obs.Trace.create ()) else None
+  in
+  (* A WAL write error degrades this process to non-durable (no
+     further appends, error recorded for /healthz and the counter)
+     instead of killing the pump round: serving availability over
+     durability of one instance. *)
+  let wal_degrade pid exn =
+    wal_ok.(pid) <- false;
+    let msg =
+      match exn with
+      | Sink.Write_error { path; message } -> path ^ ": " ^ message
+      | e -> Printexc.to_string e
+    in
+    Atomic.incr t.ws.ws_errors;
+    Atomic.set t.ws.ws_last_error (Some msg);
+    Obs.Metrics.incr wal_errors_total;
+    Obs.Log.error "wal_error"
+      [ ("id", Obs.Log.I job.id); ("pid", Obs.Log.I pid);
+        ("error", Obs.Log.S msg) ]
+  in
   let run_effects (ep : Instance.msg Transport.ep) effs =
     let pid = ep.Transport.me in
     let io =
@@ -227,9 +323,31 @@ let submit t ?resume job =
         ?on_wal:
           (Option.map
              (fun aps e ->
-                Sink.append_line aps.(pid) (Recovery.event_to_string e))
+                if wal_ok.(pid) then begin
+                  let line = Recovery.event_to_string e in
+                  match Sink.append_line aps.(pid) line with
+                  | () ->
+                    Atomic.incr t.ws.ws_appends;
+                    ignore
+                      (Atomic.fetch_and_add t.ws.ws_bytes
+                         (String.length line + 1));
+                    Obs.Metrics.add wal_bytes_total (String.length line + 1)
+                  | exception exn -> wal_degrade pid exn
+                end)
              wal)
-        ?on_sync:(Option.map (fun aps () -> Sink.append_sync aps.(pid)) wal)
+        ?on_sync:
+          (Option.map
+             (fun aps () ->
+                if wal_ok.(pid) then begin
+                  match Sink.append_sync aps.(pid) with
+                  | () ->
+                    Atomic.incr t.ws.ws_syncs;
+                    Atomic.set t.ws.ws_appends_at_sync
+                      (Atomic.get t.ws.ws_appends)
+                  | exception exn -> wal_degrade pid exn
+                end)
+             wal)
+        ?emit:(Option.map Obs.Trace.emit trace)
         ()
     in
     Instance.interpret insts.(pid) io effs
@@ -250,21 +368,35 @@ let submit t ?resume job =
     run_effects ep (Instance.recover insts.(ep.Transport.me))
   in
   let lb =
-    Loopback.create ~on_crash ~on_recover ~crash:job.crash ~n ~make ()
+    Loopback.create ?trace ~on_crash ~on_recover ~crash:job.crash ~n ~make
+      ()
   in
   let r =
-    { rjob = job; insts; lb; wal; inst_dir;
-      submitted_at = Unix.gettimeofday (); was_resumed = resume <> None }
+    { rjob = job; insts; lb; wal; wal_ok; trace; inst_dir;
+      submitted_at = Unix.gettimeofday ();
+      submitted_ns = Obs.Prof.now_ns ();
+      first_pump_ns = None;
+      was_resumed = resume <> None }
   in
-  let shard = t.shards_arr.(((job.id mod t.shard_count) + t.shard_count)
-                            mod t.shard_count) in
+  let shard_ix =
+    ((job.id mod t.shard_count) + t.shard_count) mod t.shard_count
+  in
+  let shard = t.shards_arr.(shard_ix) in
   shard.incoming <- r :: shard.incoming;
   Hashtbl.replace t.live_ids job.id ();
   Obs.Metrics.incr submitted_total;
   if r.was_resumed then Obs.Metrics.incr resumed_total;
-  Obs.Metrics.set inflight_gauge (float_of_int (inflight t))
+  Obs.Metrics.set inflight_gauge (float_of_int (inflight t));
+  if Obs.Log.enabled Obs.Log.Debug then
+    Obs.Log.debug "submit"
+      [ ("id", Obs.Log.I job.id);
+        ("n", Obs.Log.I n);
+        ("f", Obs.Log.I job.config.Config.f);
+        ("d", Obs.Log.I job.config.Config.d);
+        ("shard", Obs.Log.I shard_ix);
+        ("resumed", Obs.Log.B r.was_resumed) ]
 
-let finalize r =
+let finalize t r =
   let recovered =
     List.filter (Loopback.recovered_of r.lb)
       (List.init (Loopback.n r.lb) Fun.id)
@@ -293,45 +425,106 @@ let finalize r =
   let latency_s = Unix.gettimeofday () -. r.submitted_at in
   Obs.Metrics.observe latency_hist latency_s;
   Obs.Metrics.incr decided_total;
+  let t_end = Instance.t_end r.insts.(0) in
+  if Obs.Log.enabled Obs.Log.Info then
+    Obs.Log.info "decide"
+      [ ("id", Obs.Log.I r.rjob.id);
+        ("t_end", Obs.Log.I t_end);
+        ("steps", Obs.Log.I m.Transport.steps);
+        ("decided", Obs.Log.I (List.length outputs));
+        ("recovered", Obs.Log.I (List.length recovered));
+        ("latency_s", Obs.Log.F latency_s) ];
+  if latency_s > t.slow_s then
+    Obs.Log.warn "slow_request"
+      [ ("id", Obs.Log.I r.rjob.id);
+        ("latency_s", Obs.Log.F latency_s);
+        ("threshold_s", Obs.Log.F t.slow_s);
+        ("steps", Obs.Log.I m.Transport.steps);
+        ("t_end", Obs.Log.I t_end) ];
+  if Obs.Prof.enabled () then begin
+    (* envelope slice for the whole job on its own track *)
+    let now = Obs.Prof.now_ns () in
+    Obs.Prof.slice ~track:r.rjob.id ~ts_ns:r.submitted_ns
+      ~dur_ns:(Int64.sub now r.submitted_ns)
+      ~attrs:
+        [ ("t_end", string_of_int t_end);
+          ("steps", string_of_int m.Transport.steps) ]
+      "job"
+  end;
   { job = r.rjob;
     outputs;
-    t_end = Instance.t_end r.insts.(0);
+    t_end;
     steps = m.Transport.steps;
     latency_s;
     recovered;
     resumed = r.was_resumed }
 
-let pump_shard fuel shard =
+let pump_shard t shard =
   shard.live <- shard.live @ List.rev shard.incoming;
   shard.incoming <- [];
   let completed = ref [] in
+  let starved = ref 0 in
   let still =
     List.filter
       (fun r ->
-         let budget = ref fuel in
+         let profiling = Obs.Prof.enabled () in
+         let t0 = if profiling then Obs.Prof.now_ns () else 0L in
+         if profiling && r.first_pump_ns = None then begin
+           r.first_pump_ns <- Some t0;
+           (* time spent queued before any shard attention *)
+           Obs.Prof.slice ~track:r.rjob.id ~ts_ns:r.submitted_ns
+             ~dur_ns:(Int64.sub t0 r.submitted_ns) "queued"
+         end;
+         let budget = ref t.fuel in
          while !budget > 0 && Loopback.step r.lb do
            decr budget
          done;
+         let consumed = t.fuel - !budget in
+         if profiling && consumed > 0 then
+           Obs.Prof.slice ~track:r.rjob.id ~ts_ns:t0
+             ~dur_ns:(Int64.sub (Obs.Prof.now_ns ()) t0)
+             ~attrs:[ ("steps", string_of_int consumed) ]
+             "pump";
          if Loopback.quiescent r.lb then begin
-           completed := finalize r :: !completed;
+           completed := (finalize t r, r) :: !completed;
            false
          end
-         else true)
+         else begin
+           if !budget = 0 then incr starved;
+           true
+         end)
       shard.live
   in
   shard.live <- still;
+  shard.starved <- !starved;
   List.rev !completed
 
+(* Keep the [causal_k] slowest completed jobs' traces (latency
+   descending). Runs on the pumping thread, after the parallel map. *)
+let note_slowest t (o, r) =
+  match r.trace with
+  | None -> ()
+  | Some tr ->
+    let entry = (o.latency_s, o.job.id, o.job.config.Config.n, tr) in
+    let merged =
+      List.sort (fun (a, _, _, _) (b, _, _, _) -> compare b a)
+        (entry :: t.slowest)
+    in
+    t.slowest <- List.filteri (fun i _ -> i < t.causal_k) merged
+
 let pump t =
-  let outcomes =
+  let completed =
     Parallel.Pool.parallel_map
       (Parallel.Pool.global ())
-      (pump_shard t.fuel)
+      (pump_shard t)
       (Array.to_list t.shards_arr)
     |> List.concat
   in
+  List.iter (note_slowest t) completed;
+  let outcomes = List.map fst completed in
   List.iter (fun o -> Hashtbl.remove t.live_ids o.job.id) outcomes;
   t.decided_count <- t.decided_count + List.length outcomes;
+  t.last_pump_at <- Unix.gettimeofday ();
   Obs.Metrics.set inflight_gauge (float_of_int (inflight t));
   let now = Unix.gettimeofday () in
   let dt = now -. t.mark_at in
@@ -343,6 +536,12 @@ let pump t =
   end;
   outcomes
 
+let slowest t =
+  List.map
+    (fun (latency_s, id, n, tr) ->
+       (id, latency_s, Obs.Causal.analyze ~n tr))
+    t.slowest
+
 let drain ?(max_rounds = 100_000) t =
   let rec go rounds acc =
     if inflight t = 0 then List.rev acc
@@ -350,6 +549,126 @@ let drain ?(max_rounds = 100_000) t =
     else go (rounds + 1) (List.rev_append (pump t) acc)
   in
   go 0 []
+
+(* --- admin plane -------------------------------------------------------- *)
+
+(* Floats render as strings: Codec.Json is exact (ints/strings only),
+   and keeping the admin pages inside its vocabulary lets the tests
+   parse every response with the in-repo decoder. *)
+let json_ms s = Codec.Json.Str (Printf.sprintf "%.3f" (s *. 1000.))
+let json_s s = Codec.Json.Str (Printf.sprintf "%.3f" s)
+
+let healthz t () =
+  let wal_err = wal_error t in
+  let healthy = t.violations = 0 && wal_err = None in
+  let now = Unix.gettimeofday () in
+  ( healthy,
+    Codec.Json.Obj
+      [ ("status", Codec.Json.Str (if healthy then "ok" else "degraded"));
+        ("shards", Codec.Json.Int t.shard_count);
+        ("inflight", Codec.Json.Int (inflight t));
+        ("violations", Codec.Json.Int t.violations);
+        ( "wal_error",
+          match wal_err with
+          | None -> Codec.Json.Null
+          | Some m -> Codec.Json.Str m );
+        ("uptime_s", json_s (now -. t.created_at));
+        ("since_last_pump_s", json_s (now -. t.last_pump_at)) ] )
+
+let statusz t () =
+  let open Codec.Json in
+  let now = Unix.gettimeofday () in
+  let uptime = now -. t.created_at in
+  let latency =
+    match
+      List.find_map
+        (fun s ->
+           match s.Obs.Metrics.value with
+           | Obs.Metrics.Histogram h
+             when s.Obs.Metrics.metric = "chc_serve_decision_latency_seconds"
+             ->
+             Some h
+           | _ -> None)
+        (Obs.Metrics.snapshot_all ())
+    with
+    | None -> Obj [ ("count", Int 0) ]
+    | Some h ->
+      Obj
+        [ ("count", Int h.Obs.Metrics.count);
+          ("p50_ms", json_ms h.Obs.Metrics.p50);
+          ("p90_ms", json_ms h.Obs.Metrics.p90);
+          ("p99_ms", json_ms h.Obs.Metrics.p99);
+          ("max_ms", json_ms h.Obs.Metrics.max_seen) ]
+  in
+  let shard_rows =
+    Array.to_list t.shards_arr
+    |> List.map (fun s ->
+        Obj
+          [ ("live", Int (List.length s.live));
+            ("queued", Int (List.length s.incoming));
+            ("fuel_starved", Int s.starved) ])
+  in
+  let wal =
+    match t.wal_dir with
+    | None -> Null
+    | Some dir ->
+      Obj
+        [ ("dir", Str dir);
+          ("bytes", Int (Atomic.get t.ws.ws_bytes));
+          ("appends", Int (Atomic.get t.ws.ws_appends));
+          ("syncs", Int (Atomic.get t.ws.ws_syncs));
+          ( "append_lag",
+            Int
+              (Atomic.get t.ws.ws_appends
+               - Atomic.get t.ws.ws_appends_at_sync) );
+          ("errors", Int (Atomic.get t.ws.ws_errors));
+          ( "last_error",
+            match Atomic.get t.ws.ws_last_error with
+            | None -> Null
+            | Some m -> Str m ) ]
+  in
+  let memo =
+    List
+      (Parallel.Memo.all_stats ()
+       |> Stdlib.List.map (fun (name, st) ->
+           let total = st.Parallel.Memo.hits + st.Parallel.Memo.misses in
+           Obj
+             [ ("table", Str name);
+               ("hits", Int st.Parallel.Memo.hits);
+               ("misses", Int st.Parallel.Memo.misses);
+               ( "hit_rate",
+                 Str
+                   (if total = 0 then "0.000"
+                    else
+                      Printf.sprintf "%.3f"
+                        (float_of_int st.Parallel.Memo.hits
+                         /. float_of_int total)) ) ]))
+  in
+  Obj
+    [ ("uptime_s", json_s uptime);
+      ("shards", Int t.shard_count);
+      ("fuel", Int t.fuel);
+      ("inflight", Int (inflight t));
+      ("completed", Int t.decided_count);
+      ("violations", Int t.violations);
+      ( "throughput_avg_ips",
+        json_s
+          (if uptime > 0. then float_of_int t.decided_count /. uptime
+           else 0.) );
+      ("decision_latency", latency);
+      ("shard", List shard_rows);
+      ("wal", wal);
+      ("memo", memo);
+      ( "log",
+        Obj
+          [ ("dropped", Int (Obs.Log.dropped ()));
+            ("pending", Int (Obs.Log.pending ())) ] );
+      ("slow_threshold_ms", json_ms t.slow_s) ]
+
+let admin_source t =
+  { Admin.metrics = (fun () -> Obs.Metrics.exposition_all ());
+    healthz = healthz t;
+    statusz = statusz t }
 
 (* --- restart discovery ------------------------------------------------- *)
 

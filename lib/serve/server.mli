@@ -20,8 +20,18 @@
 
     Metrics: [chc_serve_instances_total{status}] counters,
     [chc_serve_inflight] gauge, [chc_serve_throughput_ips] gauge
-    (decided instances per second over the last pump window), and the
-    [chc_serve_decision_latency_seconds] histogram. *)
+    (decided instances per second over the last pump window), the
+    [chc_serve_decision_latency_seconds] histogram, plus
+    [chc_serve_violations_total] (see {!grade_count}),
+    [chc_serve_wal_bytes_total] and [chc_serve_wal_errors_total].
+
+    Telemetry rides along without touching execution:
+    {!Obs.Log} lines for submit / decide / slow-request / WAL-error
+    (no-ops unless a level is set), per-job {!Obs.Prof} slices
+    ([queued] / [pump] / [job] on track = instance id) when profiling
+    is enabled, and — with [causal_k > 0] — retained {!Obs.Trace}s of
+    the slowest jobs for {!slowest}'s critical-path analysis.
+    {!admin_source} packages the live view for {!Admin}. *)
 
 type job = {
   id : int;  (** unique per daemon run; names the WAL directory *)
@@ -62,18 +72,45 @@ val grade : outcome -> (unit, string) result
 
 type t
 
-val create : ?shards:int -> ?fuel:int -> ?wal_dir:string -> unit -> t
+val create :
+  ?shards:int ->
+  ?fuel:int ->
+  ?slow_s:float ->
+  ?causal_k:int ->
+  ?wal_dir:string ->
+  unit ->
+  t
 (** [shards] defaults to the global pool size; [fuel] (messages
     delivered per instance per pump, default 64) trades per-instance
     latency against cross-instance fairness. [wal_dir] arms per-job
-    durability (created if missing).
-    @raise Invalid_argument if [shards < 1] or [fuel < 1];
+    durability (created if missing). [slow_s] (default 1.0) is the
+    submit-to-decision latency above which an instance earns a
+    [slow_request] log line. [causal_k] (default 0) arms per-job event
+    traces and retains the [k] slowest jobs' traces for {!slowest} —
+    tracing costs memory per live instance, so it is opt-in.
+    @raise Invalid_argument if [shards < 1], [fuel < 1] or
+    [causal_k < 0];
     @raise Obs.Sink.Write_error if [wal_dir] cannot be created. *)
 
 val shards : t -> int
 val inflight : t -> int
 val completed : t -> int
 (** Lifetime decided-instance count. *)
+
+val violations : t -> int
+(** Gradings (via {!grade_count}) that failed so far — non-zero
+    degrades [/healthz]. *)
+
+val wal_error : t -> string option
+(** Most recent WAL write failure, if any ("path: message"). A failed
+    process keeps running but stops writing its log; the daemon serves
+    on, degraded. *)
+
+val grade_count : t -> outcome -> (unit, string) result
+(** {!grade}, plus the telemetry side effects on [Error]: bump
+    {!violations} and [chc_serve_violations_total], and emit an
+    error-level [violation] log line. The serving paths use this;
+    {!grade} stays pure for tests and offline re-grading. *)
 
 val submit : t -> ?resume:Chc.Recovery.event list array -> job -> unit
 (** Enqueue a job on its shard. With [resume], each process restores
@@ -90,6 +127,23 @@ val drain : ?max_rounds:int -> t -> outcome list
 (** Pump until nothing is in flight (default [max_rounds = 100_000]).
     @raise Runtime.Transport.Step_limit_exceeded if instances are
     still live after [max_rounds] pumps. *)
+
+val slowest : t -> (int * float * Obs.Causal.t) list
+(** With [causal_k > 0]: the slowest completed jobs so far as
+    [(id, latency_s, critical-path analysis)], latency descending, at
+    most [causal_k] entries. Analysis runs on demand from the retained
+    traces. Empty when tracing is off. *)
+
+val admin_source : t -> Admin.source
+(** The live telemetry view for the admin endpoint: [/metrics] is the
+    process-wide {!Obs.Metrics.exposition_all}; [/healthz] is healthy
+    iff no Theorem-2 violation has been counted and no WAL write has
+    failed; [/statusz] is the full JSON status page (uptime, per-shard
+    live/queued/fuel-starved, decision-latency percentiles, WAL byte
+    and append-lag counters, memo hit rates, log drop counts — floats
+    rendered as strings to stay within {!Codec.Json}). The thunks read
+    mutable daemon state, so call them from the thread that pumps —
+    the daemon's select loop does exactly that. *)
 
 val scan_wal : wal_dir:string -> (job * Chc.Recovery.event list array) list
 (** Restart discovery: every [inst-<id>] subdirectory with a readable

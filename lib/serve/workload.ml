@@ -48,7 +48,7 @@ let percentile samples p =
 (* Shared phase skeleton: [refill] decides what to submit before each
    pump, given (submitted so far, completed so far); the loop runs
    until [total] outcomes have arrived. *)
-let run_phase ~server ~label ~total ~refill =
+let run_phase ?on_pump ~server ~label ~total ~refill () =
   let started = Unix.gettimeofday () in
   let latencies = ref [] in
   let failures = ref [] in
@@ -62,14 +62,15 @@ let run_phase ~server ~label ~total ~refill =
     List.iter
       (fun (o : Server.outcome) ->
          latencies := o.Server.latency_s :: !latencies;
-         match Server.grade o with
+         match Server.grade_count server o with
          | Ok () -> ()
          | Error msg ->
            failures :=
              Printf.sprintf "instance %d: %s" o.Server.job.Server.id msg
              :: !failures)
       outcomes;
-    completed := !completed + List.length outcomes
+    completed := !completed + List.length outcomes;
+    (match on_pump with None -> () | Some f -> f ())
   done;
   let wall_s = Unix.gettimeofday () -. started in
   { label;
@@ -83,7 +84,8 @@ let run_phase ~server ~label ~total ~refill =
     max_inflight = !max_inflight;
     grade_failures = List.rev !failures }
 
-let closed_loop ~server ~rng ~mix ~label ~first_id ~concurrency ~total =
+let closed_loop ?on_pump ~server ~rng ~mix ~label ~first_id ~concurrency
+    ~total () =
   let mix = Array.of_list mix in
   let refill ~submitted ~completed:_ =
     while
@@ -95,9 +97,10 @@ let closed_loop ~server ~rng ~mix ~label ~first_id ~concurrency ~total =
       incr submitted
     done
   in
-  run_phase ~server ~label ~total ~refill
+  run_phase ?on_pump ~server ~label ~total ~refill ()
 
-let open_loop ~server ~rng ~mix ~label ~first_id ~per_pump ~pumps =
+let open_loop ?on_pump ~server ~rng ~mix ~label ~first_id ~per_pump ~pumps
+    () =
   let mix = Array.of_list mix in
   let total = per_pump * pumps in
   let refill ~submitted ~completed:_ =
@@ -110,4 +113,4 @@ let open_loop ~server ~rng ~mix ~label ~first_id ~per_pump ~pumps =
     done;
     submitted := !submitted + burst
   in
-  run_phase ~server ~label ~total ~refill
+  run_phase ?on_pump ~server ~label ~total ~refill ()

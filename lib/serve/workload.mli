@@ -12,8 +12,13 @@
       measurement.
 
     Every completed instance is graded on the spot
-    ({!Server.grade}); a phase reports Theorem 2 violations rather
-    than hiding them in a throughput number. *)
+    ({!Server.grade_count}, so violations also reach the metrics
+    registry and the health page); a phase reports Theorem 2
+    violations rather than hiding them in a throughput number.
+
+    [on_pump] (both loops) runs after every pump round on the driving
+    thread — the hook behind [--metrics-every] periodic exposition and
+    the admin poller in [chc_serve drive]. *)
 
 type mix_item = {
   n : int;
@@ -48,6 +53,7 @@ type phase = {
 }
 
 val closed_loop :
+  ?on_pump:(unit -> unit) ->
   server:Server.t ->
   rng:Runtime.Rng.t ->
   mix:mix_item list ->
@@ -55,12 +61,14 @@ val closed_loop :
   first_id:int ->
   concurrency:int ->
   total:int ->
+  unit ->
   phase
 (** Keep [concurrency] instances in flight until [total] have
     completed. Ids are [first_id ..] (pass a fresh range per phase —
     ids must not collide with live instances). *)
 
 val open_loop :
+  ?on_pump:(unit -> unit) ->
   server:Server.t ->
   rng:Runtime.Rng.t ->
   mix:mix_item list ->
@@ -68,6 +76,7 @@ val open_loop :
   first_id:int ->
   per_pump:int ->
   pumps:int ->
+  unit ->
   phase
 (** Submit [per_pump] new instances before each of [pumps] pump
     rounds, then drain. *)

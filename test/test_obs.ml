@@ -268,7 +268,7 @@ let test_span_nesting () =
           (fun (e : Obs.Prof.event) ->
              match e.Obs.Prof.phase with
              | `B -> Some e.Obs.Prof.name
-             | `E -> None)
+             | `E | `X _ -> None)
           evs
       in
       Alcotest.(check (list string)) "stack order within the domain"
@@ -277,7 +277,9 @@ let test_span_nesting () =
       let final =
         List.fold_left
           (fun d (e : Obs.Prof.event) ->
-             let d = d + (match e.Obs.Prof.phase with `B -> 1 | `E -> -1) in
+             let d =
+               d + (match e.Obs.Prof.phase with `B -> 1 | `E -> -1 | `X _ -> 0)
+             in
              Alcotest.(check bool) "depth never negative" true (d >= 0);
              d)
           0 evs
@@ -494,6 +496,376 @@ let test_critical_path_pool_invariant () =
     (String.length s1 > 100 && contains ~sub:"critical chain" s1)
 
 (* ------------------------------------------------------------------ *)
+(* Prof complete slices: per-job timelines recorded with explicit
+   track ids; they export as ph:"X" under the dedicated track pid and
+   never count as spans. *)
+
+let test_prof_slices () =
+  with_profiler (fun () ->
+      Obs.Prof.with_span "host" (fun () -> ());
+      Obs.Prof.slice ~track:42 ~ts_ns:1000L ~dur_ns:500L
+        ~attrs:[ ("steps", "7") ] "pump";
+      Obs.Prof.slice ~track:42 ~ts_ns:1500L ~dur_ns:250L "pump";
+      Alcotest.(check int) "slices do not count as spans" 1
+        (Obs.Prof.span_count ());
+      let json = Obs.Prof.to_chrome_json () in
+      Alcotest.(check bool) "X phase present" true
+        (contains ~sub:{|"ph":"X"|} json);
+      Alcotest.(check bool) "slices render under the track pid" true
+        (contains ~sub:{|"pid":1000000,"tid":42|} json);
+      Alcotest.(check bool) "explicit duration survives" true
+        (contains ~sub:{|"dur":0.500|} json);
+      (match Codec.Json.of_string (strip_dots json) with
+       | Error e -> Alcotest.failf "chrome JSON with slices: %s" e
+       | Ok _ -> ());
+      match List.assoc_opt "pump" (Obs.Prof.summary ()) with
+      | None -> Alcotest.fail "slice missing from summary"
+      | Some s ->
+        Alcotest.(check int) "both slices aggregated" 2 s.Obs.Prof.calls;
+        Alcotest.(check (float 1e-6)) "summary uses explicit durations"
+          750.0 s.Obs.Prof.total_ns)
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text-format grammar checker — the conformance pin for
+   [Metrics.exposition]: families contiguous with exactly one TYPE
+   (HELP, when present, immediately before it), histogram samples
+   restricted to _bucket/_sum/_count with cumulative non-decreasing
+   [le] buckets ending in a "+Inf" bucket that equals _count. *)
+
+let is_metric_name s =
+  s <> ""
+  && (match s.[0] with '0' .. '9' -> false | _ -> true)
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true
+         | _ -> false)
+       s
+
+let sample_value_ok v =
+  v = "+Inf" || v = "-Inf" || v = "NaN"
+  || Option.is_some (float_of_string_opt v)
+
+(* "name{l=\"v\",...} value" or "name value" ->
+   (name, labels-with-braces, value) *)
+let parse_sample line =
+  match String.index_opt line '{' with
+  | Some i ->
+    (match String.rindex_opt line '}' with
+     | Some j when j > i && j + 2 <= String.length line
+                && line.[j + 1] = ' ' ->
+       Ok
+         ( String.sub line 0 i,
+           String.sub line i (j - i + 1),
+           String.sub line (j + 2) (String.length line - j - 2) )
+     | _ -> Error "malformed labels")
+  | None ->
+    (match String.index_opt line ' ' with
+     | Some i ->
+       Ok
+         ( String.sub line 0 i,
+           "",
+           String.sub line (i + 1) (String.length line - i - 1) )
+     | None -> Error "no value")
+
+let le_of labels =
+  (* the le label as a float, and the label string without it *)
+  let parts =
+    match labels with
+    | "" -> []
+    | l -> String.split_on_char ','
+             (String.sub l 1 (String.length l - 2))
+  in
+  let le, rest =
+    List.partition
+      (fun p -> String.length p >= 4 && String.sub p 0 4 = {|le="|})
+      parts
+  in
+  match le with
+  | [ p ] ->
+    let v = String.sub p 4 (String.length p - 5) in
+    let f =
+      if v = "+Inf" then Some infinity else float_of_string_opt v
+    in
+    (f, String.concat "," rest)
+  | _ -> (None, String.concat "," rest)
+
+let check_exposition text =
+  let err = ref None in
+  let fail ln fmt =
+    Printf.ksprintf
+      (fun m ->
+         if !err = None then err := Some (Printf.sprintf "line %d: %s" ln m))
+      fmt
+  in
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let cur = ref None in              (* (family, type) *)
+  let pending_help = ref None in
+  (* histogram per-instance bucket state: base labels, last le, last
+     cumulative count, +Inf totals per base *)
+  let hstate = ref None in
+  let inf_totals : (string, int) Hashtbl.t = Hashtbl.create 4 in
+  let handle_histogram ln fam name labels value =
+    let suffix =
+      let fl = String.length fam in
+      if String.length name > fl && String.sub name 0 fl = fam then
+        String.sub name fl (String.length name - fl)
+      else ""
+    in
+    match suffix with
+    | "_bucket" ->
+      let le, base = le_of labels in
+      (match (le, int_of_string_opt value) with
+       | None, _ -> fail ln "bucket without le label"
+       | _, None -> fail ln "bucket count is not an integer"
+       | Some le, Some cum ->
+         (match !hstate with
+          | Some (b, last_le, last_cum) when b = base ->
+            if le <= last_le then fail ln "le bounds not increasing";
+            if cum < last_cum then fail ln "bucket counts not cumulative"
+          | _ -> ());
+         hstate := Some (base, le, cum);
+         if le = infinity then Hashtbl.replace inf_totals base cum)
+    | "_sum" ->
+      if not (sample_value_ok value) then fail ln "unparseable _sum"
+    | "_count" ->
+      let _, base = le_of labels in
+      (match (Hashtbl.find_opt inf_totals base, int_of_string_opt value) with
+       | None, _ -> fail ln "_count without a +Inf bucket"
+       | _, None -> fail ln "_count is not an integer"
+       | Some inf, Some c ->
+         if inf <> c then fail ln "+Inf bucket (%d) <> _count (%d)" inf c);
+      hstate := None
+    | _ -> fail ln "histogram sample %s has no valid suffix" name
+  in
+  List.iteri
+    (fun i line ->
+       let ln = i + 1 in
+       if !err = None && line <> "" then begin
+         if line.[0] = '#' then begin
+           match String.split_on_char ' ' line with
+           | "#" :: "HELP" :: name :: (_ :: _ as text)
+             when is_metric_name name ->
+             if Hashtbl.mem seen name then
+               fail ln "HELP for already-rendered family %s" name;
+             if String.concat " " text = "" then fail ln "empty HELP text";
+             pending_help := Some name
+           | "#" :: "TYPE" :: name :: [ ty ] when is_metric_name name ->
+             if not (List.mem ty [ "counter"; "gauge"; "histogram" ]) then
+               fail ln "unknown type %s" ty;
+             if Hashtbl.mem seen name then
+               fail ln "duplicate TYPE for family %s" name;
+             (match !pending_help with
+              | Some h when h <> name ->
+                fail ln "HELP names %s but TYPE names %s" h name
+              | _ -> ());
+             pending_help := None;
+             Hashtbl.add seen name ();
+             cur := Some (name, ty);
+             hstate := None;
+             Hashtbl.reset inf_totals
+           | _ -> fail ln "malformed comment %S" line
+         end
+         else begin
+           if !pending_help <> None then
+             fail ln "HELP not immediately followed by its TYPE";
+           match parse_sample line with
+           | Error m -> fail ln "%s" m
+           | Ok (name, labels, value) ->
+             if not (is_metric_name name) then
+               fail ln "invalid metric name %S" name;
+             (match !cur with
+              | None -> fail ln "sample before any TYPE"
+              | Some (fam, ("counter" | "gauge")) ->
+                if name <> fam then
+                  fail ln "sample %s outside family %s" name fam;
+                if not (sample_value_ok value) then
+                  fail ln "unparseable value %S" value
+              | Some (fam, _) -> handle_histogram ln fam name labels value)
+         end
+       end)
+    (String.split_on_char '\n' text);
+  match !err with None -> Ok () | Some m -> Error m
+
+let test_exposition_grammar () =
+  let c =
+    Obs.Metrics.counter ~help:"Grammar-checker test counter."
+      ~labels:[ ("case", "grammar") ] "chc_test_grammar_total"
+  in
+  Obs.Metrics.add c 3;
+  let g = Obs.Metrics.gauge ~help:"A test gauge." "chc_test_grammar_gauge" in
+  Obs.Metrics.set g 2.5;
+  let h =
+    Obs.Metrics.histogram ~help:"A test histogram."
+      ~labels:[ ("t", "grammar") ] "chc_test_grammar_seconds"
+  in
+  List.iter (Obs.Metrics.observe h) [ 0.001; 0.1; 0.1; 7.5; 1e6 ];
+  let text = Obs.Metrics.exposition_all () in
+  (* the checker itself must accept hand-built pathologies' absence *)
+  (match check_exposition text with
+   | Ok () -> ()
+   | Error m -> Alcotest.failf "exposition violates the grammar: %s" m);
+  (* HELP renders, escaped, immediately before its TYPE *)
+  let help_line = "# HELP chc_test_grammar_total Grammar-checker test counter." in
+  let type_line = "# TYPE chc_test_grammar_total counter" in
+  Alcotest.(check bool) "HELP line present" true
+    (contains ~sub:(help_line ^ "\n" ^ type_line) text);
+  (* daemon families registered by lib/serve carry HELP too *)
+  Alcotest.(check bool) "chc_serve family HELP present" true
+    (contains ~sub:"# HELP chc_serve_instances_total" text);
+  (* and the checker actually rejects broken documents *)
+  List.iter
+    (fun (label, doc) ->
+       match check_exposition doc with
+       | Ok () -> Alcotest.failf "checker accepted %s" label
+       | Error _ -> ())
+    [ ("sample before TYPE", "chc_x_total 1\n");
+      ( "duplicate TYPE",
+        "# TYPE chc_x_total counter\nchc_x_total 1\n\
+         # TYPE chc_x_total counter\nchc_x_total 2\n" );
+      ( "orphan HELP",
+        "# HELP chc_x_total text\nchc_y 1\n" );
+      ( "non-cumulative buckets",
+        "# TYPE chc_h histogram\n\
+         chc_h_bucket{le=\"1\"} 5\nchc_h_bucket{le=\"2\"} 3\n\
+         chc_h_bucket{le=\"+Inf\"} 5\nchc_h_sum 1\nchc_h_count 5\n" );
+      ( "count disagrees with +Inf",
+        "# TYPE chc_h histogram\n\
+         chc_h_bucket{le=\"1\"} 5\nchc_h_bucket{le=\"+Inf\"} 5\n\
+         chc_h_sum 1\nchc_h_count 6\n" );
+      ( "missing +Inf",
+        "# TYPE chc_h histogram\n\
+         chc_h_bucket{le=\"1\"} 5\nchc_h_sum 1\nchc_h_count 5\n" );
+      ("bad value", "# TYPE chc_g gauge\nchc_g up\n") ]
+
+(* ------------------------------------------------------------------ *)
+(* Obs.Log: the structured JSONL logger. *)
+
+let with_log_capture f =
+  let lines = ref [] in
+  Obs.Log.set_sink (Some (fun l -> lines := l :: !lines));
+  Fun.protect
+    ~finally:(fun () ->
+        Obs.Log.set_level None;
+        Obs.Log.flush ();
+        Obs.Log.set_rate ~per_s:1000 ~burst:1000;
+        Obs.Log.set_clock None;
+        Obs.Log.set_sink None)
+    (fun () -> f (fun () -> List.rev !lines))
+
+let test_log_rate_limiter () =
+  with_log_capture (fun captured ->
+      let t = ref 0L in
+      Obs.Log.set_clock (Some (fun () -> !t));
+      Obs.Log.set_rate ~per_s:5 ~burst:5;
+      Obs.Log.set_level (Some Obs.Log.Info);
+      let d0 = Obs.Log.dropped () in
+      for i = 1 to 8 do
+        Obs.Log.info "burst" [ ("i", Obs.Log.I i) ]
+      done;
+      Alcotest.(check int) "burst of 5 passes, 3 dropped" 3
+        (Obs.Log.dropped () - d0);
+      Obs.Log.debug "below-level" [];
+      Alcotest.(check int) "level gate runs before the bucket" 3
+        (Obs.Log.dropped () - d0);
+      (* one second refills the bucket *)
+      t := 1_000_000_000L;
+      for i = 1 to 3 do
+        Obs.Log.info "later" [ ("i", Obs.Log.I i) ]
+      done;
+      Alcotest.(check int) "refilled tokens admit new lines" 3
+        (Obs.Log.dropped () - d0);
+      Obs.Log.flush ();
+      let lines = captured () in
+      Alcotest.(check int) "5 + 3 lines plus one drop summary" 9
+        (List.length lines);
+      (match lines with
+       | first :: _ ->
+         Alcotest.(check bool) "drop summary leads the flush" true
+           (contains ~sub:{|"event":"log_dropped"|} first
+            && contains ~sub:{|"count":3|} first)
+       | [] -> Alcotest.fail "no lines captured"))
+
+let test_log_jsonl_wellformed () =
+  with_log_capture (fun captured ->
+      Obs.Log.set_level (Some Obs.Log.Debug);
+      Obs.Log.debug "kinds"
+        [ ("int", Obs.Log.I (-42));
+          ("str", Obs.Log.S "with \"quotes\", a \\ and a\nnewline");
+          ("bool", Obs.Log.B true);
+          ("float", Obs.Log.F 0.000123) ];
+      Obs.Log.warn "empty-fields" [];
+      Obs.Log.error "weird \"event\" name" [ ("x", Obs.Log.I 1) ];
+      Obs.Log.flush ();
+      let lines = captured () in
+      Alcotest.(check int) "three lines" 3 (List.length lines);
+      List.iter
+        (fun line ->
+           match Codec.Json.of_string line with
+           | Error e -> Alcotest.failf "unparseable log line %S: %s" line e
+           | Ok j ->
+             Alcotest.(check bool) "ts_ns is an integer" true
+               (Result.is_ok (Codec.Json.int_field "ts_ns" j));
+             Alcotest.(check bool) "level is a string" true
+               (Result.is_ok (Codec.Json.str_field "level" j));
+             Alcotest.(check bool) "event is a string" true
+               (Result.is_ok (Codec.Json.str_field "event" j)))
+        lines;
+      (* field kinds land with their JSON types (floats as strings) *)
+      match Codec.Json.of_string (List.hd lines) with
+      | Error e -> Alcotest.fail e
+      | Ok j ->
+        Alcotest.(check bool) "int field" true
+          (Codec.Json.member "int" j = Some (Codec.Json.Int (-42)));
+        Alcotest.(check bool) "bool field" true
+          (Codec.Json.member "bool" j = Some (Codec.Json.Bool true));
+        (match Codec.Json.member "float" j with
+         | Some (Codec.Json.Str s) ->
+           Alcotest.(check (float 1e-9)) "float survives as string" 0.000123
+             (float_of_string s)
+         | _ -> Alcotest.fail "float field must render as a string"))
+
+(* Logging is observation only: with the level wide open and crashes
+   in the run (exercising the Sim crash/recover log hooks), the
+   execution transcript and grading must be byte-identical to a silent
+   run, whatever the pool size. *)
+let test_log_noninterference () =
+  let config =
+    Chc.Config.make ~n:5 ~f:1 ~d:2 ~eps:(Q.of_ints 1 4) ~lo:Q.zero ~hi:Q.one
+  in
+  let spec = Executor.default_spec ~config ~seed:7 ~ensure_crash:true () in
+  let run ~size ~logging =
+    with_pool_size size (fun () ->
+        if logging then begin
+          Obs.Log.set_sink (Some (fun _ -> ()));
+          Obs.Log.set_level (Some Obs.Log.Debug)
+        end;
+        Fun.protect
+          ~finally:(fun () ->
+              Obs.Log.set_level None;
+              Obs.Log.flush ();
+              Obs.Log.set_sink None)
+          (fun () ->
+             let trace = Trace.create () in
+             let r = Executor.run ~trace spec in
+             ( Trace.to_jsonl trace,
+               r.Executor.terminated,
+               r.Executor.valid,
+               r.Executor.agreement_ok )))
+  in
+  let base_jsonl, bt, bv, ba = run ~size:1 ~logging:false in
+  Alcotest.(check bool) "baseline run graded" true (bt && bv && ba);
+  List.iter
+    (fun (size, logging) ->
+       let jsonl, t, v, a = run ~size ~logging in
+       Alcotest.(check string)
+         (Printf.sprintf "trace identical (pool %d, logging %b)" size
+            logging)
+         base_jsonl jsonl;
+       Alcotest.(check bool) "grading identical" true
+         (t = bt && v = bv && a = ba))
+    [ (1, true); (4, false); (4, true) ]
+
+(* ------------------------------------------------------------------ *)
 (* Sink: every file write reports failures with the target path. *)
 
 let test_sink_roundtrip () =
@@ -551,6 +923,15 @@ let suite =
           test_chrome_json_wellformed;
         Alcotest.test_case "histogram percentiles" `Quick
           test_histogram_percentiles;
+        Alcotest.test_case "per-job slices (ph:X)" `Quick test_prof_slices;
+        Alcotest.test_case "exposition grammar conformance" `Quick
+          test_exposition_grammar;
+        Alcotest.test_case "log rate limiter + drop summary" `Quick
+          test_log_rate_limiter;
+        Alcotest.test_case "log JSONL well-formed" `Quick
+          test_log_jsonl_wellformed;
+        Alcotest.test_case "logging never perturbs execution" `Quick
+          test_log_noninterference;
         Alcotest.test_case "causal dead-letter fidelity" `Quick
           test_causal_dead_letter;
         Alcotest.test_case "dead-letter schedule replay" `Quick

@@ -225,6 +225,214 @@ let percentile () =
   Alcotest.(check (float 1e-9)) "p99" 5. (Workload.percentile xs 0.99);
   Alcotest.(check (float 1e-9)) "empty" 0. (Workload.percentile [] 0.5)
 
+(* ------------------------------------------------------------------ *)
+(* The admin plane. *)
+
+module Admin = Serve.Admin
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let status_of resp =
+  match String.index_opt resp '\r' with
+  | Some i -> String.sub resp 0 i
+  | None -> resp
+
+let body_of resp =
+  let rec find i =
+    if i + 3 >= String.length resp then None
+    else if String.sub resp i 4 = "\r\n\r\n" then Some (i + 4)
+    else find (i + 1)
+  in
+  match find 0 with
+  | Some i -> String.sub resp i (String.length resp - i)
+  | None -> ""
+
+(* Request-level routing, no sockets involved. *)
+let admin_routing () =
+  let ok_source =
+    { Admin.metrics = (fun () -> "# TYPE chc_x counter\nchc_x 1\n");
+      healthz = (fun () -> (true, Codec.Json.Obj [ ("status", Codec.Json.Str "ok") ]));
+      statusz = (fun () -> Codec.Json.Obj [ ("inflight", Codec.Json.Int 0) ]) }
+  in
+  let req path = Admin.handle_request ok_source
+      (Printf.sprintf "GET %s HTTP/1.0\r\nHost: x\r\n\r\n" path) in
+  Alcotest.(check string) "metrics 200" "HTTP/1.0 200 OK"
+    (status_of (req "/metrics"));
+  Alcotest.(check bool) "metrics content-type versioned" true
+    (contains ~sub:"text/plain; version=0.0.4" (req "/metrics"));
+  Alcotest.(check string) "healthz 200" "HTTP/1.0 200 OK"
+    (status_of (req "/healthz"));
+  Alcotest.(check string) "statusz 200" "HTTP/1.0 200 OK"
+    (status_of (req "/statusz"));
+  Alcotest.(check string) "query string stripped" "HTTP/1.0 200 OK"
+    (status_of (req "/metrics?refresh=1"));
+  Alcotest.(check string) "unknown path 404" "HTTP/1.0 404 Not Found"
+    (status_of (req "/favicon.ico"));
+  Alcotest.(check string) "non-GET 405" "HTTP/1.0 405 Method Not Allowed"
+    (status_of
+       (Admin.handle_request ok_source "POST /metrics HTTP/1.0\r\n\r\n"));
+  Alcotest.(check string) "garbage 400" "HTTP/1.0 400 Bad Request"
+    (status_of (Admin.handle_request ok_source "NOT AN HTTP LINE\r\n\r\n"));
+  (* unhealthy renders 503; a raising thunk renders 500, not a crash *)
+  let sick =
+    { ok_source with
+      Admin.healthz =
+        (fun () ->
+           (false, Codec.Json.Obj [ ("status", Codec.Json.Str "degraded") ]));
+      statusz = (fun () -> failwith "boom") }
+  in
+  Alcotest.(check string) "unhealthy 503" "HTTP/1.0 503 Service Unavailable"
+    (status_of (Admin.handle_request sick "GET /healthz HTTP/1.0\r\n\r\n"));
+  Alcotest.(check string) "raising thunk 500"
+    "HTTP/1.0 500 Internal Server Error"
+    (status_of (Admin.handle_request sick "GET /statusz HTTP/1.0\r\n\r\n"));
+  (* frame-vs-http first-byte discrimination *)
+  Alcotest.(check bool) "GET looks like http" true
+    (Admin.looks_like_http "GET /metrics HTTP/1.0");
+  Alcotest.(check bool) "LEB128 frame does not" false
+    (Admin.looks_like_http (Frame.encode_frame "payload"))
+
+(* Drive one HTTP exchange against a real listener, pumping it
+   ourselves (the test is single-threaded, like the daemon's loop).
+   [writes] lets callers split the request across TCP segments. *)
+let http_exchange admin writes =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+       Unix.connect fd
+         (Unix.ADDR_INET (Unix.inet_addr_loopback, Admin.port admin));
+       let b = Buffer.create 512 in
+       let buf = Bytes.create 4096 in
+       let deadline = Unix.gettimeofday () +. 5.0 in
+       List.iter
+         (fun w ->
+            ignore (Unix.write_substring fd w 0 (String.length w));
+            Admin.poll ~timeout:0.01 admin)
+         writes;
+       let rec drain () =
+         if Unix.gettimeofday () > deadline then
+           Alcotest.fail "admin response timed out";
+         Admin.poll ~timeout:0.01 admin;
+         match Unix.select [ fd ] [] [] 0.05 with
+         | [ _ ], _, _ ->
+           (match Unix.read fd buf 0 (Bytes.length buf) with
+            | 0 -> ()  (* server closed: response complete *)
+            | k ->
+              Buffer.add_subbytes b buf 0 k;
+              drain ())
+         | _ -> drain ()
+       in
+       drain ();
+       Buffer.contents b)
+
+(* The full admin stack over a real socket, against a server that has
+   actually done work: scrape all three endpoints, split one request
+   across writes, and parse statusz with the strict JSON decoder. *)
+let admin_over_socket () =
+  let server = Server.create ~shards:2 ~fuel:16 () in
+  let shapes =
+    [ { Workload.n = 4; f = 1; d = 1; recover = false };
+      { Workload.n = 5; f = 1; d = 2; recover = false };
+      { Workload.n = 6; f = 1; d = 2; recover = true } ]
+  in
+  List.iteri
+    (fun id shape -> Server.submit server (job shape ~id ~seed:(300 + id)))
+    shapes;
+  let outcomes = Server.drain server in
+  Alcotest.(check int) "workload decided" 3 (List.length outcomes);
+  let admin = Admin.create ~port:0 (Server.admin_source server) in
+  Fun.protect ~finally:(fun () -> Admin.close admin) @@ fun () ->
+  Alcotest.(check bool) "ephemeral port bound" true (Admin.port admin > 0);
+  let metrics = http_exchange admin [ "GET /metrics HTTP/1.0\r\n\r\n" ] in
+  Alcotest.(check string) "metrics 200" "HTTP/1.0 200 OK"
+    (status_of metrics);
+  List.iter
+    (fun family ->
+       Alcotest.(check bool) (family ^ " exposed") true
+         (contains ~sub:family (body_of metrics)))
+    [ "# TYPE chc_serve_instances_total counter";
+      "# HELP chc_serve_instances_total";
+      (* no exact value: the registry is process-wide, and other tests
+         in this binary also decide instances *)
+      "chc_serve_instances_total{status=\"decided\"}";
+      "chc_serve_decision_latency_seconds_bucket";
+      "# TYPE chc_serve_violations_total counter" ];
+  (* request split across TCP segments *)
+  let health =
+    http_exchange admin [ "GET /hea"; "lthz HTT"; "P/1.0\r\n\r\n" ]
+  in
+  Alcotest.(check string) "chunked healthz 200" "HTTP/1.0 200 OK"
+    (status_of health);
+  (match Codec.Json.of_string (String.trim (body_of health)) with
+   | Error e -> Alcotest.failf "healthz body unparseable: %s" e
+   | Ok j ->
+     Alcotest.(check bool) "status ok" true
+       (Codec.Json.member "status" j = Some (Codec.Json.Str "ok"));
+     Alcotest.(check bool) "violations 0" true
+       (Codec.Json.member "violations" j = Some (Codec.Json.Int 0)));
+  let statusz = http_exchange admin [ "GET /statusz HTTP/1.0\r\n\r\n" ] in
+  (match Codec.Json.of_string (String.trim (body_of statusz)) with
+   | Error e -> Alcotest.failf "statusz body unparseable: %s" e
+   | Ok j ->
+     Alcotest.(check bool) "completed = 3" true
+       (Codec.Json.member "completed" j = Some (Codec.Json.Int 3));
+     Alcotest.(check bool) "inflight = 0" true
+       (Codec.Json.member "inflight" j = Some (Codec.Json.Int 0));
+     (match Codec.Json.member "shard" j with
+      | Some (Codec.Json.List rows) ->
+        Alcotest.(check int) "one row per shard" 2 (List.length rows)
+      | _ -> Alcotest.fail "statusz.shard must be a list");
+     List.iter
+       (fun key ->
+          Alcotest.(check bool) ("statusz has " ^ key) true
+            (Codec.Json.member key j <> None))
+       [ "uptime_s"; "fuel"; "decision_latency"; "wal"; "memo"; "log";
+         "violations"; "slow_threshold_ms" ]);
+  (* malformed request over the wire: a 400, not a hang or a crash *)
+  let bad = http_exchange admin [ "completely wrong\r\n\r\n" ] in
+  Alcotest.(check string) "malformed 400" "HTTP/1.0 400 Bad Request"
+    (status_of bad)
+
+(* A counted Theorem-2 violation flips /healthz to 503 and shows up in
+   the violation counters; grading an honest outcome does not. *)
+let healthz_degradation () =
+  let server = Server.create ~shards:1 ~fuel:16 () in
+  let shape = { Workload.n = 4; f = 1; d = 1; recover = false } in
+  Server.submit server (job shape ~id:0 ~seed:400);
+  (match Server.drain server with
+   | [ o ] ->
+     (match Server.grade_count server o with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "honest outcome misgraded: %s" msg)
+   | _ -> Alcotest.fail "expected one outcome");
+  let src = Server.admin_source server in
+  Alcotest.(check string) "healthy before violation" "HTTP/1.0 200 OK"
+    (status_of (Admin.handle_request src "GET /healthz HTTP/1.0\r\n\r\n"));
+  (* a fabricated outcome with no decisions violates termination *)
+  let bad_outcome =
+    { Server.job = job shape ~id:99 ~seed:401;
+      outputs = []; t_end = 0; steps = 0; latency_s = 0.;
+      recovered = []; resumed = false }
+  in
+  (match Server.grade_count server bad_outcome with
+   | Error _ -> ()
+   | Ok () -> Alcotest.fail "undecided outcome graded Ok");
+  Alcotest.(check int) "violation counted" 1 (Server.violations server);
+  let resp = Admin.handle_request src "GET /healthz HTTP/1.0\r\n\r\n" in
+  Alcotest.(check string) "healthz degrades to 503"
+    "HTTP/1.0 503 Service Unavailable" (status_of resp);
+  (match Codec.Json.of_string (String.trim (body_of resp)) with
+   | Error e -> Alcotest.failf "degraded healthz unparseable: %s" e
+   | Ok j ->
+     Alcotest.(check bool) "status string degraded" true
+       (Codec.Json.member "status" j = Some (Codec.Json.Str "degraded"));
+     Alcotest.(check bool) "violations visible" true
+       (Codec.Json.member "violations" j = Some (Codec.Json.Int 1)))
+
 let suite =
   [ ( "serve",
       [ Alcotest.test_case "protocol msg codec roundtrip" `Quick msg_roundtrip;
@@ -235,4 +443,9 @@ let suite =
           server_drain_and_grade;
         Alcotest.test_case "kill-restart via scan_wal" `Slow wal_restart;
         Alcotest.test_case "request validation" `Quick request_validation;
-        Alcotest.test_case "workload percentile" `Quick percentile ] ) ]
+        Alcotest.test_case "workload percentile" `Quick percentile;
+        Alcotest.test_case "admin request routing" `Quick admin_routing;
+        Alcotest.test_case "admin endpoints over a socket" `Slow
+          admin_over_socket;
+        Alcotest.test_case "healthz degradation on violation" `Quick
+          healthz_degradation ] ) ]
