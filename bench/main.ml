@@ -25,6 +25,8 @@ let experiments =
      E15_serve.run);
     ("e16", "telemetry overhead: logging/tracing on vs off",
      E16_telemetry.run);
+    ("e17", "polytope engine ablation: incremental vs rebuild",
+     E17_poly.run);
     ("smoke3d", "fast d=3 execution smoke check", Smoke3d.run) ]
 
 let () =

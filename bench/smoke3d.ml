@@ -6,7 +6,8 @@
    The same checked run doubles as the kernel-equivalence gate: the
    filtered interval kernel must be an observationally perfect
    stand-in for exact rationals — byte-identical execution transcripts
-   and equal decision polytopes. *)
+   and equal decision polytopes. The polytope-engine gate is the same
+   bar for the incremental engine against the from-scratch rebuild. *)
 
 module Q = Numeric.Q
 module Executor = Chc.Executor
@@ -71,4 +72,47 @@ let run () =
   Printf.printf
     "  kernel equivalence: exact = filtered = staged (transcript %d bytes, \
      filter hits=%d int_hits=%d fallbacks=%d)\n"
-    (String.length exact_tr) hits int_hits fallbacks
+    (String.length exact_tr) hits int_hits fallbacks;
+  (* Engine equivalence: the incremental engine's certified fast paths
+     and structure reuse must be observationally invisible — executor
+     reports and traces byte-identical to the rebuild oracle. *)
+  let run_engine mode =
+    Parallel.Memo.with_bypass (fun () ->
+        Geometry.Poly_engine.with_mode mode (fun () ->
+            Geometry.Poly_engine.with_handle
+              (Geometry.Poly_engine.create_handle ())
+              (fun () ->
+                 let trace = Obs.Trace.create () in
+                 let r = Executor.run ~trace spec in
+                 (r, Obs.Trace.to_jsonl trace))))
+  in
+  let reb, reb_tr = run_engine Geometry.Poly_engine.Rebuild in
+  let inc, inc_tr = run_engine Geometry.Poly_engine.Incremental in
+  if not (String.equal reb_tr inc_tr) then
+    failwith
+      "smoke3d: incremental-engine transcript differs from rebuild (trace \
+       bytes)";
+  let verdict (r : Executor.report) =
+    ( r.Executor.terminated, r.Executor.valid, r.Executor.agreement_ok,
+      r.Executor.optimal, r.Executor.decision_stable,
+      r.Executor.result.Chc.Cc.t_end )
+  in
+  if verdict reb <> verdict inc
+     || not
+          (Option.equal Q.equal reb.Executor.agreement2
+             inc.Executor.agreement2)
+  then failwith "smoke3d: engine divergence — executor reports differ";
+  Array.iteri
+    (fun i o ->
+       match (o, (outputs inc).(i)) with
+       | None, None -> ()
+       | Some p, Some p' when Geometry.Polytope.equal p p' -> ()
+       | _ ->
+         failwith
+           (Printf.sprintf
+              "smoke3d: engine divergence — process %d decided different \
+               polytopes under rebuild vs incremental" i))
+    (outputs reb);
+  Printf.printf
+    "  engine equivalence: rebuild = incremental (transcript %d bytes)\n"
+    (String.length reb_tr)

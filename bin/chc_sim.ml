@@ -77,12 +77,16 @@ let critical_path_arg =
 
 (* --- helpers --------------------------------------------------------- *)
 
-(* Install the --kernel choice as the process default before running;
-   None keeps the ambient default (CHC_KERNEL or filtered). *)
-let with_kernel kernel k =
+(* Install the --kernel and --poly choices as the process defaults
+   before running; None keeps the ambient defaults (CHC_KERNEL or
+   filtered; CHC_POLY or incremental). *)
+let with_modes kernel poly k =
   match Cli.set_kernel kernel with
   | Error msg -> `Error (false, msg)
-  | Ok () -> k ()
+  | Ok () ->
+    (match Cli.set_poly poly with
+     | Error msg -> `Error (false, msg)
+     | Ok () -> k ())
 
 (* --- run command ------------------------------------------------------ *)
 
@@ -94,7 +98,7 @@ let rec mkdir_p dir =
 
 let run_cmd (c : Cli.common) recover recover_delay keep wal_dir verbose svg
     report_json =
-  with_kernel c.Cli.kernel @@ fun () ->
+  with_modes c.Cli.kernel c.Cli.poly @@ fun () ->
   match Cli.scenario_of_common c with
   | Error msg -> `Error (false, msg)
   | Ok spec ->
@@ -216,7 +220,7 @@ let run_cmd_info =
 (* --- trace command ---------------------------------------------------- *)
 
 let trace_cmd (c : Cli.common) out critical_path =
-  with_kernel c.Cli.kernel @@ fun () ->
+  with_modes c.Cli.kernel c.Cli.poly @@ fun () ->
   match Cli.scenario_of_common c with
   | Error msg -> `Error (false, msg)
   | Ok spec ->
@@ -276,7 +280,7 @@ let prof_out_arg =
            ~doc:"Where the Chrome trace-event / Perfetto JSON is written.")
 
 let profile_cmd (c : Cli.common) out =
-  with_kernel c.Cli.kernel @@ fun () ->
+  with_modes c.Cli.kernel c.Cli.poly @@ fun () ->
   match Cli.scenario_of_common c with
   | Error msg -> `Error (false, msg)
   | Ok spec ->
@@ -391,7 +395,9 @@ let differential_arg =
        & info ["differential"]
            ~doc:"After every trial that passes the oracle, re-run it under \
                  every arithmetic kernel — exact as the oracle, then \
-                 filtered and staged (memo caches bypassed) — and flag \
+                 filtered and staged (memo caches bypassed) — and under \
+                 both polytope engines — rebuild as the oracle vs \
+                 incremental with a fresh engine handle — and flag \
                  any divergence in the decided polytopes as a shrinkable \
                  counterexample.")
 
@@ -420,9 +426,9 @@ let unsound_sync_arg =
                  must find (and shrink) the resulting violations — expect \
                  a non-zero exit. Implies --recover.")
 
-let fuzz_cmd kernel differential trials seed time_budget out_dir max_findings
-    canary naive recover unsound_sync =
-  with_kernel kernel @@ fun () ->
+let fuzz_cmd kernel poly differential trials seed time_budget out_dir
+    max_findings canary naive recover unsound_sync =
+  with_modes kernel poly @@ fun () ->
   let oracle =
     match canary with
     | None -> Ok Fuzz.Oracle.Paper_properties
@@ -438,7 +444,8 @@ let fuzz_cmd kernel differential trials seed time_budget out_dir max_findings
   | Ok oracle ->
     Printf.printf "fuzz: %d trials, seed %d, oracle %s%s%s\n%!" trials seed
       (Fuzz.Oracle.name oracle)
-      (if differential then " + kernel-equivalence" else "")
+      (if differential then " + kernel-equivalence + engine-equivalence"
+       else "")
       (match time_budget with
        | None -> ""
        | Some s -> Printf.sprintf ", time budget %.0fs" s);
@@ -483,10 +490,10 @@ let fuzz_cmd kernel differential trials seed time_budget out_dir max_findings
 
 let fuzz_term =
   Term.(ret
-          (const fuzz_cmd $ Cli.kernel_arg $ differential_arg $ trials_arg
-           $ Cli.seed_arg $ time_budget_arg $ out_dir_arg $ max_findings_arg
-           $ canary_arg $ naive_space_arg $ recover_space_arg
-           $ unsound_sync_arg))
+          (const fuzz_cmd $ Cli.kernel_arg $ Cli.poly_arg $ differential_arg
+           $ trials_arg $ Cli.seed_arg $ time_budget_arg $ out_dir_arg
+           $ max_findings_arg $ canary_arg $ naive_space_arg
+           $ recover_space_arg $ unsound_sync_arg))
 
 let fuzz_cmd_info =
   Cmd.info "fuzz"
@@ -508,8 +515,8 @@ let file_arg =
        & info [] ~docv:"FILE"
            ~doc:"A counterexample artifact (or bare scenario) JSON file.")
 
-let replay_cmd kernel file =
-  with_kernel kernel @@ fun () ->
+let replay_cmd kernel poly file =
+  with_modes kernel poly @@ fun () ->
   match Fuzz.Artifact.load_any file with
   | Error e ->
     (* Typed scenario/artifact data error: mapped to exit 65
@@ -529,7 +536,8 @@ let replay_cmd kernel file =
        Printf.printf "verdict: FAIL (%s)\n" msg;
        `Error (false, "violation reproduced"))
 
-let replay_term = Term.(ret (const replay_cmd $ Cli.kernel_arg $ file_arg))
+let replay_term =
+  Term.(ret (const replay_cmd $ Cli.kernel_arg $ Cli.poly_arg $ file_arg))
 
 let replay_cmd_info =
   Cmd.info "replay"

@@ -62,6 +62,7 @@ type t = {
   n : int;
   f : int;
   d : int;
+  engine : Geometry.Poly_engine.handle;
   t_end : int;
   round0 : round0_mode;
   input : Geometry.Vec.t;
@@ -110,14 +111,20 @@ let round0_polytope ~dim ~f pts =
   | Some h -> h
   | None -> failwith "Cc: round-0 intersection empty — Lemma 2 violated"
 
-let create spec ~me ~input =
+let create ?engine spec ~me ~input =
   let { Config.n; f; d; _ } = spec.config in
   Config.validate_input spec.config input;
   let threshold = n - f in
+  let engine =
+    match engine with
+    | Some e -> e
+    | None -> Geometry.Poly_engine.create_handle ()
+  in
   { id = me;
     n;
     f;
     d;
+    engine;
     t_end = spec.t_end;
     round0 = spec.round0;
     input;
@@ -245,6 +252,10 @@ and try_advance t =
   then begin
     let y = Rounds.freeze t.rounds ~round:t.current in
     let h =
+      (* The engine handle scopes warm-start reuse: round t's hulls
+         seed round t+1's beneath-beyond restarts (and, under a
+         daemon's shared per-shard handle, other instances'). *)
+      Geometry.Poly_engine.with_handle t.engine @@ fun () ->
       Obs.Prof.with_span "cc.round" (fun () ->
           let polys = List.map snd y in
           (* Per-round grid lifecycle: every hull construction in
@@ -284,7 +295,10 @@ and try_advance t =
 
 let complete_round0 t entries =
   t.view <- Some entries;
-  let h0 = round0_polytope ~dim:t.d ~f:t.f (List.map snd entries) in
+  let h0 =
+    Geometry.Poly_engine.with_handle t.engine @@ fun () ->
+    round0_polytope ~dim:t.d ~f:t.f (List.map snd entries)
+  in
   t.h <- Some h0;
   t.hist <- (0, h0) :: t.hist;
   if (not t.replaying) && t.max_emitted < 0 then begin

@@ -31,8 +31,9 @@ let default_log _ = ()
    failures come back. The scenario's kernel is pinned to the ambient
    mode, so saved artifacts replay under the kernel that graded them.
    With [differential], a trial that passes the primary oracle is then
-   re-run filtered-vs-exact; a divergence comes back as a finding
-   carrying the kernel-equivalence oracle, and shrinks against it. *)
+   re-run filtered-vs-exact and incremental-vs-rebuild; a divergence
+   comes back as a finding carrying the kernel- or engine-equivalence
+   oracle, and shrinks against it. *)
 let run_trial ~space ~oracle ~differential ~seed trial =
   let scenario = Gen.scenario space ~seed ~trial in
   let scenario =
@@ -44,8 +45,12 @@ let run_trial ~space ~oracle ~differential ~seed trial =
     if not differential then None
     else begin
       match Oracle.check Oracle.Kernel_equivalence scenario with
-      | Oracle.Pass -> None
       | Oracle.Fail msg -> Some (trial, scenario, msg, Oracle.Kernel_equivalence)
+      | Oracle.Pass ->
+        (match Oracle.check Oracle.Engine_equivalence scenario with
+         | Oracle.Pass -> None
+         | Oracle.Fail msg ->
+           Some (trial, scenario, msg, Oracle.Engine_equivalence))
     end
 
 let investigate ~out_dir ~log (trial, scenario, msg, oracle) =

@@ -5,6 +5,7 @@ type t =
   | Paper_properties
   | Agreement_within of Q.t
   | Kernel_equivalence
+  | Engine_equivalence
 
 type verdict =
   | Pass
@@ -14,6 +15,7 @@ let name = function
   | Paper_properties -> "paper-properties"
   | Agreement_within eps -> Printf.sprintf "agreement-within:%s" (Q.to_string eps)
   | Kernel_equivalence -> "kernel-equivalence"
+  | Engine_equivalence -> "engine-equivalence"
 
 let to_json = function
   | Paper_properties -> Json.Obj [ ("kind", Json.Str "paper-properties") ]
@@ -22,6 +24,7 @@ let to_json = function
       [ ("kind", Json.Str "agreement-within");
         ("eps", Json.Str (Q.to_string eps)) ]
   | Kernel_equivalence -> Json.Obj [ ("kind", Json.Str "kernel-equivalence") ]
+  | Engine_equivalence -> Json.Obj [ ("kind", Json.Str "engine-equivalence") ]
 
 let ( let* ) r f = Result.bind r f
 
@@ -37,6 +40,7 @@ let of_json j =
      | exception (Invalid_argument _ | Failure _) ->
        Error (Printf.sprintf "agreement-within: %S is not a rational" s))
   | "kernel-equivalence" -> Ok Kernel_equivalence
+  | "engine-equivalence" -> Ok Engine_equivalence
   | k -> Error (Printf.sprintf "unknown oracle kind %S" k)
 
 (* Grading failures are themselves findings: an execution that blows
@@ -44,9 +48,9 @@ let of_json j =
    an engine bug the fuzzer should surface rather than swallow. *)
 let grade oracle (report : Chc.Executor.report) =
   match oracle with
-  | Kernel_equivalence ->
+  | Kernel_equivalence | Engine_equivalence ->
     (* Graded from two runs, not one report — see [check]. *)
-    invalid_arg "Oracle.grade: kernel-equivalence is graded by check"
+    invalid_arg "Oracle.grade: differential oracles are graded by check"
   | Paper_properties ->
     if not report.Chc.Executor.terminated then
       Fail "termination: a fault-free process never decided"
@@ -76,6 +80,37 @@ let grade oracle (report : Chc.Executor.report) =
              (Printf.sprintf "agreement: d_H^2 = %s >= %s^2" (Q.to_string a2)
                 (Q.to_string eps)))
 
+(* Shared comparison for the differential oracles: two runs of the
+   same scenario diverge iff the termination round or any per-process
+   decided polytope differs. *)
+let decision_divergence ~tag ~base_name ~other_name
+    (base : Chc.Executor.report) (other : Chc.Executor.report) =
+  let bo = base.Chc.Executor.result.Chc.Cc.outputs in
+  let tb = base.Chc.Executor.result.Chc.Cc.t_end in
+  let oo = other.Chc.Executor.result.Chc.Cc.outputs in
+  let to_ = other.Chc.Executor.result.Chc.Cc.t_end in
+  if tb <> to_ then
+    Some
+      (Printf.sprintf "%s: t_end %d under %s vs %d under %s" tag tb base_name
+         to_ other_name)
+  else begin
+    let diverging = ref None in
+    Array.iteri
+      (fun i (a : Geometry.Polytope.t option) ->
+         if !diverging = None then
+           match a, oo.(i) with
+           | None, None -> ()
+           | Some p, Some q when Geometry.Polytope.equal p q -> ()
+           | _ -> diverging := Some i)
+      bo;
+    match !diverging with
+    | None -> None
+    | Some i ->
+      Some
+        (Printf.sprintf "%s: process %d decided differently under %s vs %s"
+           tag i base_name other_name)
+  end
+
 (* Differential grading: the same scenario executed under every
    kernel, memo tables bypassed so one kernel's run cannot serve
    values another cached (a cross-kernel hit would hide exactly the
@@ -93,36 +128,10 @@ let grade_kernel_equivalence ?trace scenario =
      the schedule, and appending several transcripts would corrupt the
      pinned-schedule view the shrinker reads back. *)
   let exact = run_under ?trace Numeric.Kernel.Exact in
-  let eo = exact.Chc.Executor.result.Chc.Cc.outputs in
-  let te = exact.Chc.Executor.result.Chc.Cc.t_end in
   let against m =
-    let name = Numeric.Kernel.to_string m in
     let other = run_under m in
-    let oo = other.Chc.Executor.result.Chc.Cc.outputs in
-    let to_ = other.Chc.Executor.result.Chc.Cc.t_end in
-    if te <> to_ then
-      Some
-        (Printf.sprintf
-           "kernel-divergence: t_end %d under exact vs %d under %s" te to_
-           name)
-    else begin
-      let diverging = ref None in
-      Array.iteri
-        (fun i (a : Geometry.Polytope.t option) ->
-           if !diverging = None then
-             match a, oo.(i) with
-             | None, None -> ()
-             | Some p, Some q when Geometry.Polytope.equal p q -> ()
-             | _ -> diverging := Some i)
-        eo;
-      match !diverging with
-      | None -> None
-      | Some i ->
-        Some
-          (Printf.sprintf
-             "kernel-divergence: process %d decided differently under exact \
-              vs %s" i name)
-    end
+    decision_divergence ~tag:"kernel-divergence" ~base_name:"exact"
+      ~other_name:(Numeric.Kernel.to_string m) exact other
   in
   let rec first_divergence = function
     | [] -> Pass
@@ -131,10 +140,38 @@ let grade_kernel_equivalence ?trace scenario =
   in
   first_divergence [ Numeric.Kernel.Filtered; Numeric.Kernel.Staged ]
 
+(* Differential grading of the polytope engines: the same scenario
+   executed with the from-scratch rebuild engine (the oracle) and with
+   the incremental engine under a fresh handle, memo tables bypassed
+   so neither run can serve hull structure the other cached. Any
+   difference in the decided polytopes or the termination round
+   convicts the incremental delta/warm-start machinery. *)
+let grade_engine_equivalence ?trace scenario =
+  let rebuild =
+    Parallel.Memo.with_bypass (fun () ->
+        Geometry.Poly_engine.with_mode Geometry.Poly_engine.Rebuild
+          (fun () -> Chc.Executor.run ?trace scenario))
+  in
+  let incr =
+    Parallel.Memo.with_bypass (fun () ->
+        Geometry.Poly_engine.with_mode Geometry.Poly_engine.Incremental
+          (fun () ->
+             Geometry.Poly_engine.with_handle
+               (Geometry.Poly_engine.create_handle ())
+               (fun () -> Chc.Executor.run scenario)))
+  in
+  match
+    decision_divergence ~tag:"engine-divergence" ~base_name:"rebuild"
+      ~other_name:"incremental" rebuild incr
+  with
+  | None -> Pass
+  | Some msg -> Fail msg
+
 let check ?trace oracle scenario =
   match
     match oracle with
     | Kernel_equivalence -> grade_kernel_equivalence ?trace scenario
+    | Engine_equivalence -> grade_engine_equivalence ?trace scenario
     | _ -> grade oracle (Chc.Executor.run ?trace scenario)
   with
   | verdict -> verdict

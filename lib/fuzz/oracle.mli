@@ -30,6 +30,13 @@ type t =
           ({!Numeric.Kernel.mode}), with memo tables bypassed so the
           runs are independent, and any difference in the decided
           polytopes or the termination round is a failure *)
+  | Engine_equivalence
+      (** differential check of the incremental polytope engine against
+          the from-scratch rebuild engine
+          ({!Geometry.Poly_engine.mode}): the scenario is executed
+          under both, the incremental leg under a fresh engine handle
+          and with memo tables bypassed, and any difference in the
+          decided polytopes or the termination round is a failure *)
 
 type verdict = Pass | Fail of string
 (** [Fail] carries a one-line human reason. Engine escapes are

@@ -10,17 +10,9 @@ type hrep = {
 
 (* Canonical form of a constraint row: scaled so the first non-zero
    coefficient has absolute value 1. Positive scaling preserves the
-   inequality direction. *)
-let normalize_ineq (a, b) =
-  let d = Vec.dim a in
-  let rec first i = if i = d then None
-    else if Q.is_zero a.(i) then first (i + 1) else Some a.(i)
-  in
-  match first 0 with
-  | None -> (a, b) (* trivial constraint 0 <= b; kept as-is *)
-  | Some lead ->
-    let s = Q.inv (Q.abs lead) in
-    (Vec.scale s a, Q.mul s b)
+   inequality direction. Shared with Poly_engine so the certified
+   fast paths produce literally identical canonical plane sets. *)
+let normalize_ineq = Poly_engine.normalize_ineq
 
 (* Equalities additionally fix the sign of the leading coefficient. *)
 let normalize_eq (a, b) =
@@ -34,27 +26,8 @@ let normalize_eq (a, b) =
     let s = Q.inv lead in
     (Vec.scale s a, Q.mul s b)
 
-let compare_constraint (a1, b1) (a2, b2) =
-  let c = Vec.compare a1 a2 in
-  if c <> 0 then c else Q.compare b1 b2
-
-let dedupe_constraints cs =
-  let sorted = List.sort compare_constraint cs in
-  let rec go = function
-    | x :: (y :: _ as rest) ->
-      if compare_constraint x y = 0 then go rest else x :: go rest
-    | short -> short
-  in
-  go sorted
-
-let dedupe_points pts =
-  let sorted = List.sort Vec.compare pts in
-  let rec go = function
-    | x :: (y :: _ as rest) ->
-      if Vec.equal x y then go rest else x :: go rest
-    | short -> short
-  in
-  go sorted
+let dedupe_constraints = Poly_engine.dedupe_constraints
+let dedupe_points = Poly_engine.dedupe_points
 
 let standard_basis d = List.init d (fun i ->
     Array.init d (fun j -> if i = j then Q.one else Q.zero))
@@ -181,10 +154,7 @@ let tri_visible t (p : Vec.t) pscr =
     end
   | _ -> Filter.sign_of_dot_minus t.ta p t.tb > 0
 
-let cross3 u v =
-  [| Q.sub (Q.mul u.(1) v.(2)) (Q.mul u.(2) v.(1));
-     Q.sub (Q.mul u.(2) v.(0)) (Q.mul u.(0) v.(2));
-     Q.sub (Q.mul u.(0) v.(1)) (Q.mul u.(1) v.(0)) |]
+let cross3 = Poly_engine.cross3
 
 (* The construction runs on integer points: hull structure is
    invariant under the uniform positive scaling x ↦ L·x, so scaling by
@@ -287,16 +257,7 @@ let check_simple_cycle edges =
 (* Canonical integer representative of an (integer) plane: divide by
    the content gcd. Positive scaling, so the inequality is unchanged;
    proportional planes collapse to equal values. *)
-let primitive_plane (a, b) =
-  let g =
-    Array.fold_left
-      (fun acc (q : Q.t) -> B.gcd acc q.Q.num)
-      (B.abs b.Q.num) a
-  in
-  if B.is_zero g || B.equal g B.one then (a, b)
-  else
-    ( Array.map (fun (q : Q.t) -> Q.of_bigint (B.div q.Q.num g)) a,
-      Q.of_bigint (B.div b.Q.num g) )
+let primitive_plane = Poly_engine.primitive_plane
 
 (* [incremental_planes_3d pts] for deduped, sorted [pts]: the
    beneath-beyond construction proper, on integer-scaled points.
@@ -407,19 +368,34 @@ let incremental_planes_3d pts0 =
        else None
      with Exit -> None)
 
+(* The engine front door for 3-d hulls: Poly_engine decides per the
+   CHC_POLY mode whether to run the certified float-guided build (with
+   arena caching and warm-start reuse) or this module's exact
+   beneath-beyond, and falls back to the exact path whenever
+   certification fails. Either way the resulting plane set is the
+   canonical one, so downstream consumers cannot tell the modes
+   apart. *)
+let dual_3d pts =
+  Poly_engine.dual_3d pts ~rebuild:(fun () ->
+      match incremental_planes_3d pts with
+      | None -> None
+      | Some (spts, planes, l) ->
+        Some
+          { Poly_engine.pts; spts; facets = planes; scale = l; shape = None })
+
 let facets_incremental_3d pts =
   Obs.Prof.with_span "hullnd.incremental_3d" @@ fun () ->
   let pts = dedupe_points pts in
-  match incremental_planes_3d pts with
+  match dual_3d pts with
   | None -> None
-  | Some (_, planes, l) ->
+  | Some d ->
     (* Planes hold for the L-scaled points; b/L maps them back. *)
-    let linv = Q.inv (Q.of_bigint l) in
+    let linv = Q.inv (Q.of_bigint d.Poly_engine.scale) in
     Some
       (dedupe_constraints
          (List.map
             (fun (a, b) -> normalize_ineq (a, Q.mul b linv))
-            planes))
+            d.Poly_engine.facets))
 
 (* Facets of a FULL-DIMENSIONAL point set in k-space. k = 3 runs the
    incremental hull above; other dimensions (and the unexpected
@@ -688,16 +664,17 @@ let extreme_points pts =
   | p0 :: _ ->
     Parallel.Memo.find_or_add extreme_memo pts (fun () ->
         if Vec.dim p0 = 3 then
-          match incremental_planes_3d pts with
+          match dual_3d pts with
           | None -> extreme_points_lp pts
-          | Some (spts, facets, _) ->
+          | Some d ->
             (* Tight tests run against the integer-scaled copies;
                scaling preserves the point order, so the i-th scaled
                point answers for the i-th original. The facets arrive
                already collapsed to primitive representatives. *)
             Obs.Prof.with_span "hullnd.tight_scan" (fun () ->
-            List.combine pts spts
-            |> List.filter (fun (_, sp) -> is_vertex_by_facets ~dim:3 facets sp)
+            List.combine d.Poly_engine.pts d.Poly_engine.spts
+            |> List.filter (fun (_, sp) ->
+                is_vertex_by_facets ~dim:3 d.Poly_engine.facets sp)
             |> List.map fst)
         else extreme_points_lp pts)
 

@@ -1,0 +1,1133 @@
+(* Float-guided, exactly-certified polytope engine.
+
+   The exact d=3 paths in Hullnd spend almost all their time on exact
+   predicates over grid-scaled integer coordinates: a protocol round's
+   lcm grid produces ~355-bit coordinates, so every cross product and
+   visibility dot in the beneath-beyond construction is a multi-limb
+   bigint computation (microseconds each), and the brute intersection
+   path solves an exact 3x3 system per constraint triple. The hull
+   *structure*, however, is purely combinatorial — it is determined by
+   predicate signs — so this engine discovers the combinatorics in
+   plain doubles and then certifies the result with a handful of exact
+   checks whose cost is linear in the output:
+
+   - hull: a float beneath-beyond pass produces an index-based
+     triangle soup; certification computes the exact plane of every
+     soup triangle (oriented against an exact interior point), checks
+     that the directed-edge multiset pairs up (each directed edge
+     exactly once, its reverse exactly once — a closed oriented
+     surface), and verifies that every input point lies weakly inside
+     every plane. Soundness: a verified supporting plane through three
+     affinely independent input points is a facet plane, and a closed
+     consistently-outward-oriented triangle soup contained in the hull
+     boundary has positive mapping degree, hence covers every facet —
+     so the deduped primitive plane set is exactly the facet-plane set
+     the exact construction produces.
+
+   - intersection: candidate vertices come from clipping each
+     constraint-pair line against the remaining constraints in floats;
+     each candidate is then solved exactly from its defining triple
+     and kept only if it satisfies every constraint exactly. The hull
+     of the surviving points is built by the engine, and a
+     completeness certificate requires every facet plane of that hull
+     to match (after canonical normalization) one of the input
+     constraints: then conv(W) ⊆ P by exact membership and
+     P ⊆ conv(W) because P is contained in the matched constraints —
+     so the result equals P exactly, no matter what the floats missed.
+
+   Any certification failure falls back to the caller's exact path,
+   which stays the differential-fuzz oracle (CHC_POLY=rebuild). The
+   engine is therefore observationally identical to the rebuild path:
+   executor reports and traces are byte-for-byte the same under either
+   mode.
+
+   Persistence: a bounded arena (a Parallel.Memo table, so it obeys
+   the same bypass discipline as every other kernel cache) maps
+   canonical vertex lists to their dual representation — scaled
+   points, facet planes, grid scale, and the certified triangle soup.
+   A per-handle ring of recent duals seeds warm starts: when a new
+   point set contains all corners of a recent soup, beneath-beyond
+   restarts from that soup (the previous conflict region) and inserts
+   only the new points. Handles are carried in protocol state
+   (Chc.Instance) and per shard (Serve.Server); WAL replay simply
+   recomputes — every cached value is a certified exact result, so
+   replay reconstructs the same polytopes whether or not the cache is
+   warm. *)
+
+module Q = Numeric.Q
+module B = Numeric.Bigint
+module Filter = Numeric.Filter
+
+(* ------------------------------------------------------------------ *)
+(* Engine selection: CHC_POLY, mirroring the CHC_KERNEL discipline
+   (process default from the environment with warn-and-clamp, CLI
+   override via [set_default], domain-local override via
+   [with_mode]). *)
+
+type mode = Rebuild | Incremental
+
+let to_string = function
+  | Rebuild -> "rebuild"
+  | Incremental -> "incremental"
+
+let parse s =
+  match String.lowercase_ascii (String.trim s) with
+  | "rebuild" -> Ok Rebuild
+  | "incremental" -> Ok Incremental
+  | other ->
+    Error
+      (Printf.sprintf
+         "unknown engine %S (expected \"rebuild\" or \"incremental\")" other)
+
+let env_default () =
+  match Sys.getenv_opt "CHC_POLY" with
+  | None | Some "" -> Incremental
+  | Some s ->
+    (match parse s with
+     | Ok m -> m
+     | Error msg ->
+       Printf.eprintf
+         "chc: ignoring CHC_POLY: %s; using \"incremental\"\n%!" msg;
+       Incremental)
+
+let default = Atomic.make (env_default ())
+
+let set_default m = Atomic.set default m
+let get_default () = Atomic.get default
+
+let override_key : mode option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let mode () =
+  match !(Domain.DLS.get override_key) with
+  | Some m -> m
+  | None -> Atomic.get default
+
+let incremental () = mode () = Incremental
+
+let with_mode m f =
+  let slot = Domain.DLS.get override_key in
+  let saved = !slot in
+  slot := Some m;
+  Fun.protect ~finally:(fun () -> slot := saved) f
+
+(* ------------------------------------------------------------------ *)
+(* Engine metrics (exposed via chc_serve /metrics and every other
+   exposition surface). *)
+
+let hull_float_c =
+  Obs.Metrics.counter "chc_poly_hull_total"
+    ~help:"3-d hull builds by construction path (float-guided cold, \
+           warm-started from a cached soup, or exact fallback)"
+    ~labels:[ ("path", "float") ]
+
+let hull_warm_c =
+  Obs.Metrics.counter "chc_poly_hull_total" ~labels:[ ("path", "warm") ]
+
+let hull_exact_c =
+  Obs.Metrics.counter "chc_poly_hull_total" ~labels:[ ("path", "exact") ]
+
+let arena_hit_c =
+  Obs.Metrics.counter "chc_poly_arena_total"
+    ~help:"persistent dual-representation arena lookups"
+    ~labels:[ ("result", "hit") ]
+
+let arena_miss_c =
+  Obs.Metrics.counter "chc_poly_arena_total" ~labels:[ ("result", "miss") ]
+
+let fallback_hull_c =
+  Obs.Metrics.counter "chc_poly_fallback_total"
+    ~help:"float-guided constructions rejected by exact certification"
+    ~labels:[ ("stage", "hull") ]
+
+let fallback_isect_c =
+  Obs.Metrics.counter "chc_poly_fallback_total"
+    ~labels:[ ("stage", "intersect") ]
+
+let isect_fast_c =
+  Obs.Metrics.counter "chc_poly_intersect_total"
+    ~help:"intersection vertex enumerations answered by the \
+           float-guided path"
+    ~labels:[ ("path", "float") ]
+
+let support_hit_c =
+  Obs.Metrics.counter "chc_poly_support_total"
+    ~help:"support-function cache lookups"
+    ~labels:[ ("result", "hit") ]
+
+let support_miss_c =
+  Obs.Metrics.counter "chc_poly_support_total" ~labels:[ ("result", "miss") ]
+
+(* ------------------------------------------------------------------ *)
+(* Canonical constraint/point helpers. These are the engine's (and,
+   via aliases, Hullnd's) single source of truth, so the certified
+   plane sets are canonicalized exactly the way the rebuild path
+   canonicalizes its own. *)
+
+let normalize_ineq (a, b) =
+  let d = Vec.dim a in
+  let rec first i =
+    if i = d then None
+    else if Q.is_zero a.(i) then first (i + 1)
+    else Some a.(i)
+  in
+  match first 0 with
+  | None -> (a, b)
+  | Some lead ->
+    let s = Q.inv (Q.abs lead) in
+    (Vec.scale s a, Q.mul s b)
+
+let compare_constraint (a1, b1) (a2, b2) =
+  let c = Vec.compare a1 a2 in
+  if c <> 0 then c else Q.compare b1 b2
+
+let dedupe_constraints cs =
+  let sorted = List.sort compare_constraint cs in
+  let rec go = function
+    | x :: (y :: _ as rest) ->
+      if compare_constraint x y = 0 then go rest else x :: go rest
+    | short -> short
+  in
+  go sorted
+
+let dedupe_points pts =
+  let sorted = List.sort Vec.compare pts in
+  let rec go = function
+    | x :: (y :: _ as rest) -> if Vec.equal x y then go rest else x :: go rest
+    | short -> short
+  in
+  go sorted
+
+let cross3 u v =
+  [| Q.sub (Q.mul u.(1) v.(2)) (Q.mul u.(2) v.(1));
+     Q.sub (Q.mul u.(2) v.(0)) (Q.mul u.(0) v.(2));
+     Q.sub (Q.mul u.(0) v.(1)) (Q.mul u.(1) v.(0)) |]
+
+let primitive_plane (a, b) =
+  let g =
+    Array.fold_left (fun acc (q : Q.t) -> B.gcd acc q.Q.num) (B.abs b.Q.num) a
+  in
+  if B.is_zero g || B.equal g B.one then (a, b)
+  else
+    ( Array.map (fun (q : Q.t) -> Q.of_bigint (B.div q.Q.num g)) a,
+      Q.of_bigint (B.div b.Q.num g) )
+
+let verts_hash vs =
+  List.fold_left
+    (fun acc v -> ((acc * 1000003) + Vec.hash v) land max_int)
+    17 vs
+
+let verts_equal a b =
+  List.compare_lengths a b = 0 && List.for_all2 Vec.equal a b
+
+(* ------------------------------------------------------------------ *)
+(* Exact plane through p, q, r oriented so the interior point [c4]/4
+   satisfies a·x < b; reports whether the (p,q,r) corner order reads
+   counter-clockwise from outside ([`Keep]) or needs a swap ([`Flip]).
+   [None]: degenerate triangle, or [c4] on the plane. *)
+
+let exact_plane ~c4 p q r =
+  let a = cross3 (Vec.sub q p) (Vec.sub r p) in
+  if Array.for_all Q.is_zero a then None
+  else begin
+    let b = Vec.dot a p in
+    match Filter.sign_of_dot_minus a c4 (Q.mul_int b 4) with
+    | s when s < 0 -> Some ((a, b), `Keep)
+    | s when s > 0 -> Some ((Vec.neg a, Q.neg b), `Flip)
+    | _ -> None
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Float image of a point set: per-coordinate [Q.to_float], re-centered
+   on the float centroid and rescaled by a power of two so coordinates
+   sit near unit magnitude. Both maps are affine with positive
+   uniform scaling, so hull combinatorics are unchanged, and products
+   of up to three imaged coordinates stay far from the double range
+   edges (the grid-scaled inputs reach ~2^400, whose triple products
+   would otherwise overflow). *)
+
+let float_points (pts : Vec.t array) =
+  let n = Array.length pts in
+  if n = 0 then None
+  else begin
+    let fp = Array.map (fun p -> Array.map Q.to_float p) pts in
+    let d = Array.length fp.(0) in
+    let c = Array.make d 0.0 in
+    Array.iter (fun p -> for i = 0 to d - 1 do c.(i) <- c.(i) +. p.(i) done) fp;
+    for i = 0 to d - 1 do c.(i) <- c.(i) /. float_of_int n done;
+    let m = ref 0.0 in
+    Array.iter
+      (fun p ->
+         for i = 0 to d - 1 do
+           p.(i) <- p.(i) -. c.(i);
+           let a = Float.abs p.(i) in
+           if a > !m then m := a
+         done)
+      fp;
+    if not (Float.is_finite !m) then None
+    else if !m = 0.0 then Some fp
+    else begin
+      let _, e = Float.frexp !m in
+      let s = Float.ldexp 1.0 (-e) in
+      Array.iter (fun p -> for i = 0 to d - 1 do p.(i) <- p.(i) *. s done) fp;
+      Some fp
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The float beneath-beyond hull. Triangles carry their corner indices
+   in consistently outward-oriented (counter-clockwise from outside)
+   order, a float plane for the visibility screen, and a static
+   per-triangle error bound [terr] on the float normal (the corner
+   floats are centered and scaled to unit magnitude, so an absolute
+   bound suffices). A visibility test whose margin does not clear the
+   bound is answered "not visible" WITHOUT an exact tie-break: the
+   overwhelmingly common uncertain case is a point exactly on the
+   facet plane, where not-strictly-visible is the correct answer, and
+   the rare barely-strictly-outside misclassification merely corrupts
+   the candidate surface — the exact certification pass rejects it and
+   the caller falls back to the exact build. Only sliver triangles,
+   whose float normal is dominated by rounding noise ([terr] =
+   infinity), carry an eagerly computed exact plane and take the exact
+   route on every test. *)
+
+type ftri = {
+  i0 : int;
+  i1 : int;
+  i2 : int;
+  fn : float array;
+  fo : float;
+  terr : float;
+  mutable xp : (Vec.t * Q.t) option;
+}
+
+type soup = {
+  tris : (int * int * int) array;
+  planes : (Vec.t * Q.t) list;
+}
+
+exception Abort
+(* Inconsistent float-guided construction (corrupted horizon, exact
+   orientation disagreeing with a committed combinatorial choice, …).
+   Callers fall back to the exact path. *)
+
+(* Machine epsilon for the static error bounds. The corner floats are
+   unit-magnitude, so edge vectors are O(1) and a cross-product
+   component accumulates a handful of half-ulps; 32 eps over the edge
+   magnitude product is a crude but comfortably safe bound. *)
+let f_eps = Float.ldexp 1.0 (-52)
+
+let fcross u v =
+  [| (u.(1) *. v.(2)) -. (u.(2) *. v.(1));
+     (u.(2) *. v.(0)) -. (u.(0) *. v.(2));
+     (u.(0) *. v.(1)) -. (u.(1) *. v.(0)) |]
+
+let fsub u v = [| u.(0) -. v.(0); u.(1) -. v.(1); u.(2) -. v.(2) |]
+let fdot u v = (u.(0) *. v.(0)) +. (u.(1) *. v.(1)) +. (u.(2) *. v.(2))
+let fmax3 u = Float.max (Float.abs u.(0)) (Float.max (Float.abs u.(1)) (Float.abs u.(2)))
+
+let nan3 = [| Float.nan; Float.nan; Float.nan |]
+
+(* Exact plane of a triangle in its stored corner order; [`Flip] from
+   the exact test means a committed combinatorial orientation was
+   wrong, so the construction aborts. *)
+let xplane_of ~c4 (pts : Vec.t array) t =
+  match t.xp with
+  | Some pl -> pl
+  | None ->
+    (match exact_plane ~c4 pts.(t.i0) pts.(t.i1) pts.(t.i2) with
+     | Some (pl, `Keep) -> t.xp <- Some pl; pl
+     | Some (_, `Flip) | None -> raise Abort)
+
+let tri_visible ~c4 (pts : Vec.t array) (fp : float array array) t j =
+  if t.terr = Float.infinity then begin
+    (* Sliver: the float plane is noise; decide exactly. *)
+    let a, b = xplane_of ~c4 pts t in
+    Filter.sign_of_dot_minus a pts.(j) b > 0
+  end
+  else begin
+    let p = fp.(j) in
+    let s0 = t.fn.(0) *. p.(0) in
+    let s1 = t.fn.(1) *. p.(1) in
+    let s2 = t.fn.(2) *. p.(2) in
+    let d = s0 +. s1 +. s2 -. t.fo in
+    let m =
+      Float.abs s0 +. Float.abs s1 +. Float.abs s2 +. Float.abs t.fo
+    in
+    (* Margin must clear the triangle's normal-error bound (corner
+       floats are unit-magnitude, so |p|∞ <= ~1) plus the dot's own
+       rounding; otherwise default to "not visible" — see the module
+       comment on the ftri type. *)
+    Float.abs d > 8.0 *. (t.terr +. (f_eps *. m)) && d > 0.0
+  end
+
+(* Static bound on the absolute error of [fcross e1 e2] and of the
+   derived offset, and the degeneracy threshold below which the float
+   normal is considered pure noise. *)
+let tri_err e1 e2 = 32.0 *. f_eps *. (1.0 +. (fmax3 e1 *. fmax3 e2))
+
+(* Build a triangle whose corner order is already committed (cone
+   triangles inherit orientation from the horizon's directed edges).
+   Slivers compute their exact plane up front; an exact [`Flip] means
+   the committed order contradicts exact geometry — abort. *)
+let mk_tri_committed ~c4 (pts : Vec.t array) (fp : float array array) i0 i1 i2 =
+  let e1 = fsub fp.(i1) fp.(i0) and e2 = fsub fp.(i2) fp.(i0) in
+  let fn = fcross e1 e2 in
+  let terr = tri_err e1 e2 in
+  if (not (Float.is_finite (fmax3 fn))) || fmax3 fn <= 64.0 *. terr then begin
+    match exact_plane ~c4 pts.(i0) pts.(i1) pts.(i2) with
+    | Some (pl, `Keep) ->
+      { i0; i1; i2; fn = nan3; fo = Float.nan; terr = Float.infinity;
+        xp = Some pl }
+    | Some (_, `Flip) | None -> raise Abort
+  end
+  else { i0; i1; i2; fn; fo = fdot fn fp.(i0); terr; xp = None }
+
+(* Build a triangle with free orientation, fixed against the float
+   interior point [fc] (exact tie-break against [c4]). Used for the
+   seed faces, where no combinatorial orientation exists yet. *)
+let mk_tri_oriented ~c4 (pts : Vec.t array) (fp : float array array) ~fc i0 i1 i2 =
+  let e1 = fsub fp.(i1) fp.(i0) and e2 = fsub fp.(i2) fp.(i0) in
+  let fn = fcross e1 e2 in
+  let terr = tri_err e1 e2 in
+  let exact_route () =
+    match exact_plane ~c4 pts.(i0) pts.(i1) pts.(i2) with
+    | Some (pl, `Keep) ->
+      { i0; i1; i2; fn = nan3; fo = Float.nan; terr = Float.infinity;
+        xp = Some pl }
+    | Some (pl, `Flip) ->
+      { i0; i1 = i2; i2 = i1; fn = nan3; fo = Float.nan;
+        terr = Float.infinity; xp = Some pl }
+    | None -> raise Abort
+  in
+  if (not (Float.is_finite (fmax3 fn))) || fmax3 fn <= 64.0 *. terr then
+    exact_route ()
+  else begin
+    let fo = fdot fn fp.(i0) in
+    let s0 = fn.(0) *. fc.(0) and s1 = fn.(1) *. fc.(1) and s2 = fn.(2) *. fc.(2) in
+    let d = s0 +. s1 +. s2 -. fo in
+    let m = Float.abs s0 +. Float.abs s1 +. Float.abs s2 +. Float.abs fo in
+    if Float.abs d <= 8.0 *. (terr +. (f_eps *. m)) then exact_route ()
+    else if d < 0.0 then { i0; i1; i2; fn; fo; terr; xp = None }
+    else
+      { i0; i1 = i2; i2 = i1;
+        fn = [| -.fn.(0); -.fn.(1); -.fn.(2) |]; fo = -.fo; terr; xp = None }
+  end
+
+let tri_dir_edges t = [ (t.i0, t.i1); (t.i1, t.i2); (t.i2, t.i0) ]
+
+(* Horizon of the visible set, as directed edges: in a consistently
+   oriented soup every undirected edge appears once in each direction,
+   so a directed edge of a visible triangle whose reverse is not in
+   the visible set borders a hidden triangle — a horizon edge. The
+   replacement cone triangle (p, u, v) re-supplies the directed edge
+   (u, v), keeping the orientation invariant with no geometric test.
+   The horizon must form one simple closed cycle; anything else means
+   the float classification corrupted the surface. *)
+let horizon_cycle visible =
+  let edges = Hashtbl.create 64 in
+  List.iter
+    (fun t ->
+       List.iter
+         (fun (u, v) ->
+            if Hashtbl.mem edges (u, v) then raise Abort
+            else Hashtbl.add edges (u, v) ())
+         (tri_dir_edges t))
+    visible;
+  let horizon =
+    Hashtbl.fold
+      (fun (u, v) () acc ->
+         if Hashtbl.mem edges (v, u) then acc else (u, v) :: acc)
+      edges []
+  in
+  (match horizon with [] -> raise Abort | _ -> ());
+  (* Simple closed cycle: out-degree and in-degree exactly 1
+     everywhere, and one connected walk covering every edge. *)
+  let succ = Hashtbl.create 16 and indeg = Hashtbl.create 16 in
+  List.iter
+    (fun (u, v) ->
+       if Hashtbl.mem succ u then raise Abort;
+       Hashtbl.add succ u v;
+       if Hashtbl.mem indeg v then raise Abort;
+       Hashtbl.add indeg v ())
+    horizon;
+  let n = List.length horizon in
+  let start = fst (List.hd horizon) in
+  let rec walk x steps =
+    match Hashtbl.find_opt succ x with
+    | None -> raise Abort
+    | Some y -> if y = start then steps + 1 else walk y (steps + 1)
+  in
+  if walk start 0 <> n then raise Abort;
+  horizon
+
+(* One beneath-beyond insertion. *)
+let insert ~c4 (pts : Vec.t array) (fp : float array array) tris j =
+  let visible, hidden =
+    List.partition (fun t -> tri_visible ~c4 pts fp t j) tris
+  in
+  if visible = [] then tris
+  else begin
+    let horizon = horizon_cycle visible in
+    let cone =
+      List.map (fun (u, v) -> mk_tri_committed ~c4 pts fp j u v) horizon
+    in
+    List.rev_append cone hidden
+  end
+
+(* Exact certification of a finished soup; [None] = rejected.
+   (1) every triangle's exact plane exists in its stored orientation
+   (so each triangle is non-degenerate, lies in a supporting-plane
+   candidate, and is consistently outward-oriented);
+   (2) the directed-edge multiset pairs up exactly — each directed
+   edge once, its reverse once — so the soup is a closed oriented
+   surface mapping onto the hull boundary with positive degree, which
+   makes the plane set complete;
+   (3) every input point is weakly inside every deduped plane, which
+   makes every plane a genuine supporting (hence facet) plane. *)
+let certify ~c4 (pts : Vec.t array) tris =
+  Obs.Prof.with_span "poly.certify" @@ fun () ->
+  match
+    let planes = List.map (fun t -> xplane_of ~c4 pts t) tris in
+    let edges = Hashtbl.create 256 in
+    List.iter
+      (fun t ->
+         List.iter
+           (fun e ->
+              if Hashtbl.mem edges e then raise Abort
+              else Hashtbl.add edges e ())
+           (tri_dir_edges t))
+      tris;
+    Hashtbl.iter
+      (fun (u, v) () -> if not (Hashtbl.mem edges (v, u)) then raise Abort)
+      edges;
+    dedupe_constraints (List.map primitive_plane planes)
+  with
+  | planes ->
+    if
+      Array.for_all
+        (fun p ->
+           List.for_all
+             (fun (a, b) -> Filter.sign_of_dot_minus a p b <= 0)
+             planes)
+        pts
+    then Some planes
+    else None
+  | exception Abort -> None
+
+
+(* Binary search for [v] in a sorted point array. *)
+let find_point (arr : Vec.t array) v =
+  let lo = ref 0 and hi = ref (Array.length arr) in
+  let found = ref (-1) in
+  while !found < 0 && !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let c = Vec.compare v arr.(mid) in
+    if c = 0 then found := mid
+    else if c < 0 then hi := mid
+    else lo := mid + 1
+  done;
+  if !found < 0 then None else Some !found
+
+(* Greedy float seed: four points spanning a tetrahedron of
+   comfortably non-zero volume. Deterministic (max with strict
+   improvement, so ties resolve to the lowest index). *)
+let float_seed (fp : float array array) =
+  let n = Array.length fp in
+  let p0 = 0 in
+  let best = ref 0.0 and arg = ref (-1) in
+  for i = 1 to n - 1 do
+    let d = fmax3 (fsub fp.(i) fp.(p0)) in
+    if d > !best then begin best := d; arg := i end
+  done;
+  if !arg < 0 || !best <= 1e-300 then None
+  else begin
+    let p1 = !arg in
+    let e1 = fsub fp.(p1) fp.(p0) in
+    best := 0.0; arg := -1;
+    for i = 1 to n - 1 do
+      if i <> p1 then begin
+        let a = fmax3 (fcross e1 (fsub fp.(i) fp.(p0))) in
+        if a > !best then begin best := a; arg := i end
+      end
+    done;
+    if !arg < 0 || !best <= 1e-12 then None
+    else begin
+      let p2 = !arg in
+      let nrm = fcross e1 (fsub fp.(p2) fp.(p0)) in
+      best := 0.0; arg := -1;
+      for i = 1 to n - 1 do
+        if i <> p1 && i <> p2 then begin
+          let v = Float.abs (fdot nrm (fsub fp.(i) fp.(p0))) in
+          if v > !best then begin best := v; arg := i end
+        end
+      done;
+      if !arg < 0 || !best <= fmax3 nrm *. 1e-9 then None
+      else Some (p0, p1, p2, !arg)
+    end
+  end
+
+(* [hull_3d ?warm pts]: certified facet planes (and the triangle soup
+   behind them) of the full-dimensional hull of [pts] — a deduped,
+   lexicographically sorted array. [warm = (wpts, wtris)] restarts
+   beneath-beyond from a previously certified soup [wtris] over
+   [wpts] (same coordinate frame): every corner of [wtris] must
+   appear in [pts], and only points outside [wpts] are inserted.
+   [None]: the input is not full-dimensional in float terms, or the
+   construction failed certification — callers fall back to the exact
+   path. *)
+let hull_3d ?warm (pts : Vec.t array) =
+  let n = Array.length pts in
+  if n < 4 then None
+  else
+    match float_points pts with
+    | None -> None
+    | Some fp ->
+      (try
+         let seed_tris, skip =
+           match warm with
+           | Some ((wpts : Vec.t array), (wtris : (int * int * int) array))
+             when Array.length wtris > 0 -> begin
+               (* Map old corner indices to indices in [pts]; any miss
+                  means the warm soup does not embed — cold-start. *)
+               let map = Hashtbl.create 64 in
+               let remap i =
+                 match Hashtbl.find_opt map i with
+                 | Some j -> j
+                 | None ->
+                   (match find_point pts wpts.(i) with
+                    | Some j -> Hashtbl.add map i j; j
+                    | None -> raise Exit)
+               in
+               match
+                 Array.to_list
+                   (Array.map
+                      (fun (a, b, c) -> (remap a, remap b, remap c))
+                      wtris)
+               with
+               | mapped ->
+                 (* Interior reference: the first triangle plus any
+                    corner exactly off its plane. *)
+                 let (a0, b0, c0) = List.hd mapped in
+                 let p, q, r = pts.(a0), pts.(b0), pts.(c0) in
+                 let nrm = cross3 (Vec.sub q p) (Vec.sub r p) in
+                 if Array.for_all Q.is_zero nrm then raise Exit;
+                 let off = Vec.dot nrm p in
+                 let s =
+                   List.find_map
+                     (fun (a, b, c) ->
+                        List.find_opt
+                          (fun i -> Filter.sign_of_dot_minus nrm pts.(i) off <> 0)
+                          [ a; b; c ])
+                     mapped
+                 in
+                 (match s with
+                  | None -> raise Exit
+                  | Some s ->
+                    let c4 =
+                      Vec.add (Vec.add p q) (Vec.add r pts.(s))
+                    in
+                    let tris =
+                      List.map
+                        (fun (a, b, c) -> mk_tri_committed ~c4 pts fp a b c)
+                        mapped
+                    in
+                    let skip j = find_point wpts pts.(j) <> None in
+                    ((c4, tris), skip))
+             end
+           | _ ->
+             (match float_seed fp with
+              | None -> raise Exit
+              | Some (a, b, c, d) ->
+                let c4 =
+                  Vec.add (Vec.add pts.(a) pts.(b)) (Vec.add pts.(c) pts.(d))
+                in
+                let fc =
+                  let s = Array.make 3 0.0 in
+                  List.iter
+                    (fun i ->
+                       for k = 0 to 2 do s.(k) <- s.(k) +. fp.(i).(k) done)
+                    [ a; b; c; d ];
+                  for k = 0 to 2 do s.(k) <- s.(k) /. 4.0 done;
+                  s
+                in
+                let face = mk_tri_oriented ~c4 pts fp ~fc in
+                let tris =
+                  [ face a b c; face a b d; face a c d; face b c d ]
+                in
+                let seed j = j = a || j = b || j = c || j = d in
+                ((c4, tris), seed))
+         in
+         let (c4, tris0) = seed_tris in
+         let tris = ref tris0 in
+         for j = 0 to n - 1 do
+           if not (skip j) then tris := insert ~c4 pts fp !tris j
+         done;
+         match certify ~c4 pts !tris with
+         | None -> Obs.Metrics.incr fallback_hull_c; None
+         | Some planes ->
+           Some
+             { tris =
+                 Array.of_list
+                   (List.map (fun t -> (t.i0, t.i1, t.i2)) !tris);
+               planes }
+       with Abort -> Obs.Metrics.incr fallback_hull_c; None
+          | Exit -> None)
+
+(* ------------------------------------------------------------------ *)
+(* The persistent dual representation and its arena. *)
+
+type dual = {
+  pts : Vec.t list;             (* canonical (deduped sorted) vertices *)
+  spts : Vec.t list;            (* grid-scaled integer copies, same order *)
+  facets : (Vec.t * Q.t) list;  (* primitive facet planes for [spts] *)
+  scale : B.t;                  (* the grid scale: spts = scale · pts *)
+  shape : soup option;          (* certified soup; [None] from the exact path *)
+}
+
+(* Keyed on the unscaled canonical vertex list. The triple
+   (spts, facets, scale) is self-consistent independently of whichever
+   round grid is installed when it is reused: spts = scale·pts holds
+   forever, facets are facet planes of conv(spts), and every consumer
+   (tight scans, b/scale mapping, volume's 1/scale³) normalizes the
+   scale away. A Memo table, so differential oracles' [with_bypass]
+   covers the arena exactly like every other kernel cache. *)
+let arena : (Vec.t list, dual option) Parallel.Memo.t =
+  Parallel.Memo.create ~name:"poly-arena" ~max_size:4096
+    ~hash:verts_hash ~equal:verts_equal ()
+
+(* Engine handles: the mutable per-instance (or per-shard) state —
+   a ring of recent duals for warm starts, the last intersection's
+   vertex set for seeding, and reuse counters. Carried in protocol
+   state by Chc.Instance and per shard by Serve.Server; a domain-local
+   default serves plain library callers. *)
+type handle = {
+  ring : dual option array;
+  mutable ring_ix : int;
+  mutable arena_hits : int;
+  mutable arena_misses : int;
+  mutable warm_builds : int;
+  mutable last_isect : Vec.t list option;
+}
+
+let create_handle () =
+  { ring = Array.make 8 None; ring_ix = 0; arena_hits = 0;
+    arena_misses = 0; warm_builds = 0; last_isect = None }
+
+let handle_key : handle option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let domain_handle : handle Domain.DLS.key =
+  Domain.DLS.new_key create_handle
+
+let current_handle () =
+  match !(Domain.DLS.get handle_key) with
+  | Some h -> h
+  | None -> Domain.DLS.get domain_handle
+
+let with_handle h f =
+  let slot = Domain.DLS.get handle_key in
+  let saved = !slot in
+  slot := Some h;
+  Fun.protect ~finally:(fun () -> slot := saved) f
+
+let handle_reuse h = h.arena_hits + h.warm_builds
+
+let handle_stats h =
+  [ ("arena_hits", h.arena_hits); ("arena_misses", h.arena_misses);
+    ("warm_builds", h.warm_builds) ]
+
+let ring_push h d =
+  h.ring.(h.ring_ix) <- Some d;
+  h.ring_ix <- (h.ring_ix + 1) mod Array.length h.ring
+
+(* Warm-start probe: the most recent ring dual with a certified soup
+   whose corner set embeds in [pts] (and is not [pts] itself — that
+   would have been an arena hit). Returns the warm payload in the new
+   scale: wpts = scale·(old pts). *)
+let probe_warm h (pts_arr : Vec.t array) (scale : B.t) =
+  let n = Array.length h.ring in
+  let rec go k =
+    if k >= n then None
+    else begin
+      let ix = (h.ring_ix - 1 - k + (2 * n)) mod n in
+      match h.ring.(ix) with
+      | Some d when d.shape <> None
+                 && not (verts_equal d.pts (Array.to_list pts_arr)) -> begin
+          match d.shape with
+          | Some soup when Array.length soup.tris > 0 ->
+            let old = Array.of_list d.pts in
+            let sq = Q.of_bigint scale in
+            let wpts = Array.map (fun v -> Vec.scale sq v) old in
+            (* Every soup corner must appear in the new point set. *)
+            let ok = ref true in
+            Array.iter
+              (fun (a, b, c) ->
+                 List.iter
+                   (fun i ->
+                      if !ok && find_point pts_arr wpts.(i) = None then
+                        ok := false)
+                   [ a; b; c ])
+              soup.tris;
+            if !ok then Some (wpts, soup.tris) else go (k + 1)
+          | _ -> go (k + 1)
+        end
+      | _ -> go (k + 1)
+    end
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* [dual_3d pts ~rebuild]: the engine's front door for 3-d hull
+   construction. [pts] is the deduped sorted unscaled vertex list;
+   [rebuild] is the caller's exact construction (scaling included),
+   used verbatim under CHC_POLY=rebuild and as the fallback whenever
+   the float-guided build fails certification. Under
+   CHC_POLY=incremental the result is arena-cached and pushed onto the
+   current handle's warm-start ring. *)
+let dual_3d pts ~rebuild =
+  if not (incremental ()) then rebuild ()
+  else begin
+    let h = current_handle () in
+    let ran = ref false in
+    let build () =
+      ran := true;
+      Obs.Prof.with_span "poly.build" @@ fun () ->
+      let spts, scale = Numeric.Grid.scale_points pts in
+      let arr = Array.of_list spts in
+      let warm = probe_warm h arr scale in
+      match hull_3d ?warm arr with
+      | Some soup ->
+        (match warm with
+         | Some _ ->
+           h.warm_builds <- h.warm_builds + 1;
+           Obs.Metrics.incr hull_warm_c
+         | None -> Obs.Metrics.incr hull_float_c);
+        Some { pts; spts; facets = soup.planes; scale; shape = Some soup }
+      | None ->
+        Obs.Metrics.incr hull_exact_c;
+        rebuild ()
+    in
+    let d = Parallel.Memo.find_or_add arena pts build in
+    if !ran then begin
+      h.arena_misses <- h.arena_misses + 1;
+      Obs.Metrics.incr arena_miss_c
+    end
+    else begin
+      h.arena_hits <- h.arena_hits + 1;
+      Obs.Metrics.incr arena_hit_c
+    end;
+    (match d with Some d -> ring_push h d | None -> ());
+    d
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Delta operations. *)
+
+(* [merge d extra]: the dual of conv(d.pts ∪ extra), warm-started from
+   [d]'s certified soup — beneath-beyond restarted from the previous
+   conflict region, inserting only the genuinely new points. [None]
+   when the warm construction fails certification (callers rebuild
+   through {!dual_3d}). *)
+let merge d extra =
+  let pts = dedupe_points (List.rev_append extra d.pts) in
+  if verts_equal pts d.pts then Some d
+  else begin
+    let spts, scale = Numeric.Grid.scale_points pts in
+    let arr = Array.of_list spts in
+    let warm =
+      match d.shape with
+      | Some soup when Array.length soup.tris > 0 ->
+        let sq = Q.of_bigint scale in
+        Some (Array.of_list (List.map (Vec.scale sq) d.pts), soup.tris)
+      | _ -> None
+    in
+    match hull_3d ?warm arr with
+    | None -> None
+    | Some soup ->
+      (match warm with
+       | Some _ -> Obs.Metrics.incr hull_warm_c
+       | None -> Obs.Metrics.incr hull_float_c);
+      let built = { pts; spts; facets = soup.planes; scale; shape = Some soup } in
+      (match Parallel.Memo.find_or_add arena pts (fun () -> Some built) with
+       | Some d' -> ring_push (current_handle ()) d'; Some d'
+       | None -> Some built)
+  end
+
+let insert_point d p = merge d [ p ]
+
+(* ------------------------------------------------------------------ *)
+(* Vertex extraction against a known facet list (same tight-rank test
+   as Hullnd.is_vertex_by_facets, duplicated to keep the dependency
+   arrow pointing from Hullnd to this module). *)
+
+let is_vertex_by_facets facets p =
+  let tight =
+    List.filter_map
+      (fun (a, b) -> if Filter.sign_of_dot_minus a p b = 0 then Some a else None)
+      facets
+  in
+  List.length tight >= 3 && Linsys.rank (Array.of_list tight) = 3
+
+(* ------------------------------------------------------------------ *)
+(* Float-guided intersection vertex enumeration.
+
+   Candidates come from pair-line clipping: for every pair (i, j) of
+   constraints whose planes meet in a line, clip the line's parameter
+   against the remaining constraints; the surviving interval's
+   endpoints name candidate tight triples (i, j, k). Every edge of the
+   intersection polytope lies on such a line (its two incident facet
+   planes are among the constraints), so every vertex shows up as an
+   endpoint — up to float noise, which the completeness certificate
+   catches. *)
+
+let fsolve3 r0 r1 r2 b0 b1 b2 =
+  (* Rows r0, r1, r2; Cramer via the cross-product adjugate. *)
+  let c12 = fcross r1 r2 and c20 = fcross r2 r0 and c01 = fcross r0 r1 in
+  let det = fdot r0 c12 in
+  if Float.abs det <= 1e-12 then None
+  else
+    Some
+      [| ((b0 *. c12.(0)) +. (b1 *. c20.(0)) +. (b2 *. c01.(0))) /. det;
+         ((b0 *. c12.(1)) +. (b1 *. c20.(1)) +. (b2 *. c01.(1))) /. det;
+         ((b0 *. c12.(2)) +. (b1 *. c20.(2)) +. (b2 *. c01.(2))) /. det |]
+
+let isect_max_constraints = 160
+
+(* [vertices_3d ?prev ~ineqs]: the exact vertex set of
+   P = {x : a·x <= b for all (a,b) in ineqs}, certified complete, or
+   [None] (empty / lower-dimensional / too many constraints /
+   certificate failure — callers run the exact enumeration). [prev]
+   seeds candidate vertices (the delta path: a previous round's
+   intersection result); seeds are only ever admitted through the
+   exact membership test, so they cannot perturb the result, and when
+   omitted the current handle's last result is used. *)
+let vertices_3d ?prev ~ineqs () =
+  if not (incremental ()) then None
+  else begin
+    let m = List.length ineqs in
+    if m < 4 || m > isect_max_constraints then None
+    else begin
+      Obs.Prof.with_span "poly.isect" @@ fun () ->
+      let h = current_handle () in
+      let cons = Array.of_list ineqs in
+      (* Float rows, normalized so max |coefficient| = 1. *)
+      let frows =
+        Array.map
+          (fun (a, b) ->
+             let fa = Array.map Q.to_float a in
+             let fb = Q.to_float b in
+             let s = fmax3 fa in
+             if s > 0.0 && Float.is_finite s && Float.is_finite fb then begin
+               for i = 0 to 2 do fa.(i) <- fa.(i) /. s done;
+               Some (fa, fb /. s)
+             end
+             else None)
+          cons
+      in
+      if Array.exists (fun r -> r = None) frows then None
+      else begin
+        let frows = Array.map Option.get frows in
+        (* Pair-line clipping: candidate (triple, float point) list. *)
+        let candidates = ref [] in
+        (try
+           for i = 0 to m - 2 do
+             let ai, bi = frows.(i) in
+             for j = i + 1 to m - 1 do
+               let aj, bj = frows.(j) in
+               let d = fcross ai aj in
+               let dn = fmax3 d in
+               if dn > 1e-9 then begin
+                 match fsolve3 ai aj d bi bj 0.0 with
+                 | None -> ()
+                 | Some p0 ->
+                   if fmax3 p0 < 1e6 then begin
+                     let lo = ref neg_infinity and hi = ref infinity in
+                     let klo = ref (-1) and khi = ref (-1) in
+                     let feasible = ref true in
+                     let k = ref 0 in
+                     while !feasible && !k < m do
+                       if !k <> i && !k <> j then begin
+                         let ak, bk = frows.(!k) in
+                         let ad = fdot ak d in
+                         let rhs = bk -. fdot ak p0 in
+                         if Float.abs ad <= 1e-12 then begin
+                           if rhs < -1e-7 then feasible := false
+                         end
+                         else begin
+                           let t = rhs /. ad in
+                           if ad > 0.0 then begin
+                             if t < !hi then begin hi := t; khi := !k end
+                           end
+                           else if t > !lo then begin lo := t; klo := !k end
+                         end
+                       end;
+                       incr k
+                     done;
+                     if !feasible && !lo <= !hi +. 1e-7 then begin
+                       if !klo >= 0 && Float.abs !lo < 1e11 then
+                         candidates :=
+                           ( (i, j, !klo),
+                             [| p0.(0) +. (!lo *. d.(0));
+                                p0.(1) +. (!lo *. d.(1));
+                                p0.(2) +. (!lo *. d.(2)) |] )
+                           :: !candidates;
+                       if !khi >= 0 && Float.abs !hi < 1e11 then
+                         candidates :=
+                           ( (i, j, !khi),
+                             [| p0.(0) +. (!hi *. d.(0));
+                                p0.(1) +. (!hi *. d.(1));
+                                p0.(2) +. (!hi *. d.(2)) |] )
+                           :: !candidates
+                     end
+                   end
+               end
+             done
+           done
+         with _ -> ());
+        (* Cluster float-coincident candidates; one exact solve per
+           cluster (more triples tried if the first is singular or
+           exactly infeasible). *)
+        let clusters : ((int * int * int) list ref * float array) list ref =
+          ref []
+        in
+        List.iter
+          (fun (triple, x) ->
+             let tol = 1e-5 *. (1.0 +. fmax3 x) in
+             match
+               List.find_opt
+                 (fun (_, cx) -> fmax3 (fsub x cx) <= tol)
+                 !clusters
+             with
+             | Some (ts, _) -> ts := triple :: !ts
+             | None -> clusters := (ref [ triple ], x) :: !clusters)
+          (List.rev !candidates);
+        let member x =
+          Array.for_all
+            (fun (a, b) -> Filter.sign_of_dot_minus a x b <= 0)
+            cons
+        in
+        let solve_cluster (ts, _) =
+          let rec go = function
+            | [] -> None
+            | (i, j, k) :: rest ->
+              let rows = [| fst cons.(i); fst cons.(j); fst cons.(k) |] in
+              let rhs = [| snd cons.(i); snd cons.(j); snd cons.(k) |] in
+              (match Linsys.solve_unique rows rhs with
+               | Some x when member x -> Some x
+               | _ -> go rest)
+          in
+          go (List.rev !ts)
+        in
+        let w0 = List.filter_map solve_cluster !clusters in
+        (* Seed points from the previous intersection (delta reuse):
+           admitted only through the exact membership test. *)
+        let seeds =
+          let src = match prev with Some _ -> prev | None -> h.last_isect in
+          match src with
+          | None -> []
+          | Some vs -> List.filter member vs
+        in
+        let w = dedupe_points (List.rev_append seeds w0) in
+        if List.length w < 4 then None
+        else begin
+          let sw, scale = Numeric.Grid.scale_points w in
+          let arr = Array.of_list sw in
+          match hull_3d arr with
+          | None -> Obs.Metrics.incr fallback_isect_c; None
+          | Some soup ->
+            (* Completeness certificate: every facet plane of conv(W),
+               mapped back to the unscaled frame and canonically
+               normalized, must be one of the input constraints. *)
+            let sorted_cons =
+              List.sort compare_constraint
+                (List.map normalize_ineq ineqs)
+            in
+            let linv = Q.inv (Q.of_bigint scale) in
+            let complete =
+              List.for_all
+                (fun (a, b) ->
+                   let c = normalize_ineq (a, Q.mul b linv) in
+                   List.exists
+                     (fun c' -> compare_constraint c c' = 0)
+                     sorted_cons)
+                soup.planes
+            in
+            if not complete then begin
+              Obs.Metrics.incr fallback_isect_c; None
+            end
+            else begin
+              let verts =
+                List.combine w sw
+                |> List.filter (fun (_, s) ->
+                    is_vertex_by_facets soup.planes s)
+                |> List.map fst
+              in
+              if List.length verts < 4 then begin
+                Obs.Metrics.incr fallback_isect_c; None
+              end
+              else begin
+                Obs.Metrics.incr isect_fast_c;
+                h.last_isect <- Some verts;
+                Some verts
+              end
+            end
+        end
+      end
+    end
+  end
+
+let intersect_delta ?prev ~ineqs () = vertices_3d ?prev ~ineqs ()
+
+(* ------------------------------------------------------------------ *)
+(* Support-function cache, keyed by (canonical vertex list,
+   direction). Hausdorff/volume grading re-evaluates supports of the
+   same polytope in the same facet-normal directions round over
+   round; the cold evaluation is supplied by the caller (Polytope),
+   so cached and cold answers are definitionally interchangeable. *)
+
+let support_memo : (Vec.t list * Vec.t, Q.t * Vec.t) Parallel.Memo.t =
+  Parallel.Memo.create ~name:"poly-support" ~max_size:8192
+    ~hash:(fun (vs, dir) ->
+        ((verts_hash vs * 1000003) + Vec.hash dir) land max_int)
+    ~equal:(fun (vs1, d1) (vs2, d2) -> verts_equal vs1 vs2 && Vec.equal d1 d2)
+    ()
+
+let support verts dir ~eval =
+  if not (incremental ()) then eval ()
+  else begin
+    let ran = ref false in
+    let v =
+      Parallel.Memo.find_or_add support_memo (verts, dir) (fun () ->
+          ran := true;
+          eval ())
+    in
+    Obs.Metrics.incr (if !ran then support_miss_c else support_hit_c);
+    v
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Test hooks. *)
+
+module Dev = struct
+  let certify (pts : Vec.t array) (tris : (int * int * int) array) =
+    match Array.to_list pts with
+    | p :: q :: r :: s :: _ ->
+      let c4 = Vec.add (Vec.add p q) (Vec.add r s) in
+      let fts =
+        Array.to_list
+          (Array.map
+             (fun (a, b, c) ->
+                { i0 = a; i1 = b; i2 = c; fn = nan3; fo = Float.nan;
+                  terr = Float.infinity; xp = None })
+             tris)
+      in
+      (try certify ~c4 pts fts with Abort -> None)
+    | _ -> None
+
+  let hull_3d = hull_3d
+  let float_seed_exists pts =
+    match float_points pts with
+    | None -> false
+    | Some fp -> float_seed fp <> None
+end

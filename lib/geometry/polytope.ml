@@ -238,12 +238,30 @@ let intersect polys =
                          (List.concat_map (fun p -> p.verts) polys))
                   @@ fun () ->
                   let hreps =
-                    List.map (fun p -> Hullnd.of_points ~dim:d p.verts) polys
+                    Obs.Prof.with_span "isect.hreps" (fun () ->
+                    List.map (fun p -> Hullnd.of_points ~dim:d p.verts) polys)
                   in
                   let combined = Hullnd.combine hreps in
-                  match Hullnd.vertices combined with
-                  | [] -> None
-                  | vs -> Some (Hullnd.extreme_points vs)))
+                  (* Certified fast path: pair-line clipping over the
+                     constraint system, seeded from the previous
+                     round's intersection. Completeness is certified
+                     exactly (see Poly_engine), so a [Some] here equals
+                     the brute enumeration value-for-value; [None]
+                     (mode, degeneracy, certificate failure) falls
+                     through to the exact path. *)
+                  let fast =
+                    if d = 3 && combined.Hullnd.eqs = [] then
+                      Poly_engine.vertices_3d ~ineqs:combined.Hullnd.ineqs ()
+                    else None
+                  in
+                  match fast with
+                  | Some vs -> Some vs
+                  | None ->
+                    match Obs.Prof.with_span "isect.vertices" (fun () ->
+                        Hullnd.vertices combined) with
+                    | [] -> None
+                    | vs -> Some (Obs.Prof.with_span "isect.extreme" (fun () ->
+                        Hullnd.extreme_points vs))))
        in
        (match verts with
         | None -> None
@@ -252,9 +270,36 @@ let intersect polys =
 (* ------------------------------------------------------------------ *)
 (* Measures. *)
 
+(* Agreement grading asks for the Hausdorff distance between every
+   pair of per-process output polytopes, and ε-agreement makes those
+   pairs repeat verbatim across processes and rounds; keyed on the
+   canonical vertex lists the cache has the same hit profile as the
+   hull/minkowski tables. Gated on the engine mode so CHC_POLY=rebuild
+   measures the uncached evaluation. *)
+let hausdorff_memo : (int * Vec.t list * Vec.t list, Q.t) Parallel.Memo.t =
+  Parallel.Memo.create ~name:"hausdorff" ~max_size:4096
+    ~hash:(fun (d, a, b) ->
+        ((((verts_hash a * 1000003) + verts_hash b) * 31) + d) land max_int)
+    ~equal:(fun (d1, a1, b1) (d2, a2, b2) ->
+        d1 = d2 && verts_equal a1 a2 && verts_equal b1 b2)
+    ()
+
 let hausdorff2 p q =
   if p.dim <> q.dim then invalid_arg "Polytope.hausdorff2: dimension mismatch"
-  else Distance.hausdorff2 ~dim:p.dim p.verts q.verts
+  else begin
+    let eval () = Distance.hausdorff2 ~dim:p.dim p.verts q.verts in
+    if p.dim >= 3 && Poly_engine.incremental () then
+      (* The distance is symmetric; canonicalizing the key order makes
+         (p,q) and (q,p) share one entry. *)
+      let key =
+        if List.compare Vec.compare p.verts q.verts <= 0 then
+          (p.dim, p.verts, q.verts)
+        else (p.dim, q.verts, p.verts)
+      in
+      Parallel.Memo.find_or_add hausdorff_memo key (fun () ->
+          Obs.Prof.with_span "poly.hausdorff" eval)
+    else eval ()
+  end
 
 let hausdorff p q = sqrt (Q.to_float (hausdorff2 p q))
 
@@ -287,14 +332,20 @@ let translate v p =
   { dim = p.dim; verts = canonicalize ~dim:p.dim (List.map (Vec.add v) p.verts) }
 
 let support p dir =
-  match p.verts with
-  | [] -> assert false
-  | v0 :: rest ->
-    List.fold_left
-      (fun (best, arg) v ->
-         let s = Vec.dot dir v in
-         if Filter.compare s best > 0 then (s, v) else (best, arg))
-      (Vec.dot dir v0, v0) rest
+  let eval () =
+    match p.verts with
+    | [] -> assert false
+    | v0 :: rest ->
+      List.fold_left
+        (fun (best, arg) v ->
+           let s = Vec.dot dir v in
+           if Filter.compare s best > 0 then (s, v) else (best, arg))
+        (Vec.dot dir v0, v0) rest
+  in
+  (* Grading re-asks for supports of the same polytope in the same
+     facet-normal directions round over round; the engine caches the
+     exact evaluation keyed by (canonical vertex list, direction). *)
+  if p.dim >= 3 then Poly_engine.support p.verts dir ~eval else eval ()
 
 let bounding_box p =
   Array.init p.dim (fun j ->

@@ -64,6 +64,36 @@ let order_facet nrm verts =
              if Q.sign o >= 0 then Some ring else Some (List.rev ring)
            | _ -> None)))
 
+(* Sum of signed facet fans over integer-scaled vertices and facet
+   planes valid in the scaled frame. The sign tests and the
+   orientation check are invariant under positive scaling of (a, b),
+   so primitive integer planes and normalized ones answer alike. *)
+let six_volume verts facets =
+  let facet_vol (a, b) =
+    (* Filtered tight test: the interval refutes the off-facet
+       majority without exact dots. No extreme-point extraction
+       here — [order_facet]'s in-plane [Hull2d.hull] already
+       drops non-vertex points of the facet polygon. *)
+    let on_facet =
+      List.filter (fun v -> Filter.sign_of_dot_minus a v b = 0) verts
+    in
+    match order_facet a on_facet with
+    | None -> Q.zero
+    | Some (w0 :: rest) ->
+      let rec fan acc = function
+        | wi :: (wj :: _ as tl) ->
+          fan (Q.add acc (det3 w0 wi wj)) tl
+        | _ -> acc
+      in
+      fan Q.zero rest
+    | Some [] -> Q.zero
+  in
+  List.fold_left (fun acc f -> Q.add acc (facet_vol f)) Q.zero facets
+
+let unscale six_v l =
+  let l3 = Numeric.Bigint.mul l (Numeric.Bigint.mul l l) in
+  Q.div six_v (Q.mul (Q.of_int 6) (Q.of_bigint l3))
+
 let volume verts0 =
   match verts0 with
   | [] -> Q.zero
@@ -72,34 +102,18 @@ let volume verts0 =
     else begin
       (* Work on the integer grid: vol(L·P) = L³·vol(P), and every
          inner operation (facet dots, in-plane coordinates, the det3
-         fan) becomes a gcd-free integer Q operation. *)
-      let verts, l = Numeric.Grid.scale_points verts0 in
-      let h = Hullnd.of_points ~dim:3 verts in
-      if h.Hullnd.eqs <> [] then Q.zero (* lower-dimensional *)
-      else begin
-        let facet_vol (a, b) =
-          (* Filtered tight test: the interval refutes the off-facet
-             majority without exact dots. No extreme-point extraction
-             here — [order_facet]'s in-plane [Hull2d.hull] already
-             drops non-vertex points of the facet polygon. *)
-          let on_facet =
-            List.filter (fun v -> Filter.sign_of_dot_minus a v b = 0) verts
-          in
-          match order_facet a on_facet with
-          | None -> Q.zero
-          | Some (w0 :: rest) ->
-            let rec fan acc = function
-              | wi :: (wj :: _ as tl) ->
-                fan (Q.add acc (det3 w0 wi wj)) tl
-              | _ -> acc
-            in
-            fan Q.zero rest
-          | Some [] -> Q.zero
-        in
-        let six_v =
-          List.fold_left (fun acc f -> Q.add acc (facet_vol f)) Q.zero h.Hullnd.ineqs
-        in
-        let l3 = Numeric.Bigint.mul l (Numeric.Bigint.mul l l) in
-        Q.div six_v (Q.mul (Q.of_int 6) (Q.of_bigint l3))
-      end
+         fan) becomes a gcd-free integer Q operation. The engine dual
+         (arena-shared with the round's extreme-point queries) supplies
+         scaled vertices and facet planes directly; only
+         lower-dimensional or aborted inputs rebuild an H-rep. *)
+      match Hullnd.dual_3d (Hullnd.dedupe_points verts0) with
+      | Some d ->
+        unscale
+          (six_volume d.Poly_engine.spts d.Poly_engine.facets)
+          d.Poly_engine.scale
+      | None ->
+        let verts, l = Numeric.Grid.scale_points verts0 in
+        let h = Hullnd.of_points ~dim:3 verts in
+        if h.Hullnd.eqs <> [] then Q.zero (* lower-dimensional *)
+        else unscale (six_volume verts h.Hullnd.ineqs) l
     end

@@ -667,7 +667,9 @@ let lcm_of dens =
 
 let make_of_dens dens = { den = lcm_of dens; factors = []; gwidth = 0 }
 
-let make pts = make_of_dens (distinct_dens pts [])
+let make pts =
+  let g = make_of_dens (distinct_dens pts []) in
+  g
 
 (* Grid for points about to be scaled by a 1/mult-weighted combination
    (the round average): mult * lcm is a common multiple of every

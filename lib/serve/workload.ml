@@ -8,6 +8,10 @@ let default_mix =
   [ { n = 4; f = 1; d = 1; recover = false };
     { n = 5; f = 1; d = 2; recover = false };
     { n = 6; f = 1; d = 2; recover = false };
+    (* 3-d instances exercise the incremental polytope engine; the
+       shared per-shard handle makes their round-over-round hulls (and
+       same-shape siblings) warm-start each other. *)
+    { n = 6; f = 1; d = 3; recover = false };
     { n = 6; f = 1; d = 2; recover = true } ]
 
 let job ~rng ~id { n; f; d; recover } =

@@ -8,5 +8,5 @@ let () =
      @ Test_cc.suite @ Test_analysis.suite @ Test_vector_consensus.suite
      @ Test_optimize.suite @ Test_ablation.suite @ Test_codec.suite @ Test_combin.suite @ Test_viz.suite
      @ Test_parallel.suite @ Test_obs.suite @ Test_fuzz.suite
-     @ Test_filter.suite @ Test_grid.suite @ Test_wal.suite
-     @ Test_serve.suite)
+     @ Test_filter.suite @ Test_poly_engine.suite @ Test_grid.suite
+     @ Test_wal.suite @ Test_serve.suite)
